@@ -1,0 +1,111 @@
+#ifndef CLOUDSURV_BENCH_BENCH_UTIL_H_
+#define CLOUDSURV_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction binaries: simulate the
+// three study regions and run the nine (region x edition) prediction
+// experiments with a common configuration.
+//
+// Scale: CLOUDSURV_SUBS environment variable sets the number of
+// subscriptions simulated per region (default 1500). Larger values
+// sharpen every estimate at proportional runtime cost.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/prediction.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::bench {
+
+inline size_t RegionSubscriptions() {
+  const char* env = std::getenv("CLOUDSURV_SUBS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 1500;
+}
+
+/// Simulates the three study regions (deterministic).
+inline std::vector<telemetry::TelemetryStore> SimulateStudyRegions(
+    uint64_t seed = 2017) {
+  std::vector<telemetry::TelemetryStore> stores;
+  const size_t subs = RegionSubscriptions();
+  for (int region = 1; region <= 3; ++region) {
+    auto config = simulator::MakeRegionPreset(
+        region, subs, seed + static_cast<uint64_t>(region));
+    if (!config.ok()) {
+      std::fprintf(stderr, "region config failed: %s\n",
+                   config.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto store = simulator::SimulateRegion(*config);
+    if (!store.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   store.status().ToString().c_str());
+      std::exit(1);
+    }
+    stores.push_back(std::move(store).value());
+  }
+  return stores;
+}
+
+/// The experiment configuration used by the classification benches.
+/// Grid-search tuning is enabled only where scores are the headline
+/// output (Figure 5); the survival-curve benches use a fixed strong
+/// configuration for speed.
+inline core::ExperimentConfig PaperExperimentConfig(bool tune) {
+  core::ExperimentConfig config;
+  config.tune_with_grid_search = tune;
+  config.default_params.num_trees = 80;
+  config.default_params.max_depth = 14;
+  config.num_repetitions = tune ? 5 : 3;
+  config.cv_folds = 5;
+  config.seed = 42;
+  return config;
+}
+
+inline const std::vector<telemetry::Edition>& StudyEditions() {
+  static const auto* kEditions = new std::vector<telemetry::Edition>{
+      telemetry::Edition::kBasic, telemetry::Edition::kStandard,
+      telemetry::Edition::kPremium};
+  return *kEditions;
+}
+
+/// Runs the nine subgroup experiments. Exits with a diagnostic on any
+/// failure (bench binaries are straight-line reproduction scripts).
+inline std::vector<core::SubgroupExperimentResult> RunAllSubgroups(
+    const std::vector<telemetry::TelemetryStore>& stores, bool tune) {
+  std::vector<core::SubgroupExperimentResult> results;
+  for (const auto& store : stores) {
+    for (telemetry::Edition edition : StudyEditions()) {
+      auto result = core::RunPredictionExperiment(
+          store, edition, PaperExperimentConfig(tune));
+      if (!result.ok()) {
+        std::fprintf(stderr, "experiment %s/%s failed: %s\n",
+                     store.region_name().c_str(),
+                     telemetry::EditionToString(edition),
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      results.push_back(std::move(result).value());
+    }
+  }
+  return results;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  (synthetic CloudSurv telemetry; compare shapes, not\n");
+  std::printf("   absolute values - see EXPERIMENTS.md)\n");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace cloudsurv::bench
+
+#endif  // CLOUDSURV_BENCH_BENCH_UTIL_H_

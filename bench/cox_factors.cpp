@@ -1,0 +1,96 @@
+// Extension of the paper's "Factors" analysis: a Cox proportional-
+// hazards regression of drop risk on interpretable covariates, plus
+// parametric (exponential / Weibull) fits of the population lifetime.
+// Where Section 5.4 ranks features by gini importance inside a forest,
+// the Cox model quantifies each factor's multiplicative effect on the
+// drop hazard with confidence intervals — the classical epidemiology
+// companion to the KM analysis of Section 3.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cohort.h"
+#include "features/features.h"
+#include "survival/cox.h"
+#include "survival/parametric.h"
+
+using namespace cloudsurv;
+
+int main() {
+  bench::PrintHeader("Cox regression of drop hazard on database factors");
+  auto stores = bench::SimulateStudyRegions();
+  const auto& store = stores[0];
+
+  // Assemble covariates for every database in the 2-day-minimum cohort.
+  const auto ids = core::SelectCohort(store, core::CohortFilter{});
+  std::vector<survival::CovariateObservation> data;
+  data.reserve(ids.size());
+  for (auto id : ids) {
+    const auto* record = *store.FindDatabase(id);
+    survival::CovariateObservation obs;
+    obs.duration = record->ObservedLifespanDays(store.window_end());
+    obs.observed = record->dropped_at.has_value();
+
+    const auto creation = features::CreationTimeFeatures(store, *record);
+    const auto name = features::NameShapeFeatures(record->database_name);
+    const auto history = features::SubscriptionHistoryFeatures(
+        store, *record,
+        record->created_at + 2 * telemetry::kSecondsPerDay);
+    const auto edition = record->initial_edition();
+    obs.covariates = {
+        edition == telemetry::Edition::kStandard ? 1.0 : 0.0,
+        edition == telemetry::Edition::kPremium ? 1.0 : 0.0,
+        creation[0] >= 6.0 ? 1.0 : 0.0,                    // weekend create
+        (creation[4] >= 8.0 && creation[4] <= 18.0) ? 1.0 : 0.0,
+        name[0] / 10.0,                                    // name length /10
+        name[3],                                           // letters+digits
+        std::min(history[1], 50.0) / 10.0,                 // prior dbs /10
+        std::min(history[16], 60.0) / 30.0,  // min sibling lifespan /30
+    };
+    data.push_back(std::move(obs));
+  }
+
+  const std::vector<std::string> names = {
+      "edition=Standard", "edition=Premium",  "created_weekend",
+      "created_bizhours", "name_length/10",   "name_has_digits",
+      "prior_dbs/10",     "sib_min_life/30d",
+  };
+  auto model = survival::CoxModel::Fit(data, names);
+  if (!model.ok()) {
+    std::fprintf(stderr, "Cox fit failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("n=%zu databases, %d Newton iterations, converged=%s\n\n",
+              data.size(), model->num_iterations(),
+              model->converged() ? "yes" : "no");
+  std::printf("%s\n", model->ToText().c_str());
+  std::printf("concordance index: %.3f\n\n",
+              model->ConcordanceIndex(data));
+
+  std::printf("interpretation: HR > 1 raises drop risk (shorter life); "
+              "Premium and automated naming raise risk, long-lived "
+              "sibling history lowers it.\n\n");
+
+  // Parametric population fits (Weibull shape < 1 = infant-mortality
+  // churn pattern).
+  auto survival_data = core::CohortSurvivalData(store, core::CohortFilter{});
+  if (survival_data.ok()) {
+    auto weibull = survival::FitWeibull(*survival_data);
+    auto exponential = survival::FitExponential(*survival_data);
+    if (weibull.ok() && exponential.ok()) {
+      std::printf("parametric population fits (lifetimes >= 2 days):\n");
+      std::printf("  exponential: rate=%.4f/day          AIC=%.0f\n",
+                  exponential->rate, exponential->fit.aic);
+      std::printf("  weibull:     shape=%.3f scale=%.1fd  AIC=%.0f %s\n",
+                  weibull->shape, weibull->scale, weibull->fit.aic,
+                  weibull->fit.aic < exponential->fit.aic
+                      ? "(preferred by AIC)"
+                      : "");
+      std::printf("  shape %s 1: drop hazard %s with age\n",
+                  weibull->shape < 1.0 ? "<" : ">",
+                  weibull->shape < 1.0 ? "decreases" : "increases");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+// Google-benchmark microbenchmarks of the library's hot paths: region
+// simulation, store finalization, KM fitting, log-rank testing, feature
+// extraction, and random-forest training / inference.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/gbdt.h"
+#include "survival/cox.h"
+#include "survival/random_survival_forest.h"
+#include "core/cohort.h"
+#include "features/features.h"
+#include "ml/random_forest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "survival/kaplan_meier.h"
+#include "survival/logrank.h"
+
+namespace cloudsurv {
+namespace {
+
+const telemetry::TelemetryStore& CachedStore() {
+  static const telemetry::TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, 800, 3);
+    auto s = simulator::SimulateRegion(*config);
+    return new telemetry::TelemetryStore(std::move(s).value());
+  }();
+  return *store;
+}
+
+survival::SurvivalData RandomSurvival(size_t n) {
+  Rng rng(n);
+  std::vector<survival::Observation> obs(n);
+  for (auto& o : obs) {
+    o.duration = rng.Weibull(1.1, 20.0);
+    o.observed = rng.Uniform() < 0.7;
+  }
+  return std::move(survival::SurvivalData::Make(std::move(obs))).value();
+}
+
+void BM_SimulateRegion(benchmark::State& state) {
+  const size_t subs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto config = simulator::MakeRegionPreset(1, subs, 3);
+    auto store = simulator::SimulateRegion(*config);
+    benchmark::DoNotOptimize(store->num_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(subs));
+}
+BENCHMARK(BM_SimulateRegion)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_KaplanMeierFit(benchmark::State& state) {
+  const auto data = RandomSurvival(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto km = survival::KaplanMeierCurve::Fit(data);
+    benchmark::DoNotOptimize(km->steps().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KaplanMeierFit)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LogRankTest(benchmark::State& state) {
+  const auto a = RandomSurvival(static_cast<size_t>(state.range(0)));
+  const auto b = RandomSurvival(static_cast<size_t>(state.range(0)) + 1);
+  for (auto _ : state) {
+    auto result = survival::LogRankTest(a, b);
+    benchmark::DoNotOptimize(result->p_value);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_LogRankTest)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& store = CachedStore();
+  auto cohort = core::BuildPredictionCohort(store, 2.0, 30.0);
+  features::FeatureConfig config;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto* record =
+        *store.FindDatabase(cohort->ids[i % cohort->ids.size()]);
+    auto row = features::ExtractFeatures(store, *record, config);
+    benchmark::DoNotOptimize(row->size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_BuildDataset(benchmark::State& state) {
+  const auto& store = CachedStore();
+  auto cohort = core::BuildPredictionCohort(store, 2.0, 30.0);
+  features::FeatureConfig config;
+  for (auto _ : state) {
+    auto dataset =
+        features::BuildDataset(store, cohort->ids, cohort->labels, config);
+    benchmark::DoNotOptimize(dataset->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cohort->ids.size()));
+}
+BENCHMARK(BM_BuildDataset);
+
+const ml::Dataset& CachedDataset() {
+  static const ml::Dataset* dataset = [] {
+    const auto& store = CachedStore();
+    auto cohort = core::BuildPredictionCohort(store, 2.0, 30.0);
+    features::FeatureConfig config;
+    auto d =
+        features::BuildDataset(store, cohort->ids, cohort->labels, config);
+    return new ml::Dataset(std::move(d).value());
+  }();
+  return *dataset;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto& dataset = CachedDataset();
+  ml::ForestParams params;
+  params.num_trees = static_cast<int>(state.range(0));
+  params.max_depth = 12;
+  for (auto _ : state) {
+    ml::RandomForestClassifier forest;
+    auto status = forest.Fit(dataset, params, 5);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.num_rows()));
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto& dataset = CachedDataset();
+  ml::ForestParams params;
+  params.num_trees = 60;
+  params.max_depth = 12;
+  static ml::RandomForestClassifier* forest = [&] {
+    auto* f = new ml::RandomForestClassifier();
+    (void)f->Fit(dataset, params, 5);
+    return f;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest->Predict(dataset.row(i)));
+    i = (i + 1) % dataset.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const auto& dataset = CachedDataset();
+  ml::GbdtParams params;
+  params.num_rounds = static_cast<int>(state.range(0));
+  params.max_depth = 4;
+  for (auto _ : state) {
+    ml::GradientBoostedTreesClassifier model;
+    auto status = model.Fit(dataset, params, 5);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.num_rows()));
+}
+BENCHMARK(BM_GbdtFit)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_CoxFit(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<survival::CovariateObservation> data(n);
+  for (auto& obs : data) {
+    obs.covariates = {rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                      rng.Uniform(-1, 1)};
+    obs.duration = rng.Exponential(0.1 * std::exp(obs.covariates[0]));
+    obs.observed = rng.Uniform() < 0.8;
+  }
+  for (auto _ : state) {
+    auto model = survival::CoxModel::Fit(data, {"a", "b", "c"});
+    benchmark::DoNotOptimize(model->log_likelihood());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoxFit)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_SurvivalForestFit(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<survival::CovariateObservation> data(n);
+  for (auto& obs : data) {
+    obs.covariates = {rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                      rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    obs.duration = rng.Exponential(0.1 * std::exp(obs.covariates[0]));
+    obs.observed = rng.Uniform() < 0.8;
+  }
+  survival::SurvivalForestParams params;
+  params.num_trees = 40;
+  params.max_depth = 6;
+  for (auto _ : state) {
+    survival::RandomSurvivalForest forest;
+    auto status = forest.Fit(data, {"a", "b", "c", "d"}, params, 2);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SurvivalForestFit)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_StoreCsvRoundTrip(benchmark::State& state) {
+  const auto& store = CachedStore();
+  for (auto _ : state) {
+    const std::string csv = store.ExportCsv();
+    auto imported = telemetry::TelemetryStore::ImportCsv(
+        csv, "R", 0, {}, store.window_start(), store.window_end());
+    benchmark::DoNotOptimize(imported->num_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.num_events()));
+  state.SetLabel(std::to_string(store.num_events()) + " events");
+}
+BENCHMARK(BM_StoreCsvRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cloudsurv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Extension: random survival forest — instead of the paper's fixed
+// "x=2/y=30" binary question, predict each database's full survival
+// curve S(t | x) from day-2 features, answering every ">t days?"
+// question at once. Compares ranking quality (concordance) against the
+// Cox model and the induced 30-day classifier against the paper's
+// random-forest numbers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cohort.h"
+#include "features/features.h"
+#include "survival/cox.h"
+#include "survival/random_survival_forest.h"
+
+using namespace cloudsurv;
+
+namespace {
+
+// Day-2 feature vector reduced to the covariates both models share.
+survival::CovariateObservation MakeObservation(
+    const telemetry::TelemetryStore& store,
+    const telemetry::DatabaseRecord& record) {
+  survival::CovariateObservation obs;
+  obs.duration = record.ObservedLifespanDays(store.window_end());
+  obs.observed = record.dropped_at.has_value();
+  const auto creation = features::CreationTimeFeatures(store, record);
+  const auto name = features::NameShapeFeatures(record.database_name);
+  const auto history = features::SubscriptionHistoryFeatures(
+      store, record, record.created_at + 2 * telemetry::kSecondsPerDay);
+  const auto size = features::SizeFeatures(
+      record, record.created_at + 2 * telemetry::kSecondsPerDay);
+  obs.covariates = {
+      static_cast<double>(record.initial_edition()),
+      creation[0],            // day of week
+      creation[4],            // hour
+      name[0],                // name length
+      name[3],                // letters+digits
+      history[1],             // prior sibling count
+      history[16],            // min sibling lifespan
+      history[18],            // std sibling lifespan
+      size[4],                // relative size change over 2 days
+  };
+  return obs;
+}
+
+const std::vector<std::string> kCovariateNames = {
+    "edition",        "create_dow",     "create_hour",
+    "name_length",    "name_digits",    "prior_dbs",
+    "sib_min_life",   "sib_std_life",   "size_rel_change",
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension: random survival forest - full lifespan curves");
+  auto stores = bench::SimulateStudyRegions();
+  const auto& store = stores[0];
+
+  // Day-2 cohort (alive at x=2, like the paper's task, but with the
+  // full censored duration as the target).
+  std::vector<survival::CovariateObservation> train, test;
+  size_t count = 0;
+  for (const auto& record : store.databases()) {
+    if (record.ObservedLifespanDays(store.window_end()) < 2.0) continue;
+    auto obs = MakeObservation(store, record);
+    ((count++ % 5 == 0) ? test : train).push_back(std::move(obs));
+  }
+  std::printf("cohort: %zu train / %zu test databases (alive at day 2)\n\n",
+              train.size(), test.size());
+
+  survival::SurvivalForestParams params;
+  params.num_trees = 80;
+  params.max_depth = 8;
+  params.min_samples_leaf = 25;
+  params.horizon_days = 150.0;
+  params.grid_points = 76;
+  survival::RandomSurvivalForest forest;
+  if (!forest.Fit(train, kCovariateNames, params, 13).ok()) return 1;
+
+  auto cox = survival::CoxModel::Fit(train, kCovariateNames);
+
+  std::printf("ranking quality (test-set concordance index):\n");
+  std::printf("  random survival forest: %.3f\n",
+              forest.ConcordanceIndex(test));
+  if (cox.ok()) {
+    std::printf("  Cox proportional hazards: %.3f\n",
+                cox->ConcordanceIndex(test));
+  }
+
+  // Induced 30-day classifier vs known outcomes.
+  size_t correct = 0, total = 0;
+  for (const auto& obs : test) {
+    const bool known_long = obs.duration > 30.0;
+    const bool known_short = obs.observed && obs.duration <= 30.0;
+    if (!known_long && !known_short) continue;
+    const bool predicted_long =
+        forest.PredictSurvival(obs.covariates, 30.0) > 0.5;
+    if (predicted_long == known_long) ++correct;
+    ++total;
+  }
+  std::printf("\ninduced 30-day classifier accuracy: %.3f on %zu "
+              "known-outcome databases (paper's dedicated binary forest: "
+              "~0.80; one model here answers every horizon)\n",
+              static_cast<double>(correct) / static_cast<double>(total),
+              total);
+
+  std::printf("\nsplit importances:\n");
+  for (size_t f = 0; f < kCovariateNames.size(); ++f) {
+    std::printf("  %-16s %.3f\n", kCovariateNames[f].c_str(),
+                forest.feature_importances()[f]);
+  }
+
+  // Representative profiles: an automated churn-looking database vs a
+  // human business-hours production database with long-lived siblings.
+  survival::CovariateObservation churny;
+  churny.covariates = {1.0, 6.0, 3.0, 22.0, 1.0, 20.0, 0.5, 0.2, 0.0};
+  survival::CovariateObservation steady;
+  steady.covariates = {1.0, 2.0, 10.0, 6.0, 0.0, 2.0, 45.0, 5.0, 0.15};
+  std::printf("\npredicted survival curves:\n");
+  std::printf("%6s %18s %18s\n", "day", "automated-churny",
+              "human-production");
+  for (double day : {2.0, 7.0, 14.0, 30.0, 60.0, 90.0, 120.0}) {
+    std::printf("%6.0f %18.3f %18.3f\n", day,
+                forest.PredictSurvival(churny.covariates, day),
+                forest.PredictSurvival(steady.covariates, day));
+  }
+  std::printf("\npredicted median lifetimes: churny=%.0f days, "
+              "production=%.0f days\n",
+              forest.PredictMedian(churny.covariates),
+              forest.PredictMedian(steady.covariates));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 1: percentage of confident vs uncertain predictions
+// per (region, edition) subgroup. Paper shape: Standard is nearly all
+// confident (balanced classes -> low threshold), Basic and Premium
+// retain a substantial uncertain share.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace cloudsurv;
+
+int main() {
+  bench::PrintHeader("Table 1: confident vs uncertain prediction shares");
+  auto stores = bench::SimulateStudyRegions();
+  auto results = bench::RunAllSubgroups(stores, /*tune=*/false);
+
+  std::printf("%-9s %-10s %11s %11s\n", "edition", "region", "confident",
+              "uncertain");
+  // Paper groups rows by edition, then region.
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t region = 0; region < 3; ++region) {
+      const auto& r = results[region * 3 + e];
+      std::printf("%-9s %-10s %10.0f%% %10.0f%%\n", r.subgroup_name.c_str(),
+                  r.region_name.c_str(), r.confident_fraction_avg * 100.0,
+                  (1.0 - r.confident_fraction_avg) * 100.0);
+    }
+  }
+
+  std::printf("\nper-edition average confident share:\n");
+  for (size_t e = 0; e < 3; ++e) {
+    double total = 0.0;
+    for (size_t region = 0; region < 3; ++region) {
+      total += results[region * 3 + e].confident_fraction_avg;
+    }
+    std::printf("  %-9s %.1f%%\n", results[e].subgroup_name.c_str(),
+                total / 3.0 * 100.0);
+  }
+  return 0;
+}

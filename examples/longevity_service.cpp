@@ -1,0 +1,105 @@
+// Example: deploying the pipeline as a service — train on one region's
+// history, persist the models, reload them, and score fresh databases
+// from another region the way a provisioning controller would.
+//
+//   ./build/examples/longevity_service
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/service.h"
+#include "simulator/simulator.h"
+
+using namespace cloudsurv;
+
+int main() {
+  // 1. Train on historical telemetry.
+  auto history_config = simulator::MakeRegionPreset(1, 1200, 55);
+  auto history = simulator::SimulateRegion(*history_config);
+  if (!history.ok()) {
+    std::cerr << history.status() << "\n";
+    return 1;
+  }
+  auto service = core::LongevityService::Train(*history);
+  if (!service.ok()) {
+    std::cerr << "training failed: " << service.status() << "\n";
+    return 1;
+  }
+  std::printf("trained on %zu databases; per-edition models: "
+              "Basic=%s Standard=%s Premium=%s\n",
+              history->num_databases(),
+              service->HasEditionModel(telemetry::Edition::kBasic) ? "yes"
+                                                                   : "no",
+              service->HasEditionModel(telemetry::Edition::kStandard)
+                  ? "yes"
+                  : "no",
+              service->HasEditionModel(telemetry::Edition::kPremium)
+                  ? "yes"
+                  : "no");
+
+  // 2. Persist and reload, as a controller restart would.
+  const std::string blob = service->Save();
+  auto reloaded = core::LongevityService::Load(blob);
+  if (!reloaded.ok()) {
+    std::cerr << "reload failed: " << reloaded.status() << "\n";
+    return 1;
+  }
+  std::printf("persisted service: %zu bytes; reload OK\n\n", blob.size());
+
+  // 3. Score live databases from a different region.
+  auto live_config = simulator::MakeRegionPreset(2, 300, 66);
+  auto live = simulator::SimulateRegion(*live_config);
+  if (!live.ok()) {
+    std::cerr << live.status() << "\n";
+    return 1;
+  }
+  std::printf("%-26s %-8s %7s %-9s %-8s  actual\n", "database", "edition",
+              "p(long)", "decision", "pool");
+  int shown = 0;
+  size_t agree = 0, scored = 0;
+  for (const auto& record : live->databases()) {
+    const double observed =
+        record.ObservedLifespanDays(live->window_end());
+    if (observed < 2.0) continue;
+    auto assessment = reloaded->Assess(*live, record.id);
+    if (!assessment.ok()) continue;
+    ++scored;
+    const bool actually_long = observed > 30.0;
+    const bool label_known =
+        actually_long || record.dropped_at.has_value();
+    if (label_known &&
+        (assessment->predicted_label == 1) == actually_long) {
+      ++agree;
+    }
+    if (shown < 10) {
+      std::printf("%-26s %-8s %7.2f %-9s %-8s  %s%.0fd\n",
+                  record.database_name.c_str(),
+                  telemetry::EditionToString(record.initial_edition()),
+                  assessment->positive_probability,
+                  assessment->confident
+                      ? (assessment->predicted_label ? "long" : "short")
+                      : "uncertain",
+                  core::PoolToString(assessment->recommended_pool),
+                  record.dropped_at ? "lived " : "alive ",
+                  observed);
+      ++shown;
+    }
+  }
+  std::printf("\nscored %zu live databases; %.0f%% of known-outcome "
+              "predictions correct (cross-region)\n",
+              scored,
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(scored));
+
+  // 4. Bulk placement plan for the live region.
+  auto plan = reloaded->PlanPlacements(*live);
+  if (plan.ok()) {
+    size_t churn = 0, stable = 0;
+    for (const auto& [id, pool] : plan->pools) {
+      (pool == core::Pool::kChurn ? churn : stable) += 1;
+    }
+    std::printf("placement plan: %zu -> churn pool, %zu -> stable pool\n",
+                churn, stable);
+  }
+  return 0;
+}

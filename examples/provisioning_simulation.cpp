@@ -1,0 +1,76 @@
+// Example: closing the loop of Section 3.1 — use confident lifespan
+// predictions to drive tenant placement (churn / stable / general
+// pools) and replay the window to quantify the operational savings.
+//
+//   ./build/examples/provisioning_simulation
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/prediction.h"
+#include "core/provisioning.h"
+#include "simulator/simulator.h"
+
+using namespace cloudsurv;
+
+int main() {
+  auto config = simulator::MakeRegionPreset(3, 1200, 99);
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) {
+    std::cerr << store.status() << "\n";
+    return 1;
+  }
+
+  // Classify every edition subgroup and keep only confident calls.
+  core::ExperimentConfig experiment;
+  experiment.tune_with_grid_search = false;
+  experiment.default_params.num_trees = 80;
+  experiment.default_params.max_depth = 14;
+  experiment.num_repetitions = 1;
+  experiment.seed = 4;
+
+  core::PoolAssignmentPlan plan;
+  size_t churn = 0, stable = 0;
+  for (auto edition :
+       {telemetry::Edition::kBasic, telemetry::Edition::kStandard,
+        telemetry::Edition::kPremium}) {
+    auto result = core::RunPredictionExperiment(*store, edition, experiment);
+    if (!result.ok()) continue;
+    const auto partial =
+        core::PlanFromPredictions(result->runs.front().outcomes);
+    for (const auto& [id, pool] : partial.pools) {
+      plan.pools[id] = pool;
+      (pool == core::Pool::kChurn ? churn : stable) += 1;
+    }
+  }
+  std::printf("placement plan: %zu to churn pool, %zu to stable pool, "
+              "rest stay general\n\n",
+              churn, stable);
+
+  // Replay with and without the plan under a few policy settings.
+  for (double interval : {15.0, 30.0, 60.0}) {
+    core::ProvisioningPolicyConfig policy;
+    policy.maintenance_interval_days = interval;
+    auto baseline = core::SimulateProvisioning(*store, {}, policy);
+    auto guided = core::SimulateProvisioning(*store, plan, policy);
+    if (!baseline.ok() || !guided.ok()) continue;
+    std::printf("maintenance every %.0f days:\n", interval);
+    std::printf("  baseline: %s\n", baseline->ToString().c_str());
+    std::printf("  guided:   %s\n", guided->ToString().c_str());
+    const double saved =
+        static_cast<double>(baseline->disruptions - guided->disruptions) /
+        static_cast<double>(baseline->disruptions) * 100.0;
+    std::printf("  -> %.1f%% fewer tenant disruptions, %.0f%% less "
+                "lifecycle/SLO contention\n\n",
+                saved,
+                (1.0 - guided->contention_score /
+                           baseline->contention_score) *
+                    100.0);
+  }
+  std::printf("(only ~a fifth of databases are placed here — those in "
+              "the held-out test split with confident predictions; a "
+              "production deployment classifies every database at day "
+              "2, approaching the oracle numbers in "
+              "bench/provisioning_policy.)\n");
+  return 0;
+}

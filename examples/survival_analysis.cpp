@@ -1,0 +1,101 @@
+// Example: survival analysis of a simulated region, the way Section 3
+// of the paper studies Azure SQL DB — KM curves for subpopulations,
+// life tables, hazard inspection, and log-rank comparisons.
+//
+//   ./build/examples/survival_analysis
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/cohort.h"
+#include "core/report.h"
+#include "simulator/simulator.h"
+#include "survival/kaplan_meier.h"
+#include "survival/life_table.h"
+#include "survival/logrank.h"
+#include "survival/nelson_aalen.h"
+
+using namespace cloudsurv;
+
+int main() {
+  auto config = simulator::MakeRegionPreset(2, 1500, 7);
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) {
+    std::cerr << store.status() << "\n";
+    return 1;
+  }
+  std::printf("region %s: %zu databases over %.0f days\n\n",
+              store->region_name().c_str(), store->num_databases(),
+              config->window_days());
+
+  // --- KM curves per edition, with confidence intervals.
+  for (auto edition :
+       {telemetry::Edition::kBasic, telemetry::Edition::kStandard,
+        telemetry::Edition::kPremium}) {
+    core::CohortFilter filter;
+    filter.edition = edition;
+    auto data = core::CohortSurvivalData(*store, filter);
+    if (!data.ok()) continue;
+    auto km = survival::KaplanMeierCurve::Fit(*data);
+    if (!km.ok()) continue;
+    const auto median = km->MedianTime();
+    std::printf("%-9s n=%5zu  S(30)=%.3f [%.3f median %s]  rmean(90)=%.1f\n",
+                telemetry::EditionToString(edition), data->size(),
+                km->SurvivalAt(30.0), km->SurvivalAt(60.0),
+                median ? (std::to_string(*median) + "d").c_str() : "n/a",
+                km->RestrictedMean(90.0));
+  }
+
+  // --- Log-rank: do Basic and Premium really differ?
+  core::CohortFilter basic_filter, premium_filter;
+  basic_filter.edition = telemetry::Edition::kBasic;
+  premium_filter.edition = telemetry::Edition::kPremium;
+  auto basic = core::CohortSurvivalData(*store, basic_filter);
+  auto premium = core::CohortSurvivalData(*store, premium_filter);
+  if (basic.ok() && premium.ok()) {
+    for (auto [weighting, label] :
+         {std::pair{survival::LogRankWeighting::kLogRank, "log-rank"},
+          std::pair{survival::LogRankWeighting::kWilcoxon, "Wilcoxon"},
+          std::pair{survival::LogRankWeighting::kPetoPeto, "Peto-Peto"}}) {
+      auto test = survival::LogRankTest(*basic, *premium, weighting);
+      if (!test.ok()) continue;
+      std::printf("Basic vs Premium %-9s chi2=%7.1f  p %s\n", label,
+                  test->statistic,
+                  core::FormatPValue(test->p_value).c_str());
+    }
+  }
+
+  // --- Weekly life table of the whole 2-day-minimum population.
+  auto all = core::CohortSurvivalData(*store, core::CohortFilter{});
+  if (all.ok()) {
+    auto table = survival::LifeTable::Build(*all, 7.0, 140.0);
+    if (table.ok()) {
+      std::printf("\nweekly life table (first 10 rows):\n");
+      std::string text = table->ToText();
+      size_t pos = 0;
+      for (int line = 0; line < 11 && pos != std::string::npos; ++line) {
+        const size_t next = text.find('\n', pos);
+        std::printf("%s\n", text.substr(pos, next - pos).c_str());
+        pos = next == std::string::npos ? next : next + 1;
+      }
+    }
+
+    // --- Where does drop hazard spike? (The incentive-expiry cliff.)
+    auto na = survival::NelsonAalenCurve::Fit(*all);
+    if (na.ok()) {
+      std::printf("\nsmoothed hazard by day:\n");
+      double peak_day = 0.0, peak_hazard = 0.0;
+      for (double day = 5.0; day <= 140.0; day += 5.0) {
+        const double h = na->SmoothedHazard(day, 2.5);
+        if (h > peak_hazard && day > 50.0) {
+          peak_hazard = h;
+          peak_day = day;
+        }
+      }
+      std::printf("  late-life hazard peaks near day %.0f "
+                  "(%.4f/day) - incentive-expiry churn\n",
+                  peak_day, peak_hazard);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#ifndef CLOUDSURV_COMMON_RNG_H_
+#define CLOUDSURV_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace cloudsurv {
+
+/// Deterministic pseudo-random source. Every stochastic component in the
+/// library takes an explicit seed; nothing reads the wall clock or
+/// std::random_device, so any run is exactly reproducible from its seed.
+///
+/// The engine is std::mt19937_64 whose seed is pre-mixed with SplitMix64
+/// so that adjacent integer seeds (0, 1, 2, ...) produce uncorrelated
+/// streams.
+class Rng {
+ public:
+  /// Constructs a generator for the given seed. Equal seeds yield equal
+  /// streams.
+  explicit Rng(uint64_t seed) : engine_(Mix(seed)), seed_base_(seed) {}
+
+  /// Derives an independent child generator. Useful for giving each
+  /// simulated entity (subscription, database) its own stream so that
+  /// adding entities does not perturb the draws of existing ones.
+  Rng Fork(uint64_t salt) const {
+    return Rng(Mix(seed_base_ ^ (salt * 0x9E3779B97F4A7C15ULL)));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Standard normal draw scaled to (mean, stddev).
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Lognormal draw with the given log-space parameters.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential draw with the given rate (lambda).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Weibull draw with shape k and scale lambda.
+  double Weibull(double shape, double scale) {
+    return std::weibull_distribution<double>(shape, scale)(engine_);
+  }
+
+  /// Poisson draw with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Access to the underlying engine for std::shuffle and
+  /// std::*_distribution interop.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // SplitMix64 finalizer; decorrelates nearby seeds.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  uint64_t seed_base_ = 0;
+};
+
+}  // namespace cloudsurv
+
+#endif  // CLOUDSURV_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef CLOUDSURV_COMMON_STRING_UTIL_H_
+#define CLOUDSURV_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudsurv {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// ASCII lower-case copy.
+std::string ToLowerAscii(std::string_view input);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace cloudsurv
+
+#endif  // CLOUDSURV_COMMON_STRING_UTIL_H_

@@ -1,0 +1,249 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::core {
+
+namespace {
+
+using telemetry::SloLadder;
+using telemetry::Timestamp;
+
+enum class ReplayEventKind { kRelease = 0, kResize = 1, kPlace = 2 };
+
+struct ReplayEvent {
+  Timestamp ts;
+  ReplayEventKind kind;
+  telemetry::DatabaseId db;
+  int dtus = 0;       ///< For kPlace: initial DTUs. For kResize: new DTUs.
+  Pool pool = Pool::kGeneral;
+};
+
+struct Server {
+  int free_dtus = 0;
+  int tenants = 0;
+  bool churn_cluster = false;
+};
+
+}  // namespace
+
+std::string PlacementReport::ToString() const {
+  return "placements=" + std::to_string(placements) +
+         " rejected=" + std::to_string(rejected) +
+         " servers_used=" + std::to_string(servers_used) +
+         " peak_active=" + std::to_string(peak_active_servers) +
+         " peak_dtus=" + std::to_string(peak_occupied_dtus) +
+         " packing_overhead=" + FormatDouble(packing_overhead, 3) +
+         " mean_fragmentation=" + FormatDouble(mean_fragmentation, 3);
+}
+
+Result<PlacementReport> SimulatePlacement(
+    const telemetry::TelemetryStore& store, const PoolAssignmentPlan& plan,
+    const ClusterConfig& config) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("store is not finalized");
+  }
+  if (config.server_capacity_dtus <= 0) {
+    return Status::InvalidArgument("server capacity must be positive");
+  }
+
+  // Build the replay stream.
+  std::vector<ReplayEvent> events;
+  for (const auto& record : store.databases()) {
+    const Pool pool = plan.PoolOf(record.id);
+    ReplayEvent place;
+    place.ts = record.created_at;
+    place.kind = ReplayEventKind::kPlace;
+    place.db = record.id;
+    place.dtus = SloLadder()[record.initial_slo_index].dtus;
+    place.pool = pool;
+    events.push_back(place);
+    for (const auto& change : record.slo_changes) {
+      if (change.timestamp >= store.window_end()) continue;
+      ReplayEvent resize;
+      resize.ts = change.timestamp;
+      resize.kind = ReplayEventKind::kResize;
+      resize.db = record.id;
+      resize.dtus = SloLadder()[change.new_slo_index].dtus;
+      events.push_back(resize);
+    }
+    const Timestamp end = record.dropped_at.has_value()
+                              ? std::min(*record.dropped_at,
+                                         store.window_end())
+                              : store.window_end();
+    ReplayEvent release;
+    release.ts = end;
+    release.kind = ReplayEventKind::kRelease;
+    release.db = record.id;
+    events.push_back(release);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ReplayEvent& a, const ReplayEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.db == b.db) {
+                // One database's own lifecycle stays in causal order:
+                // place, then resize, then release (zero-lifetime
+                // databases drop in the second they are created).
+                return static_cast<int>(a.kind) >
+                       static_cast<int>(b.kind);
+              }
+              // Across databases, free capacity before placing.
+              if (a.kind != b.kind) {
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              }
+              return a.db < b.db;
+            });
+
+  std::vector<Server> servers;
+  // db -> (server index, occupied dtus); flat map keyed by database id.
+  std::unordered_map<telemetry::DatabaseId, std::pair<size_t, int>> placed;
+
+  PlacementReport report;
+  int64_t occupied = 0;
+  size_t active_servers = 0;
+  double frag_weighted_sum = 0.0;
+  int64_t frag_time = 0;
+  Timestamp prev_ts = store.window_start();
+
+  auto ideal_servers = [&](int64_t dtus) {
+    return static_cast<size_t>(
+        (dtus + config.server_capacity_dtus - 1) /
+        config.server_capacity_dtus);
+  };
+
+  for (const ReplayEvent& event : events) {
+    // Accumulate time-weighted fragmentation over [prev_ts, event.ts).
+    if (event.ts > prev_ts && active_servers > 0) {
+      const double capacity_total =
+          static_cast<double>(active_servers) *
+          static_cast<double>(config.server_capacity_dtus);
+      const double frag =
+          (capacity_total - static_cast<double>(occupied)) / capacity_total;
+      frag_weighted_sum += frag * static_cast<double>(event.ts - prev_ts);
+      frag_time += event.ts - prev_ts;
+    }
+    prev_ts = std::max(prev_ts, event.ts);
+
+    switch (event.kind) {
+      case ReplayEventKind::kPlace: {
+        if (event.dtus > config.server_capacity_dtus) {
+          ++report.rejected;
+          break;
+        }
+        const bool want_churn_cluster =
+            config.segregate_churn_pool && event.pool == Pool::kChurn;
+        size_t chosen = servers.size();
+        for (size_t s = 0; s < servers.size(); ++s) {
+          if (servers[s].churn_cluster != want_churn_cluster) continue;
+          if (servers[s].free_dtus >= event.dtus) {
+            chosen = s;
+            break;
+          }
+        }
+        if (chosen == servers.size()) {
+          Server fresh;
+          fresh.free_dtus = config.server_capacity_dtus;
+          fresh.churn_cluster = want_churn_cluster;
+          servers.push_back(fresh);
+          ++report.servers_used;
+        }
+        Server& server = servers[chosen];
+        if (server.tenants == 0) ++active_servers;
+        server.free_dtus -= event.dtus;
+        server.tenants += 1;
+        occupied += event.dtus;
+        placed[event.db] = {chosen, event.dtus};
+        ++report.placements;
+        break;
+      }
+      case ReplayEventKind::kResize: {
+        auto it = placed.find(event.db);
+        if (it == placed.end()) break;
+        auto& [server_index, dtus] = it->second;
+        Server& server = servers[server_index];
+        const int delta = event.dtus - dtus;
+        // A grow that no longer fits forces a move to another server.
+        if (delta > 0 && server.free_dtus < delta) {
+          server.free_dtus += dtus;
+          server.tenants -= 1;
+          if (server.tenants == 0) --active_servers;
+          occupied -= dtus;
+          placed.erase(it);
+          if (event.dtus > config.server_capacity_dtus) {
+            // The tenant outgrew any server; it can no longer be
+            // hosted on this cluster tier.
+            ++report.rejected;
+            break;
+          }
+          ReplayEvent replace = event;
+          replace.kind = ReplayEventKind::kPlace;
+          replace.pool = plan.PoolOf(event.db);
+          // Re-run the placement logic inline.
+          const bool want_churn_cluster =
+              config.segregate_churn_pool && replace.pool == Pool::kChurn;
+          size_t chosen = servers.size();
+          for (size_t s = 0; s < servers.size(); ++s) {
+            if (servers[s].churn_cluster != want_churn_cluster) continue;
+            if (servers[s].free_dtus >= replace.dtus) {
+              chosen = s;
+              break;
+            }
+          }
+          if (chosen == servers.size()) {
+            Server fresh;
+            fresh.free_dtus = config.server_capacity_dtus;
+            fresh.churn_cluster = want_churn_cluster;
+            servers.push_back(fresh);
+            ++report.servers_used;
+          }
+          Server& target = servers[chosen];
+          if (target.tenants == 0) ++active_servers;
+          target.free_dtus -= replace.dtus;
+          target.tenants += 1;
+          occupied += replace.dtus;
+          placed[event.db] = {chosen, replace.dtus};
+        } else {
+          server.free_dtus -= delta;
+          occupied += delta;
+          dtus = event.dtus;
+        }
+        break;
+      }
+      case ReplayEventKind::kRelease: {
+        auto it = placed.find(event.db);
+        if (it == placed.end()) break;
+        Server& server = servers[it->second.first];
+        server.free_dtus += it->second.second;
+        server.tenants -= 1;
+        if (server.tenants == 0) --active_servers;
+        occupied -= it->second.second;
+        placed.erase(it);
+        break;
+      }
+    }
+
+    if (active_servers > report.peak_active_servers) {
+      report.peak_active_servers = active_servers;
+      // Packing quality at the moment the fleet is largest: how many
+      // servers are open vs the bin-packing lower bound for the same
+      // occupancy.
+      report.packing_overhead =
+          occupied > 0 ? static_cast<double>(active_servers) /
+                             static_cast<double>(ideal_servers(occupied))
+                       : 1.0;
+    }
+    report.peak_occupied_dtus =
+        std::max(report.peak_occupied_dtus, occupied);
+  }
+  report.mean_fragmentation =
+      frag_time > 0 ? frag_weighted_sum / static_cast<double>(frag_time)
+                    : 0.0;
+  return report;
+}
+
+}  // namespace cloudsurv::core

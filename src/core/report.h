@@ -1,0 +1,45 @@
+#ifndef CLOUDSURV_CORE_REPORT_H_
+#define CLOUDSURV_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prediction.h"
+#include "survival/kaplan_meier.h"
+
+namespace cloudsurv::core {
+
+/// Renders a KM curve as "day<TAB>S(day)" rows on an integer day grid
+/// [0, max_day], one row per `stride` days — the data behind the
+/// paper's figures, ready to paste into a plotting tool.
+std::string KmCurveSeries(const survival::KaplanMeierCurve& curve,
+                          int max_day, int stride = 5);
+
+/// Renders several labelled curves side by side:
+/// "day<TAB>label1<TAB>label2..." on a shared grid.
+std::string KmCurveSeriesMulti(
+    const std::vector<std::pair<std::string, survival::KaplanMeierCurve>>&
+        curves,
+    int max_day, int stride = 5);
+
+/// Renders one KM curve as an ASCII plot (survival on the y axis).
+std::string KmCurveAsciiPlot(const survival::KaplanMeierCurve& curve,
+                             int max_day, int height = 12, int width = 60);
+
+/// "accuracy precision recall" row pair for forest vs baseline,
+/// matching one Figure 5 panel.
+std::string ScoreComparisonRow(const std::string& label,
+                               const ml::ClassificationScores& forest,
+                               const ml::ClassificationScores& baseline);
+
+/// Four-way row (all/confident/uncertain/baseline) matching one
+/// Figure 7 panel.
+std::string ConfidenceComparisonRow(const SubgroupExperimentResult& result);
+
+/// Formats a p-value the way the paper reports them ("< 0.0000001" for
+/// tiny values, fixed decimals otherwise).
+std::string FormatPValue(double p);
+
+}  // namespace cloudsurv::core
+
+#endif  // CLOUDSURV_CORE_REPORT_H_

@@ -1,0 +1,225 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/cohort.h"
+
+namespace cloudsurv::core {
+
+namespace {
+
+using telemetry::Edition;
+using telemetry::TelemetryStore;
+
+Result<std::pair<ml::RandomForestClassifier, double>> TrainOne(
+    const TelemetryStore& history, std::optional<Edition> edition,
+    const LongevityService::Options& options) {
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      PredictionCohort cohort,
+      BuildPredictionCohort(history, options.observe_days,
+                            options.long_threshold_days, edition));
+  if (cohort.ids.size() < options.min_cohort_size) {
+    return Status::FailedPrecondition("cohort too small");
+  }
+  features::FeatureConfig feature_config = options.feature_config;
+  feature_config.observation_days = options.observe_days;
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      ml::Dataset dataset,
+      features::BuildDataset(history, cohort.ids, cohort.labels,
+                             feature_config));
+  const double q = dataset.ClassFraction(1);
+  if (q == 0.0 || q == 1.0) {
+    return Status::FailedPrecondition("single-class cohort");
+  }
+  ml::RandomForestClassifier forest;
+  CLOUDSURV_RETURN_NOT_OK(
+      forest.Fit(dataset, options.forest_params, options.seed));
+  return std::make_pair(std::move(forest), std::max(q, 1.0 - q));
+}
+
+}  // namespace
+
+Result<LongevityService> LongevityService::Train(
+    const TelemetryStore& history, const Options& options) {
+  if (!history.finalized()) {
+    return Status::FailedPrecondition("history store is not finalized");
+  }
+  LongevityService service;
+  service.options_ = options;
+
+  // Pooled fallback first; it must exist.
+  auto pooled = TrainOne(history, std::nullopt, options);
+  if (!pooled.ok()) {
+    return Status::FailedPrecondition(
+        "cannot train pooled model: " + pooled.status().message());
+  }
+  service.pooled_model_.present = true;
+  service.pooled_model_.forest = std::move(pooled->first);
+  service.pooled_model_.threshold = pooled->second;
+
+  for (int e = 0; e < telemetry::kNumEditions; ++e) {
+    auto slot = TrainOne(history, static_cast<Edition>(e), options);
+    if (!slot.ok()) continue;  // fall back to pooled for this edition
+    auto& model = service.edition_models_[static_cast<size_t>(e)];
+    model.present = true;
+    model.forest = std::move(slot->first);
+    model.threshold = slot->second;
+  }
+  return service;
+}
+
+const LongevityService::ModelSlot& LongevityService::SlotFor(
+    Edition edition) const {
+  const ModelSlot& slot =
+      edition_models_[static_cast<size_t>(edition)];
+  return slot.present ? slot : pooled_model_;
+}
+
+bool LongevityService::HasEditionModel(Edition edition) const {
+  return edition_models_[static_cast<size_t>(edition)].present;
+}
+
+Result<LongevityService::Assessment> LongevityService::Assess(
+    const TelemetryStore& store, telemetry::DatabaseId id) const {
+  if (!pooled_model_.present) {
+    return Status::FailedPrecondition("service is not trained");
+  }
+  CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord* record,
+                             store.FindDatabase(id));
+  features::FeatureConfig feature_config = options_.feature_config;
+  feature_config.observation_days = options_.observe_days;
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      std::vector<double> row,
+      features::ExtractFeatures(store, *record, feature_config));
+
+  const Edition edition = record->initial_edition();
+  const ModelSlot& slot = SlotFor(edition);
+  Assessment assessment;
+  assessment.model_name =
+      &slot == &pooled_model_ ? "pooled"
+                              : telemetry::EditionToString(edition);
+  assessment.positive_probability = slot.forest.PredictProba(row)[1];
+  assessment.predicted_label =
+      assessment.positive_probability > 0.5 ? 1 : 0;
+  assessment.confidence_threshold = slot.threshold;
+  assessment.confident =
+      assessment.positive_probability >= slot.threshold ||
+      assessment.positive_probability <= 1.0 - slot.threshold;
+  if (assessment.confident) {
+    assessment.recommended_pool =
+        assessment.predicted_label == 1 ? Pool::kStable : Pool::kChurn;
+  } else {
+    assessment.recommended_pool = Pool::kGeneral;
+  }
+  return assessment;
+}
+
+Result<PoolAssignmentPlan> LongevityService::PlanPlacements(
+    const TelemetryStore& store) const {
+  PoolAssignmentPlan plan;
+  for (const telemetry::DatabaseRecord& record : store.databases()) {
+    const double observed =
+        record.ObservedLifespanDays(store.window_end());
+    if (observed < options_.observe_days) continue;
+    auto assessment = Assess(store, record.id);
+    if (!assessment.ok()) continue;
+    if (assessment->recommended_pool != Pool::kGeneral) {
+      plan.pools[record.id] = assessment->recommended_pool;
+    }
+  }
+  return plan;
+}
+
+std::string LongevityService::Save() const {
+  std::string out = "longevity_service v1\n";
+  out += "observe_days " + FormatDouble(options_.observe_days, 6) + "\n";
+  out += "long_threshold_days " +
+         FormatDouble(options_.long_threshold_days, 6) + "\n";
+  auto save_slot = [&out](const std::string& name, const ModelSlot& slot) {
+    if (!slot.present) return;
+    out += "model " + name + " " + FormatDouble(slot.threshold, 17) + "\n";
+    const std::string blob = slot.forest.Serialize();
+    out += "blob_bytes " + std::to_string(blob.size()) + "\n";
+    out += blob;
+  };
+  save_slot("pooled", pooled_model_);
+  for (int e = 0; e < telemetry::kNumEditions; ++e) {
+    save_slot(telemetry::EditionToString(static_cast<Edition>(e)),
+              edition_models_[static_cast<size_t>(e)]);
+  }
+  return out;
+}
+
+Result<LongevityService> LongevityService::Load(const std::string& text) {
+  LongevityService service;
+  size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= text.size()) return std::nullopt;
+    const size_t end = text.find('\n', pos);
+    std::string line = text.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? text.size() : end + 1;
+    return line;
+  };
+
+  auto header = next_line();
+  if (!header || *header != "longevity_service v1") {
+    return Status::InvalidArgument("unrecognized service format");
+  }
+  while (auto line = next_line()) {
+    std::istringstream is(*line);
+    std::string key;
+    is >> key;
+    if (key == "observe_days") {
+      is >> service.options_.observe_days;
+    } else if (key == "long_threshold_days") {
+      is >> service.options_.long_threshold_days;
+    } else if (key == "model") {
+      std::string name;
+      double threshold = 0.5;
+      if (!(is >> name >> threshold)) {
+        return Status::InvalidArgument("malformed model line");
+      }
+      auto size_line = next_line();
+      size_t blob_size = 0;
+      if (!size_line ||
+          std::sscanf(size_line->c_str(), "blob_bytes %zu", &blob_size) !=
+              1) {
+        return Status::InvalidArgument("missing blob size");
+      }
+      if (pos + blob_size > text.size()) {
+        return Status::InvalidArgument("truncated model blob");
+      }
+      const std::string blob = text.substr(pos, blob_size);
+      pos += blob_size;
+      CLOUDSURV_ASSIGN_OR_RETURN(
+          ml::RandomForestClassifier forest,
+          ml::RandomForestClassifier::Deserialize(blob));
+      ModelSlot* slot = nullptr;
+      if (name == "pooled") {
+        slot = &service.pooled_model_;
+      } else {
+        Edition edition;
+        if (!telemetry::EditionFromString(name, &edition)) {
+          return Status::InvalidArgument("unknown model name: " + name);
+        }
+        slot = &service.edition_models_[static_cast<size_t>(edition)];
+      }
+      slot->present = true;
+      slot->forest = std::move(forest);
+      slot->threshold = threshold;
+    } else if (key.empty()) {
+      continue;
+    } else {
+      return Status::InvalidArgument("unknown service key: " + key);
+    }
+  }
+  if (!service.pooled_model_.present) {
+    return Status::InvalidArgument("saved service lacks a pooled model");
+  }
+  return service;
+}
+
+}  // namespace cloudsurv::core

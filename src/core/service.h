@@ -1,0 +1,98 @@
+#ifndef CLOUDSURV_CORE_SERVICE_H_
+#define CLOUDSURV_CORE_SERVICE_H_
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "core/provisioning.h"
+#include "features/features.h"
+#include "ml/random_forest.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::core {
+
+/// End-to-end lifespan service — the deployable form of the paper's
+/// pipeline. Train() learns one random forest per creation edition from
+/// historical telemetry (plus a pooled fallback model); Assess() then
+/// scores any database that has completed its observation window and
+/// recommends a resource pool, acting only on confident predictions
+/// (sections 4, 5.3, 3.1).
+class LongevityService {
+ public:
+  struct Options {
+    double observe_days = 2.0;
+    double long_threshold_days = 30.0;
+    ml::ForestParams forest_params;
+    features::FeatureConfig feature_config;
+    /// Minimum labeled cohort size to train a per-edition model;
+    /// smaller editions fall back to the pooled model.
+    size_t min_cohort_size = 200;
+    uint64_t seed = 1;
+
+    Options() {
+      forest_params.num_trees = 80;
+      forest_params.max_depth = 14;
+    }
+  };
+
+  /// One scored database.
+  struct Assessment {
+    int predicted_label = 0;            ///< 1 = long-lived.
+    double positive_probability = 0.0;
+    bool confident = false;
+    double confidence_threshold = 0.5;  ///< t = max(q, 1-q) of the model.
+    Pool recommended_pool = Pool::kGeneral;
+    /// Which model scored it ("Basic", "Standard", "Premium", "pooled").
+    std::string model_name;
+  };
+
+  /// Trains the per-edition and pooled models on `history`. Fails if
+  /// even the pooled cohort is too small or single-class.
+  static Result<LongevityService> Train(
+      const telemetry::TelemetryStore& history, const Options& options =
+          Options());
+
+  /// Scores one database of `store` (typically live telemetry). The
+  /// database must have survived the observation window; features are
+  /// computed only from telemetry up to created_at + observe_days.
+  Result<Assessment> Assess(const telemetry::TelemetryStore& store,
+                            telemetry::DatabaseId id) const;
+
+  /// Scores every eligible database of `store` and returns a placement
+  /// plan over the confident ones.
+  Result<PoolAssignmentPlan> PlanPlacements(
+      const telemetry::TelemetryStore& store) const;
+
+  /// True iff a dedicated model exists for `edition` (otherwise the
+  /// pooled model serves it).
+  bool HasEditionModel(telemetry::Edition edition) const;
+
+  const Options& options() const { return options_; }
+
+  /// Persists all trained models and thresholds to text; exact
+  /// round trip via Load().
+  std::string Save() const;
+
+  /// Restores a service from Save() output.
+  static Result<LongevityService> Load(const std::string& text);
+
+ private:
+  LongevityService() = default;
+
+  struct ModelSlot {
+    bool present = false;
+    ml::RandomForestClassifier forest;
+    double threshold = 0.5;  ///< max(q, 1-q) from the training cohort.
+  };
+
+  const ModelSlot& SlotFor(telemetry::Edition edition) const;
+
+  Options options_;
+  std::array<ModelSlot, telemetry::kNumEditions> edition_models_;
+  ModelSlot pooled_model_;
+};
+
+}  // namespace cloudsurv::core
+
+#endif  // CLOUDSURV_CORE_SERVICE_H_

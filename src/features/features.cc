@@ -1,0 +1,396 @@
+#include "features/features.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+#include "telemetry/civil_time.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::features {
+
+namespace {
+
+using telemetry::DatabaseRecord;
+using telemetry::Edition;
+using telemetry::kSecondsPerDay;
+using telemetry::SloLadder;
+using telemetry::TelemetryStore;
+using telemetry::Timestamp;
+
+constexpr const char* kCreationTimeNames[] = {
+    "create_day_of_week", "create_day_of_month", "create_week_of_year",
+    "create_month",       "create_hour",         "create_is_holiday"};
+
+constexpr const char* kNameShapeNames[] = {
+    "length",        "distinct_chars",     "distinct_char_rate",
+    "has_letters_and_digits", "has_mixed_case", "has_symbols"};
+
+constexpr const char* kSizeNames[] = {"size_max_mb", "size_min_mb",
+                                      "size_avg_mb", "size_std_mb",
+                                      "size_rel_change"};
+
+constexpr const char* kSloNames[] = {
+    "slo_num_changes",      "slo_num_edition_changes",
+    "slo_num_distinct",     "slo_num_distinct_editions",
+    "slo_edition_at_pred",  "slo_level_at_pred",
+    "slo_edition_delta",    "slo_level_delta",
+    "slo_dtu_max",          "slo_dtu_min",
+    "slo_dtu_avg"};
+
+constexpr const char* kHistoryGroupNames[] = {"g1", "g2", "g3"};
+
+Timestamp PredictionTime(const DatabaseRecord& record,
+                         const FeatureConfig& config) {
+  return record.created_at +
+         static_cast<Timestamp>(config.observation_days *
+                                static_cast<double>(kSecondsPerDay));
+}
+
+void AppendSummary(const std::vector<double>& values,
+                   std::vector<double>* out) {
+  const stats::Summary s = stats::Summarize(values);
+  out->push_back(s.max);
+  out->push_back(s.min);
+  out->push_back(s.mean);
+  out->push_back(s.stddev);
+}
+
+}  // namespace
+
+std::vector<double> CreationTimeFeatures(const TelemetryStore& store,
+                                         const DatabaseRecord& record) {
+  const telemetry::CivilDateTime local =
+      telemetry::ToCivil(record.created_at, store.utc_offset_minutes());
+  return {
+      static_cast<double>(local.day_of_week),
+      static_cast<double>(local.day),
+      static_cast<double>(local.week_of_year),
+      static_cast<double>(local.month),
+      static_cast<double>(local.hour),
+      store.holidays().IsHolidayDate(local.year, local.month, local.day)
+          ? 1.0
+          : 0.0,
+  };
+}
+
+std::vector<double> NameShapeFeatures(const std::string& name) {
+  std::unordered_set<char> distinct(name.begin(), name.end());
+  bool has_letter = false, has_digit = false, has_upper = false,
+       has_lower = false, has_symbol = false;
+  for (char raw : name) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      has_letter = true;
+      if (std::isupper(c)) has_upper = true;
+      if (std::islower(c)) has_lower = true;
+    } else if (std::isdigit(c)) {
+      has_digit = true;
+    } else {
+      has_symbol = true;
+    }
+  }
+  const double len = static_cast<double>(name.size());
+  return {
+      len,
+      static_cast<double>(distinct.size()),
+      len > 0.0 ? static_cast<double>(distinct.size()) / len : 0.0,
+      has_letter && has_digit ? 1.0 : 0.0,
+      has_upper && has_lower ? 1.0 : 0.0,
+      has_symbol ? 1.0 : 0.0,
+  };
+}
+
+std::vector<double> SizeFeatures(const DatabaseRecord& record,
+                                 Timestamp prediction_time) {
+  std::vector<double> sizes;
+  for (const telemetry::SizeObservation& s : record.size_samples) {
+    if (s.timestamp > prediction_time) break;
+    sizes.push_back(s.size_mb);
+  }
+  std::vector<double> out;
+  AppendSummary(sizes, &out);
+  // Reorder AppendSummary's (max, min, avg, std) is already the paper's
+  // order; add the relative first-to-last change.
+  double rel_change = 0.0;
+  if (sizes.size() >= 2 && sizes.front() > 0.0) {
+    rel_change = (sizes.back() - sizes.front()) / sizes.front();
+  }
+  out.push_back(rel_change);
+  return out;
+}
+
+std::vector<double> SloFeatures(const DatabaseRecord& record,
+                                Timestamp prediction_time) {
+  int num_changes = 0;
+  int num_edition_changes = 0;
+  std::set<int> distinct_slos = {record.initial_slo_index};
+  std::set<int> distinct_editions = {
+      static_cast<int>(record.initial_edition())};
+  std::vector<double> dtus = {
+      static_cast<double>(SloLadder()[record.initial_slo_index].dtus)};
+  int current = record.initial_slo_index;
+  for (const telemetry::SloChange& c : record.slo_changes) {
+    if (c.timestamp > prediction_time) break;
+    ++num_changes;
+    if (SloLadder()[c.old_slo_index].edition !=
+        SloLadder()[c.new_slo_index].edition) {
+      ++num_edition_changes;
+    }
+    current = c.new_slo_index;
+    distinct_slos.insert(current);
+    distinct_editions.insert(static_cast<int>(SloLadder()[current].edition));
+    dtus.push_back(static_cast<double>(SloLadder()[current].dtus));
+  }
+  const stats::Summary dtu_summary = stats::Summarize(dtus);
+  const int edition_at_pred = static_cast<int>(SloLadder()[current].edition);
+  const int edition_at_create = static_cast<int>(record.initial_edition());
+  return {
+      static_cast<double>(num_changes),
+      static_cast<double>(num_edition_changes),
+      static_cast<double>(distinct_slos.size()),
+      static_cast<double>(distinct_editions.size()),
+      static_cast<double>(edition_at_pred),
+      static_cast<double>(current),
+      static_cast<double>(edition_at_pred - edition_at_create),
+      static_cast<double>(current - record.initial_slo_index),
+      dtu_summary.max,
+      dtu_summary.min,
+      dtu_summary.mean,
+  };
+}
+
+std::vector<double> SubscriptionTypeFeatures(const DatabaseRecord& record) {
+  std::vector<double> out(telemetry::kNumSubscriptionTypes, 0.0);
+  out[static_cast<size_t>(record.subscription_type)] = 1.0;
+  return out;
+}
+
+std::vector<double> SubscriptionHistoryFeatures(
+    const TelemetryStore& store, const DatabaseRecord& record,
+    Timestamp prediction_time) {
+  const Timestamp tc = record.created_at;
+  const Timestamp tp = prediction_time;
+
+  // Sibling groups; group 2 is a superset of group 1 (paper wording).
+  std::vector<const DatabaseRecord*> group1, group2, group3;
+  for (telemetry::DatabaseId sibling_id :
+       store.DatabasesOfSubscription(record.subscription_id)) {
+    if (sibling_id == record.id) continue;
+    auto sibling = store.FindDatabase(sibling_id);
+    if (!sibling.ok()) continue;
+    const DatabaseRecord* s = *sibling;
+    if (s->created_at > tp) continue;  // invisible at prediction time
+    if (s->created_at < tc) {
+      group2.push_back(s);
+      if (!s->IsDroppedBy(tc)) group1.push_back(s);
+    } else if (s->created_at > tc) {
+      group3.push_back(s);
+    }
+  }
+
+  auto peak_size_before = [tp](const DatabaseRecord* r) {
+    double peak = 0.0;
+    for (const telemetry::SizeObservation& s : r->size_samples) {
+      if (s.timestamp > tp) break;
+      peak = std::max(peak, s.size_mb);
+    }
+    return peak;
+  };
+  auto observed_lifespan = [tp](const DatabaseRecord* r) {
+    Timestamp end = tp;
+    if (r->dropped_at.has_value() && *r->dropped_at < end) {
+      end = *r->dropped_at;
+    }
+    return static_cast<double>(end - r->created_at) /
+           static_cast<double>(kSecondsPerDay);
+  };
+
+  std::vector<double> out;
+  out.push_back(static_cast<double>(group1.size()));
+  out.push_back(static_cast<double>(group2.size()));
+  out.push_back(static_cast<double>(group3.size()));
+  for (const auto* group : {&group1, &group2}) {
+    std::vector<double> sizes, lifespans;
+    sizes.reserve(group->size());
+    lifespans.reserve(group->size());
+    for (const DatabaseRecord* r : *group) {
+      sizes.push_back(peak_size_before(r));
+      lifespans.push_back(observed_lifespan(r));
+    }
+    AppendSummary(sizes, &out);
+    AppendSummary(lifespans, &out);
+  }
+  return out;
+}
+
+std::vector<double> NameNgramFeatures(const std::string& name, int buckets) {
+  std::vector<double> out(static_cast<size_t>(std::max(1, buckets)), 0.0);
+  if (name.size() < 2) return out;
+  for (size_t i = 0; i + 1 < name.size(); ++i) {
+    const uint32_t h = static_cast<uint32_t>(
+                           static_cast<unsigned char>(name[i])) *
+                           31u +
+                       static_cast<uint32_t>(
+                           static_cast<unsigned char>(name[i + 1]));
+    out[h % out.size()] += 1.0;
+  }
+  return out;
+}
+
+std::vector<std::string> FeatureNames(const FeatureConfig& config) {
+  std::vector<std::string> names;
+  if (config.include_creation_time) {
+    for (const char* n : kCreationTimeNames) names.emplace_back(n);
+  }
+  if (config.include_names) {
+    for (const char* prefix : {"server_name_", "db_name_"}) {
+      for (const char* n : kNameShapeNames) {
+        names.push_back(std::string(prefix) + n);
+      }
+    }
+  }
+  if (config.include_size) {
+    for (const char* n : kSizeNames) names.emplace_back(n);
+  }
+  if (config.include_slo) {
+    for (const char* n : kSloNames) names.emplace_back(n);
+  }
+  if (config.include_subscription_type) {
+    for (int i = 0; i < telemetry::kNumSubscriptionTypes; ++i) {
+      names.push_back(
+          std::string("sub_type_") +
+          telemetry::SubscriptionTypeToString(
+              static_cast<telemetry::SubscriptionType>(i)));
+    }
+  }
+  if (config.include_subscription_history) {
+    for (const char* g : kHistoryGroupNames) {
+      names.push_back(std::string("hist_") + g + "_count");
+    }
+    for (const char* g : {"g1", "g2"}) {
+      for (const char* stat : {"max", "min", "avg", "std"}) {
+        names.push_back(std::string("hist_") + g + "_size_" + stat);
+      }
+      for (const char* stat : {"max", "min", "avg", "std"}) {
+        names.push_back(std::string("hist_") + g + "_lifespan_" + stat);
+      }
+    }
+  }
+  if (config.include_name_ngrams) {
+    for (int i = 0; i < config.name_ngram_buckets; ++i) {
+      names.push_back("db_name_ngram_" + std::to_string(i));
+    }
+  }
+  return names;
+}
+
+namespace {
+
+// Reorders the history-name emission above: counts come first, then the
+// per-group stat blocks (size then lifespan). Keep the emission order in
+// SubscriptionHistoryFeatures consistent: counts, then for g1: size
+// stats then lifespan stats, then g2 likewise.
+void AppendAll(std::vector<double>* dst, const std::vector<double>& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+}  // namespace
+
+Result<std::vector<double>> ExtractFeatures(const TelemetryStore& store,
+                                            const DatabaseRecord& record,
+                                            const FeatureConfig& config) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("telemetry store is not finalized");
+  }
+  if (config.observation_days <= 0.0) {
+    return Status::InvalidArgument("observation_days must be positive");
+  }
+  const Timestamp tp = PredictionTime(record, config);
+  if (record.dropped_at.has_value() && *record.dropped_at < tp) {
+    return Status::FailedPrecondition(
+        "database did not survive the observation window; the prediction "
+        "task is undefined for it");
+  }
+  std::vector<double> out;
+  if (config.include_creation_time) {
+    AppendAll(&out, CreationTimeFeatures(store, record));
+  }
+  if (config.include_names) {
+    AppendAll(&out, NameShapeFeatures(record.server_name));
+    AppendAll(&out, NameShapeFeatures(record.database_name));
+  }
+  if (config.include_size) {
+    AppendAll(&out, SizeFeatures(record, tp));
+  }
+  if (config.include_slo) {
+    AppendAll(&out, SloFeatures(record, tp));
+  }
+  if (config.include_subscription_type) {
+    AppendAll(&out, SubscriptionTypeFeatures(record));
+  }
+  if (config.include_subscription_history) {
+    AppendAll(&out, SubscriptionHistoryFeatures(store, record, tp));
+  }
+  if (config.include_name_ngrams) {
+    AppendAll(&out, NameNgramFeatures(record.database_name,
+                                      config.name_ngram_buckets));
+  }
+  return out;
+}
+
+Result<ml::Dataset> BuildDataset(const TelemetryStore& store,
+                                 const std::vector<telemetry::DatabaseId>& ids,
+                                 const std::vector<int>& labels,
+                                 const FeatureConfig& config,
+                                 int num_classes) {
+  if (ids.size() != labels.size()) {
+    return Status::InvalidArgument("ids and labels must be parallel");
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(ids.size());
+  for (telemetry::DatabaseId id : ids) {
+    CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord* record,
+                               store.FindDatabase(id));
+    CLOUDSURV_ASSIGN_OR_RETURN(std::vector<double> row,
+                               ExtractFeatures(store, *record, config));
+    rows.push_back(std::move(row));
+  }
+  return ml::Dataset::Make(FeatureNames(config), std::move(rows), labels,
+                           num_classes);
+}
+
+Result<std::vector<std::string>> FeatureFamilyNames(
+    const FeatureConfig& config, const std::string& family) {
+  FeatureConfig only;
+  only.observation_days = config.observation_days;
+  only.include_creation_time = false;
+  only.include_names = false;
+  only.include_size = false;
+  only.include_slo = false;
+  only.include_subscription_type = false;
+  only.include_subscription_history = false;
+  only.include_name_ngrams = false;
+  only.name_ngram_buckets = config.name_ngram_buckets;
+  if (family == "creation_time") {
+    only.include_creation_time = true;
+  } else if (family == "names") {
+    only.include_names = true;
+  } else if (family == "size") {
+    only.include_size = true;
+  } else if (family == "slo") {
+    only.include_slo = true;
+  } else if (family == "subscription_type") {
+    only.include_subscription_type = true;
+  } else if (family == "subscription_history") {
+    only.include_subscription_history = true;
+  } else {
+    return Status::InvalidArgument("unknown feature family: " + family);
+  }
+  return FeatureNames(only);
+}
+
+}  // namespace cloudsurv::features

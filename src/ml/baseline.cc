@@ -1,0 +1,35 @@
+#include "ml/baseline.h"
+
+namespace cloudsurv::ml {
+
+Status WeightedRandomClassifier::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit baseline on empty data");
+  }
+  if (data.num_classes() != 2) {
+    return Status::InvalidArgument("baseline requires a binary problem");
+  }
+  positive_rate_ = data.ClassFraction(1);
+  fitted_ = true;
+  return Status::OK();
+}
+
+int WeightedRandomClassifier::Predict(Rng& rng) const {
+  return rng.Uniform() < positive_rate_ ? 1 : 0;
+}
+
+Result<std::vector<int>> WeightedRandomClassifier::PredictBatch(
+    const Dataset& data, uint64_t seed) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("baseline is not fitted");
+  }
+  Rng rng(seed);
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(Predict(rng));
+  }
+  return out;
+}
+
+}  // namespace cloudsurv::ml

@@ -1,0 +1,43 @@
+#ifndef CLOUDSURV_ML_BASELINE_H_
+#define CLOUDSURV_ML_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace cloudsurv::ml {
+
+/// The paper's baseline (section 5.1): a weighted random classifier.
+/// Training estimates p = P[label = 1] from the class distribution; each
+/// prediction draws r ~ U(0,1) and answers positive iff r < p. Binary
+/// problems only.
+class WeightedRandomClassifier {
+ public:
+  WeightedRandomClassifier() = default;
+
+  /// Estimates the positive-class rate from `data` (binary labels).
+  Status Fit(const Dataset& data);
+
+  bool fitted() const { return fitted_; }
+
+  /// Estimated P[label = 1] from training.
+  double positive_rate() const { return positive_rate_; }
+
+  /// Draws one prediction; stateless w.r.t. the input row by design.
+  int Predict(Rng& rng) const;
+
+  /// Draws one prediction per row of `data`.
+  Result<std::vector<int>> PredictBatch(const Dataset& data,
+                                        uint64_t seed) const;
+
+ private:
+  double positive_rate_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_BASELINE_H_

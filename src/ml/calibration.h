@@ -1,0 +1,49 @@
+#ifndef CLOUDSURV_ML_CALIBRATION_H_
+#define CLOUDSURV_ML_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::ml {
+
+/// One bin of a reliability diagram.
+struct ReliabilityBin {
+  double lower = 0.0;           ///< Inclusive probability-bin lower edge.
+  double upper = 0.0;           ///< Exclusive upper edge (last bin incl.).
+  size_t count = 0;             ///< Predictions falling in the bin.
+  double mean_predicted = 0.0;  ///< Average predicted probability.
+  double observed_rate = 0.0;   ///< Empirical positive rate.
+};
+
+/// Calibration diagnostics of probabilistic predictions. The paper
+/// relies on random-forest class probabilities as confidence levels
+/// (section 5.3, citing Zadrozny & Elkan); these metrics quantify how
+/// trustworthy those probabilities are.
+struct CalibrationReport {
+  std::vector<ReliabilityBin> bins;
+  /// Brier score: mean squared error of the probabilities (lower is
+  /// better; 0.25 is an uninformative 0.5-always predictor on balanced
+  /// data).
+  double brier_score = 0.0;
+  /// Expected calibration error: count-weighted mean |predicted -
+  /// observed| over bins.
+  double expected_calibration_error = 0.0;
+  /// Maximum calibration error over non-empty bins.
+  double max_calibration_error = 0.0;
+
+  /// Fixed-width text rendering of the reliability diagram.
+  std::string ToText() const;
+};
+
+/// Computes a reliability diagram with `num_bins` equal-width bins over
+/// [0, 1]. Requires parallel arrays, 0/1 labels and probabilities in
+/// [0, 1].
+Result<CalibrationReport> ComputeCalibration(
+    const std::vector<int>& y_true,
+    const std::vector<double>& positive_probability, int num_bins = 10);
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_CALIBRATION_H_

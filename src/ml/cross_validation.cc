@@ -1,0 +1,161 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace cloudsurv::ml {
+
+namespace {
+
+// Shuffled row indices grouped by class label.
+std::vector<std::vector<size_t>> ShuffledClassBuckets(const Dataset& data,
+                                                      Rng& rng,
+                                                      bool stratified) {
+  std::vector<std::vector<size_t>> buckets;
+  if (stratified) {
+    buckets.resize(static_cast<size_t>(data.num_classes()));
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      buckets[static_cast<size_t>(data.label(i))].push_back(i);
+    }
+  } else {
+    buckets.resize(1);
+    buckets[0].resize(data.num_rows());
+    std::iota(buckets[0].begin(), buckets[0].end(), 0);
+  }
+  for (auto& b : buckets) {
+    std::shuffle(b.begin(), b.end(), rng.engine());
+  }
+  return buckets;
+}
+
+}  // namespace
+
+Result<TrainTestIndices> TrainTestSplit(const Dataset& data,
+                                        double test_fraction, uint64_t seed,
+                                        bool stratified) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot split empty dataset");
+  }
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  Rng rng(seed);
+  TrainTestIndices out;
+  for (auto& bucket : ShuffledClassBuckets(data, rng, stratified)) {
+    const size_t n_test = static_cast<size_t>(
+        static_cast<double>(bucket.size()) * test_fraction + 0.5);
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (i < n_test) {
+        out.test.push_back(bucket[i]);
+      } else {
+        out.train.push_back(bucket[i]);
+      }
+    }
+  }
+  if (out.train.empty() || out.test.empty()) {
+    return Status::InvalidArgument(
+        "split produced an empty train or test part");
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k,
+                                     uint64_t seed, bool stratified) {
+  if (k < 2) {
+    return Status::InvalidArgument("k-fold requires k >= 2");
+  }
+  if (data.num_rows() < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> fold_members(static_cast<size_t>(k));
+  size_t cursor = 0;
+  for (auto& bucket : ShuffledClassBuckets(data, rng, stratified)) {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      fold_members[cursor % static_cast<size_t>(k)].push_back(bucket[i]);
+      ++cursor;
+    }
+  }
+  std::vector<Fold> folds(static_cast<size_t>(k));
+  for (size_t f = 0; f < folds.size(); ++f) {
+    folds[f].validation = fold_members[f];
+    std::sort(folds[f].validation.begin(), folds[f].validation.end());
+    for (size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), fold_members[g].begin(),
+                            fold_members[g].end());
+    }
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+    if (folds[f].train.empty() || folds[f].validation.empty()) {
+      return Status::InvalidArgument("k-fold produced an empty fold");
+    }
+  }
+  return folds;
+}
+
+Result<double> CrossValidateForest(const Dataset& data,
+                                   const ForestParams& params, int k,
+                                   uint64_t seed) {
+  CLOUDSURV_ASSIGN_OR_RETURN(std::vector<Fold> folds,
+                             KFoldSplit(data, k, seed));
+  double total_accuracy = 0.0;
+  uint64_t fold_seed = seed;
+  for (const Fold& fold : folds) {
+    ++fold_seed;
+    CLOUDSURV_ASSIGN_OR_RETURN(Dataset train, data.Subset(fold.train));
+    CLOUDSURV_ASSIGN_OR_RETURN(Dataset valid, data.Subset(fold.validation));
+    RandomForestClassifier forest;
+    CLOUDSURV_RETURN_NOT_OK(forest.Fit(train, params, fold_seed));
+    CLOUDSURV_ASSIGN_OR_RETURN(std::vector<int> preds,
+                               forest.PredictBatch(valid));
+    CLOUDSURV_ASSIGN_OR_RETURN(ClassificationScores scores,
+                               ComputeScores(valid.labels(), preds));
+    total_accuracy += scores.accuracy;
+  }
+  return total_accuracy / static_cast<double>(folds.size());
+}
+
+Result<GridSearchResult> GridSearchForest(
+    const Dataset& data, const std::vector<ForestParams>& grid, int k,
+    uint64_t seed) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("grid search needs a non-empty grid");
+  }
+  GridSearchResult result;
+  result.best_score = -1.0;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    CLOUDSURV_ASSIGN_OR_RETURN(
+        double score,
+        CrossValidateForest(data, grid[i], k, seed + i * 7919));
+    result.all_scores.emplace_back(grid[i], score);
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_params = grid[i];
+    }
+  }
+  return result;
+}
+
+std::vector<ForestParams> DefaultForestGrid() {
+  std::vector<ForestParams> grid;
+  for (int trees : {60}) {
+    for (int depth : {8, 12, 16}) {
+      for (size_t min_leaf : {size_t{1}, size_t{5}}) {
+        ForestParams p;
+        p.num_trees = trees;
+        p.max_depth = depth;
+        p.min_samples_leaf = min_leaf;
+        p.max_features = MaxFeaturesRule::kSqrt;
+        grid.push_back(p);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace cloudsurv::ml

@@ -1,0 +1,63 @@
+#ifndef CLOUDSURV_ML_CROSS_VALIDATION_H_
+#define CLOUDSURV_ML_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+
+namespace cloudsurv::ml {
+
+/// Row-index split of one dataset into train and test parts.
+struct TrainTestIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Random shuffled split with `test_fraction` of rows in the test part.
+/// When `stratified`, class proportions are preserved in both parts
+/// (per-class shuffles), matching scikit-learn's default protocol in the
+/// paper's experiments.
+Result<TrainTestIndices> TrainTestSplit(const Dataset& data,
+                                        double test_fraction, uint64_t seed,
+                                        bool stratified = true);
+
+/// One train/validation fold.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+};
+
+/// K-fold partition of row indices (shuffled). With `stratified`, each
+/// fold keeps approximate class balance.
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k,
+                                     uint64_t seed, bool stratified = true);
+
+/// Mean validation accuracy of a forest configuration over k folds.
+Result<double> CrossValidateForest(const Dataset& data,
+                                   const ForestParams& params, int k,
+                                   uint64_t seed);
+
+/// Exhaustive grid search over forest configurations by k-fold CV
+/// accuracy (the paper's protocol: grid search with 5-fold CV over the
+/// training set). Returns the winning configuration and its score.
+struct GridSearchResult {
+  ForestParams best_params;
+  double best_score = 0.0;
+  /// (params, score) for every evaluated cell, in evaluation order.
+  std::vector<std::pair<ForestParams, double>> all_scores;
+};
+
+Result<GridSearchResult> GridSearchForest(
+    const Dataset& data, const std::vector<ForestParams>& grid, int k,
+    uint64_t seed);
+
+/// The compact default grid used by the paper-reproduction pipeline.
+std::vector<ForestParams> DefaultForestGrid();
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,122 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace cloudsurv::ml {
+
+Result<Dataset> Dataset::Make(std::vector<std::string> feature_names,
+                              std::vector<std::vector<double>> rows,
+                              std::vector<int> labels, int num_classes) {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows and labels must have equal length");
+  }
+  const size_t d = feature_names.size();
+  for (const auto& r : rows) {
+    if (r.size() != d) {
+      return Status::InvalidArgument(
+          "every row must have one value per feature");
+    }
+    for (double v : r) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("feature values must be finite");
+      }
+    }
+  }
+  int max_label = -1;
+  for (int l : labels) {
+    if (l < 0) {
+      return Status::InvalidArgument("labels must be non-negative");
+    }
+    max_label = std::max(max_label, l);
+  }
+  if (num_classes <= 0) {
+    num_classes = max_label + 1;
+  } else if (max_label >= num_classes) {
+    return Status::InvalidArgument("label exceeds num_classes");
+  }
+  if (num_classes <= 0) num_classes = 2;  // empty dataset default
+  std::unordered_set<std::string> seen;
+  for (const auto& n : feature_names) {
+    if (!seen.insert(n).second) {
+      return Status::InvalidArgument("duplicate feature name: " + n);
+    }
+  }
+  return Dataset(std::move(feature_names), std::move(rows), std::move(labels),
+                 num_classes);
+}
+
+Dataset::Dataset(std::vector<std::string> feature_names,
+                 std::vector<std::vector<double>> rows,
+                 std::vector<int> labels, int num_classes)
+    : feature_names_(std::move(feature_names)),
+      rows_(std::move(rows)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {}
+
+int Dataset::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < feature_names_.size(); ++i) {
+    if (feature_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Dataset> Dataset::Subset(const std::vector<size_t>& indices) const {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  rows.reserve(indices.size());
+  labels.reserve(indices.size());
+  for (size_t i : indices) {
+    if (i >= rows_.size()) {
+      return Status::OutOfRange("subset index out of range");
+    }
+    rows.push_back(rows_[i]);
+    labels.push_back(labels_[i]);
+  }
+  return Dataset(feature_names_, std::move(rows), std::move(labels),
+                 num_classes_);
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (int l : labels_) ++counts[static_cast<size_t>(l)];
+  return counts;
+}
+
+double Dataset::ClassFraction(int cls) const {
+  if (rows_.empty() || cls < 0 || cls >= num_classes_) return 0.0;
+  const auto counts = ClassCounts();
+  return static_cast<double>(counts[static_cast<size_t>(cls)]) /
+         static_cast<double>(rows_.size());
+}
+
+Result<Dataset> Dataset::DropFeatures(
+    const std::vector<std::string>& names) const {
+  std::vector<bool> drop(feature_names_.size(), false);
+  for (const auto& n : names) {
+    const int idx = FeatureIndex(n);
+    if (idx < 0) {
+      return Status::NotFound("no feature named " + n);
+    }
+    drop[static_cast<size_t>(idx)] = true;
+  }
+  std::vector<std::string> kept_names;
+  for (size_t i = 0; i < feature_names_.size(); ++i) {
+    if (!drop[i]) kept_names.push_back(feature_names_[i]);
+  }
+  std::vector<std::vector<double>> kept_rows;
+  kept_rows.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<double> kr;
+    kr.reserve(kept_names.size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (!drop[i]) kr.push_back(r[i]);
+    }
+    kept_rows.push_back(std::move(kr));
+  }
+  return Dataset(std::move(kept_names), std::move(kept_rows), labels_,
+                 num_classes_);
+}
+
+}  // namespace cloudsurv::ml

@@ -1,0 +1,72 @@
+#ifndef CLOUDSURV_ML_DATASET_H_
+#define CLOUDSURV_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::ml {
+
+/// A supervised-learning table: a dense numeric feature matrix with named
+/// columns and one integer class label per row (0-based, contiguous).
+/// Categorical inputs are expected to be pre-encoded (one-hot or ordinal)
+/// by the feature layer.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Validates shape consistency (every row has one value per feature,
+  /// labels in [0, num_classes), finite features) and builds the dataset.
+  /// `num_classes` <= 0 means "infer as max label + 1".
+  static Result<Dataset> Make(std::vector<std::string> feature_names,
+                              std::vector<std::vector<double>> rows,
+                              std::vector<int> labels, int num_classes = -1);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_features() const { return feature_names_.size(); }
+  int num_classes() const { return num_classes_; }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  const std::vector<double>& row(size_t i) const { return rows_[i]; }
+  int label(size_t i) const { return labels_[i]; }
+  double feature(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Index of a feature by name, or -1 when absent.
+  int FeatureIndex(const std::string& name) const;
+
+  /// Returns a new dataset containing the given rows (duplicates allowed,
+  /// order preserved). Out-of-range indices yield OutOfRange.
+  Result<Dataset> Subset(const std::vector<size_t>& indices) const;
+
+  /// Per-class row counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Fraction of rows labelled `cls`.
+  double ClassFraction(int cls) const;
+
+  /// Returns a copy with the named feature columns removed (for feature-
+  /// family ablation experiments). Unknown names are errors.
+  Result<Dataset> DropFeatures(const std::vector<std::string>& names) const;
+
+ private:
+  Dataset(std::vector<std::string> feature_names,
+          std::vector<std::vector<double>> rows, std::vector<int> labels,
+          int num_classes);
+
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_DATASET_H_

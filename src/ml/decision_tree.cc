@@ -1,0 +1,326 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace cloudsurv::ml {
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+Status DecisionTreeClassifier::Fit(const Dataset& data,
+                                   const TreeParams& params, uint64_t seed) {
+  std::vector<size_t> all(data.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  return FitSubset(data, all, params, seed);
+}
+
+Status DecisionTreeClassifier::FitSubset(
+    const Dataset& data, const std::vector<size_t>& sample_indices,
+    const TreeParams& params, uint64_t seed) {
+  if (data.empty() || sample_indices.empty()) {
+    return Status::InvalidArgument("cannot fit a tree on empty data");
+  }
+  if (params.max_depth < 0 || params.min_samples_leaf == 0) {
+    return Status::InvalidArgument("invalid tree params");
+  }
+  for (size_t i : sample_indices) {
+    if (i >= data.num_rows()) {
+      return Status::OutOfRange("sample index out of range");
+    }
+  }
+  if (!params.class_weights.empty() &&
+      params.class_weights.size() !=
+          static_cast<size_t>(data.num_classes())) {
+    return Status::InvalidArgument(
+        "class_weights size must match num_classes");
+  }
+  for (double w : params.class_weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument("class weights must be positive");
+    }
+  }
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = data.num_classes();
+  num_features_ = data.num_features();
+  importances_.assign(num_features_, 0.0);
+
+  std::vector<size_t> indices = sample_indices;
+  Rng rng(seed);
+  BuildNode(data, indices, 0, indices.size(), 0, rng, params,
+            indices.size());
+
+  // Normalize importances.
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNode(const Dataset& data,
+                                      std::vector<size_t>& indices,
+                                      size_t begin, size_t end, int depth,
+                                      Rng& rng, const TreeParams& params,
+                                      size_t total_samples) {
+  const size_t n = end - begin;
+  auto class_weight = [&](int cls) {
+    return params.class_weights.empty()
+               ? 1.0
+               : params.class_weights[static_cast<size_t>(cls)];
+  };
+  std::vector<double> counts(static_cast<size_t>(num_classes_), 0.0);
+  double weight_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const int label = data.label(indices[i]);
+    counts[static_cast<size_t>(label)] += class_weight(label);
+    weight_total += class_weight(label);
+  }
+  const double n_d = weight_total;
+  const double node_gini = GiniFromCounts(counts, n_d);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.probabilities.resize(counts.size());
+    for (size_t c = 0; c < counts.size(); ++c) {
+      leaf.probabilities[c] = counts[c] / n_d;
+    }
+    nodes_.push_back(std::move(leaf));
+    depth_ = std::max(depth_, depth);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (depth >= params.max_depth || n < params.min_samples_split ||
+      node_gini == 0.0 || n < 2 * params.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Choose candidate features (without replacement).
+  const int d = static_cast<int>(num_features_);
+  int k = params.max_features <= 0 ? d : std::min(params.max_features, d);
+  std::vector<int> features(static_cast<size_t>(d));
+  std::iota(features.begin(), features.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j =
+        static_cast<int>(rng.UniformInt(i, static_cast<int64_t>(d) - 1));
+    std::swap(features[static_cast<size_t>(i)],
+              features[static_cast<size_t>(j)]);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_decrease = params.min_impurity_decrease;
+
+  // Scratch: (value, label) pairs sorted per candidate feature.
+  std::vector<std::pair<double, int>> sorted(n);
+  std::vector<double> left_counts(counts.size());
+  for (int fi = 0; fi < k; ++fi) {
+    const int f = features[static_cast<size_t>(fi)];
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = indices[begin + i];
+      sorted[i] = {data.feature(row, static_cast<size_t>(f)),
+                   data.label(row)};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double left_weight = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const double w = class_weight(sorted[i].second);
+      left_counts[static_cast<size_t>(sorted[i].second)] += w;
+      left_weight += w;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t n_left = i + 1;
+      const size_t n_right = n - n_left;
+      if (n_left < params.min_samples_leaf ||
+          n_right < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_weight = n_d - left_weight;
+      const double gini_left = GiniFromCounts(left_counts, left_weight);
+      double gini_right;
+      {
+        double sum_sq = 0.0;
+        for (size_t c = 0; c < counts.size(); ++c) {
+          const double rc = counts[c] - left_counts[c];
+          const double p = rc / right_weight;
+          sum_sq += p * p;
+        }
+        gini_right = 1.0 - sum_sq;
+      }
+      const double weighted =
+          (left_weight * gini_left + right_weight * gini_right) / n_d;
+      const double decrease = node_gini - weighted;
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = f;
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  // Partition indices in place around the chosen split.
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](size_t row) {
+        return data.feature(row, static_cast<size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const size_t mid =
+      static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    // Numerically degenerate split; bail out to a leaf.
+    return make_leaf();
+  }
+
+  importances_[static_cast<size_t>(best_feature)] +=
+      (static_cast<double>(n) / static_cast<double>(total_samples)) *
+      best_decrease;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best_threshold;
+  const int left = BuildNode(data, indices, begin, mid, depth + 1, rng,
+                             params, total_samples);
+  const int right =
+      BuildNode(data, indices, mid, end, depth + 1, rng, params,
+                total_samples);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  const Node* node = &nodes_[0];
+  while (node->feature >= 0) {
+    const double v = row[static_cast<size_t>(node->feature)];
+    node = v <= node->threshold
+               ? &nodes_[static_cast<size_t>(node->left)]
+               : &nodes_[static_cast<size_t>(node->right)];
+  }
+  return node->probabilities;
+}
+
+int DecisionTreeClassifier::Predict(const std::vector<double>& row) const {
+  const auto probs = PredictProba(row);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+Result<std::vector<int>> DecisionTreeClassifier::PredictBatch(
+    const Dataset& data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(Predict(data.row(i)));
+  }
+  return out;
+}
+
+
+namespace {
+
+std::string FullPrecision(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string DecisionTreeClassifier::Serialize() const {
+  std::string out = "tree " + std::to_string(num_classes_) + " " +
+                    std::to_string(num_features_) + " " +
+                    std::to_string(depth_) + " " +
+                    std::to_string(nodes_.size()) + "\n";
+  for (const Node& node : nodes_) {
+    out += std::to_string(node.feature) + " " +
+           FullPrecision(node.threshold) + " " + std::to_string(node.left) +
+           " " + std::to_string(node.right);
+    out += " " + std::to_string(node.probabilities.size());
+    for (double p : node.probabilities) out += " " + FullPrecision(p);
+    out += "\n";
+  }
+  out += "importances";
+  for (double v : importances_) out += " " + FullPrecision(v);
+  out += "\n";
+  return out;
+}
+
+Result<DecisionTreeClassifier> DecisionTreeClassifier::Deserialize(
+    const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  DecisionTreeClassifier tree;
+  size_t num_features = 0;
+  size_t num_nodes = 0;
+  if (!(is >> tag >> tree.num_classes_ >> num_features >> tree.depth_ >>
+        num_nodes) ||
+      tag != "tree") {
+    return Status::InvalidArgument("malformed tree header");
+  }
+  tree.num_features_ = num_features;
+  tree.nodes_.resize(num_nodes);
+  for (Node& node : tree.nodes_) {
+    size_t num_probs = 0;
+    if (!(is >> node.feature >> node.threshold >> node.left >> node.right >>
+          num_probs)) {
+      return Status::InvalidArgument("malformed tree node");
+    }
+    node.probabilities.resize(num_probs);
+    for (double& p : node.probabilities) {
+      if (!(is >> p)) {
+        return Status::InvalidArgument("malformed node probabilities");
+      }
+    }
+    if (node.feature >= static_cast<int>(num_features) ||
+        node.left >= static_cast<int>(num_nodes) ||
+        node.right >= static_cast<int>(num_nodes)) {
+      return Status::InvalidArgument("tree node references out of range");
+    }
+  }
+  if (!(is >> tag) || tag != "importances") {
+    return Status::InvalidArgument("missing importances");
+  }
+  tree.importances_.resize(num_features);
+  for (double& v : tree.importances_) {
+    if (!(is >> v)) {
+      return Status::InvalidArgument("malformed importances");
+    }
+  }
+  if (tree.nodes_.empty()) {
+    return Status::InvalidArgument("serialized tree has no nodes");
+  }
+  return tree;
+}
+
+}  // namespace cloudsurv::ml

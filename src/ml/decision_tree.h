@@ -1,0 +1,101 @@
+#ifndef CLOUDSURV_ML_DECISION_TREE_H_
+#define CLOUDSURV_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace cloudsurv::ml {
+
+/// Growth controls for a CART tree.
+struct TreeParams {
+  int max_depth = 16;            ///< Maximum node depth (root = 0).
+  size_t min_samples_split = 2;  ///< Need >= this many samples to split.
+  size_t min_samples_leaf = 1;   ///< Each child keeps >= this many.
+  /// Features examined per node: -1 = all, otherwise a random subset of
+  /// this size (this is what makes a forest "random").
+  int max_features = -1;
+  /// Minimum gini decrease (weighted by node fraction) to accept a split.
+  double min_impurity_decrease = 0.0;
+  /// Optional per-class weights (empty = all 1.0). Weights scale class
+  /// counts in impurity computations and leaf distributions — the
+  /// standard lever for imbalanced cohorts such as the paper's Premium
+  /// subgroup (section 5.2 attributes its low recall to imbalance).
+  std::vector<double> class_weights;
+};
+
+/// CART decision-tree classifier with gini impurity, the base learner of
+/// the paper's random forest (section 2, ref [10]). Leaves store class
+/// frequencies, so PredictProba yields the per-leaf class distribution
+/// the paper uses as its prediction confidence (section 5.3).
+class DecisionTreeClassifier {
+ public:
+  DecisionTreeClassifier() = default;
+
+  /// Learns a tree on all rows of `data`.
+  Status Fit(const Dataset& data, const TreeParams& params, uint64_t seed);
+
+  /// Learns a tree on the multiset of rows given by `sample_indices`
+  /// (duplicates allowed — this is how the forest passes bootstrap
+  /// samples without materializing them).
+  Status FitSubset(const Dataset& data,
+                   const std::vector<size_t>& sample_indices,
+                   const TreeParams& params, uint64_t seed);
+
+  bool fitted() const { return !nodes_.empty(); }
+
+  /// Class-probability vector for one feature row.
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// Most probable class for one feature row.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Predicted classes for every row of `data` (feature count must match
+  /// the training data).
+  Result<std::vector<int>> PredictBatch(const Dataset& data) const;
+
+  /// Gini feature importances: total impurity decrease contributed by
+  /// each feature, weighted by node size and normalized to sum to 1
+  /// (all-zero if the tree is a single leaf).
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+  int num_classes() const { return num_classes_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Serializes the fitted tree to a compact line-oriented text form
+  /// that round-trips exactly (doubles printed with full precision).
+  std::string Serialize() const;
+
+  /// Reconstructs a tree from Serialize() output.
+  static Result<DecisionTreeClassifier> Deserialize(const std::string& text);
+
+ private:
+  struct Node {
+    int feature = -1;        ///< Split feature; -1 for leaves.
+    double threshold = 0.0;  ///< Go left iff x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    std::vector<double> probabilities;  ///< Leaf class distribution.
+  };
+
+  int BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                size_t begin, size_t end, int depth, Rng& rng,
+                const TreeParams& params, size_t total_samples);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_DECISION_TREE_H_

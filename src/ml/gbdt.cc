@@ -1,0 +1,324 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace cloudsurv::ml {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double LogLoss(const std::vector<int>& labels,
+               const std::vector<double>& scores) {
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p =
+        std::clamp(Sigmoid(scores[i]), 1e-12, 1.0 - 1e-12);
+    loss -= labels[i] == 1 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+}  // namespace
+
+double GradientBoostedTreesClassifier::Tree::Predict(
+    const std::vector<double>& row) const {
+  const Node* node = &nodes[0];
+  while (node->feature >= 0) {
+    node = row[static_cast<size_t>(node->feature)] <= node->threshold
+               ? &nodes[static_cast<size_t>(node->left)]
+               : &nodes[static_cast<size_t>(node->right)];
+  }
+  return node->value;
+}
+
+Status GradientBoostedTreesClassifier::Fit(const Dataset& data,
+                                           const GbdtParams& params,
+                                           uint64_t seed) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit GBDT on empty data");
+  }
+  if (data.num_classes() != 2) {
+    return Status::InvalidArgument("GBDT supports binary labels only");
+  }
+  if (params.num_rounds <= 0 || params.learning_rate <= 0.0 ||
+      params.max_depth < 0 ||
+      !(params.subsample > 0.0 && params.subsample <= 1.0)) {
+    return Status::InvalidArgument("invalid GBDT params");
+  }
+  const size_t n = data.num_rows();
+  num_features_ = data.num_features();
+  trees_.clear();
+  train_loss_.clear();
+  importances_.assign(num_features_, 0.0);
+
+  // Base score: log-odds of the class prior.
+  const double q = std::clamp(data.ClassFraction(1), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(q / (1.0 - q));
+
+  std::vector<double> scores(n, base_score_);
+  std::vector<double> gradients(n), hessians(n);
+  Rng rng(seed);
+
+  for (int round = 0; round < params.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(scores[i]);
+      gradients[i] = p - static_cast<double>(data.label(i));
+      hessians[i] = std::max(p * (1.0 - p), 1e-12);
+    }
+    // Row subsample.
+    std::vector<size_t> indices;
+    if (params.subsample < 1.0) {
+      indices.reserve(static_cast<size_t>(
+          static_cast<double>(n) * params.subsample) + 1);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Uniform() < params.subsample) indices.push_back(i);
+      }
+      if (indices.empty()) indices.push_back(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+    } else {
+      indices.resize(n);
+      std::iota(indices.begin(), indices.end(), 0);
+    }
+
+    Tree tree;
+    BuildNode(data, gradients, hessians, indices, 0, indices.size(), 0,
+              params, &tree);
+    // Update scores with the shrunk tree on ALL rows.
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] += tree.Predict(data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+    train_loss_.push_back(LogLoss(data.labels(), scores));
+  }
+
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+int GradientBoostedTreesClassifier::BuildNode(
+    const Dataset& data, const std::vector<double>& gradients,
+    const std::vector<double>& hessians, std::vector<size_t>& indices,
+    size_t begin, size_t end, int depth, const GbdtParams& params,
+    Tree* tree) {
+  const size_t n = end - begin;
+  double g_total = 0.0, h_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_total += gradients[indices[i]];
+    h_total += hessians[indices[i]];
+  }
+  const double parent_objective =
+      g_total * g_total / (h_total + params.lambda);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value =
+        -params.learning_rate * g_total / (h_total + params.lambda);
+    tree->nodes.push_back(leaf);
+    return static_cast<int>(tree->nodes.size() - 1);
+  };
+
+  if (depth >= params.max_depth || n < 2 * params.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-10;
+  std::vector<std::pair<double, size_t>> sorted(n);  // (value, row)
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = indices[begin + i];
+      sorted[i] = {data.feature(row, f), row};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+    double g_left = 0.0, h_left = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      g_left += gradients[sorted[i].second];
+      h_left += hessians[sorted[i].second];
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t n_left = i + 1;
+      const size_t n_right = n - n_left;
+      if (n_left < params.min_samples_leaf ||
+          n_right < params.min_samples_leaf) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      const double gain =
+          g_left * g_left / (h_left + params.lambda) +
+          g_right * g_right / (h_right + params.lambda) -
+          parent_objective;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](size_t row) {
+        return data.feature(row, static_cast<size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    return make_leaf();
+  }
+  importances_[static_cast<size_t>(best_feature)] += best_gain;
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_index)].feature = best_feature;
+  tree->nodes[static_cast<size_t>(node_index)].threshold = best_threshold;
+  const int left = BuildNode(data, gradients, hessians, indices, begin, mid,
+                             depth + 1, params, tree);
+  const int right = BuildNode(data, gradients, hessians, indices, mid, end,
+                              depth + 1, params, tree);
+  tree->nodes[static_cast<size_t>(node_index)].left = left;
+  tree->nodes[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double GradientBoostedTreesClassifier::PredictLogit(
+    const std::vector<double>& row) const {
+  double score = base_score_;
+  for (const Tree& tree : trees_) score += tree.Predict(row);
+  return score;
+}
+
+double GradientBoostedTreesClassifier::PredictProbability(
+    const std::vector<double>& row) const {
+  return Sigmoid(PredictLogit(row));
+}
+
+int GradientBoostedTreesClassifier::Predict(
+    const std::vector<double>& row) const {
+  return PredictProbability(row) > 0.5 ? 1 : 0;
+}
+
+Result<std::vector<int>> GradientBoostedTreesClassifier::PredictBatch(
+    const Dataset& data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("GBDT is not fitted");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(Predict(data.row(i)));
+  }
+  return out;
+}
+
+Result<std::vector<double>>
+GradientBoostedTreesClassifier::PredictPositiveProba(
+    const Dataset& data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("GBDT is not fitted");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(PredictProbability(data.row(i)));
+  }
+  return out;
+}
+
+std::string GradientBoostedTreesClassifier::Serialize() const {
+  char header[128];
+  std::snprintf(header, sizeof(header), "gbdt %zu %zu %.17g\n",
+                trees_.size(), num_features_, base_score_);
+  std::string out = header;
+  out += "importances";
+  for (double v : importances_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.17g", v);
+    out += buf;
+  }
+  out += "\n";
+  for (const Tree& tree : trees_) {
+    out += "gtree " + std::to_string(tree.nodes.size()) + "\n";
+    for (const Node& node : tree.nodes) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%d %.17g %d %d %.17g\n",
+                    node.feature, node.threshold, node.left, node.right,
+                    node.value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Result<GradientBoostedTreesClassifier>
+GradientBoostedTreesClassifier::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  GradientBoostedTreesClassifier model;
+  size_t num_trees = 0;
+  if (!(is >> tag >> num_trees >> model.num_features_ >>
+        model.base_score_) ||
+      tag != "gbdt") {
+    return Status::InvalidArgument("malformed gbdt header");
+  }
+  if (!(is >> tag) || tag != "importances") {
+    return Status::InvalidArgument("missing gbdt importances");
+  }
+  model.importances_.resize(model.num_features_);
+  for (double& v : model.importances_) {
+    if (!(is >> v)) {
+      return Status::InvalidArgument("malformed gbdt importances");
+    }
+  }
+  model.trees_.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    size_t num_nodes = 0;
+    if (!(is >> tag >> num_nodes) || tag != "gtree") {
+      return Status::InvalidArgument("malformed gtree header");
+    }
+    Tree tree;
+    tree.nodes.resize(num_nodes);
+    for (Node& node : tree.nodes) {
+      if (!(is >> node.feature >> node.threshold >> node.left >>
+            node.right >> node.value)) {
+        return Status::InvalidArgument("malformed gtree node");
+      }
+      if (node.feature >= static_cast<int>(model.num_features_) ||
+          node.left >= static_cast<int>(num_nodes) ||
+          node.right >= static_cast<int>(num_nodes)) {
+        return Status::InvalidArgument("gtree node out of range");
+      }
+    }
+    if (tree.nodes.empty()) {
+      return Status::InvalidArgument("empty gtree");
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  if (model.trees_.empty()) {
+    return Status::InvalidArgument("serialized gbdt has no trees");
+  }
+  return model;
+}
+
+}  // namespace cloudsurv::ml

@@ -1,0 +1,86 @@
+#ifndef CLOUDSURV_ML_METRICS_H_
+#define CLOUDSURV_ML_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::ml {
+
+/// Binary confusion counts with the paper's convention: class 1
+/// ("long-lived", survives > y days) is positive.
+struct ConfusionMatrix {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+
+  size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+/// The three scores the paper reports (section 5.1), plus F1.
+struct ClassificationScores {
+  double accuracy = 0.0;   ///< Correct / total.
+  double precision = 0.0;  ///< TP / (TP + FP); 0 when nothing predicted +.
+  double recall = 0.0;     ///< TP / (TP + FN); 0 when no actual positives.
+  double f1 = 0.0;         ///< Harmonic mean of precision and recall.
+  size_t support = 0;      ///< Number of evaluated examples.
+};
+
+/// Tallies a binary confusion matrix. Labels must be 0/1 and arrays must
+/// have equal non-zero length.
+Result<ConfusionMatrix> ComputeConfusionMatrix(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Derives accuracy/precision/recall/F1 from a confusion matrix.
+ClassificationScores ScoresFromConfusion(const ConfusionMatrix& cm);
+
+/// One-call convenience: confusion then scores.
+Result<ClassificationScores> ComputeScores(const std::vector<int>& y_true,
+                                           const std::vector<int>& y_pred);
+
+/// Averages a set of score structs element-wise (used for the paper's
+/// "average over 5 runs" protocol). Empty input yields zeros.
+ClassificationScores AverageScores(
+    const std::vector<ClassificationScores>& runs);
+
+/// Area under the ROC curve computed from positive-class probabilities
+/// by the rank statistic (ties handled by midranks).
+Result<double> RocAuc(const std::vector<int>& y_true,
+                      const std::vector<double>& positive_probability);
+
+/// Renders "accuracy=.. precision=.. recall=.." for logs/reports.
+std::string ScoresToString(const ClassificationScores& s);
+
+/// K-class confusion counts; counts[truth][predicted].
+struct MulticlassConfusion {
+  std::vector<std::vector<size_t>> counts;
+  size_t total = 0;
+
+  size_t num_classes() const { return counts.size(); }
+  double accuracy() const;
+};
+
+/// Tallies a K-class confusion matrix. `num_classes` <= 0 infers
+/// max(label)+1 across both arrays.
+Result<MulticlassConfusion> ComputeMulticlassConfusion(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    int num_classes = -1);
+
+/// One-vs-rest scores for class `cls` derived from a K-class confusion.
+Result<ClassificationScores> OneVsRestScores(
+    const MulticlassConfusion& confusion, int cls);
+
+/// Fixed-width text rendering of a K-class confusion matrix with
+/// per-class labels.
+std::string MulticlassConfusionToText(
+    const MulticlassConfusion& confusion,
+    const std::vector<std::string>& class_names);
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_METRICS_H_

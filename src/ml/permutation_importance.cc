@@ -1,0 +1,45 @@
+#include "ml/permutation_importance.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cloudsurv::ml {
+
+Result<PermutationImportanceResult> ComputePermutationImportance(
+    const Dataset& data, const ModelScorer& scorer, int repeats,
+    uint64_t seed) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot permute an empty dataset");
+  }
+  if (repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  PermutationImportanceResult result;
+  CLOUDSURV_ASSIGN_OR_RETURN(result.baseline_score, scorer(data));
+  result.importances.assign(data.num_features(), 0.0);
+
+  Rng rng(seed);
+  const size_t n = data.num_rows();
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    double drop_sum = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      // Copy rows, shuffle column f.
+      std::vector<std::vector<double>> rows = data.rows();
+      std::vector<double> column(n);
+      for (size_t i = 0; i < n; ++i) column[i] = rows[i][f];
+      std::shuffle(column.begin(), column.end(), rng.engine());
+      for (size_t i = 0; i < n; ++i) rows[i][f] = column[i];
+      CLOUDSURV_ASSIGN_OR_RETURN(
+          Dataset permuted,
+          Dataset::Make(data.feature_names(), std::move(rows),
+                        data.labels(), data.num_classes()));
+      CLOUDSURV_ASSIGN_OR_RETURN(double score, scorer(permuted));
+      drop_sum += result.baseline_score - score;
+    }
+    result.importances[f] = drop_sum / static_cast<double>(repeats);
+  }
+  return result;
+}
+
+}  // namespace cloudsurv::ml

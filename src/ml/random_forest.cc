@@ -1,0 +1,300 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace cloudsurv::ml {
+
+std::string ForestParams::ToString() const {
+  std::string mf;
+  switch (max_features) {
+    case MaxFeaturesRule::kSqrt:
+      mf = "sqrt";
+      break;
+    case MaxFeaturesRule::kLog2:
+      mf = "log2";
+      break;
+    case MaxFeaturesRule::kAll:
+      mf = "all";
+      break;
+  }
+  return "trees=" + std::to_string(num_trees) +
+         " depth=" + std::to_string(max_depth) +
+         " min_split=" + std::to_string(min_samples_split) +
+         " min_leaf=" + std::to_string(min_samples_leaf) +
+         " max_features=" + mf;
+}
+
+Status RandomForestClassifier::Fit(const Dataset& data,
+                                   const ForestParams& params,
+                                   uint64_t seed) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit a forest on empty data");
+  }
+  if (params.num_trees <= 0) {
+    return Status::InvalidArgument("num_trees must be positive");
+  }
+  const size_t n = data.num_rows();
+  const int d = static_cast<int>(data.num_features());
+  if (d == 0) {
+    return Status::InvalidArgument("dataset has no features");
+  }
+
+  TreeParams tree_params;
+  tree_params.max_depth = params.max_depth;
+  tree_params.min_samples_split = params.min_samples_split;
+  tree_params.min_samples_leaf = params.min_samples_leaf;
+  tree_params.class_weights = params.class_weights;
+  switch (params.max_features) {
+    case MaxFeaturesRule::kSqrt:
+      tree_params.max_features =
+          std::max(1, static_cast<int>(std::ceil(std::sqrt(d))));
+      break;
+    case MaxFeaturesRule::kLog2:
+      tree_params.max_features = std::max(
+          1, static_cast<int>(std::ceil(std::log2(std::max(2, d)))));
+      break;
+    case MaxFeaturesRule::kAll:
+      tree_params.max_features = -1;
+      break;
+  }
+
+  num_classes_ = data.num_classes();
+  num_features_ = data.num_features();
+  const size_t t = static_cast<size_t>(params.num_trees);
+  trees_.assign(t, DecisionTreeClassifier());
+
+  // Derive all per-tree randomness up front so the result is independent
+  // of the thread schedule.
+  Rng seeder(seed);
+  std::vector<uint64_t> tree_seeds(t);
+  std::vector<std::vector<size_t>> samples(t);
+  std::vector<std::vector<char>> in_bag(t);
+  for (size_t ti = 0; ti < t; ++ti) {
+    tree_seeds[ti] = static_cast<uint64_t>(
+        seeder.UniformInt(0, std::numeric_limits<int64_t>::max()));
+    samples[ti].resize(n);
+    in_bag[ti].assign(n, 0);
+    if (params.bootstrap) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pick = static_cast<size_t>(
+            seeder.UniformInt(0, static_cast<int64_t>(n) - 1));
+        samples[ti][i] = pick;
+        in_bag[ti][pick] = 1;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        samples[ti][i] = i;
+        in_bag[ti][i] = 1;
+      }
+    }
+  }
+
+  std::atomic<size_t> next_tree{0};
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+  unsigned hw = params.num_threads > 0
+                    ? static_cast<unsigned>(params.num_threads)
+                    : std::max(1u, std::thread::hardware_concurrency());
+  hw = std::min<unsigned>(hw, static_cast<unsigned>(t));
+
+  auto worker = [&]() {
+    while (true) {
+      const size_t ti = next_tree.fetch_add(1);
+      if (ti >= t || failed.load()) return;
+      Status s = trees_[ti].FitSubset(data, samples[ti], tree_params,
+                                      tree_seeds[ti]);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = s;
+        return;
+      }
+    }
+  };
+  if (hw <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(hw);
+    for (unsigned i = 0; i < hw; ++i) threads.emplace_back(worker);
+    for (auto& th : threads) th.join();
+  }
+  if (failed.load()) {
+    trees_.clear();
+    return first_error;
+  }
+
+  // Aggregate importances.
+  importances_.assign(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importances();
+    for (size_t f = 0; f < num_features_; ++f) importances_[f] += imp[f];
+  }
+  for (double& v : importances_) v /= static_cast<double>(t);
+
+  // Out-of-bag accuracy.
+  if (params.bootstrap) {
+    size_t evaluated = 0;
+    size_t correct = 0;
+    std::vector<double> acc(static_cast<size_t>(num_classes_));
+    for (size_t i = 0; i < n; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      size_t votes = 0;
+      for (size_t ti = 0; ti < t; ++ti) {
+        if (in_bag[ti][i]) continue;
+        const auto probs = trees_[ti].PredictProba(data.row(i));
+        for (size_t c = 0; c < acc.size(); ++c) acc[c] += probs[c];
+        ++votes;
+      }
+      if (votes == 0) continue;
+      const int pred = static_cast<int>(
+          std::max_element(acc.begin(), acc.end()) - acc.begin());
+      ++evaluated;
+      if (pred == data.label(i)) ++correct;
+    }
+    oob_accuracy_ = evaluated == 0 ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(evaluated);
+  } else {
+    oob_accuracy_ = 0.0;
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  std::vector<double> acc(static_cast<size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto probs = tree.PredictProba(row);
+    for (size_t c = 0; c < acc.size(); ++c) acc[c] += probs[c];
+  }
+  const double t = static_cast<double>(trees_.size());
+  for (double& v : acc) v /= t;
+  return acc;
+}
+
+int RandomForestClassifier::Predict(const std::vector<double>& row) const {
+  const auto probs = PredictProba(row);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+Result<std::vector<int>> RandomForestClassifier::PredictBatch(
+    const Dataset& data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(Predict(data.row(i)));
+  }
+  return out;
+}
+
+Result<std::vector<double>> RandomForestClassifier::PredictPositiveProba(
+    const Dataset& data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  if (num_classes_ != 2) {
+    return Status::FailedPrecondition(
+        "positive-class probabilities require a binary problem");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out.push_back(PredictProba(data.row(i))[1]);
+  }
+  return out;
+}
+
+std::string RandomForestClassifier::Serialize() const {
+  char header[128];
+  std::snprintf(header, sizeof(header), "forest %zu %d %zu %.17g\n",
+                trees_.size(), num_classes_, num_features_, oob_accuracy_);
+  std::string out = header;
+  out += "importances";
+  for (double v : importances_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.17g", v);
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& tree : trees_) {
+    out += tree.Serialize();
+  }
+  return out;
+}
+
+Result<RandomForestClassifier> RandomForestClassifier::Deserialize(
+    const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  RandomForestClassifier forest;
+  size_t num_trees = 0;
+  if (!(is >> tag >> num_trees >> forest.num_classes_ >>
+        forest.num_features_ >> forest.oob_accuracy_) ||
+      tag != "forest") {
+    return Status::InvalidArgument("malformed forest header");
+  }
+  if (!(is >> tag) || tag != "importances") {
+    return Status::InvalidArgument("missing forest importances");
+  }
+  forest.importances_.resize(forest.num_features_);
+  for (double& v : forest.importances_) {
+    if (!(is >> v)) {
+      return Status::InvalidArgument("malformed forest importances");
+    }
+  }
+  // The remainder is the concatenation of tree blocks; split on the
+  // "tree " header lines.
+  std::string rest;
+  std::getline(is, rest);  // consume end of importances line
+  std::string line;
+  std::vector<std::string> blocks;
+  while (std::getline(is, line)) {
+    if (line.rfind("tree ", 0) == 0) {
+      blocks.emplace_back();
+    }
+    if (blocks.empty()) {
+      return Status::InvalidArgument("unexpected content before trees");
+    }
+    blocks.back() += line;
+    blocks.back() += "\n";
+  }
+  if (blocks.size() != num_trees) {
+    return Status::InvalidArgument("forest tree count mismatch");
+  }
+  forest.trees_.reserve(num_trees);
+  for (const std::string& block : blocks) {
+    CLOUDSURV_ASSIGN_OR_RETURN(DecisionTreeClassifier tree,
+                               DecisionTreeClassifier::Deserialize(block));
+    if (tree.num_classes() != forest.num_classes_ ||
+        tree.num_features() != forest.num_features_) {
+      return Status::InvalidArgument("tree shape mismatches forest header");
+    }
+    forest.trees_.push_back(std::move(tree));
+  }
+  if (forest.trees_.empty()) {
+    return Status::InvalidArgument("serialized forest has no trees");
+  }
+  return forest;
+}
+
+}  // namespace cloudsurv::ml

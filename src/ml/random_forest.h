@@ -1,0 +1,97 @@
+#ifndef CLOUDSURV_ML_RANDOM_FOREST_H_
+#define CLOUDSURV_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace cloudsurv::ml {
+
+/// How many features each node examines.
+enum class MaxFeaturesRule {
+  kSqrt,   ///< ceil(sqrt(d)) — the standard forest default.
+  kLog2,   ///< ceil(log2(d)).
+  kAll,    ///< All features (bagged trees, no feature randomness).
+};
+
+/// Forest hyper-parameters; the grid search in core/ tunes a subset.
+struct ForestParams {
+  int num_trees = 100;
+  int max_depth = 16;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  MaxFeaturesRule max_features = MaxFeaturesRule::kSqrt;
+  bool bootstrap = true;  ///< Sample n rows with replacement per tree.
+  int num_threads = 0;    ///< 0 = hardware concurrency.
+  /// Optional per-class weights passed to every tree (empty = all 1.0).
+  /// Use {1/q0, 1/q1}-style weights to trade precision for recall on
+  /// imbalanced subgroups (the paper's Premium edition).
+  std::vector<double> class_weights;
+
+  std::string ToString() const;
+};
+
+/// Random forest classifier (Breiman 2001, the paper's model of choice).
+/// An ensemble of CART trees, each fit on a bootstrap sample with
+/// per-node random feature subsets. Class probabilities are the average
+/// of per-tree leaf distributions — exactly the quantity the paper uses
+/// as its prediction "confidence level" (section 5.3).
+class RandomForestClassifier {
+ public:
+  RandomForestClassifier() = default;
+
+  /// Fits `params.num_trees` trees. Deterministic for a fixed seed
+  /// regardless of thread count (per-tree seeds are derived up front).
+  Status Fit(const Dataset& data, const ForestParams& params, uint64_t seed);
+
+  bool fitted() const { return !trees_.empty(); }
+
+  /// Averaged class-probability vector for one feature row.
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// argmax of PredictProba.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Predictions for every row of `data`.
+  Result<std::vector<int>> PredictBatch(const Dataset& data) const;
+
+  /// Positive-class (class 1) probability for every row of `data`;
+  /// requires a binary problem.
+  Result<std::vector<double>> PredictPositiveProba(const Dataset& data) const;
+
+  /// Gini importances averaged over trees; sums to ~1.
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  /// Out-of-bag accuracy estimate: each row is scored only by trees
+  /// whose bootstrap sample missed it. Requires bootstrap=true at fit
+  /// time; rows never out-of-bag are skipped.
+  double oob_accuracy() const { return oob_accuracy_; }
+
+  size_t num_trees() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
+  const std::vector<DecisionTreeClassifier>& trees() const { return trees_; }
+
+  /// Serializes the fitted forest (trees, importances, OOB score) to a
+  /// text form suitable for storing a trained model; exact round trip.
+  std::string Serialize() const;
+
+  /// Reconstructs a forest from Serialize() output.
+  static Result<RandomForestClassifier> Deserialize(const std::string& text);
+
+ private:
+  std::vector<DecisionTreeClassifier> trees_;
+  std::vector<double> importances_;
+  double oob_accuracy_ = 0.0;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+};
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_RANDOM_FOREST_H_

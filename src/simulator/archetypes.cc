@@ -1,0 +1,232 @@
+#include "simulator/archetypes.h"
+
+#include <cmath>
+
+namespace cloudsurv::simulator {
+
+namespace {
+
+using stats::Distribution;
+using stats::LogNormalDistribution;
+using stats::MixtureDistribution;
+using stats::WeibullDistribution;
+
+std::shared_ptr<const Distribution> LogN(double median_days, double sigma) {
+  return std::make_shared<LogNormalDistribution>(std::log(median_days),
+                                                 sigma);
+}
+
+std::shared_ptr<const Distribution> Weib(double shape, double scale) {
+  return std::make_shared<WeibullDistribution>(shape, scale);
+}
+
+std::shared_ptr<const Distribution> Mix(
+    std::vector<std::shared_ptr<const Distribution>> comps,
+    std::vector<double> weights) {
+  auto result =
+      MixtureDistribution::Make(std::move(comps), std::move(weights));
+  // The component tables below are static and validated by tests; a
+  // failure here is a programming error.
+  return std::make_shared<MixtureDistribution>(std::move(result).value());
+}
+
+// Lifetime mixtures, in days. Component roles: an "ephemeral" Weibull
+// under 2 days, a "short" lognormal with most mass in (2, 30], and a
+// "long" lognormal beyond 30. The weights per archetype set each
+// edition subgroup's class balance (see DESIGN.md section 4).
+ArchetypeProfile MakeCiBot() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kCiEphemeralBot;
+  p.mean_databases = 40.0;
+  p.min_databases = 4;
+  p.edition_weights = {0.50, 0.45, 0.05};
+  auto life = Weib(0.9, 0.25);  // hours; essentially always ephemeral
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.0, 0.2, 0.5, 0.3, 0.0, 0.0};
+  p.name_style = NameStyle::kAutomatedSuffix;
+  p.creation = {0.10, 1.0, 1.0, 0.0};
+  p.size = {5.0, 50.0, 0.0, 0.0, 0.01};
+  p.slo = {0.0, 0.0, 0.0};
+  return p;
+}
+
+ArchetypeProfile MakeDevTest() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kDevTestCycler;
+  p.mean_databases = 8.0;
+  p.min_databases = 1;
+  p.edition_weights = {0.30, 0.55, 0.15};
+  auto life = Mix({Weib(1.1, 1.0), LogN(12.0, 0.75), LogN(85.0, 0.9)},
+                  {0.28, 0.40, 0.32});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.0, 0.2, 0.2, 0.6, 0.0, 0.0};
+  p.name_style = NameStyle::kSemiAutomatedDated;
+  p.creation = {0.85, 0.15, 0.10, 0.0};
+  p.size = {20.0, 300.0, 0.08, 0.01, 0.03};
+  p.slo = {0.0, 0.04, 0.02};
+  return p;
+}
+
+ArchetypeProfile MakeTrial() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kTrialExplorer;
+  p.mean_databases = 0.7;
+  p.min_databases = 1;
+  p.edition_weights = {0.70, 0.28, 0.02};
+  auto life = Mix({Weib(1.0, 0.8), LogN(7.0, 0.9), LogN(150.0, 0.9)},
+                  {0.26, 0.30, 0.44});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.75, 0.10, 0.0, 0.0, 0.0, 0.15};
+  p.name_style = NameStyle::kHumanWords;
+  p.creation = {0.60, 0.50, 0.40, 0.0};
+  p.size = {5.0, 100.0, 0.01, 0.002, 0.02};
+  p.slo = {0.0, 0.0, 0.01};
+  return p;
+}
+
+ArchetypeProfile MakeProduction() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kProductionSteady;
+  p.mean_databases = 2.0;
+  p.min_databases = 1;
+  p.edition_weights = {0.10, 0.65, 0.25};
+  auto life = Mix({Weib(1.0, 0.5), LogN(15.0, 0.7), LogN(400.0, 1.0)},
+                  {0.04, 0.08, 0.88});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.0, 0.35, 0.50, 0.0, 0.15, 0.0};
+  p.name_style = NameStyle::kHumanWords;
+  p.creation = {0.90, 0.10, 0.05, 0.0};
+  p.size = {200.0, 3000.0, 0.03, 0.01, 0.02};
+  p.slo = {0.45, 0.06, 0.05};
+  return p;
+}
+
+ArchetypeProfile MakeHobby() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kHobbyProject;
+  p.mean_databases = 2.5;
+  p.min_databases = 1;
+  p.edition_weights = {0.88, 0.11, 0.01};
+  auto life = Mix({Weib(1.0, 0.8), LogN(14.0, 0.8), LogN(350.0, 1.0)},
+                  {0.07, 0.10, 0.83});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.20, 0.60, 0.0, 0.0, 0.0, 0.20};
+  p.name_style = NameStyle::kHumanWords;
+  p.creation = {0.30, 0.80, 0.80, 0.0};
+  p.size = {10.0, 150.0, 0.01, 0.003, 0.02};
+  p.slo = {0.0, 0.0, 0.04};
+  return p;
+}
+
+ArchetypeProfile MakeCampaign() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kCampaignSeasonal;
+  p.mean_databases = 2.5;
+  p.min_databases = 1;
+  p.edition_weights = {0.60, 0.40, 0.0};
+  // 75% of campaign databases live until the incentive offer expires
+  // ~120 days after creation (tight lognormal), producing the Figure 1
+  // cliff; the rest churn earlier.
+  auto life =
+      Mix({LogN(120.0, 0.05), LogN(25.0, 0.8)}, {0.80, 0.20});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.50, 0.50, 0.0, 0.0, 0.0, 0.0};
+  p.name_style = NameStyle::kHumanWords;
+  p.creation = {0.60, 0.40, 0.30, 35.0};
+  p.size = {50.0, 500.0, 0.02, 0.005, 0.02};
+  p.slo = {0.0, 0.0, 0.0};
+  return p;
+}
+
+ArchetypeProfile MakeBatch() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kBatchRefresher;
+  p.mean_databases = 8.0;
+  p.min_databases = 2;
+  p.edition_weights = {0.15, 0.60, 0.25};
+  // Lifetimes straddle the 30-day boundary: weekly refresh cadences of
+  // roughly 3 or 4-5 weeks. These are the paper's intrinsically
+  // uncertain databases (section 5.5).
+  auto life = Mix({LogN(21.0, 0.35), LogN(32.0, 0.35)}, {0.45, 0.55});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.0, 0.30, 0.50, 0.0, 0.20, 0.0};
+  p.name_style = NameStyle::kAutomatedSuffix;
+  p.creation = {0.05, 0.90, 1.0, 0.0};
+  p.size = {100.0, 1000.0, 0.0, 0.0, 0.05};
+  p.slo = {0.0, 0.0, 0.0};
+  return p;
+}
+
+ArchetypeProfile MakePremiumBurst() {
+  ArchetypeProfile p;
+  p.kind = Archetype::kPremiumBurst;
+  p.mean_databases = 5.0;
+  p.min_databases = 1;
+  p.edition_weights = {0.0, 0.30, 0.70};
+  auto life = Mix({Weib(1.0, 1.0), LogN(10.0, 0.6), LogN(60.0, 0.7)},
+                  {0.15, 0.70, 0.15});
+  p.lifetime = {life, life, life};
+  p.subscription_weights = {0.0, 0.30, 0.60, 0.10, 0.0, 0.0};
+  p.name_style = NameStyle::kSemiAutomatedDated;
+  p.creation = {0.80, 0.10, 0.05, 0.0};
+  p.size = {500.0, 5000.0, 0.10, 0.02, 0.03};
+  p.slo = {0.0, 0.25, 0.0};
+  return p;
+}
+
+}  // namespace
+
+const char* ArchetypeToString(Archetype a) {
+  switch (a) {
+    case Archetype::kCiEphemeralBot:
+      return "CiEphemeralBot";
+    case Archetype::kDevTestCycler:
+      return "DevTestCycler";
+    case Archetype::kTrialExplorer:
+      return "TrialExplorer";
+    case Archetype::kProductionSteady:
+      return "ProductionSteady";
+    case Archetype::kHobbyProject:
+      return "HobbyProject";
+    case Archetype::kCampaignSeasonal:
+      return "CampaignSeasonal";
+    case Archetype::kBatchRefresher:
+      return "BatchRefresher";
+    case Archetype::kPremiumBurst:
+      return "PremiumBurst";
+  }
+  return "Unknown";
+}
+
+const ArchetypeProfile& GetArchetypeProfile(Archetype a) {
+  static const auto* kProfiles = new std::array<ArchetypeProfile, 8>{
+      MakeCiBot(),   MakeDevTest(), MakeTrial(), MakeProduction(),
+      MakeHobby(),   MakeCampaign(), MakeBatch(), MakePremiumBurst()};
+  return (*kProfiles)[static_cast<size_t>(a)];
+}
+
+Archetype ArchetypeMix::Sample(Rng& rng) const {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.Uniform() * total;
+  for (int i = 0; i < kNumArchetypes; ++i) {
+    u -= weights[static_cast<size_t>(i)];
+    if (u <= 0.0) return static_cast<Archetype>(i);
+  }
+  return static_cast<Archetype>(kNumArchetypes - 1);
+}
+
+ArchetypeMix DefaultArchetypeMix() {
+  ArchetypeMix mix;
+  mix.weights[static_cast<size_t>(Archetype::kCiEphemeralBot)] = 0.03;
+  mix.weights[static_cast<size_t>(Archetype::kDevTestCycler)] = 0.20;
+  mix.weights[static_cast<size_t>(Archetype::kTrialExplorer)] = 0.26;
+  mix.weights[static_cast<size_t>(Archetype::kProductionSteady)] = 0.16;
+  mix.weights[static_cast<size_t>(Archetype::kHobbyProject)] = 0.18;
+  mix.weights[static_cast<size_t>(Archetype::kCampaignSeasonal)] = 0.08;
+  mix.weights[static_cast<size_t>(Archetype::kBatchRefresher)] = 0.05;
+  mix.weights[static_cast<size_t>(Archetype::kPremiumBurst)] = 0.04;
+  return mix;
+}
+
+}  // namespace cloudsurv::simulator

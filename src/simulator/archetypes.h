@@ -1,0 +1,131 @@
+#ifndef CLOUDSURV_SIMULATOR_ARCHETYPES_H_
+#define CLOUDSURV_SIMULATOR_ARCHETYPES_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "simulator/name_generator.h"
+#include "stats/distributions.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::simulator {
+
+/// Persistent behaviour classes of subscriptions. The paper observes
+/// that customers follow stable usage patterns — "certain customers have
+/// usage patterns that call for frequent cycling of databases"
+/// (section 1, Observation 3.1) — and that subscription history is the
+/// most predictive feature family (section 5.4). The simulator encodes
+/// those patterns as latent archetypes drawn once per subscription.
+enum class Archetype : uint8_t {
+  /// Automated CI/CD pipelines: high creation volume, almost all
+  /// databases dropped within hours (ephemeral-only subscriptions).
+  kCiEphemeralBot = 0,
+  /// Dev/test teams cycling through scratch databases.
+  kDevTestCycler = 1,
+  /// New users evaluating the service; most give up quickly.
+  kTrialExplorer = 2,
+  /// Production workloads; long-lived, weekend SLO scaling on Premium.
+  kProductionSteady = 3,
+  /// Personal / side projects, mostly Basic, slow churn.
+  kHobbyProject = 4,
+  /// Incentive-offer driven usage that ends when the offer expires
+  /// (~120 days after creation; the Figure 1 cliff).
+  kCampaignSeasonal = 5,
+  /// Automated weekly data refresh jobs living a few weeks each —
+  /// lifetimes straddle the 30-day boundary (the paper's "hard to
+  /// classify" mass, section 5.5).
+  kBatchRefresher = 6,
+  /// Short performance/load-test bursts on Premium hardware.
+  kPremiumBurst = 7,
+};
+
+inline constexpr int kNumArchetypes = 8;
+
+/// Stable display name for an archetype.
+const char* ArchetypeToString(Archetype a);
+
+/// When during the day/week an archetype creates databases.
+struct CreationPattern {
+  /// Probability a creation happens during local business hours
+  /// (8:00-18:00) of a working day; the rest is uniform over all hours.
+  double business_hours_probability = 0.5;
+  /// Probability a creation is allowed on a weekend day.
+  double weekend_probability = 0.3;
+  /// Probability a creation is allowed on a regional holiday.
+  double holiday_probability = 0.3;
+  /// If > 0, creations concentrate in the first `front_load_days` days
+  /// of the observation window (campaign behaviour); otherwise they are
+  /// uniform over the window.
+  double front_load_days = 0.0;
+};
+
+/// Data-size trajectory parameters (megabytes).
+struct SizeModel {
+  double initial_min_mb = 10.0;
+  double initial_max_mb = 200.0;
+  /// Mean daily relative growth during the first week (0.05 = +5%/day).
+  double early_daily_growth = 0.02;
+  /// Mean daily relative growth afterwards.
+  double late_daily_growth = 0.005;
+  /// Multiplicative lognormal noise sigma applied per sample.
+  double noise_sigma = 0.02;
+};
+
+/// SLO-change behaviour knobs.
+struct SloBehavior {
+  /// Probability (per database) of being a weekend scaler: Premium
+  /// databases downgraded every Friday evening and upgraded Monday
+  /// morning (section 2: "users scale down their SLOs on Fridays").
+  /// Weekend scaling crosses the edition boundary (P* -> S3), producing
+  /// the large Premium-"changed" group of Figure 3 / Observation 3.3.
+  double weekend_scaler_probability = 0.0;
+  /// Per-week probability of a one-step performance-level change within
+  /// the same edition (S1 -> S2 etc.; Basic has a single level, so for
+  /// Basic this can only cross editions and is applied accordingly).
+  double weekly_level_change_probability = 0.0;
+  /// Probability of one permanent edition upgrade during the lifetime
+  /// (e.g. Basic -> S0 when a project becomes serious).
+  double lifetime_edition_upgrade_probability = 0.0;
+};
+
+/// Full behavioural profile of an archetype.
+struct ArchetypeProfile {
+  Archetype kind = Archetype::kDevTestCycler;
+  /// Mean number of databases created per subscription over a 150-day
+  /// window (Poisson; plus `min_databases`).
+  double mean_databases = 3.0;
+  int min_databases = 1;
+  /// Edition choice weights (Basic, Standard, Premium).
+  std::array<double, 3> edition_weights = {1.0, 1.0, 0.0};
+  /// Lifetime distribution per edition, in days.
+  std::array<std::shared_ptr<const stats::Distribution>, 3> lifetime;
+  /// Subscription-type choice weights, indexed by SubscriptionType.
+  std::array<double, telemetry::kNumSubscriptionTypes> subscription_weights =
+      {0, 1, 0, 0, 0, 0};
+  NameStyle name_style = NameStyle::kHumanWords;
+  CreationPattern creation;
+  SizeModel size;
+  SloBehavior slo;
+};
+
+/// The fixed profile table. Profiles are built once and shared.
+const ArchetypeProfile& GetArchetypeProfile(Archetype a);
+
+/// A (archetype, weight) mixture describing a region's customer base.
+struct ArchetypeMix {
+  std::array<double, kNumArchetypes> weights{};
+
+  /// Draws an archetype proportionally to weight.
+  Archetype Sample(Rng& rng) const;
+};
+
+/// The default mix used by the three region presets (individual regions
+/// perturb it slightly).
+ArchetypeMix DefaultArchetypeMix();
+
+}  // namespace cloudsurv::simulator
+
+#endif  // CLOUDSURV_SIMULATOR_ARCHETYPES_H_

@@ -1,0 +1,149 @@
+#include "simulator/name_generator.h"
+
+#include <array>
+#include <cstdio>
+
+namespace cloudsurv::simulator {
+
+namespace {
+
+constexpr std::array<const char*, 28> kWords = {
+    "sales",    "crm",     "inventory", "orders",  "analytics", "hr",
+    "payroll",  "billing", "customer",  "report",  "test",      "demo",
+    "app",      "data",    "prod",      "dev",     "staging",   "web",
+    "shop",     "portal",  "metrics",   "backup",  "main",      "catalog",
+    "events",   "users",   "finance",   "support"};
+
+constexpr std::array<const char*, 10> kScratchWords = {
+    "test", "demo", "tmp", "scratch", "sandbox",
+    "trial", "temp", "old",  "copy",    "junk"};
+
+constexpr std::array<const char*, 10> kKeeperWords = {
+    "prod",   "main",  "core",   "orders", "sales",
+    "billing", "live", "primary", "customer", "app"};
+
+constexpr std::array<const char*, 12> kServerWords = {
+    "contoso", "fabrikam", "adventure", "northwind", "tailspin", "wingtip",
+    "litware", "proseware", "alpine",   "lakeshore", "redmond",  "harbor"};
+
+const char* PickWord(Rng& rng) {
+  return kWords[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kWords.size()) - 1))];
+}
+
+// Picks a word with a 50% bias toward the purpose-specific pool.
+const char* PickPurposeWord(NamePurpose purpose, Rng& rng) {
+  if (purpose == NamePurpose::kScratch && rng.Uniform() < 0.50) {
+    return kScratchWords[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kScratchWords.size()) - 1))];
+  }
+  if (purpose == NamePurpose::kKeeper && rng.Uniform() < 0.50) {
+    return kKeeperWords[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kKeeperWords.size()) - 1))];
+  }
+  return PickWord(rng);
+}
+
+const char* PickServerWord(Rng& rng) {
+  return kServerWords[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kServerWords.size()) - 1))];
+}
+
+std::string RandomAlnum(Rng& rng, int len) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out += kAlphabet[static_cast<size_t>(rng.UniformInt(0, 35))];
+  }
+  return out;
+}
+
+std::string RandomHex(Rng& rng, int len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out += kHex[static_cast<size_t>(rng.UniformInt(0, 15))];
+  }
+  return out;
+}
+
+std::string HumanName(Rng& rng, NamePurpose purpose) {
+  std::string name = PickPurposeWord(purpose, rng);
+  const double roll = rng.Uniform();
+  if (roll < 0.25) {
+    // Two words, occasionally the same one twice ("testtest").
+    name += rng.Uniform() < 0.15 ? name : std::string(PickWord(rng));
+  } else if (roll < 0.45) {
+    // Word plus a short version digit ("sales2").
+    name += std::to_string(rng.UniformInt(1, 9));
+  } else if (roll < 0.55) {
+    name += "-";
+    name += PickWord(rng);
+  }
+  return name;
+}
+
+std::string AutomatedName(Rng& rng, NamePurpose purpose) {
+  std::string name = PickPurposeWord(purpose, rng);
+  name += "-";
+  if (rng.Uniform() < 0.5) {
+    name += RandomHex(rng, static_cast<int>(rng.UniformInt(10, 16)));
+  } else {
+    name += RandomAlnum(rng, static_cast<int>(rng.UniformInt(8, 14)));
+  }
+  return name;
+}
+
+std::string DatedName(Rng& rng, NamePurpose purpose) {
+  std::string name = PickPurposeWord(purpose, rng);
+  // Plausible build-date stamp within the study period.
+  const int month = static_cast<int>(rng.UniformInt(1, 5));
+  const int day = static_cast<int>(rng.UniformInt(1, 28));
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "-2017%02d%02d-%d", month, day,
+                static_cast<int>(rng.UniformInt(1, 40)));
+  name += stamp;
+  return name;
+}
+
+}  // namespace
+
+std::string GenerateDatabaseName(NameStyle style, Rng& rng,
+                                 NamePurpose purpose) {
+  switch (style) {
+    case NameStyle::kHumanWords:
+      return HumanName(rng, purpose);
+    case NameStyle::kAutomatedSuffix:
+      return AutomatedName(rng, purpose);
+    case NameStyle::kSemiAutomatedDated:
+      return DatedName(rng, purpose);
+  }
+  return HumanName(rng, purpose);
+}
+
+std::string GenerateServerName(NameStyle style, Rng& rng) {
+  switch (style) {
+    case NameStyle::kHumanWords: {
+      std::string name = PickServerWord(rng);
+      name += "-sql";
+      if (rng.Uniform() < 0.4) name += std::to_string(rng.UniformInt(1, 99));
+      return name;
+    }
+    case NameStyle::kAutomatedSuffix: {
+      std::string name = "srv-";
+      name += RandomHex(rng, 12);
+      return name;
+    }
+    case NameStyle::kSemiAutomatedDated: {
+      std::string name = PickServerWord(rng);
+      name += "-";
+      name += std::to_string(rng.UniformInt(100, 999));
+      return name;
+    }
+  }
+  return "server";
+}
+
+}  // namespace cloudsurv::simulator

@@ -1,0 +1,47 @@
+#ifndef CLOUDSURV_SIMULATOR_NAME_GENERATOR_H_
+#define CLOUDSURV_SIMULATOR_NAME_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace cloudsurv::simulator {
+
+/// How an entity name is produced. The paper finds name shape to be the
+/// second most predictive feature family because it separates manual
+/// from automated creation (section 5.4); the simulator reproduces that
+/// signal by giving automated processes machine-generated names.
+enum class NameStyle {
+  /// A human typing: one or two dictionary words, occasional digits,
+  /// repeated characters, low distinct-character rate.
+  kHumanWords = 0,
+  /// Tooling: word prefix plus a long random alphanumeric/hex suffix,
+  /// high distinct-character rate.
+  kAutomatedSuffix = 1,
+  /// Scripted-but-templated: word, ISO-ish date stamp, small counter
+  /// ("nightly-20170412-3").
+  kSemiAutomatedDated = 2,
+};
+
+/// What the creator intends the database for. Real users name scratch
+/// databases accordingly ("test", "tmp", "demo") and keepers with
+/// workload words ("prod", "orders") — a noisy but learnable signal the
+/// paper's name features exploit.
+enum class NamePurpose {
+  kNeutral = 0,  ///< No bias; any word.
+  kScratch = 1,  ///< Biased toward throwaway words.
+  kKeeper = 2,   ///< Biased toward durable-workload words.
+};
+
+/// Draws a database name in the given style. Output alphabet is
+/// [a-z0-9-] (safe for CSV round-trips).
+std::string GenerateDatabaseName(NameStyle style, Rng& rng,
+                                 NamePurpose purpose = NamePurpose::kNeutral);
+
+/// Draws a logical-server name in the given style. Servers are named
+/// once per subscription and shared by its databases.
+std::string GenerateServerName(NameStyle style, Rng& rng);
+
+}  // namespace cloudsurv::simulator
+
+#endif  // CLOUDSURV_SIMULATOR_NAME_GENERATOR_H_

@@ -1,0 +1,91 @@
+#include "simulator/region.h"
+
+namespace cloudsurv::simulator {
+
+namespace {
+
+using telemetry::HolidayCalendar;
+using telemetry::MakeTimestamp;
+
+HolidayCalendar UsHolidays2017() {
+  HolidayCalendar cal;
+  cal.AddHoliday(2017, 1, 2);   // New Year's Day (observed)
+  cal.AddHoliday(2017, 1, 16);  // Martin Luther King Jr. Day
+  cal.AddHoliday(2017, 2, 20);  // Presidents' Day
+  cal.AddHoliday(2017, 5, 29);  // Memorial Day
+  return cal;
+}
+
+HolidayCalendar EuHolidays2017() {
+  HolidayCalendar cal;
+  cal.AddHoliday(2017, 1, 1);   // New Year's Day
+  cal.AddHoliday(2017, 4, 14);  // Good Friday
+  cal.AddHoliday(2017, 4, 17);  // Easter Monday
+  cal.AddHoliday(2017, 5, 1);   // Labour Day
+  cal.AddHoliday(2017, 5, 25);  // Ascension Day
+  return cal;
+}
+
+HolidayCalendar AsiaHolidays2017() {
+  HolidayCalendar cal;
+  cal.AddHoliday(2017, 1, 2);  // New Year holiday
+  for (int d = 27; d <= 31; ++d) cal.AddHoliday(2017, 1, d);  // Lunar NY
+  cal.AddHoliday(2017, 2, 1);
+  cal.AddHoliday(2017, 2, 2);
+  cal.AddHoliday(2017, 4, 4);  // Qingming
+  cal.AddHoliday(2017, 5, 1);  // Labour Day
+  cal.AddHoliday(2017, 5, 30); // Dragon Boat Festival
+  return cal;
+}
+
+}  // namespace
+
+Result<RegionConfig> MakeRegionPreset(int region_index,
+                                      size_t num_subscriptions,
+                                      uint64_t seed) {
+  if (region_index < 1 || region_index > 3) {
+    return Status::InvalidArgument("region_index must be 1, 2 or 3");
+  }
+  if (num_subscriptions == 0) {
+    return Status::InvalidArgument("num_subscriptions must be positive");
+  }
+  RegionConfig config;
+  config.num_subscriptions = num_subscriptions;
+  config.seed = seed;
+  // Five-month window, matching the paper's observation span.
+  config.window_start = MakeTimestamp(2017, 1, 1);
+  config.window_end = MakeTimestamp(2017, 5, 31);
+  config.mix = DefaultArchetypeMix();
+  auto& w = config.mix.weights;
+  switch (region_index) {
+    case 1:
+      config.name = "Region-1";
+      config.utc_offset_minutes = -8 * 60;
+      config.holidays = UsHolidays2017();
+      break;
+    case 2:
+      config.name = "Region-2";
+      config.utc_offset_minutes = 1 * 60;
+      config.holidays = EuHolidays2017();
+      // Enterprise-heavier: more production and batch, fewer trials.
+      w[static_cast<size_t>(Archetype::kProductionSteady)] += 0.05;
+      w[static_cast<size_t>(Archetype::kBatchRefresher)] += 0.02;
+      w[static_cast<size_t>(Archetype::kTrialExplorer)] -= 0.05;
+      w[static_cast<size_t>(Archetype::kHobbyProject)] -= 0.02;
+      break;
+    case 3:
+      config.name = "Region-3";
+      config.utc_offset_minutes = 8 * 60;
+      config.holidays = AsiaHolidays2017();
+      // Automation-heavier mix.
+      w[static_cast<size_t>(Archetype::kCiEphemeralBot)] += 0.02;
+      w[static_cast<size_t>(Archetype::kBatchRefresher)] += 0.02;
+      w[static_cast<size_t>(Archetype::kDevTestCycler)] += 0.03;
+      w[static_cast<size_t>(Archetype::kProductionSteady)] -= 0.04;
+      w[static_cast<size_t>(Archetype::kCampaignSeasonal)] -= 0.03;
+      break;
+  }
+  return config;
+}
+
+}  // namespace cloudsurv::simulator

@@ -1,0 +1,47 @@
+#ifndef CLOUDSURV_SIMULATOR_REGION_H_
+#define CLOUDSURV_SIMULATOR_REGION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simulator/archetypes.h"
+#include "telemetry/civil_time.h"
+
+namespace cloudsurv::simulator {
+
+/// Everything needed to simulate one Azure-like region over a fixed
+/// observation window.
+struct RegionConfig {
+  std::string name = "Region-1";
+  int utc_offset_minutes = 0;
+  telemetry::HolidayCalendar holidays;
+  /// Observation window (UTC). Databases are created inside the window;
+  /// anything alive at `window_end` is right-censored.
+  telemetry::Timestamp window_start = 0;
+  telemetry::Timestamp window_end = 0;
+  /// Number of customer subscriptions to simulate.
+  size_t num_subscriptions = 3000;
+  ArchetypeMix mix = DefaultArchetypeMix();
+  uint64_t seed = 1;
+
+  double window_days() const {
+    return static_cast<double>(window_end - window_start) /
+           static_cast<double>(telemetry::kSecondsPerDay);
+  }
+};
+
+/// Builds one of the three study-region presets (1, 2 or 3), mirroring
+/// the paper's setup of "three of the largest Azure regions" observed
+/// over five months (2017-01-01 .. 2017-05-31 here):
+///  - Region-1: US-like, UTC-8, US holidays, default customer mix.
+///  - Region-2: EU-like, UTC+1, EU holidays, enterprise-heavier mix.
+///  - Region-3: Asia-like, UTC+8, more automation (CI/batch) in the mix.
+/// `num_subscriptions` scales the population; `seed` drives all
+/// randomness.
+Result<RegionConfig> MakeRegionPreset(int region_index,
+                                      size_t num_subscriptions,
+                                      uint64_t seed);
+
+}  // namespace cloudsurv::simulator
+
+#endif  // CLOUDSURV_SIMULATOR_REGION_H_

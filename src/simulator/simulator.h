@@ -1,0 +1,44 @@
+#ifndef CLOUDSURV_SIMULATOR_SIMULATOR_H_
+#define CLOUDSURV_SIMULATOR_SIMULATOR_H_
+
+#include <array>
+#include <cstddef>
+
+#include "common/status.h"
+#include "simulator/archetypes.h"
+#include "simulator/region.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::simulator {
+
+/// Aggregate counts produced by one simulation run.
+struct SimulationSummary {
+  size_t num_subscriptions = 0;
+  size_t num_databases = 0;
+  size_t num_events = 0;
+  std::array<size_t, kNumArchetypes> subscriptions_per_archetype{};
+  std::array<size_t, kNumArchetypes> databases_per_archetype{};
+};
+
+/// Simulates a region's control plane over its observation window and
+/// returns the finalized telemetry store.
+///
+/// The generative process (per subscription): draw a persistent
+/// behaviour archetype and commercial subscription type, a logical
+/// server (name style matching the archetype's automation level), then a
+/// Poisson number of database creations. Each database gets a creation
+/// time from the archetype's calendar pattern (business hours, weekend
+/// and holiday propensities, optional campaign front-loading), an
+/// edition + initial SLO, a name, a lifetime draw from the archetype's
+/// per-edition mixture, an SLO-change schedule (weekend Premium scaling,
+/// within-edition level moves, rare permanent edition upgrades) and a
+/// size-sample trajectory. Databases alive at window_end are
+/// right-censored: no drop event is emitted for them.
+///
+/// Deterministic: equal (config, seed) yields byte-identical telemetry.
+Result<telemetry::TelemetryStore> SimulateRegion(
+    const RegionConfig& config, SimulationSummary* summary = nullptr);
+
+}  // namespace cloudsurv::simulator
+
+#endif  // CLOUDSURV_SIMULATOR_SIMULATOR_H_

@@ -1,0 +1,76 @@
+#ifndef CLOUDSURV_STATS_DESCRIPTIVE_H_
+#define CLOUDSURV_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudsurv::stats {
+
+/// Aggregate descriptive statistics of a numeric sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Sample variance (n - 1 denominator); 0 if n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes count/mean/sample-variance/stddev/min/max/sum in one pass
+/// (Welford's algorithm; numerically stable). Empty input yields an
+/// all-zero summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample variance (n - 1 denominator); 0 if fewer than two values.
+double SampleVariance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double SampleStdDev(const std::vector<double>& values);
+
+/// Linear-interpolation quantile (type 7, the numpy/R default).
+/// `q` in [0, 1]. Returns 0 for empty input. Copies and partially sorts.
+double Quantile(std::vector<double> values, double q);
+
+/// Median = Quantile(values, 0.5).
+double Median(std::vector<double> values);
+
+/// Pearson correlation coefficient; 0 when either side is constant or the
+/// inputs are empty/mismatched.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Streaming accumulator for mean/variance/min/max over a sequence of
+/// values without storing them (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n - 1); 0 if fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cloudsurv::stats
+
+#endif  // CLOUDSURV_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,226 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cloudsurv::stats {
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  assert(rate > 0.0);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  return rng.Exponential(rate_);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Mean() const { return 1.0 / rate_; }
+
+double ExponentialDistribution::Quantile(double p) const {
+  return -std::log1p(-p) / rate_;
+}
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  assert(shape > 0.0 && scale > 0.0);
+}
+
+double WeibullDistribution::Sample(Rng& rng) const {
+  return rng.Weibull(shape_, scale_);
+}
+
+double WeibullDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ >= 1.0 ? (shape_ == 1.0 ? 1.0 / scale_ : 0.0)
+                                     : 0.0;
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double WeibullDistribution::Mean() const {
+  return scale_ * std::exp(LogGamma(1.0 + 1.0 / shape_));
+}
+
+double WeibullDistribution::Quantile(double p) const {
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return rng.LogNormal(mu_, sigma_);
+}
+
+double LogNormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return NormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDistribution::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::Quantile(double p) const {
+  return std::exp(mu_ + sigma_ * NormalQuantile(p));
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  assert(lo < hi);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return rng.Uniform(lo_, hi_);
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::Mean() const { return 0.5 * (lo_ + hi_); }
+
+double UniformDistribution::Quantile(double p) const {
+  return lo_ + p * (hi_ - lo_);
+}
+
+Result<MixtureDistribution> MixtureDistribution::Make(
+    std::vector<std::shared_ptr<const Distribution>> components,
+    std::vector<double> weights) {
+  if (components.empty()) {
+    return Status::InvalidArgument("mixture needs at least one component");
+  }
+  if (components.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "mixture components and weights must have equal size");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("mixture weights must be non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("mixture weights must sum to > 0");
+  }
+  for (const auto& c : components) {
+    if (c == nullptr) {
+      return Status::InvalidArgument("mixture component is null");
+    }
+  }
+  for (double& w : weights) w /= total;
+  return MixtureDistribution(std::move(components), std::move(weights));
+}
+
+MixtureDistribution::MixtureDistribution(
+    std::vector<std::shared_ptr<const Distribution>> components,
+    std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  cum_weights_.resize(weights_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i];
+    cum_weights_[i] = acc;
+  }
+  cum_weights_.back() = 1.0;  // guard against FP drift
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  const auto it =
+      std::lower_bound(cum_weights_.begin(), cum_weights_.end(), u);
+  const size_t idx = static_cast<size_t>(it - cum_weights_.begin());
+  return components_[std::min(idx, components_.size() - 1)]->Sample(rng);
+}
+
+double MixtureDistribution::Cdf(double x) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    acc += weights_[i] * components_[i]->Cdf(x);
+  }
+  return acc;
+}
+
+double MixtureDistribution::Pdf(double x) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    acc += weights_[i] * components_[i]->Pdf(x);
+  }
+  return acc;
+}
+
+double MixtureDistribution::Mean() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    acc += weights_[i] * components_[i]->Mean();
+  }
+  return acc;
+}
+
+double MixtureDistribution::Quantile(double p) const {
+  // Bisection on the CDF over an expanding bracket.
+  double hi = 1.0;
+  while (Cdf(hi) < p && hi < 1e12) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double KolmogorovSmirnovStatistic(std::vector<double> sample,
+                                  const Distribution& dist) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const double f = dist.Cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  return d;
+}
+
+}  // namespace cloudsurv::stats

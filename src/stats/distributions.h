@@ -1,0 +1,152 @@
+#ifndef CLOUDSURV_STATS_DISTRIBUTIONS_H_
+#define CLOUDSURV_STATS_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cloudsurv::stats {
+
+/// Abstract continuous, non-negative distribution used to model database
+/// lifetimes (in days). Implementations are immutable and thread-safe
+/// after construction.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using the caller's generator.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Cumulative distribution function F(x) = P[X <= x].
+  virtual double Cdf(double x) const = 0;
+
+  /// Probability density function.
+  virtual double Pdf(double x) const = 0;
+
+  /// Mean of the distribution.
+  virtual double Mean() const = 0;
+
+  /// Quantile function F^{-1}(p) for p in (0, 1).
+  virtual double Quantile(double p) const = 0;
+};
+
+/// Exponential(rate): memoryless lifetimes (pure churn processes).
+class ExponentialDistribution : public Distribution {
+ public:
+  /// `rate` must be positive.
+  explicit ExponentialDistribution(double rate);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Pdf(double x) const override;
+  double Mean() const override;
+  double Quantile(double p) const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(shape, scale): shape < 1 models infant-mortality style churn
+/// (many early drops), shape > 1 models wear-out (drop hazard grows).
+class WeibullDistribution : public Distribution {
+ public:
+  /// `shape` and `scale` must be positive.
+  WeibullDistribution(double shape, double scale);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Pdf(double x) const override;
+  double Mean() const override;
+  double Quantile(double p) const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// LogNormal(mu, sigma) in log space: heavy right tail, typical for
+/// long-lived production databases.
+class LogNormalDistribution : public Distribution {
+ public:
+  /// `sigma` must be positive.
+  LogNormalDistribution(double mu, double sigma);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Pdf(double x) const override;
+  double Mean() const override;
+  double Quantile(double p) const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Uniform(lo, hi) on a bounded interval; used for jitter terms.
+class UniformDistribution : public Distribution {
+ public:
+  /// Requires lo < hi.
+  UniformDistribution(double lo, double hi);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Pdf(double x) const override;
+  double Mean() const override;
+  double Quantile(double p) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Convex mixture of component distributions. Sampling picks a component
+/// by weight, then samples it; Cdf/Pdf are weighted sums. Lifetime
+/// populations in the simulator are mixtures (e.g. 60% churn Weibull +
+/// 40% long-lived lognormal).
+class MixtureDistribution : public Distribution {
+ public:
+  /// Builds a mixture; weights need not be normalized but must be
+  /// non-negative with a positive sum, and sizes must match.
+  static Result<MixtureDistribution> Make(
+      std::vector<std::shared_ptr<const Distribution>> components,
+      std::vector<double> weights);
+
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Pdf(double x) const override;
+  double Mean() const override;
+  /// Quantile by bisection on the mixture CDF.
+  double Quantile(double p) const override;
+
+  size_t num_components() const { return components_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  MixtureDistribution(
+      std::vector<std::shared_ptr<const Distribution>> components,
+      std::vector<double> weights);
+
+  std::vector<std::shared_ptr<const Distribution>> components_;
+  std::vector<double> weights_;      // normalized
+  std::vector<double> cum_weights_;  // prefix sums for sampling
+};
+
+/// One-sample Kolmogorov-Smirnov statistic of `sample` against `dist`:
+/// sup_x |F_empirical(x) - F(x)|. Used by tests to property-check
+/// samplers against their analytic CDFs.
+double KolmogorovSmirnovStatistic(std::vector<double> sample,
+                                  const Distribution& dist);
+
+}  // namespace cloudsurv::stats
+
+#endif  // CLOUDSURV_STATS_DISTRIBUTIONS_H_

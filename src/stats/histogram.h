@@ -1,0 +1,59 @@
+#ifndef CLOUDSURV_STATS_HISTOGRAM_H_
+#define CLOUDSURV_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::stats {
+
+/// Fixed-width binned histogram over [lo, hi). Values below `lo` land in
+/// an underflow counter, values at or above `hi` in an overflow counter.
+/// Used for telemetry summaries and report rendering.
+class Histogram {
+ public:
+  /// Creates a histogram with `num_bins` equal-width bins spanning
+  /// [lo, hi). Requires lo < hi and num_bins >= 1.
+  static Result<Histogram> Make(double lo, double hi, size_t num_bins);
+
+  /// Records one observation.
+  void Add(double value);
+
+  /// Records many observations.
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+  /// Inclusive lower edge of bin i.
+  double bin_lower(size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_upper(size_t i) const;
+
+  /// Fraction of all observations (including under/overflow) in bin i.
+  double bin_fraction(size_t i) const;
+
+  /// Renders a fixed-width ASCII bar chart, one bin per line.
+  std::string ToAsciiArt(size_t max_width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, size_t num_bins);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cloudsurv::stats
+
+#endif  // CLOUDSURV_STATS_HISTOGRAM_H_

@@ -1,0 +1,53 @@
+#ifndef CLOUDSURV_STATS_SPECIAL_FUNCTIONS_H_
+#define CLOUDSURV_STATS_SPECIAL_FUNCTIONS_H_
+
+/// Special mathematical functions needed by the statistical layer:
+/// log-gamma, regularized incomplete gamma (for chi-squared tail
+/// probabilities used by the log-rank test), the error function, and the
+/// regularized incomplete beta (for Student-t / F tails).
+///
+/// Implementations are self-contained ports of the classic numerical
+/// recipes (Lanczos approximation, series/continued-fraction expansions)
+/// accurate to ~1e-12 in the ranges exercised by the library and covered
+/// by the test suite against reference values.
+
+namespace cloudsurv::stats {
+
+/// Natural log of the gamma function for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a),
+/// for a > 0, x >= 0. P(a, 0) = 0; P(a, inf) = 1.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Error function and complement, accurate to ~1e-12.
+double Erf(double x);
+double Erfc(double x);
+
+/// Natural log of the beta function B(a, b).
+double LogBeta(double a, double b);
+
+/// Regularized incomplete beta I_x(a, b) for a, b > 0 and x in [0, 1].
+double RegularizedBeta(double x, double a, double b);
+
+/// Survival function (upper tail) of the chi-squared distribution with
+/// `df` degrees of freedom: P[X >= x]. Used to convert log-rank test
+/// statistics into p-values.
+double ChiSquaredSurvival(double x, double df);
+
+/// CDF of the chi-squared distribution with `df` degrees of freedom.
+double ChiSquaredCdf(double x, double df);
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// refined with one Halley step; |error| < 1e-9). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+}  // namespace cloudsurv::stats
+
+#endif  // CLOUDSURV_STATS_SPECIAL_FUNCTIONS_H_

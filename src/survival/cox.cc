@@ -1,0 +1,341 @@
+#include "survival/cox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "stats/special_functions.h"
+
+namespace cloudsurv::survival {
+
+namespace {
+
+// Solves A x = b for symmetric positive-definite A (Gaussian
+// elimination with partial pivoting; A and b are copied).
+Result<std::vector<double>> SolveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument(
+          "singular information matrix (collinear covariates?)");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * x[c];
+    x[ri] = acc / a[ri][ri];
+  }
+  return x;
+}
+
+// Inverts a symmetric positive-definite matrix by solving against unit
+// vectors.
+Result<std::vector<std::vector<double>>> InvertMatrix(
+    const std::vector<std::vector<double>>& a) {
+  const size_t n = a.size();
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<double> e(n, 0.0);
+    e[col] = 1.0;
+    CLOUDSURV_ASSIGN_OR_RETURN(std::vector<double> x,
+                               SolveLinearSystem(a, e));
+    for (size_t r = 0; r < n; ++r) inv[r][col] = x[r];
+  }
+  return inv;
+}
+
+struct LikelihoodParts {
+  double log_likelihood = 0.0;
+  std::vector<double> gradient;
+  std::vector<std::vector<double>> information;  // negative Hessian
+};
+
+// Evaluates the Breslow partial log-likelihood, gradient and
+// information at `beta`. `order` is indices sorted by duration
+// descending (ties: any order; risk sets accumulate before events at a
+// time are processed).
+LikelihoodParts EvaluatePartialLikelihood(
+    const std::vector<CovariateObservation>& data,
+    const std::vector<size_t>& order, const std::vector<double>& beta,
+    double ridge) {
+  const size_t p = beta.size();
+  LikelihoodParts parts;
+  parts.gradient.assign(p, 0.0);
+  parts.information.assign(p, std::vector<double>(p, 0.0));
+
+  double s0 = 0.0;
+  std::vector<double> s1(p, 0.0);
+  std::vector<std::vector<double>> s2(p, std::vector<double>(p, 0.0));
+
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    const double t = data[order[i]].duration;
+    // Add everyone with duration == t to the risk set (durations are
+    // descending, so all with duration > t are already included).
+    size_t j = i;
+    while (j < n && data[order[j]].duration == t) {
+      const auto& obs = data[order[j]];
+      const double eta =
+          std::inner_product(beta.begin(), beta.end(),
+                             obs.covariates.begin(), 0.0);
+      const double w = std::exp(eta);
+      s0 += w;
+      for (size_t a = 0; a < p; ++a) {
+        s1[a] += w * obs.covariates[a];
+        for (size_t b = a; b < p; ++b) {
+          s2[a][b] += w * obs.covariates[a] * obs.covariates[b];
+        }
+      }
+      ++j;
+    }
+    // Process the events at time t (Breslow: one shared risk set).
+    size_t d = 0;
+    for (size_t k = i; k < j; ++k) {
+      const auto& obs = data[order[k]];
+      if (!obs.observed) continue;
+      ++d;
+      const double eta =
+          std::inner_product(beta.begin(), beta.end(),
+                             obs.covariates.begin(), 0.0);
+      parts.log_likelihood += eta;
+      for (size_t a = 0; a < p; ++a) {
+        parts.gradient[a] += obs.covariates[a];
+      }
+    }
+    if (d > 0 && s0 > 0.0) {
+      parts.log_likelihood -= static_cast<double>(d) * std::log(s0);
+      for (size_t a = 0; a < p; ++a) {
+        const double mean_a = s1[a] / s0;
+        parts.gradient[a] -= static_cast<double>(d) * mean_a;
+        for (size_t b = a; b < p; ++b) {
+          const double mean_b = s1[b] / s0;
+          const double info =
+              static_cast<double>(d) * (s2[a][b] / s0 - mean_a * mean_b);
+          parts.information[a][b] += info;
+          if (a != b) parts.information[b][a] += info;
+        }
+      }
+    }
+    i = j;
+  }
+  // Ridge penalty: ll -= ridge/2 |beta|^2.
+  for (size_t a = 0; a < p; ++a) {
+    parts.log_likelihood -= 0.5 * ridge * beta[a] * beta[a];
+    parts.gradient[a] -= ridge * beta[a];
+    parts.information[a][a] += ridge;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<CoxModel> CoxModel::Fit(const std::vector<CovariateObservation>& data,
+                               std::vector<std::string> covariate_names,
+                               const CoxOptions& options) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("Cox model needs >= 2 observations");
+  }
+  const size_t p = covariate_names.size();
+  if (p == 0) {
+    return Status::InvalidArgument("Cox model needs >= 1 covariate");
+  }
+  size_t events = 0;
+  for (const auto& obs : data) {
+    if (obs.covariates.size() != p) {
+      return Status::InvalidArgument(
+          "covariate vector length mismatches covariate names");
+    }
+    if (!std::isfinite(obs.duration) || obs.duration < 0.0) {
+      return Status::InvalidArgument("invalid duration");
+    }
+    for (double v : obs.covariates) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite covariate");
+      }
+    }
+    if (obs.observed) ++events;
+  }
+  if (events == 0) {
+    return Status::InvalidArgument(
+        "Cox model needs at least one observed event");
+  }
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return data[a].duration > data[b].duration;
+  });
+
+  CoxModel model;
+  std::vector<double> beta(p, 0.0);
+  LikelihoodParts parts =
+      EvaluatePartialLikelihood(data, order, beta, options.ridge);
+  model.null_log_likelihood_ = parts.log_likelihood;
+
+  double last_ll = parts.log_likelihood;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations_ = iter + 1;
+    auto step = SolveLinearSystem(parts.information, parts.gradient);
+    if (!step.ok()) return step.status();
+    // Newton step with halving on likelihood decrease.
+    double scale = 1.0;
+    std::vector<double> candidate(p);
+    LikelihoodParts candidate_parts;
+    bool improved = false;
+    for (int halving = 0; halving < 20; ++halving) {
+      for (size_t a = 0; a < p; ++a) {
+        candidate[a] = beta[a] + scale * (*step)[a];
+      }
+      candidate_parts =
+          EvaluatePartialLikelihood(data, order, candidate, options.ridge);
+      if (candidate_parts.log_likelihood >= last_ll - 1e-13) {
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;
+    beta = candidate;
+    parts = std::move(candidate_parts);
+    if (std::fabs(parts.log_likelihood - last_ll) < options.tolerance) {
+      model.converged_ = true;
+      last_ll = parts.log_likelihood;
+      break;
+    }
+    last_ll = parts.log_likelihood;
+  }
+  model.log_likelihood_ = last_ll;
+  model.beta_ = beta;
+  model.lr_p_value_ = stats::ChiSquaredSurvival(
+      model.likelihood_ratio_statistic(), static_cast<double>(p));
+
+  // Standard errors from the inverse information.
+  auto covariance = InvertMatrix(parts.information);
+  model.coefficients_.resize(p);
+  for (size_t a = 0; a < p; ++a) {
+    CoxCoefficient& c = model.coefficients_[a];
+    c.name = covariate_names[a];
+    c.beta = beta[a];
+    c.hazard_ratio = std::exp(beta[a]);
+    if (covariance.ok() && (*covariance)[a][a] > 0.0) {
+      c.std_error = std::sqrt((*covariance)[a][a]);
+      c.z = c.beta / c.std_error;
+      c.p_value = 2.0 * (1.0 - stats::NormalCdf(std::fabs(c.z)));
+    }
+  }
+
+  // Breslow baseline cumulative hazard at the fitted beta, ascending in
+  // time: H0(t) = sum_{t_i <= t} d_i / S0(t_i).
+  {
+    double s0 = 0.0;
+    std::vector<std::pair<double, double>> increments;  // (time, d/S0)
+    size_t i = 0;
+    const size_t n = order.size();
+    while (i < n) {
+      const double t = data[order[i]].duration;
+      size_t j = i;
+      size_t d = 0;
+      while (j < n && data[order[j]].duration == t) {
+        const auto& obs = data[order[j]];
+        s0 += model.RelativeHazard(obs.covariates);
+        if (obs.observed) ++d;
+        ++j;
+      }
+      if (d > 0 && s0 > 0.0) {
+        increments.emplace_back(t, static_cast<double>(d) / s0);
+      }
+      i = j;
+    }
+    std::sort(increments.begin(), increments.end());
+    double h = 0.0;
+    for (const auto& [t, inc] : increments) {
+      h += inc;
+      model.baseline_times_.push_back(t);
+      model.baseline_hazard_.push_back(h);
+    }
+  }
+  return model;
+}
+
+double CoxModel::LinearPredictor(const std::vector<double>& covariates) const {
+  return std::inner_product(beta_.begin(), beta_.end(), covariates.begin(),
+                            0.0);
+}
+
+double CoxModel::RelativeHazard(const std::vector<double>& covariates) const {
+  return std::exp(LinearPredictor(covariates));
+}
+
+double CoxModel::BaselineCumulativeHazard(double time) const {
+  const auto it = std::upper_bound(baseline_times_.begin(),
+                                   baseline_times_.end(), time);
+  if (it == baseline_times_.begin()) return 0.0;
+  return baseline_hazard_[static_cast<size_t>(it - baseline_times_.begin()) -
+                          1];
+}
+
+double CoxModel::PredictSurvival(double time,
+                                 const std::vector<double>& covariates) const {
+  return std::exp(-BaselineCumulativeHazard(time) *
+                  RelativeHazard(covariates));
+}
+
+double CoxModel::ConcordanceIndex(
+    const std::vector<CovariateObservation>& data) const {
+  // O(n^2) over comparable pairs; adequate for study-sized cohorts.
+  double concordant = 0.0;
+  double comparable = 0.0;
+  std::vector<double> risk(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    risk[i] = LinearPredictor(data[i].covariates);
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data[i].observed) continue;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (i == j) continue;
+      // i failed at duration_i; j is comparable if it survived longer
+      // (event later or censored later).
+      if (data[j].duration <= data[i].duration) continue;
+      comparable += 1.0;
+      if (risk[i] > risk[j]) {
+        concordant += 1.0;
+      } else if (risk[i] == risk[j]) {
+        concordant += 0.5;
+      }
+    }
+  }
+  return comparable == 0.0 ? 0.5 : concordant / comparable;
+}
+
+std::string CoxModel::ToText() const {
+  std::string out =
+      "covariate\tbeta\tHR\tse\tz\tp\n";
+  for (const auto& c : coefficients_) {
+    out += c.name + "\t" + FormatDouble(c.beta, 4) + "\t" +
+           FormatDouble(c.hazard_ratio, 3) + "\t" +
+           FormatDouble(c.std_error, 4) + "\t" + FormatDouble(c.z, 2) +
+           "\t" + FormatDouble(c.p_value, 5) + "\n";
+  }
+  out += "log-likelihood " + FormatDouble(log_likelihood_, 2) + " (null " +
+         FormatDouble(null_log_likelihood_, 2) + "), LR chi2 " +
+         FormatDouble(likelihood_ratio_statistic(), 1) + ", p " +
+         FormatDouble(lr_p_value_, 6) + "\n";
+  return out;
+}
+
+}  // namespace cloudsurv::survival

@@ -1,0 +1,158 @@
+#include "survival/kaplan_meier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/special_functions.h"
+
+namespace cloudsurv::survival {
+
+Result<KaplanMeierCurve> KaplanMeierCurve::Fit(const SurvivalData& data,
+                                               double confidence_level) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit Kaplan-Meier on empty data");
+  }
+  if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
+    return Status::InvalidArgument("confidence level must be in (0, 1)");
+  }
+
+  std::vector<Observation> obs = data.observations();
+  std::sort(obs.begin(), obs.end(),
+            [](const Observation& a, const Observation& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              // Events before censorings at ties: a subject censored at t
+              // is still at risk for an event at t.
+              return a.observed && !b.observed;
+            });
+
+  KaplanMeierCurve curve;
+  curve.num_subjects_ = obs.size();
+  curve.num_events_ = data.num_events();
+
+  const double z =
+      stats::NormalQuantile(0.5 + confidence_level / 2.0);
+
+  size_t at_risk = obs.size();
+  double survival = 1.0;
+  double greenwood_sum = 0.0;  // sum d_i / (n_i (n_i - d_i))
+  size_t i = 0;
+  size_t censored_pending = 0;
+  while (i < obs.size()) {
+    const double t = obs[i].duration;
+    size_t events = 0;
+    size_t censored = 0;
+    while (i < obs.size() && obs[i].duration == t) {
+      if (obs[i].observed) {
+        ++events;
+      } else {
+        ++censored;
+      }
+      ++i;
+    }
+    if (events == 0) {
+      // Pure censoring time: no curve step, but risk set shrinks.
+      at_risk -= censored;
+      censored_pending += censored;
+      continue;
+    }
+    KaplanMeierStep step;
+    step.time = t;
+    step.at_risk = at_risk;
+    step.events = events;
+    step.censored = censored_pending + censored;
+    censored_pending = 0;
+    survival *= 1.0 - static_cast<double>(events) /
+                          static_cast<double>(at_risk);
+    // Clamp FP noise; survival can hit exactly 0 when the last subject
+    // at risk has an event.
+    survival = std::max(survival, 0.0);
+    if (at_risk > events) {
+      greenwood_sum += static_cast<double>(events) /
+                       (static_cast<double>(at_risk) *
+                        static_cast<double>(at_risk - events));
+    }
+    step.survival = survival;
+    step.std_error = survival * std::sqrt(greenwood_sum);
+    // Exponential Greenwood ("log-log") interval, the Lifelines default:
+    // bounds are S^{exp(+-z * se(log(-log S)))}; stays inside [0, 1].
+    if (survival > 0.0 && survival < 1.0) {
+      const double log_neg_log = std::log(-std::log(survival));
+      const double se_loglog =
+          std::sqrt(greenwood_sum) / std::fabs(std::log(survival));
+      const double lo = log_neg_log + z * se_loglog;
+      const double hi = log_neg_log - z * se_loglog;
+      step.ci_lower = std::exp(-std::exp(lo));
+      step.ci_upper = std::exp(-std::exp(hi));
+    } else {
+      step.ci_lower = survival;
+      step.ci_upper = survival;
+    }
+    curve.steps_.push_back(step);
+    at_risk -= events + censored;
+  }
+  return curve;
+}
+
+double KaplanMeierCurve::SurvivalAt(double time) const {
+  // Last step with step.time <= time.
+  double s = 1.0;
+  for (const KaplanMeierStep& step : steps_) {
+    if (step.time > time) break;
+    s = step.survival;
+  }
+  return s;
+}
+
+std::optional<double> KaplanMeierCurve::PercentileTime(double p) const {
+  const double target = 1.0 - p;
+  for (const KaplanMeierStep& step : steps_) {
+    if (step.survival <= target + 1e-12) return step.time;
+  }
+  return std::nullopt;
+}
+
+double KaplanMeierCurve::RestrictedMean(double horizon) const {
+  double area = 0.0;
+  double prev_time = 0.0;
+  double prev_survival = 1.0;
+  for (const KaplanMeierStep& step : steps_) {
+    if (step.time >= horizon) break;
+    area += prev_survival * (step.time - prev_time);
+    prev_time = step.time;
+    prev_survival = step.survival;
+  }
+  area += prev_survival * (horizon - prev_time);
+  return area;
+}
+
+std::vector<double> KaplanMeierCurve::Evaluate(double max_time,
+                                               size_t num_points) const {
+  std::vector<double> out;
+  if (num_points == 0) return out;
+  out.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    const double t = num_points == 1
+                         ? 0.0
+                         : max_time * static_cast<double>(i) /
+                               static_cast<double>(num_points - 1);
+    out.push_back(SurvivalAt(t));
+  }
+  return out;
+}
+
+std::string KaplanMeierCurve::ToTable(size_t max_rows) const {
+  std::string out = "time\tat_risk\tevents\tS(t)\t95% CI\n";
+  const size_t n = steps_.size();
+  const size_t stride = n <= max_rows ? 1 : (n + max_rows - 1) / max_rows;
+  for (size_t i = 0; i < n; i += stride) {
+    const KaplanMeierStep& s = steps_[i];
+    out += FormatDouble(s.time, 2) + "\t" + std::to_string(s.at_risk) + "\t" +
+           std::to_string(s.events) + "\t" + FormatDouble(s.survival, 4) +
+           "\t[" + FormatDouble(s.ci_lower, 4) + ", " +
+           FormatDouble(s.ci_upper, 4) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace cloudsurv::survival

@@ -1,0 +1,76 @@
+#ifndef CLOUDSURV_SURVIVAL_KAPLAN_MEIER_H_
+#define CLOUDSURV_SURVIVAL_KAPLAN_MEIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+
+/// One step of a fitted Kaplan-Meier curve, at a distinct event time.
+struct KaplanMeierStep {
+  double time = 0.0;        ///< Distinct event time t_i.
+  size_t at_risk = 0;       ///< n_i: individuals at risk just before t_i.
+  size_t events = 0;        ///< d_i: events at t_i.
+  size_t censored = 0;      ///< Censorings in (t_{i-1}, t_i].
+  double survival = 1.0;    ///< S(t_i) = prod_{j<=i} (1 - d_j/n_j).
+  double std_error = 0.0;   ///< Greenwood standard error of S(t_i).
+  double ci_lower = 1.0;    ///< Exponential-Greenwood (log-log) 95% CI.
+  double ci_upper = 1.0;
+};
+
+/// Nonparametric Kaplan-Meier estimate of the survival function
+/// S(t) = P[T > t] from right-censored data (paper section 3.2,
+/// reference [19]). Mirrors the estimator in the Python Lifelines
+/// package the paper uses, including Greenwood variance and log-log
+/// confidence intervals.
+class KaplanMeierCurve {
+ public:
+  /// Fits the estimator. Requires non-empty data.
+  /// `confidence_level` in (0, 1) controls the CI width (default 95%).
+  static Result<KaplanMeierCurve> Fit(const SurvivalData& data,
+                                      double confidence_level = 0.95);
+
+  /// The curve's steps at distinct event times, ascending.
+  const std::vector<KaplanMeierStep>& steps() const { return steps_; }
+
+  /// S(t): right-continuous step-function lookup. S(t) = 1 before the
+  /// first event time.
+  double SurvivalAt(double time) const;
+
+  /// Smallest time with S(t) <= 1 - p, i.e. the time by which a fraction
+  /// p of the population has experienced the event. Empty when the curve
+  /// never drops that far (common with heavy censoring).
+  std::optional<double> PercentileTime(double p) const;
+
+  /// Median survival time = PercentileTime(0.5).
+  std::optional<double> MedianTime() const { return PercentileTime(0.5); }
+
+  /// Restricted mean survival time: integral of S(t) over [0, horizon].
+  double RestrictedMean(double horizon) const;
+
+  /// Number of individuals the curve was fitted on.
+  size_t num_subjects() const { return num_subjects_; }
+  size_t num_events() const { return num_events_; }
+
+  /// Samples S(t) on an evenly spaced grid [0, max_time] with
+  /// `num_points` points; handy for plotting / report tables.
+  std::vector<double> Evaluate(double max_time, size_t num_points) const;
+
+  /// Renders "t survival at_risk events" rows, one per step.
+  std::string ToTable(size_t max_rows = 30) const;
+
+ private:
+  KaplanMeierCurve() = default;
+
+  std::vector<KaplanMeierStep> steps_;
+  size_t num_subjects_ = 0;
+  size_t num_events_ = 0;
+};
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_KAPLAN_MEIER_H_

@@ -1,0 +1,53 @@
+#ifndef CLOUDSURV_SURVIVAL_LIFE_TABLE_H_
+#define CLOUDSURV_SURVIVAL_LIFE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+
+/// One interval row of an actuarial life table.
+struct LifeTableRow {
+  double interval_start = 0.0;
+  double interval_end = 0.0;
+  size_t entering = 0;        ///< Alive at interval start.
+  size_t events = 0;          ///< Events during the interval.
+  size_t censored = 0;        ///< Censored during the interval.
+  double effective_at_risk = 0.0;  ///< entering - censored / 2.
+  double conditional_survival = 1.0;  ///< 1 - events / effective_at_risk.
+  double cumulative_survival = 1.0;   ///< Product up to this interval.
+  double hazard_rate = 0.0;   ///< events / (effective_at_risk * width).
+};
+
+/// Actuarial (interval) life table with the classic half-censoring
+/// adjustment. Coarser than KM but gives per-interval hazard rates that
+/// read naturally in reports ("what fraction of week-3 survivors drop in
+/// week 4?").
+class LifeTable {
+ public:
+  /// Builds a table over [0, horizon) with equal `interval_width` bins.
+  /// Subjects surviving past the horizon count as censored in the final
+  /// interval. Requires positive width/horizon and non-empty data.
+  static Result<LifeTable> Build(const SurvivalData& data,
+                                 double interval_width, double horizon);
+
+  const std::vector<LifeTableRow>& rows() const { return rows_; }
+
+  /// Cumulative survival at the end of the interval containing `time`
+  /// (1.0 before the first interval closes).
+  double SurvivalAt(double time) const;
+
+  /// Renders a fixed-width text table.
+  std::string ToText() const;
+
+ private:
+  LifeTable() = default;
+  std::vector<LifeTableRow> rows_;
+};
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_LIFE_TABLE_H_

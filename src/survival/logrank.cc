@@ -1,0 +1,230 @@
+#include "survival/logrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cloudsurv::survival {
+
+namespace {
+
+struct Tagged {
+  double time;
+  bool observed;
+  int group;
+};
+
+// Solves the (k-1)x(k-1) system V x = z in place with partial pivoting;
+// returns z' V^{-1} z, or an error when V is (numerically) singular.
+Result<double> QuadraticForm(std::vector<std::vector<double>> v,
+                             std::vector<double> z) {
+  const size_t m = z.size();
+  std::vector<double> x = z;
+  // Gaussian elimination of [V | x].
+  for (size_t col = 0; col < m; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < m; ++r) {
+      if (std::fabs(v[r][col]) > std::fabs(v[pivot][col])) pivot = r;
+    }
+    if (std::fabs(v[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument(
+          "log-rank variance matrix is singular (a group may have no "
+          "overlapping risk sets)");
+    }
+    std::swap(v[col], v[pivot]);
+    std::swap(x[col], x[pivot]);
+    for (size_t r = col + 1; r < m; ++r) {
+      const double f = v[r][col] / v[col][col];
+      for (size_t c = col; c < m; ++c) v[r][c] -= f * v[col][c];
+      x[r] -= f * x[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> sol(m);
+  for (size_t ri = m; ri-- > 0;) {
+    double acc = x[ri];
+    for (size_t c = ri + 1; c < m; ++c) acc -= v[ri][c] * sol[c];
+    sol[ri] = acc / v[ri][ri];
+  }
+  double stat = 0.0;
+  for (size_t i = 0; i < m; ++i) stat += z[i] * sol[i];
+  return stat;
+}
+
+}  // namespace
+
+Result<LogRankResult> KSampleLogRankTest(
+    const std::vector<SurvivalData>& groups, LogRankWeighting weighting) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("log-rank test needs >= 2 groups");
+  }
+  const int k = static_cast<int>(groups.size());
+  std::vector<Tagged> all;
+  for (int g = 0; g < k; ++g) {
+    if (groups[g].empty()) {
+      return Status::InvalidArgument("log-rank group " + std::to_string(g) +
+                                     " is empty");
+    }
+    for (const Observation& o : groups[g].observations()) {
+      all.push_back(Tagged{o.duration, o.observed, g});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.observed && !b.observed;
+  });
+
+  std::vector<double> at_risk(k, 0.0);
+  for (const Tagged& t : all) at_risk[t.group] += 1.0;
+  double total_at_risk = static_cast<double>(all.size());
+
+  LogRankResult result;
+  result.observed.assign(k, 0.0);
+  result.expected.assign(k, 0.0);
+  std::vector<double> z(k - 1, 0.0);
+  std::vector<std::vector<double>> v(k - 1, std::vector<double>(k - 1, 0.0));
+
+  double pooled_survival = 1.0;  // left limit S(t-) for Peto-Peto weights
+  size_t i = 0;
+  while (i < all.size()) {
+    const double t = all[i].time;
+    std::vector<double> d_g(k, 0.0);
+    std::vector<double> c_g(k, 0.0);
+    double d_total = 0.0;
+    double removed = 0.0;
+    while (i < all.size() && all[i].time == t) {
+      if (all[i].observed) {
+        d_g[all[i].group] += 1.0;
+        d_total += 1.0;
+      } else {
+        c_g[all[i].group] += 1.0;
+      }
+      removed += 1.0;
+      ++i;
+    }
+    if (d_total > 0.0 && total_at_risk > 0.0) {
+      double w = 1.0;
+      switch (weighting) {
+        case LogRankWeighting::kLogRank:
+          w = 1.0;
+          break;
+        case LogRankWeighting::kWilcoxon:
+          w = total_at_risk;
+          break;
+        case LogRankWeighting::kPetoPeto:
+          w = pooled_survival;
+          break;
+      }
+      for (int g = 0; g < k; ++g) {
+        const double e_g = d_total * at_risk[g] / total_at_risk;
+        result.observed[g] += d_g[g];
+        result.expected[g] += e_g;
+        if (g < k - 1) z[g] += w * (d_g[g] - e_g);
+      }
+      if (total_at_risk > 1.0) {
+        const double hyper =
+            d_total * (total_at_risk - d_total) / (total_at_risk - 1.0);
+        for (int g = 0; g < k - 1; ++g) {
+          for (int h = 0; h < k - 1; ++h) {
+            const double delta = (g == h) ? 1.0 : 0.0;
+            v[g][h] += w * w * hyper * (at_risk[g] / total_at_risk) *
+                       (delta - at_risk[h] / total_at_risk);
+          }
+        }
+      }
+      pooled_survival *= 1.0 - d_total / total_at_risk;
+    }
+    for (int g = 0; g < k; ++g) at_risk[g] -= d_g[g] + c_g[g];
+    total_at_risk -= removed;
+  }
+
+  CLOUDSURV_ASSIGN_OR_RETURN(result.statistic, QuadraticForm(v, z));
+  result.degrees_of_freedom = static_cast<double>(k - 1);
+  result.p_value =
+      stats::ChiSquaredSurvival(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+Result<LogRankResult> StratifiedLogRankTest(
+    const std::vector<std::pair<SurvivalData, SurvivalData>>& strata) {
+  if (strata.empty()) {
+    return Status::InvalidArgument("stratified test needs >= 1 stratum");
+  }
+  double z = 0.0;
+  double variance = 0.0;
+  LogRankResult result;
+  result.observed.assign(2, 0.0);
+  result.expected.assign(2, 0.0);
+  for (size_t s = 0; s < strata.size(); ++s) {
+    const auto& [a, b] = strata[s];
+    if (a.empty() || b.empty()) {
+      return Status::InvalidArgument("stratum " + std::to_string(s) +
+                                     " is missing a group");
+    }
+    // Reuse the two-sample machinery per stratum; accumulate its
+    // numerator and variance rather than its chi-squared.
+    std::vector<Tagged> all;
+    all.reserve(a.size() + b.size());
+    for (const Observation& o : a.observations()) {
+      all.push_back(Tagged{o.duration, o.observed, 0});
+    }
+    for (const Observation& o : b.observations()) {
+      all.push_back(Tagged{o.duration, o.observed, 1});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Tagged& x, const Tagged& y) {
+                if (x.time != y.time) return x.time < y.time;
+                return x.observed && !y.observed;
+              });
+    double n_a = static_cast<double>(a.size());
+    double n_total = static_cast<double>(all.size());
+    size_t i = 0;
+    while (i < all.size()) {
+      const double t = all[i].time;
+      double d_total = 0.0, d_a = 0.0, removed_a = 0.0, removed = 0.0;
+      while (i < all.size() && all[i].time == t) {
+        if (all[i].observed) {
+          d_total += 1.0;
+          if (all[i].group == 0) d_a += 1.0;
+        }
+        removed += 1.0;
+        if (all[i].group == 0) removed_a += 1.0;
+        ++i;
+      }
+      if (d_total > 0.0 && n_total > 0.0) {
+        const double e_a = d_total * n_a / n_total;
+        result.observed[0] += d_a;
+        result.observed[1] += d_total - d_a;
+        result.expected[0] += e_a;
+        result.expected[1] += d_total - e_a;
+        z += d_a - e_a;
+        if (n_total > 1.0) {
+          variance += d_total * (n_total - d_total) / (n_total - 1.0) *
+                      (n_a / n_total) * (1.0 - n_a / n_total);
+        }
+      }
+      n_total -= removed;
+      n_a -= removed_a;
+    }
+  }
+  if (variance <= 0.0) {
+    return Status::InvalidArgument(
+        "stratified log-rank variance degenerate");
+  }
+  result.statistic = z * z / variance;
+  result.degrees_of_freedom = 1.0;
+  result.p_value = stats::ChiSquaredSurvival(result.statistic, 1.0);
+  return result;
+}
+
+Result<LogRankResult> LogRankTest(const SurvivalData& group_a,
+                                  const SurvivalData& group_b,
+                                  LogRankWeighting weighting) {
+  std::vector<SurvivalData> groups;
+  groups.push_back(group_a);
+  groups.push_back(group_b);
+  return KSampleLogRankTest(groups, weighting);
+}
+
+}  // namespace cloudsurv::survival

@@ -1,0 +1,63 @@
+#ifndef CLOUDSURV_SURVIVAL_LOGRANK_H_
+#define CLOUDSURV_SURVIVAL_LOGRANK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+
+/// Weighting schemes for the family of weighted log-rank tests.
+enum class LogRankWeighting {
+  /// w_i = 1: the standard log-rank test (paper section 5.2, ref [20]).
+  kLogRank,
+  /// w_i = n_i (total at risk): Gehan-Breslow generalized Wilcoxon;
+  /// emphasizes early differences.
+  kWilcoxon,
+  /// w_i = S(t_i-): Peto-Peto; also early-weighted but more robust to
+  /// differing censoring patterns.
+  kPetoPeto,
+};
+
+/// Result of a (weighted) log-rank hypothesis test. The null hypothesis
+/// is that all groups share the same survival distribution.
+struct LogRankResult {
+  double statistic = 0.0;   ///< Chi-squared test statistic.
+  double degrees_of_freedom = 0.0;  ///< k - 1 for k groups.
+  double p_value = 1.0;     ///< Upper-tail chi-squared probability.
+  /// Per-group observed and expected event counts (unweighted), for
+  /// reporting.
+  std::vector<double> observed;
+  std::vector<double> expected;
+
+  /// Convenience: significance at the conventional 0.05 level.
+  bool significant_at_05() const { return p_value < 0.05; }
+};
+
+/// Two-sample (weighted) log-rank test.
+Result<LogRankResult> LogRankTest(
+    const SurvivalData& group_a, const SurvivalData& group_b,
+    LogRankWeighting weighting = LogRankWeighting::kLogRank);
+
+/// K-sample (weighted) log-rank test; requires >= 2 non-empty groups.
+/// The statistic is (O-E)' V^{-1} (O-E) over the first k-1 groups, with
+/// V the hypergeometric variance-covariance accumulated across event
+/// times.
+Result<LogRankResult> KSampleLogRankTest(
+    const std::vector<SurvivalData>& groups,
+    LogRankWeighting weighting = LogRankWeighting::kLogRank);
+
+/// Stratified two-sample log-rank test: each stratum (e.g. one study
+/// region) contributes its own risk sets; (O - E) and the variance are
+/// summed across strata before forming the chi-squared statistic. This
+/// is the standard way to test "do the groups differ?" while
+/// controlling for a confounder — here, pooling the three regions
+/// without letting between-region differences masquerade as a group
+/// effect. Every stratum must contain both groups, non-empty.
+Result<LogRankResult> StratifiedLogRankTest(
+    const std::vector<std::pair<SurvivalData, SurvivalData>>& strata);
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_LOGRANK_H_

@@ -1,0 +1,69 @@
+#include "survival/nelson_aalen.h"
+
+#include <algorithm>
+
+namespace cloudsurv::survival {
+
+Result<NelsonAalenCurve> NelsonAalenCurve::Fit(const SurvivalData& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit Nelson-Aalen on empty data");
+  }
+  std::vector<Observation> obs = data.observations();
+  std::sort(obs.begin(), obs.end(),
+            [](const Observation& a, const Observation& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              return a.observed && !b.observed;
+            });
+
+  NelsonAalenCurve curve;
+  size_t at_risk = obs.size();
+  double hazard = 0.0;
+  double variance = 0.0;
+  size_t i = 0;
+  while (i < obs.size()) {
+    const double t = obs[i].duration;
+    size_t events = 0;
+    size_t censored = 0;
+    while (i < obs.size() && obs[i].duration == t) {
+      if (obs[i].observed) {
+        ++events;
+      } else {
+        ++censored;
+      }
+      ++i;
+    }
+    if (events > 0) {
+      const double n = static_cast<double>(at_risk);
+      hazard += static_cast<double>(events) / n;
+      variance += static_cast<double>(events) / (n * n);
+      NelsonAalenStep step;
+      step.time = t;
+      step.at_risk = at_risk;
+      step.events = events;
+      step.cumulative_hazard = hazard;
+      step.variance = variance;
+      curve.steps_.push_back(step);
+    }
+    at_risk -= events + censored;
+  }
+  return curve;
+}
+
+double NelsonAalenCurve::CumulativeHazardAt(double time) const {
+  double h = 0.0;
+  for (const NelsonAalenStep& step : steps_) {
+    if (step.time > time) break;
+    h = step.cumulative_hazard;
+  }
+  return h;
+}
+
+double NelsonAalenCurve::SmoothedHazard(double time,
+                                        double half_window) const {
+  const double lo = std::max(0.0, time - half_window);
+  const double hi = time + half_window;
+  if (hi <= lo) return 0.0;
+  return (CumulativeHazardAt(hi) - CumulativeHazardAt(lo)) / (hi - lo);
+}
+
+}  // namespace cloudsurv::survival

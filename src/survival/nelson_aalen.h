@@ -1,0 +1,45 @@
+#ifndef CLOUDSURV_SURVIVAL_NELSON_AALEN_H_
+#define CLOUDSURV_SURVIVAL_NELSON_AALEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+
+/// One step of a fitted Nelson-Aalen cumulative-hazard curve.
+struct NelsonAalenStep {
+  double time = 0.0;          ///< Distinct event time.
+  size_t at_risk = 0;         ///< n_i.
+  size_t events = 0;          ///< d_i.
+  double cumulative_hazard = 0.0;  ///< H(t) = sum d_j / n_j.
+  double variance = 0.0;      ///< sum d_j / n_j^2 (Aalen's estimator).
+};
+
+/// Nelson-Aalen estimator of the cumulative hazard H(t). Complements the
+/// KM estimator: exp(-H(t)) approximates S(t), and the hazard increments
+/// expose where drop risk concentrates (e.g. the day-~120 incentive
+/// expiry spike visible in Figure 1).
+class NelsonAalenCurve {
+ public:
+  /// Fits the estimator. Requires non-empty data.
+  static Result<NelsonAalenCurve> Fit(const SurvivalData& data);
+
+  const std::vector<NelsonAalenStep>& steps() const { return steps_; }
+
+  /// H(t): right-continuous step-function lookup; 0 before first event.
+  double CumulativeHazardAt(double time) const;
+
+  /// Smoothed hazard rate over [t - half_window, t + half_window]:
+  /// (H(hi) - H(lo)) / (hi - lo). Used to locate hazard spikes.
+  double SmoothedHazard(double time, double half_window) const;
+
+ private:
+  NelsonAalenCurve() = default;
+  std::vector<NelsonAalenStep> steps_;
+};
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_NELSON_AALEN_H_

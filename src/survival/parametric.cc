@@ -1,0 +1,122 @@
+#include "survival/parametric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudsurv::survival {
+
+namespace {
+
+// Zero event-durations are clamped to this to keep log-densities
+// finite (sub-second lifetimes recorded as 0 days).
+constexpr double kMinDuration = 1e-8;
+
+double ClampedDuration(double t) { return std::max(t, kMinDuration); }
+
+}  // namespace
+
+double CensoredLogLikelihood(const SurvivalData& data,
+                             const stats::Distribution& dist) {
+  double ll = 0.0;
+  for (const Observation& o : data.observations()) {
+    const double t = ClampedDuration(o.duration);
+    if (o.observed) {
+      ll += std::log(std::max(dist.Pdf(t), 1e-300));
+    } else {
+      ll += std::log(std::max(1.0 - dist.Cdf(t), 1e-300));
+    }
+  }
+  return ll;
+}
+
+Result<ExponentialFitResult> FitExponential(const SurvivalData& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  if (data.num_events() == 0) {
+    return Status::InvalidArgument(
+        "exponential MLE needs at least one event");
+  }
+  double total_time = 0.0;
+  for (const Observation& o : data.observations()) {
+    total_time += ClampedDuration(o.duration);
+  }
+  ExponentialFitResult result;
+  result.rate = static_cast<double>(data.num_events()) / total_time;
+  stats::ExponentialDistribution dist(result.rate);
+  result.fit.log_likelihood = CensoredLogLikelihood(data, dist);
+  result.fit.num_parameters = 1;
+  result.fit.aic = 2.0 * 1 - 2.0 * result.fit.log_likelihood;
+  return result;
+}
+
+Result<WeibullFitResult> FitWeibull(const SurvivalData& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit on empty data");
+  }
+  const double d = static_cast<double>(data.num_events());
+  if (d == 0.0) {
+    return Status::InvalidArgument("Weibull MLE needs at least one event");
+  }
+
+  double sum_log_event = 0.0;
+  for (const Observation& o : data.observations()) {
+    if (o.observed) sum_log_event += std::log(ClampedDuration(o.duration));
+  }
+
+  // Profile score in the shape k:
+  //   g(k) = d/k + sum_{events} ln t - d * A1(k)/A0(k),
+  // with A0 = sum t^k, A1 = sum t^k ln t over ALL observations.
+  auto score = [&](double k) {
+    double a0 = 0.0, a1 = 0.0;
+    for (const Observation& o : data.observations()) {
+      const double t = ClampedDuration(o.duration);
+      const double tk = std::pow(t, k);
+      a0 += tk;
+      a1 += tk * std::log(t);
+    }
+    return d / k + sum_log_event - d * a1 / a0;
+  };
+
+  // Bracket the root: g is decreasing; expand until sign change.
+  double lo = 1e-3, hi = 1.0;
+  while (score(hi) > 0.0 && hi < 200.0) hi *= 2.0;
+  if (score(hi) > 0.0) {
+    return Status::Internal(
+        "Weibull shape did not bracket (degenerate durations?)");
+  }
+  if (score(lo) < 0.0) {
+    // All information pushes the shape to ~0; data is degenerate.
+    return Status::InvalidArgument(
+        "Weibull MLE degenerate: score negative at minimal shape");
+  }
+
+  WeibullFitResult result;
+  int iterations = 0;
+  for (; iterations < 200; ++iterations) {
+    const double mid = 0.5 * (lo + hi);
+    if (score(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * std::max(1.0, hi)) break;
+  }
+  result.shape = 0.5 * (lo + hi);
+  result.fit.iterations = iterations;
+  result.fit.converged = iterations < 200;
+
+  double a0 = 0.0;
+  for (const Observation& o : data.observations()) {
+    a0 += std::pow(ClampedDuration(o.duration), result.shape);
+  }
+  result.scale = std::pow(a0 / d, 1.0 / result.shape);
+
+  stats::WeibullDistribution dist(result.shape, result.scale);
+  result.fit.log_likelihood = CensoredLogLikelihood(data, dist);
+  result.fit.num_parameters = 2;
+  result.fit.aic = 2.0 * 2 - 2.0 * result.fit.log_likelihood;
+  return result;
+}
+
+}  // namespace cloudsurv::survival

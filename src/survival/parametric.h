@@ -1,0 +1,49 @@
+#ifndef CLOUDSURV_SURVIVAL_PARAMETRIC_H_
+#define CLOUDSURV_SURVIVAL_PARAMETRIC_H_
+
+#include "common/status.h"
+#include "stats/distributions.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+
+/// Result of a parametric maximum-likelihood fit on right-censored
+/// data. Events contribute the log-density, censored observations the
+/// log-survival.
+struct ParametricFit {
+  double log_likelihood = 0.0;
+  double aic = 0.0;       ///< 2k - 2 ln L.
+  int num_parameters = 0;
+  int iterations = 0;
+  bool converged = true;
+};
+
+/// Exponential(rate) MLE with right-censoring. Closed form:
+/// rate = (#events) / (total observed time).
+struct ExponentialFitResult {
+  double rate = 0.0;
+  ParametricFit fit;
+};
+Result<ExponentialFitResult> FitExponential(const SurvivalData& data);
+
+/// Weibull(shape, scale) MLE with right-censoring. The profile
+/// likelihood reduces to a one-dimensional equation in the shape
+/// parameter, solved by Newton's method with a bisection fallback.
+/// Shape < 1 indicates infant-mortality-style churn (drop hazard
+/// decreasing with age) — the typical finding for cloud databases.
+struct WeibullFitResult {
+  double shape = 1.0;
+  double scale = 1.0;
+  ParametricFit fit;
+};
+Result<WeibullFitResult> FitWeibull(const SurvivalData& data);
+
+/// Log-likelihood of `data` under an arbitrary distribution (density
+/// for events, survival for censored observations). Useful to compare
+/// parametric candidates by AIC.
+double CensoredLogLikelihood(const SurvivalData& data,
+                             const stats::Distribution& dist);
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_PARAMETRIC_H_

@@ -1,0 +1,352 @@
+#include "survival/random_survival_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cloudsurv::survival {
+
+namespace {
+
+// One node member, presorted by duration for O(n) log-rank scans.
+struct Member {
+  double duration;
+  bool observed;
+  size_t row;
+};
+
+// Two-sample log-rank chi-squared statistic over presorted members,
+// with group membership decided by `in_left`. Returns 0 when a group is
+// empty or the variance degenerates.
+template <typename InLeft>
+double LogRankStatistic(const std::vector<Member>& members,
+                        const InLeft& in_left) {
+  double n_left = 0.0;
+  for (const Member& m : members) {
+    if (in_left(m.row)) n_left += 1.0;
+  }
+  double n_total = static_cast<double>(members.size());
+  double n_right = n_total - n_left;
+  if (n_left == 0.0 || n_right == 0.0) return 0.0;
+
+  double observed_minus_expected = 0.0;
+  double variance = 0.0;
+  size_t i = 0;
+  while (i < members.size()) {
+    const double t = members[i].duration;
+    double d_total = 0.0, d_left = 0.0;
+    double removed_left = 0.0, removed_total = 0.0;
+    while (i < members.size() && members[i].duration == t) {
+      const bool left = in_left(members[i].row);
+      if (members[i].observed) {
+        d_total += 1.0;
+        if (left) d_left += 1.0;
+      }
+      removed_total += 1.0;
+      if (left) removed_left += 1.0;
+      ++i;
+    }
+    if (d_total > 0.0 && n_total > 1.0) {
+      const double p_left = n_left / n_total;
+      observed_minus_expected += d_left - d_total * p_left;
+      variance += d_total * (n_total - d_total) / (n_total - 1.0) *
+                  p_left * (1.0 - p_left);
+    }
+    n_total -= removed_total;
+    n_left -= removed_left;
+  }
+  if (variance <= 0.0) return 0.0;
+  return observed_minus_expected * observed_minus_expected / variance;
+}
+
+}  // namespace
+
+const std::vector<float>& RandomSurvivalForest::Tree::Leaf(
+    const std::vector<double>& x) const {
+  const Node* node = &nodes[0];
+  while (node->feature >= 0) {
+    node = x[static_cast<size_t>(node->feature)] <= node->threshold
+               ? &nodes[static_cast<size_t>(node->left)]
+               : &nodes[static_cast<size_t>(node->right)];
+  }
+  return node->survival;
+}
+
+std::vector<float> RandomSurvivalForest::LeafCurve(
+    const std::vector<CovariateObservation>& data,
+    const std::vector<size_t>& indices, size_t begin, size_t end) const {
+  // Kaplan-Meier over the leaf members, sampled on the shared grid.
+  std::vector<Member> members;
+  members.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    members.push_back(Member{data[indices[i]].duration,
+                             data[indices[i]].observed, indices[i]});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const Member& a, const Member& b) {
+              return a.duration < b.duration;
+            });
+  const int g = params_.grid_points;
+  std::vector<float> curve(static_cast<size_t>(g), 1.0f);
+  double at_risk = static_cast<double>(members.size());
+  double survival = 1.0;
+  size_t i = 0;
+  const double step =
+      params_.horizon_days / static_cast<double>(g - 1);
+  int grid_index = 0;
+  while (i < members.size()) {
+    const double t = members[i].duration;
+    double events = 0.0, removed = 0.0;
+    while (i < members.size() && members[i].duration == t) {
+      if (members[i].observed) events += 1.0;
+      removed += 1.0;
+      ++i;
+    }
+    if (events > 0.0 && at_risk > 0.0) {
+      // Fill grid points strictly before this event time with the
+      // running survival.
+      while (grid_index < g &&
+             static_cast<double>(grid_index) * step < t) {
+        curve[static_cast<size_t>(grid_index)] =
+            static_cast<float>(survival);
+        ++grid_index;
+      }
+      survival *= 1.0 - events / at_risk;
+    }
+    at_risk -= removed;
+  }
+  for (; grid_index < g; ++grid_index) {
+    curve[static_cast<size_t>(grid_index)] = static_cast<float>(survival);
+  }
+  return curve;
+}
+
+int RandomSurvivalForest::BuildNode(
+    const std::vector<CovariateObservation>& data,
+    std::vector<size_t>& indices, size_t begin, size_t end, int depth,
+    Rng& rng, Tree* tree) {
+  const size_t n = end - begin;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.survival = LeafCurve(data, indices, begin, end);
+    tree->nodes.push_back(std::move(leaf));
+    return static_cast<int>(tree->nodes.size() - 1);
+  };
+  if (depth >= params_.max_depth || n < 2 * params_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Presort node members by duration for O(n) log-rank scans.
+  std::vector<Member> members;
+  members.reserve(n);
+  size_t events_here = 0;
+  for (size_t i = begin; i < end; ++i) {
+    members.push_back(Member{data[indices[i]].duration,
+                             data[indices[i]].observed, indices[i]});
+    events_here += data[indices[i]].observed ? 1 : 0;
+  }
+  if (events_here == 0) return make_leaf();  // nothing to separate
+  std::sort(members.begin(), members.end(),
+            [](const Member& a, const Member& b) {
+              return a.duration < b.duration;
+            });
+
+  const int d = static_cast<int>(covariate_names_.size());
+  int k = params_.max_features > 0
+              ? std::min(params_.max_features, d)
+              : std::max(1, static_cast<int>(std::ceil(std::sqrt(d))));
+  std::vector<int> features(static_cast<size_t>(d));
+  std::iota(features.begin(), features.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j =
+        static_cast<int>(rng.UniformInt(i, static_cast<int64_t>(d) - 1));
+    std::swap(features[static_cast<size_t>(i)],
+              features[static_cast<size_t>(j)]);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_stat = 3.0;  // require a non-trivial split (chi2 > 3)
+  for (int fi = 0; fi < k; ++fi) {
+    const size_t f = static_cast<size_t>(features[static_cast<size_t>(fi)]);
+    double lo = data[indices[begin]].covariates[f];
+    double hi = lo;
+    for (size_t i = begin; i < end; ++i) {
+      const double v = data[indices[i]].covariates[f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo == hi) continue;
+    for (int c = 0; c < params_.thresholds_per_feature; ++c) {
+      const double threshold = rng.Uniform(lo, hi);
+      // Enforce min leaf sizes cheaply.
+      size_t n_left = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (data[indices[i]].covariates[f] <= threshold) ++n_left;
+      }
+      if (n_left < params_.min_samples_leaf ||
+          n - n_left < params_.min_samples_leaf) {
+        continue;
+      }
+      const double stat = LogRankStatistic(
+          members, [&](size_t row) {
+            return data[row].covariates[f] <= threshold;
+          });
+      if (stat > best_stat) {
+        best_stat = stat;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  importances_[static_cast<size_t>(best_feature)] += best_stat;
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](size_t row) {
+        return data[row].covariates[static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_index)].feature = best_feature;
+  tree->nodes[static_cast<size_t>(node_index)].threshold = best_threshold;
+  const int left =
+      BuildNode(data, indices, begin, mid, depth + 1, rng, tree);
+  const int right =
+      BuildNode(data, indices, mid, end, depth + 1, rng, tree);
+  tree->nodes[static_cast<size_t>(node_index)].left = left;
+  tree->nodes[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+Status RandomSurvivalForest::Fit(
+    const std::vector<CovariateObservation>& data,
+    std::vector<std::string> covariate_names,
+    const SurvivalForestParams& params, uint64_t seed) {
+  if (covariate_names.empty()) {
+    return Status::InvalidArgument("survival forest needs covariates");
+  }
+  if (data.size() < 2 * params.min_samples_leaf) {
+    return Status::InvalidArgument("too few observations");
+  }
+  if (params.num_trees <= 0 || params.grid_points < 2 ||
+      params.horizon_days <= 0.0 || params.thresholds_per_feature < 1) {
+    return Status::InvalidArgument("invalid survival forest params");
+  }
+  size_t events = 0;
+  for (const auto& obs : data) {
+    if (obs.covariates.size() != covariate_names.size()) {
+      return Status::InvalidArgument("covariate length mismatch");
+    }
+    if (!std::isfinite(obs.duration) || obs.duration < 0.0) {
+      return Status::InvalidArgument("invalid duration");
+    }
+    if (obs.observed) ++events;
+  }
+  if (events == 0) {
+    return Status::InvalidArgument("needs at least one event");
+  }
+
+  params_ = params;
+  covariate_names_ = std::move(covariate_names);
+  trees_.clear();
+  importances_.assign(covariate_names_.size(), 0.0);
+
+  const Rng root(seed);
+  const size_t n = data.size();
+  for (int t = 0; t < params.num_trees; ++t) {
+    Rng rng = root.Fork(static_cast<uint64_t>(t) + 1);
+    std::vector<size_t> sample(n);
+    for (size_t i = 0; i < n; ++i) {
+      sample[i] = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    Tree tree;
+    BuildNode(data, sample, 0, sample.size(), 0, rng, &tree);
+    trees_.push_back(std::move(tree));
+  }
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomSurvivalForest::PredictCurve(
+    const std::vector<double>& covariates) const {
+  std::vector<double> curve(static_cast<size_t>(params_.grid_points), 0.0);
+  for (const Tree& tree : trees_) {
+    const auto& leaf = tree.Leaf(covariates);
+    for (size_t i = 0; i < curve.size(); ++i) {
+      curve[i] += static_cast<double>(leaf[i]);
+    }
+  }
+  for (double& v : curve) v /= static_cast<double>(trees_.size());
+  return curve;
+}
+
+double RandomSurvivalForest::PredictSurvival(
+    const std::vector<double>& covariates, double time) const {
+  const auto curve = PredictCurve(covariates);
+  if (time <= 0.0) return 1.0;
+  const double step = params_.horizon_days /
+                      static_cast<double>(params_.grid_points - 1);
+  const double pos = time / step;
+  const size_t lo = std::min(static_cast<size_t>(pos),
+                             curve.size() - 1);
+  if (lo + 1 >= curve.size()) return curve.back();
+  const double frac = pos - static_cast<double>(lo);
+  return curve[lo] + frac * (curve[lo + 1] - curve[lo]);
+}
+
+double RandomSurvivalForest::PredictMedian(
+    const std::vector<double>& covariates) const {
+  const auto curve = PredictCurve(covariates);
+  const double step = params_.horizon_days /
+                      static_cast<double>(params_.grid_points - 1);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i] <= 0.5) return static_cast<double>(i) * step;
+  }
+  return params_.horizon_days;
+}
+
+double RandomSurvivalForest::PredictMortality(
+    const std::vector<double>& covariates) const {
+  const auto curve = PredictCurve(covariates);
+  double mortality = 0.0;
+  for (double s : curve) {
+    mortality += -std::log(std::max(s, 1e-6));
+  }
+  return mortality;
+}
+
+double RandomSurvivalForest::ConcordanceIndex(
+    const std::vector<CovariateObservation>& data) const {
+  std::vector<double> risk(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    risk[i] = PredictMortality(data[i].covariates);
+  }
+  double concordant = 0.0, comparable = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data[i].observed) continue;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (i == j || data[j].duration <= data[i].duration) continue;
+      comparable += 1.0;
+      if (risk[i] > risk[j]) {
+        concordant += 1.0;
+      } else if (risk[i] == risk[j]) {
+        concordant += 0.5;
+      }
+    }
+  }
+  return comparable == 0.0 ? 0.5 : concordant / comparable;
+}
+
+}  // namespace cloudsurv::survival

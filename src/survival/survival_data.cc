@@ -1,0 +1,40 @@
+#include "survival/survival_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudsurv::survival {
+
+Result<SurvivalData> SurvivalData::Make(
+    std::vector<Observation> observations) {
+  for (const Observation& o : observations) {
+    if (!std::isfinite(o.duration) || o.duration < 0.0) {
+      return Status::InvalidArgument(
+          "survival durations must be finite and non-negative");
+    }
+  }
+  return SurvivalData(std::move(observations));
+}
+
+Result<SurvivalData> SurvivalData::FromArrays(
+    const std::vector<double>& durations, const std::vector<bool>& observed) {
+  if (durations.size() != observed.size()) {
+    return Status::InvalidArgument(
+        "durations and observed flags must have equal length");
+  }
+  std::vector<Observation> obs(durations.size());
+  for (size_t i = 0; i < durations.size(); ++i) {
+    obs[i] = Observation{durations[i], static_cast<bool>(observed[i])};
+  }
+  return Make(std::move(obs));
+}
+
+SurvivalData::SurvivalData(std::vector<Observation> observations)
+    : observations_(std::move(observations)) {
+  for (const Observation& o : observations_) {
+    if (o.observed) ++num_events_;
+    max_duration_ = std::max(max_duration_, o.duration);
+  }
+}
+
+}  // namespace cloudsurv::survival

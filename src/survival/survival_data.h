@@ -1,0 +1,56 @@
+#ifndef CLOUDSURV_SURVIVAL_SURVIVAL_DATA_H_
+#define CLOUDSURV_SURVIVAL_SURVIVAL_DATA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::survival {
+
+/// One individual in a survival study: how long it was observed, and
+/// whether the event of interest (here: database drop) occurred at the
+/// end of that span. `observed = false` means right-censored — the
+/// individual was still event-free when observation stopped.
+struct Observation {
+  double duration = 0.0;  ///< Observation span, in days.
+  bool observed = false;  ///< True = event occurred; false = censored.
+};
+
+/// A validated collection of right-censored observations.
+class SurvivalData {
+ public:
+  SurvivalData() = default;
+
+  /// Validates (all durations finite and >= 0) and wraps `observations`.
+  static Result<SurvivalData> Make(std::vector<Observation> observations);
+
+  /// Convenience: builds from parallel arrays.
+  static Result<SurvivalData> FromArrays(const std::vector<double>& durations,
+                                         const std::vector<bool>& observed);
+
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+
+  size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+
+  /// Number of observations whose event occurred / was censored.
+  size_t num_events() const { return num_events_; }
+  size_t num_censored() const { return observations_.size() - num_events_; }
+
+  /// Largest observed duration (0 when empty).
+  double max_duration() const { return max_duration_; }
+
+ private:
+  explicit SurvivalData(std::vector<Observation> observations);
+
+  std::vector<Observation> observations_;
+  size_t num_events_ = 0;
+  double max_duration_ = 0.0;
+};
+
+}  // namespace cloudsurv::survival
+
+#endif  // CLOUDSURV_SURVIVAL_SURVIVAL_DATA_H_

@@ -1,0 +1,118 @@
+#include "telemetry/civil_time.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cloudsurv::telemetry {
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;                                    // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;        // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  // Howard Hinnant's civil_from_days.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;     // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Timestamp MakeTimestamp(int year, int month, int day, int hour, int minute,
+                        int second) {
+  return DaysFromCivil(year, month, day) * kSecondsPerDay +
+         hour * kSecondsPerHour + minute * kSecondsPerMinute + second;
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+CivilDateTime ToCivil(Timestamp ts, int utc_offset_minutes) {
+  const int64_t local = ts + static_cast<int64_t>(utc_offset_minutes) * 60;
+  int64_t days = local / kSecondsPerDay;
+  int64_t secs = local % kSecondsPerDay;
+  if (secs < 0) {
+    secs += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilDateTime out;
+  CivilFromDays(days, &out.year, &out.month, &out.day);
+  out.hour = static_cast<int>(secs / kSecondsPerHour);
+  out.minute = static_cast<int>((secs % kSecondsPerHour) / kSecondsPerMinute);
+  out.second = static_cast<int>(secs % kSecondsPerMinute);
+  // 1970-01-01 (day 0) was a Thursday. Map to 1=Monday..7=Sunday.
+  int64_t dow = (days + 3) % 7;  // 0 = Monday
+  if (dow < 0) dow += 7;
+  out.day_of_week = static_cast<int>(dow) + 1;
+  out.day_of_year =
+      static_cast<int>(days - DaysFromCivil(out.year, 1, 1)) + 1;
+  out.week_of_year = std::min(52, (out.day_of_year - 1) / 7 + 1);
+  return out;
+}
+
+std::string FormatIso8601(Timestamp ts) {
+  const CivilDateTime c = ToCivil(ts, 0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return std::string(buf);
+}
+
+Result<Timestamp> ParseIso8601(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int matched =
+      std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi, &s);
+  if (matched != 6) {
+    matched = std::sscanf(text.c_str(), "%d-%d-%d", &y, &mo, &d);
+    if (matched != 3) {
+      return Status::InvalidArgument("unparseable timestamp: " + text);
+    }
+    h = mi = s = 0;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > DaysInMonth(y, mo) || h < 0 ||
+      h > 23 || mi < 0 || mi > 59 || s < 0 || s > 59) {
+    return Status::InvalidArgument("timestamp fields out of range: " + text);
+  }
+  return MakeTimestamp(y, mo, d, h, mi, s);
+}
+
+void HolidayCalendar::AddHoliday(int year, int month, int day) {
+  const int64_t v = DaysFromCivil(year, month, day);
+  const auto it = std::lower_bound(days_.begin(), days_.end(), v);
+  if (it == days_.end() || *it != v) days_.insert(it, v);
+}
+
+bool HolidayCalendar::IsHoliday(Timestamp ts, int utc_offset_minutes) const {
+  const CivilDateTime c = ToCivil(ts, utc_offset_minutes);
+  return IsHolidayDate(c.year, c.month, c.day);
+}
+
+bool HolidayCalendar::IsHolidayDate(int year, int month, int day) const {
+  const int64_t v = DaysFromCivil(year, month, day);
+  return std::binary_search(days_.begin(), days_.end(), v);
+}
+
+}  // namespace cloudsurv::telemetry

@@ -1,0 +1,88 @@
+#ifndef CLOUDSURV_TELEMETRY_CIVIL_TIME_H_
+#define CLOUDSURV_TELEMETRY_CIVIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::telemetry {
+
+/// Seconds since the Unix epoch (UTC). All telemetry timestamps are UTC;
+/// region-local civil time is derived with a fixed per-region UTC offset
+/// (sufficient for the creation-time features; DST is deliberately not
+/// modeled and is documented as such in DESIGN.md).
+using Timestamp = int64_t;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+
+/// Broken-down civil date-time plus derived calendar fields needed by the
+/// paper's creation-time features (section 4.2).
+struct CivilDateTime {
+  int year = 1970;
+  int month = 1;        ///< 1-12
+  int day = 1;          ///< 1-31
+  int hour = 0;         ///< 0-23
+  int minute = 0;       ///< 0-59
+  int second = 0;       ///< 0-59
+  int day_of_week = 4;  ///< 1 = Monday ... 7 = Sunday (1970-01-01 was Thu=4).
+  int day_of_year = 1;  ///< 1-366
+  int week_of_year = 1; ///< 1-52 (day_of_year bucketed by 7, capped at 52).
+};
+
+/// Days since the civil epoch 1970-01-01 for a Gregorian date
+/// (proleptic; Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Builds a UTC timestamp from civil fields.
+Timestamp MakeTimestamp(int year, int month, int day, int hour = 0,
+                        int minute = 0, int second = 0);
+
+/// Breaks a timestamp (shifted by `utc_offset_minutes`) into local civil
+/// fields with derived day-of-week / day-of-year / week-of-year.
+CivilDateTime ToCivil(Timestamp ts, int utc_offset_minutes = 0);
+
+/// Number of days in the given month (Gregorian, leap-aware).
+int DaysInMonth(int year, int month);
+
+/// True iff `year` is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+/// Formats "YYYY-MM-DDTHH:MM:SS" (UTC, no offset suffix).
+std::string FormatIso8601(Timestamp ts);
+
+/// Parses "YYYY-MM-DDTHH:MM:SS" (also accepts a date-only form).
+Result<Timestamp> ParseIso8601(const std::string& text);
+
+/// A set of region-local public holidays. Creation-time behaviour in the
+/// simulator (and one of the paper's observed predictive factors) differs
+/// on holidays: human-driven creations drop, automation continues.
+class HolidayCalendar {
+ public:
+  HolidayCalendar() = default;
+
+  /// Registers a holiday by local civil date.
+  void AddHoliday(int year, int month, int day);
+
+  /// True iff the local civil date of `ts` (under `utc_offset_minutes`)
+  /// is a registered holiday.
+  bool IsHoliday(Timestamp ts, int utc_offset_minutes) const;
+
+  /// True iff the given local civil date is a holiday.
+  bool IsHolidayDate(int year, int month, int day) const;
+
+  size_t size() const { return days_.size(); }
+
+ private:
+  std::vector<int64_t> days_;  // sorted DaysFromCivil values
+};
+
+}  // namespace cloudsurv::telemetry
+
+#endif  // CLOUDSURV_TELEMETRY_CIVIL_TIME_H_

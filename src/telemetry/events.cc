@@ -1,0 +1,58 @@
+#include "telemetry/events.h"
+
+namespace cloudsurv::telemetry {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDatabaseCreated:
+      return "DatabaseCreated";
+    case EventKind::kSloChanged:
+      return "SloChanged";
+    case EventKind::kSizeSample:
+      return "SizeSample";
+    case EventKind::kDatabaseDropped:
+      return "DatabaseDropped";
+  }
+  return "Unknown";
+}
+
+Event MakeCreatedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                       DatabaseCreatedPayload payload) {
+  Event e;
+  e.timestamp = ts;
+  e.database_id = db;
+  e.subscription_id = sub;
+  e.payload = std::move(payload);
+  return e;
+}
+
+Event MakeSloChangedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                          int old_slo, int new_slo) {
+  Event e;
+  e.timestamp = ts;
+  e.database_id = db;
+  e.subscription_id = sub;
+  e.payload = SloChangedPayload{old_slo, new_slo};
+  return e;
+}
+
+Event MakeSizeSampleEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                          double size_mb) {
+  Event e;
+  e.timestamp = ts;
+  e.database_id = db;
+  e.subscription_id = sub;
+  e.payload = SizeSamplePayload{size_mb};
+  return e;
+}
+
+Event MakeDroppedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub) {
+  Event e;
+  e.timestamp = ts;
+  e.database_id = db;
+  e.subscription_id = sub;
+  e.payload = DatabaseDroppedPayload{};
+  return e;
+}
+
+}  // namespace cloudsurv::telemetry

@@ -1,0 +1,77 @@
+#ifndef CLOUDSURV_TELEMETRY_EVENTS_H_
+#define CLOUDSURV_TELEMETRY_EVENTS_H_
+
+#include <string>
+#include <variant>
+
+#include "telemetry/civil_time.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::telemetry {
+
+/// Kinds of telemetry events emitted by the (simulated) control plane.
+/// The schema mirrors the paper's description of the SQLDB telemetry
+/// streams: database lifecycle events, SLO changes and file-size samples.
+enum class EventKind : uint8_t {
+  kDatabaseCreated = 0,
+  kSloChanged = 1,
+  kSizeSample = 2,
+  kDatabaseDropped = 3,
+};
+
+/// Stable display name for an event kind.
+const char* EventKindToString(EventKind kind);
+
+/// Payload of a kDatabaseCreated event: everything known at creation.
+struct DatabaseCreatedPayload {
+  ServerId server_id = kInvalidId;
+  std::string server_name;
+  std::string database_name;
+  int slo_index = 0;  ///< Index into SloLadder() at creation.
+  SubscriptionType subscription_type = SubscriptionType::kPayAsYouGo;
+};
+
+/// Payload of a kSloChanged event (covers both performance-level and
+/// edition changes — an edition change is an SLO change whose old/new
+/// ladder entries have different editions).
+struct SloChangedPayload {
+  int old_slo_index = 0;
+  int new_slo_index = 0;
+};
+
+/// Payload of a kSizeSample event: the data file size observed by the
+/// daily telemetry sampler.
+struct SizeSamplePayload {
+  double size_mb = 0.0;
+};
+
+/// Payload of a kDatabaseDropped event.
+struct DatabaseDroppedPayload {};
+
+/// One telemetry event. Events are value types; the store owns them.
+struct Event {
+  Timestamp timestamp = 0;
+  DatabaseId database_id = kInvalidId;
+  SubscriptionId subscription_id = kInvalidId;
+  std::variant<DatabaseCreatedPayload, SloChangedPayload, SizeSamplePayload,
+               DatabaseDroppedPayload>
+      payload;
+
+  /// The kind corresponding to the active payload alternative.
+  EventKind kind() const {
+    return static_cast<EventKind>(payload.index());
+  }
+};
+
+/// Convenience constructors.
+Event MakeCreatedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                       DatabaseCreatedPayload payload);
+Event MakeSloChangedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                          int old_slo, int new_slo);
+Event MakeSizeSampleEvent(Timestamp ts, DatabaseId db, SubscriptionId sub,
+                          double size_mb);
+Event MakeDroppedEvent(Timestamp ts, DatabaseId db, SubscriptionId sub);
+
+}  // namespace cloudsurv::telemetry
+
+#endif  // CLOUDSURV_TELEMETRY_EVENTS_H_

@@ -1,0 +1,358 @@
+#include "telemetry/store.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cloudsurv::telemetry {
+
+Edition DatabaseRecord::initial_edition() const {
+  return SloLadder()[initial_slo_index].edition;
+}
+
+int DatabaseRecord::SloIndexAt(Timestamp ts) const {
+  int slo = initial_slo_index;
+  for (const SloChange& c : slo_changes) {
+    if (c.timestamp > ts) break;
+    slo = c.new_slo_index;
+  }
+  return slo;
+}
+
+Edition DatabaseRecord::EditionAt(Timestamp ts) const {
+  return SloLadder()[SloIndexAt(ts)].edition;
+}
+
+bool DatabaseRecord::ChangedEditionDuringLifetime() const {
+  for (const SloChange& c : slo_changes) {
+    if (SloLadder()[c.old_slo_index].edition !=
+        SloLadder()[c.new_slo_index].edition) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double DatabaseRecord::ObservedLifespanDays(Timestamp censor_time) const {
+  Timestamp end = censor_time;
+  if (dropped_at.has_value() && *dropped_at < end) end = *dropped_at;
+  if (end < created_at) return 0.0;
+  return static_cast<double>(end - created_at) /
+         static_cast<double>(kSecondsPerDay);
+}
+
+bool DatabaseRecord::IsDroppedBy(Timestamp ts) const {
+  return dropped_at.has_value() && *dropped_at <= ts;
+}
+
+TelemetryStore::TelemetryStore(std::string region_name,
+                               int utc_offset_minutes,
+                               HolidayCalendar holidays,
+                               Timestamp window_start, Timestamp window_end)
+    : region_name_(std::move(region_name)),
+      utc_offset_minutes_(utc_offset_minutes),
+      holidays_(std::move(holidays)),
+      window_start_(window_start),
+      window_end_(window_end) {}
+
+Status TelemetryStore::Append(Event event) {
+  if (finalized_) {
+    return Status::FailedPrecondition("store is finalized; cannot append");
+  }
+  if (event.database_id == kInvalidId) {
+    return Status::InvalidArgument("event has invalid database id");
+  }
+  if (event.subscription_id == kInvalidId) {
+    return Status::InvalidArgument("event has invalid subscription id");
+  }
+  events_.push_back(std::move(event));
+  return Status::OK();
+}
+
+Status TelemetryStore::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("store already finalized");
+  }
+  // Order: timestamp, then database id, then lifecycle rank so that a
+  // creation precedes same-second samples and a drop follows them.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.timestamp != b.timestamp)
+                       return a.timestamp < b.timestamp;
+                     if (a.database_id != b.database_id)
+                       return a.database_id < b.database_id;
+                     return static_cast<int>(a.kind()) <
+                            static_cast<int>(b.kind());
+                   });
+
+  std::unordered_map<DatabaseId, size_t> index;
+  for (const Event& e : events_) {
+    auto it = index.find(e.database_id);
+    switch (e.kind()) {
+      case EventKind::kDatabaseCreated: {
+        if (it != index.end()) {
+          return Status::InvalidArgument(
+              "duplicate creation for database " +
+              std::to_string(e.database_id));
+        }
+        const auto& p = std::get<DatabaseCreatedPayload>(e.payload);
+        if (p.slo_index < 0 || p.slo_index >= NumSlos()) {
+          return Status::InvalidArgument("creation has invalid SLO index");
+        }
+        DatabaseRecord rec;
+        rec.id = e.database_id;
+        rec.subscription_id = e.subscription_id;
+        rec.server_id = p.server_id;
+        rec.server_name = p.server_name;
+        rec.database_name = p.database_name;
+        rec.subscription_type = p.subscription_type;
+        rec.created_at = e.timestamp;
+        rec.initial_slo_index = p.slo_index;
+        index.emplace(e.database_id, records_.size());
+        records_.push_back(std::move(rec));
+        break;
+      }
+      case EventKind::kSloChanged: {
+        if (it == index.end()) {
+          return Status::InvalidArgument(
+              "SLO change before creation for database " +
+              std::to_string(e.database_id));
+        }
+        DatabaseRecord& rec = records_[it->second];
+        if (rec.dropped_at.has_value()) {
+          return Status::InvalidArgument(
+              "SLO change after drop for database " +
+              std::to_string(e.database_id));
+        }
+        const auto& p = std::get<SloChangedPayload>(e.payload);
+        if (p.new_slo_index < 0 || p.new_slo_index >= NumSlos() ||
+            p.old_slo_index < 0 || p.old_slo_index >= NumSlos()) {
+          return Status::InvalidArgument("SLO change has invalid index");
+        }
+        rec.slo_changes.push_back(
+            SloChange{e.timestamp, p.old_slo_index, p.new_slo_index});
+        break;
+      }
+      case EventKind::kSizeSample: {
+        if (it == index.end()) {
+          return Status::InvalidArgument(
+              "size sample before creation for database " +
+              std::to_string(e.database_id));
+        }
+        DatabaseRecord& rec = records_[it->second];
+        if (rec.dropped_at.has_value()) {
+          return Status::InvalidArgument(
+              "size sample after drop for database " +
+              std::to_string(e.database_id));
+        }
+        const auto& p = std::get<SizeSamplePayload>(e.payload);
+        rec.size_samples.push_back(SizeObservation{e.timestamp, p.size_mb});
+        break;
+      }
+      case EventKind::kDatabaseDropped: {
+        if (it == index.end()) {
+          return Status::InvalidArgument(
+              "drop before creation for database " +
+              std::to_string(e.database_id));
+        }
+        DatabaseRecord& rec = records_[it->second];
+        if (rec.dropped_at.has_value()) {
+          return Status::InvalidArgument(
+              "duplicate drop for database " +
+              std::to_string(e.database_id));
+        }
+        if (e.timestamp < rec.created_at) {
+          return Status::InvalidArgument(
+              "drop precedes creation for database " +
+              std::to_string(e.database_id));
+        }
+        rec.dropped_at = e.timestamp;
+        break;
+      }
+    }
+  }
+
+  // Records in DatabaseId order for deterministic iteration.
+  std::sort(records_.begin(), records_.end(),
+            [](const DatabaseRecord& a, const DatabaseRecord& b) {
+              return a.id < b.id;
+            });
+  record_index_.clear();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    record_index_.emplace(records_[i].id, i);
+  }
+  // Per-subscription creation-ordered database lists.
+  std::vector<size_t> by_creation(records_.size());
+  for (size_t i = 0; i < by_creation.size(); ++i) by_creation[i] = i;
+  std::sort(by_creation.begin(), by_creation.end(),
+            [this](size_t a, size_t b) {
+              if (records_[a].created_at != records_[b].created_at)
+                return records_[a].created_at < records_[b].created_at;
+              return records_[a].id < records_[b].id;
+            });
+  for (size_t i : by_creation) {
+    by_subscription_[records_[i].subscription_id].push_back(records_[i].id);
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<const DatabaseRecord*> TelemetryStore::FindDatabase(
+    DatabaseId id) const {
+  auto it = record_index_.find(id);
+  if (it == record_index_.end()) {
+    return Status::NotFound("no database with id " + std::to_string(id));
+  }
+  return &records_[it->second];
+}
+
+const std::vector<DatabaseId>& TelemetryStore::DatabasesOfSubscription(
+    SubscriptionId sub) const {
+  static const auto* kEmpty = new std::vector<DatabaseId>();
+  auto it = by_subscription_.find(sub);
+  if (it == by_subscription_.end()) return *kEmpty;
+  return it->second;
+}
+
+std::vector<SubscriptionId> TelemetryStore::AllSubscriptions() const {
+  std::vector<SubscriptionId> out;
+  out.reserve(by_subscription_.size());
+  for (const auto& [sub, dbs] : by_subscription_) out.push_back(sub);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+// CSV field escaping is avoided by restricting names: the simulator only
+// emits [a-z0-9-] names, and ImportCsv rejects embedded commas.
+std::string EventToCsvLine(const Event& e) {
+  std::ostringstream os;
+  os << FormatIso8601(e.timestamp) << "," << EventKindToString(e.kind())
+     << "," << e.database_id << "," << e.subscription_id << ",";
+  switch (e.kind()) {
+    case EventKind::kDatabaseCreated: {
+      const auto& p = std::get<DatabaseCreatedPayload>(e.payload);
+      os << p.server_id << "," << p.server_name << "," << p.database_name
+         << "," << SloLadder()[p.slo_index].name << ","
+         << SubscriptionTypeToString(p.subscription_type);
+      break;
+    }
+    case EventKind::kSloChanged: {
+      const auto& p = std::get<SloChangedPayload>(e.payload);
+      os << SloLadder()[p.old_slo_index].name << ","
+         << SloLadder()[p.new_slo_index].name;
+      break;
+    }
+    case EventKind::kSizeSample: {
+      const auto& p = std::get<SizeSamplePayload>(e.payload);
+      os << FormatDouble(p.size_mb, 3);
+      break;
+    }
+    case EventKind::kDatabaseDropped:
+      break;
+  }
+  return os.str();
+}
+
+int SubscriptionTypeByName(const std::string& name) {
+  for (int i = 0; i < kNumSubscriptionTypes; ++i) {
+    if (name == SubscriptionTypeToString(static_cast<SubscriptionType>(i))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string TelemetryStore::ExportCsv() const {
+  std::string out =
+      "timestamp,kind,database_id,subscription_id,f1,f2,f3,f4,f5\n";
+  for (const Event& e : events_) {
+    out += EventToCsvLine(e);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TelemetryStore> TelemetryStore::ImportCsv(
+    const std::string& csv, std::string region_name, int utc_offset_minutes,
+    HolidayCalendar holidays, Timestamp window_start, Timestamp window_end) {
+  TelemetryStore store(std::move(region_name), utc_offset_minutes,
+                       std::move(holidays), window_start, window_end);
+  std::istringstream is(csv);
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (TrimWhitespace(line).empty()) continue;
+    const std::vector<std::string> f = SplitString(line, ',');
+    if (f.size() < 4) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                     ": too few fields");
+    }
+    auto ts = ParseIso8601(f[0]);
+    if (!ts.ok()) return ts.status();
+    const DatabaseId db = std::stoull(f[2]);
+    const SubscriptionId sub = std::stoull(f[3]);
+    Event e;
+    if (f[1] == "DatabaseCreated") {
+      if (f.size() < 9) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": malformed creation");
+      }
+      DatabaseCreatedPayload p;
+      p.server_id = std::stoull(f[4]);
+      p.server_name = f[5];
+      p.database_name = f[6];
+      p.slo_index = SloIndexByName(f[7]);
+      if (p.slo_index < 0) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": unknown SLO " + f[7]);
+      }
+      const int st = SubscriptionTypeByName(f[8]);
+      if (st < 0) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": unknown subscription type " + f[8]);
+      }
+      p.subscription_type = static_cast<SubscriptionType>(st);
+      e = MakeCreatedEvent(*ts, db, sub, std::move(p));
+    } else if (f[1] == "SloChanged") {
+      if (f.size() < 6) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": malformed SLO change");
+      }
+      const int old_slo = SloIndexByName(f[4]);
+      const int new_slo = SloIndexByName(f[5]);
+      if (old_slo < 0 || new_slo < 0) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": unknown SLO name");
+      }
+      e = MakeSloChangedEvent(*ts, db, sub, old_slo, new_slo);
+    } else if (f[1] == "SizeSample") {
+      if (f.size() < 5) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": malformed size sample");
+      }
+      e = MakeSizeSampleEvent(*ts, db, sub, std::stod(f[4]));
+    } else if (f[1] == "DatabaseDropped") {
+      e = MakeDroppedEvent(*ts, db, sub);
+    } else {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                     ": unknown event kind " + f[1]);
+    }
+    CLOUDSURV_RETURN_NOT_OK(store.Append(std::move(e)));
+  }
+  CLOUDSURV_RETURN_NOT_OK(store.Finalize());
+  return store;
+}
+
+}  // namespace cloudsurv::telemetry

@@ -1,0 +1,158 @@
+#ifndef CLOUDSURV_TELEMETRY_STORE_H_
+#define CLOUDSURV_TELEMETRY_STORE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/civil_time.h"
+#include "telemetry/events.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::telemetry {
+
+/// One recorded SLO transition of a database.
+struct SloChange {
+  Timestamp timestamp = 0;
+  int old_slo_index = 0;
+  int new_slo_index = 0;
+};
+
+/// One recorded data-size sample of a database.
+struct SizeObservation {
+  Timestamp timestamp = 0;
+  double size_mb = 0.0;
+};
+
+/// Materialized per-database view assembled from the event log. This is
+/// the unit the cohort builder, survival study and feature extractor all
+/// operate on.
+struct DatabaseRecord {
+  DatabaseId id = kInvalidId;
+  SubscriptionId subscription_id = kInvalidId;
+  ServerId server_id = kInvalidId;
+  std::string server_name;
+  std::string database_name;
+  SubscriptionType subscription_type = SubscriptionType::kPayAsYouGo;
+  Timestamp created_at = 0;
+  /// Empty while the database is still alive at the end of the
+  /// observation window (right-censored).
+  std::optional<Timestamp> dropped_at;
+  int initial_slo_index = 0;
+  std::vector<SloChange> slo_changes;      ///< Chronological.
+  std::vector<SizeObservation> size_samples;  ///< Chronological.
+
+  /// Edition the database was created under. Subgroup assignment in the
+  /// paper's experiments uses this (creation edition), so groups stay
+  /// mutually exclusive even when databases later change edition.
+  Edition initial_edition() const;
+
+  /// SLO ladder index in effect at time `ts` (creation SLO before any
+  /// change; the latest change at or before `ts` otherwise).
+  int SloIndexAt(Timestamp ts) const;
+
+  /// Edition in effect at time `ts`.
+  Edition EditionAt(Timestamp ts) const;
+
+  /// True iff any SLO change crossed an edition boundary during the
+  /// database's observed lifetime ("changed" vs "always" in Figure 3).
+  bool ChangedEditionDuringLifetime() const;
+
+  /// Observed lifespan in fractional days up to `censor_time`:
+  /// (min(dropped_at, censor_time) - created_at) / 86400.
+  double ObservedLifespanDays(Timestamp censor_time) const;
+
+  /// True iff the database was dropped at or before `ts`.
+  bool IsDroppedBy(Timestamp ts) const;
+};
+
+/// Append-only event log with per-database and per-subscription indexes.
+///
+/// Usage: Append() events in any order, then Finalize() once; Finalize
+/// sorts the log, validates lifecycle invariants (exactly one creation
+/// per database, no events outside the create..drop span, drop at most
+/// once) and materializes DatabaseRecords. All read accessors require a
+/// finalized store.
+class TelemetryStore {
+ public:
+  /// `region_name` labels outputs; `utc_offset_minutes` converts event
+  /// timestamps to region-local civil time for calendar features.
+  TelemetryStore(std::string region_name, int utc_offset_minutes,
+                 HolidayCalendar holidays, Timestamp window_start,
+                 Timestamp window_end);
+
+  TelemetryStore(TelemetryStore&&) = default;
+  TelemetryStore& operator=(TelemetryStore&&) = default;
+  TelemetryStore(const TelemetryStore&) = delete;
+  TelemetryStore& operator=(const TelemetryStore&) = delete;
+
+  /// Appends one event. Only valid before Finalize().
+  Status Append(Event event);
+
+  /// Sorts, validates and indexes the log. Idempotent errors: a second
+  /// call returns FailedPrecondition.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const std::string& region_name() const { return region_name_; }
+  int utc_offset_minutes() const { return utc_offset_minutes_; }
+  const HolidayCalendar& holidays() const { return holidays_; }
+  /// Observation window: databases created in [window_start, window_end);
+  /// databases alive at window_end are right-censored.
+  Timestamp window_start() const { return window_start_; }
+  Timestamp window_end() const { return window_end_; }
+
+  /// All events in timestamp order. Requires finalized().
+  const std::vector<Event>& events() const { return events_; }
+
+  /// All materialized database records, ordered by DatabaseId.
+  /// Requires finalized().
+  const std::vector<DatabaseRecord>& databases() const { return records_; }
+
+  /// Record lookup by id; NotFound if the id never appeared.
+  Result<const DatabaseRecord*> FindDatabase(DatabaseId id) const;
+
+  /// Ids of all databases ever created by `sub` within the window,
+  /// ordered by creation time. Empty for unknown subscriptions.
+  const std::vector<DatabaseId>& DatabasesOfSubscription(
+      SubscriptionId sub) const;
+
+  /// All subscription ids seen, sorted.
+  std::vector<SubscriptionId> AllSubscriptions() const;
+
+  size_t num_events() const { return events_.size(); }
+  size_t num_databases() const { return records_.size(); }
+
+  /// Serializes the event log as CSV (one event per line, ISO
+  /// timestamps). Inverse of ImportCsv.
+  std::string ExportCsv() const;
+
+  /// Reconstructs a store from ExportCsv output. The resulting store is
+  /// already finalized.
+  static Result<TelemetryStore> ImportCsv(const std::string& csv,
+                                          std::string region_name,
+                                          int utc_offset_minutes,
+                                          HolidayCalendar holidays,
+                                          Timestamp window_start,
+                                          Timestamp window_end);
+
+ private:
+  std::string region_name_;
+  int utc_offset_minutes_;
+  HolidayCalendar holidays_;
+  Timestamp window_start_;
+  Timestamp window_end_;
+
+  bool finalized_ = false;
+  std::vector<Event> events_;
+  std::vector<DatabaseRecord> records_;
+  std::unordered_map<DatabaseId, size_t> record_index_;
+  std::unordered_map<SubscriptionId, std::vector<DatabaseId>> by_subscription_;
+};
+
+}  // namespace cloudsurv::telemetry
+
+#endif  // CLOUDSURV_TELEMETRY_STORE_H_

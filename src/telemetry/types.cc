@@ -1,0 +1,104 @@
+#include "telemetry/types.h"
+
+namespace cloudsurv::telemetry {
+
+const char* EditionToString(Edition edition) {
+  switch (edition) {
+    case Edition::kBasic:
+      return "Basic";
+    case Edition::kStandard:
+      return "Standard";
+    case Edition::kPremium:
+      return "Premium";
+  }
+  return "Unknown";
+}
+
+bool EditionFromString(const std::string& name, Edition* out) {
+  if (name == "Basic") {
+    *out = Edition::kBasic;
+    return true;
+  }
+  if (name == "Standard") {
+    *out = Edition::kStandard;
+    return true;
+  }
+  if (name == "Premium") {
+    *out = Edition::kPremium;
+    return true;
+  }
+  return false;
+}
+
+const std::vector<ServiceLevelObjective>& SloLadder() {
+  static const auto* kLadder = new std::vector<ServiceLevelObjective>{
+      {"Basic", Edition::kBasic, 5, 2 * 1024.0},
+      {"S0", Edition::kStandard, 10, 250 * 1024.0},
+      {"S1", Edition::kStandard, 20, 250 * 1024.0},
+      {"S2", Edition::kStandard, 50, 250 * 1024.0},
+      {"S3", Edition::kStandard, 100, 250 * 1024.0},
+      {"P1", Edition::kPremium, 125, 500 * 1024.0},
+      {"P2", Edition::kPremium, 250, 500 * 1024.0},
+      {"P4", Edition::kPremium, 500, 500 * 1024.0},
+      {"P6", Edition::kPremium, 1000, 500 * 1024.0},
+      {"P11", Edition::kPremium, 1750, 1024 * 1024.0},
+      {"P15", Edition::kPremium, 4000, 1024 * 1024.0},
+  };
+  return *kLadder;
+}
+
+int NumSlos() { return static_cast<int>(SloLadder().size()); }
+
+int SloIndexByName(const std::string& name) {
+  const auto& ladder = SloLadder();
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CheapestSloOfEdition(Edition edition) {
+  const auto& ladder = SloLadder();
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].edition == edition) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int MostExpensiveSloOfEdition(Edition edition) {
+  const auto& ladder = SloLadder();
+  int best = -1;
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].edition == edition) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+std::vector<int> SlosOfEdition(Edition edition) {
+  std::vector<int> out;
+  const auto& ladder = SloLadder();
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i].edition == edition) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+const char* SubscriptionTypeToString(SubscriptionType type) {
+  switch (type) {
+    case SubscriptionType::kFreeTrial:
+      return "FreeTrial";
+    case SubscriptionType::kPayAsYouGo:
+      return "PayAsYouGo";
+    case SubscriptionType::kEnterpriseAgreement:
+      return "EnterpriseAgreement";
+    case SubscriptionType::kDevTestBenefit:
+      return "DevTestBenefit";
+    case SubscriptionType::kCloudServiceProvider:
+      return "CloudServiceProvider";
+    case SubscriptionType::kStudent:
+      return "Student";
+  }
+  return "Unknown";
+}
+
+}  // namespace cloudsurv::telemetry

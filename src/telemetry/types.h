@@ -1,0 +1,85 @@
+#ifndef CLOUDSURV_TELEMETRY_TYPES_H_
+#define CLOUDSURV_TELEMETRY_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudsurv::telemetry {
+
+/// Opaque numeric identifiers. The control plane assigns them densely
+/// starting at 0 within one telemetry store.
+using DatabaseId = uint64_t;
+using SubscriptionId = uint64_t;
+using ServerId = uint64_t;
+
+inline constexpr uint64_t kInvalidId = static_cast<uint64_t>(-1);
+
+/// Database edition (price/performance family). Basic and Standard are
+/// served from the remote storage tier, Premium from local storage
+/// (paper section 2).
+enum class Edition : uint8_t {
+  kBasic = 0,
+  kStandard = 1,
+  kPremium = 2,
+};
+
+inline constexpr int kNumEditions = 3;
+
+/// Stable display name ("Basic" / "Standard" / "Premium").
+const char* EditionToString(Edition edition);
+
+/// Parses an edition name; returns false on unknown names.
+bool EditionFromString(const std::string& name, Edition* out);
+
+/// A purchasable service level objective: performance level within an
+/// edition, with its database transaction unit (DTU) allocation and the
+/// maximum data size it permits.
+struct ServiceLevelObjective {
+  std::string name;       ///< e.g. "S2", "P1".
+  Edition edition;        ///< Family the SLO belongs to.
+  int dtus;               ///< Database transaction units (paper ref [5]).
+  double max_size_mb;     ///< Data volume cap in megabytes.
+};
+
+/// The fixed SLO ladder sold by the service, mirroring the public Azure
+/// SQL DB DTU model circa the paper's study:
+///   Basic: Basic(5)
+///   Standard: S0(10) S1(20) S2(50) S3(100)
+///   Premium: P1(125) P2(250) P4(500) P6(1000) P11(1750) P15(4000)
+/// Index into this ladder is the canonical "performance level" used by
+/// telemetry events and features.
+const std::vector<ServiceLevelObjective>& SloLadder();
+
+/// Number of entries in SloLadder().
+int NumSlos();
+
+/// Index of the named SLO in the ladder, or -1 if unknown.
+int SloIndexByName(const std::string& name);
+
+/// Index of the cheapest / most expensive SLO of an edition.
+int CheapestSloOfEdition(Edition edition);
+int MostExpensiveSloOfEdition(Edition edition);
+
+/// All ladder indexes belonging to `edition`, cheapest first.
+std::vector<int> SlosOfEdition(Edition edition);
+
+/// Azure offers several commercial subscription flavors; the paper uses
+/// "subscription type at creation time" as a one-hot feature family.
+enum class SubscriptionType : uint8_t {
+  kFreeTrial = 0,
+  kPayAsYouGo = 1,
+  kEnterpriseAgreement = 2,
+  kDevTestBenefit = 3,      ///< MSDN/Visual Studio style benefit programs.
+  kCloudServiceProvider = 4,
+  kStudent = 5,
+};
+
+inline constexpr int kNumSubscriptionTypes = 6;
+
+/// Stable display name for a subscription type.
+const char* SubscriptionTypeToString(SubscriptionType type);
+
+}  // namespace cloudsurv::telemetry
+
+#endif  // CLOUDSURV_TELEMETRY_TYPES_H_

@@ -1,0 +1,32 @@
+#!/bin/sh
+# End-to-end smoke test of the cloudsurv CLI: simulate -> analyze ->
+# train -> assess must all succeed and produce coherent artifacts.
+set -e
+CLI="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" simulate --region 2 --subs 200 --seed 5 --out "$WORK/region.csv"
+test -s "$WORK/region.csv"
+
+"$CLI" analyze --telemetry "$WORK/region.csv" --region 2 | tee "$WORK/analyze.txt"
+grep -q "KM survival" "$WORK/analyze.txt"
+grep -q "Weibull fit" "$WORK/analyze.txt"
+
+"$CLI" train --telemetry "$WORK/region.csv" --region 2 --out "$WORK/svc.model"
+test -s "$WORK/svc.model"
+
+"$CLI" assess --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.model" --top 3 | tee "$WORK/assess.txt"
+grep -q "assessed" "$WORK/assess.txt"
+
+# Error paths exit non-zero.
+if "$CLI" analyze --telemetry /nonexistent.csv 2>/dev/null; then
+  echo "expected failure on missing telemetry" >&2
+  exit 1
+fi
+if "$CLI" bogus-command 2>/dev/null; then
+  echo "expected failure on unknown command" >&2
+  exit 1
+fi
+echo "CLI smoke test OK"

@@ -1,0 +1,249 @@
+#include "core/cohort.h"
+#include "gtest/gtest.h"
+#include "telemetry/types.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::core {
+namespace {
+
+using cloudsurv::testing::StoreBuilder;
+using telemetry::Edition;
+using telemetry::SloIndexByName;
+
+TEST(ClassifyLifespanTest, DroppedDatabases) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 1.0);    // 1 day -> ephemeral
+  b.AddDatabase(1, 0.0, 2.0);    // exactly 2 -> ephemeral (T <= 2)
+  b.AddDatabase(1, 0.0, 15.0);   // short-lived
+  b.AddDatabase(1, 0.0, 30.0);   // exactly 30 -> short-lived (T <= 30)
+  b.AddDatabase(1, 0.0, 90.0);   // long-lived
+  auto store = b.Finish();
+  const auto& dbs = store.databases();
+  EXPECT_EQ(ClassifyLifespan(dbs[0], store.window_end()),
+            LifespanClass::kEphemeral);
+  EXPECT_EQ(ClassifyLifespan(dbs[1], store.window_end()),
+            LifespanClass::kEphemeral);
+  EXPECT_EQ(ClassifyLifespan(dbs[2], store.window_end()),
+            LifespanClass::kShortLived);
+  EXPECT_EQ(ClassifyLifespan(dbs[3], store.window_end()),
+            LifespanClass::kShortLived);
+  EXPECT_EQ(ClassifyLifespan(dbs[4], store.window_end()),
+            LifespanClass::kLongLived);
+}
+
+TEST(ClassifyLifespanTest, CensoredDatabases) {
+  StoreBuilder b;
+  b.AddDatabase(1, 10.0, -1.0);   // observed 140 days -> long-lived
+  b.AddDatabase(1, 130.0, -1.0);  // observed 20 days -> unknown
+  b.AddDatabase(1, 149.5, -1.0);  // observed 0.5 days -> unknown
+  auto store = b.Finish();
+  const auto& dbs = store.databases();
+  EXPECT_EQ(ClassifyLifespan(dbs[0], store.window_end()),
+            LifespanClass::kLongLived);
+  EXPECT_EQ(ClassifyLifespan(dbs[1], store.window_end()),
+            LifespanClass::kUnknown);
+  EXPECT_EQ(ClassifyLifespan(dbs[2], store.window_end()),
+            LifespanClass::kUnknown);
+}
+
+TEST(ClassifyLifespanTest, CustomThresholds) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 5.0);
+  auto store = b.Finish();
+  EXPECT_EQ(ClassifyLifespan(store.databases()[0], store.window_end(),
+                             /*ephemeral=*/6.0, /*long=*/60.0),
+            LifespanClass::kEphemeral);
+  EXPECT_EQ(ClassifyLifespan(store.databases()[0], store.window_end(),
+                             /*ephemeral=*/1.0, /*long=*/4.0),
+            LifespanClass::kLongLived);
+  EXPECT_STREQ(LifespanClassToString(LifespanClass::kShortLived),
+               "short-lived");
+}
+
+TEST(SelectCohortTest, MinSurvivalFilter) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 1.0);
+  const auto keep1 = b.AddDatabase(1, 0.0, 10.0);
+  const auto keep2 = b.AddDatabase(1, 0.0, -1.0);
+  auto store = b.Finish();
+  CohortFilter filter;  // default 2-day minimum
+  const auto ids = SelectCohort(store, filter);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], keep1);
+  EXPECT_EQ(ids[1], keep2);
+}
+
+TEST(SelectCohortTest, EditionAndChangeFilters) {
+  StoreBuilder b;
+  const auto premium =
+      b.AddDatabase(1, 0.0, 50.0, "p", "s", SloIndexByName("P1"));
+  b.AddSloChange(premium, 1, 10.0, SloIndexByName("P1"),
+                 SloIndexByName("S3"));
+  b.AddDatabase(1, 0.0, 50.0, "b", "s", SloIndexByName("Basic"));
+  auto store = b.Finish();
+
+  CohortFilter premium_filter;
+  premium_filter.edition = Edition::kPremium;
+  EXPECT_EQ(SelectCohort(store, premium_filter).size(), 1u);
+
+  CohortFilter changed_filter;
+  changed_filter.changed_edition = true;
+  const auto changed = SelectCohort(store, changed_filter);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], premium);
+
+  CohortFilter always_filter;
+  always_filter.changed_edition = false;
+  EXPECT_EQ(SelectCohort(store, always_filter).size(), 1u);
+}
+
+TEST(CohortSurvivalDataTest, DurationsAndCensoring) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 40.0);
+  b.AddDatabase(1, 100.0, -1.0);  // censored at 50 observed days
+  auto store = b.Finish();
+  auto data = CohortSurvivalData(store, CohortFilter{});
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->num_events(), 1u);
+  EXPECT_EQ(data->num_censored(), 1u);
+}
+
+TEST(PredictionCohortTest, LabelsAndExclusions) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 1.0);            // dead before x=2: not in task
+  const auto short_db = b.AddDatabase(1, 0.0, 20.0);   // label 0
+  const auto long_db = b.AddDatabase(1, 0.0, 50.0);    // label 1
+  const auto censored_long = b.AddDatabase(1, 10.0, -1.0);  // 140 obs -> 1
+  b.AddDatabase(1, 140.0, -1.0);         // censored at 10 days: unknown
+  auto store = b.Finish();
+
+  auto cohort = BuildPredictionCohort(store, 2.0, 30.0);
+  ASSERT_TRUE(cohort.ok());
+  ASSERT_EQ(cohort->ids.size(), 3u);
+  EXPECT_EQ(cohort->num_unknown_excluded, 1u);
+  auto label_of = [&](telemetry::DatabaseId id) {
+    for (size_t i = 0; i < cohort->ids.size(); ++i) {
+      if (cohort->ids[i] == id) return cohort->labels[i];
+    }
+    return -1;
+  };
+  EXPECT_EQ(label_of(short_db), 0);
+  EXPECT_EQ(label_of(long_db), 1);
+  EXPECT_EQ(label_of(censored_long), 1);
+}
+
+TEST(PredictionCohortTest, BoundaryExactly30DaysIsShort) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(1, 0.0, 30.0);
+  auto store = b.Finish();
+  auto cohort = BuildPredictionCohort(store, 2.0, 30.0);
+  ASSERT_TRUE(cohort.ok());
+  ASSERT_EQ(cohort->ids.size(), 1u);
+  EXPECT_EQ(cohort->ids[0], id);
+  EXPECT_EQ(cohort->labels[0], 0);  // "more than y days" is strict
+}
+
+TEST(PredictionCohortTest, EditionRestriction) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 50.0, "p", "s", SloIndexByName("P2"));
+  b.AddDatabase(1, 0.0, 50.0, "b", "s", SloIndexByName("Basic"));
+  auto store = b.Finish();
+  auto cohort =
+      BuildPredictionCohort(store, 2.0, 30.0, Edition::kPremium);
+  ASSERT_TRUE(cohort.ok());
+  EXPECT_EQ(cohort->ids.size(), 1u);
+}
+
+TEST(PredictionCohortTest, RejectsInvalidThresholds) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 50.0);
+  auto store = b.Finish();
+  EXPECT_FALSE(BuildPredictionCohort(store, 0.0, 30.0).ok());
+  EXPECT_FALSE(BuildPredictionCohort(store, 30.0, 30.0).ok());
+}
+
+TEST(SubscriptionUsageTest, EphemeralOnlyAndMixed) {
+  StoreBuilder b;
+  // Subscription 1: only ephemeral databases.
+  b.AddDatabase(1, 0.0, 0.5);
+  b.AddDatabase(1, 1.0, 2.0);
+  // Subscription 2: mixed.
+  b.AddDatabase(2, 0.0, 1.0);
+  b.AddDatabase(2, 0.0, 50.0);
+  // Subscription 3: only long-lived.
+  b.AddDatabase(3, 0.0, 100.0);
+  auto store = b.Finish();
+
+  const SubscriptionUsageStats stats = ComputeSubscriptionUsageStats(store);
+  EXPECT_EQ(stats.num_subscriptions, 3u);
+  EXPECT_EQ(stats.num_ephemeral_only, 1u);
+  EXPECT_EQ(stats.num_mixed, 1u);
+  EXPECT_EQ(stats.num_databases, 5u);
+  EXPECT_EQ(stats.num_ephemeral_databases, 3u);
+  EXPECT_NEAR(stats.ephemeral_only_subscription_fraction(), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(stats.ephemeral_database_fraction(), 0.6, 1e-12);
+}
+
+TEST(EphemeralCyclerTest, DetectsCyclersFromHistory) {
+  StoreBuilder b;
+  // Subscription 1: four ephemeral drops by day 20 -> cycler.
+  b.AddDatabase(1, 1.0, 1.5);
+  b.AddDatabase(1, 3.0, 4.0);
+  b.AddDatabase(1, 6.0, 7.5);
+  b.AddDatabase(1, 10.0, 11.0);
+  // Subscription 2: ephemeral drops but also a long-lived database ->
+  // disqualified.
+  b.AddDatabase(2, 1.0, 1.5);
+  b.AddDatabase(2, 2.0, 3.0);
+  b.AddDatabase(2, 4.0, 4.5);
+  b.AddDatabase(2, 5.0, 60.0);
+  // Subscription 3: only two resolved ephemerals -> below threshold.
+  b.AddDatabase(3, 1.0, 1.5);
+  b.AddDatabase(3, 3.0, 4.0);
+  auto store = b.Finish();
+
+  const auto cyclers =
+      IdentifyEphemeralCyclers(store, b.DayTs(20.0), /*min_databases=*/3);
+  ASSERT_EQ(cyclers.size(), 1u);
+  EXPECT_EQ(cyclers[0], 1u);
+}
+
+TEST(EphemeralCyclerTest, UsesOnlyHistoryVisibleAtAsOf) {
+  StoreBuilder b;
+  // Three ephemeral drops early, then a long-lived database at day 30.
+  b.AddDatabase(4, 1.0, 1.5);
+  b.AddDatabase(4, 3.0, 4.0);
+  b.AddDatabase(4, 6.0, 7.0);
+  b.AddDatabase(4, 30.0, 120.0);
+  auto store = b.Finish();
+  // At day 10 the subscription looks like a cycler...
+  EXPECT_EQ(IdentifyEphemeralCyclers(store, b.DayTs(10.0), 3).size(), 1u);
+  // ...but by day 40 the long-lived database disqualifies it.
+  EXPECT_TRUE(IdentifyEphemeralCyclers(store, b.DayTs(40.0), 3).empty());
+}
+
+TEST(EphemeralCyclerTest, PendingDatabasesDoNotCount) {
+  StoreBuilder b;
+  // Two resolved ephemerals plus one database alive for 1 day (pending:
+  // could still become long-lived).
+  b.AddDatabase(5, 1.0, 1.5);
+  b.AddDatabase(5, 3.0, 4.0);
+  b.AddDatabase(5, 9.5, -1.0);
+  auto store = b.Finish();
+  EXPECT_TRUE(IdentifyEphemeralCyclers(store, b.DayTs(10.0), 3).empty());
+  EXPECT_EQ(IdentifyEphemeralCyclers(store, b.DayTs(10.0), 2).size(), 1u);
+}
+
+TEST(SubscriptionUsageTest, EmptyStoreIsZero) {
+  telemetry::TelemetryStore store("R", 0, {}, 0, 1000);
+  ASSERT_TRUE(store.Finalize().ok());
+  const SubscriptionUsageStats stats = ComputeSubscriptionUsageStats(store);
+  EXPECT_EQ(stats.num_subscriptions, 0u);
+  EXPECT_DOUBLE_EQ(stats.ephemeral_only_subscription_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ephemeral_database_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudsurv::core

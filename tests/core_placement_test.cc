@@ -1,0 +1,174 @@
+#include "core/placement.h"
+#include "gtest/gtest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/types.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::core {
+namespace {
+
+using cloudsurv::testing::StoreBuilder;
+using telemetry::SloIndexByName;
+
+TEST(PlacementTest, SingleDatabaseUsesOneServer) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 50.0, "db", "s", SloIndexByName("S2"));  // 50 DTUs
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 100;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->placements, 1u);
+  EXPECT_EQ(report->servers_used, 1u);
+  EXPECT_EQ(report->peak_active_servers, 1u);
+  EXPECT_EQ(report->peak_occupied_dtus, 50);
+  EXPECT_EQ(report->rejected, 0u);
+}
+
+TEST(PlacementTest, FirstFitPacksConcurrentTenants) {
+  StoreBuilder b;
+  // Four concurrent 50-DTU databases on 100-DTU servers: 2 servers.
+  for (int i = 0; i < 4; ++i) {
+    b.AddDatabase(1, 0.0 + i * 0.01, 50.0, "db", "s",
+                  SloIndexByName("S2"));
+  }
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 100;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->peak_active_servers, 2u);
+  EXPECT_EQ(report->peak_occupied_dtus, 200);
+  EXPECT_DOUBLE_EQ(report->packing_overhead, 1.0);
+}
+
+TEST(PlacementTest, SequentialTenantsReuseServers) {
+  StoreBuilder b;
+  // Non-overlapping lifetimes: one server suffices.
+  b.AddDatabase(1, 0.0, 10.0, "a", "s", SloIndexByName("S3"));   // 100
+  b.AddDatabase(1, 20.0, 30.0, "b", "s", SloIndexByName("S3"));  // 100
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 100;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->servers_used, 1u);
+  EXPECT_EQ(report->peak_active_servers, 1u);
+}
+
+TEST(PlacementTest, OversizedTenantRejected) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 10.0, "big", "s", SloIndexByName("P15"));  // 4000
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 2000;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rejected, 1u);
+  EXPECT_EQ(report->placements, 0u);
+}
+
+TEST(PlacementTest, SloGrowthBeyondCapacityForcesMove) {
+  StoreBuilder b;
+  // Two 50-DTU tenants share a 100-DTU server; one grows to 100 and
+  // must move to a new server.
+  const auto grower =
+      b.AddDatabase(1, 0.0, 50.0, "grow", "s", SloIndexByName("S2"));
+  b.AddDatabase(1, 0.001, 50.0, "stay", "s", SloIndexByName("S2"));
+  b.AddSloChange(grower, 1, 10.0, SloIndexByName("S2"),
+                 SloIndexByName("S3"));
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 100;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->servers_used, 2u);
+  EXPECT_EQ(report->peak_occupied_dtus, 150);
+}
+
+TEST(PlacementTest, FragmentationBoundedInUnitInterval) {
+  auto config = simulator::MakeRegionPreset(1, 300, 9);
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_TRUE(store.ok());
+  ClusterConfig cluster;
+  auto report = SimulatePlacement(*store, {}, cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->mean_fragmentation, 0.0);
+  EXPECT_LE(report->mean_fragmentation, 1.0);
+  EXPECT_GE(report->packing_overhead, 1.0);
+  EXPECT_GT(report->placements, 1000u);
+  EXPECT_NE(report->ToString().find("packing_overhead"),
+            std::string::npos);
+}
+
+TEST(PlacementTest, SegregationDoesNotLoseTenants) {
+  auto config = simulator::MakeRegionPreset(1, 300, 10);
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_TRUE(store.ok());
+
+  // Oracle plan: true short-lived dropped databases to the churn pool.
+  PoolAssignmentPlan plan;
+  for (const auto& record : store->databases()) {
+    const double life = record.ObservedLifespanDays(store->window_end());
+    if (record.dropped_at.has_value() && life <= 30.0) {
+      plan.pools[record.id] = Pool::kChurn;
+    }
+  }
+  ClusterConfig mixed;
+  ClusterConfig segregated;
+  segregated.segregate_churn_pool = true;
+  auto base = SimulatePlacement(*store, plan, mixed);
+  auto seg = SimulatePlacement(*store, plan, segregated);
+  ASSERT_TRUE(base.ok() && seg.ok());
+  EXPECT_EQ(base->placements, seg->placements);
+  EXPECT_EQ(base->rejected, seg->rejected);
+  // Same workload, same total demand.
+  EXPECT_EQ(base->peak_occupied_dtus, seg->peak_occupied_dtus);
+}
+
+TEST(PlacementTest, GrowthBeyondServerCapacityIsRejectedNotCorrupted) {
+  StoreBuilder b;
+  const auto id =
+      b.AddDatabase(1, 0.0, 50.0, "big", "s", SloIndexByName("P6"));
+  b.AddSloChange(id, 1, 10.0, SloIndexByName("P6"), SloIndexByName("P11"));
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 1000;  // P6 fits (1000), P11 (1750) not
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->placements, 1u);
+  EXPECT_EQ(report->rejected, 1u);
+  // Invariant: open servers always bound the occupancy.
+  EXPECT_GE(report->packing_overhead, 1.0);
+  EXPECT_LE(report->peak_occupied_dtus,
+            static_cast<int64_t>(report->peak_active_servers) * 1000);
+}
+
+TEST(PlacementTest, ZeroLifetimeDatabaseDoesNotLeak) {
+  StoreBuilder b;
+  // Created and dropped in the same second, then a later tenant.
+  b.AddDatabase(1, 1.0, 1.0, "flash", "s", SloIndexByName("S3"));
+  b.AddDatabase(1, 50.0, 60.0, "later", "s", SloIndexByName("S3"));
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 100;
+  auto report = SimulatePlacement(store, {}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->placements, 2u);
+  // If the flash tenant leaked, both would be live at day 50 and the
+  // peak would be 2 servers; correct handling needs only 1 at a time.
+  EXPECT_EQ(report->peak_active_servers, 1u);
+}
+
+TEST(PlacementTest, RejectsInvalidConfig) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 10.0);
+  auto store = b.Finish();
+  ClusterConfig config;
+  config.server_capacity_dtus = 0;
+  EXPECT_FALSE(SimulatePlacement(store, {}, config).ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::core

@@ -1,0 +1,221 @@
+#include "core/prediction.h"
+#include "core/report.h"
+#include "gtest/gtest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+
+namespace cloudsurv::core {
+namespace {
+
+using telemetry::Edition;
+using telemetry::TelemetryStore;
+
+// One shared simulated region for all experiment tests (simulation and
+// training are the expensive parts).
+const TelemetryStore& SharedStore() {
+  static const TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, 700, 11);
+    auto s = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(s.ok()) << s.status();
+    return new TelemetryStore(std::move(s).value());
+  }();
+  return *store;
+}
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.tune_with_grid_search = false;
+  config.default_params.num_trees = 40;
+  config.default_params.max_depth = 10;
+  config.num_repetitions = 2;
+  config.seed = 5;
+  return config;
+}
+
+const SubgroupExperimentResult& SharedResult() {
+  static const SubgroupExperimentResult* result = [] {
+    auto r = RunPredictionExperiment(SharedStore(), Edition::kBasic,
+                                     FastConfig());
+    EXPECT_TRUE(r.ok()) << r.status();
+    return new SubgroupExperimentResult(std::move(r).value());
+  }();
+  return *result;
+}
+
+TEST(PredictionExperimentTest, ProducesRequestedRepetitions) {
+  const auto& result = SharedResult();
+  EXPECT_EQ(result.runs.size(), 2u);
+  EXPECT_EQ(result.subgroup_name, "Basic");
+  EXPECT_GT(result.cohort_size, 100u);
+  EXPECT_GT(result.positive_rate, 0.0);
+  EXPECT_LT(result.positive_rate, 1.0);
+}
+
+TEST(PredictionExperimentTest, ForestBeatsBaseline) {
+  const auto& result = SharedResult();
+  EXPECT_GT(result.forest_avg.accuracy, result.baseline_avg.accuracy + 0.1);
+  EXPECT_GT(result.forest_avg.precision, result.baseline_avg.precision);
+  EXPECT_GT(result.forest_avg.recall, result.baseline_avg.recall);
+}
+
+TEST(PredictionExperimentTest, ConfidenceThresholdMatchesRule) {
+  const auto& result = SharedResult();
+  for (const RunResult& run : result.runs) {
+    // t = max(q, 1-q) >= 0.5 by construction.
+    EXPECT_GE(run.confidence_threshold, 0.5);
+    EXPECT_LE(run.confidence_threshold, 1.0);
+    for (const PredictionOutcome& o : run.outcomes) {
+      const bool should_be_confident =
+          o.positive_probability >= run.confidence_threshold ||
+          o.positive_probability <= 1.0 - run.confidence_threshold;
+      EXPECT_EQ(o.confident, should_be_confident);
+      EXPECT_EQ(o.predicted_label, o.positive_probability > 0.5 ? 1 : 0);
+    }
+  }
+}
+
+TEST(PredictionExperimentTest, ConfidentBeatsUncertain) {
+  const auto& result = SharedResult();
+  EXPECT_GT(result.confident_avg.accuracy, result.uncertain_avg.accuracy);
+  EXPECT_GE(result.forest_avg.accuracy, result.uncertain_avg.accuracy);
+  EXPECT_GT(result.confident_fraction_avg, 0.2);
+  EXPECT_LT(result.confident_fraction_avg, 1.0);
+}
+
+TEST(PredictionExperimentTest, ImportancesAlignWithFeatureNames) {
+  const auto& result = SharedResult();
+  ASSERT_EQ(result.feature_names.size(),
+            result.feature_importances_avg.size());
+  double total = 0.0;
+  for (double v : result.feature_importances_avg) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PredictionExperimentTest, RankingsAreSortedDescending) {
+  const auto& result = SharedResult();
+  const auto features = RankFeatureImportances(result);
+  for (size_t i = 1; i < features.size(); ++i) {
+    EXPECT_GE(features[i - 1].second, features[i].second);
+  }
+  const auto families = RankFeatureFamilies(result);
+  ASSERT_GE(families.size(), 5u);
+  for (size_t i = 1; i < families.size(); ++i) {
+    EXPECT_GE(families[i - 1].second, families[i].second);
+  }
+}
+
+TEST(PredictionExperimentTest, SubscriptionHistoryIsTopFamily) {
+  // The paper's headline section 5.4 finding.
+  const auto families = RankFeatureFamilies(SharedResult());
+  EXPECT_EQ(families[0].first, "subscription_history");
+}
+
+TEST(PredictionExperimentTest, ClassifiedGroupsAreSeparated) {
+  const auto& result = SharedResult();
+  auto logrank = LogRankOfClassifiedGroups(result.runs[0].outcomes,
+                                           PredictionBucket::kAll);
+  ASSERT_TRUE(logrank.ok()) << logrank.status();
+  EXPECT_LT(logrank->p_value, 1e-7);
+  auto confident = LogRankOfClassifiedGroups(result.runs[0].outcomes,
+                                             PredictionBucket::kConfident);
+  ASSERT_TRUE(confident.ok());
+  EXPECT_LT(confident->p_value, 1e-7);
+}
+
+TEST(PredictionExperimentTest, BaselineGroupsAreNotSeparated) {
+  const auto& result = SharedResult();
+  auto logrank = LogRankOfBaselineGroups(result.runs[0].outcomes,
+                                         result.runs[0].baseline_predictions);
+  ASSERT_TRUE(logrank.ok()) << logrank.status();
+  // A weighted random classifier cannot separate survival curves.
+  EXPECT_GT(logrank->p_value, 0.001);
+}
+
+TEST(PredictionExperimentTest, SplitOutcomesFiltersBuckets) {
+  const auto& outcomes = SharedResult().runs[0].outcomes;
+  const auto all = SplitOutcomesByPrediction(outcomes,
+                                             PredictionBucket::kAll);
+  const auto confident =
+      SplitOutcomesByPrediction(outcomes, PredictionBucket::kConfident);
+  const auto uncertain =
+      SplitOutcomesByPrediction(outcomes, PredictionBucket::kUncertain);
+  EXPECT_EQ(all.predicted_short.size() + all.predicted_long.size(),
+            outcomes.size());
+  EXPECT_EQ(confident.predicted_short.size() +
+                confident.predicted_long.size() +
+                uncertain.predicted_short.size() +
+                uncertain.predicted_long.size(),
+            outcomes.size());
+}
+
+TEST(PredictionExperimentTest, DeterministicForSeed) {
+  auto r1 = RunPredictionExperiment(SharedStore(), Edition::kStandard,
+                                    FastConfig());
+  auto r2 = RunPredictionExperiment(SharedStore(), Edition::kStandard,
+                                    FastConfig());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->forest_avg.accuracy, r2->forest_avg.accuracy);
+  EXPECT_DOUBLE_EQ(r1->confident_fraction_avg, r2->confident_fraction_avg);
+}
+
+TEST(PredictionExperimentTest, GridSearchPathWorks) {
+  ExperimentConfig config = FastConfig();
+  config.tune_with_grid_search = true;
+  config.cv_folds = 3;
+  config.num_repetitions = 1;
+  ml::ForestParams cell;
+  cell.num_trees = 20;
+  cell.max_depth = 8;
+  config.grid = {cell};
+  auto result =
+      RunPredictionExperiment(SharedStore(), Edition::kBasic, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tuned_params.num_trees, 20);
+  EXPECT_GT(result->tuning_cv_score, 0.5);
+}
+
+TEST(PredictionExperimentTest, RejectsInvalidConfig) {
+  ExperimentConfig config = FastConfig();
+  config.num_repetitions = 0;
+  EXPECT_FALSE(
+      RunPredictionExperiment(SharedStore(), Edition::kBasic, config).ok());
+}
+
+TEST(ReportTest, KmSeriesAndPlots) {
+  const auto& outcomes = SharedResult().runs[0].outcomes;
+  auto groups = SplitOutcomesByPrediction(outcomes, PredictionBucket::kAll);
+  auto data = survival::SurvivalData::Make(groups.predicted_long);
+  ASSERT_TRUE(data.ok());
+  auto km = survival::KaplanMeierCurve::Fit(*data);
+  ASSERT_TRUE(km.ok());
+  const std::string series = KmCurveSeries(*km, 100, 10);
+  EXPECT_NE(series.find("day\tS(t)"), std::string::npos);
+  EXPECT_EQ(std::count(series.begin(), series.end(), '\n'), 12);
+  const std::string multi = KmCurveSeriesMulti({{"long", *km}}, 50, 25);
+  EXPECT_NE(multi.find("long"), std::string::npos);
+  const std::string plot = KmCurveAsciiPlot(*km, 100);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(ReportTest, PValueFormatting) {
+  EXPECT_EQ(FormatPValue(1e-9), "< 0.0000001");
+  EXPECT_EQ(FormatPValue(0.925429), "0.925429");
+  EXPECT_EQ(FormatPValue(0.05), "0.050000");
+}
+
+TEST(ReportTest, RowsMentionScores) {
+  const auto& result = SharedResult();
+  const std::string row = ScoreComparisonRow("Basic", result.forest_avg,
+                                             result.baseline_avg);
+  EXPECT_NE(row.find("forest"), std::string::npos);
+  EXPECT_NE(row.find("baseline"), std::string::npos);
+  const std::string confidence = ConfidenceComparisonRow(result);
+  EXPECT_NE(confidence.find("confident"), std::string::npos);
+  EXPECT_NE(confidence.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudsurv::core

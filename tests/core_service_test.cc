@@ -1,0 +1,192 @@
+#include "core/service.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+
+namespace cloudsurv::core {
+namespace {
+
+using telemetry::TelemetryStore;
+
+const TelemetryStore& HistoryStore() {
+  static const TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, 900, 77);
+    auto s = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(s.ok()) << s.status();
+    return new TelemetryStore(std::move(s).value());
+  }();
+  return *store;
+}
+
+LongevityService::Options FastOptions() {
+  LongevityService::Options options;
+  options.forest_params.num_trees = 40;
+  options.forest_params.max_depth = 10;
+  options.seed = 3;
+  return options;
+}
+
+const LongevityService& TrainedService() {
+  static const LongevityService* service = [] {
+    auto s = LongevityService::Train(HistoryStore(), FastOptions());
+    EXPECT_TRUE(s.ok()) << s.status();
+    return new LongevityService(std::move(s).value());
+  }();
+  return *service;
+}
+
+TEST(LongevityServiceTest, TrainsPerEditionModels) {
+  const auto& service = TrainedService();
+  // The simulated region has large Basic/Standard cohorts; Premium may
+  // or may not clear the minimum, but the pooled fallback always
+  // exists, so assessments never fail for a surviving database.
+  EXPECT_TRUE(service.HasEditionModel(telemetry::Edition::kBasic));
+  EXPECT_TRUE(service.HasEditionModel(telemetry::Edition::kStandard));
+}
+
+TEST(LongevityServiceTest, AssessmentsAreAccurate) {
+  const auto& service = TrainedService();
+  const auto& store = HistoryStore();
+  // Score databases with known outcomes and compare.
+  size_t correct = 0, total = 0;
+  for (const auto& record : store.databases()) {
+    const double observed =
+        record.ObservedLifespanDays(store.window_end());
+    if (observed < 2.0) continue;
+    const bool dropped = record.dropped_at.has_value();
+    int truth;
+    if (observed > 30.0) {
+      truth = 1;
+    } else if (dropped) {
+      truth = 0;
+    } else {
+      continue;  // unknown outcome
+    }
+    auto assessment = service.Assess(store, record.id);
+    ASSERT_TRUE(assessment.ok()) << assessment.status();
+    EXPECT_GE(assessment->positive_probability, 0.0);
+    EXPECT_LE(assessment->positive_probability, 1.0);
+    if (assessment->predicted_label == truth) ++correct;
+    ++total;
+  }
+  ASSERT_GT(total, 1000u);
+  // In-sample accuracy (trained on this store) should be high.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+            0.8);
+}
+
+TEST(LongevityServiceTest, ConfidenceDrivesPoolRecommendation) {
+  const auto& service = TrainedService();
+  const auto& store = HistoryStore();
+  size_t churn = 0, stable = 0, general = 0;
+  for (const auto& record : store.databases()) {
+    if (record.ObservedLifespanDays(store.window_end()) < 2.0) continue;
+    auto assessment = service.Assess(store, record.id);
+    if (!assessment.ok()) continue;
+    switch (assessment->recommended_pool) {
+      case Pool::kChurn:
+        EXPECT_TRUE(assessment->confident);
+        EXPECT_EQ(assessment->predicted_label, 0);
+        ++churn;
+        break;
+      case Pool::kStable:
+        EXPECT_TRUE(assessment->confident);
+        EXPECT_EQ(assessment->predicted_label, 1);
+        ++stable;
+        break;
+      case Pool::kGeneral:
+        EXPECT_FALSE(assessment->confident);
+        ++general;
+        break;
+    }
+  }
+  EXPECT_GT(churn, 0u);
+  EXPECT_GT(stable, 0u);
+  EXPECT_GT(general, 0u);
+}
+
+TEST(LongevityServiceTest, AssessRejectsYoungOrUnknownDatabases) {
+  const auto& service = TrainedService();
+  const auto& store = HistoryStore();
+  EXPECT_FALSE(service.Assess(store, 99999999).ok());
+  // Find a database that died before the observation window closed.
+  for (const auto& record : store.databases()) {
+    if (record.ObservedLifespanDays(store.window_end()) < 1.0 &&
+        record.dropped_at.has_value()) {
+      EXPECT_FALSE(service.Assess(store, record.id).ok());
+      break;
+    }
+  }
+}
+
+TEST(LongevityServiceTest, PlanPlacementsCoversConfidentDatabases) {
+  const auto& service = TrainedService();
+  auto plan = service.PlanPlacements(HistoryStore());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->pools.size(), 500u);
+  for (const auto& [id, pool] : plan->pools) {
+    EXPECT_NE(pool, Pool::kGeneral);  // only confident placements stored
+  }
+}
+
+TEST(LongevityServiceTest, SaveLoadRoundTrip) {
+  const auto& service = TrainedService();
+  const std::string blob = service.Save();
+  auto restored = LongevityService::Load(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& store = HistoryStore();
+  size_t checked = 0;
+  for (const auto& record : store.databases()) {
+    if (record.ObservedLifespanDays(store.window_end()) < 2.0) continue;
+    auto a = service.Assess(store, record.id);
+    auto b = restored->Assess(store, record.id);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(a->positive_probability, b->positive_probability);
+    EXPECT_EQ(a->recommended_pool, b->recommended_pool);
+    if (++checked >= 200) break;
+  }
+  EXPECT_EQ(restored->Save(), blob);
+}
+
+TEST(LongevityServiceTest, LoadRejectsGarbage) {
+  EXPECT_FALSE(LongevityService::Load("").ok());
+  EXPECT_FALSE(LongevityService::Load("nonsense").ok());
+  EXPECT_FALSE(
+      LongevityService::Load("longevity_service v1\nobserve_days 2\n")
+          .ok());  // no pooled model
+}
+
+TEST(LongevityServiceTest, GeneralizesToAnotherRegion) {
+  // Train on Region-1, assess Region-2: the service should still beat
+  // coin flipping by a wide margin (the behaviour patterns transfer).
+  auto config = simulator::MakeRegionPreset(2, 600, 123);
+  auto other = simulator::SimulateRegion(*config);
+  ASSERT_TRUE(other.ok());
+  const auto& service = TrainedService();
+  size_t correct = 0, total = 0;
+  for (const auto& record : other->databases()) {
+    const double observed =
+        record.ObservedLifespanDays(other->window_end());
+    if (observed < 2.0) continue;
+    const bool dropped = record.dropped_at.has_value();
+    int truth;
+    if (observed > 30.0) {
+      truth = 1;
+    } else if (dropped) {
+      truth = 0;
+    } else {
+      continue;
+    }
+    auto assessment = service.Assess(*other, record.id);
+    if (!assessment.ok()) continue;
+    if (assessment->predicted_label == truth) ++correct;
+    ++total;
+  }
+  ASSERT_GT(total, 500u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+            0.7);
+}
+
+}  // namespace
+}  // namespace cloudsurv::core

@@ -1,0 +1,297 @@
+#include <algorithm>
+
+#include "features/features.h"
+#include "gtest/gtest.h"
+#include "telemetry/types.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::features {
+namespace {
+
+using cloudsurv::testing::StoreBuilder;
+using telemetry::SloIndexByName;
+
+TEST(NameShapeTest, HumanStyleName) {
+  const auto f = NameShapeFeatures("testtest");
+  EXPECT_DOUBLE_EQ(f[0], 8.0);              // length
+  EXPECT_DOUBLE_EQ(f[1], 3.0);              // distinct: t, e, s
+  EXPECT_DOUBLE_EQ(f[2], 3.0 / 8.0);        // distinct rate
+  EXPECT_DOUBLE_EQ(f[3], 0.0);              // no digits
+  EXPECT_DOUBLE_EQ(f[4], 0.0);              // no mixed case
+  EXPECT_DOUBLE_EQ(f[5], 0.0);              // no symbols
+}
+
+TEST(NameShapeTest, AutomatedStyleName) {
+  const auto f = NameShapeFeatures("ci-a8f3e2d9c1");
+  EXPECT_DOUBLE_EQ(f[0], 13.0);
+  EXPECT_DOUBLE_EQ(f[1], 12.0);  // only 'c' repeats
+  EXPECT_GT(f[2], 0.7);   // high distinct rate
+  EXPECT_DOUBLE_EQ(f[3], 1.0);  // letters + digits
+  EXPECT_DOUBLE_EQ(f[5], 1.0);  // hyphen
+}
+
+TEST(NameShapeTest, MixedCaseDetected) {
+  const auto f = NameShapeFeatures("MyDb");
+  EXPECT_DOUBLE_EQ(f[4], 1.0);
+}
+
+TEST(NameShapeTest, EmptyNameIsAllZero) {
+  const auto f = NameShapeFeatures("");
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NameNgramTest, CountsBigramsIntoBuckets) {
+  const auto f = NameNgramFeatures("abc", 4);
+  double total = 0.0;
+  for (double v : f) total += v;
+  EXPECT_DOUBLE_EQ(total, 2.0);  // "ab", "bc"
+  EXPECT_EQ(f.size(), 4u);
+  const auto empty = NameNgramFeatures("x", 4);
+  for (double v : empty) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CreationTimeTest, LocalFieldsAndHoliday) {
+  StoreBuilder b;
+  // 2017-01-02T18:30 UTC = 2017-01-02 10:30 local (UTC-8) = holiday in
+  // the test calendar.
+  const double day = 1.0 + 18.5 / 24.0;
+  b.AddDatabase(1, day, -1.0);
+  auto store = b.Finish();
+  const auto f = CreationTimeFeatures(store, store.databases()[0]);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);   // Monday
+  EXPECT_DOUBLE_EQ(f[1], 2.0);   // day of month
+  EXPECT_DOUBLE_EQ(f[2], 1.0);   // week of year
+  EXPECT_DOUBLE_EQ(f[3], 1.0);   // January
+  EXPECT_DOUBLE_EQ(f[4], 10.0);  // 10am local
+  EXPECT_DOUBLE_EQ(f[5], 1.0);   // holiday
+}
+
+TEST(SizeFeaturesTest, OnlyObservationWindowCounts) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(1, 0.0, -1.0);
+  b.AddSizeSample(id, 1, 0.5, 100.0);
+  b.AddSizeSample(id, 1, 1.0, 150.0);
+  b.AddSizeSample(id, 1, 1.5, 200.0);
+  b.AddSizeSample(id, 1, 10.0, 9999.0);  // beyond the 2-day window
+  auto store = b.Finish();
+  const auto f = SizeFeatures(store.databases()[0], b.DayTs(2.0));
+  EXPECT_DOUBLE_EQ(f[0], 200.0);  // max
+  EXPECT_DOUBLE_EQ(f[1], 100.0);  // min
+  EXPECT_DOUBLE_EQ(f[2], 150.0);  // avg
+  EXPECT_GT(f[3], 0.0);           // std
+  EXPECT_DOUBLE_EQ(f[4], 1.0);    // (200-100)/100 relative change
+}
+
+TEST(SizeFeaturesTest, NoSamplesIsAllZero) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, -1.0);
+  auto store = b.Finish();
+  const auto f = SizeFeatures(store.databases()[0], b.DayTs(2.0));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SloFeaturesTest, TracksChangesWithinWindowOnly) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(1, 0.0, -1.0, "db", "s", SloIndexByName("S0"));
+  b.AddSloChange(id, 1, 1.0, SloIndexByName("S0"), SloIndexByName("S2"));
+  b.AddSloChange(id, 1, 1.5, SloIndexByName("S2"), SloIndexByName("P1"));
+  b.AddSloChange(id, 1, 30.0, SloIndexByName("P1"), SloIndexByName("S0"));
+  auto store = b.Finish();
+  const auto f = SloFeatures(store.databases()[0], b.DayTs(2.0));
+  EXPECT_DOUBLE_EQ(f[0], 2.0);  // changes in window
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // one crossed editions (S2 -> P1)
+  EXPECT_DOUBLE_EQ(f[2], 3.0);  // distinct SLOs: S0, S2, P1
+  EXPECT_DOUBLE_EQ(f[3], 2.0);  // distinct editions
+  EXPECT_DOUBLE_EQ(f[4], 2.0);  // Premium at prediction
+  EXPECT_DOUBLE_EQ(f[5], static_cast<double>(SloIndexByName("P1")));
+  EXPECT_DOUBLE_EQ(f[6], 1.0);  // edition delta (Premium - Standard)
+  EXPECT_DOUBLE_EQ(f[8], 125.0);  // max DTUs
+  EXPECT_DOUBLE_EQ(f[9], 10.0);   // min DTUs
+}
+
+TEST(SloFeaturesTest, NoChanges) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, -1.0, "db", "s", SloIndexByName("Basic"));
+  auto store = b.Finish();
+  const auto f = SloFeatures(store.databases()[0], b.DayTs(2.0));
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[8], 5.0);
+  EXPECT_DOUBLE_EQ(f[10], 5.0);
+}
+
+TEST(SubscriptionTypeTest, OneHot) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, -1.0, "db", "s", 0,
+                telemetry::SubscriptionType::kFreeTrial);
+  auto store = b.Finish();
+  const auto f = SubscriptionTypeFeatures(store.databases()[0]);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  for (size_t i = 1; i < f.size(); ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(SubscriptionHistoryTest, GroupsAndStats) {
+  StoreBuilder b;
+  // Target database created at day 50.
+  // Sibling A: created day 10, dropped day 20 -> group 2 only.
+  // Sibling B: created day 30, alive at 50 (dropped day 80, i.e. after
+  //   Tp=52 -> still "alive at Tc") -> groups 1 and 2.
+  // Sibling C: created day 51 (between Tc and Tp) -> group 3.
+  // Sibling D: created day 60 -> invisible at Tp.
+  const auto a = b.AddDatabase(5, 10.0, 20.0);
+  b.AddSizeSample(a, 5, 11.0, 100.0);
+  const auto bee = b.AddDatabase(5, 30.0, 80.0);
+  b.AddSizeSample(bee, 5, 31.0, 300.0);
+  b.AddDatabase(5, 51.0, -1.0);
+  b.AddDatabase(5, 60.0, -1.0);
+  const auto target = b.AddDatabase(5, 50.0, -1.0);
+  auto store = b.Finish();
+
+  const auto* record = *store.FindDatabase(target);
+  const auto f = SubscriptionHistoryFeatures(store, *record, b.DayTs(52.0));
+  ASSERT_EQ(f.size(), 19u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // group 1: sibling B
+  EXPECT_DOUBLE_EQ(f[1], 2.0);  // group 2: A and B
+  EXPECT_DOUBLE_EQ(f[2], 1.0);  // group 3: C
+  // Group 1 size stats (only B, peak size 300).
+  EXPECT_DOUBLE_EQ(f[3], 300.0);  // max
+  EXPECT_DOUBLE_EQ(f[4], 300.0);  // min
+  // Group 1 lifespan: B observed from day 30 to min(80, 52) = 22 days.
+  EXPECT_NEAR(f[7], 22.0, 1e-9);   // max lifespan
+  EXPECT_NEAR(f[9], 22.0, 1e-9);   // avg lifespan
+  // Group 2 size stats: A peak 100, B peak 300.
+  EXPECT_DOUBLE_EQ(f[11], 300.0);  // max
+  EXPECT_DOUBLE_EQ(f[12], 100.0);  // min
+  EXPECT_DOUBLE_EQ(f[13], 200.0);  // avg
+  // Group 2 lifespans: A = 10 (dropped), B = 22 (censored at Tp).
+  EXPECT_NEAR(f[15], 22.0, 1e-9);  // max
+  EXPECT_NEAR(f[16], 10.0, 1e-9);  // min
+}
+
+TEST(SubscriptionHistoryTest, LonelyDatabaseIsAllZero) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(9, 5.0, -1.0);
+  auto store = b.Finish();
+  const auto f =
+      SubscriptionHistoryFeatures(store, **store.FindDatabase(id),
+                                  b.DayTs(7.0));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ExtractFeaturesTest, VectorMatchesNamesLayout) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(1, 0.0, -1.0);
+  b.AddSizeSample(id, 1, 0.5, 10.0);
+  auto store = b.Finish();
+  FeatureConfig config;
+  auto features = ExtractFeatures(store, store.databases()[0], config);
+  ASSERT_TRUE(features.ok()) << features.status();
+  EXPECT_EQ(features->size(), FeatureNames(config).size());
+}
+
+TEST(ExtractFeaturesTest, ConfigTogglesChangeLayout) {
+  FeatureConfig all;
+  FeatureConfig minimal;
+  minimal.include_names = false;
+  minimal.include_subscription_history = false;
+  EXPECT_GT(FeatureNames(all).size(), FeatureNames(minimal).size());
+  FeatureConfig with_ngrams = all;
+  with_ngrams.include_name_ngrams = true;
+  EXPECT_EQ(FeatureNames(with_ngrams).size(),
+            FeatureNames(all).size() + 8);
+}
+
+TEST(ExtractFeaturesTest, RejectsDatabaseDroppedInsideWindow) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 1.0);  // dropped after 1 day
+  auto store = b.Finish();
+  FeatureConfig config;  // 2-day observation
+  auto features = ExtractFeatures(store, store.databases()[0], config);
+  EXPECT_FALSE(features.ok());
+}
+
+TEST(ExtractFeaturesTest, RejectsInvalidObservationDays) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, -1.0);
+  auto store = b.Finish();
+  FeatureConfig config;
+  config.observation_days = 0.0;
+  EXPECT_FALSE(ExtractFeatures(store, store.databases()[0], config).ok());
+}
+
+TEST(BuildDatasetTest, ParallelArraysAndLabels) {
+  StoreBuilder b;
+  const auto id1 = b.AddDatabase(1, 0.0, 40.0);
+  const auto id2 = b.AddDatabase(1, 5.0, 15.0);
+  auto store = b.Finish();
+  FeatureConfig config;
+  auto dataset = BuildDataset(store, {id1, id2}, {1, 0}, config);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->num_rows(), 2u);
+  EXPECT_EQ(dataset->label(0), 1);
+  EXPECT_EQ(dataset->label(1), 0);
+  EXPECT_EQ(dataset->num_features(), FeatureNames(config).size());
+  EXPECT_FALSE(BuildDataset(store, {id1}, {1, 0}, config).ok());
+  EXPECT_FALSE(BuildDataset(store, {9999}, {1}, config).ok());
+}
+
+TEST(BuildDatasetTest, MulticlassLabels) {
+  StoreBuilder b;
+  const auto a = b.AddDatabase(1, 0.0, 40.0);
+  const auto c = b.AddDatabase(1, 5.0, 15.0);
+  const auto e = b.AddDatabase(1, 10.0, -1.0);
+  auto store = b.Finish();
+  FeatureConfig config;
+  auto dataset = BuildDataset(store, {a, c, e}, {2, 1, 0}, config, 3);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->num_classes(), 3);
+  // Labels above num_classes are rejected.
+  EXPECT_FALSE(BuildDataset(store, {a}, {2}, config, 2).ok());
+}
+
+TEST(ExtractFeaturesTest, BirthHorizonSeesNoTelemetry) {
+  StoreBuilder b;
+  const auto id = b.AddDatabase(1, 0.0, -1.0, "db", "s",
+                                SloIndexByName("S0"));
+  b.AddSizeSample(id, 1, 0.5, 100.0);
+  b.AddSloChange(id, 1, 1.0, SloIndexByName("S0"), SloIndexByName("S1"));
+  auto store = b.Finish();
+  FeatureConfig config;
+  config.observation_days = 1.0 / 86400.0;  // one second after creation
+  auto features = ExtractFeatures(store, store.databases()[0], config);
+  ASSERT_TRUE(features.ok()) << features.status();
+  const auto names = FeatureNames(config);
+  // Size features must be all zero (no samples visible yet) and the SLO
+  // change at day 1 must be invisible.
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].rfind("size_", 0) == 0) {
+      EXPECT_DOUBLE_EQ((*features)[i], 0.0) << names[i];
+    }
+    if (names[i] == "slo_num_changes") {
+      EXPECT_DOUBLE_EQ((*features)[i], 0.0);
+    }
+  }
+}
+
+TEST(FeatureFamilyNamesTest, PartitionCoversAllFeatures) {
+  FeatureConfig config;
+  const auto all = FeatureNames(config);
+  size_t total = 0;
+  for (const char* family :
+       {"creation_time", "names", "size", "slo", "subscription_type",
+        "subscription_history"}) {
+    auto names = FeatureFamilyNames(config, family);
+    ASSERT_TRUE(names.ok()) << family;
+    total += names->size();
+    // Every family feature must exist in the full layout.
+    for (const auto& n : *names) {
+      EXPECT_NE(std::find(all.begin(), all.end(), n), all.end()) << n;
+    }
+  }
+  EXPECT_EQ(total, all.size());
+  EXPECT_FALSE(FeatureFamilyNames(config, "bogus").ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::features

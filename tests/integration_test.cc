@@ -1,0 +1,160 @@
+// End-to-end integration test: simulate a region, run the full study
+// pipeline, and assert the paper-shaped findings hold (orderings and
+// significance, not absolute numbers).
+
+#include "core/cohort.h"
+#include "core/prediction.h"
+#include "gtest/gtest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "survival/kaplan_meier.h"
+#include "survival/logrank.h"
+
+namespace cloudsurv {
+namespace {
+
+using core::CohortFilter;
+using telemetry::Edition;
+using telemetry::TelemetryStore;
+
+const TelemetryStore& Region1() {
+  static const TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, 1500, 2017);
+    auto s = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(s.ok()) << s.status();
+    return new TelemetryStore(std::move(s).value());
+  }();
+  return *store;
+}
+
+TEST(IntegrationTest, Observation31EphemeralOnlySubscriptions) {
+  const auto stats = core::ComputeSubscriptionUsageStats(Region1());
+  // "A low percentage of all subscriptions create only ephemeral
+  // databases" — low but present...
+  EXPECT_GT(stats.ephemeral_only_subscription_fraction(), 0.005);
+  EXPECT_LT(stats.ephemeral_only_subscription_fraction(), 0.20);
+  // ...yet "these databases represent a significant percentage of the
+  // total population".
+  EXPECT_GT(stats.ephemeral_database_fraction(), 0.10);
+  // And many subscriptions create both ephemeral and longer databases.
+  EXPECT_GT(stats.num_mixed, 0u);
+}
+
+TEST(IntegrationTest, Figure1KmShape) {
+  auto data = core::CohortSurvivalData(Region1(), CohortFilter{});
+  ASSERT_TRUE(data.ok());
+  auto km = survival::KaplanMeierCurve::Fit(*data);
+  ASSERT_TRUE(km.ok());
+  // Monotone decay with substantial mass surviving past 30 days and a
+  // visible drop near day 120 (incentive expiry).
+  EXPECT_GT(km->SurvivalAt(30.0), 0.40);
+  EXPECT_LT(km->SurvivalAt(30.0), 0.80);
+  EXPECT_GT(km->SurvivalAt(130.0), 0.10);
+  const double before_cliff = km->SurvivalAt(115.0);
+  const double after_cliff = km->SurvivalAt(125.0);
+  const double drop_rate_cliff = before_cliff - after_cliff;
+  const double drop_rate_plateau =
+      km->SurvivalAt(95.0) - km->SurvivalAt(105.0);
+  EXPECT_GT(drop_rate_cliff, 2.0 * drop_rate_plateau);
+}
+
+TEST(IntegrationTest, Observation32EditionsDifferSignificantly) {
+  std::vector<survival::SurvivalData> groups;
+  for (Edition e :
+       {Edition::kBasic, Edition::kStandard, Edition::kPremium}) {
+    CohortFilter filter;
+    filter.edition = e;
+    auto data = core::CohortSurvivalData(Region1(), filter);
+    ASSERT_TRUE(data.ok());
+    groups.push_back(*data);
+  }
+  auto logrank = survival::KSampleLogRankTest(groups);
+  ASSERT_TRUE(logrank.ok()) << logrank.status();
+  EXPECT_LT(logrank->p_value, 1e-7);
+
+  // Basic decays more slowly than Premium (Figure 3 narrative).
+  auto km_basic = survival::KaplanMeierCurve::Fit(groups[0]);
+  auto km_premium = survival::KaplanMeierCurve::Fit(groups[2]);
+  ASSERT_TRUE(km_basic.ok() && km_premium.ok());
+  EXPECT_GT(km_basic->SurvivalAt(30.0), km_premium->SurvivalAt(30.0));
+  EXPECT_GT(km_basic->SurvivalAt(60.0), km_premium->SurvivalAt(60.0));
+}
+
+TEST(IntegrationTest, Observation33EditionChangeRates) {
+  auto changed_rate = [&](Edition e) {
+    CohortFilter filter;
+    filter.edition = e;
+    const auto all = core::SelectCohort(Region1(), filter);
+    filter.changed_edition = true;
+    const auto changed = core::SelectCohort(Region1(), filter);
+    return static_cast<double>(changed.size()) /
+           static_cast<double>(all.size());
+  };
+  const double basic = changed_rate(Edition::kBasic);
+  const double standard = changed_rate(Edition::kStandard);
+  const double premium = changed_rate(Edition::kPremium);
+  EXPECT_GT(premium, 3.0 * basic);
+  EXPECT_GT(premium, 3.0 * standard);
+  EXPECT_GT(premium, 0.05);
+}
+
+TEST(IntegrationTest, ClassBalanceOrderingAcrossEditions) {
+  auto positive_rate = [&](Edition e) {
+    auto cohort = core::BuildPredictionCohort(Region1(), 2.0, 30.0, e);
+    EXPECT_TRUE(cohort.ok());
+    double pos = 0;
+    for (int l : cohort->labels) pos += l;
+    return pos / static_cast<double>(cohort->labels.size());
+  };
+  const double basic = positive_rate(Edition::kBasic);
+  const double standard = positive_rate(Edition::kStandard);
+  const double premium = positive_rate(Edition::kPremium);
+  // Paper section 5.2: Basic skews long-lived, Premium is the most
+  // imbalanced toward short-lived, Standard sits in between.
+  EXPECT_GT(basic, standard);
+  EXPECT_GT(standard, premium);
+  EXPECT_GT(basic, 0.55);
+  EXPECT_LT(premium, 0.50);
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesEverything) {
+  const TelemetryStore& store = Region1();
+  const std::string csv = store.ExportCsv();
+  auto imported = TelemetryStore::ImportCsv(
+      csv, store.region_name(), store.utc_offset_minutes(),
+      store.holidays(), store.window_start(), store.window_end());
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  ASSERT_EQ(imported->num_databases(), store.num_databases());
+  EXPECT_EQ(imported->ExportCsv(), csv);
+}
+
+TEST(IntegrationTest, FullPredictionPipelineMatchesPaperShape) {
+  core::ExperimentConfig config;
+  config.tune_with_grid_search = false;
+  config.default_params.num_trees = 80;
+  config.default_params.max_depth = 14;
+  config.num_repetitions = 3;
+  config.seed = 99;
+
+  auto result = core::RunPredictionExperiment(Region1(), Edition::kBasic,
+                                              config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Substantial improvement over the weighted-random baseline.
+  EXPECT_GT(result->forest_avg.accuracy, 0.70);
+  EXPECT_GT(result->forest_avg.accuracy,
+            result->baseline_avg.accuracy + 0.15);
+  // Confident predictions are better and cover a usable share.
+  EXPECT_GT(result->confident_avg.accuracy, result->forest_avg.accuracy);
+  EXPECT_GT(result->confident_fraction_avg, 0.40);
+  // Statistically significant separation of predicted classes.
+  auto logrank = core::LogRankOfClassifiedGroups(
+      result->runs[0].outcomes, core::PredictionBucket::kAll);
+  ASSERT_TRUE(logrank.ok());
+  EXPECT_LT(logrank->p_value, 1e-7);
+  // Section 5.4 family ordering: subscription history on top.
+  const auto families = core::RankFeatureFamilies(*result);
+  EXPECT_EQ(families[0].first, "subscription_history");
+}
+
+}  // namespace
+}  // namespace cloudsurv

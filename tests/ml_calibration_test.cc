@@ -1,0 +1,111 @@
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/calibration.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+TEST(CalibrationTest, PerfectlyCalibratedPredictor) {
+  // Labels drawn with probability equal to the prediction.
+  Rng rng(1);
+  std::vector<int> y;
+  std::vector<double> p;
+  for (int i = 0; i < 50000; ++i) {
+    const double prob = rng.Uniform();
+    p.push_back(prob);
+    y.push_back(rng.Bernoulli(prob) ? 1 : 0);
+  }
+  auto report = ComputeCalibration(y, p, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->expected_calibration_error, 0.02);
+  // Brier of a perfectly calibrated uniform predictor is E[p(1-p)] = 1/6.
+  EXPECT_NEAR(report->brier_score, 1.0 / 6.0, 0.01);
+  for (const auto& bin : report->bins) {
+    if (bin.count < 100) continue;
+    EXPECT_NEAR(bin.mean_predicted, bin.observed_rate, 0.05);
+  }
+}
+
+TEST(CalibrationTest, OverconfidentPredictorHasHighEce) {
+  // Predicts 0.95 for everything positive-ish; true rate 0.6.
+  Rng rng(2);
+  std::vector<int> y;
+  std::vector<double> p;
+  for (int i = 0; i < 10000; ++i) {
+    p.push_back(0.95);
+    y.push_back(rng.Bernoulli(0.6) ? 1 : 0);
+  }
+  auto report = ComputeCalibration(y, p, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->expected_calibration_error, 0.35, 0.03);
+  EXPECT_NEAR(report->max_calibration_error, 0.35, 0.03);
+}
+
+TEST(CalibrationTest, BrierScoreHandExamples) {
+  auto perfect = ComputeCalibration({1, 0}, {1.0, 0.0}, 5);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(perfect->brier_score, 0.0);
+  auto worst = ComputeCalibration({1, 0}, {0.0, 1.0}, 5);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_DOUBLE_EQ(worst->brier_score, 1.0);
+  auto half = ComputeCalibration({1, 0}, {0.5, 0.5}, 5);
+  ASSERT_TRUE(half.ok());
+  EXPECT_DOUBLE_EQ(half->brier_score, 0.25);
+}
+
+TEST(CalibrationTest, BinEdgesAndAssignment) {
+  auto report =
+      ComputeCalibration({0, 1, 1}, {0.05, 0.55, 0.999}, 10);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->bins.size(), 10u);
+  EXPECT_EQ(report->bins[0].count, 1u);
+  EXPECT_EQ(report->bins[5].count, 1u);
+  EXPECT_EQ(report->bins[9].count, 1u);  // p=1 lands in the last bin
+  EXPECT_DOUBLE_EQ(report->bins[0].lower, 0.0);
+  EXPECT_DOUBLE_EQ(report->bins[9].upper, 1.0);
+}
+
+TEST(CalibrationTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(ComputeCalibration({}, {}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({1}, {0.5, 0.5}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({2}, {0.5}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({1}, {1.5}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({1}, {0.5}, 0).ok());
+}
+
+TEST(CalibrationTest, ToTextRendersBins) {
+  auto report = ComputeCalibration({1, 0, 1, 0}, {0.9, 0.1, 0.8, 0.2}, 4);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("brier="), std::string::npos);
+  EXPECT_NE(text.find("mean_pred"), std::string::npos);
+}
+
+/// Property sweep over bin counts: ECE is always within [0, 1] and the
+/// bin counts always sum to n.
+class CalibrationBinsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibrationBinsTest, InvariantsHold) {
+  Rng rng(3);
+  std::vector<int> y;
+  std::vector<double> p;
+  for (int i = 0; i < 2000; ++i) {
+    p.push_back(rng.Uniform());
+    y.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  auto report = ComputeCalibration(y, p, GetParam());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->expected_calibration_error, 0.0);
+  EXPECT_LE(report->expected_calibration_error, 1.0);
+  EXPECT_LE(report->expected_calibration_error,
+            report->max_calibration_error + 1e-12);
+  size_t total = 0;
+  for (const auto& bin : report->bins) total += bin.count;
+  EXPECT_EQ(total, y.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, CalibrationBinsTest,
+                         ::testing::Values(1, 2, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace cloudsurv::ml

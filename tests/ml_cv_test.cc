@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/cross_validation.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+Dataset LabeledData(int n, double positive_fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(positive_fraction) ? 1 : 0;
+    rows.push_back({rng.Normal(label * 2.0, 1.0)});
+    labels.push_back(label);
+  }
+  auto d = Dataset::Make({"x"}, std::move(rows), std::move(labels));
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(TrainTestSplitTest, PartitionsAllRowsExactlyOnce) {
+  const Dataset d = LabeledData(100, 0.4, 1);
+  auto split = TrainTestSplit(d, 0.2, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), 100u);
+  std::set<size_t> all(split->train.begin(), split->train.end());
+  all.insert(split->test.begin(), split->test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, TestFractionApproximatelyRespected) {
+  const Dataset d = LabeledData(1000, 0.5, 2);
+  auto split = TrainTestSplit(d, 0.2, 2);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(static_cast<double>(split->test.size()) / 1000.0, 0.2, 0.01);
+}
+
+TEST(TrainTestSplitTest, StratificationPreservesClassBalance) {
+  const Dataset d = LabeledData(2000, 0.3, 3);
+  auto split = TrainTestSplit(d, 0.25, 3, /*stratified=*/true);
+  ASSERT_TRUE(split.ok());
+  auto rate = [&](const std::vector<size_t>& idx) {
+    double pos = 0;
+    for (size_t i : idx) pos += d.label(i);
+    return pos / static_cast<double>(idx.size());
+  };
+  EXPECT_NEAR(rate(split->train), rate(split->test), 0.02);
+}
+
+TEST(TrainTestSplitTest, DifferentSeedsGiveDifferentSplits) {
+  const Dataset d = LabeledData(200, 0.5, 4);
+  auto s1 = TrainTestSplit(d, 0.3, 100);
+  auto s2 = TrainTestSplit(d, 0.3, 200);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(s1->test, s2->test);
+  auto s1_again = TrainTestSplit(d, 0.3, 100);
+  ASSERT_TRUE(s1_again.ok());
+  EXPECT_EQ(s1->test, s1_again->test);  // deterministic per seed
+}
+
+TEST(TrainTestSplitTest, RejectsBadFractions) {
+  const Dataset d = LabeledData(10, 0.5, 5);
+  EXPECT_FALSE(TrainTestSplit(d, 0.0, 1).ok());
+  EXPECT_FALSE(TrainTestSplit(d, 1.0, 1).ok());
+  EXPECT_FALSE(TrainTestSplit(Dataset(), 0.2, 1).ok());
+}
+
+TEST(KFoldTest, FoldsPartitionRows) {
+  const Dataset d = LabeledData(103, 0.4, 6);
+  auto folds = KFoldSplit(d, 5, 6);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::set<size_t> validation_union;
+  for (const Fold& fold : *folds) {
+    EXPECT_EQ(fold.train.size() + fold.validation.size(), 103u);
+    for (size_t i : fold.validation) {
+      EXPECT_TRUE(validation_union.insert(i).second)
+          << "row " << i << " in two validation folds";
+    }
+    // No overlap between train and validation inside one fold.
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t i : fold.validation) {
+      EXPECT_EQ(train_set.count(i), 0u);
+    }
+  }
+  EXPECT_EQ(validation_union.size(), 103u);
+}
+
+TEST(KFoldTest, StratifiedFoldsBalanceClasses) {
+  const Dataset d = LabeledData(1000, 0.2, 7);
+  auto folds = KFoldSplit(d, 5, 7);
+  ASSERT_TRUE(folds.ok());
+  for (const Fold& fold : *folds) {
+    double pos = 0;
+    for (size_t i : fold.validation) pos += d.label(i);
+    EXPECT_NEAR(pos / static_cast<double>(fold.validation.size()), 0.2,
+                0.05);
+  }
+}
+
+TEST(KFoldTest, RejectsBadParameters) {
+  const Dataset d = LabeledData(10, 0.5, 8);
+  EXPECT_FALSE(KFoldSplit(d, 1, 1).ok());
+  EXPECT_FALSE(KFoldSplit(d, 11, 1).ok());
+}
+
+TEST(CrossValidateTest, SeparableDataScoresHigh) {
+  const Dataset d = LabeledData(400, 0.5, 9);
+  ForestParams params;
+  params.num_trees = 15;
+  auto score = CrossValidateForest(d, params, 4, 9);
+  ASSERT_TRUE(score.ok());
+  // Two unit-variance Gaussians 2 sigma apart: Bayes ~0.84.
+  EXPECT_GT(*score, 0.75);
+  EXPECT_LE(*score, 1.0);
+}
+
+TEST(GridSearchTest, PicksBestCellAndReportsAll) {
+  const Dataset d = LabeledData(300, 0.5, 10);
+  std::vector<ForestParams> grid;
+  ForestParams strong;
+  strong.num_trees = 25;
+  strong.max_depth = 8;
+  ForestParams weak;
+  weak.num_trees = 1;
+  weak.max_depth = 0;  // majority class only
+  grid.push_back(weak);
+  grid.push_back(strong);
+  auto result = GridSearchForest(d, grid, 3, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->all_scores.size(), 2u);
+  EXPECT_EQ(result->best_params.num_trees, 25);
+  EXPECT_GE(result->best_score, result->all_scores[0].second);
+}
+
+TEST(GridSearchTest, RejectsEmptyGrid) {
+  const Dataset d = LabeledData(50, 0.5, 11);
+  EXPECT_FALSE(GridSearchForest(d, {}, 3, 1).ok());
+}
+
+TEST(GridSearchTest, DefaultGridIsNonTrivial) {
+  const auto grid = DefaultForestGrid();
+  EXPECT_GE(grid.size(), 4u);
+  for (const auto& p : grid) {
+    EXPECT_GT(p.num_trees, 0);
+    EXPECT_GT(p.max_depth, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudsurv::ml

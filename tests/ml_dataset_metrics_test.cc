@@ -1,0 +1,236 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/baseline.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+Dataset TinyDataset() {
+  auto d = Dataset::Make({"a", "b"},
+                         {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}},
+                         {0, 1, 1, 0});
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(DatasetTest, MakeValidation) {
+  EXPECT_FALSE(Dataset::Make({"a"}, {{1.0}}, {0, 1}).ok());        // sizes
+  EXPECT_FALSE(Dataset::Make({"a"}, {{1.0, 2.0}}, {0}).ok());      // row width
+  EXPECT_FALSE(Dataset::Make({"a"}, {{1.0}}, {-1}).ok());          // label
+  EXPECT_FALSE(Dataset::Make({"a"}, {{1.0}}, {5}, 2).ok());        // range
+  EXPECT_FALSE(Dataset::Make({"a", "a"}, {{1.0, 2.0}}, {0}).ok()); // dup name
+  EXPECT_FALSE(
+      Dataset::Make({"a"}, {{std::nan("")}}, {0}).ok());           // finite
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = TinyDataset();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(d.feature(2, 1), 6.0);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_EQ(d.FeatureIndex("b"), 1);
+  EXPECT_EQ(d.FeatureIndex("missing"), -1);
+}
+
+TEST(DatasetTest, ClassCountsAndFraction) {
+  const Dataset d = TinyDataset();
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_DOUBLE_EQ(d.ClassFraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(d.ClassFraction(7), 0.0);
+}
+
+TEST(DatasetTest, SubsetPreservesOrderAndAllowsDuplicates) {
+  const Dataset d = TinyDataset();
+  auto s = d.Subset({3, 0, 0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(s->feature(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(s->feature(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s->feature(2, 0), 1.0);
+  EXPECT_FALSE(d.Subset({99}).ok());
+}
+
+TEST(DatasetTest, DropFeatures) {
+  const Dataset d = TinyDataset();
+  auto s = d.DropFeatures({"a"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_features(), 1u);
+  EXPECT_EQ(s->feature_names()[0], "b");
+  EXPECT_DOUBLE_EQ(s->feature(0, 0), 2.0);
+  EXPECT_EQ(s->labels(), d.labels());
+  EXPECT_FALSE(d.DropFeatures({"nope"}).ok());
+}
+
+TEST(DatasetTest, InferredNumClasses) {
+  auto d = Dataset::Make({"x"}, {{0.0}, {1.0}, {2.0}}, {0, 2, 1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_classes(), 3);
+}
+
+TEST(MetricsTest, ConfusionMatrixHandExample) {
+  //            pred: 1  1  0  0  1  0
+  //            true: 1  0  0  1  1  0
+  auto cm = ComputeConfusionMatrix({1, 0, 0, 1, 1, 0}, {1, 1, 0, 0, 1, 0});
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->true_positive, 2u);
+  EXPECT_EQ(cm->false_positive, 1u);
+  EXPECT_EQ(cm->true_negative, 2u);
+  EXPECT_EQ(cm->false_negative, 1u);
+  const ClassificationScores s = ScoresFromConfusion(*cm);
+  EXPECT_NEAR(s.accuracy, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.support, 6u);
+}
+
+TEST(MetricsTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeConfusionMatrix({1}, {1, 0}).ok());
+  EXPECT_FALSE(ComputeConfusionMatrix({}, {}).ok());
+  EXPECT_FALSE(ComputeConfusionMatrix({2}, {1}).ok());
+}
+
+TEST(MetricsTest, DegenerateScoresAreZeroNotNan) {
+  // Nothing predicted positive -> precision 0; no actual positives ->
+  // recall 0.
+  auto s1 = ComputeScores({1, 1}, {0, 0});
+  ASSERT_TRUE(s1.ok());
+  EXPECT_DOUBLE_EQ(s1->precision, 0.0);
+  EXPECT_DOUBLE_EQ(s1->recall, 0.0);
+  EXPECT_DOUBLE_EQ(s1->f1, 0.0);
+  auto s2 = ComputeScores({0, 0}, {0, 0});
+  ASSERT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(s2->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(s2->recall, 0.0);
+}
+
+TEST(MetricsTest, AverageScores) {
+  ClassificationScores a{0.8, 0.6, 0.4, 0.48, 100};
+  ClassificationScores b{0.6, 0.8, 0.6, 0.69, 200};
+  const ClassificationScores avg = AverageScores({a, b});
+  EXPECT_NEAR(avg.accuracy, 0.7, 1e-12);
+  EXPECT_NEAR(avg.precision, 0.7, 1e-12);
+  EXPECT_NEAR(avg.recall, 0.5, 1e-12);
+  EXPECT_EQ(avg.support, 150u);
+  EXPECT_EQ(AverageScores({}).support, 0u);
+}
+
+TEST(MetricsTest, RocAucPerfectAndRandom) {
+  auto perfect = RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9});
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(*perfect, 1.0);
+  auto inverted = RocAuc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1});
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_DOUBLE_EQ(*inverted, 0.0);
+  auto ties = RocAuc({0, 1}, {0.5, 0.5});
+  ASSERT_TRUE(ties.ok());
+  EXPECT_DOUBLE_EQ(*ties, 0.5);
+}
+
+TEST(MetricsTest, RocAucHandExample) {
+  // scores: neg 0.1, pos 0.4, neg 0.35, pos 0.8 -> one inversion pair of 4.
+  auto auc = RocAuc({0, 1, 0, 1}, {0.1, 0.4, 0.35, 0.8});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);  // 0.4 > 0.35: actually separable
+  auto auc2 = RocAuc({0, 1, 0, 1}, {0.1, 0.3, 0.35, 0.8});
+  ASSERT_TRUE(auc2.ok());
+  EXPECT_DOUBLE_EQ(*auc2, 0.75);  // one of four pairs inverted
+}
+
+TEST(MetricsTest, RocAucRejectsSingleClass) {
+  EXPECT_FALSE(RocAuc({1, 1}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(RocAuc({0, 1}, {0.5}).ok());
+}
+
+TEST(MetricsTest, ScoresToStringMentionsAllFields) {
+  ClassificationScores s{0.9, 0.8, 0.7, 0.75, 42};
+  const std::string text = ScoresToString(s);
+  EXPECT_NE(text.find("accuracy=0.900"), std::string::npos);
+  EXPECT_NE(text.find("n=42"), std::string::npos);
+}
+
+TEST(MulticlassMetricsTest, ConfusionHandExample) {
+  //          truth: 0 0 1 1 2 2 2
+  //          pred:  0 1 1 1 2 0 2
+  auto confusion = ComputeMulticlassConfusion({0, 0, 1, 1, 2, 2, 2},
+                                              {0, 1, 1, 1, 2, 0, 2});
+  ASSERT_TRUE(confusion.ok());
+  EXPECT_EQ(confusion->num_classes(), 3u);
+  EXPECT_EQ(confusion->counts[0][0], 1u);
+  EXPECT_EQ(confusion->counts[0][1], 1u);
+  EXPECT_EQ(confusion->counts[1][1], 2u);
+  EXPECT_EQ(confusion->counts[2][0], 1u);
+  EXPECT_EQ(confusion->counts[2][2], 2u);
+  EXPECT_NEAR(confusion->accuracy(), 5.0 / 7.0, 1e-12);
+}
+
+TEST(MulticlassMetricsTest, OneVsRestMatchesBinaryReduction) {
+  auto confusion = ComputeMulticlassConfusion({0, 0, 1, 1, 2, 2, 2},
+                                              {0, 1, 1, 1, 2, 0, 2});
+  ASSERT_TRUE(confusion.ok());
+  // Class 1: TP=2 (both 1s predicted 1), FP=1 (a 0 predicted 1), FN=0.
+  auto scores = OneVsRestScores(*confusion, 1);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores->precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(scores->recall, 1.0);
+  EXPECT_FALSE(OneVsRestScores(*confusion, 5).ok());
+}
+
+TEST(MulticlassMetricsTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(ComputeMulticlassConfusion({}, {}).ok());
+  EXPECT_FALSE(ComputeMulticlassConfusion({0}, {0, 1}).ok());
+  EXPECT_FALSE(ComputeMulticlassConfusion({-1}, {0}).ok());
+  EXPECT_FALSE(ComputeMulticlassConfusion({3}, {0}, 2).ok());
+}
+
+TEST(MulticlassMetricsTest, TextRenderingUsesClassNames) {
+  auto confusion = ComputeMulticlassConfusion({0, 1}, {0, 1});
+  ASSERT_TRUE(confusion.ok());
+  const std::string text =
+      MulticlassConfusionToText(*confusion, {"eph", "long"});
+  EXPECT_NE(text.find("eph"), std::string::npos);
+  EXPECT_NE(text.find("long"), std::string::npos);
+}
+
+TEST(BaselineTest, LearnsPositiveRate) {
+  auto d = Dataset::Make({"x"}, {{0.0}, {0.0}, {0.0}, {0.0}},
+                         {1, 1, 1, 0});
+  ASSERT_TRUE(d.ok());
+  WeightedRandomClassifier baseline;
+  ASSERT_TRUE(baseline.Fit(*d).ok());
+  EXPECT_DOUBLE_EQ(baseline.positive_rate(), 0.75);
+}
+
+TEST(BaselineTest, PredictionsFollowRate) {
+  std::vector<std::vector<double>> rows(4000, {0.0});
+  std::vector<int> labels(4000, 0);
+  for (int i = 0; i < 1200; ++i) labels[i] = 1;  // 30% positive
+  auto d = Dataset::Make({"x"}, rows, labels);
+  ASSERT_TRUE(d.ok());
+  WeightedRandomClassifier baseline;
+  ASSERT_TRUE(baseline.Fit(*d).ok());
+  auto preds = baseline.PredictBatch(*d, 77);
+  ASSERT_TRUE(preds.ok());
+  int pos = 0;
+  for (int p : *preds) pos += p;
+  EXPECT_NEAR(static_cast<double>(pos) / 4000.0, 0.3, 0.03);
+}
+
+TEST(BaselineTest, RequiresBinaryAndFit) {
+  auto multi = Dataset::Make({"x"}, {{0.0}, {0.0}, {0.0}}, {0, 1, 2});
+  ASSERT_TRUE(multi.ok());
+  WeightedRandomClassifier baseline;
+  EXPECT_FALSE(baseline.Fit(*multi).ok());
+  EXPECT_FALSE(baseline.PredictBatch(*multi, 1).ok());
+  EXPECT_FALSE(baseline.Fit(Dataset()).ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::ml

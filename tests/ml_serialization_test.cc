@@ -1,0 +1,113 @@
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+Dataset RandomData(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    rows.push_back({rng.Normal(label * 1.5, 1.0), rng.Uniform(),
+                    rng.Uniform(-3.0, 3.0)});
+    labels.push_back(label);
+  }
+  return *Dataset::Make({"a", "b", "c"}, std::move(rows),
+                        std::move(labels));
+}
+
+TEST(TreeSerializationTest, ExactRoundTrip) {
+  const Dataset d = RandomData(400, 1);
+  DecisionTreeClassifier tree;
+  TreeParams params;
+  params.max_depth = 8;
+  ASSERT_TRUE(tree.Fit(d, params, 1).ok());
+
+  auto restored = DecisionTreeClassifier::Deserialize(tree.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(restored->depth(), tree.depth());
+  EXPECT_EQ(restored->num_classes(), tree.num_classes());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    const auto p1 = tree.PredictProba(d.row(i));
+    const auto p2 = restored->PredictProba(d.row(i));
+    ASSERT_EQ(p1.size(), p2.size());
+    for (size_t c = 0; c < p1.size(); ++c) {
+      EXPECT_DOUBLE_EQ(p1[c], p2[c]);
+    }
+  }
+  const auto& imp1 = tree.feature_importances();
+  const auto& imp2 = restored->feature_importances();
+  for (size_t f = 0; f < imp1.size(); ++f) {
+    EXPECT_DOUBLE_EQ(imp1[f], imp2[f]);
+  }
+}
+
+TEST(TreeSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize("").ok());
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize("not a tree").ok());
+  EXPECT_FALSE(
+      DecisionTreeClassifier::Deserialize("tree 2 3 1 1\n9 0.5 99 99 0\n")
+          .ok());
+}
+
+TEST(ForestSerializationTest, ExactRoundTrip) {
+  const Dataset d = RandomData(500, 2);
+  RandomForestClassifier forest;
+  ForestParams params;
+  params.num_trees = 12;
+  params.max_depth = 8;
+  ASSERT_TRUE(forest.Fit(d, params, 2).ok());
+
+  const std::string blob = forest.Serialize();
+  auto restored = RandomForestClassifier::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_trees(), forest.num_trees());
+  EXPECT_DOUBLE_EQ(restored->oob_accuracy(), forest.oob_accuracy());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->PredictProba(d.row(i))[1],
+                     forest.PredictProba(d.row(i))[1]);
+  }
+  // Serialization is stable (same blob twice).
+  EXPECT_EQ(restored->Serialize(), blob);
+}
+
+TEST(ForestSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(RandomForestClassifier::Deserialize("").ok());
+  EXPECT_FALSE(RandomForestClassifier::Deserialize(
+                   "forest 2 2 3 0.5\nimportances 0 0 0\n")
+                   .ok());  // missing trees
+}
+
+TEST(GbdtSerializationTest, ExactRoundTrip) {
+  const Dataset d = RandomData(500, 3);
+  GradientBoostedTreesClassifier model;
+  GbdtParams params;
+  params.num_rounds = 25;
+  ASSERT_TRUE(model.Fit(d, params, 3).ok());
+
+  const std::string blob = model.Serialize();
+  auto restored = GradientBoostedTreesClassifier::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_trees(), model.num_trees());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->PredictLogit(d.row(i)),
+                     model.PredictLogit(d.row(i)));
+  }
+  EXPECT_EQ(restored->Serialize(), blob);
+}
+
+TEST(GbdtSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(GradientBoostedTreesClassifier::Deserialize("").ok());
+  EXPECT_FALSE(GradientBoostedTreesClassifier::Deserialize(
+                   "gbdt 1 3 0.0\nimportances 0 0 0\ngtree 1\n5 0 -1 -1 0\n")
+                   .ok());  // feature index out of range
+}
+
+}  // namespace
+}  // namespace cloudsurv::ml

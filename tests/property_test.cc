@@ -1,0 +1,211 @@
+// Cross-cutting randomized property tests: simulator invariants across
+// regions/seeds/scales, telemetry round trips on randomized stores, and
+// end-to-end coherence of derived statistics.
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/cohort.h"
+#include "gtest/gtest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "survival/kaplan_meier.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv {
+namespace {
+
+using telemetry::TelemetryStore;
+
+/// Sweep: (region_index, seed) combinations; each simulated store must
+/// satisfy the full invariant battery.
+class SimulatorSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(SimulatorSweepTest, InvariantsHold) {
+  const auto [region, seed] = GetParam();
+  auto config = simulator::MakeRegionPreset(region, 250, seed);
+  ASSERT_TRUE(config.ok());
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  // 1. Every lifecycle is valid (Finalize already checked; re-verify
+  //    the derived records).
+  for (const auto& record : store->databases()) {
+    EXPECT_GE(record.created_at, store->window_start());
+    EXPECT_LT(record.created_at, store->window_end());
+    if (record.dropped_at) {
+      EXPECT_GE(*record.dropped_at, record.created_at);
+      EXPECT_LT(*record.dropped_at, store->window_end());
+    }
+    int slo = record.initial_slo_index;
+    for (const auto& change : record.slo_changes) {
+      EXPECT_EQ(change.old_slo_index, slo);
+      slo = change.new_slo_index;
+      EXPECT_GE(slo, 0);
+      EXPECT_LT(slo, telemetry::NumSlos());
+    }
+    for (const auto& sample : record.size_samples) {
+      EXPECT_GT(sample.size_mb, 0.0);
+      EXPECT_GE(sample.timestamp, record.created_at);
+    }
+  }
+
+  // 2. Per-subscription index is consistent and creation-ordered.
+  size_t indexed = 0;
+  for (auto sub : store->AllSubscriptions()) {
+    telemetry::Timestamp prev = store->window_start();
+    for (auto id : store->DatabasesOfSubscription(sub)) {
+      auto record = store->FindDatabase(id);
+      ASSERT_TRUE(record.ok());
+      EXPECT_EQ((*record)->subscription_id, sub);
+      EXPECT_GE((*record)->created_at, prev);
+      prev = (*record)->created_at;
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, store->num_databases());
+
+  // 3. CSV round trip is exact.
+  const std::string csv = store->ExportCsv();
+  auto imported = TelemetryStore::ImportCsv(
+      csv, store->region_name(), store->utc_offset_minutes(),
+      store->holidays(), store->window_start(), store->window_end());
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(imported->ExportCsv(), csv);
+
+  // 4. KM on any cohort is a valid survival function.
+  auto data = core::CohortSurvivalData(*store, core::CohortFilter{});
+  ASSERT_TRUE(data.ok());
+  if (!data->empty()) {
+    auto km = survival::KaplanMeierCurve::Fit(*data);
+    ASSERT_TRUE(km.ok());
+    double prev_s = 1.0;
+    for (const auto& step : km->steps()) {
+      EXPECT_LE(step.survival, prev_s + 1e-12);
+      EXPECT_GE(step.survival, 0.0);
+      EXPECT_GE(step.at_risk, step.events);
+      prev_s = step.survival;
+    }
+  }
+
+  // 5. Prediction cohorts partition consistently: every database is
+  //    (a) dead before x, (b) label-known, or (c) excluded-unknown.
+  auto cohort = core::BuildPredictionCohort(*store, 2.0, 30.0);
+  ASSERT_TRUE(cohort.ok());
+  size_t dead_before_x = 0;
+  for (const auto& record : store->databases()) {
+    if (record.ObservedLifespanDays(store->window_end()) < 2.0) {
+      ++dead_before_x;
+    }
+  }
+  EXPECT_EQ(dead_before_x + cohort->ids.size() +
+                cohort->num_unknown_excluded,
+            store->num_databases());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegionsAndSeeds, SimulatorSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(uint64_t{1}, uint64_t{99},
+                                         uint64_t{424242})));
+
+/// Randomized hand-built stores: fuzz the store with arbitrary valid
+/// record shapes and confirm CSV round trips and lifecycle queries.
+class StoreFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreFuzzTest, RandomValidStoresRoundTrip) {
+  Rng rng(GetParam());
+  const telemetry::Timestamp start = telemetry::MakeTimestamp(2017, 1, 1);
+  const telemetry::Timestamp end = telemetry::MakeTimestamp(2017, 5, 31);
+  TelemetryStore store("fuzz", 0, {}, start, end);
+
+  const int num_dbs = 40;
+  for (int db = 0; db < num_dbs; ++db) {
+    const auto sub =
+        static_cast<telemetry::SubscriptionId>(rng.UniformInt(0, 7));
+    // Leave at least a day of headroom so drop times always fit.
+    const telemetry::Timestamp created =
+        start + rng.UniformInt(0, end - start - telemetry::kSecondsPerDay);
+    telemetry::DatabaseCreatedPayload payload;
+    payload.server_id = sub;
+    payload.server_name = "srv" + std::to_string(sub);
+    payload.database_name = "db" + std::to_string(db);
+    payload.slo_index =
+        static_cast<int>(rng.UniformInt(0, telemetry::NumSlos() - 1));
+    payload.subscription_type = static_cast<telemetry::SubscriptionType>(
+        rng.UniformInt(0, telemetry::kNumSubscriptionTypes - 1));
+    ASSERT_TRUE(store
+                    .Append(telemetry::MakeCreatedEvent(
+                        created, static_cast<telemetry::DatabaseId>(db),
+                        sub, payload))
+                    .ok());
+
+    const bool dropped = rng.Bernoulli(0.6);
+    const telemetry::Timestamp last =
+        dropped ? created + rng.UniformInt(1, end - created - 1) : end;
+    // Events strictly inside (created, last).
+    int current = payload.slo_index;
+    const int extra = static_cast<int>(rng.UniformInt(0, 5));
+    telemetry::Timestamp cursor = created;
+    for (int e = 0; e < extra && cursor + 2 < last; ++e) {
+      cursor += rng.UniformInt(1, std::max<int64_t>(1, (last - cursor) / 2));
+      if (cursor >= last) break;
+      if (rng.Bernoulli(0.5)) {
+        const int next = static_cast<int>(
+            rng.UniformInt(0, telemetry::NumSlos() - 1));
+        if (next != current) {
+          ASSERT_TRUE(store
+                          .Append(telemetry::MakeSloChangedEvent(
+                              cursor,
+                              static_cast<telemetry::DatabaseId>(db), sub,
+                              current, next))
+                          .ok());
+          current = next;
+        }
+      } else {
+        ASSERT_TRUE(store
+                        .Append(telemetry::MakeSizeSampleEvent(
+                            cursor,
+                            static_cast<telemetry::DatabaseId>(db), sub,
+                            rng.Uniform(1.0, 5000.0)))
+                        .ok());
+      }
+    }
+    if (dropped) {
+      ASSERT_TRUE(store
+                      .Append(telemetry::MakeDroppedEvent(
+                          last, static_cast<telemetry::DatabaseId>(db),
+                          sub))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(store.Finalize().ok());
+  EXPECT_EQ(store.num_databases(), static_cast<size_t>(num_dbs));
+
+  const std::string csv = store.ExportCsv();
+  auto imported =
+      TelemetryStore::ImportCsv(csv, "fuzz", 0, {}, start, end);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(imported->ExportCsv(), csv);
+
+  // SloIndexAt is consistent with the change chain everywhere.
+  for (const auto& record : store.databases()) {
+    EXPECT_EQ(record.SloIndexAt(record.created_at),
+              record.initial_slo_index);
+    for (const auto& change : record.slo_changes) {
+      EXPECT_EQ(record.SloIndexAt(change.timestamp),
+                change.new_slo_index);
+      EXPECT_EQ(record.SloIndexAt(change.timestamp - 1),
+                change.old_slo_index);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzzTest,
+                         ::testing::Values(uint64_t{7}, uint64_t{77},
+                                           uint64_t{777}, uint64_t{7777},
+                                           uint64_t{77777}));
+
+}  // namespace
+}  // namespace cloudsurv

@@ -1,0 +1,313 @@
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "simulator/archetypes.h"
+#include "simulator/name_generator.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/civil_time.h"
+
+namespace cloudsurv::simulator {
+namespace {
+
+using telemetry::Edition;
+using telemetry::TelemetryStore;
+
+TEST(NameGeneratorTest, StylesProduceDistinctShapes) {
+  Rng rng(1);
+  double automated_len_sum = 0.0;
+  double human_len_sum = 0.0;
+  double automated_distinct_sum = 0.0;
+  double human_distinct_sum = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const std::string human =
+        GenerateDatabaseName(NameStyle::kHumanWords, rng);
+    const std::string automated =
+        GenerateDatabaseName(NameStyle::kAutomatedSuffix, rng);
+    std::set<char> hd(human.begin(), human.end());
+    std::set<char> ad(automated.begin(), automated.end());
+    human_len_sum += static_cast<double>(human.size());
+    automated_len_sum += static_cast<double>(automated.size());
+    human_distinct_sum += static_cast<double>(hd.size());
+    automated_distinct_sum += static_cast<double>(ad.size());
+    EXPECT_FALSE(human.empty());
+    EXPECT_FALSE(automated.empty());
+  }
+  // Automated names are clearly longer and use more distinct
+  // characters in absolute terms (random suffixes).
+  EXPECT_GT(automated_len_sum / n, human_len_sum / n + 3.0);
+  EXPECT_GT(automated_distinct_sum / n, human_distinct_sum / n + 2.0);
+}
+
+TEST(NameGeneratorTest, NamesAreCsvSafe) {
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    for (auto style :
+         {NameStyle::kHumanWords, NameStyle::kAutomatedSuffix,
+          NameStyle::kSemiAutomatedDated}) {
+      const std::string name = GenerateDatabaseName(style, rng);
+      EXPECT_EQ(name.find(','), std::string::npos);
+      const std::string server = GenerateServerName(style, rng);
+      EXPECT_EQ(server.find(','), std::string::npos);
+    }
+  }
+}
+
+TEST(NameGeneratorTest, PurposeBiasesWordChoice) {
+  Rng rng(3);
+  int scratch_hits = 0, keeper_hits = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const std::string scratch = GenerateDatabaseName(
+        NameStyle::kHumanWords, rng, NamePurpose::kScratch);
+    const std::string keeper = GenerateDatabaseName(
+        NameStyle::kHumanWords, rng, NamePurpose::kKeeper);
+    for (const char* w : {"test", "demo", "tmp", "scratch", "sandbox"}) {
+      if (scratch.find(w) != std::string::npos) {
+        ++scratch_hits;
+        break;
+      }
+    }
+    for (const char* w : {"prod", "main", "core", "live", "primary"}) {
+      if (keeper.find(w) != std::string::npos) {
+        ++keeper_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(scratch_hits, n / 5);
+  EXPECT_GT(keeper_hits, n / 5);
+}
+
+TEST(ArchetypeTest, ProfilesAreWellFormed) {
+  for (int i = 0; i < kNumArchetypes; ++i) {
+    const auto& p = GetArchetypeProfile(static_cast<Archetype>(i));
+    EXPECT_EQ(p.kind, static_cast<Archetype>(i));
+    EXPECT_GT(p.mean_databases, 0.0);
+    double edition_total = 0.0;
+    for (double w : p.edition_weights) {
+      EXPECT_GE(w, 0.0);
+      edition_total += w;
+    }
+    EXPECT_GT(edition_total, 0.0);
+    for (const auto& dist : p.lifetime) {
+      ASSERT_NE(dist, nullptr);
+      EXPECT_GT(dist->Mean(), 0.0);
+    }
+    double sub_total = 0.0;
+    for (double w : p.subscription_weights) sub_total += w;
+    EXPECT_NEAR(sub_total, 1.0, 1e-9);
+    EXPECT_STRNE(ArchetypeToString(static_cast<Archetype>(i)), "Unknown");
+  }
+}
+
+TEST(ArchetypeTest, MixSamplesProportionally) {
+  ArchetypeMix mix{};
+  mix.weights[0] = 1.0;
+  mix.weights[3] = 3.0;
+  Rng rng(4);
+  int zero = 0, three = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Archetype a = mix.Sample(rng);
+    if (a == static_cast<Archetype>(0)) ++zero;
+    if (a == static_cast<Archetype>(3)) ++three;
+  }
+  EXPECT_EQ(zero + three, 4000);
+  EXPECT_NEAR(static_cast<double>(three) / 4000.0, 0.75, 0.03);
+}
+
+TEST(RegionTest, PresetsAreDistinct) {
+  auto r1 = MakeRegionPreset(1, 100, 1);
+  auto r2 = MakeRegionPreset(2, 100, 1);
+  auto r3 = MakeRegionPreset(3, 100, 1);
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1->name, "Region-1");
+  EXPECT_NE(r1->utc_offset_minutes, r2->utc_offset_minutes);
+  EXPECT_NE(r2->utc_offset_minutes, r3->utc_offset_minutes);
+  EXPECT_GT(r1->holidays.size(), 0u);
+  EXPECT_NEAR(r1->window_days(), 150.0, 1.0);
+  // Mix weights still sum to ~1 after regional perturbation.
+  for (const auto& r : {*r1, *r2, *r3}) {
+    double total = 0.0;
+    for (double w : r.mix.weights) total += w;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  EXPECT_FALSE(MakeRegionPreset(0, 100, 1).ok());
+  EXPECT_FALSE(MakeRegionPreset(4, 100, 1).ok());
+  EXPECT_FALSE(MakeRegionPreset(1, 0, 1).ok());
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static const TelemetryStore& Store() {
+    static const TelemetryStore* store = [] {
+      auto config = MakeRegionPreset(1, 800, 42);
+      auto s = SimulateRegion(*config, &Summary());
+      EXPECT_TRUE(s.ok()) << s.status();
+      return new TelemetryStore(std::move(s).value());
+    }();
+    return *store;
+  }
+  static SimulationSummary& Summary() {
+    static SimulationSummary summary;
+    return summary;
+  }
+};
+
+TEST_F(SimulatorTest, ProducesFinalizedValidStore) {
+  const TelemetryStore& store = Store();
+  EXPECT_TRUE(store.finalized());
+  EXPECT_GT(store.num_databases(), 2000u);
+  EXPECT_GT(store.num_events(), store.num_databases() * 2);
+  EXPECT_EQ(Summary().num_subscriptions, 800u);
+  size_t db_total = 0;
+  for (size_t c : Summary().databases_per_archetype) db_total += c;
+  EXPECT_EQ(db_total, store.num_databases());
+}
+
+TEST_F(SimulatorTest, AllCreationsInsideWindow) {
+  const TelemetryStore& store = Store();
+  for (const auto& record : store.databases()) {
+    EXPECT_GE(record.created_at, store.window_start());
+    EXPECT_LT(record.created_at, store.window_end());
+    if (record.dropped_at.has_value()) {
+      EXPECT_LT(*record.dropped_at, store.window_end());
+      EXPECT_GE(*record.dropped_at, record.created_at);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, DeterministicForSeed) {
+  auto config = MakeRegionPreset(1, 60, 7);
+  auto s1 = SimulateRegion(*config);
+  auto s2 = SimulateRegion(*config);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->ExportCsv(), s2->ExportCsv());
+  config->seed = 8;
+  auto s3 = SimulateRegion(*config);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_NE(s1->ExportCsv(), s3->ExportCsv());
+}
+
+TEST_F(SimulatorTest, AllEditionsPresentWithPremiumSmallest) {
+  const TelemetryStore& store = Store();
+  size_t counts[3] = {0, 0, 0};
+  for (const auto& record : store.databases()) {
+    ++counts[static_cast<int>(record.initial_edition())];
+  }
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u);
+  EXPECT_GT(counts[2], 0u);
+  // The Premium population is significantly smaller (paper section 5.2).
+  EXPECT_LT(counts[2], counts[0]);
+  EXPECT_LT(counts[2], counts[1]);
+}
+
+TEST_F(SimulatorTest, WeekendScalersCrossEditionBoundary) {
+  const TelemetryStore& store = Store();
+  size_t premium_changed = 0;
+  size_t premium_total = 0;
+  size_t basic_changed = 0;
+  size_t basic_total = 0;
+  for (const auto& record : store.databases()) {
+    const double life = record.ObservedLifespanDays(store.window_end());
+    if (life <= 10.0) continue;  // weekend scaling needs a real lifetime
+    if (record.initial_edition() == Edition::kPremium) {
+      ++premium_total;
+      if (record.ChangedEditionDuringLifetime()) ++premium_changed;
+    } else if (record.initial_edition() == Edition::kBasic) {
+      ++basic_total;
+      if (record.ChangedEditionDuringLifetime()) ++basic_changed;
+    }
+  }
+  ASSERT_GT(premium_total, 20u);
+  ASSERT_GT(basic_total, 20u);
+  // Observation 3.3: proportionally fewer Basic databases change
+  // edition than Premium ones.
+  const double premium_rate =
+      static_cast<double>(premium_changed) / premium_total;
+  const double basic_rate = static_cast<double>(basic_changed) / basic_total;
+  EXPECT_GT(premium_rate, 2.0 * basic_rate);
+  EXPECT_GT(premium_changed, 0u);
+}
+
+TEST_F(SimulatorTest, SloChangeEventsAreConsistentChains) {
+  const TelemetryStore& store = Store();
+  for (const auto& record : store.databases()) {
+    int current = record.initial_slo_index;
+    telemetry::Timestamp prev = record.created_at;
+    for (const auto& change : record.slo_changes) {
+      EXPECT_EQ(change.old_slo_index, current)
+          << "db " << record.id << " has a broken SLO chain";
+      EXPECT_GT(change.timestamp, prev);
+      current = change.new_slo_index;
+      prev = change.timestamp;
+    }
+  }
+}
+
+TEST_F(SimulatorTest, SizeSamplesArePositiveAndOrdered) {
+  const TelemetryStore& store = Store();
+  size_t with_samples = 0;
+  for (const auto& record : store.databases()) {
+    telemetry::Timestamp prev = record.created_at;
+    for (const auto& sample : record.size_samples) {
+      EXPECT_GT(sample.size_mb, 0.0);
+      EXPECT_GE(sample.timestamp, prev);
+      prev = sample.timestamp;
+    }
+    if (!record.size_samples.empty()) ++with_samples;
+  }
+  // The vast majority of databases get at least one size sample.
+  EXPECT_GT(with_samples, store.num_databases() * 8 / 10);
+}
+
+TEST_F(SimulatorTest, CiBotSubscriptionsAreEphemeralOnly) {
+  // Re-simulate with a CI-only mix: essentially all databases must be
+  // ephemeral (Observation 3.1's frequent-cycling pattern).
+  auto config = MakeRegionPreset(1, 50, 5);
+  config->mix.weights.fill(0.0);
+  config->mix.weights[static_cast<size_t>(Archetype::kCiEphemeralBot)] = 1.0;
+  auto store = SimulateRegion(*config);
+  ASSERT_TRUE(store.ok());
+  size_t ephemeral = 0;
+  for (const auto& record : store->databases()) {
+    if (record.ObservedLifespanDays(store->window_end()) <= 2.0) {
+      ++ephemeral;
+    }
+  }
+  EXPECT_GT(static_cast<double>(ephemeral) / store->num_databases(), 0.97);
+}
+
+TEST_F(SimulatorTest, ProductionMixIsLongLived) {
+  auto config = MakeRegionPreset(1, 50, 6);
+  config->mix.weights.fill(0.0);
+  config->mix.weights[static_cast<size_t>(Archetype::kProductionSteady)] =
+      1.0;
+  auto store = SimulateRegion(*config);
+  ASSERT_TRUE(store.ok());
+  size_t long_lived = 0;
+  for (const auto& record : store->databases()) {
+    if (record.ObservedLifespanDays(store->window_end()) > 30.0) {
+      ++long_lived;
+    }
+  }
+  // Production databases created early enough mostly exceed 30 days;
+  // late creations are censored short, so expect a clear majority.
+  EXPECT_GT(static_cast<double>(long_lived) / store->num_databases(), 0.55);
+}
+
+TEST_F(SimulatorTest, RejectsInvalidConfigs) {
+  RegionConfig config;
+  config.window_start = 100;
+  config.window_end = 100;
+  EXPECT_FALSE(SimulateRegion(config).ok());
+  config.window_end = 200;
+  config.num_subscriptions = 0;
+  EXPECT_FALSE(SimulateRegion(config).ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::simulator

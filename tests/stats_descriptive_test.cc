@@ -1,0 +1,166 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace cloudsurv::stats {
+namespace {
+
+TEST(SummarizeTest, EmptyInputIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.variance, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.sum, 42.0);
+}
+
+TEST(SummarizeTest, HandComputedExample) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample variance with n-1 = 7: sum of squared devs = 32.
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(SummarizeTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose all precision here.
+  const double base = 1e9;
+  const Summary s = Summarize({base + 1, base + 2, base + 3});
+  EXPECT_NEAR(s.variance, 1.0, 1e-6);
+}
+
+TEST(QuantileTest, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  // Type-7 quantile of {1,2,3,4} at q=0.25 -> 1 + 0.75 = 1.75.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+TEST(CorrelationTest, MismatchedOrTinyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {1}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary) {
+  Rng rng(3);
+  std::vector<double> values;
+  RunningStats acc;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    values.push_back(v);
+    acc.Add(v);
+  }
+  const Summary batch = Summarize(values);
+  EXPECT_EQ(acc.count(), batch.count);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-10);
+  EXPECT_NEAR(acc.variance(), batch.variance, 1e-8);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+}
+
+TEST(RunningStatsTest, MergeEqualsConcatenation) {
+  Rng rng(4);
+  RunningStats left, right, all;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform(0.0, 5.0);
+    (i < 80 ? left : right).Add(v);
+    all.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // empty other: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // empty self: copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(HistogramTest, RejectsInvalidConstruction) {
+  EXPECT_FALSE(Histogram::Make(1.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Make(2.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Make(0.0, 1.0, 0).ok());
+}
+
+TEST(HistogramTest, BinsAndOverflow) {
+  auto h = Histogram::Make(0.0, 10.0, 5);
+  ASSERT_TRUE(h.ok());
+  h->AddAll({-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 25.0});
+  EXPECT_EQ(h->underflow(), 1u);
+  EXPECT_EQ(h->overflow(), 2u);
+  EXPECT_EQ(h->total(), 7u);
+  EXPECT_EQ(h->bin_count(0), 2u);  // 0.0 and 1.9
+  EXPECT_EQ(h->bin_count(1), 1u);  // 2.0
+  EXPECT_EQ(h->bin_count(4), 1u);  // 9.9
+}
+
+TEST(HistogramTest, BinEdgesAndFractions) {
+  auto h = Histogram::Make(0.0, 10.0, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->bin_lower(2), 4.0);
+  EXPECT_DOUBLE_EQ(h->bin_upper(2), 6.0);
+  h->Add(4.5);
+  h->Add(4.6);
+  h->Add(0.5);
+  EXPECT_NEAR(h->bin_fraction(2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiArtRendersOneLinePerBin) {
+  auto h = Histogram::Make(0.0, 4.0, 4);
+  ASSERT_TRUE(h.ok());
+  h->AddAll({0.5, 1.5, 1.6, 3.5});
+  const std::string art = h->ToAsciiArt(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudsurv::stats

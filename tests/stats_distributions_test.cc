@@ -1,0 +1,204 @@
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/distributions.h"
+
+namespace cloudsurv::stats {
+namespace {
+
+// Shared sweep: every distribution must satisfy basic CDF/quantile/
+// sampler coherence. Parameterized over factory functions.
+using DistFactory = std::shared_ptr<const Distribution> (*)();
+
+std::shared_ptr<const Distribution> MakeExp() {
+  return std::make_shared<ExponentialDistribution>(0.5);
+}
+std::shared_ptr<const Distribution> MakeWeibullInfant() {
+  return std::make_shared<WeibullDistribution>(0.8, 3.0);
+}
+std::shared_ptr<const Distribution> MakeWeibullWearout() {
+  return std::make_shared<WeibullDistribution>(2.5, 10.0);
+}
+std::shared_ptr<const Distribution> MakeLogNormal() {
+  return std::make_shared<LogNormalDistribution>(std::log(12.0), 0.75);
+}
+std::shared_ptr<const Distribution> MakeUniform() {
+  return std::make_shared<UniformDistribution>(2.0, 8.0);
+}
+std::shared_ptr<const Distribution> MakeMixture() {
+  auto m = MixtureDistribution::Make(
+      {std::make_shared<WeibullDistribution>(1.0, 1.0),
+       std::make_shared<LogNormalDistribution>(std::log(30.0), 0.5)},
+      {0.4, 0.6});
+  return std::make_shared<MixtureDistribution>(std::move(m).value());
+}
+
+class DistributionContractTest
+    : public ::testing::TestWithParam<DistFactory> {};
+
+TEST_P(DistributionContractTest, CdfIsMonotoneIn01) {
+  auto dist = GetParam()();
+  double prev = 0.0;
+  for (double x = 0.0; x <= 100.0; x += 0.5) {
+    const double c = dist->Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionContractTest, QuantileInvertsCdf) {
+  auto dist = GetParam()();
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = dist->Quantile(p);
+    EXPECT_NEAR(dist->Cdf(x), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionContractTest, SamplesMatchCdfByKsStatistic) {
+  auto dist = GetParam()();
+  Rng rng(99);
+  std::vector<double> sample(4000);
+  for (double& v : sample) v = dist->Sample(rng);
+  // KS critical value at alpha=0.001 for n=4000 is ~0.031.
+  EXPECT_LT(KolmogorovSmirnovStatistic(sample, *dist), 0.031);
+}
+
+TEST_P(DistributionContractTest, EmpiricalMeanMatches) {
+  auto dist = GetParam()();
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += dist->Sample(rng);
+  const double mean = dist->Mean();
+  EXPECT_NEAR(sum / n, mean, std::max(0.02 * mean, 0.05));
+}
+
+TEST_P(DistributionContractTest, PdfIntegratesToCdf) {
+  auto dist = GetParam()();
+  // Trapezoid integral of the PDF over [0, q99] should be ~0.99.
+  const double hi = dist->Quantile(0.99);
+  const int steps = 20000;
+  double integral = 0.0;
+  double prev_pdf = dist->Pdf(0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = hi * i / steps;
+    const double pdf = dist->Pdf(x);
+    integral += 0.5 * (pdf + prev_pdf) * (hi / steps);
+    prev_pdf = pdf;
+  }
+  EXPECT_NEAR(integral, 0.99, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionContractTest,
+                         ::testing::Values(&MakeExp, &MakeWeibullInfant,
+                                           &MakeWeibullWearout,
+                                           &MakeLogNormal, &MakeUniform,
+                                           &MakeMixture));
+
+TEST(ExponentialTest, AnalyticForms) {
+  ExponentialDistribution d(2.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.5);
+  EXPECT_NEAR(d.Cdf(1.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_NEAR(d.Quantile(0.5), std::log(2.0) / 2.0, 1e-12);
+}
+
+TEST(WeibullTest, Shape1IsExponential) {
+  WeibullDistribution w(1.0, 2.0);
+  ExponentialDistribution e(0.5);
+  for (double x : {0.1, 1.0, 3.0, 7.0}) {
+    EXPECT_NEAR(w.Cdf(x), e.Cdf(x), 1e-12);
+  }
+}
+
+TEST(WeibullTest, MedianFormula) {
+  WeibullDistribution w(2.0, 5.0);
+  // median = scale * (ln 2)^{1/shape}
+  EXPECT_NEAR(w.Quantile(0.5), 5.0 * std::sqrt(std::log(2.0)), 1e-10);
+}
+
+TEST(LogNormalTest, MedianIsExpMu) {
+  LogNormalDistribution d(std::log(42.0), 0.9);
+  EXPECT_NEAR(d.Quantile(0.5), 42.0, 1e-6);
+  EXPECT_NEAR(d.Cdf(42.0), 0.5, 1e-12);
+}
+
+TEST(LogNormalTest, MeanFormula) {
+  LogNormalDistribution d(1.0, 0.5);
+  EXPECT_NEAR(d.Mean(), std::exp(1.0 + 0.125), 1e-12);
+}
+
+TEST(UniformTest, AnalyticForms) {
+  UniformDistribution d(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.Pdf(5.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.Pdf(7.0), 0.0);
+}
+
+TEST(MixtureTest, RejectsInvalidInputs) {
+  auto c1 = std::make_shared<ExponentialDistribution>(1.0);
+  EXPECT_FALSE(MixtureDistribution::Make({}, {}).ok());
+  EXPECT_FALSE(MixtureDistribution::Make({c1}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MixtureDistribution::Make({c1}, {-1.0}).ok());
+  EXPECT_FALSE(MixtureDistribution::Make({c1}, {0.0}).ok());
+  EXPECT_FALSE(MixtureDistribution::Make({nullptr}, {1.0}).ok());
+}
+
+TEST(MixtureTest, NormalizesWeights) {
+  auto c1 = std::make_shared<ExponentialDistribution>(1.0);
+  auto c2 = std::make_shared<ExponentialDistribution>(2.0);
+  auto m = MixtureDistribution::Make({c1, c2}, {2.0, 6.0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(m->weights()[1], 0.75, 1e-12);
+}
+
+TEST(MixtureTest, CdfIsWeightedSum) {
+  auto c1 = std::make_shared<ExponentialDistribution>(1.0);
+  auto c2 = std::make_shared<UniformDistribution>(0.0, 10.0);
+  auto m = MixtureDistribution::Make({c1, c2}, {0.3, 0.7});
+  ASSERT_TRUE(m.ok());
+  for (double x : {0.5, 2.0, 5.0}) {
+    EXPECT_NEAR(m->Cdf(x), 0.3 * c1->Cdf(x) + 0.7 * c2->Cdf(x), 1e-12);
+  }
+}
+
+TEST(MixtureTest, MeanIsWeightedSum) {
+  auto c1 = std::make_shared<ExponentialDistribution>(0.5);  // mean 2
+  auto c2 = std::make_shared<UniformDistribution>(0.0, 8.0); // mean 4
+  auto m = MixtureDistribution::Make({c1, c2}, {0.5, 0.5});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Mean(), 3.0, 1e-12);
+}
+
+TEST(KsStatisticTest, PerfectFitIsSmall) {
+  UniformDistribution d(0.0, 1.0);
+  // Evenly spread points have KS ~ 1/(2n).
+  std::vector<double> sample;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    sample.push_back((i + 0.5) / n);
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(sample, d), 0.006);
+}
+
+TEST(KsStatisticTest, GrossMismatchIsLarge) {
+  UniformDistribution d(0.0, 1.0);
+  std::vector<double> sample(50, 0.99);  // all mass at one point
+  EXPECT_GT(KolmogorovSmirnovStatistic(sample, d), 0.9);
+}
+
+TEST(KsStatisticTest, EmptySampleIsZero) {
+  UniformDistribution d(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({}, d), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudsurv::stats

@@ -1,0 +1,183 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/special_functions.h"
+
+namespace cloudsurv::stats {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGammaTest, AgreesWithStdLgamma) {
+  for (double x : {0.1, 0.7, 1.3, 2.5, 7.9, 42.0, 123.45}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(LogGammaTest, InvalidInputIsNaN) {
+  EXPECT_TRUE(std::isnan(LogGamma(0.0)));
+  EXPECT_TRUE(std::isnan(LogGamma(-1.5)));
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 3.0, 10.0, 30.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ErfTest, KnownValues) {
+  EXPECT_NEAR(Erf(0.0), 0.0, 1e-14);
+  EXPECT_NEAR(Erf(1.0), 0.8427007929497149, 1e-10);
+  EXPECT_NEAR(Erf(-1.0), -0.8427007929497149, 1e-10);
+  EXPECT_NEAR(Erf(2.0), 0.9953222650189527, 1e-10);
+  EXPECT_NEAR(Erfc(1.0), 1.0 - 0.8427007929497149, 1e-10);
+  EXPECT_NEAR(Erfc(-2.0), 1.9953222650189527, 1e-10);
+}
+
+TEST(ErfTest, AgreesWithStdErf) {
+  for (double x = -3.0; x <= 3.0; x += 0.37) {
+    EXPECT_NEAR(Erf(x), std::erf(x), 1e-10) << "x=" << x;
+  }
+}
+
+TEST(ChiSquaredTest, SurvivalAtZeroIsOne) {
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(-3.0, 2.0), 1.0);
+}
+
+TEST(ChiSquaredTest, ReferenceQuantiles) {
+  // Classic critical values: P[X >= x] = 0.05.
+  EXPECT_NEAR(ChiSquaredSurvival(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquaredSurvival(5.991, 2.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquaredSurvival(7.815, 3.0), 0.05, 1e-3);
+  // P[X >= 6.635] = 0.01 at df=1.
+  EXPECT_NEAR(ChiSquaredSurvival(6.635, 1.0), 0.01, 1e-3);
+}
+
+TEST(ChiSquaredTest, CdfComplementsSurvival) {
+  for (double df : {1.0, 2.0, 5.0}) {
+    for (double x : {0.5, 2.0, 10.0}) {
+      EXPECT_NEAR(ChiSquaredCdf(x, df) + ChiSquaredSurvival(x, df), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(ChiSquaredTest, Df2IsExponential) {
+  // With df=2 the chi-squared survival is exp(-x/2).
+  for (double x : {0.1, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(ChiSquaredSurvival(x, 2.0), std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-8);
+}
+
+TEST(NormalQuantileTest, InvalidInputsAreNaN) {
+  EXPECT_TRUE(std::isnan(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(1.0)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(-0.5)));
+}
+
+TEST(BetaTest, LogBetaMatchesGammaIdentity) {
+  for (double a : {0.5, 1.0, 3.0}) {
+    for (double b : {0.5, 2.0, 7.0}) {
+      EXPECT_NEAR(LogBeta(a, b), LogGamma(a) + LogGamma(b) - LogGamma(a + b),
+                  1e-12);
+    }
+  }
+}
+
+TEST(BetaTest, RegularizedBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+}
+
+TEST(BetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.3, 0.8}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0), x, 1e-12);
+  }
+}
+
+TEST(BetaTest, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.5, 0.7}) {
+    EXPECT_NEAR(RegularizedBeta(x, 2.5, 4.0),
+                1.0 - RegularizedBeta(1.0 - x, 4.0, 2.5), 1e-10);
+  }
+}
+
+/// Property sweep: the normal quantile inverts the normal CDF across
+/// the unit interval.
+class NormalRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTripTest, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalRoundTripTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.95, 0.99, 0.999));
+
+/// Property sweep: P(a, x) is monotone in x for several shapes.
+class GammaMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMonotoneTest, PIncreasesInX) {
+  const double a = GetParam();
+  double prev = 0.0;
+  for (double x = 0.0; x < 20.0; x += 0.25) {
+    const double p = RegularizedGammaP(a, x);
+    EXPECT_GE(p, prev - 1e-14) << "a=" << a << " x=" << x;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GammaMonotoneTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.5, 10.0));
+
+}  // namespace
+}  // namespace cloudsurv::stats

@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "survival/random_survival_forest.h"
+
+namespace cloudsurv::survival {
+namespace {
+
+// Proportional-hazards data: baseline exponential, hazard scaled by
+// exp(beta . x), fixed-horizon censoring.
+std::vector<CovariateObservation> SimulatePh(size_t n, double beta,
+                                             double baseline_rate,
+                                             double censor, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CovariateObservation> data(n);
+  for (auto& obs : data) {
+    obs.covariates = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const double rate = baseline_rate * std::exp(beta * obs.covariates[0]);
+    const double t = rng.Exponential(rate);
+    obs.duration = std::min(t, censor);
+    obs.observed = t < censor;
+  }
+  return data;
+}
+
+SurvivalForestParams FastParams() {
+  SurvivalForestParams params;
+  params.num_trees = 40;
+  params.max_depth = 6;
+  params.min_samples_leaf = 20;
+  params.horizon_days = 60.0;
+  params.grid_points = 61;
+  return params;
+}
+
+TEST(SurvivalForestTest, LearnsRiskOrdering) {
+  const auto train = SimulatePh(2500, 1.2, 0.1, 60.0, 1);
+  const auto test = SimulatePh(800, 1.2, 0.1, 60.0, 2);
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(train, {"signal", "noise"}, FastParams(), 1).ok());
+  EXPECT_GT(forest.ConcordanceIndex(test), 0.63);
+  // High-risk covariates predict lower survival at every horizon.
+  for (double t : {5.0, 15.0, 30.0}) {
+    EXPECT_LT(forest.PredictSurvival({1.0, 0.0}, t),
+              forest.PredictSurvival({-1.0, 0.0}, t));
+  }
+}
+
+TEST(SurvivalForestTest, CurvesAreValidSurvivalFunctions) {
+  const auto data = SimulatePh(1500, 0.8, 0.08, 60.0, 3);
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(data, {"x", "noise"}, FastParams(), 3).ok());
+  for (double x : {-1.0, 0.0, 1.0}) {
+    const auto curve = forest.PredictCurve({x, 0.3});
+    double prev = 1.0 + 1e-12;
+    for (double s : curve) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, prev);
+      prev = s;
+    }
+    EXPECT_NEAR(curve.front(), 1.0, 0.05);
+  }
+}
+
+TEST(SurvivalForestTest, MedianTracksHazard) {
+  const auto data = SimulatePh(3000, 1.5, 0.1, 60.0, 4);
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(data, {"x", "noise"}, FastParams(), 4).ok());
+  const double median_high_risk = forest.PredictMedian({1.0, 0.0});
+  const double median_low_risk = forest.PredictMedian({-1.0, 0.0});
+  EXPECT_LT(median_high_risk, median_low_risk);
+  // Analytic medians: ln2 / (0.1 e^{±1.5}) = 1.5 days vs 31 days.
+  EXPECT_LT(median_high_risk, 10.0);
+  EXPECT_GT(median_low_risk, 15.0);
+}
+
+TEST(SurvivalForestTest, MarginalCurveMatchesPopulationKm) {
+  // With a null covariate effect, predictions should approximate the
+  // population survival.
+  const auto data = SimulatePh(3000, 0.0, 0.05, 60.0, 5);
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(data, {"x", "noise"}, FastParams(), 5).ok());
+  // Exponential(0.05): S(10) = exp(-0.5) = 0.607, S(30) = exp(-1.5) =
+  // 0.223.
+  EXPECT_NEAR(forest.PredictSurvival({0.0, 0.0}, 10.0),
+              std::exp(-0.5), 0.08);
+  EXPECT_NEAR(forest.PredictSurvival({0.0, 0.0}, 30.0),
+              std::exp(-1.5), 0.08);
+}
+
+TEST(SurvivalForestTest, ImportancesFindTheSignal) {
+  const auto data = SimulatePh(2500, 1.5, 0.1, 60.0, 6);
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(data, {"signal", "noise"}, FastParams(), 6).ok());
+  const auto& imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 3.0 * imp[1]);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(SurvivalForestTest, DeterministicPerSeed) {
+  const auto data = SimulatePh(800, 1.0, 0.1, 60.0, 7);
+  RandomSurvivalForest f1, f2;
+  ASSERT_TRUE(f1.Fit(data, {"x", "noise"}, FastParams(), 9).ok());
+  ASSERT_TRUE(f2.Fit(data, {"x", "noise"}, FastParams(), 9).ok());
+  for (double x : {-0.5, 0.0, 0.5}) {
+    EXPECT_DOUBLE_EQ(f1.PredictMortality({x, 0.1}),
+                     f2.PredictMortality({x, 0.1}));
+  }
+}
+
+TEST(SurvivalForestTest, RejectsInvalidInputs) {
+  RandomSurvivalForest forest;
+  const auto data = SimulatePh(100, 1.0, 0.1, 60.0, 8);
+  EXPECT_FALSE(forest.Fit(data, {}, FastParams(), 1).ok());
+  SurvivalForestParams bad = FastParams();
+  bad.num_trees = 0;
+  EXPECT_FALSE(forest.Fit(data, {"x", "noise"}, bad, 1).ok());
+  bad = FastParams();
+  bad.grid_points = 1;
+  EXPECT_FALSE(forest.Fit(data, {"x", "noise"}, bad, 1).ok());
+  std::vector<CovariateObservation> censored_only(100);
+  for (auto& o : censored_only) o = {10.0, false, {0.0, 0.0}};
+  EXPECT_FALSE(forest.Fit(censored_only, {"x", "noise"}, FastParams(), 1)
+                   .ok());
+  std::vector<CovariateObservation> tiny(5);
+  for (auto& o : tiny) o = {10.0, true, {0.0, 0.0}};
+  EXPECT_FALSE(forest.Fit(tiny, {"x", "noise"}, FastParams(), 1).ok());
+}
+
+TEST(SurvivalForestTest, InducedBinaryClassifierIsAccurate) {
+  // Threshold the predicted S(30) at the cohort prior to recover a
+  // binary ">30 days" classifier and check its accuracy.
+  const auto train = SimulatePh(2500, 1.5, 0.05, 90.0, 10);
+  const auto test = SimulatePh(1000, 1.5, 0.05, 90.0, 11);
+  SurvivalForestParams params = FastParams();
+  params.horizon_days = 90.0;
+  RandomSurvivalForest forest;
+  ASSERT_TRUE(forest.Fit(train, {"x", "noise"}, params, 10).ok());
+  size_t correct = 0, total = 0;
+  for (const auto& obs : test) {
+    const bool known_long = obs.duration > 30.0;
+    const bool known_short = obs.observed && obs.duration <= 30.0;
+    if (!known_long && !known_short) continue;
+    const bool predicted_long =
+        forest.PredictSurvival(obs.covariates, 30.0) > 0.5;
+    if (predicted_long == known_long) ++correct;
+    ++total;
+  }
+  ASSERT_GT(total, 500u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+            0.7);
+}
+
+}  // namespace
+}  // namespace cloudsurv::survival

@@ -1,0 +1,243 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "survival/cox.h"
+#include "survival/parametric.h"
+#include "survival/survival_data.h"
+
+namespace cloudsurv::survival {
+namespace {
+
+// Synthetic proportional-hazards data: exponential baseline hazard h0,
+// individual hazard h0 * exp(beta . x), censoring at a fixed horizon.
+std::vector<CovariateObservation> SimulatePh(
+    size_t n, const std::vector<double>& beta, double baseline_rate,
+    double censor_horizon, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CovariateObservation> data(n);
+  for (auto& obs : data) {
+    obs.covariates.resize(beta.size());
+    double eta = 0.0;
+    for (size_t k = 0; k < beta.size(); ++k) {
+      obs.covariates[k] = rng.Uniform(-1.0, 1.0);
+      eta += beta[k] * obs.covariates[k];
+    }
+    const double rate = baseline_rate * std::exp(eta);
+    const double t = rng.Exponential(rate);
+    if (t < censor_horizon) {
+      obs.duration = t;
+      obs.observed = true;
+    } else {
+      obs.duration = censor_horizon;
+      obs.observed = false;
+    }
+  }
+  return data;
+}
+
+TEST(CoxModelTest, RecoversKnownCoefficients) {
+  const std::vector<double> true_beta = {0.8, -0.5};
+  const auto data = SimulatePh(4000, true_beta, 0.1, 30.0, 1);
+  auto model = CoxModel::Fit(data, {"x1", "x2"});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->converged());
+  EXPECT_NEAR(model->coefficients()[0].beta, 0.8, 0.12);
+  EXPECT_NEAR(model->coefficients()[1].beta, -0.5, 0.12);
+  EXPECT_NEAR(model->coefficients()[0].hazard_ratio, std::exp(0.8), 0.3);
+}
+
+TEST(CoxModelTest, SignificanceOfRealVsNoiseCovariate) {
+  // x1 has a strong effect, x2 none.
+  const auto data = SimulatePh(2000, {1.0, 0.0}, 0.1, 30.0, 2);
+  auto model = CoxModel::Fit(data, {"signal", "noise"});
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->coefficients()[0].p_value, 1e-6);
+  EXPECT_GT(model->coefficients()[1].p_value, 0.01);
+  EXPECT_LT(model->likelihood_ratio_p_value(), 1e-7);
+  EXPECT_GT(model->likelihood_ratio_statistic(), 50.0);
+}
+
+TEST(CoxModelTest, NullEffectGivesNearZeroBeta) {
+  const auto data = SimulatePh(2000, {0.0}, 0.2, 20.0, 3);
+  auto model = CoxModel::Fit(data, {"x"});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->coefficients()[0].beta, 0.0, 0.1);
+  EXPECT_GT(model->likelihood_ratio_p_value(), 0.01);
+}
+
+TEST(CoxModelTest, HandComputedTwoSubjectExample) {
+  // Subjects: (t=1, event, x=1), (t=2, event, x=0).
+  // Partial likelihood: at t=1 risk set {1,2}: e^b/(e^b+1); at t=2: 1.
+  // Maximum is at b -> +inf; with ridge the optimum is finite but the
+  // sign must be positive and the likelihood must improve on null.
+  std::vector<CovariateObservation> data(2);
+  data[0] = {1.0, true, {1.0}};
+  data[1] = {2.0, true, {0.0}};
+  CoxOptions options;
+  options.ridge = 0.1;  // strong ridge keeps the optimum finite
+  auto model = CoxModel::Fit(data, {"x"}, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GT(model->coefficients()[0].beta, 0.0);
+  EXPECT_GE(model->log_likelihood(), model->null_log_likelihood());
+}
+
+TEST(CoxModelTest, ConcordanceReflectsModelQuality) {
+  const auto data = SimulatePh(1500, {1.2}, 0.1, 30.0, 4);
+  auto model = CoxModel::Fit(data, {"x"});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->ConcordanceIndex(data), 0.65);
+  // A null model on pure-noise data stays near 0.5.
+  const auto noise = SimulatePh(1500, {0.0}, 0.1, 30.0, 5);
+  auto null_model = CoxModel::Fit(noise, {"x"});
+  ASSERT_TRUE(null_model.ok());
+  EXPECT_NEAR(null_model->ConcordanceIndex(noise), 0.5, 0.05);
+}
+
+TEST(CoxModelTest, BaselineHazardAndSurvivalPrediction) {
+  const auto data = SimulatePh(3000, {0.7}, 0.1, 40.0, 6);
+  auto model = CoxModel::Fit(data, {"x"});
+  ASSERT_TRUE(model.ok());
+  // H0 is nondecreasing; survival decreasing in time and in risk.
+  EXPECT_LE(model->BaselineCumulativeHazard(5.0),
+            model->BaselineCumulativeHazard(20.0));
+  EXPECT_GT(model->PredictSurvival(5.0, {0.0}),
+            model->PredictSurvival(20.0, {0.0}));
+  EXPECT_GT(model->PredictSurvival(10.0, {-1.0}),
+            model->PredictSurvival(10.0, {1.0}));
+  EXPECT_DOUBLE_EQ(model->BaselineCumulativeHazard(0.0), 0.0);
+  // With exponential baseline rate 0.1, H0(t) ~ 0.1 t.
+  EXPECT_NEAR(model->BaselineCumulativeHazard(10.0), 1.0, 0.3);
+}
+
+TEST(CoxModelTest, RejectsInvalidInputs) {
+  std::vector<CovariateObservation> data(2);
+  data[0] = {1.0, true, {1.0}};
+  data[1] = {2.0, false, {0.0}};
+  EXPECT_FALSE(CoxModel::Fit({}, {"x"}).ok());
+  EXPECT_FALSE(CoxModel::Fit(data, {}).ok());
+  EXPECT_FALSE(CoxModel::Fit(data, {"x", "y"}).ok());  // length mismatch
+  std::vector<CovariateObservation> censored_only(3);
+  for (auto& o : censored_only) o = {1.0, false, {0.5}};
+  EXPECT_FALSE(CoxModel::Fit(censored_only, {"x"}).ok());
+  std::vector<CovariateObservation> bad_duration(2);
+  bad_duration[0] = {-1.0, true, {0.0}};
+  bad_duration[1] = {1.0, true, {0.0}};
+  EXPECT_FALSE(CoxModel::Fit(bad_duration, {"x"}).ok());
+}
+
+TEST(CoxModelTest, ToTextListsCovariates) {
+  const auto data = SimulatePh(500, {0.5}, 0.1, 30.0, 7);
+  auto model = CoxModel::Fit(data, {"volume"});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->ToText().find("volume"), std::string::npos);
+  EXPECT_NE(model->ToText().find("HR"), std::string::npos);
+}
+
+TEST(ExponentialFitTest, ClosedFormWithoutCensoring) {
+  // Events at 1, 2, 3: rate = 3 / 6 = 0.5.
+  auto data = SurvivalData::FromArrays({1, 2, 3}, {true, true, true});
+  auto fit = FitExponential(*data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rate, 0.5, 1e-12);
+  EXPECT_EQ(fit->fit.num_parameters, 1);
+}
+
+TEST(ExponentialFitTest, CensoringLowersRate) {
+  auto with_censor = SurvivalData::FromArrays({1, 2, 3, 10},
+                                              {true, true, true, false});
+  auto fit = FitExponential(*with_censor);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rate, 3.0 / 16.0, 1e-12);
+}
+
+TEST(ExponentialFitTest, RecoversRateFromSamples) {
+  Rng rng(8);
+  std::vector<double> t;
+  std::vector<bool> e;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Exponential(0.25);
+    if (x < 15.0) {
+      t.push_back(x);
+      e.push_back(true);
+    } else {
+      t.push_back(15.0);
+      e.push_back(false);
+    }
+  }
+  auto fit = FitExponential(*SurvivalData::FromArrays(t, e));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rate, 0.25, 0.02);
+}
+
+TEST(WeibullFitTest, RecoversParameters) {
+  Rng rng(9);
+  for (double true_shape : {0.7, 1.0, 2.0}) {
+    std::vector<double> t;
+    std::vector<bool> e;
+    for (int i = 0; i < 4000; ++i) {
+      t.push_back(rng.Weibull(true_shape, 10.0));
+      e.push_back(true);
+    }
+    auto fit = FitWeibull(*SurvivalData::FromArrays(t, e));
+    ASSERT_TRUE(fit.ok()) << fit.status();
+    EXPECT_NEAR(fit->shape, true_shape, 0.1 * true_shape)
+        << "true shape " << true_shape;
+    EXPECT_NEAR(fit->scale, 10.0, 1.0);
+    EXPECT_TRUE(fit->fit.converged);
+  }
+}
+
+TEST(WeibullFitTest, HandlesCensoring) {
+  Rng rng(10);
+  std::vector<double> t;
+  std::vector<bool> e;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.Weibull(1.5, 8.0);
+    if (x < 10.0) {
+      t.push_back(x);
+      e.push_back(true);
+    } else {
+      t.push_back(10.0);
+      e.push_back(false);
+    }
+  }
+  auto fit = FitWeibull(*SurvivalData::FromArrays(t, e));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->shape, 1.5, 0.15);
+  EXPECT_NEAR(fit->scale, 8.0, 0.8);
+}
+
+TEST(WeibullFitTest, AicPrefersTrueFamily) {
+  Rng rng(11);
+  std::vector<double> t;
+  std::vector<bool> e;
+  // Strongly non-exponential Weibull data.
+  for (int i = 0; i < 3000; ++i) {
+    t.push_back(rng.Weibull(3.0, 5.0));
+    e.push_back(true);
+  }
+  auto data = SurvivalData::FromArrays(t, e);
+  auto weibull = FitWeibull(*data);
+  auto exponential = FitExponential(*data);
+  ASSERT_TRUE(weibull.ok() && exponential.ok());
+  EXPECT_LT(weibull->fit.aic, exponential->fit.aic);
+}
+
+TEST(WeibullFitTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitWeibull(SurvivalData()).ok());
+  auto censored_only = SurvivalData::FromArrays({1.0, 2.0}, {false, false});
+  EXPECT_FALSE(FitWeibull(*censored_only).ok());
+  EXPECT_FALSE(FitExponential(*censored_only).ok());
+}
+
+TEST(CensoredLogLikelihoodTest, MatchesManualComputation) {
+  auto data = SurvivalData::FromArrays({1.0, 2.0}, {true, false});
+  stats::ExponentialDistribution dist(0.5);
+  // ll = ln(0.5 e^{-0.5}) + ln(e^{-1.0}).
+  const double expected = std::log(0.5) - 0.5 - 1.0;
+  EXPECT_NEAR(CensoredLogLikelihood(*data, dist), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace cloudsurv::survival

@@ -1,0 +1,228 @@
+#include "gtest/gtest.h"
+#include "telemetry/store.h"
+#include "telemetry/types.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::telemetry {
+namespace {
+
+using cloudsurv::testing::StoreBuilder;
+
+TEST(SloLadderTest, LadderInvariants) {
+  const auto& ladder = SloLadder();
+  ASSERT_EQ(NumSlos(), 11);
+  // DTUs strictly increase within each edition.
+  for (Edition e : {Edition::kBasic, Edition::kStandard, Edition::kPremium}) {
+    const auto slos = SlosOfEdition(e);
+    ASSERT_FALSE(slos.empty());
+    for (size_t i = 1; i < slos.size(); ++i) {
+      EXPECT_LT(ladder[slos[i - 1]].dtus, ladder[slos[i]].dtus);
+    }
+  }
+  EXPECT_EQ(ladder[CheapestSloOfEdition(Edition::kBasic)].name, "Basic");
+  EXPECT_EQ(ladder[CheapestSloOfEdition(Edition::kStandard)].name, "S0");
+  EXPECT_EQ(ladder[CheapestSloOfEdition(Edition::kPremium)].name, "P1");
+  EXPECT_EQ(ladder[MostExpensiveSloOfEdition(Edition::kPremium)].name, "P15");
+}
+
+TEST(SloLadderTest, NameLookups) {
+  EXPECT_EQ(SloIndexByName("S2"), 3);
+  EXPECT_EQ(SloLadder()[SloIndexByName("P11")].dtus, 1750);
+  EXPECT_EQ(SloIndexByName("Z9"), -1);
+}
+
+TEST(EditionTest, StringRoundTrip) {
+  for (Edition e : {Edition::kBasic, Edition::kStandard, Edition::kPremium}) {
+    Edition back;
+    ASSERT_TRUE(EditionFromString(EditionToString(e), &back));
+    EXPECT_EQ(back, e);
+  }
+  Edition ignored;
+  EXPECT_FALSE(EditionFromString("Hyperscale", &ignored));
+}
+
+TEST(StoreTest, BasicLifecycleAssembly) {
+  StoreBuilder b;
+  const DatabaseId id = b.AddDatabase(/*sub=*/1, /*create_day=*/3.0,
+                                      /*drop_day=*/40.0, "orders", "srv1",
+                                      SloIndexByName("S1"));
+  b.AddSizeSample(id, 1, 3.5, 100.0);
+  b.AddSizeSample(id, 1, 4.0, 120.0);
+  b.AddSloChange(id, 1, 10.0, SloIndexByName("S1"), SloIndexByName("S2"));
+  TelemetryStore store = b.Finish();
+
+  ASSERT_EQ(store.num_databases(), 1u);
+  auto rec = store.FindDatabase(id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->database_name, "orders");
+  EXPECT_EQ((*rec)->initial_edition(), Edition::kStandard);
+  EXPECT_TRUE((*rec)->dropped_at.has_value());
+  EXPECT_NEAR((*rec)->ObservedLifespanDays(store.window_end()), 37.0, 1e-9);
+  ASSERT_EQ((*rec)->size_samples.size(), 2u);
+  ASSERT_EQ((*rec)->slo_changes.size(), 1u);
+}
+
+TEST(StoreTest, SloAtTimeAndEditionChange) {
+  StoreBuilder b;
+  const DatabaseId id =
+      b.AddDatabase(1, 0.0, -1.0, "db", "s", SloIndexByName("P1"));
+  b.AddSloChange(id, 1, 5.0, SloIndexByName("P1"), SloIndexByName("S3"));
+  b.AddSloChange(id, 1, 8.0, SloIndexByName("S3"), SloIndexByName("P2"));
+  TelemetryStore store = b.Finish();
+  const DatabaseRecord* rec = *store.FindDatabase(id);
+
+  EXPECT_EQ(rec->SloIndexAt(b.DayTs(1.0)), SloIndexByName("P1"));
+  EXPECT_EQ(rec->SloIndexAt(b.DayTs(6.0)), SloIndexByName("S3"));
+  EXPECT_EQ(rec->SloIndexAt(b.DayTs(9.0)), SloIndexByName("P2"));
+  EXPECT_EQ(rec->EditionAt(b.DayTs(6.0)), Edition::kStandard);
+  EXPECT_TRUE(rec->ChangedEditionDuringLifetime());
+  EXPECT_FALSE(rec->dropped_at.has_value());  // censored
+}
+
+TEST(StoreTest, WithinEditionChangeIsNotEditionChange) {
+  StoreBuilder b;
+  const DatabaseId id =
+      b.AddDatabase(1, 0.0, 20.0, "db", "s", SloIndexByName("S0"));
+  b.AddSloChange(id, 1, 5.0, SloIndexByName("S0"), SloIndexByName("S3"));
+  TelemetryStore store = b.Finish();
+  EXPECT_FALSE((*store.FindDatabase(id))->ChangedEditionDuringLifetime());
+}
+
+TEST(StoreTest, CensoredLifespanCapsAtWindowEnd) {
+  StoreBuilder b;
+  const DatabaseId id = b.AddDatabase(1, 100.0, -1.0);
+  TelemetryStore store = b.Finish();
+  EXPECT_NEAR((*store.FindDatabase(id))
+                  ->ObservedLifespanDays(store.window_end()),
+              50.0, 1e-9);
+}
+
+TEST(StoreTest, RejectsDuplicateCreation) {
+  telemetry::TelemetryStore raw("R", 0, {}, 0, 1000000);
+  DatabaseCreatedPayload p;
+  p.server_id = 0;
+  p.slo_index = 0;
+  ASSERT_TRUE(raw.Append(MakeCreatedEvent(10, 1, 1, p)).ok());
+  ASSERT_TRUE(raw.Append(MakeCreatedEvent(20, 1, 1, p)).ok());
+  EXPECT_FALSE(raw.Finalize().ok());
+}
+
+TEST(StoreTest, RejectsEventsWithoutCreation) {
+  telemetry::TelemetryStore raw("R", 0, {}, 0, 1000000);
+  ASSERT_TRUE(raw.Append(MakeDroppedEvent(10, 1, 1)).ok());
+  EXPECT_FALSE(raw.Finalize().ok());
+}
+
+TEST(StoreTest, RejectsEventsAfterDrop) {
+  telemetry::TelemetryStore raw("R", 0, {}, 0, 1000000);
+  DatabaseCreatedPayload p;
+  p.server_id = 0;
+  p.slo_index = 0;
+  ASSERT_TRUE(raw.Append(MakeCreatedEvent(10, 1, 1, p)).ok());
+  ASSERT_TRUE(raw.Append(MakeDroppedEvent(100, 1, 1)).ok());
+  ASSERT_TRUE(raw.Append(MakeSizeSampleEvent(200, 1, 1, 5.0)).ok());
+  EXPECT_FALSE(raw.Finalize().ok());
+}
+
+TEST(StoreTest, RejectsDuplicateDrop) {
+  telemetry::TelemetryStore raw("R", 0, {}, 0, 1000000);
+  DatabaseCreatedPayload p;
+  p.server_id = 0;
+  p.slo_index = 0;
+  ASSERT_TRUE(raw.Append(MakeCreatedEvent(10, 1, 1, p)).ok());
+  ASSERT_TRUE(raw.Append(MakeDroppedEvent(100, 1, 1)).ok());
+  ASSERT_TRUE(raw.Append(MakeDroppedEvent(150, 1, 1)).ok());
+  EXPECT_FALSE(raw.Finalize().ok());
+}
+
+TEST(StoreTest, RejectsInvalidIds) {
+  telemetry::TelemetryStore raw("R", 0, {}, 0, 1000000);
+  DatabaseCreatedPayload p;
+  EXPECT_FALSE(raw.Append(MakeCreatedEvent(10, kInvalidId, 1, p)).ok());
+  EXPECT_FALSE(raw.Append(MakeCreatedEvent(10, 1, kInvalidId, p)).ok());
+}
+
+TEST(StoreTest, AppendAfterFinalizeFails) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 5.0);
+  TelemetryStore store = b.Finish();
+  EXPECT_FALSE(store.Append(MakeDroppedEvent(100, 9, 9)).ok());
+  EXPECT_FALSE(store.Finalize().ok());  // double finalize
+}
+
+TEST(StoreTest, SubscriptionIndexOrderedByCreation) {
+  StoreBuilder b;
+  const DatabaseId late = b.AddDatabase(7, 50.0, -1.0);
+  const DatabaseId early = b.AddDatabase(7, 10.0, 20.0);
+  b.AddDatabase(8, 5.0, -1.0);
+  TelemetryStore store = b.Finish();
+
+  const auto& dbs = store.DatabasesOfSubscription(7);
+  ASSERT_EQ(dbs.size(), 2u);
+  EXPECT_EQ(dbs[0], early);
+  EXPECT_EQ(dbs[1], late);
+  EXPECT_TRUE(store.DatabasesOfSubscription(999).empty());
+  EXPECT_EQ(store.AllSubscriptions().size(), 2u);
+}
+
+TEST(StoreTest, FindUnknownDatabaseIsNotFound) {
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, 5.0);
+  TelemetryStore store = b.Finish();
+  EXPECT_FALSE(store.FindDatabase(12345).ok());
+}
+
+TEST(StoreTest, EventsSortedAfterFinalize) {
+  StoreBuilder b;
+  const DatabaseId id = b.AddDatabase(1, 5.0, 30.0);
+  b.AddSizeSample(id, 1, 20.0, 9.0);
+  b.AddSizeSample(id, 1, 6.0, 5.0);
+  TelemetryStore store = b.Finish();
+  const auto& events = store.events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].timestamp, events[i].timestamp);
+  }
+}
+
+TEST(StoreCsvTest, ExportImportRoundTrip) {
+  StoreBuilder b;
+  const DatabaseId id = b.AddDatabase(3, 2.0, 45.0, "orders-db", "srv-a",
+                                      SloIndexByName("P1"),
+                                      SubscriptionType::kEnterpriseAgreement);
+  b.AddSloChange(id, 3, 9.0, SloIndexByName("P1"), SloIndexByName("S3"));
+  b.AddSizeSample(id, 3, 2.5, 123.456);
+  b.AddDatabase(4, 7.0, -1.0, "testdb2");
+  TelemetryStore store = b.Finish();
+
+  const std::string csv = store.ExportCsv();
+  auto imported = TelemetryStore::ImportCsv(
+      csv, store.region_name(), store.utc_offset_minutes(), {},
+      store.window_start(), store.window_end());
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  ASSERT_EQ(imported->num_databases(), store.num_databases());
+  ASSERT_EQ(imported->num_events(), store.num_events());
+  const DatabaseRecord* a = *store.FindDatabase(id);
+  const DatabaseRecord* c = *imported->FindDatabase(id);
+  EXPECT_EQ(a->database_name, c->database_name);
+  EXPECT_EQ(a->server_name, c->server_name);
+  EXPECT_EQ(a->created_at, c->created_at);
+  EXPECT_EQ(a->dropped_at, c->dropped_at);
+  EXPECT_EQ(a->initial_slo_index, c->initial_slo_index);
+  EXPECT_EQ(a->subscription_type, c->subscription_type);
+  ASSERT_EQ(c->slo_changes.size(), 1u);
+  ASSERT_EQ(c->size_samples.size(), 1u);
+  EXPECT_NEAR(c->size_samples[0].size_mb, 123.456, 1e-3);
+}
+
+TEST(StoreCsvTest, ImportRejectsMalformedLines) {
+  EXPECT_FALSE(TelemetryStore::ImportCsv("header\ngarbage", "R", 0, {}, 0,
+                                         1000)
+                   .ok());
+  EXPECT_FALSE(TelemetryStore::ImportCsv(
+                   "h\n2017-01-01T00:00:00,UnknownKind,1,1,x", "R", 0, {}, 0,
+                   1000)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::telemetry

@@ -1,0 +1,160 @@
+#include "gtest/gtest.h"
+#include "telemetry/civil_time.h"
+
+namespace cloudsurv::telemetry {
+namespace {
+
+TEST(CivilTimeTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(MakeTimestamp(1970, 1, 1), 0);
+}
+
+TEST(CivilTimeTest, KnownDayNumbers) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2017, 1, 1), 17167);
+}
+
+TEST(CivilTimeTest, RoundTripSweep) {
+  // Every 13 days across four decades, including leap boundaries.
+  for (int64_t day = DaysFromCivil(1995, 1, 1);
+       day < DaysFromCivil(2035, 1, 1); day += 13) {
+    int y, m, d;
+    CivilFromDays(day, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), day);
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 12);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, DaysInMonth(y, m));
+  }
+}
+
+TEST(CivilTimeTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_FALSE(IsLeapYear(2017));
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2017, 2), 28);
+  EXPECT_EQ(DaysInMonth(2017, 4), 30);
+  EXPECT_EQ(DaysInMonth(2017, 12), 31);
+}
+
+TEST(CivilTimeTest, DayOfWeek) {
+  // 1970-01-01 was a Thursday (=4 in 1..7 Mon..Sun).
+  EXPECT_EQ(ToCivil(MakeTimestamp(1970, 1, 1)).day_of_week, 4);
+  // 2017-01-01 was a Sunday.
+  EXPECT_EQ(ToCivil(MakeTimestamp(2017, 1, 1)).day_of_week, 7);
+  // 2017-01-02 was a Monday.
+  EXPECT_EQ(ToCivil(MakeTimestamp(2017, 1, 2)).day_of_week, 1);
+  // 2018-06-15 was a Friday.
+  EXPECT_EQ(ToCivil(MakeTimestamp(2018, 6, 15)).day_of_week, 5);
+}
+
+TEST(CivilTimeTest, TimeOfDayFields) {
+  const CivilDateTime c = ToCivil(MakeTimestamp(2017, 3, 14, 15, 9, 26));
+  EXPECT_EQ(c.year, 2017);
+  EXPECT_EQ(c.month, 3);
+  EXPECT_EQ(c.day, 14);
+  EXPECT_EQ(c.hour, 15);
+  EXPECT_EQ(c.minute, 9);
+  EXPECT_EQ(c.second, 26);
+  EXPECT_EQ(c.day_of_year, 31 + 28 + 14);
+  EXPECT_EQ(c.week_of_year, (31 + 28 + 14 - 1) / 7 + 1);
+}
+
+TEST(CivilTimeTest, WeekOfYearCapsAt52) {
+  const CivilDateTime c = ToCivil(MakeTimestamp(2017, 12, 31));
+  EXPECT_EQ(c.week_of_year, 52);
+}
+
+TEST(CivilTimeTest, UtcOffsetShiftsCivilFields) {
+  const Timestamp ts = MakeTimestamp(2017, 1, 1, 2, 0, 0);  // 02:00 UTC
+  // UTC-8: still New Year's Eve locally.
+  const CivilDateTime pst = ToCivil(ts, -8 * 60);
+  EXPECT_EQ(pst.year, 2016);
+  EXPECT_EQ(pst.month, 12);
+  EXPECT_EQ(pst.day, 31);
+  EXPECT_EQ(pst.hour, 18);
+  // UTC+8: already mid-morning of Jan 1.
+  const CivilDateTime cst = ToCivil(ts, 8 * 60);
+  EXPECT_EQ(cst.day, 1);
+  EXPECT_EQ(cst.hour, 10);
+}
+
+TEST(CivilTimeTest, NegativeTimestampsWork) {
+  const CivilDateTime c = ToCivil(MakeTimestamp(1969, 12, 31, 23, 0, 0));
+  EXPECT_EQ(c.year, 1969);
+  EXPECT_EQ(c.hour, 23);
+}
+
+TEST(Iso8601Test, FormatKnownValue) {
+  EXPECT_EQ(FormatIso8601(MakeTimestamp(2017, 5, 31, 8, 4, 2)),
+            "2017-05-31T08:04:02");
+}
+
+TEST(Iso8601Test, ParseRoundTrip) {
+  for (const char* text :
+       {"2017-01-01T00:00:00", "2016-02-29T23:59:59", "1999-12-31T12:30:45"}) {
+    auto ts = ParseIso8601(text);
+    ASSERT_TRUE(ts.ok()) << text;
+    EXPECT_EQ(FormatIso8601(*ts), text);
+  }
+}
+
+TEST(Iso8601Test, ParseDateOnly) {
+  auto ts = ParseIso8601("2017-03-04");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, MakeTimestamp(2017, 3, 4));
+}
+
+TEST(Iso8601Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseIso8601("not a date").ok());
+  EXPECT_FALSE(ParseIso8601("2017-13-01T00:00:00").ok());
+  EXPECT_FALSE(ParseIso8601("2017-02-29T00:00:00").ok());  // not a leap year
+  EXPECT_FALSE(ParseIso8601("2017-01-01T25:00:00").ok());
+}
+
+TEST(HolidayCalendarTest, MembershipAndOffset) {
+  HolidayCalendar cal;
+  cal.AddHoliday(2017, 1, 2);
+  cal.AddHoliday(2017, 5, 29);
+  EXPECT_TRUE(cal.IsHolidayDate(2017, 1, 2));
+  EXPECT_FALSE(cal.IsHolidayDate(2017, 1, 3));
+  EXPECT_EQ(cal.size(), 2u);
+  // 2017-01-03T02:00 UTC is still Jan 2 in UTC-8.
+  EXPECT_TRUE(cal.IsHoliday(MakeTimestamp(2017, 1, 3, 2, 0, 0), -8 * 60));
+  EXPECT_FALSE(cal.IsHoliday(MakeTimestamp(2017, 1, 3, 2, 0, 0), 0));
+}
+
+TEST(HolidayCalendarTest, DuplicatesIgnored) {
+  HolidayCalendar cal;
+  cal.AddHoliday(2017, 1, 2);
+  cal.AddHoliday(2017, 1, 2);
+  EXPECT_EQ(cal.size(), 1u);
+}
+
+/// Property sweep: ToCivil is consistent with MakeTimestamp for many
+/// offsets.
+class OffsetRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OffsetRoundTripTest, LocalFieldsRebuildTimestamp) {
+  const int offset = GetParam();
+  for (Timestamp ts = MakeTimestamp(2017, 1, 1);
+       ts < MakeTimestamp(2017, 1, 8); ts += 3571) {
+    const CivilDateTime local = ToCivil(ts, offset);
+    const Timestamp rebuilt =
+        MakeTimestamp(local.year, local.month, local.day, local.hour,
+                      local.minute, local.second) -
+        static_cast<Timestamp>(offset) * 60;
+    EXPECT_EQ(rebuilt, ts) << "offset=" << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OffsetRoundTripTest,
+                         ::testing::Values(-720, -480, -60, 0, 60, 330, 480,
+                                           720));
+
+}  // namespace
+}  // namespace cloudsurv::telemetry

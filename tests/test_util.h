@@ -1,0 +1,110 @@
+#ifndef CLOUDSURV_TESTS_TEST_UTIL_H_
+#define CLOUDSURV_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/civil_time.h"
+#include "telemetry/events.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::testing {
+
+/// gtest helpers for Status / Result.
+#define ASSERT_OK(expr)                                  \
+  do {                                                   \
+    const auto& _s = (expr);                             \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();               \
+  } while (false)
+
+#define EXPECT_OK(expr)                                  \
+  do {                                                   \
+    const auto& _s = (expr);                             \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();               \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                  \
+  auto CLOUDSURV_CONCAT_(_res_, __LINE__) = (expr);      \
+  ASSERT_TRUE(CLOUDSURV_CONCAT_(_res_, __LINE__).ok())   \
+      << CLOUDSURV_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(CLOUDSURV_CONCAT_(_res_, __LINE__)).value();
+
+/// A small hand-built telemetry store builder for feature / cohort unit
+/// tests. All timestamps are days relative to the window start
+/// (2017-01-01 UTC); the window spans 150 days.
+class StoreBuilder {
+ public:
+  StoreBuilder() = default;
+
+  telemetry::Timestamp DayTs(double days) const {
+    return window_start_ +
+           static_cast<telemetry::Timestamp>(
+               days * telemetry::kSecondsPerDay);
+  }
+
+  /// Adds a database created at day `create_day`; dropped at `drop_day`
+  /// unless drop_day < 0 (censored). Returns the database id.
+  telemetry::DatabaseId AddDatabase(
+      telemetry::SubscriptionId sub, double create_day, double drop_day,
+      const std::string& db_name = "testdb",
+      const std::string& server_name = "srv",
+      int slo_index = 0,
+      telemetry::SubscriptionType type =
+          telemetry::SubscriptionType::kPayAsYouGo) {
+    const telemetry::DatabaseId id = next_id_++;
+    telemetry::DatabaseCreatedPayload payload;
+    payload.server_id = sub;  // one server per subscription is fine here
+    payload.server_name = server_name;
+    payload.database_name = db_name;
+    payload.slo_index = slo_index;
+    payload.subscription_type = type;
+    EXPECT_OK(store_.Append(telemetry::MakeCreatedEvent(
+        DayTs(create_day), id, sub, std::move(payload))));
+    if (drop_day >= 0.0) {
+      EXPECT_OK(store_.Append(
+          telemetry::MakeDroppedEvent(DayTs(drop_day), id, sub)));
+    }
+    return id;
+  }
+
+  void AddSloChange(telemetry::DatabaseId id, telemetry::SubscriptionId sub,
+                    double day, int old_slo, int new_slo) {
+    EXPECT_OK(store_.Append(telemetry::MakeSloChangedEvent(
+        DayTs(day), id, sub, old_slo, new_slo)));
+  }
+
+  void AddSizeSample(telemetry::DatabaseId id, telemetry::SubscriptionId sub,
+                     double day, double size_mb) {
+    EXPECT_OK(store_.Append(
+        telemetry::MakeSizeSampleEvent(DayTs(day), id, sub, size_mb)));
+  }
+
+  /// Finalizes and returns the store. Call once.
+  telemetry::TelemetryStore Finish() {
+    EXPECT_OK(store_.Finalize());
+    return std::move(store_);
+  }
+
+  telemetry::Timestamp window_start() const { return window_start_; }
+  telemetry::Timestamp window_end() const { return window_end_; }
+
+ private:
+  telemetry::TelemetryStore MakeStore() {
+    telemetry::HolidayCalendar holidays;
+    holidays.AddHoliday(2017, 1, 2);
+    return telemetry::TelemetryStore("TestRegion", -480, holidays,
+                                     window_start_, window_end_);
+  }
+
+  telemetry::Timestamp window_start_ =
+      telemetry::MakeTimestamp(2017, 1, 1);
+  telemetry::Timestamp window_end_ =
+      telemetry::MakeTimestamp(2017, 5, 31);
+  telemetry::DatabaseId next_id_ = 0;
+  telemetry::TelemetryStore store_ = MakeStore();
+};
+
+}  // namespace cloudsurv::testing
+
+#endif  // CLOUDSURV_TESTS_TEST_UTIL_H_

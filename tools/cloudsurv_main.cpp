@@ -1,0 +1,316 @@
+// cloudsurv — command-line front end for the library.
+//
+//   cloudsurv simulate --region 1 --subs 1500 --seed 7 --out region.csv
+//   cloudsurv analyze  --telemetry region.csv [--region 1]
+//   cloudsurv train    --telemetry region.csv --out service.model
+//   cloudsurv assess   --telemetry region.csv --model service.model [--top 20]
+//
+// The CSV format is TelemetryStore::ExportCsv()'s; `analyze` prints the
+// survival study (Figure 1 / Observations 3.1-3.3 style), `train`
+// builds a LongevityService, and `assess` scores databases and
+// recommends pool placements.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/cohort.h"
+#include "core/report.h"
+#include "core/service.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "survival/kaplan_meier.h"
+#include "survival/parametric.h"
+
+using namespace cloudsurv;
+
+namespace {
+
+struct Args {
+  int region = 1;
+  size_t subs = 1500;
+  uint64_t seed = 7;
+  std::string telemetry_path;
+  std::string model_path;
+  std::string out_path;
+  int top = 20;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cloudsurv <simulate|analyze|train|assess> [options]\n"
+               "  simulate --region N --subs N --seed S --out FILE\n"
+               "  analyze  --telemetry FILE [--region N]\n"
+               "  train    --telemetry FILE --out FILE [--seed S]\n"
+               "  assess   --telemetry FILE --model FILE [--top N]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--region") == 0) {
+      const char* v = need_value("--region");
+      if (v == nullptr) return false;
+      args->region = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--subs") == 0) {
+      const char* v = need_value("--subs");
+      if (v == nullptr) return false;
+      args->subs = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need_value("--seed");
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      const char* v = need_value("--telemetry");
+      if (v == nullptr) return false;
+      args->telemetry_path = v;
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      const char* v = need_value("--model");
+      if (v == nullptr) return false;
+      args->model_path = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = need_value("--out");
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      const char* v = need_value("--top");
+      if (v == nullptr) return false;
+      args->top = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << content;
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+// Loads telemetry from CSV, using the region preset's calendar metadata.
+Result<telemetry::TelemetryStore> LoadTelemetry(const Args& args) {
+  CLOUDSURV_ASSIGN_OR_RETURN(std::string csv,
+                             ReadFile(args.telemetry_path));
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      simulator::RegionConfig config,
+      simulator::MakeRegionPreset(args.region, 1, args.seed));
+  return telemetry::TelemetryStore::ImportCsv(
+      csv, config.name, config.utc_offset_minutes, config.holidays,
+      config.window_start, config.window_end);
+}
+
+int CmdSimulate(const Args& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "simulate requires --out\n");
+    return 2;
+  }
+  auto config =
+      simulator::MakeRegionPreset(args.region, args.subs, args.seed);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  simulator::SimulationSummary summary;
+  auto store = simulator::SimulateRegion(*config, &summary);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteFile(args.out_path, store->ExportCsv());
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events (%zu databases, %zu subscriptions) to %s\n",
+              summary.num_events, summary.num_databases,
+              summary.num_subscriptions, args.out_path.c_str());
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (args.telemetry_path.empty()) {
+    std::fprintf(stderr, "analyze requires --telemetry\n");
+    return 2;
+  }
+  auto store = LoadTelemetry(args);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("region %s: %zu databases, %zu events\n",
+              store->region_name().c_str(), store->num_databases(),
+              store->num_events());
+
+  const auto usage = core::ComputeSubscriptionUsageStats(*store);
+  std::printf("subscriptions: %zu (%.1f%% ephemeral-only, %zu mixed); "
+              "%.1f%% of databases are ephemeral\n",
+              usage.num_subscriptions,
+              usage.ephemeral_only_subscription_fraction() * 100.0,
+              usage.num_mixed,
+              usage.ephemeral_database_fraction() * 100.0);
+
+  auto data = core::CohortSurvivalData(*store, core::CohortFilter{});
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto km = survival::KaplanMeierCurve::Fit(*data);
+  if (!km.ok()) {
+    std::fprintf(stderr, "%s\n", km.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nKM survival (2-day-minimum cohort, n=%zu, %zu dropped):\n",
+              data->size(), data->num_events());
+  std::printf("%s\n", core::KmCurveAsciiPlot(*km, 140, 12, 60).c_str());
+  std::printf("S(30)=%.3f S(60)=%.3f S(90)=%.3f S(120)=%.3f\n",
+              km->SurvivalAt(30), km->SurvivalAt(60), km->SurvivalAt(90),
+              km->SurvivalAt(120));
+
+  auto weibull = survival::FitWeibull(*data);
+  if (weibull.ok()) {
+    std::printf("Weibull fit: shape=%.3f scale=%.1f days "
+                "(shape < 1 means churn risk decays with age)\n",
+                weibull->shape, weibull->scale);
+  }
+  for (auto edition :
+       {telemetry::Edition::kBasic, telemetry::Edition::kStandard,
+        telemetry::Edition::kPremium}) {
+    core::CohortFilter filter;
+    filter.edition = edition;
+    auto edition_data = core::CohortSurvivalData(*store, filter);
+    if (!edition_data.ok() || edition_data->empty()) continue;
+    auto edition_km = survival::KaplanMeierCurve::Fit(*edition_data);
+    if (!edition_km.ok()) continue;
+    std::printf("%-9s n=%6zu S(30)=%.3f\n",
+                telemetry::EditionToString(edition), edition_data->size(),
+                edition_km->SurvivalAt(30.0));
+  }
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  if (args.telemetry_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr, "train requires --telemetry and --out\n");
+    return 2;
+  }
+  auto store = LoadTelemetry(args);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  core::LongevityService::Options options;
+  options.seed = args.seed;
+  auto service = core::LongevityService::Train(*store, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteFile(args.out_path, service->Save());
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu databases; model written to %s\n",
+              store->num_databases(), args.out_path.c_str());
+  return 0;
+}
+
+int CmdAssess(const Args& args) {
+  if (args.telemetry_path.empty() || args.model_path.empty()) {
+    std::fprintf(stderr, "assess requires --telemetry and --model\n");
+    return 2;
+  }
+  auto store = LoadTelemetry(args);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto blob = ReadFile(args.model_path);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  auto service = core::LongevityService::Load(*blob);
+  if (!service.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-26s %-8s %7s %-9s %-8s\n", "database", "name",
+              "edition", "p(long)", "decision", "pool");
+  int shown = 0;
+  size_t churn = 0, stable = 0, general = 0;
+  for (const auto& record : store->databases()) {
+    auto assessment = service->Assess(*store, record.id);
+    if (!assessment.ok()) continue;
+    switch (assessment->recommended_pool) {
+      case core::Pool::kChurn:
+        ++churn;
+        break;
+      case core::Pool::kStable:
+        ++stable;
+        break;
+      case core::Pool::kGeneral:
+        ++general;
+        break;
+    }
+    if (shown < args.top) {
+      std::printf("%-10llu %-26s %-8s %7.2f %-9s %-8s\n",
+                  static_cast<unsigned long long>(record.id),
+                  record.database_name.c_str(),
+                  telemetry::EditionToString(record.initial_edition()),
+                  assessment->positive_probability,
+                  assessment->confident
+                      ? (assessment->predicted_label ? "long" : "short")
+                      : "uncertain",
+                  core::PoolToString(assessment->recommended_pool));
+      ++shown;
+    }
+  }
+  std::printf("\nassessed %zu databases: %zu -> churn, %zu -> stable, "
+              "%zu stay general\n",
+              churn + stable + general, churn, stable, general);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  const std::string command = argv[1];
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "analyze") return CmdAnalyze(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "assess") return CmdAssess(args);
+  return Usage();
+}
