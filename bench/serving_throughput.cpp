@@ -1,0 +1,154 @@
+// Online-serving throughput: replays one simulated region's event
+// stream through the ScoringEngine at 1 thread and at N threads
+// (CLOUDSURV_THREADS, default 8) and reports events/sec, scored
+// databases/sec and per-assessment latency quantiles as JSON on stdout.
+//
+// The replay is the serve-sim loop: ingest in timestamp order, poll on
+// a fixed simulated cadence (CLOUDSURV_FLUSH_DAYS, default 7), drain at
+// end-of-stream. All scoring work — snapshot materialization and model
+// inference — happens on the pool, so the multi-thread run exercises
+// the engine's actual parallel path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/service.h"
+#include "serving/scoring_engine.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/store.h"
+
+namespace {
+
+using namespace cloudsurv;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  size_t scored = 0;
+  serving::EngineMetrics metrics;
+};
+
+RunResult Replay(const telemetry::TelemetryStore& store,
+                 const std::shared_ptr<const core::LongevityService>& model,
+                 size_t threads, double flush_days) {
+  serving::ScoringEngine::Options options;
+  options.num_threads = threads;
+  options.num_shards = 16;
+  options.observe_days = model->options().observe_days;
+  serving::ScoringEngine engine(serving::RegionContext::FromStore(store),
+                                options);
+  auto version = engine.registry().Publish("bench", model);
+  if (!version.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 version.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const auto flush_interval = static_cast<telemetry::Timestamp>(
+      flush_days * static_cast<double>(telemetry::kSecondsPerDay));
+  telemetry::Timestamp next_poll = store.window_start() + flush_interval;
+
+  RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const telemetry::Event& event : store.events()) {
+    while (event.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     batch.status().ToString().c_str());
+        std::exit(1);
+      }
+      result.scored += batch->size();
+      next_poll += flush_interval;
+    }
+    Status ingested = engine.Ingest(event);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto rest = engine.Drain();
+  if (!rest.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n",
+                 rest.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.scored += rest->size();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.elapsed_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.metrics = engine.Metrics();
+  return result;
+}
+
+void PrintRun(const char* key, size_t threads, size_t num_events,
+              const RunResult& run, bool trailing_comma) {
+  std::printf(
+      "  \"%s\": {\"threads\": %zu, \"elapsed_s\": %.3f, "
+      "\"events_per_sec\": %.0f, \"scored\": %zu, "
+      "\"scored_per_sec\": %.0f, \"p50_us\": %.0f, \"p99_us\": %.0f, "
+      "\"confident_fraction\": %.4f}%s\n",
+      key, threads, run.elapsed_s,
+      static_cast<double>(num_events) / run.elapsed_s, run.scored,
+      static_cast<double>(run.scored) / run.elapsed_s,
+      run.metrics.scoring_p50_us, run.metrics.scoring_p99_us,
+      run.metrics.confident_fraction(), trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  const size_t subs = EnvSize("CLOUDSURV_SUBS", 600);
+  const size_t threads = EnvSize("CLOUDSURV_THREADS", 8);
+  const double flush_days =
+      static_cast<double>(EnvSize("CLOUDSURV_FLUSH_DAYS", 7));
+
+  auto config = simulator::MakeRegionPreset(1, subs, 2017);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  core::LongevityService::Options train_options;
+  train_options.seed = 2017;
+  auto trained = core::LongevityService::Train(*store, train_options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  auto model = std::make_shared<const core::LongevityService>(
+      std::move(trained).value());
+
+  const RunResult single = Replay(*store, model, 1, flush_days);
+  const RunResult multi = Replay(*store, model, threads, flush_days);
+
+  std::printf("{\n");
+  std::printf("  \"num_events\": %zu,\n", store->num_events());
+  std::printf("  \"num_databases\": %zu,\n", store->num_databases());
+  std::printf("  \"flush_interval_days\": %.1f,\n", flush_days);
+  PrintRun("single_thread", 1, store->num_events(), single, true);
+  PrintRun("multi_thread", threads, store->num_events(), multi, true);
+  std::printf("  \"speedup\": %.2f\n",
+              single.elapsed_s / multi.elapsed_s);
+  std::printf("}\n");
+  return 0;
+}

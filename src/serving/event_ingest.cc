@@ -1,0 +1,76 @@
+#include "serving/event_ingest.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cloudsurv::serving {
+
+namespace {
+
+// splitmix64 finalizer — subscription ids are dense small integers, so
+// mix them before taking the shard modulus to avoid striping artifacts.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+EventIngestBuffer::EventIngestBuffer(size_t num_shards) {
+  const size_t n = std::max<size_t>(1, num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t EventIngestBuffer::ShardOf(
+    telemetry::SubscriptionId subscription_id) const {
+  return static_cast<size_t>(MixId(subscription_id) % shards_.size());
+}
+
+Status EventIngestBuffer::Ingest(telemetry::Event event) {
+  if (event.database_id == telemetry::kInvalidId) {
+    return Status::InvalidArgument("event has invalid database id");
+  }
+  if (event.subscription_id == telemetry::kInvalidId) {
+    return Status::InvalidArgument("event has invalid subscription id");
+  }
+  Shard& shard = *shards_[ShardOf(event.subscription_id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.push_back(std::move(event));
+  }
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<telemetry::Event> EventIngestBuffer::TakeShard(size_t shard) {
+  std::vector<telemetry::Event> out;
+  Shard& s = *shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  out.swap(s.events);
+  return out;
+}
+
+std::vector<std::vector<telemetry::Event>> EventIngestBuffer::TakeAll() {
+  std::vector<std::vector<telemetry::Event>> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out.push_back(TakeShard(i));
+  }
+  return out;
+}
+
+size_t EventIngestBuffer::pending_events() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->events.size();
+  }
+  return total;
+}
+
+}  // namespace cloudsurv::serving

@@ -1,0 +1,70 @@
+#ifndef CLOUDSURV_SERVING_EVENT_INGEST_H_
+#define CLOUDSURV_SERVING_EVENT_INGEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/events.h"
+
+namespace cloudsurv::serving {
+
+/// Sharded, mutex-striped staging buffer between telemetry producers
+/// and the scoring engine.
+///
+/// Many producer threads call Ingest() concurrently; each event lands in
+/// the shard owned by its subscription (one mutex per shard, so
+/// unrelated subscriptions never contend). The engine periodically calls
+/// TakeAll()/TakeShard() from its polling thread to move the staged
+/// batches out wholesale.
+///
+/// Sharding key: subscription_id, *not* database_id. Feature extraction
+/// reads sibling databases of the same subscription (subscription-
+/// history features), so keeping a subscription's whole event stream in
+/// one shard lets a per-shard telemetry snapshot reproduce batch
+/// scoring exactly.
+class EventIngestBuffer {
+ public:
+  explicit EventIngestBuffer(size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard that owns `subscription_id`.
+  size_t ShardOf(telemetry::SubscriptionId subscription_id) const;
+
+  /// Stages one event (thread-safe). Rejects events with invalid ids so
+  /// errors surface at the edge rather than at flush time.
+  Status Ingest(telemetry::Event event);
+
+  /// Moves shard `shard`'s staged events out (the shard is left empty).
+  std::vector<telemetry::Event> TakeShard(size_t shard);
+
+  /// Moves every shard's staged events out; element i of the result is
+  /// shard i's batch, in arrival order.
+  std::vector<std::vector<telemetry::Event>> TakeAll();
+
+  /// Events accepted by Ingest() since construction.
+  uint64_t events_ingested() const {
+    return events_ingested_.load(std::memory_order_relaxed);
+  }
+
+  /// Events currently staged across all shards.
+  size_t pending_events() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<telemetry::Event> events;
+  };
+
+  // unique_ptr keeps Shard addresses stable (mutexes are immovable).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> events_ingested_{0};
+};
+
+}  // namespace cloudsurv::serving
+
+#endif  // CLOUDSURV_SERVING_EVENT_INGEST_H_

@@ -1,0 +1,71 @@
+#include "serving/maturity_tracker.h"
+
+#include <utility>
+
+namespace cloudsurv::serving {
+
+void MaturityTracker::Add(PendingDatabase pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      live_.try_emplace(pending.database_id, pending.matures_at);
+  (void)it;
+  if (!inserted) return;
+  heap_.push(std::move(pending));
+  ++total_added_;
+}
+
+bool MaturityTracker::Cancel(telemetry::DatabaseId id,
+                             telemetry::Timestamp dropped_at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end() || dropped_at >= it->second) return false;
+  live_.erase(it);
+  ++total_cancelled_;
+  return true;
+}
+
+std::vector<PendingDatabase> MaturityTracker::TakeDue(
+    telemetry::Timestamp now) {
+  std::vector<PendingDatabase> due;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!heap_.empty() && heap_.top().matures_at <= now) {
+    PendingDatabase top = heap_.top();
+    heap_.pop();
+    auto it = live_.find(top.database_id);
+    if (it == live_.end()) continue;  // cancelled; skip lazily
+    live_.erase(it);
+    due.push_back(top);
+  }
+  return due;
+}
+
+std::vector<PendingDatabase> MaturityTracker::TakeAll() {
+  std::vector<PendingDatabase> due;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!heap_.empty()) {
+    PendingDatabase top = heap_.top();
+    heap_.pop();
+    auto it = live_.find(top.database_id);
+    if (it == live_.end()) continue;
+    live_.erase(it);
+    due.push_back(top);
+  }
+  return due;
+}
+
+size_t MaturityTracker::pending_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+uint64_t MaturityTracker::total_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_added_;
+}
+
+uint64_t MaturityTracker::total_cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_cancelled_;
+}
+
+}  // namespace cloudsurv::serving

@@ -1,0 +1,77 @@
+#ifndef CLOUDSURV_SERVING_MATURITY_TRACKER_H_
+#define CLOUDSURV_SERVING_MATURITY_TRACKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/events.h"
+
+namespace cloudsurv::serving {
+
+/// One database waiting for its observation window to elapse.
+struct PendingDatabase {
+  telemetry::DatabaseId database_id = telemetry::kInvalidId;
+  telemetry::SubscriptionId subscription_id = telemetry::kInvalidId;
+  /// created_at + observe window — the earliest instant the database can
+  /// be scored (the paper's prediction time Tp).
+  telemetry::Timestamp matures_at = 0;
+  /// Ingest shard owning the subscription's events.
+  size_t shard = 0;
+};
+
+/// Min-heap of databases keyed by maturity time (thread-safe).
+///
+/// Add() on creation; Cancel() when a drop arrives before maturity (the
+/// prediction task is undefined for databases that did not survive the
+/// observation window, so scoring them would only waste a snapshot).
+/// TakeDue(now) pops everything with matures_at <= now. Cancellation is
+/// lazy: cancelled entries stay in the heap and are skipped when popped.
+class MaturityTracker {
+ public:
+  MaturityTracker() = default;
+
+  /// Registers a database. Duplicate ids are ignored (first add wins).
+  void Add(PendingDatabase pending);
+
+  /// Cancels `id` iff `dropped_at` precedes its maturity time. A no-op
+  /// for unknown or already-taken ids. Returns true if cancelled.
+  bool Cancel(telemetry::DatabaseId id, telemetry::Timestamp dropped_at);
+
+  /// Pops every pending database with matures_at <= now, in maturity
+  /// order (ties broken by id, so output order is deterministic).
+  std::vector<PendingDatabase> TakeDue(telemetry::Timestamp now);
+
+  /// Pops everything still pending regardless of time (final drain).
+  std::vector<PendingDatabase> TakeAll();
+
+  /// Databases currently waiting (excluding cancelled ones).
+  size_t pending_count() const;
+
+  uint64_t total_added() const;
+  uint64_t total_cancelled() const;
+
+ private:
+  struct Later {
+    bool operator()(const PendingDatabase& a,
+                    const PendingDatabase& b) const {
+      if (a.matures_at != b.matures_at) return a.matures_at > b.matures_at;
+      return a.database_id > b.database_id;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::priority_queue<PendingDatabase, std::vector<PendingDatabase>, Later>
+      heap_;
+  /// matures_at per live (non-cancelled, non-taken) id; doubles as the
+  /// duplicate filter and the cancellation check.
+  std::unordered_map<telemetry::DatabaseId, telemetry::Timestamp> live_;
+  uint64_t total_added_ = 0;
+  uint64_t total_cancelled_ = 0;
+};
+
+}  // namespace cloudsurv::serving
+
+#endif  // CLOUDSURV_SERVING_MATURITY_TRACKER_H_

@@ -1,0 +1,252 @@
+#include "serving/scoring_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+namespace cloudsurv::serving {
+
+namespace {
+
+using telemetry::Event;
+using telemetry::EventKind;
+using telemetry::kSecondsPerDay;
+using telemetry::Timestamp;
+
+Timestamp MaturityOf(Timestamp created_at, double observe_days) {
+  return created_at + static_cast<Timestamp>(
+                          observe_days * static_cast<double>(kSecondsPerDay));
+}
+
+/// Result of one shard scoring task.
+struct ShardBatchResult {
+  std::vector<ScoredDatabase> scored;
+  std::vector<uint32_t> latencies_us;
+  uint64_t skipped = 0;
+  Status status;  // Non-OK only for snapshot materialization failures.
+};
+
+}  // namespace
+
+RegionContext RegionContext::FromStore(
+    const telemetry::TelemetryStore& store) {
+  RegionContext ctx;
+  ctx.region_name = store.region_name();
+  ctx.utc_offset_minutes = store.utc_offset_minutes();
+  ctx.holidays = store.holidays();
+  ctx.window_start = store.window_start();
+  ctx.window_end = store.window_end();
+  return ctx;
+}
+
+ScoringEngine::ScoringEngine(RegionContext region, Options options)
+    : region_(std::move(region)),
+      options_(options),
+      ingest_(options.num_shards),
+      pool_(options.num_threads, options.queue_capacity),
+      shard_logs_(ingest_.num_shards()) {}
+
+ScoringEngine::~ScoringEngine() { pool_.Shutdown(); }
+
+Status ScoringEngine::Ingest(telemetry::Event event) {
+  return ingest_.Ingest(std::move(event));
+}
+
+void ScoringEngine::AbsorbStagedEvents() {
+  std::vector<std::vector<Event>> staged = ingest_.TakeAll();
+  for (size_t shard = 0; shard < staged.size(); ++shard) {
+    std::vector<Event>& batch = staged[shard];
+    if (batch.empty()) continue;
+    events_flushed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (const Event& event : batch) {
+      switch (event.kind()) {
+        case EventKind::kDatabaseCreated: {
+          PendingDatabase pending;
+          pending.database_id = event.database_id;
+          pending.subscription_id = event.subscription_id;
+          pending.matures_at =
+              MaturityOf(event.timestamp, options_.observe_days);
+          pending.shard = shard;
+          tracker_.Add(pending);
+          break;
+        }
+        case EventKind::kDatabaseDropped:
+          // A drop before maturity makes the prediction task undefined
+          // for this database — stop tracking it.
+          tracker_.Cancel(event.database_id, event.timestamp);
+          break;
+        default:
+          break;
+      }
+    }
+    ShardLog& log = shard_logs_[shard];
+    log.events.reserve(log.events.size() + batch.size());
+    std::move(batch.begin(), batch.end(), std::back_inserter(log.events));
+  }
+}
+
+Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
+    std::vector<PendingDatabase> due) {
+  if (due.empty()) return std::vector<ScoredDatabase>();
+
+  // Group matured databases by owning shard: one snapshot (and one pool
+  // task) per shard serves its whole batch.
+  std::unordered_map<size_t, std::vector<PendingDatabase>> by_shard;
+  for (PendingDatabase& p : due) {
+    by_shard[p.shard].push_back(p);
+  }
+
+  std::vector<std::future<ShardBatchResult>> futures;
+  futures.reserve(by_shard.size());
+  for (auto& [shard, batch] : by_shard) {
+    // The task reads the shard log concurrently with nothing: the
+    // driver thread blocks on all futures below before the next
+    // AbsorbStagedEvents() can touch it.
+    const std::vector<Event>* shard_events = &shard_logs_[shard].events;
+    RegionContext* region = &region_;
+    ModelRegistry* registry = &registry_;
+    std::vector<PendingDatabase> task_batch = std::move(batch);
+    futures.push_back(pool_.Submit(
+        [shard_events, region, registry, task_batch = std::move(task_batch),
+         this]() -> ShardBatchResult {
+          ShardBatchResult result;
+
+          // Pin the model snapshot for the whole batch; a concurrent
+          // Publish() swaps later batches, never this one.
+          ModelRegistry::ActiveModel active = registry->CurrentWithVersion();
+          if (active.model == nullptr) {
+            result.status =
+                Status::FailedPrecondition("no model published");
+            return result;
+          }
+
+          telemetry::TelemetryStore snapshot(
+              region->region_name, region->utc_offset_minutes,
+              region->holidays, region->window_start, region->window_end);
+          std::vector<Event> copy(*shard_events);
+          snapshot.Reserve(copy.size());
+          Status appended = snapshot.AppendEvents(std::move(copy));
+          if (!appended.ok()) {
+            result.status = appended;
+            return result;
+          }
+          Status finalized = snapshot.Finalize();
+          if (!finalized.ok()) {
+            result.status = finalized;
+            return result;
+          }
+          snapshots_built_.fetch_add(1, std::memory_order_relaxed);
+
+          result.scored.reserve(task_batch.size());
+          result.latencies_us.reserve(task_batch.size());
+          for (const PendingDatabase& pending : task_batch) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto assessment =
+                active.model->Assess(snapshot, pending.database_id);
+            const auto t1 = std::chrono::steady_clock::now();
+            result.latencies_us.push_back(static_cast<uint32_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(t1 -
+                                                                      t0)
+                    .count()));
+            if (!assessment.ok()) {
+              // E.g. dropped exactly inside the window with the drop
+              // event racing the maturity cutoff — batch Assess() on
+              // the final store fails identically, so skipping keeps
+              // the two paths equivalent.
+              ++result.skipped;
+              continue;
+            }
+            ScoredDatabase scored;
+            scored.database_id = pending.database_id;
+            scored.subscription_id = pending.subscription_id;
+            scored.matured_at = pending.matures_at;
+            scored.model_version = active.version;
+            scored.assessment = *std::move(assessment);
+            result.scored.push_back(std::move(scored));
+          }
+          return result;
+        }));
+  }
+
+  std::vector<ScoredDatabase> all;
+  Status first_error = Status::OK();
+  for (std::future<ShardBatchResult>& future : futures) {
+    ShardBatchResult result = future.get();
+    if (!result.status.ok()) {
+      if (first_error.ok()) first_error = result.status;
+      continue;
+    }
+    databases_scored_.fetch_add(result.scored.size(),
+                                std::memory_order_relaxed);
+    databases_skipped_.fetch_add(result.skipped, std::memory_order_relaxed);
+    uint64_t confident = 0;
+    for (const ScoredDatabase& s : result.scored) {
+      if (s.assessment.confident) ++confident;
+    }
+    databases_confident_.fetch_add(confident, std::memory_order_relaxed);
+    RecordLatencies(result.latencies_us);
+    std::move(result.scored.begin(), result.scored.end(),
+              std::back_inserter(all));
+  }
+  if (!first_error.ok()) return first_error;
+
+  std::sort(all.begin(), all.end(),
+            [](const ScoredDatabase& a, const ScoredDatabase& b) {
+              return a.database_id < b.database_id;
+            });
+  return all;
+}
+
+Result<std::vector<ScoredDatabase>> ScoringEngine::Poll(Timestamp now) {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  AbsorbStagedEvents();
+  return ScoreDue(tracker_.TakeDue(now));
+}
+
+Result<std::vector<ScoredDatabase>> ScoringEngine::Drain() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  AbsorbStagedEvents();
+  return ScoreDue(tracker_.TakeAll());
+}
+
+void ScoringEngine::RecordLatencies(
+    const std::vector<uint32_t>& latencies_us) {
+  if (latencies_us.empty()) return;
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  scoring_latencies_us_.insert(scoring_latencies_us_.end(),
+                               latencies_us.begin(), latencies_us.end());
+}
+
+EngineMetrics ScoringEngine::Metrics() const {
+  EngineMetrics m;
+  m.events_ingested = ingest_.events_ingested();
+  m.events_flushed = events_flushed_.load(std::memory_order_relaxed);
+  m.databases_tracked = tracker_.total_added();
+  m.databases_cancelled = tracker_.total_cancelled();
+  m.databases_scored = databases_scored_.load(std::memory_order_relaxed);
+  m.databases_confident =
+      databases_confident_.load(std::memory_order_relaxed);
+  m.databases_skipped = databases_skipped_.load(std::memory_order_relaxed);
+  m.polls = polls_.load(std::memory_order_relaxed);
+  m.snapshots_built = snapshots_built_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (!scoring_latencies_us_.empty()) {
+      std::vector<uint32_t> sorted = scoring_latencies_us_;
+      std::sort(sorted.begin(), sorted.end());
+      auto quantile = [&sorted](double q) {
+        const size_t idx = static_cast<size_t>(
+            q * static_cast<double>(sorted.size() - 1) + 0.5);
+        return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+      };
+      m.scoring_p50_us = quantile(0.50);
+      m.scoring_p99_us = quantile(0.99);
+    }
+  }
+  return m;
+}
+
+}  // namespace cloudsurv::serving

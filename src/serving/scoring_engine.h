@@ -1,0 +1,175 @@
+#ifndef CLOUDSURV_SERVING_SCORING_ENGINE_H_
+#define CLOUDSURV_SERVING_SCORING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/service.h"
+#include "serving/event_ingest.h"
+#include "serving/maturity_tracker.h"
+#include "serving/model_registry.h"
+#include "serving/thread_pool.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::serving {
+
+/// Region metadata a snapshot TelemetryStore needs (calendar features
+/// read it). Copy it from the region's config or any store of the
+/// region.
+struct RegionContext {
+  std::string region_name;
+  int utc_offset_minutes = 0;
+  telemetry::HolidayCalendar holidays;
+  telemetry::Timestamp window_start = 0;
+  telemetry::Timestamp window_end = 0;
+
+  static RegionContext FromStore(const telemetry::TelemetryStore& store);
+};
+
+/// One online assessment produced by the engine.
+struct ScoredDatabase {
+  telemetry::DatabaseId database_id = telemetry::kInvalidId;
+  telemetry::SubscriptionId subscription_id = telemetry::kInvalidId;
+  /// Prediction time Tp = created_at + observe window.
+  telemetry::Timestamp matured_at = 0;
+  /// Registry version of the model that produced the assessment.
+  uint64_t model_version = 0;
+  core::LongevityService::Assessment assessment;
+};
+
+/// Point-in-time engine counters. Latency quantiles cover the per-
+/// database Assess() call (feature extraction + forest inference)
+/// inside worker threads, in microseconds.
+struct EngineMetrics {
+  uint64_t events_ingested = 0;
+  uint64_t events_flushed = 0;
+  uint64_t databases_tracked = 0;   ///< Creations registered for scoring.
+  uint64_t databases_cancelled = 0; ///< Dropped before maturing.
+  uint64_t databases_scored = 0;
+  uint64_t databases_confident = 0;
+  uint64_t databases_skipped = 0;   ///< Matured but Assess() failed.
+  uint64_t polls = 0;
+  uint64_t snapshots_built = 0;
+  double scoring_p50_us = 0.0;
+  double scoring_p99_us = 0.0;
+
+  double confident_fraction() const {
+    return databases_scored == 0
+               ? 0.0
+               : static_cast<double>(databases_confident) /
+                     static_cast<double>(databases_scored);
+  }
+};
+
+/// Online scoring engine: the serving-path counterpart of the one-shot
+/// LongevityService::Assess() batch flow.
+///
+/// Data flow per poll cycle:
+///   producers --Ingest()--> EventIngestBuffer (mutex-striped shards,
+///                           keyed by subscription)
+///   Poll(now) drains the buffer into per-shard event logs, registers
+///   creations with the MaturityTracker (min-heap on created_at +
+///   observe_days) and cancels databases dropped before maturing; then
+///   every shard holding newly matured databases gets one ThreadPool
+///   task that (a) materializes a finalized TelemetryStore snapshot of
+///   the shard's events via the bulk move path and (b) scores its due
+///   databases against the registry's current model snapshot.
+///
+/// Correctness: features only read telemetry at or before Tp and only
+/// from the scored database's own subscription, and a shard owns every
+/// event of its subscriptions — so a shard snapshot taken at any
+/// now >= Tp yields bit-identical assessments to batch Assess() on the
+/// full final store, regardless of thread count or poll cadence.
+///
+/// Threading contract: Ingest() is safe from any number of threads;
+/// Poll()/Drain() must be called from one driver thread at a time.
+/// ModelRegistry::Publish()/Activate() may race with everything
+/// (hot-swap): each scoring task pins the model snapshot it starts
+/// with, so swaps never tear a batch.
+class ScoringEngine {
+ public:
+  struct Options {
+    size_t num_shards = 16;
+    size_t num_threads = 4;
+    /// Bound on queued scoring tasks; Poll() blocks (backpressure) when
+    /// the pool falls behind.
+    size_t queue_capacity = 64;
+    /// Observation span x in days; must match the published models'
+    /// observe_days for assessments to be meaningful.
+    double observe_days = 2.0;
+  };
+
+  ScoringEngine(RegionContext region, Options options);
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  /// Accepts one telemetry event (thread-safe, lock-striped).
+  Status Ingest(telemetry::Event event);
+
+  /// Flushes staged events and scores every database whose observation
+  /// window elapsed by `now`. Returns the new assessments sorted by
+  /// database id. Requires a published model if anything matured.
+  Result<std::vector<ScoredDatabase>> Poll(telemetry::Timestamp now);
+
+  /// Final flush: scores everything still pending regardless of `now`
+  /// (the replay has ended; every event the stream will ever carry has
+  /// been ingested).
+  Result<std::vector<ScoredDatabase>> Drain();
+
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  const Options& options() const { return options_; }
+  const RegionContext& region() const { return region_; }
+
+  EngineMetrics Metrics() const;
+
+ private:
+  struct ShardLog {
+    /// Every event routed to this shard so far, arrival order. Snapshot
+    /// stores are materialized from this (Finalize re-sorts).
+    std::vector<telemetry::Event> events;
+  };
+
+  /// Moves staged batches into shard logs and updates the tracker.
+  void AbsorbStagedEvents();
+
+  /// Scores `due` (grouped by shard, one pool task per shard batch).
+  Result<std::vector<ScoredDatabase>> ScoreDue(
+      std::vector<PendingDatabase> due);
+
+  void RecordLatencies(const std::vector<uint32_t>& latencies_us);
+
+  RegionContext region_;
+  Options options_;
+  EventIngestBuffer ingest_;
+  MaturityTracker tracker_;
+  ModelRegistry registry_;
+  ThreadPool pool_;
+
+  /// Shard logs are touched only by the Poll()/Drain() driver thread
+  /// and by the scoring task spawned for that shard within one poll
+  /// (which only reads; the driver blocks on the batch before mutating
+  /// again), so they need no lock of their own.
+  std::vector<ShardLog> shard_logs_;
+
+  std::atomic<uint64_t> events_flushed_{0};
+  std::atomic<uint64_t> databases_scored_{0};
+  std::atomic<uint64_t> databases_confident_{0};
+  std::atomic<uint64_t> databases_skipped_{0};
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> snapshots_built_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<uint32_t> scoring_latencies_us_;
+};
+
+}  // namespace cloudsurv::serving
+
+#endif  // CLOUDSURV_SERVING_SCORING_ENGINE_H_

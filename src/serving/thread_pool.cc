@@ -1,0 +1,111 @@
+#include "serving/thread_pool.h"
+
+#include <algorithm>
+
+namespace cloudsurv::serving {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_not_full_.wait(lock, [this]() {
+    return shutdown_ || queue_.size() < queue_capacity_;
+  });
+  if (shutdown_) return false;
+  queue_.push_back(std::move(task));
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TryEnqueue(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+  queue_.push_back(std::move(task));
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock,
+                 [this]() { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  bool should_join = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only the caller that flips the flag joins; concurrent Shutdown()
+    // calls return once the flag is set (the joiner drains everything).
+    should_join = !shutdown_;
+    shutdown_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (!should_join) return;
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+uint64_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_failed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(
+          lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown_ with a drained queue: exit. (Queued tasks still run
+        // to completion before workers leave.)
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+      queue_not_full_.notify_one();
+    }
+    bool failed = false;
+    try {
+      task();
+    } catch (...) {
+      // Submit() tasks never reach here (packaged_task captures the
+      // exception into the future); a throwing Enqueue() task is
+      // recorded instead of taking the process down.
+      failed = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_tasks_;
+      ++tasks_executed_;
+      if (failed) ++tasks_failed_;
+      if (queue_.empty() && active_tasks_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cloudsurv::serving

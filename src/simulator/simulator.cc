@@ -389,4 +389,13 @@ Result<telemetry::TelemetryStore> SimulateRegion(const RegionConfig& config,
   return store;
 }
 
+Result<std::vector<telemetry::Event>> GenerateEventStream(
+    const RegionConfig& config, SimulationSummary* summary) {
+  CLOUDSURV_ASSIGN_OR_RETURN(telemetry::TelemetryStore store,
+                             SimulateRegion(config, summary));
+  // Finalize() has already sorted the log by (timestamp, database,
+  // lifecycle rank), which is exactly the replay order.
+  return store.events();
+}
+
 }  // namespace cloudsurv::simulator

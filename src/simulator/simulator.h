@@ -39,6 +39,14 @@ struct SimulationSummary {
 Result<telemetry::TelemetryStore> SimulateRegion(
     const RegionConfig& config, SimulationSummary* summary = nullptr);
 
+/// Simulates a region and returns its event log in timestamp order —
+/// the stream a live control plane would have emitted over the window,
+/// ready to be replayed through the serving engine (serving/
+/// scoring_engine.h). Equivalent to SimulateRegion(...)->events() but
+/// without retaining the materialized store.
+Result<std::vector<telemetry::Event>> GenerateEventStream(
+    const RegionConfig& config, SimulationSummary* summary = nullptr);
+
 }  // namespace cloudsurv::simulator
 
 #endif  // CLOUDSURV_SIMULATOR_SIMULATOR_H_

@@ -1,6 +1,7 @@
 #include "telemetry/store.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -67,6 +68,32 @@ Status TelemetryStore::Append(Event event) {
     return Status::InvalidArgument("event has invalid subscription id");
   }
   events_.push_back(std::move(event));
+  return Status::OK();
+}
+
+void TelemetryStore::Reserve(size_t n) {
+  events_.reserve(events_.size() + n);
+}
+
+Status TelemetryStore::AppendEvents(std::vector<Event>&& batch) {
+  if (finalized_) {
+    return Status::FailedPrecondition("store is finalized; cannot append");
+  }
+  for (const Event& event : batch) {
+    if (event.database_id == kInvalidId) {
+      return Status::InvalidArgument("event has invalid database id");
+    }
+    if (event.subscription_id == kInvalidId) {
+      return Status::InvalidArgument("event has invalid subscription id");
+    }
+  }
+  if (events_.empty()) {
+    events_ = std::move(batch);
+  } else {
+    events_.reserve(events_.size() + batch.size());
+    std::move(batch.begin(), batch.end(), std::back_inserter(events_));
+    batch.clear();
+  }
   return Status::OK();
 }
 

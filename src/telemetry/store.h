@@ -91,6 +91,16 @@ class TelemetryStore {
   /// Appends one event. Only valid before Finalize().
   Status Append(Event event);
 
+  /// Pre-sizes the event log for `n` further events (capacity hint for
+  /// bulk loads; never shrinks).
+  void Reserve(size_t n);
+
+  /// Moves a whole batch of events into the log without per-event
+  /// copies. All-or-nothing: the batch is validated first, and on any
+  /// invalid event nothing is appended (`batch` is left untouched).
+  /// Only valid before Finalize().
+  Status AppendEvents(std::vector<Event>&& batch);
+
   /// Sorts, validates and indexes the log. Idempotent errors: a second
   /// call returns FailedPrecondition.
   Status Finalize();

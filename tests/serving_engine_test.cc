@@ -1,0 +1,307 @@
+#include "serving/scoring_engine.h"
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serving/event_ingest.h"
+#include "serving/maturity_tracker.h"
+#include "serving/model_registry.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+
+namespace cloudsurv::serving {
+namespace {
+
+using core::LongevityService;
+using telemetry::DatabaseId;
+using telemetry::Event;
+using telemetry::TelemetryStore;
+using telemetry::Timestamp;
+
+const TelemetryStore& Store() {
+  static const TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, 400, 11);
+    auto s = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(s.ok()) << s.status();
+    return new TelemetryStore(std::move(s).value());
+  }();
+  return *store;
+}
+
+std::shared_ptr<const LongevityService> TrainService(uint64_t seed) {
+  LongevityService::Options options;
+  options.forest_params.num_trees = 30;
+  options.forest_params.max_depth = 10;
+  options.seed = seed;
+  auto service = LongevityService::Train(Store(), options);
+  EXPECT_TRUE(service.ok()) << service.status();
+  return std::make_shared<const LongevityService>(std::move(service).value());
+}
+
+std::shared_ptr<const LongevityService> Service() {
+  static const auto service = TrainService(3);
+  return service;
+}
+
+/// Sequential ground truth: Assess() on the complete final store, one
+/// database at a time, for every database the task is defined on.
+std::map<DatabaseId, LongevityService::Assessment> BatchBaseline(
+    const LongevityService& service) {
+  std::map<DatabaseId, LongevityService::Assessment> out;
+  for (const auto& record : Store().databases()) {
+    auto assessment = service.Assess(Store(), record.id);
+    if (assessment.ok()) out[record.id] = *assessment;
+  }
+  return out;
+}
+
+void ExpectMatchesBaseline(
+    const std::vector<ScoredDatabase>& scored,
+    const std::map<DatabaseId, LongevityService::Assessment>& baseline) {
+  ASSERT_EQ(scored.size(), baseline.size());
+  for (const ScoredDatabase& s : scored) {
+    auto it = baseline.find(s.database_id);
+    ASSERT_NE(it, baseline.end()) << "extra assessment " << s.database_id;
+    const auto& want = it->second;
+    EXPECT_EQ(s.assessment.predicted_label, want.predicted_label);
+    EXPECT_EQ(s.assessment.positive_probability, want.positive_probability)
+        << "db " << s.database_id;
+    EXPECT_EQ(s.assessment.confident, want.confident);
+    EXPECT_EQ(s.assessment.model_name, want.model_name);
+  }
+}
+
+TEST(EventIngestBufferTest, RoutesSubscriptionsStably) {
+  EventIngestBuffer buffer(8);
+  EXPECT_EQ(buffer.ShardOf(42), buffer.ShardOf(42));
+  ASSERT_TRUE(buffer.Ingest(telemetry::MakeSizeSampleEvent(1, 7, 42, 1.0))
+                  .ok());
+  ASSERT_TRUE(buffer.Ingest(telemetry::MakeSizeSampleEvent(2, 8, 42, 2.0))
+                  .ok());
+  EXPECT_EQ(buffer.pending_events(), 2u);
+  auto shard = buffer.TakeShard(buffer.ShardOf(42));
+  EXPECT_EQ(shard.size(), 2u);  // same subscription -> same shard
+  EXPECT_EQ(buffer.pending_events(), 0u);
+  EXPECT_EQ(buffer.events_ingested(), 2u);
+  // Invalid ids are rejected at the edge.
+  Event bad = telemetry::MakeSizeSampleEvent(3, telemetry::kInvalidId, 1, 0.0);
+  EXPECT_FALSE(buffer.Ingest(bad).ok());
+}
+
+TEST(MaturityTrackerTest, PopsInMaturityOrderAndHonorsCancel) {
+  MaturityTracker tracker;
+  tracker.Add({10, 1, 300, 0});
+  tracker.Add({11, 1, 100, 0});
+  tracker.Add({12, 1, 200, 0});
+  tracker.Add({12, 1, 999, 0});  // duplicate id: first add wins
+  EXPECT_EQ(tracker.pending_count(), 3u);
+
+  EXPECT_TRUE(tracker.Cancel(12, 150));    // dropped before maturity
+  EXPECT_FALSE(tracker.Cancel(10, 300));   // at maturity: still scoreable
+  EXPECT_FALSE(tracker.Cancel(777, 0));    // unknown id
+
+  auto due = tracker.TakeDue(250);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].database_id, 11u);
+
+  auto rest = tracker.TakeAll();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].database_id, 10u);
+  EXPECT_EQ(tracker.pending_count(), 0u);
+  EXPECT_EQ(tracker.total_added(), 3u);
+  EXPECT_EQ(tracker.total_cancelled(), 1u);
+}
+
+TEST(ModelRegistryTest, VersionsHotSwapAndRollback) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.current_version(), 0u);
+  EXPECT_FALSE(registry.Publish("null", nullptr).ok());
+
+  auto v1_model = Service();
+  auto v2_model = TrainService(99);
+  auto v1 = registry.Publish("initial", v1_model);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1u);
+  auto v2 = registry.Publish("retrain", v2_model);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+
+  EXPECT_EQ(registry.Current(), v2_model);
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.num_versions(), 2u);
+
+  ASSERT_TRUE(registry.Activate(1).ok());  // rollback
+  EXPECT_EQ(registry.Current(), v1_model);
+  auto active = registry.CurrentWithVersion();
+  EXPECT_EQ(active.version, 1u);
+  EXPECT_EQ(active.model, v1_model);
+
+  EXPECT_FALSE(registry.Activate(0).ok());
+  EXPECT_FALSE(registry.Activate(3).ok());
+  auto entry = registry.Get(2);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->name, "retrain");
+  EXPECT_FALSE(registry.Get(99).ok());
+}
+
+TEST(ScoringEngineTest, PollWithoutModelFails) {
+  ScoringEngine::Options options;
+  options.num_threads = 2;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  const Event& creation = Store().events().front();
+  ASSERT_TRUE(engine.Ingest(creation).ok());
+  auto result = engine.Drain();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScoringEngineTest, MultiThreadedIngestMatchesBatchAssess) {
+  auto service = Service();
+  const auto baseline = BatchBaseline(*service);
+  ASSERT_FALSE(baseline.empty());
+
+  ScoringEngine::Options options;
+  options.num_shards = 8;
+  options.num_threads = 4;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  ASSERT_TRUE(engine.registry().Publish("v1", service).ok());
+
+  // Four producers, partitioned by subscription so each database's
+  // stream stays ordered within its producer.
+  constexpr size_t kProducers = 4;
+  std::vector<std::vector<Event>> partitions(kProducers);
+  for (const Event& e : Store().events()) {
+    partitions[e.subscription_id % kProducers].push_back(e);
+  }
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, &partitions, p]() {
+      for (const Event& e : partitions[p]) {
+        ASSERT_TRUE(engine.Ingest(e).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  auto scored = engine.Drain();
+  ASSERT_TRUE(scored.ok()) << scored.status();
+  ExpectMatchesBaseline(*scored, baseline);
+
+  const EngineMetrics metrics = engine.Metrics();
+  EXPECT_EQ(metrics.events_ingested, Store().num_events());
+  EXPECT_EQ(metrics.events_flushed, Store().num_events());
+  EXPECT_EQ(metrics.databases_scored, baseline.size());
+  EXPECT_GE(metrics.scoring_p99_us, metrics.scoring_p50_us);
+  EXPECT_GE(metrics.confident_fraction(), 0.0);
+  EXPECT_LE(metrics.confident_fraction(), 1.0);
+}
+
+TEST(ScoringEngineTest, IncrementalDailyPollsMatchBatchAssess) {
+  auto service = Service();
+  const auto baseline = BatchBaseline(*service);
+
+  ScoringEngine::Options options;
+  options.num_shards = 4;
+  options.num_threads = 2;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  ASSERT_TRUE(engine.registry().Publish("v1", service).ok());
+
+  const Timestamp day = telemetry::kSecondsPerDay;
+  Timestamp next_poll = Store().window_start() + day;
+  std::vector<ScoredDatabase> scored;
+  for (const Event& e : Store().events()) {
+    // Strict '>' so events stamped exactly at the boundary are ingested
+    // before the poll that may score databases maturing at it.
+    while (e.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (auto& s : *batch) {
+        // Nothing is scored before its observation window elapsed.
+        EXPECT_LE(s.matured_at, next_poll);
+        scored.push_back(std::move(s));
+      }
+      next_poll += day;
+    }
+    ASSERT_TRUE(engine.Ingest(e).ok());
+  }
+  auto rest = engine.Drain();
+  ASSERT_TRUE(rest.ok()) << rest.status();
+  for (auto& s : *rest) scored.push_back(std::move(s));
+
+  ExpectMatchesBaseline(scored, baseline);
+  EXPECT_GT(engine.Metrics().polls, 100u);  // five-month window, daily
+}
+
+TEST(ScoringEngineTest, HotSwapMidScoringNeverServesTornModel) {
+  auto model_a = Service();
+  auto model_b = TrainService(1234);
+  const auto baseline_a = BatchBaseline(*model_a);
+  const auto baseline_b = BatchBaseline(*model_b);
+
+  ScoringEngine::Options options;
+  options.num_shards = 8;
+  options.num_threads = 4;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  ASSERT_TRUE(engine.registry().Publish("a-0", model_a).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&engine, &model_a, &model_b, &stop]() {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      auto version = engine.registry().Publish(
+          "swap-" + std::to_string(i),
+          (i % 2 == 0) ? model_b : model_a);
+      ASSERT_TRUE(version.ok());
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const Timestamp week = 7 * telemetry::kSecondsPerDay;
+  Timestamp next_poll = Store().window_start() + week;
+  std::vector<ScoredDatabase> scored;
+  for (const Event& e : Store().events()) {
+    // Strict '>' so events stamped exactly at the boundary are ingested
+    // before the poll that may score databases maturing at it.
+    while (e.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (auto& s : *batch) scored.push_back(std::move(s));
+      next_poll += week;
+    }
+    ASSERT_TRUE(engine.Ingest(e).ok());
+  }
+  auto rest = engine.Drain();
+  ASSERT_TRUE(rest.ok()) << rest.status();
+  for (auto& s : *rest) scored.push_back(std::move(s));
+  stop = true;
+  swapper.join();
+
+  // Every assessment matches one model or the other exactly — never a
+  // blend — and carries a version that really was published.
+  const uint64_t versions = engine.registry().num_versions();
+  ASSERT_EQ(scored.size(), baseline_a.size());
+  for (const ScoredDatabase& s : scored) {
+    ASSERT_GE(s.model_version, 1u);
+    ASSERT_LE(s.model_version, versions);
+    const auto& a = baseline_a.at(s.database_id);
+    auto b_it = baseline_b.find(s.database_id);
+    const bool matches_a =
+        s.assessment.positive_probability == a.positive_probability &&
+        s.assessment.predicted_label == a.predicted_label;
+    const bool matches_b =
+        b_it != baseline_b.end() &&
+        s.assessment.positive_probability ==
+            b_it->second.positive_probability &&
+        s.assessment.predicted_label == b_it->second.predicted_label;
+    EXPECT_TRUE(matches_a || matches_b)
+        << "db " << s.database_id << " matches neither published model";
+  }
+}
+
+}  // namespace
+}  // namespace cloudsurv::serving

@@ -1,25 +1,33 @@
 // cloudsurv — command-line front end for the library.
 //
-//   cloudsurv simulate --region 1 --subs 1500 --seed 7 --out region.csv
-//   cloudsurv analyze  --telemetry region.csv [--region 1]
-//   cloudsurv train    --telemetry region.csv --out service.model
-//   cloudsurv assess   --telemetry region.csv --model service.model [--top 20]
+//   cloudsurv simulate  --region 1 --subs 1500 --seed 7 --out region.csv
+//   cloudsurv analyze   --telemetry region.csv [--region 1]
+//   cloudsurv train     --telemetry region.csv --out service.model
+//   cloudsurv assess    --telemetry region.csv --model service.model [--top 20]
+//   cloudsurv serve-sim --region 1 --subs 800 --seed 7 --threads 8 \
+//                       --shards 16 --flush-interval 1
 //
 // The CSV format is TelemetryStore::ExportCsv()'s; `analyze` prints the
 // survival study (Figure 1 / Observations 3.1-3.3 style), `train`
-// builds a LongevityService, and `assess` scores databases and
-// recommends pool placements.
+// builds a LongevityService, `assess` scores databases and recommends
+// pool placements, and `serve-sim` replays a simulated region's event
+// stream through the online ScoringEngine and verifies the streamed
+// assessments against the sequential batch path.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "core/cohort.h"
 #include "core/report.h"
 #include "core/service.h"
+#include "serving/scoring_engine.h"
 #include "simulator/region.h"
 #include "simulator/simulator.h"
 #include "survival/kaplan_meier.h"
@@ -37,15 +45,22 @@ struct Args {
   std::string model_path;
   std::string out_path;
   int top = 20;
+  int threads = 8;
+  int shards = 16;
+  double flush_interval_days = 1.0;
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: cloudsurv <simulate|analyze|train|assess> [options]\n"
-               "  simulate --region N --subs N --seed S --out FILE\n"
-               "  analyze  --telemetry FILE [--region N]\n"
-               "  train    --telemetry FILE --out FILE [--seed S]\n"
-               "  assess   --telemetry FILE --model FILE [--top N]\n");
+  std::fprintf(
+      stderr,
+      "usage: cloudsurv <simulate|analyze|train|assess|serve-sim> "
+      "[options]\n"
+      "  simulate  --region N --subs N --seed S --out FILE\n"
+      "  analyze   --telemetry FILE [--region N]\n"
+      "  train     --telemetry FILE --out FILE [--seed S]\n"
+      "  assess    --telemetry FILE --model FILE [--top N]\n"
+      "  serve-sim --region N --subs N --seed S [--threads N]\n"
+      "            [--shards N] [--flush-interval DAYS]\n");
   return 2;
 }
 
@@ -86,6 +101,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = need_value("--top");
       if (v == nullptr) return false;
       args->top = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = need_value("--threads");
+      if (v == nullptr) return false;
+      args->threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = need_value("--shards");
+      if (v == nullptr) return false;
+      args->shards = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--flush-interval") == 0) {
+      const char* v = need_value("--flush-interval");
+      if (v == nullptr) return false;
+      args->flush_interval_days = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return false;
@@ -301,6 +328,136 @@ int CmdAssess(const Args& args) {
   return 0;
 }
 
+// Replays a simulated region's event stream through the online
+// ScoringEngine, then cross-checks every streamed assessment against
+// the sequential batch path (LongevityService::Assess on the final
+// store). Exit code 1 on any divergence.
+int CmdServeSim(const Args& args) {
+  auto config =
+      simulator::MakeRegionPreset(args.region, args.subs, args.seed);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("simulated %s: %zu databases, %zu events\n",
+              store->region_name().c_str(), store->num_databases(),
+              store->num_events());
+
+  core::LongevityService::Options train_options;
+  train_options.seed = args.seed;
+  auto trained = core::LongevityService::Train(*store, train_options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  auto model = std::make_shared<const core::LongevityService>(
+      std::move(trained).value());
+
+  serving::ScoringEngine::Options options;
+  options.num_threads = static_cast<size_t>(std::max(1, args.threads));
+  options.num_shards = static_cast<size_t>(std::max(1, args.shards));
+  options.observe_days = model->options().observe_days;
+  serving::ScoringEngine engine(
+      serving::RegionContext::FromStore(*store), options);
+  auto version = engine.registry().Publish("serve-sim-initial", model);
+  if (!version.ok()) {
+    std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto flush_interval = static_cast<telemetry::Timestamp>(
+      std::max(0.01, args.flush_interval_days) *
+      static_cast<double>(telemetry::kSecondsPerDay));
+  telemetry::Timestamp next_poll = store->window_start() + flush_interval;
+  std::vector<serving::ScoredDatabase> streamed;
+  for (const telemetry::Event& event : store->events()) {
+    // Strict '>' so events stamped exactly at the boundary are ingested
+    // before the poll that may score databases maturing at it.
+    while (event.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      streamed.insert(streamed.end(), batch->begin(), batch->end());
+      next_poll += flush_interval;
+    }
+    Status ingested = engine.Ingest(event);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.ToString().c_str());
+      return 1;
+    }
+  }
+  auto rest = engine.Drain();
+  if (!rest.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n",
+                 rest.status().ToString().c_str());
+    return 1;
+  }
+  streamed.insert(streamed.end(), rest->begin(), rest->end());
+
+  // Sequential ground truth over the complete store.
+  std::unordered_map<telemetry::DatabaseId,
+                     core::LongevityService::Assessment>
+      batch;
+  for (const auto& record : store->databases()) {
+    auto assessment = model->Assess(*store, record.id);
+    if (assessment.ok()) batch.emplace(record.id, *assessment);
+  }
+
+  size_t mismatches = 0;
+  for (const serving::ScoredDatabase& s : streamed) {
+    auto it = batch.find(s.database_id);
+    if (it == batch.end() ||
+        it->second.predicted_label != s.assessment.predicted_label ||
+        it->second.positive_probability !=
+            s.assessment.positive_probability ||
+        it->second.confident != s.assessment.confident) {
+      ++mismatches;
+    }
+  }
+  if (streamed.size() != batch.size()) {
+    std::fprintf(stderr,
+                 "coverage mismatch: streamed %zu vs batch %zu\n",
+                 streamed.size(), batch.size());
+    ++mismatches;
+  }
+
+  const serving::EngineMetrics metrics = engine.Metrics();
+  std::printf(
+      "serve-sim: threads=%zu shards=%zu flush_interval_days=%.2f\n",
+      options.num_threads, options.num_shards,
+      std::max(0.01, args.flush_interval_days));
+  std::printf(
+      "  events ingested   %llu\n"
+      "  polls             %llu\n"
+      "  snapshots built   %llu\n"
+      "  databases scored  %llu (%llu skipped, %llu cancelled early)\n"
+      "  confident         %.1f%%\n"
+      "  scoring latency   p50=%.0fus p99=%.0fus\n",
+      static_cast<unsigned long long>(metrics.events_ingested),
+      static_cast<unsigned long long>(metrics.polls),
+      static_cast<unsigned long long>(metrics.snapshots_built),
+      static_cast<unsigned long long>(metrics.databases_scored),
+      static_cast<unsigned long long>(metrics.databases_skipped),
+      static_cast<unsigned long long>(metrics.databases_cancelled),
+      metrics.confident_fraction() * 100.0, metrics.scoring_p50_us,
+      metrics.scoring_p99_us);
+  std::printf("verification vs sequential Assess: %zu streamed, "
+              "%zu mismatches -> %s\n",
+              streamed.size(), mismatches,
+              mismatches == 0 ? "IDENTICAL" : "DIVERGED");
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,5 +469,6 @@ int main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "train") return CmdTrain(args);
   if (command == "assess") return CmdAssess(args);
+  if (command == "serve-sim") return CmdServeSim(args);
   return Usage();
 }
