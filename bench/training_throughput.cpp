@@ -1,0 +1,248 @@
+// Training throughput: times random-forest fits on a wide synthetic
+// matrix with the exact (per-node sort) and histogram (pre-binned)
+// split searches, checks that both forests make near-identical test
+// predictions on simulated telemetry, and times grid-search tuning at
+// one thread and at CLOUDSURV_THREADS threads. Reports everything as
+// JSON on stdout.
+//
+// Scale knobs (environment): CLOUDSURV_BENCH_ROWS (default 50000),
+// CLOUDSURV_BENCH_FEATURES (30), CLOUDSURV_BENCH_TREES (10),
+// CLOUDSURV_BENCH_GRID_ROWS (4000), CLOUDSURV_SUBS (400, simulator
+// agreement check), CLOUDSURV_THREADS (8). CI runs a small
+// configuration; the defaults match the PR's acceptance measurement.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cohort.h"
+#include "features/features.h"
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+
+namespace {
+
+using namespace cloudsurv;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+double Seconds(const std::chrono::steady_clock::time_point& t0,
+               const std::chrono::steady_clock::time_point& t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Continuous features; the label depends on a few of them through a
+// noisy linear rule, so trees grow to real depth on every feature.
+ml::Dataset SyntheticMatrix(size_t rows, size_t features, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  names.reserve(features);
+  for (size_t f = 0; f < features; ++f) {
+    names.push_back("f" + std::to_string(f));
+  }
+  std::vector<std::vector<double>> matrix;
+  std::vector<int> labels;
+  matrix.reserve(rows);
+  labels.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(features);
+    double score = 0.0;
+    for (size_t f = 0; f < features; ++f) {
+      row[f] = rng.Normal(0.0, 1.0);
+      if (f < 5) score += row[f] * (f % 2 == 0 ? 1.0 : -1.0);
+    }
+    labels.push_back(score + rng.Normal(0.0, 1.0) > 0.0 ? 1 : 0);
+    matrix.push_back(std::move(row));
+  }
+  auto d = ml::Dataset::Make(names, std::move(matrix), std::move(labels));
+  if (!d.ok()) {
+    std::fprintf(stderr, "dataset build failed: %s\n",
+                 d.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(d).value();
+}
+
+struct FitTiming {
+  double elapsed_s = 0.0;
+  double oob = 0.0;
+};
+
+FitTiming TimeFit(const ml::Dataset& data, ml::SplitAlgorithm algorithm,
+                  size_t trees, uint64_t seed) {
+  ml::ForestParams params;
+  params.num_trees = static_cast<int>(trees);
+  params.max_depth = 12;
+  params.num_threads = 1;
+  params.split_algorithm = algorithm;
+  ml::RandomForestClassifier forest;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status fitted = forest.Fit(data, params, seed);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.ToString().c_str());
+    std::exit(1);
+  }
+  return {Seconds(t0, t1), forest.oob_accuracy()};
+}
+
+// Fraction of simulator test rows on which exact- and histogram-trained
+// forests predict the same label.
+double SimulatorAgreement(size_t subs, size_t trees, int depth,
+                          double* accuracy_exact, double* accuracy_hist) {
+  auto config = simulator::MakeRegionPreset(1, subs, 2017);
+  if (!config.ok()) std::exit(1);
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) std::exit(1);
+  auto cohort = core::BuildPredictionCohort(*store, 2.0, 30.0,
+                                            std::nullopt);
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "cohort failed: %s\n",
+                 cohort.status().ToString().c_str());
+    std::exit(1);
+  }
+  features::FeatureConfig feature_config;
+  auto dataset = features::BuildDataset(*store, cohort->ids,
+                                        cohort->labels, feature_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "features failed: %s\n",
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto split = ml::TrainTestSplit(*dataset, 0.2, 7);
+  if (!split.ok()) std::exit(1);
+
+  ml::ForestParams exact;
+  exact.num_trees = static_cast<int>(trees);
+  exact.max_depth = depth;
+  exact.num_threads = 1;
+  exact.split_algorithm = ml::SplitAlgorithm::kExact;
+  ml::ForestParams hist = exact;
+  hist.split_algorithm = ml::SplitAlgorithm::kHistogram;
+
+  ml::RandomForestClassifier fe, fh;
+  if (!fe.FitOnRows(*dataset, split->train, exact, 7).ok()) std::exit(1);
+  if (!fh.FitOnRows(*dataset, split->train, hist, 7).ok()) std::exit(1);
+  auto pe = fe.PredictRows(*dataset, split->test);
+  auto ph = fh.PredictRows(*dataset, split->test);
+  if (!pe.ok() || !ph.ok()) std::exit(1);
+  size_t agree = 0, correct_e = 0, correct_h = 0;
+  for (size_t i = 0; i < pe->size(); ++i) {
+    const int truth = dataset->label(split->test[i]);
+    agree += (*pe)[i] == (*ph)[i] ? 1 : 0;
+    correct_e += (*pe)[i] == truth ? 1 : 0;
+    correct_h += (*ph)[i] == truth ? 1 : 0;
+  }
+  const double n = static_cast<double>(pe->size());
+  *accuracy_exact = static_cast<double>(correct_e) / n;
+  *accuracy_hist = static_cast<double>(correct_h) / n;
+  return static_cast<double>(agree) / n;
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows = EnvSize("CLOUDSURV_BENCH_ROWS", 50000);
+  const size_t features = EnvSize("CLOUDSURV_BENCH_FEATURES", 30);
+  const size_t trees = EnvSize("CLOUDSURV_BENCH_TREES", 10);
+  const size_t grid_rows = EnvSize("CLOUDSURV_BENCH_GRID_ROWS", 4000);
+  const size_t subs = EnvSize("CLOUDSURV_SUBS", 800);
+  // 300 trees x depth 8 — depth 8 sits in DefaultForestGrid() and keeps
+  // the two searches within ensemble-averaging reach of each other;
+  // deeper trees amplify small split differences into diverging
+  // subtrees (raise CLOUDSURV_BENCH_AGREE_DEPTH to observe it).
+  const size_t agree_trees = EnvSize("CLOUDSURV_BENCH_AGREE_TREES", 300);
+  const int agree_depth =
+      static_cast<int>(EnvSize("CLOUDSURV_BENCH_AGREE_DEPTH", 8));
+  const size_t threads = EnvSize("CLOUDSURV_THREADS", 8);
+
+  const ml::Dataset data = SyntheticMatrix(rows, features, 99);
+
+  const FitTiming exact =
+      TimeFit(data, ml::SplitAlgorithm::kExact, trees, 99);
+  const FitTiming hist =
+      TimeFit(data, ml::SplitAlgorithm::kHistogram, trees, 99);
+
+  // Grid search at 1 and N threads must agree bit-for-bit.
+  const ml::Dataset grid_data = SyntheticMatrix(grid_rows, features, 100);
+  std::vector<ml::ForestParams> grid;
+  for (int depth : {8, 12}) {
+    for (size_t min_leaf : {size_t{1}, size_t{5}}) {
+      ml::ForestParams p;
+      p.num_trees = 20;
+      p.max_depth = depth;
+      p.min_samples_leaf = min_leaf;
+      grid.push_back(p);
+    }
+  }
+  const auto g0 = std::chrono::steady_clock::now();
+  auto grid_single = ml::GridSearchForest(grid_data, grid, 3, 100, 1);
+  const auto g1 = std::chrono::steady_clock::now();
+  auto grid_multi = ml::GridSearchForest(grid_data, grid, 3, 100,
+                                         static_cast<int>(threads));
+  const auto g2 = std::chrono::steady_clock::now();
+  if (!grid_single.ok() || !grid_multi.ok()) {
+    std::fprintf(stderr, "grid search failed\n");
+    return 1;
+  }
+  bool grid_identical =
+      grid_single->best_score == grid_multi->best_score &&
+      grid_single->best_params.ToString() ==
+          grid_multi->best_params.ToString();
+  for (size_t i = 0; i < grid_single->all_scores.size(); ++i) {
+    grid_identical = grid_identical &&
+                     grid_single->all_scores[i].second ==
+                         grid_multi->all_scores[i].second;
+  }
+
+  double accuracy_exact = 0.0, accuracy_hist = 0.0;
+  const double agreement =
+      SimulatorAgreement(subs, agree_trees, agree_depth,
+                         &accuracy_exact, &accuracy_hist);
+
+  const double rows_d = static_cast<double>(rows);
+  const double trees_d = static_cast<double>(trees);
+  std::printf("{\n");
+  std::printf("  \"rows\": %zu, \"features\": %zu, \"trees\": %zu,\n",
+              rows, features, trees);
+  std::printf(
+      "  \"exact\": {\"fit_s\": %.3f, \"rows_per_sec\": %.0f, "
+      "\"tree_rows_per_sec\": %.0f, \"oob\": %.4f},\n",
+      exact.elapsed_s, rows_d / exact.elapsed_s,
+      rows_d * trees_d / exact.elapsed_s, exact.oob);
+  std::printf(
+      "  \"histogram\": {\"fit_s\": %.3f, \"rows_per_sec\": %.0f, "
+      "\"tree_rows_per_sec\": %.0f, \"oob\": %.4f},\n",
+      hist.elapsed_s, rows_d / hist.elapsed_s,
+      rows_d * trees_d / hist.elapsed_s, hist.oob);
+  std::printf("  \"speedup_exact_to_histogram\": %.2f,\n",
+              exact.elapsed_s / hist.elapsed_s);
+  std::printf(
+      "  \"grid_search\": {\"rows\": %zu, \"cells\": %zu, \"folds\": 3, "
+      "\"single_thread_s\": %.3f, \"multi_thread_s\": %.3f, "
+      "\"threads\": %zu, \"speedup\": %.2f, \"identical\": %s},\n",
+      grid_rows, grid.size(), Seconds(g0, g1), Seconds(g1, g2), threads,
+      Seconds(g0, g1) / Seconds(g1, g2), grid_identical ? "true" : "false");
+  std::printf(
+      "  \"simulator_agreement\": {\"subscriptions\": %zu, "
+      "\"trees\": %zu, \"depth\": %d, \"agreement\": %.4f, "
+      "\"accuracy_exact\": %.4f, \"accuracy_histogram\": %.4f}\n",
+      subs, agree_trees, agree_depth, agreement, accuracy_exact,
+      accuracy_hist);
+  std::printf("}\n");
+  return grid_identical ? 0 : 1;
+}

@@ -1,8 +1,8 @@
-#include "serving/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
-namespace cloudsurv::serving {
+namespace cloudsurv {
 
 ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
@@ -108,4 +108,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace cloudsurv::serving
+}  // namespace cloudsurv

@@ -1,5 +1,5 @@
-#ifndef CLOUDSURV_SERVING_THREAD_POOL_H_
-#define CLOUDSURV_SERVING_THREAD_POOL_H_
+#ifndef CLOUDSURV_COMMON_THREAD_POOL_H_
+#define CLOUDSURV_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-namespace cloudsurv::serving {
+namespace cloudsurv {
 
 /// Fixed-size worker pool with a bounded task queue.
 ///
@@ -105,6 +105,6 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
-}  // namespace cloudsurv::serving
+}  // namespace cloudsurv
 
-#endif  // CLOUDSURV_SERVING_THREAD_POOL_H_
+#endif  // CLOUDSURV_COMMON_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 namespace cloudsurv::core {
 
@@ -65,17 +66,31 @@ Result<SubgroupExperimentResult> RunPredictionExperiment(
   result.feature_names = dataset.feature_names();
 
   // Hyper-parameter tuning on the first repetition's training split.
+  // The experiment-level thread / split-algorithm knobs reach every
+  // forest trained here: tuning cells and per-repetition fits alike.
   ml::ForestParams params = config.default_params;
+  params.num_threads = config.num_threads;
+  params.split_algorithm = config.split_algorithm;
   if (config.tune_with_grid_search) {
     CLOUDSURV_ASSIGN_OR_RETURN(
         ml::TrainTestIndices tune_split,
         ml::TrainTestSplit(dataset, config.test_fraction, config.seed));
     CLOUDSURV_ASSIGN_OR_RETURN(ml::Dataset tune_train,
                                dataset.Subset(tune_split.train));
+    std::vector<ml::ForestParams> grid = config.grid;
+    for (ml::ForestParams& cell : grid) {
+      cell.num_threads = config.num_threads;
+      cell.split_algorithm = config.split_algorithm;
+    }
+    const int pool_threads =
+        config.num_threads > 0
+            ? config.num_threads
+            : static_cast<int>(
+                  std::max(1u, std::thread::hardware_concurrency()));
     CLOUDSURV_ASSIGN_OR_RETURN(
         ml::GridSearchResult grid_result,
-        ml::GridSearchForest(tune_train, config.grid, config.cv_folds,
-                             config.seed));
+        ml::GridSearchForest(tune_train, grid, config.cv_folds,
+                             config.seed, pool_threads));
     params = grid_result.best_params;
     result.tuning_cv_score = grid_result.best_score;
   }

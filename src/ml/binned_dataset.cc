@@ -1,0 +1,131 @@
+#include "ml/binned_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudsurv::ml {
+
+namespace {
+
+// Midpoint boundary between adjacent distinct values `lo` < `hi`,
+// guarded so that lo <= boundary < hi even when the floating midpoint
+// rounds onto hi (adjacent representable values).
+double BoundaryBetween(double lo, double hi) {
+  const double mid = lo + 0.5 * (hi - lo);
+  return mid < hi ? mid : lo;
+}
+
+}  // namespace
+
+Result<BinnedDataset> BinnedDataset::Build(
+    size_t num_rows, size_t num_features,
+    const std::function<double(size_t, size_t)>& value_at, int max_bins) {
+  if (num_rows == 0 || num_features == 0) {
+    return Status::InvalidArgument("cannot bin an empty matrix");
+  }
+  if (max_bins < 2 || max_bins > kMaxBins) {
+    return Status::InvalidArgument("max_bins must be in [2, 256]");
+  }
+  BinnedDataset binned;
+  binned.num_rows_ = num_rows;
+  binned.boundaries_.resize(num_features);
+  binned.codes_.assign(num_features * num_rows, 0);
+
+  std::vector<double> values(num_rows);
+  for (size_t f = 0; f < num_features; ++f) {
+    for (size_t i = 0; i < num_rows; ++i) {
+      const double v = value_at(i, f);
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite feature value");
+      }
+      values[i] = v;
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+
+    // Distinct runs of the sorted column.
+    std::vector<std::pair<double, size_t>> runs;  // (value, count)
+    for (size_t i = 0; i < num_rows;) {
+      size_t j = i;
+      while (j < num_rows && sorted[j] == sorted[i]) ++j;
+      runs.emplace_back(sorted[i], j - i);
+      i = j;
+    }
+
+    std::vector<double>& bounds = binned.boundaries_[f];
+    if (runs.size() <= static_cast<size_t>(max_bins)) {
+      // One bin per distinct value: the histogram search then evaluates
+      // exactly the candidate cuts the exact search would.
+      bounds.reserve(runs.size() - 1);
+      for (size_t r = 0; r + 1 < runs.size(); ++r) {
+        bounds.push_back(BoundaryBetween(runs[r].first, runs[r + 1].first));
+      }
+    } else {
+      // Quantile binning: close a bin whenever the cumulative row count
+      // passes the next evenly spaced rank target. Every bin keeps at
+      // least one row; at most max_bins bins result.
+      bounds.reserve(static_cast<size_t>(max_bins) - 1);
+      size_t cumulative = 0;
+      size_t emitted = 0;
+      for (size_t r = 0; r + 1 < runs.size(); ++r) {
+        cumulative += runs[r].second;
+        if (emitted + 1 >= static_cast<size_t>(max_bins)) break;
+        // Close the bin once it holds its even share of the rows.
+        if (cumulative * static_cast<size_t>(max_bins) >=
+            num_rows * (emitted + 1)) {
+          bounds.push_back(
+              BoundaryBetween(runs[r].first, runs[r + 1].first));
+          ++emitted;
+        }
+      }
+    }
+
+    // Codes: index of the first boundary >= value (values above the last
+    // boundary land in the final bin).
+    uint8_t* column = binned.codes_.data() + f * num_rows;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const size_t c = static_cast<size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), values[i]) -
+          bounds.begin());
+      column[i] = static_cast<uint8_t>(c);
+    }
+  }
+  return binned;
+}
+
+Result<BinnedDataset> BinnedDataset::FromDataset(const Dataset& data,
+                                                 int max_bins) {
+  return Build(
+      data.num_rows(), data.num_features(),
+      [&data](size_t row, size_t col) { return data.feature(row, col); },
+      max_bins);
+}
+
+Result<BinnedDataset> BinnedDataset::FromDatasetRows(
+    const Dataset& data, const std::vector<size_t>& rows, int max_bins) {
+  for (size_t r : rows) {
+    if (r >= data.num_rows()) {
+      return Status::OutOfRange("binned row index out of range");
+    }
+  }
+  return Build(
+      rows.size(), data.num_features(),
+      [&data, &rows](size_t row, size_t col) {
+        return data.feature(rows[row], col);
+      },
+      max_bins);
+}
+
+Result<BinnedDataset> BinnedDataset::FromMatrix(
+    size_t num_rows, size_t num_features,
+    const std::function<double(size_t, size_t)>& value_at, int max_bins) {
+  return Build(num_rows, num_features, value_at, max_bins);
+}
+
+size_t BinnedDataset::memory_bytes() const {
+  size_t bytes = codes_.capacity() * sizeof(uint8_t);
+  for (const auto& b : boundaries_) bytes += b.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace cloudsurv::ml

@@ -1,9 +1,12 @@
 #include "ml/cross_validation.h"
 
 #include <algorithm>
+#include <future>
 #include <numeric>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace cloudsurv::ml {
@@ -98,40 +101,134 @@ Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k,
   return folds;
 }
 
+namespace {
+
+// One (grid-point × fold) work item: train on the fold's train view,
+// return validation accuracy. Views throughout — no Subset copies.
+Result<double> EvaluateFold(const Dataset& data, const Fold& fold,
+                            const ForestParams& params,
+                            uint64_t fold_seed) {
+  RandomForestClassifier forest;
+  CLOUDSURV_RETURN_NOT_OK(
+      forest.FitOnRows(data, fold.train, params, fold_seed));
+  CLOUDSURV_ASSIGN_OR_RETURN(std::vector<int> preds,
+                             forest.PredictRows(data, fold.validation));
+  std::vector<int> truth;
+  truth.reserve(fold.validation.size());
+  for (size_t r : fold.validation) truth.push_back(data.label(r));
+  CLOUDSURV_ASSIGN_OR_RETURN(ClassificationScores scores,
+                             ComputeScores(truth, preds));
+  return scores.accuracy;
+}
+
+// Runs every (fold set × fold) item — sequentially or on a pool — and
+// fills accuracies[i][j]. Item seeds come in pre-derived; the first
+// error in flattened (i, j) order wins, so failures are deterministic
+// too. When the pool is on, inner forest fits are forced single-
+// threaded (forests are seed-deterministic, so this cannot change any
+// score — it only stops the thread count from multiplying).
+Status RunFoldItems(const Dataset& data,
+                    const std::vector<ForestParams>& configs,
+                    const std::vector<std::vector<Fold>>& fold_sets,
+                    const std::vector<std::vector<uint64_t>>& item_seeds,
+                    int num_threads,
+                    std::vector<std::vector<double>>& accuracies) {
+  accuracies.assign(configs.size(), {});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    accuracies[i].assign(fold_sets[i].size(), 0.0);
+  }
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      for (size_t j = 0; j < fold_sets[i].size(); ++j) {
+        CLOUDSURV_ASSIGN_OR_RETURN(
+            accuracies[i][j], EvaluateFold(data, fold_sets[i][j],
+                                           configs[i], item_seeds[i][j]));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<ForestParams> worker_params = configs;
+  for (ForestParams& p : worker_params) p.num_threads = 1;
+  std::vector<std::vector<std::future<Result<double>>>> futures(
+      configs.size());
+  size_t total_items = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    total_items += fold_sets[i].size();
+  }
+  ThreadPool pool(static_cast<size_t>(num_threads), total_items);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    futures[i].reserve(fold_sets[i].size());
+    for (size_t j = 0; j < fold_sets[i].size(); ++j) {
+      futures[i].push_back(pool.Submit([&data, &fold_sets, &worker_params,
+                                        &item_seeds, i, j]() {
+        return EvaluateFold(data, fold_sets[i][j], worker_params[i],
+                            item_seeds[i][j]);
+      }));
+    }
+  }
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t j = 0; j < fold_sets[i].size(); ++j) {
+      Result<double> r = futures[i][j].get();
+      if (!r.ok()) {
+        if (first_error.ok()) first_error = r.status();
+        continue;
+      }
+      accuracies[i][j] = r.value();
+    }
+  }
+  return first_error;
+}
+
+}  // namespace
+
 Result<double> CrossValidateForest(const Dataset& data,
                                    const ForestParams& params, int k,
-                                   uint64_t seed) {
-  CLOUDSURV_ASSIGN_OR_RETURN(std::vector<Fold> folds,
-                             KFoldSplit(data, k, seed));
-  double total_accuracy = 0.0;
-  uint64_t fold_seed = seed;
-  for (const Fold& fold : folds) {
-    ++fold_seed;
-    CLOUDSURV_ASSIGN_OR_RETURN(Dataset train, data.Subset(fold.train));
-    CLOUDSURV_ASSIGN_OR_RETURN(Dataset valid, data.Subset(fold.validation));
-    RandomForestClassifier forest;
-    CLOUDSURV_RETURN_NOT_OK(forest.Fit(train, params, fold_seed));
-    CLOUDSURV_ASSIGN_OR_RETURN(std::vector<int> preds,
-                               forest.PredictBatch(valid));
-    CLOUDSURV_ASSIGN_OR_RETURN(ClassificationScores scores,
-                               ComputeScores(valid.labels(), preds));
-    total_accuracy += scores.accuracy;
+                                   uint64_t seed, int num_threads) {
+  std::vector<std::vector<Fold>> fold_sets(1);
+  CLOUDSURV_ASSIGN_OR_RETURN(fold_sets[0], KFoldSplit(data, k, seed));
+  std::vector<std::vector<uint64_t>> item_seeds(1);
+  for (size_t j = 0; j < fold_sets[0].size(); ++j) {
+    item_seeds[0].push_back(seed + 1 + j);
   }
-  return total_accuracy / static_cast<double>(folds.size());
+  std::vector<std::vector<double>> accuracies;
+  CLOUDSURV_RETURN_NOT_OK(RunFoldItems(data, {params}, fold_sets,
+                                       item_seeds, num_threads,
+                                       accuracies));
+  double total_accuracy = 0.0;
+  for (double a : accuracies[0]) total_accuracy += a;
+  return total_accuracy / static_cast<double>(accuracies[0].size());
 }
 
 Result<GridSearchResult> GridSearchForest(
     const Dataset& data, const std::vector<ForestParams>& grid, int k,
-    uint64_t seed) {
+    uint64_t seed, int num_threads) {
   if (grid.empty()) {
     return Status::InvalidArgument("grid search needs a non-empty grid");
   }
+  // Pre-derive every fold set and item seed from (seed, i, j) alone —
+  // identical to evaluating the grid sequentially.
+  std::vector<std::vector<Fold>> fold_sets(grid.size());
+  std::vector<std::vector<uint64_t>> item_seeds(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const uint64_t cell_seed = seed + i * 7919;
+    CLOUDSURV_ASSIGN_OR_RETURN(fold_sets[i],
+                               KFoldSplit(data, k, cell_seed));
+    for (size_t j = 0; j < fold_sets[i].size(); ++j) {
+      item_seeds[i].push_back(cell_seed + 1 + j);
+    }
+  }
+  std::vector<std::vector<double>> accuracies;
+  CLOUDSURV_RETURN_NOT_OK(RunFoldItems(data, grid, fold_sets, item_seeds,
+                                       num_threads, accuracies));
+
   GridSearchResult result;
   result.best_score = -1.0;
   for (size_t i = 0; i < grid.size(); ++i) {
-    CLOUDSURV_ASSIGN_OR_RETURN(
-        double score,
-        CrossValidateForest(data, grid[i], k, seed + i * 7919));
+    double total = 0.0;
+    for (double a : accuracies[i]) total += a;
+    const double score = total / static_cast<double>(accuracies[i].size());
     result.all_scores.emplace_back(grid[i], score);
     if (score > result.best_score) {
       result.best_score = score;

@@ -37,9 +37,13 @@ Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k,
                                      uint64_t seed, bool stratified = true);
 
 /// Mean validation accuracy of a forest configuration over k folds.
+/// Folds are trained on index views of `data` (no subset copies).
+/// `num_threads` > 1 evaluates folds on a thread pool; per-fold seeds
+/// are pre-derived, so the result is bit-identical for any thread
+/// count (inner forest fits run single-threaded when the pool is on).
 Result<double> CrossValidateForest(const Dataset& data,
                                    const ForestParams& params, int k,
-                                   uint64_t seed);
+                                   uint64_t seed, int num_threads = 1);
 
 /// Exhaustive grid search over forest configurations by k-fold CV
 /// accuracy (the paper's protocol: grid search with 5-fold CV over the
@@ -51,9 +55,14 @@ struct GridSearchResult {
   std::vector<std::pair<ForestParams, double>> all_scores;
 };
 
+/// `num_threads` > 1 fans the (grid-point × fold) work items out over a
+/// thread pool. Every item's seed is derived up front from (seed, grid
+/// index, fold index) alone, and per-item results are aggregated in a
+/// fixed order, so scores and best_params are bit-identical regardless
+/// of thread count.
 Result<GridSearchResult> GridSearchForest(
     const Dataset& data, const std::vector<ForestParams>& grid, int k,
-    uint64_t seed);
+    uint64_t seed, int num_threads = 1);
 
 /// The compact default grid used by the paper-reproduction pipeline.
 std::vector<ForestParams> DefaultForestGrid();

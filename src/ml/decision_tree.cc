@@ -54,6 +54,14 @@ Status DecisionTreeClassifier::FitSubset(
       return Status::InvalidArgument("class weights must be positive");
     }
   }
+  if (params.split_algorithm == SplitAlgorithm::kHistogram) {
+    // Standalone binned fit: bin the full dataset once (ensembles skip
+    // this by sharing a BinnedDataset through FitBinned directly).
+    CLOUDSURV_ASSIGN_OR_RETURN(BinnedDataset binned,
+                               BinnedDataset::FromDataset(data));
+    return FitBinned(binned, data.labels(), data.num_classes(),
+                     sample_indices, params, seed);
+  }
   nodes_.clear();
   depth_ = 0;
   num_classes_ = data.num_classes();
@@ -207,6 +215,301 @@ int DecisionTreeClassifier::BuildNode(const Dataset& data,
   const int right =
       BuildNode(data, indices, mid, end, depth + 1, rng, params,
                 total_samples);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+// Shared state of one FitBinned call. Histograms store RAW (unweighted)
+// per-class counts — integer-valued doubles — so the parent-minus-sibling
+// subtraction is floating-point-exact; class weights are applied by
+// multiplication only when a gini is evaluated.
+struct DecisionTreeClassifier::BinnedBuildContext {
+  const BinnedDataset* binned = nullptr;
+  const std::vector<int>* labels = nullptr;
+  const TreeParams* params = nullptr;
+  size_t total_samples = 0;
+  size_t num_classes = 0;
+  /// Flat histogram layout: feature f's counts start at offset[f] and
+  /// hold num_bins(f) * num_classes doubles (bin-major, class-minor).
+  std::vector<size_t> offset;
+  size_t hist_size = 0;
+
+  /// Accumulates the flat raw-count histogram of positions [begin, end).
+  void ComputeHistogram(const std::vector<size_t>& positions, size_t begin,
+                        size_t end, std::vector<double>& out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    const size_t num_features = binned->num_features();
+    const size_t C = num_classes;
+    const std::vector<int>& label = *labels;
+    for (size_t f = 0; f < num_features; ++f) {
+      if (binned->constant(f)) continue;  // single bin, never split on
+      const uint8_t* column = binned->column(f);
+      double* h = out.data() + offset[f];
+      for (size_t i = begin; i < end; ++i) {
+        const size_t row = positions[i];
+        h[static_cast<size_t>(column[row]) * C +
+          static_cast<size_t>(label[row])] += 1.0;
+      }
+    }
+  }
+};
+
+Status DecisionTreeClassifier::FitBinned(
+    const BinnedDataset& binned, const std::vector<int>& labels,
+    int num_classes, const std::vector<size_t>& sample_positions,
+    const TreeParams& params, uint64_t seed) {
+  if (binned.empty() || sample_positions.empty()) {
+    return Status::InvalidArgument("cannot fit a tree on empty data");
+  }
+  if (params.max_depth < 0 || params.min_samples_leaf == 0) {
+    return Status::InvalidArgument("invalid tree params");
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (labels.size() != binned.num_rows()) {
+    return Status::InvalidArgument("labels must cover every binned row");
+  }
+  for (size_t p : sample_positions) {
+    if (p >= binned.num_rows()) {
+      return Status::OutOfRange("sample index out of range");
+    }
+  }
+  if (!params.class_weights.empty() &&
+      params.class_weights.size() != static_cast<size_t>(num_classes)) {
+    return Status::InvalidArgument(
+        "class_weights size must match num_classes");
+  }
+  for (double w : params.class_weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument("class weights must be positive");
+    }
+  }
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = num_classes;
+  num_features_ = binned.num_features();
+  importances_.assign(num_features_, 0.0);
+
+  BinnedBuildContext ctx;
+  ctx.binned = &binned;
+  ctx.labels = &labels;
+  ctx.params = &params;
+  ctx.total_samples = sample_positions.size();
+  ctx.num_classes = static_cast<size_t>(num_classes);
+  ctx.offset.resize(num_features_);
+  size_t off = 0;
+  for (size_t f = 0; f < num_features_; ++f) {
+    ctx.offset[f] = off;
+    off += static_cast<size_t>(binned.num_bins(f)) * ctx.num_classes;
+  }
+  ctx.hist_size = off;
+
+  std::vector<size_t> positions = sample_positions;
+  Rng rng(seed);
+  BuildNodeBinned(ctx, positions, 0, positions.size(), 0, rng, {});
+
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNodeBinned(BinnedBuildContext& ctx,
+                                            std::vector<size_t>& positions,
+                                            size_t begin, size_t end,
+                                            int depth, Rng& rng,
+                                            std::vector<double> node_hist) {
+  const TreeParams& params = *ctx.params;
+  const size_t n = end - begin;
+  const size_t C = ctx.num_classes;
+  auto class_weight = [&](size_t cls) {
+    return params.class_weights.empty() ? 1.0 : params.class_weights[cls];
+  };
+  std::vector<double> raw(C, 0.0);  // unweighted per-class counts
+  for (size_t i = begin; i < end; ++i) {
+    raw[static_cast<size_t>((*ctx.labels)[positions[i]])] += 1.0;
+  }
+  std::vector<double> counts(C);  // weighted, as the exact path sees them
+  double n_d = 0.0;
+  for (size_t c = 0; c < C; ++c) {
+    counts[c] = class_weight(c) * raw[c];
+    n_d += counts[c];
+  }
+  const double node_gini = GiniFromCounts(counts, n_d);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.probabilities.resize(C);
+    for (size_t c = 0; c < C; ++c) {
+      leaf.probabilities[c] = counts[c] / n_d;
+    }
+    nodes_.push_back(std::move(leaf));
+    depth_ = std::max(depth_, depth);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (depth >= params.max_depth || n < params.min_samples_split ||
+      node_gini == 0.0 || n < 2 * params.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Identical feature-subset draw as the exact path — same rng stream,
+  // same partial Fisher-Yates — so a fixed seed yields the same sequence
+  // of candidate features at every node.
+  const int d = static_cast<int>(num_features_);
+  int k = params.max_features <= 0 ? d : std::min(params.max_features, d);
+  std::vector<int> features(static_cast<size_t>(d));
+  std::iota(features.begin(), features.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j =
+        static_cast<int>(rng.UniformInt(i, static_cast<int64_t>(d) - 1));
+    std::swap(features[static_cast<size_t>(i)],
+              features[static_cast<size_t>(j)]);
+  }
+
+  if (node_hist.empty()) {
+    node_hist.assign(ctx.hist_size, 0.0);
+    ctx.ComputeHistogram(positions, begin, end, node_hist);
+  }
+
+  int best_feature = -1;
+  int best_bin = -1;
+  double best_decrease = params.min_impurity_decrease;
+
+  std::vector<double> left_raw(C);
+  for (int fi = 0; fi < k; ++fi) {
+    const int f = features[static_cast<size_t>(fi)];
+    const int num_bins = ctx.binned->num_bins(static_cast<size_t>(f));
+    if (num_bins < 2) continue;  // globally constant feature
+    const double* h = node_hist.data() + ctx.offset[static_cast<size_t>(f)];
+    std::fill(left_raw.begin(), left_raw.end(), 0.0);
+    size_t n_left = 0;
+    // A cut is evaluated at the boundary after every bin that holds node
+    // rows (an empty bin would duplicate the previous partition — the
+    // histogram analogue of the exact path's equal-adjacent-values skip).
+    for (int b = 0; b + 1 < num_bins; ++b) {
+      double bin_total = 0.0;
+      for (size_t c = 0; c < C; ++c) {
+        const double rc = h[static_cast<size_t>(b) * C + c];
+        left_raw[c] += rc;
+        bin_total += rc;
+      }
+      if (bin_total == 0.0) continue;
+      n_left += static_cast<size_t>(bin_total);
+      const size_t n_right = n - n_left;
+      if (n_right == 0) break;  // all remaining bins are empty
+      if (n_left < params.min_samples_leaf ||
+          n_right < params.min_samples_leaf) {
+        continue;
+      }
+      double left_weight = 0.0;
+      for (size_t c = 0; c < C; ++c) {
+        left_weight += class_weight(c) * left_raw[c];
+      }
+      const double right_weight = n_d - left_weight;
+      double sum_sq_left = 0.0;
+      double sum_sq_right = 0.0;
+      for (size_t c = 0; c < C; ++c) {
+        const double lc = class_weight(c) * left_raw[c];
+        const double pl = lc / left_weight;
+        sum_sq_left += pl * pl;
+        const double pr = (counts[c] - lc) / right_weight;
+        sum_sq_right += pr * pr;
+      }
+      const double gini_left = 1.0 - sum_sq_left;
+      const double gini_right = 1.0 - sum_sq_right;
+      const double weighted =
+          (left_weight * gini_left + right_weight * gini_right) / n_d;
+      const double decrease = node_gini - weighted;
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = f;
+        best_bin = b;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  const uint8_t* best_column =
+      ctx.binned->column(static_cast<size_t>(best_feature));
+  auto mid_it = std::partition(
+      positions.begin() + static_cast<std::ptrdiff_t>(begin),
+      positions.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](size_t row) {
+        return static_cast<int>(best_column[row]) <= best_bin;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - positions.begin());
+  if (mid == begin || mid == end) {
+    return make_leaf();  // cannot happen when histogram counts are exact
+  }
+
+  importances_[static_cast<size_t>(best_feature)] +=
+      (static_cast<double>(n) / static_cast<double>(ctx.total_samples)) *
+      best_decrease;
+
+  // Refine the stored threshold toward the node-local gap midpoint: the
+  // next in-node non-empty bin bounds the gap the exact search would
+  // cut in the middle of.
+  int next_bin = best_bin + 1;
+  {
+    const double* h =
+        node_hist.data() + ctx.offset[static_cast<size_t>(best_feature)];
+    const int num_bins = ctx.binned->num_bins(static_cast<size_t>(best_feature));
+    while (next_bin + 1 < num_bins) {
+      double bin_total = 0.0;
+      for (size_t c = 0; c < C; ++c) {
+        bin_total += h[static_cast<size_t>(next_bin) * C + c];
+      }
+      if (bin_total > 0.0) break;
+      ++next_bin;
+    }
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_index)].threshold =
+      ctx.binned->refined_threshold(static_cast<size_t>(best_feature),
+                                    best_bin, next_bin);
+
+  // Subtraction trick: scan only the smaller child; the sibling is the
+  // parent histogram minus it. Skip the work entirely when neither child
+  // can split again.
+  const size_t n_left_child = mid - begin;
+  const size_t n_right_child = end - mid;
+  auto child_may_split = [&](size_t child_n) {
+    return depth + 1 < params.max_depth &&
+           child_n >= params.min_samples_split &&
+           child_n >= 2 * params.min_samples_leaf;
+  };
+  std::vector<double> left_hist;
+  std::vector<double> right_hist;
+  if (child_may_split(n_left_child) || child_may_split(n_right_child)) {
+    std::vector<double> small(ctx.hist_size, 0.0);
+    if (n_left_child <= n_right_child) {
+      ctx.ComputeHistogram(positions, begin, mid, small);
+      for (size_t i = 0; i < ctx.hist_size; ++i) node_hist[i] -= small[i];
+      left_hist = std::move(small);
+      right_hist = std::move(node_hist);
+    } else {
+      ctx.ComputeHistogram(positions, mid, end, small);
+      for (size_t i = 0; i < ctx.hist_size; ++i) node_hist[i] -= small[i];
+      right_hist = std::move(small);
+      left_hist = std::move(node_hist);
+    }
+  }
+
+  const int left = BuildNodeBinned(ctx, positions, begin, mid, depth + 1,
+                                   rng, std::move(left_hist));
+  const int right = BuildNodeBinned(ctx, positions, mid, end, depth + 1,
+                                    rng, std::move(right_hist));
   nodes_[static_cast<size_t>(node_index)].left = left;
   nodes_[static_cast<size_t>(node_index)].right = right;
   return node_index;

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "ml/binned_dataset.h"
 #include "ml/dataset.h"
 
 namespace cloudsurv::ml {
@@ -25,6 +26,9 @@ struct TreeParams {
   /// standard lever for imbalanced cohorts such as the paper's Premium
   /// subgroup (section 5.2 attributes its low recall to imbalance).
   std::vector<double> class_weights;
+  /// Node-split search. kHistogram scans pre-binned codes in
+  /// O(n + bins) per feature; kExact re-sorts values (O(n log n)).
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kHistogram;
 };
 
 /// CART decision-tree classifier with gini impurity, the base learner of
@@ -43,6 +47,17 @@ class DecisionTreeClassifier {
   /// samples without materializing them).
   Status FitSubset(const Dataset& data,
                    const std::vector<size_t>& sample_indices,
+                   const TreeParams& params, uint64_t seed);
+
+  /// Learns a tree from a pre-binned dataset over the multiset of binned
+  /// row positions `sample_positions` (positions index binned rows, not
+  /// original dataset rows). `labels[i]` is the class of binned row i.
+  /// Ensembles use this to share one BinnedDataset across all trees
+  /// instead of re-binning per tree. Ignores params.split_algorithm
+  /// (this IS the histogram path).
+  Status FitBinned(const BinnedDataset& binned, const std::vector<int>& labels,
+                   int num_classes,
+                   const std::vector<size_t>& sample_positions,
                    const TreeParams& params, uint64_t seed);
 
   bool fitted() const { return !nodes_.empty(); }
@@ -88,6 +103,11 @@ class DecisionTreeClassifier {
   int BuildNode(const Dataset& data, std::vector<size_t>& indices,
                 size_t begin, size_t end, int depth, Rng& rng,
                 const TreeParams& params, size_t total_samples);
+
+  struct BinnedBuildContext;  // defined in decision_tree.cc
+  int BuildNodeBinned(BinnedBuildContext& ctx, std::vector<size_t>& positions,
+                      size_t begin, size_t end, int depth, Rng& rng,
+                      std::vector<double> node_hist);
 
   std::vector<Node> nodes_;
   std::vector<double> importances_;

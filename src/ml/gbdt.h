@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ml/binned_dataset.h"
 #include "ml/dataset.h"
 
 namespace cloudsurv::ml {
@@ -17,6 +18,9 @@ struct GbdtParams {
   size_t min_samples_leaf = 10;  ///< Minimum rows per leaf.
   double lambda = 1.0;           ///< L2 regularization on leaf values.
   double subsample = 1.0;        ///< Row-sampling fraction per round.
+  /// Node-split search. kHistogram bins the matrix once before round 0
+  /// and scans (gradient, hessian, count) histograms per node.
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kHistogram;
 };
 
 /// Gradient-boosted decision trees for binary classification with
@@ -87,6 +91,11 @@ class GradientBoostedTreesClassifier {
                 const std::vector<double>& hessians,
                 std::vector<size_t>& indices, size_t begin, size_t end,
                 int depth, const GbdtParams& params, Tree* tree);
+
+  struct BinnedGbdtContext;  // defined in gbdt.cc
+  int BuildNodeBinned(BinnedGbdtContext& ctx, std::vector<size_t>& indices,
+                      size_t begin, size_t end, int depth, Tree* tree,
+                      std::vector<double> node_hist);
 
   std::vector<Tree> trees_;
   std::vector<double> importances_;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <sstream>
 #include <thread>
 
@@ -36,13 +37,27 @@ std::string ForestParams::ToString() const {
 Status RandomForestClassifier::Fit(const Dataset& data,
                                    const ForestParams& params,
                                    uint64_t seed) {
-  if (data.empty()) {
+  std::vector<size_t> all(data.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  return FitOnRows(data, all, params, seed);
+}
+
+Status RandomForestClassifier::FitOnRows(const Dataset& data,
+                                         const std::vector<size_t>& rows,
+                                         const ForestParams& params,
+                                         uint64_t seed) {
+  if (data.empty() || rows.empty()) {
     return Status::InvalidArgument("cannot fit a forest on empty data");
   }
   if (params.num_trees <= 0) {
     return Status::InvalidArgument("num_trees must be positive");
   }
-  const size_t n = data.num_rows();
+  for (size_t r : rows) {
+    if (r >= data.num_rows()) {
+      return Status::OutOfRange("training row index out of range");
+    }
+  }
+  const size_t n = rows.size();
   const int d = static_cast<int>(data.num_features());
   if (d == 0) {
     return Status::InvalidArgument("dataset has no features");
@@ -53,6 +68,7 @@ Status RandomForestClassifier::Fit(const Dataset& data,
   tree_params.min_samples_split = params.min_samples_split;
   tree_params.min_samples_leaf = params.min_samples_leaf;
   tree_params.class_weights = params.class_weights;
+  tree_params.split_algorithm = params.split_algorithm;
   switch (params.max_features) {
     case MaxFeaturesRule::kSqrt:
       tree_params.max_features =
@@ -72,8 +88,21 @@ Status RandomForestClassifier::Fit(const Dataset& data,
   const size_t t = static_cast<size_t>(params.num_trees);
   trees_.assign(t, DecisionTreeClassifier());
 
+  // One shared binned view of the training rows: bin edges come from the
+  // view's distribution (what training on a materialized subset would
+  // see), and every tree reads the same codes.
+  BinnedDataset binned;
+  std::vector<int> binned_labels;
+  if (params.split_algorithm == SplitAlgorithm::kHistogram) {
+    CLOUDSURV_ASSIGN_OR_RETURN(binned,
+                               BinnedDataset::FromDatasetRows(data, rows));
+    binned_labels.resize(n);
+    for (size_t i = 0; i < n; ++i) binned_labels[i] = data.label(rows[i]);
+  }
+
   // Derive all per-tree randomness up front so the result is independent
-  // of the thread schedule.
+  // of the thread schedule. Samples are POSITIONS into `rows` (the
+  // binned view's row space); the exact path maps them to dataset rows.
   Rng seeder(seed);
   std::vector<uint64_t> tree_seeds(t);
   std::vector<std::vector<size_t>> samples(t);
@@ -107,12 +136,21 @@ Status RandomForestClassifier::Fit(const Dataset& data,
                     : std::max(1u, std::thread::hardware_concurrency());
   hw = std::min<unsigned>(hw, static_cast<unsigned>(t));
 
+  auto fit_one = [&](size_t ti) -> Status {
+    if (params.split_algorithm == SplitAlgorithm::kHistogram) {
+      return trees_[ti].FitBinned(binned, binned_labels, num_classes_,
+                                  samples[ti], tree_params, tree_seeds[ti]);
+    }
+    std::vector<size_t> sample_rows(n);
+    for (size_t i = 0; i < n; ++i) sample_rows[i] = rows[samples[ti][i]];
+    return trees_[ti].FitSubset(data, sample_rows, tree_params,
+                                tree_seeds[ti]);
+  };
   auto worker = [&]() {
     while (true) {
       const size_t ti = next_tree.fetch_add(1);
       if (ti >= t || failed.load()) return;
-      Status s = trees_[ti].FitSubset(data, samples[ti], tree_params,
-                                      tree_seeds[ti]);
+      Status s = fit_one(ti);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) first_error = s;
@@ -151,7 +189,7 @@ Status RandomForestClassifier::Fit(const Dataset& data,
       size_t votes = 0;
       for (size_t ti = 0; ti < t; ++ti) {
         if (in_bag[ti][i]) continue;
-        const auto probs = trees_[ti].PredictProba(data.row(i));
+        const auto probs = trees_[ti].PredictProba(data.row(rows[i]));
         for (size_t c = 0; c < acc.size(); ++c) acc[c] += probs[c];
         ++votes;
       }
@@ -159,7 +197,7 @@ Status RandomForestClassifier::Fit(const Dataset& data,
       const int pred = static_cast<int>(
           std::max_element(acc.begin(), acc.end()) - acc.begin());
       ++evaluated;
-      if (pred == data.label(i)) ++correct;
+      if (pred == data.label(rows[i])) ++correct;
     }
     oob_accuracy_ = evaluated == 0 ? 0.0
                                    : static_cast<double>(correct) /
@@ -200,6 +238,25 @@ Result<std::vector<int>> RandomForestClassifier::PredictBatch(
   out.reserve(data.num_rows());
   for (size_t i = 0; i < data.num_rows(); ++i) {
     out.push_back(Predict(data.row(i)));
+  }
+  return out;
+}
+
+Result<std::vector<int>> RandomForestClassifier::PredictRows(
+    const Dataset& data, const std::vector<size_t>& rows) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (size_t r : rows) {
+    if (r >= data.num_rows()) {
+      return Status::OutOfRange("prediction row index out of range");
+    }
+    out.push_back(Predict(data.row(r)));
   }
   return out;
 }

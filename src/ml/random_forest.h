@@ -27,6 +27,9 @@ struct ForestParams {
   MaxFeaturesRule max_features = MaxFeaturesRule::kSqrt;
   bool bootstrap = true;  ///< Sample n rows with replacement per tree.
   int num_threads = 0;    ///< 0 = hardware concurrency.
+  /// Node-split search passed to every tree. With kHistogram the forest
+  /// bins the training rows once and all trees share the codes.
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kHistogram;
   /// Optional per-class weights passed to every tree (empty = all 1.0).
   /// Use {1/q0, 1/q1}-style weights to trade precision for recall on
   /// imbalanced subgroups (the paper's Premium edition).
@@ -48,6 +51,13 @@ class RandomForestClassifier {
   /// regardless of thread count (per-tree seeds are derived up front).
   Status Fit(const Dataset& data, const ForestParams& params, uint64_t seed);
 
+  /// Fits on the view `data[rows]` without materializing a subset copy —
+  /// bootstrap samples, bin edges, and OOB are all computed over the
+  /// view, so this trains the same forest `Fit(data.Subset(rows))` would.
+  /// Cross-validation trains each fold this way.
+  Status FitOnRows(const Dataset& data, const std::vector<size_t>& rows,
+                   const ForestParams& params, uint64_t seed);
+
   bool fitted() const { return !trees_.empty(); }
 
   /// Averaged class-probability vector for one feature row.
@@ -58,6 +68,10 @@ class RandomForestClassifier {
 
   /// Predictions for every row of `data`.
   Result<std::vector<int>> PredictBatch(const Dataset& data) const;
+
+  /// Predictions for the view `data[rows]` (no subset copy).
+  Result<std::vector<int>> PredictRows(const Dataset& data,
+                                       const std::vector<size_t>& rows) const;
 
   /// Positive-class (class 1) probability for every row of `data`;
   /// requires a binary problem.

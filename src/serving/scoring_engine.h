@@ -12,7 +12,7 @@
 #include "serving/event_ingest.h"
 #include "serving/maturity_tracker.h"
 #include "serving/model_registry.h"
-#include "serving/thread_pool.h"
+#include "common/thread_pool.h"
 #include "telemetry/store.h"
 
 namespace cloudsurv::serving {

@@ -123,8 +123,8 @@ std::vector<float> RandomSurvivalForest::LeafCurve(
 
 int RandomSurvivalForest::BuildNode(
     const std::vector<CovariateObservation>& data,
-    std::vector<size_t>& indices, size_t begin, size_t end, int depth,
-    Rng& rng, Tree* tree) {
+    const ml::BinnedDataset* binned, std::vector<size_t>& indices,
+    size_t begin, size_t end, int depth, Rng& rng, Tree* tree) {
   const size_t n = end - begin;
 
   auto make_leaf = [&]() {
@@ -168,8 +168,59 @@ int RandomSurvivalForest::BuildNode(
   int best_feature = -1;
   double best_threshold = 0.0;
   double best_stat = 3.0;  // require a non-trivial split (chi2 > 3)
+  std::vector<size_t> bin_count;
   for (int fi = 0; fi < k; ++fi) {
     const size_t f = static_cast<size_t>(features[static_cast<size_t>(fi)]);
+    if (binned != nullptr) {
+      // Histogram mode: one O(n) code-count pass per feature; every
+      // candidate then reads its left-child size off the cumulative
+      // counts in O(1) instead of re-scanning the node.
+      const int num_bins = binned->num_bins(f);
+      if (num_bins < 2) continue;
+      const uint8_t* column = binned->column(f);
+      bin_count.assign(static_cast<size_t>(num_bins), 0);
+      int code_lo = num_bins - 1;
+      int code_hi = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const int c = static_cast<int>(column[indices[i]]);
+        ++bin_count[static_cast<size_t>(c)];
+        code_lo = std::min(code_lo, c);
+        code_hi = std::max(code_hi, c);
+      }
+      if (code_lo == code_hi) continue;  // constant within the node
+      for (size_t b = 1; b < bin_count.size(); ++b) {
+        bin_count[b] += bin_count[b - 1];  // now cumulative
+      }
+      for (int c = 0; c < params_.thresholds_per_feature; ++c) {
+        // A boundary strictly inside the node's occupied code range, so
+        // every candidate separates at least one pair of node values.
+        const int b = static_cast<int>(rng.UniformInt(
+            code_lo, static_cast<int64_t>(code_hi) - 1));
+        const size_t n_left = bin_count[static_cast<size_t>(b)];
+        if (n_left < params_.min_samples_leaf ||
+            n - n_left < params_.min_samples_leaf) {
+          continue;
+        }
+        const double stat = LogRankStatistic(
+            members, [&](size_t row) {
+              return static_cast<int>(column[row]) <= b;
+            });
+        if (stat > best_stat) {
+          best_stat = stat;
+          best_feature = static_cast<int>(f);
+          // Refine toward the node-local gap midpoint: the first bin
+          // past `b` holding node rows bounds the empty gap.
+          int next_b = b + 1;
+          while (next_b < code_hi &&
+                 bin_count[static_cast<size_t>(next_b)] ==
+                     bin_count[static_cast<size_t>(b)]) {
+            ++next_b;
+          }
+          best_threshold = binned->refined_threshold(f, b, next_b);
+        }
+      }
+      continue;
+    }
     double lo = data[indices[begin]].covariates[f];
     double hi = lo;
     for (size_t i = begin; i < end; ++i) {
@@ -217,9 +268,9 @@ int RandomSurvivalForest::BuildNode(
   tree->nodes[static_cast<size_t>(node_index)].feature = best_feature;
   tree->nodes[static_cast<size_t>(node_index)].threshold = best_threshold;
   const int left =
-      BuildNode(data, indices, begin, mid, depth + 1, rng, tree);
+      BuildNode(data, binned, indices, begin, mid, depth + 1, rng, tree);
   const int right =
-      BuildNode(data, indices, mid, end, depth + 1, rng, tree);
+      BuildNode(data, binned, indices, mid, end, depth + 1, rng, tree);
   tree->nodes[static_cast<size_t>(node_index)].left = left;
   tree->nodes[static_cast<size_t>(node_index)].right = right;
   return node_index;
@@ -258,6 +309,20 @@ Status RandomSurvivalForest::Fit(
   trees_.clear();
   importances_.assign(covariate_names_.size(), 0.0);
 
+  // Histogram mode: bin all covariates once; every tree shares the
+  // codes (indexed by original observation row).
+  ml::BinnedDataset binned;
+  const bool histogram =
+      params.split_algorithm == ml::SplitAlgorithm::kHistogram;
+  if (histogram) {
+    CLOUDSURV_ASSIGN_OR_RETURN(
+        binned, ml::BinnedDataset::FromMatrix(
+                    data.size(), covariate_names_.size(),
+                    [&data](size_t row, size_t col) {
+                      return data[row].covariates[col];
+                    }));
+  }
+
   const Rng root(seed);
   const size_t n = data.size();
   for (int t = 0; t < params.num_trees; ++t) {
@@ -268,7 +333,8 @@ Status RandomSurvivalForest::Fit(
           rng.UniformInt(0, static_cast<int64_t>(n) - 1));
     }
     Tree tree;
-    BuildNode(data, sample, 0, sample.size(), 0, rng, &tree);
+    BuildNode(data, histogram ? &binned : nullptr, sample, 0,
+              sample.size(), 0, rng, &tree);
     trees_.push_back(std::move(tree));
   }
   const double total =

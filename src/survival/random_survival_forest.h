@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "ml/binned_dataset.h"
 #include "survival/cox.h"  // CovariateObservation
 
 namespace cloudsurv::survival {
@@ -25,6 +26,10 @@ struct SurvivalForestParams {
   /// this many points.
   int grid_points = 64;
   double horizon_days = 150.0;
+  /// Node-split search. kHistogram bins covariates once per Fit and
+  /// samples candidate thresholds from bin boundaries, with left-child
+  /// sizes read off cumulative code histograms in O(1) per candidate.
+  ml::SplitAlgorithm split_algorithm = ml::SplitAlgorithm::kHistogram;
 };
 
 /// Random survival forest (Ishwaran et al. 2008 style): an ensemble of
@@ -93,7 +98,10 @@ class RandomSurvivalForest {
     const std::vector<float>& Leaf(const std::vector<double>& x) const;
   };
 
+  /// `binned` is non-null in histogram mode (codes indexed by original
+  /// observation row, shared by all trees of this Fit).
   int BuildNode(const std::vector<CovariateObservation>& data,
+                const ml::BinnedDataset* binned,
                 std::vector<size_t>& indices, size_t begin, size_t end,
                 int depth, Rng& rng, Tree* tree);
   std::vector<float> LeafCurve(

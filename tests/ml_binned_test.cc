@@ -1,0 +1,410 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/binned_dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+// Every feature takes values on a small grid (< 256 distinct values),
+// so the binned view has one bin per distinct value and the histogram
+// search evaluates exactly the candidate cuts the exact search does.
+Dataset GridValuedData(int n, int grid_size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const double x0 =
+        static_cast<double>(rng.UniformInt(0, grid_size - 1)) / grid_size;
+    const double x1 =
+        static_cast<double>(rng.UniformInt(0, grid_size - 1)) / grid_size;
+    const double x2 =
+        static_cast<double>(rng.UniformInt(0, grid_size - 1)) / grid_size;
+    rows.push_back({x0, x1, x2});
+    labels.push_back((x0 + 0.3 * x1 > 0.6) ? 1 : 0);
+  }
+  auto d = Dataset::Make({"a", "b", "c"}, std::move(rows),
+                         std::move(labels));
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+// Continuous data with far more than 256 distinct values per feature.
+Dataset ContinuousData(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    rows.push_back({rng.Normal(label * 1.5, 1.0), rng.Normal(0.0, 1.0)});
+    labels.push_back(label);
+  }
+  auto d = Dataset::Make({"x", "noise"}, std::move(rows),
+                         std::move(labels));
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(BinnedDatasetTest, OneBinPerDistinctValueWhenFewDistinct) {
+  auto d = Dataset::Make({"x"}, {{1.0}, {2.0}, {2.0}, {5.0}, {1.0}},
+                         {0, 1, 1, 0, 0});
+  ASSERT_TRUE(d.ok());
+  auto binned = BinnedDataset::FromDataset(*d);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->num_rows(), 5u);
+  EXPECT_EQ(binned->num_features(), 1u);
+  EXPECT_EQ(binned->num_bins(0), 3);  // distinct values {1, 2, 5}
+  EXPECT_FALSE(binned->constant(0));
+  // Codes follow value order.
+  EXPECT_EQ(binned->code(0, 0), 0);
+  EXPECT_EQ(binned->code(1, 0), 1);
+  EXPECT_EQ(binned->code(3, 0), 2);
+  EXPECT_EQ(binned->code(4, 0), 0);
+}
+
+TEST(BinnedDatasetTest, CodeThresholdInvariant) {
+  const Dataset d = ContinuousData(2000, 41);
+  auto binned = BinnedDataset::FromDataset(d, /*max_bins=*/16);
+  ASSERT_TRUE(binned.ok());
+  // value <= threshold(f, b)  <=>  code(row, f) <= b, for every row,
+  // feature, and boundary.
+  for (size_t f = 0; f < binned->num_features(); ++f) {
+    ASSERT_LE(binned->num_bins(f), 16);
+    for (size_t r = 0; r < d.num_rows(); ++r) {
+      const double v = d.feature(r, f);
+      const int code = binned->code(r, f);
+      for (int b = 0; b + 1 < binned->num_bins(f); ++b) {
+        EXPECT_EQ(v <= binned->threshold(f, b), code <= b)
+            << "row " << r << " feature " << f << " boundary " << b;
+      }
+    }
+  }
+}
+
+TEST(BinnedDatasetTest, QuantileBinsAreNonEmptyAndBalanced) {
+  const Dataset d = ContinuousData(4096, 42);
+  auto binned = BinnedDataset::FromDataset(d, /*max_bins=*/8);
+  ASSERT_TRUE(binned.ok());
+  for (size_t f = 0; f < binned->num_features(); ++f) {
+    std::vector<size_t> counts(static_cast<size_t>(binned->num_bins(f)),
+                               0);
+    for (size_t r = 0; r < d.num_rows(); ++r) {
+      counts[binned->code(r, f)]++;
+    }
+    for (size_t b = 0; b < counts.size(); ++b) {
+      EXPECT_GT(counts[b], 0u) << "empty bin " << b << " feature " << f;
+      // Quantile rule: no bin hoards the distribution.
+      EXPECT_LT(counts[b], d.num_rows() / 2);
+    }
+  }
+}
+
+TEST(BinnedDatasetTest, ConstantFeatureHasSingleBin) {
+  auto d = Dataset::Make({"c", "x"},
+                         {{7.0, 1.0}, {7.0, 2.0}, {7.0, 3.0}}, {0, 1, 0});
+  ASSERT_TRUE(d.ok());
+  auto binned = BinnedDataset::FromDataset(*d);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_TRUE(binned->constant(0));
+  EXPECT_EQ(binned->num_bins(0), 1);
+  EXPECT_FALSE(binned->constant(1));
+}
+
+TEST(BinnedDatasetTest, FromDatasetRowsMatchesMaterializedSubset) {
+  const Dataset d = ContinuousData(500, 43);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < d.num_rows(); i += 3) rows.push_back(i);
+  auto view = BinnedDataset::FromDatasetRows(d, rows, /*max_bins=*/32);
+  ASSERT_TRUE(view.ok());
+  auto subset = d.Subset(rows);
+  ASSERT_TRUE(subset.ok());
+  auto copy = BinnedDataset::FromDataset(*subset, /*max_bins=*/32);
+  ASSERT_TRUE(copy.ok());
+  ASSERT_EQ(view->num_rows(), copy->num_rows());
+  for (size_t f = 0; f < view->num_features(); ++f) {
+    ASSERT_EQ(view->num_bins(f), copy->num_bins(f));
+    for (int b = 0; b + 1 < view->num_bins(f); ++b) {
+      EXPECT_DOUBLE_EQ(view->threshold(f, b), copy->threshold(f, b));
+    }
+    for (size_t r = 0; r < view->num_rows(); ++r) {
+      EXPECT_EQ(view->code(r, f), copy->code(r, f));
+    }
+  }
+}
+
+TEST(BinnedDatasetTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(BinnedDataset::FromDataset(Dataset()).ok());
+  const Dataset d = ContinuousData(20, 44);
+  EXPECT_FALSE(BinnedDataset::FromDataset(d, 1).ok());
+  EXPECT_FALSE(BinnedDataset::FromDataset(d, 257).ok());
+  EXPECT_FALSE(BinnedDataset::FromDatasetRows(d, {999}).ok());
+  EXPECT_FALSE(BinnedDataset::FromMatrix(
+                   4, 1, [](size_t r, size_t) {
+                     return r == 2 ? std::nan("") : 1.0;
+                   })
+                   .ok());
+}
+
+// The two search paths choose the same partitions (same features, same
+// row routing) but may serialize different real-valued thresholds deep
+// in the tree: the exact search cuts at the midpoint of the node-local
+// value gap, while the histogram search reuses the global bin boundary
+// inside that gap. Both land in the same gap, so training rows route
+// identically; this helper asserts that structural equivalence.
+void ExpectStructurallyEqual(const DecisionTreeClassifier& exact,
+                             const DecisionTreeClassifier& hist,
+                             const Dataset& d) {
+  EXPECT_EQ(exact.num_nodes(), hist.num_nodes());
+  EXPECT_EQ(exact.depth(), hist.depth());
+  const auto& ie = exact.feature_importances();
+  const auto& ih = hist.feature_importances();
+  ASSERT_EQ(ie.size(), ih.size());
+  for (size_t f = 0; f < ie.size(); ++f) {
+    EXPECT_DOUBLE_EQ(ie[f], ih[f]) << "feature " << f;
+  }
+  auto pe = exact.PredictBatch(d);
+  auto ph = hist.PredictBatch(d);
+  ASSERT_TRUE(pe.ok() && ph.ok());
+  EXPECT_EQ(*pe, *ph);
+}
+
+TEST(HistogramEquivalenceTest, RootSplitSerializesIdentically) {
+  // At the root every global distinct value is present in-node, so the
+  // two searches agree on the threshold value too, not just the gap.
+  const Dataset d = GridValuedData(600, 40, 49);
+  TreeParams exact;
+  exact.max_depth = 1;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  TreeParams hist = exact;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier te, th;
+  ASSERT_TRUE(te.Fit(d, exact, 49).ok());
+  ASSERT_TRUE(th.Fit(d, hist, 49).ok());
+  EXPECT_EQ(te.Serialize(), th.Serialize());
+}
+
+TEST(HistogramEquivalenceTest, TreeMatchesExactOnFewDistinctValues) {
+  const Dataset d = GridValuedData(600, 40, 50);
+  TreeParams exact;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  TreeParams hist;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier te, th;
+  ASSERT_TRUE(te.Fit(d, exact, 50).ok());
+  ASSERT_TRUE(th.Fit(d, hist, 50).ok());
+  ExpectStructurallyEqual(te, th, d);
+}
+
+TEST(HistogramEquivalenceTest, TreeMatchesExactWithFeatureSubsampling) {
+  const Dataset d = GridValuedData(400, 25, 51);
+  TreeParams exact;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  exact.max_features = 2;  // randomized feature draw, same rng stream
+  TreeParams hist = exact;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier te, th;
+  ASSERT_TRUE(te.Fit(d, exact, 51).ok());
+  ASSERT_TRUE(th.Fit(d, hist, 51).ok());
+  ExpectStructurallyEqual(te, th, d);
+}
+
+TEST(HistogramEquivalenceTest, ForestMatchesExactOnFewDistinctValues) {
+  const Dataset d = GridValuedData(500, 30, 52);
+  ForestParams exact;
+  exact.num_trees = 12;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  ForestParams hist = exact;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  RandomForestClassifier fe, fh;
+  ASSERT_TRUE(fe.Fit(d, exact, 52).ok());
+  ASSERT_TRUE(fh.Fit(d, hist, 52).ok());
+  // Bagging and per-tree seeds line up, so per-tree partitions — and
+  // hence gini importances — are bit-equal. Rows outside a tree's
+  // bootstrap sample (OOB, and some rows at predict time) can land in
+  // a gap where the two thresholds differ, so those comparisons get a
+  // small tolerance.
+  EXPECT_EQ(fe.num_trees(), fh.num_trees());
+  const auto& ie = fe.feature_importances();
+  const auto& ih = fh.feature_importances();
+  ASSERT_EQ(ie.size(), ih.size());
+  for (size_t f = 0; f < ie.size(); ++f) {
+    EXPECT_DOUBLE_EQ(ie[f], ih[f]);
+  }
+  EXPECT_NEAR(fe.oob_accuracy(), fh.oob_accuracy(), 0.01);
+  auto pe = fe.PredictBatch(d);
+  auto ph = fh.PredictBatch(d);
+  ASSERT_TRUE(pe.ok() && ph.ok());
+  size_t agree = 0;
+  for (size_t i = 0; i < pe->size(); ++i) {
+    agree += (*pe)[i] == (*ph)[i] ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(pe->size()),
+            0.99);
+}
+
+TEST(HistogramEquivalenceTest, ClassWeightedSplitsMatchExact) {
+  const Dataset d = GridValuedData(500, 30, 53);
+  TreeParams exact;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  // Power-of-two weights make weighted gini float-exact on both paths.
+  exact.class_weights = {4.0, 1.0};
+  TreeParams hist = exact;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier te, th;
+  ASSERT_TRUE(te.Fit(d, exact, 53).ok());
+  ASSERT_TRUE(th.Fit(d, hist, 53).ok());
+  ExpectStructurallyEqual(te, th, d);
+  // And the weights actually bite: unweighted trees differ.
+  TreeParams plain;
+  plain.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier tp;
+  ASSERT_TRUE(tp.Fit(d, plain, 53).ok());
+  EXPECT_NE(tp.Serialize(), th.Serialize());
+}
+
+TEST(HistogramEquivalenceTest, AgreesWithExactOnContinuousData) {
+  // > 256 distinct values per feature: quantile bins approximate the
+  // exact cuts, so trees can differ, but predictions should rarely.
+  const Dataset train = ContinuousData(3000, 54);
+  const Dataset test = ContinuousData(3000, 55);
+  ForestParams exact;
+  exact.num_trees = 20;
+  exact.max_depth = 10;
+  exact.split_algorithm = SplitAlgorithm::kExact;
+  ForestParams hist = exact;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  RandomForestClassifier fe, fh;
+  ASSERT_TRUE(fe.Fit(train, exact, 54).ok());
+  ASSERT_TRUE(fh.Fit(train, hist, 54).ok());
+  auto pe = fe.PredictBatch(test);
+  auto ph = fh.PredictBatch(test);
+  ASSERT_TRUE(pe.ok() && ph.ok());
+  size_t agree = 0;
+  for (size_t i = 0; i < pe->size(); ++i) {
+    agree += (*pe)[i] == (*ph)[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(pe->size()),
+            0.9);
+}
+
+TEST(HistogramDegenerateTest, SingleClassDataIsOneLeaf) {
+  auto d = Dataset::Make({"x"}, {{1.0}, {2.0}, {3.0}, {4.0}},
+                         {0, 0, 0, 0});
+  ASSERT_TRUE(d.ok());
+  TreeParams hist;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(*d, hist, 1).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict({2.5}), 0);
+}
+
+TEST(HistogramDegenerateTest, AllConstantFeaturesIsOneLeaf) {
+  auto d = Dataset::Make({"c1", "c2"},
+                         {{5.0, 9.0}, {5.0, 9.0}, {5.0, 9.0}, {5.0, 9.0}},
+                         {0, 1, 1, 1});
+  ASSERT_TRUE(d.ok());
+  TreeParams hist;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(*d, hist, 1).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict({5.0, 9.0}), 1);  // majority
+}
+
+TEST(HistogramDegenerateTest, ConstantFeatureNeverChosen) {
+  Rng rng(56);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    rows.push_back({3.14, x});
+    labels.push_back(x > 0.5 ? 1 : 0);
+  }
+  auto d = Dataset::Make({"const", "signal"}, std::move(rows),
+                         std::move(labels));
+  ASSERT_TRUE(d.ok());
+  TreeParams hist;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(*d, hist, 56).ok());
+  const auto& imp = tree.feature_importances();
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+  EXPECT_GT(imp[1], 0.0);
+}
+
+TEST(HistogramSerializationTest, BinnedForestRoundTrips) {
+  const Dataset d = ContinuousData(400, 57);
+  ForestParams hist;
+  hist.num_trees = 8;
+  hist.split_algorithm = SplitAlgorithm::kHistogram;
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Fit(d, hist, 57).ok());
+  const std::string text = forest.Serialize();
+  auto restored = RandomForestClassifier::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Serialize(), text);
+  auto p1 = forest.PredictBatch(d);
+  auto p2 = restored->PredictBatch(d);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);
+}
+
+TEST(FitOnRowsTest, ViewTrainingMatchesSubsetCopy) {
+  const Dataset d = GridValuedData(400, 20, 58);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    if (i % 4 != 0) rows.push_back(i);
+  }
+  ForestParams params;
+  params.num_trees = 10;
+  RandomForestClassifier on_view, on_copy;
+  ASSERT_TRUE(on_view.FitOnRows(d, rows, params, 58).ok());
+  auto subset = d.Subset(rows);
+  ASSERT_TRUE(subset.ok());
+  ASSERT_TRUE(on_copy.Fit(*subset, params, 58).ok());
+  EXPECT_EQ(on_view.Serialize(), on_copy.Serialize());
+}
+
+TEST(FitOnRowsTest, PredictRowsMatchesBatchOnView) {
+  const Dataset d = ContinuousData(300, 59);
+  ForestParams params;
+  params.num_trees = 6;
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Fit(d, params, 59).ok());
+  std::vector<size_t> rows = {5, 17, 42, 99, 250};
+  auto via_rows = forest.PredictRows(d, rows);
+  ASSERT_TRUE(via_rows.ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*via_rows)[i], forest.Predict(d.row(rows[i])));
+  }
+  EXPECT_FALSE(forest.PredictRows(d, {999}).ok());
+}
+
+TEST(FitBinnedTest, RejectsInvalidArguments) {
+  const Dataset d = ContinuousData(50, 60);
+  auto binned = BinnedDataset::FromDataset(d);
+  ASSERT_TRUE(binned.ok());
+  DecisionTreeClassifier tree;
+  std::vector<size_t> all(d.num_rows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  // Wrong label arity.
+  EXPECT_FALSE(
+      tree.FitBinned(*binned, {0, 1}, 2, all, TreeParams{}, 1).ok());
+  // Position out of range.
+  EXPECT_FALSE(
+      tree.FitBinned(*binned, d.labels(), 2, {999}, TreeParams{}, 1).ok());
+  // Bad params.
+  TreeParams bad;
+  bad.min_samples_leaf = 0;
+  EXPECT_FALSE(tree.FitBinned(*binned, d.labels(), 2, all, bad, 1).ok());
+}
+
+}  // namespace
+}  // namespace cloudsurv::ml

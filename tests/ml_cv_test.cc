@@ -142,6 +142,57 @@ TEST(GridSearchTest, RejectsEmptyGrid) {
   EXPECT_FALSE(GridSearchForest(d, {}, 3, 1).ok());
 }
 
+TEST(CrossValidateTest, ScoreIdenticalAcrossThreadCounts) {
+  const Dataset d = LabeledData(300, 0.5, 12);
+  ForestParams params;
+  params.num_trees = 10;
+  auto sequential = CrossValidateForest(d, params, 4, 12, /*num_threads=*/1);
+  auto pooled = CrossValidateForest(d, params, 4, 12, /*num_threads=*/4);
+  ASSERT_TRUE(sequential.ok() && pooled.ok());
+  EXPECT_DOUBLE_EQ(*sequential, *pooled);
+}
+
+TEST(GridSearchTest, BitIdenticalAcrossThreadCounts) {
+  const Dataset d = LabeledData(250, 0.5, 13);
+  std::vector<ForestParams> grid;
+  for (int depth : {2, 6, 10}) {
+    ForestParams p;
+    p.num_trees = 8;
+    p.max_depth = depth;
+    grid.push_back(p);
+  }
+  auto sequential = GridSearchForest(d, grid, 3, 13, /*num_threads=*/1);
+  auto pooled = GridSearchForest(d, grid, 3, 13, /*num_threads=*/4);
+  ASSERT_TRUE(sequential.ok() && pooled.ok());
+  EXPECT_DOUBLE_EQ(sequential->best_score, pooled->best_score);
+  EXPECT_EQ(sequential->best_params.ToString(),
+            pooled->best_params.ToString());
+  ASSERT_EQ(sequential->all_scores.size(), pooled->all_scores.size());
+  for (size_t i = 0; i < sequential->all_scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sequential->all_scores[i].second,
+                     pooled->all_scores[i].second)
+        << "cell " << i;
+  }
+}
+
+TEST(GridSearchTest, PropagatesFoldErrorsFromPool) {
+  const Dataset d = LabeledData(120, 0.5, 14);
+  std::vector<ForestParams> grid;
+  ForestParams good;
+  good.num_trees = 5;
+  ForestParams bad;
+  bad.num_trees = 0;  // every fold Fit fails
+  grid.push_back(good);
+  grid.push_back(bad);
+  auto sequential = GridSearchForest(d, grid, 3, 14, /*num_threads=*/1);
+  auto pooled = GridSearchForest(d, grid, 3, 14, /*num_threads=*/4);
+  EXPECT_FALSE(sequential.ok());
+  EXPECT_FALSE(pooled.ok());
+  // Deterministic error selection: the pool reports the same (first in
+  // flattened order) failure the sequential path does.
+  EXPECT_EQ(sequential.status().message(), pooled.status().message());
+}
+
 TEST(GridSearchTest, DefaultGridIsNonTrivial) {
   const auto grid = DefaultForestGrid();
   EXPECT_GE(grid.size(), 4u);

@@ -1,4 +1,4 @@
-#include "serving/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <atomic>
 #include <chrono>
@@ -9,7 +9,7 @@
 
 #include "gtest/gtest.h"
 
-namespace cloudsurv::serving {
+namespace cloudsurv {
 namespace {
 
 using namespace std::chrono_literals;
@@ -155,4 +155,4 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
 }
 
 }  // namespace
-}  // namespace cloudsurv::serving
+}  // namespace cloudsurv

@@ -48,6 +48,7 @@ struct Args {
   int threads = 8;
   int shards = 16;
   double flush_interval_days = 1.0;
+  std::string split = "histogram";
 };
 
 int Usage() {
@@ -57,7 +58,8 @@ int Usage() {
       "[options]\n"
       "  simulate  --region N --subs N --seed S --out FILE\n"
       "  analyze   --telemetry FILE [--region N]\n"
-      "  train     --telemetry FILE --out FILE [--seed S]\n"
+      "  train     --telemetry FILE --out FILE [--seed S] [--threads N]\n"
+      "            [--split exact|histogram]\n"
       "  assess    --telemetry FILE --model FILE [--top N]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
       "            [--shards N] [--flush-interval DAYS]\n");
@@ -113,6 +115,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = need_value("--flush-interval");
       if (v == nullptr) return false;
       args->flush_interval_days = std::atof(v);
+    } else if (std::strcmp(argv[i], "--split") == 0) {
+      const char* v = need_value("--split");
+      if (v == nullptr) return false;
+      args->split = v;
+      if (args->split != "exact" && args->split != "histogram") {
+        std::fprintf(stderr, "--split must be exact or histogram\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return false;
@@ -253,6 +263,10 @@ int CmdTrain(const Args& args) {
   }
   core::LongevityService::Options options;
   options.seed = args.seed;
+  options.forest_params.num_threads = std::max(0, args.threads);
+  options.forest_params.split_algorithm =
+      args.split == "exact" ? ml::SplitAlgorithm::kExact
+                            : ml::SplitAlgorithm::kHistogram;
   auto service = core::LongevityService::Train(*store, options);
   if (!service.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
