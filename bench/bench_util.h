@@ -11,10 +11,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/prediction.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "simulator/region.h"
 #include "simulator/simulator.h"
 #include "telemetry/store.h"
@@ -96,6 +99,25 @@ inline std::vector<core::SubgroupExperimentResult> RunAllSubgroups(
     }
   }
   return results;
+}
+
+/// Observability snapshot hook shared by every bench: when
+/// CLOUDSURV_METRICS_OUT names a file, the process-wide metrics
+/// registry is written there as JSON (obs::ExportJson) so a bench run
+/// leaves the registry state alongside its own results artifact. A
+/// no-op when the variable is unset, so benches call it
+/// unconditionally at exit.
+inline void EmitRegistrySnapshot() {
+  const char* path = std::getenv("CLOUDSURV_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for the metrics snapshot\n",
+                 path);
+    return;
+  }
+  out << obs::ExportJson(obs::Registry::Default());
+  std::fprintf(stderr, "metrics snapshot written to %s\n", path);
 }
 
 inline void PrintHeader(const std::string& title) {

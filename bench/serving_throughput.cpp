@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/service.h"
 #include "serving/scoring_engine.h"
 #include "simulator/region.h"
@@ -150,5 +151,6 @@ int main() {
   std::printf("  \"speedup\": %.2f\n",
               single.elapsed_s / multi.elapsed_s);
   std::printf("}\n");
+  bench::EmitRegistrySnapshot();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/cohort.h"
 #include "features/features.h"
@@ -244,5 +245,6 @@ int main() {
       subs, agree_trees, agree_depth, agreement, accuracy_exact,
       accuracy_hist);
   std::printf("}\n");
+  cloudsurv::bench::EmitRegistrySnapshot();
   return grid_identical ? 0 : 1;
 }

@@ -5,7 +5,19 @@
 namespace cloudsurv {
 
 ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
-    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)),
+      queue_depth_gauge_(obs::Registry::Default().GetGauge(
+          "cloudsurv_pool_queue_depth",
+          "Queued-but-not-started tasks across all thread pools",
+          "tasks")),
+      tasks_total_(obs::Registry::Default().GetCounter(
+          "cloudsurv_pool_tasks_total",
+          "Tasks run to completion across all thread pools", "tasks")),
+      task_wait_us_(obs::Registry::Default().GetHistogram(
+          "cloudsurv_pool_task_wait_us",
+          "Time a task spent queued before a worker picked it up")),
+      task_run_us_(obs::Registry::Default().GetHistogram(
+          "cloudsurv_pool_task_run_us", "Task execution time")) {
   const size_t n = std::max<size_t>(1, num_threads);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -15,22 +27,26 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+void ThreadPool::PushLocked(std::function<void()> task) {
+  queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+  queue_depth_gauge_->Add(1.0);
+  queue_not_empty_.notify_one();
+}
+
 bool ThreadPool::Enqueue(std::function<void()> task) {
   std::unique_lock<std::mutex> lock(mu_);
   queue_not_full_.wait(lock, [this]() {
     return shutdown_ || queue_.size() < queue_capacity_;
   });
   if (shutdown_) return false;
-  queue_.push_back(std::move(task));
-  queue_not_empty_.notify_one();
+  PushLocked(std::move(task));
   return true;
 }
 
 bool ThreadPool::TryEnqueue(std::function<void()> task) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_ || queue_.size() >= queue_capacity_) return false;
-  queue_.push_back(std::move(task));
-  queue_not_empty_.notify_one();
+  PushLocked(std::move(task));
   return true;
 }
 
@@ -74,7 +90,7 @@ uint64_t ThreadPool::tasks_failed() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(
@@ -87,17 +103,27 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_tasks_;
+      queue_depth_gauge_->Add(-1.0);
       queue_not_full_.notify_one();
     }
+    const auto started_at = std::chrono::steady_clock::now();
+    task_wait_us_->Observe(
+        std::chrono::duration<double, std::micro>(started_at -
+                                                  task.enqueued_at)
+            .count());
     bool failed = false;
     try {
-      task();
+      task.fn();
     } catch (...) {
       // Submit() tasks never reach here (packaged_task captures the
       // exception into the future); a throwing Enqueue() task is
       // recorded instead of taking the process down.
       failed = true;
     }
+    task_run_us_->Observe(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - started_at)
+                              .count());
+    tasks_total_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_tasks_;

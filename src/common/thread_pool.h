@@ -1,6 +1,7 @@
 #ifndef CLOUDSURV_COMMON_THREAD_POOL_H_
 #define CLOUDSURV_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace cloudsurv {
 
@@ -90,14 +93,29 @@ class ThreadPool {
   uint64_t tasks_failed() const;
 
  private:
+  /// A queued task plus its enqueue instant (feeds the wait-time
+  /// histogram when the task is picked up).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void WorkerLoop();
+  void PushLocked(std::function<void()> task);
 
   const size_t queue_capacity_;
+  /// Process-wide pool metrics (shared by every pool in the process —
+  /// see docs/observability.md). Resolved once at construction so the
+  /// worker loop never touches the registry mutex.
+  obs::Gauge* queue_depth_gauge_;
+  obs::Counter* tasks_total_;
+  obs::Histogram* task_wait_us_;
+  obs::Histogram* task_run_us_;
   mutable std::mutex mu_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> threads_;
   size_t active_tasks_ = 0;
   uint64_t tasks_executed_ = 0;

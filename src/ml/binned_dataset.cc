@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace cloudsurv::ml {
 
 namespace {
@@ -26,6 +28,11 @@ Result<BinnedDataset> BinnedDataset::Build(
   if (max_bins < 2 || max_bins > kMaxBins) {
     return Status::InvalidArgument("max_bins must be in [2, 256]");
   }
+  static obs::Histogram* const build_us =
+      obs::Registry::Default().GetHistogram(
+          "cloudsurv_ml_binning_build_us",
+          "Time to quantile-bin one training matrix into uint8 codes");
+  obs::ScopedTimer timer(build_us);
   BinnedDataset binned;
   binned.num_rows_ = num_rows;
   binned.boundaries_.resize(num_features);

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 
 namespace cloudsurv::ml {
 
@@ -103,11 +104,32 @@ Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k,
 
 namespace {
 
+// Duration of one (grid-point × fold) train+evaluate item.
+obs::Histogram* CvItemHistogram() {
+  static obs::Histogram* const cv_item_us =
+      obs::Registry::Default().GetHistogram(
+          "cloudsurv_ml_cv_item_us",
+          "One (grid point x fold) train + validate item");
+  return cv_item_us;
+}
+
+// Summed item time of one tuning point (CPU time, not wall clock —
+// items of a point run concurrently under num_threads > 1).
+obs::Histogram* GridPointHistogram() {
+  static obs::Histogram* const grid_point_us =
+      obs::Registry::Default().GetHistogram(
+          "cloudsurv_ml_grid_point_us",
+          "Summed fold-item time of one grid-search point (CPU time)");
+  return grid_point_us;
+}
+
 // One (grid-point × fold) work item: train on the fold's train view,
 // return validation accuracy. Views throughout — no Subset copies.
+// `duration_us` (optional) receives the item's measured time.
 Result<double> EvaluateFold(const Dataset& data, const Fold& fold,
-                            const ForestParams& params,
-                            uint64_t fold_seed) {
+                            const ForestParams& params, uint64_t fold_seed,
+                            double* duration_us = nullptr) {
+  obs::ScopedTimer timer(CvItemHistogram());
   RandomForestClassifier forest;
   CLOUDSURV_RETURN_NOT_OK(
       forest.FitOnRows(data, fold.train, params, fold_seed));
@@ -118,6 +140,8 @@ Result<double> EvaluateFold(const Dataset& data, const Fold& fold,
   for (size_t r : fold.validation) truth.push_back(data.label(r));
   CLOUDSURV_ASSIGN_OR_RETURN(ClassificationScores scores,
                              ComputeScores(truth, preds));
+  const double elapsed_us = timer.Stop();
+  if (duration_us != nullptr) *duration_us = elapsed_us;
   return scores.accuracy;
 }
 
@@ -134,17 +158,31 @@ Status RunFoldItems(const Dataset& data,
                     int num_threads,
                     std::vector<std::vector<double>>& accuracies) {
   accuracies.assign(configs.size(), {});
+  // Measured item durations (slot per item: workers write disjoint
+  // elements, futures synchronize the reads below). Summed per tuning
+  // point into the grid-point histogram after the harvest.
+  std::vector<std::vector<double>> item_durations_us(configs.size());
   for (size_t i = 0; i < configs.size(); ++i) {
     accuracies[i].assign(fold_sets[i].size(), 0.0);
+    item_durations_us[i].assign(fold_sets[i].size(), 0.0);
   }
+  auto observe_point_totals = [&item_durations_us]() {
+    for (const std::vector<double>& point : item_durations_us) {
+      double total_us = 0.0;
+      for (double d : point) total_us += d;
+      GridPointHistogram()->Observe(total_us);
+    }
+  };
   if (num_threads <= 1) {
     for (size_t i = 0; i < configs.size(); ++i) {
       for (size_t j = 0; j < fold_sets[i].size(); ++j) {
         CLOUDSURV_ASSIGN_OR_RETURN(
-            accuracies[i][j], EvaluateFold(data, fold_sets[i][j],
-                                           configs[i], item_seeds[i][j]));
+            accuracies[i][j],
+            EvaluateFold(data, fold_sets[i][j], configs[i],
+                         item_seeds[i][j], &item_durations_us[i][j]));
       }
     }
+    observe_point_totals();
     return Status::OK();
   }
 
@@ -161,9 +199,10 @@ Status RunFoldItems(const Dataset& data,
     futures[i].reserve(fold_sets[i].size());
     for (size_t j = 0; j < fold_sets[i].size(); ++j) {
       futures[i].push_back(pool.Submit([&data, &fold_sets, &worker_params,
-                                        &item_seeds, i, j]() {
+                                        &item_seeds, &item_durations_us, i,
+                                        j]() {
         return EvaluateFold(data, fold_sets[i][j], worker_params[i],
-                            item_seeds[i][j]);
+                            item_seeds[i][j], &item_durations_us[i][j]);
       }));
     }
   }
@@ -178,6 +217,7 @@ Status RunFoldItems(const Dataset& data,
       accuracies[i][j] = r.value();
     }
   }
+  observe_point_totals();
   return first_error;
 }
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace cloudsurv::ml {
 
 namespace {
@@ -18,6 +20,16 @@ double GiniFromCounts(const std::vector<double>& counts, double total) {
     sum_sq += p * p;
   }
   return 1.0 - sum_sq;
+}
+
+// Per-tree split-search time (one sample per fitted tree, exact or
+// histogram path alike; ensembles contribute one sample per member).
+obs::Histogram* TreeFitHistogram() {
+  static obs::Histogram* const tree_fit_us =
+      obs::Registry::Default().GetHistogram(
+          "cloudsurv_ml_tree_fit_us",
+          "Split search + node construction time of one decision tree");
+  return tree_fit_us;
 }
 
 }  // namespace
@@ -62,6 +74,7 @@ Status DecisionTreeClassifier::FitSubset(
     return FitBinned(binned, data.labels(), data.num_classes(),
                      sample_indices, params, seed);
   }
+  obs::ScopedTimer timer(TreeFitHistogram());
   nodes_.clear();
   depth_ = 0;
   num_classes_ = data.num_classes();
@@ -286,6 +299,7 @@ Status DecisionTreeClassifier::FitBinned(
       return Status::InvalidArgument("class weights must be positive");
     }
   }
+  obs::ScopedTimer timer(TreeFitHistogram());
   nodes_.clear();
   depth_ = 0;
   num_classes_ = num_classes;

@@ -1,0 +1,173 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace cloudsurv::obs {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering: integers print without a
+/// decimal point, which both formats' consumers prefer.
+std::string FormatNumber(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` or empty when there are no labels. `extra` appends one
+/// more pair (used for histogram `le`).
+std::string RenderLabels(const LabelSet& labels,
+                         const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  };
+  for (const auto& [key, value] : labels) append(key, value);
+  if (extra != nullptr) append(extra->first, extra->second);
+  out += "}";
+  return out;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const Registry& registry) {
+  std::string out;
+  std::string previous_family;
+  for (const SeriesRef& series : registry.Series()) {
+    if (series.name != previous_family) {
+      previous_family = series.name;
+      out += "# HELP " + series.name + " " + series.help;
+      if (!series.unit.empty()) out += " [" + series.unit + "]";
+      out += "\n# TYPE " + series.name + " ";
+      out += TypeName(series.type);
+      out += "\n";
+    }
+    switch (series.type) {
+      case MetricType::kCounter: {
+        char line[32];
+        std::snprintf(line, sizeof(line), "%" PRIu64,
+                      series.counter->Value());
+        out += series.name + RenderLabels(series.labels, nullptr) + " " +
+               line + "\n";
+        break;
+      }
+      case MetricType::kGauge:
+        out += series.name + RenderLabels(series.labels, nullptr) + " " +
+               FormatNumber(series.gauge->Value()) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        const auto counts = series.histogram->BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          cumulative += counts[b];
+          const std::pair<std::string, std::string> le = {
+              "le", b < Histogram::kNumFiniteBuckets
+                        ? FormatNumber(Histogram::BucketBound(b))
+                        : "+Inf"};
+          char line[32];
+          std::snprintf(line, sizeof(line), "%" PRIu64, cumulative);
+          out += series.name + "_bucket" +
+                 RenderLabels(series.labels, &le) + " " + line + "\n";
+        }
+        out += series.name + "_sum" + RenderLabels(series.labels, nullptr) +
+               " " + FormatNumber(series.histogram->Sum()) + "\n";
+        char line[32];
+        std::snprintf(line, sizeof(line), "%" PRIu64, cumulative);
+        out += series.name + "_count" +
+               RenderLabels(series.labels, nullptr) + " " + line + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const Registry& registry) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const SeriesRef& series : registry.Series()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + series.name + "\", \"type\": \"";
+    out += TypeName(series.type);
+    out += "\", \"labels\": {";
+    bool first_label = true;
+    for (const auto& [key, value] : series.labels) {
+      if (!first_label) out += ", ";
+      first_label = false;
+      out += "\"" + key + "\": \"" + EscapeLabelValue(value) + "\"";
+    }
+    out += "}";
+    switch (series.type) {
+      case MetricType::kCounter: {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                      series.counter->Value());
+        out += std::string(", \"value\": ") + buffer;
+        break;
+      }
+      case MetricType::kGauge:
+        out += ", \"value\": " + FormatNumber(series.gauge->Value());
+        break;
+      case MetricType::kHistogram: {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                      series.histogram->Count());
+        out += std::string(", \"count\": ") + buffer;
+        out += ", \"sum\": " + FormatNumber(series.histogram->Sum());
+        out += ", \"p50\": " +
+               FormatNumber(series.histogram->Quantile(0.50));
+        out += ", \"p99\": " +
+               FormatNumber(series.histogram->Quantile(0.99));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace cloudsurv::obs

@@ -1,0 +1,32 @@
+#ifndef CLOUDSURV_OBS_EXPORT_H_
+#define CLOUDSURV_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cloudsurv::obs {
+
+/// Prometheus text exposition format (version 0.0.4): one
+/// `# HELP` / `# TYPE` pair per family, then one sample line per
+/// series; histograms expand to `_bucket{le=...}` / `_sum` / `_count`.
+/// Series order is deterministic (registry order: name, then labels).
+std::string ExportPrometheusText(const Registry& registry);
+
+/// Registry state as a JSON document, matching the repo's bench
+/// artifact convention:
+///
+///   {"metrics": [
+///     {"name": ..., "type": "counter", "labels": {...}, "value": N},
+///     {"name": ..., "type": "gauge", "labels": {...}, "value": X},
+///     {"name": ..., "type": "histogram", "labels": {...},
+///      "count": N, "sum": X, "p50": X, "p99": X}
+///   ]}
+///
+/// Histogram bucket vectors are omitted to keep snapshots small; the
+/// Prometheus exporter carries the full distribution.
+std::string ExportJson(const Registry& registry);
+
+}  // namespace cloudsurv::obs
+
+#endif  // CLOUDSURV_OBS_EXPORT_H_

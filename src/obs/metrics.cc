@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cloudsurv::obs {
+
+namespace {
+
+/// Bucket for a sample: smallest b with value <= 2^b, capped at the
+/// overflow bucket.
+size_t BucketIndexFor(double value) {
+  if (value <= 1.0) return 0;
+  const double log2v = std::log2(value);
+  const double b = std::ceil(log2v);
+  // Exact powers of two land in their own bucket (le bound inclusive).
+  if (b >= static_cast<double>(Histogram::kNumFiniteBuckets)) {
+    return Histogram::kNumFiniteBuckets;  // overflow
+  }
+  return static_cast<size_t>(b);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  const double v = value > 0.0 ? value : 0.0;
+  buckets_[BucketIndexFor(v)].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(sum_, v);
+}
+
+double Histogram::BucketBound(size_t b) {
+  if (b >= kNumFiniteBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts()
+    const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const auto counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double target = clamped * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= target) {
+      const double lower = b == 0 ? 0.0 : BucketBound(b - 1);
+      if (b >= kNumFiniteBuckets) return lower;  // overflow bucket
+      const double upper = BucketBound(b);
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return BucketBound(kNumFiniteBuckets - 1);
+}
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        std::string_view help,
+                                        std::string_view unit,
+                                        MetricType type,
+                                        const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(std::string(name), std::move(sorted));
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    return it->second.type == type ? &it->second : nullptr;
+  }
+  Entry entry;
+  entry.help = std::string(help);
+  entry.unit = std::string(unit);
+  entry.type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &series_.emplace(std::move(key), std::move(entry))
+              .first->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help,
+                              std::string_view unit, LabelSet labels) {
+  Entry* entry =
+      FindOrCreate(name, help, unit, MetricType::kCounter, labels);
+  return entry == nullptr ? nullptr : entry->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
+                          std::string_view unit, LabelSet labels) {
+  Entry* entry = FindOrCreate(name, help, unit, MetricType::kGauge, labels);
+  return entry == nullptr ? nullptr : entry->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view help,
+                                  std::string_view unit, LabelSet labels) {
+  Entry* entry =
+      FindOrCreate(name, help, unit, MetricType::kHistogram, labels);
+  return entry == nullptr ? nullptr : entry->histogram.get();
+}
+
+std::vector<SeriesRef> Registry::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesRef> out;
+  out.reserve(series_.size());
+  for (const auto& [key, entry] : series_) {
+    SeriesRef ref;
+    ref.name = key.first;
+    ref.labels = key.second;
+    ref.help = entry.help;
+    ref.unit = entry.unit;
+    ref.type = entry.type;
+    ref.counter = entry.counter.get();
+    ref.gauge = entry.gauge.get();
+    ref.histogram = entry.histogram.get();
+    out.push_back(std::move(ref));
+  }
+  return out;  // std::map iteration is already (name, labels)-sorted
+}
+
+TraceSpan::TraceSpan(std::string_view name, Registry* registry)
+    : timer_(registry->GetHistogram(std::string(name) + "_us",
+                                    "Trace span duration", "us")) {}
+
+}  // namespace cloudsurv::obs

@@ -1,0 +1,253 @@
+#ifndef CLOUDSURV_OBS_METRICS_H_
+#define CLOUDSURV_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cloudsurv::obs {
+
+/// Process-wide observability primitives.
+///
+/// This layer sits *below* common (it depends only on the standard
+/// library), so every other library — common's ThreadPool included —
+/// may instrument itself against it. Three metric types:
+///
+///   Counter   — monotone event count. Hot-path increments are a
+///               relaxed atomic add into a per-thread cache-line-padded
+///               cell; Value() merges the cells on read, so concurrent
+///               increments from any number of threads sum exactly.
+///   Gauge     — a level that moves both ways (queue depth, pending
+///               events). Set()/Add() on an atomic double.
+///   Histogram — distribution of non-negative samples (latencies in
+///               microseconds by convention) over fixed log-scale
+///               buckets: powers of two from 1 to 2^25, plus overflow.
+///               Quantile() interpolates inside the winning bucket and
+///               is defined (0) on an empty histogram.
+///
+/// Metric objects are owned by a Registry and never destroyed before
+/// it; call sites hold raw pointers resolved once (construction time /
+/// first use), so the hot path never touches the registry mutex.
+/// Series identity is (name, label set): registering the same name with
+/// the same labels returns the same object, different labels a sibling
+/// series of the same family.
+
+/// Sorted (key, value) pairs identifying one series within a family.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+/// Index of the calling thread's counter cell (stable per thread).
+inline size_t ThreadCellIndex() {
+  thread_local const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return index;
+}
+
+/// Relaxed add on an atomic double (CAS loop — atomic<double>::fetch_add
+/// is C++20 and not universally implemented).
+inline void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds `n` (relaxed, per-thread cell — safe and exact from any
+  /// number of threads).
+  void Increment(uint64_t n = 1) {
+    cells_[internal::ThreadCellIndex() & (kCells - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged total across cells.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kCells = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Cell, kCells> cells_;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { internal::AtomicAdd(value_, delta); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// Finite upper bounds 2^0 .. 2^25 plus the overflow bucket.
+  static constexpr size_t kNumFiniteBuckets = 26;
+  static constexpr size_t kNumBuckets = kNumFiniteBuckets + 1;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample (negative samples count as 0).
+  void Observe(double value);
+
+  /// Inclusive upper bound of bucket `b` (infinity for the last).
+  static double BucketBound(size_t b);
+
+  /// Estimated q-quantile (q in [0, 1]): linear interpolation inside
+  /// the bucket holding the target rank; the overflow bucket reports
+  /// its lower bound. Returns 0 when no samples have been recorded —
+  /// empty histograms have well-defined (zero) quantiles.
+  double Quantile(double q) const;
+
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Consistent copy of the bucket counts (index = bucket).
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One registered series, as seen by exporters.
+struct SeriesRef {
+  std::string name;
+  std::string help;
+  std::string unit;  ///< e.g. "us", "events"; empty when dimensionless.
+  MetricType type = MetricType::kCounter;
+  LabelSet labels;
+  const Counter* counter = nullptr;      ///< set iff type == kCounter
+  const Gauge* gauge = nullptr;          ///< set iff type == kGauge
+  const Histogram* histogram = nullptr;  ///< set iff type == kHistogram
+};
+
+/// Thread-safe name -> metric table. `Default()` is the process-wide
+/// instance every library registers into; independent instances exist
+/// only so tests can assert golden exporter output in isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  /// Finds or creates the series (name, labels). The same pair always
+  /// returns the same object. Returns nullptr if the name is already
+  /// registered as a different metric type (a programming error the
+  /// caller can surface).
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      std::string_view unit = "", LabelSet labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  std::string_view unit = "", LabelSet labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::string_view unit = "us",
+                          LabelSet labels = {});
+
+  /// Every registered series, sorted by (name, labels) so exporter
+  /// output is deterministic.
+  std::vector<SeriesRef> Series() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::string unit;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view help,
+                      std::string_view unit, MetricType type,
+                      const LabelSet& labels);
+
+  mutable std::mutex mu_;
+  /// Keyed by (name, sorted labels); std::map keeps iteration sorted.
+  std::map<std::pair<std::string, LabelSet>, Entry> series_;
+};
+
+/// Times a scope and records the elapsed microseconds into a histogram
+/// resolved ahead of time (hot-path form: no registry lookup).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now and disarms; returns the elapsed microseconds.
+  double Stop() {
+    if (histogram_ == nullptr) return 0.0;
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    histogram_->Observe(elapsed_us);
+    histogram_ = nullptr;
+    return elapsed_us;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named trace span: resolves (or creates) the `<name>_us` histogram in
+/// the given registry at construction and records its own duration on
+/// destruction. Convenient for coarse phases; use ScopedTimer with a
+/// pre-resolved histogram inside per-item hot loops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     Registry* registry = &Registry::Default());
+  ~TraceSpan() = default;  // timer_ records on destruction
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early; returns the elapsed microseconds.
+  double End() { return timer_.Stop(); }
+
+ private:
+  ScopedTimer timer_;
+};
+
+}  // namespace cloudsurv::obs
+
+#endif  // CLOUDSURV_OBS_METRICS_H_

@@ -20,9 +20,23 @@ uint64_t MixId(uint64_t x) {
 
 EventIngestBuffer::EventIngestBuffer(size_t num_shards) {
   const size_t n = std::max<size_t>(1, num_shards);
+  obs::Registry& registry = obs::Registry::Default();
+  rejected_total_ = registry.GetCounter(
+      "cloudsurv_ingest_rejected_total",
+      "Events rejected at ingest (invalid database/subscription id)",
+      "events");
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    const obs::LabelSet labels = {{"shard", std::to_string(i)}};
+    shard->events_total = registry.GetCounter(
+        "cloudsurv_ingest_events_total", "Events accepted by Ingest()",
+        "events", labels);
+    shard->pending_events = registry.GetGauge(
+        "cloudsurv_ingest_pending_events",
+        "Events staged in the shard awaiting the next poll", "events",
+        labels);
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -33,9 +47,11 @@ size_t EventIngestBuffer::ShardOf(
 
 Status EventIngestBuffer::Ingest(telemetry::Event event) {
   if (event.database_id == telemetry::kInvalidId) {
+    rejected_total_->Increment();
     return Status::InvalidArgument("event has invalid database id");
   }
   if (event.subscription_id == telemetry::kInvalidId) {
+    rejected_total_->Increment();
     return Status::InvalidArgument("event has invalid subscription id");
   }
   Shard& shard = *shards_[ShardOf(event.subscription_id)];
@@ -43,6 +59,8 @@ Status EventIngestBuffer::Ingest(telemetry::Event event) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.events.push_back(std::move(event));
   }
+  shard.events_total->Increment();
+  shard.pending_events->Add(1.0);
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -50,8 +68,11 @@ Status EventIngestBuffer::Ingest(telemetry::Event event) {
 std::vector<telemetry::Event> EventIngestBuffer::TakeShard(size_t shard) {
   std::vector<telemetry::Event> out;
   Shard& s = *shards_[shard % shards_.size()];
-  std::lock_guard<std::mutex> lock(s.mu);
-  out.swap(s.events);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.swap(s.events);
+  }
+  if (!out.empty()) s.pending_events->Add(-static_cast<double>(out.size()));
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "telemetry/events.h"
 
 namespace cloudsurv::serving {
@@ -58,10 +59,15 @@ class EventIngestBuffer {
   struct Shard {
     std::mutex mu;
     std::vector<telemetry::Event> events;
+    /// Process-wide per-shard series (label shard="i"; shared by every
+    /// buffer with that shard index — see docs/observability.md).
+    obs::Counter* events_total = nullptr;
+    obs::Gauge* pending_events = nullptr;
   };
 
   // unique_ptr keeps Shard addresses stable (mutexes are immovable).
   std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Counter* rejected_total_ = nullptr;
   std::atomic<uint64_t> events_ingested_{0};
 };
 

@@ -24,7 +24,6 @@ Timestamp MaturityOf(Timestamp created_at, double observe_days) {
 /// Result of one shard scoring task.
 struct ShardBatchResult {
   std::vector<ScoredDatabase> scored;
-  std::vector<uint32_t> latencies_us;
   uint64_t skipped = 0;
   Status status;  // Non-OK only for snapshot materialization failures.
 };
@@ -42,12 +41,60 @@ RegionContext RegionContext::FromStore(
   return ctx;
 }
 
+ScoringEngine::EngineSeries ScoringEngine::MakeEngineSeries() {
+  // Each engine gets its own labelled series so EngineMetrics stays
+  // per-instance even though the registry is process-wide.
+  static std::atomic<uint64_t> next_instance{0};
+  const obs::LabelSet labels = {
+      {"engine",
+       std::to_string(next_instance.fetch_add(1,
+                                              std::memory_order_relaxed))}};
+  obs::Registry& registry = obs::Registry::Default();
+  EngineSeries series;
+  series.events_flushed = registry.GetCounter(
+      "cloudsurv_engine_events_flushed_total",
+      "Events moved from the ingest buffer into shard logs", "events",
+      labels);
+  series.databases_tracked = registry.GetCounter(
+      "cloudsurv_engine_databases_tracked_total",
+      "Creations registered with the maturity tracker", "databases",
+      labels);
+  series.databases_cancelled = registry.GetCounter(
+      "cloudsurv_engine_databases_cancelled_total",
+      "Databases dropped before their observation window elapsed",
+      "databases", labels);
+  series.databases_scored = registry.GetCounter(
+      "cloudsurv_engine_databases_scored_total",
+      "Assessments produced by scoring tasks", "databases", labels);
+  series.databases_confident = registry.GetCounter(
+      "cloudsurv_engine_databases_confident_total",
+      "Assessments inside the confident probability bands", "databases",
+      labels);
+  series.databases_skipped = registry.GetCounter(
+      "cloudsurv_engine_databases_skipped_total",
+      "Matured databases whose Assess() call failed", "databases",
+      labels);
+  series.polls = registry.GetCounter("cloudsurv_engine_polls_total",
+                                     "Poll()/Drain() cycles", "polls",
+                                     labels);
+  series.snapshots = registry.GetCounter(
+      "cloudsurv_engine_snapshots_total",
+      "Per-shard TelemetryStore snapshots materialized", "snapshots",
+      labels);
+  series.scoring_latency_us = registry.GetHistogram(
+      "cloudsurv_engine_scoring_latency_us",
+      "Per-database Assess() latency inside worker threads", "us",
+      labels);
+  return series;
+}
+
 ScoringEngine::ScoringEngine(RegionContext region, Options options)
     : region_(std::move(region)),
       options_(options),
       ingest_(options.num_shards),
       pool_(options.num_threads, options.queue_capacity),
-      shard_logs_(ingest_.num_shards()) {}
+      shard_logs_(ingest_.num_shards()),
+      series_(MakeEngineSeries()) {}
 
 ScoringEngine::~ScoringEngine() { pool_.Shutdown(); }
 
@@ -56,11 +103,15 @@ Status ScoringEngine::Ingest(telemetry::Event event) {
 }
 
 void ScoringEngine::AbsorbStagedEvents() {
+  // Tracker totals are authoritative (Add dedupes, Cancel checks
+  // maturity); mirror them onto the registry by delta.
+  const uint64_t added_before = tracker_.total_added();
+  const uint64_t cancelled_before = tracker_.total_cancelled();
   std::vector<std::vector<Event>> staged = ingest_.TakeAll();
   for (size_t shard = 0; shard < staged.size(); ++shard) {
     std::vector<Event>& batch = staged[shard];
     if (batch.empty()) continue;
-    events_flushed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    series_.events_flushed->Increment(batch.size());
     for (const Event& event : batch) {
       switch (event.kind()) {
         case EventKind::kDatabaseCreated: {
@@ -86,6 +137,10 @@ void ScoringEngine::AbsorbStagedEvents() {
     log.events.reserve(log.events.size() + batch.size());
     std::move(batch.begin(), batch.end(), std::back_inserter(log.events));
   }
+  series_.databases_tracked->Increment(tracker_.total_added() -
+                                       added_before);
+  series_.databases_cancelled->Increment(tracker_.total_cancelled() -
+                                         cancelled_before);
 }
 
 Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
@@ -138,19 +193,16 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
             result.status = finalized;
             return result;
           }
-          snapshots_built_.fetch_add(1, std::memory_order_relaxed);
+          series_.snapshots->Increment();
 
           result.scored.reserve(task_batch.size());
-          result.latencies_us.reserve(task_batch.size());
           for (const PendingDatabase& pending : task_batch) {
-            const auto t0 = std::chrono::steady_clock::now();
+            // ScopedTimer records into the engine's latency histogram;
+            // the histogram is thread-safe so tasks observe directly.
+            obs::ScopedTimer timer(series_.scoring_latency_us);
             auto assessment =
                 active.model->Assess(snapshot, pending.database_id);
-            const auto t1 = std::chrono::steady_clock::now();
-            result.latencies_us.push_back(static_cast<uint32_t>(
-                std::chrono::duration_cast<std::chrono::microseconds>(t1 -
-                                                                      t0)
-                    .count()));
+            timer.Stop();
             if (!assessment.ok()) {
               // E.g. dropped exactly inside the window with the drop
               // event racing the maturity cutoff — batch Assess() on
@@ -179,15 +231,13 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
       if (first_error.ok()) first_error = result.status;
       continue;
     }
-    databases_scored_.fetch_add(result.scored.size(),
-                                std::memory_order_relaxed);
-    databases_skipped_.fetch_add(result.skipped, std::memory_order_relaxed);
+    series_.databases_scored->Increment(result.scored.size());
+    series_.databases_skipped->Increment(result.skipped);
     uint64_t confident = 0;
     for (const ScoredDatabase& s : result.scored) {
       if (s.assessment.confident) ++confident;
     }
-    databases_confident_.fetch_add(confident, std::memory_order_relaxed);
-    RecordLatencies(result.latencies_us);
+    series_.databases_confident->Increment(confident);
     std::move(result.scored.begin(), result.scored.end(),
               std::back_inserter(all));
   }
@@ -201,51 +251,33 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
 }
 
 Result<std::vector<ScoredDatabase>> ScoringEngine::Poll(Timestamp now) {
-  polls_.fetch_add(1, std::memory_order_relaxed);
+  series_.polls->Increment();
   AbsorbStagedEvents();
   return ScoreDue(tracker_.TakeDue(now));
 }
 
 Result<std::vector<ScoredDatabase>> ScoringEngine::Drain() {
-  polls_.fetch_add(1, std::memory_order_relaxed);
+  series_.polls->Increment();
   AbsorbStagedEvents();
   return ScoreDue(tracker_.TakeAll());
-}
-
-void ScoringEngine::RecordLatencies(
-    const std::vector<uint32_t>& latencies_us) {
-  if (latencies_us.empty()) return;
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  scoring_latencies_us_.insert(scoring_latencies_us_.end(),
-                               latencies_us.begin(), latencies_us.end());
 }
 
 EngineMetrics ScoringEngine::Metrics() const {
   EngineMetrics m;
   m.events_ingested = ingest_.events_ingested();
-  m.events_flushed = events_flushed_.load(std::memory_order_relaxed);
+  m.events_flushed = series_.events_flushed->Value();
   m.databases_tracked = tracker_.total_added();
   m.databases_cancelled = tracker_.total_cancelled();
-  m.databases_scored = databases_scored_.load(std::memory_order_relaxed);
-  m.databases_confident =
-      databases_confident_.load(std::memory_order_relaxed);
-  m.databases_skipped = databases_skipped_.load(std::memory_order_relaxed);
-  m.polls = polls_.load(std::memory_order_relaxed);
-  m.snapshots_built = snapshots_built_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    if (!scoring_latencies_us_.empty()) {
-      std::vector<uint32_t> sorted = scoring_latencies_us_;
-      std::sort(sorted.begin(), sorted.end());
-      auto quantile = [&sorted](double q) {
-        const size_t idx = static_cast<size_t>(
-            q * static_cast<double>(sorted.size() - 1) + 0.5);
-        return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
-      };
-      m.scoring_p50_us = quantile(0.50);
-      m.scoring_p99_us = quantile(0.99);
-    }
-  }
+  m.databases_scored = series_.databases_scored->Value();
+  m.databases_confident = series_.databases_confident->Value();
+  m.databases_skipped = series_.databases_skipped->Value();
+  m.polls = series_.polls->Value();
+  m.snapshots_built = series_.snapshots->Value();
+  // Histogram quantiles: bucket-interpolated estimates, and exactly 0
+  // when no assessment has run yet (an empty histogram has well-defined
+  // quantiles — no empty-reservoir garbage).
+  m.scoring_p50_us = series_.scoring_latency_us->Quantile(0.50);
+  m.scoring_p99_us = series_.scoring_latency_us->Quantile(0.99);
   return m;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "core/service.h"
+#include "obs/metrics.h"
 #include "serving/event_ingest.h"
 #include "serving/maturity_tracker.h"
 #include "serving/model_registry.h"
@@ -44,6 +45,13 @@ struct ScoredDatabase {
 /// Point-in-time engine counters. Latency quantiles cover the per-
 /// database Assess() call (feature extraction + forest inference)
 /// inside worker threads, in microseconds.
+///
+/// This struct is a *view*: the authoritative state lives in the
+/// process-wide obs::Registry as `cloudsurv_engine_*` series labelled
+/// with this engine's instance id (so multiple engines in one process
+/// stay distinguishable, and `Metrics()` keeps per-engine semantics).
+/// Quantiles are estimated from the registry histogram's log-scale
+/// buckets and are 0 when no assessment has been recorded.
 struct EngineMetrics {
   uint64_t events_ingested = 0;
   uint64_t events_flushed = 0;
@@ -144,7 +152,22 @@ class ScoringEngine {
   Result<std::vector<ScoredDatabase>> ScoreDue(
       std::vector<PendingDatabase> due);
 
-  void RecordLatencies(const std::vector<uint32_t>& latencies_us);
+  /// Registry-owned series backing EngineMetrics, labelled
+  /// engine="<instance id>". Raw pointers resolved at construction;
+  /// the registry outlives every engine.
+  struct EngineSeries {
+    obs::Counter* events_flushed = nullptr;
+    obs::Counter* databases_tracked = nullptr;
+    obs::Counter* databases_cancelled = nullptr;
+    obs::Counter* databases_scored = nullptr;
+    obs::Counter* databases_confident = nullptr;
+    obs::Counter* databases_skipped = nullptr;
+    obs::Counter* polls = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Histogram* scoring_latency_us = nullptr;
+  };
+
+  static EngineSeries MakeEngineSeries();
 
   RegionContext region_;
   Options options_;
@@ -159,15 +182,7 @@ class ScoringEngine {
   /// again), so they need no lock of their own.
   std::vector<ShardLog> shard_logs_;
 
-  std::atomic<uint64_t> events_flushed_{0};
-  std::atomic<uint64_t> databases_scored_{0};
-  std::atomic<uint64_t> databases_confident_{0};
-  std::atomic<uint64_t> databases_skipped_{0};
-  std::atomic<uint64_t> polls_{0};
-  std::atomic<uint64_t> snapshots_built_{0};
-
-  mutable std::mutex latency_mu_;
-  std::vector<uint32_t> scoring_latencies_us_;
+  EngineSeries series_;
 };
 
 }  // namespace cloudsurv::serving

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace cloudsurv::survival {
 
 namespace {
@@ -323,9 +325,15 @@ Status RandomSurvivalForest::Fit(
                     }));
   }
 
+  // One sample per fitted survival tree (split search + node build).
+  static obs::Histogram* const tree_fit_us =
+      obs::Registry::Default().GetHistogram(
+          "cloudsurv_survival_tree_fit_us",
+          "Split search + node construction time of one survival tree");
   const Rng root(seed);
   const size_t n = data.size();
   for (int t = 0; t < params.num_trees; ++t) {
+    obs::ScopedTimer timer(tree_fit_us);
     Rng rng = root.Fork(static_cast<uint64_t>(t) + 1);
     std::vector<size_t> sample(n);
     for (size_t i = 0; i < n; ++i) {

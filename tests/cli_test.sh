@@ -20,6 +20,23 @@ test -s "$WORK/svc.model"
   --model "$WORK/svc.model" --top 3 | tee "$WORK/assess.txt"
 grep -q "assessed" "$WORK/assess.txt"
 
+# serve-sim with periodic metrics dumps: the output must contain valid
+# Prometheus text exposition (HELP/TYPE + engine counters) and the
+# --metrics-out JSON snapshot must be written and well-formed.
+"$CLI" serve-sim --region 2 --subs 300 --seed 5 \
+  --metrics-interval 90 --metrics-out "$WORK/metrics.json" \
+  | tee "$WORK/serve.txt"
+grep -q "IDENTICAL" "$WORK/serve.txt"
+grep -q "# TYPE cloudsurv_engine_polls_total counter" "$WORK/serve.txt"
+grep -q "# TYPE cloudsurv_engine_scoring_latency_us histogram" "$WORK/serve.txt"
+grep -q "cloudsurv_engine_scoring_latency_us_bucket{engine=\"0\",le=\"+Inf\"}" \
+  "$WORK/serve.txt"
+grep -q "cloudsurv_ingest_events_total{shard=\"0\"}" "$WORK/serve.txt"
+test -s "$WORK/metrics.json"
+grep -q "\"metrics\": \[" "$WORK/metrics.json"
+grep -q "\"name\": \"cloudsurv_engine_databases_scored_total\"" \
+  "$WORK/metrics.json"
+
 # Error paths exit non-zero.
 if "$CLI" analyze --telemetry /nonexistent.csv 2>/dev/null; then
   echo "expected failure on missing telemetry" >&2

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cloudsurv::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAddBothWays) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(10.0);
+  gauge.Add(5.0);
+  gauge.Add(-12.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge]() {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroQuantiles) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+  EXPECT_EQ(histogram.Mean(), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.99), 0.0);
+  EXPECT_EQ(histogram.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketBound(0), 1.0);
+  EXPECT_EQ(Histogram::BucketBound(1), 2.0);
+  EXPECT_EQ(Histogram::BucketBound(10), 1024.0);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketBound(Histogram::kNumFiniteBuckets)));
+}
+
+TEST(HistogramTest, SamplesLandInTheRightBuckets) {
+  Histogram histogram;
+  histogram.Observe(0.5);   // bucket 0 (le 1)
+  histogram.Observe(1.0);   // bucket 0 (le bound inclusive)
+  histogram.Observe(1.5);   // bucket 1 (le 2)
+  histogram.Observe(100.0); // bucket 7 (le 128)
+  histogram.Observe(-3.0);  // clamped to 0 -> bucket 0
+  histogram.Observe(1e12);  // overflow bucket
+  const auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[7], 1u);
+  EXPECT_EQ(counts[Histogram::kNumFiniteBuckets], 1u);
+  EXPECT_EQ(histogram.Count(), 6u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBracketed) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  const double p50 = histogram.Quantile(0.50);
+  const double p90 = histogram.Quantile(0.90);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // The true p50 is 500; a log-bucket estimate must stay within the
+  // bucket that holds it (256, 512].
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsCountExactly) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(histogram.Count(), kThreads * kPerThread);
+  // Sum of t+1 over threads, kPerThread times each.
+  EXPECT_DOUBLE_EQ(histogram.Sum(),
+                   kPerThread * (kThreads * (kThreads + 1)) / 2.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameObject) {
+  Registry registry;
+  Counter* a = registry.GetCounter("cloudsurv_test_total", "help");
+  Counter* b = registry.GetCounter("cloudsurv_test_total", "help");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, DifferentLabelsAreDistinctSeries) {
+  Registry registry;
+  Counter* a = registry.GetCounter("cloudsurv_test_total", "help", "",
+                                   {{"shard", "0"}});
+  Counter* b = registry.GetCounter("cloudsurv_test_total", "help", "",
+                                   {{"shard", "1"}});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  b->Increment(7);
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(b->Value(), 7u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotMatter) {
+  Registry registry;
+  Gauge* a = registry.GetGauge("cloudsurv_test_gauge", "help", "",
+                               {{"a", "1"}, {"b", "2"}});
+  Gauge* b = registry.GetGauge("cloudsurv_test_gauge", "help", "",
+                               {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsNull) {
+  Registry registry;
+  ASSERT_NE(registry.GetCounter("cloudsurv_test_metric", "help"), nullptr);
+  EXPECT_EQ(registry.GetGauge("cloudsurv_test_metric", "help"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("cloudsurv_test_metric", "help"),
+            nullptr);
+}
+
+TEST(RegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&Registry::Default(), &Registry::Default());
+}
+
+TEST(ScopedTimerTest, RecordsIntoTheRightHistogram) {
+  Registry registry;
+  Histogram* target = registry.GetHistogram("cloudsurv_test_a_us", "help");
+  Histogram* other = registry.GetHistogram("cloudsurv_test_b_us", "help");
+  {
+    ScopedTimer timer(target);
+  }
+  EXPECT_EQ(target->Count(), 1u);
+  EXPECT_EQ(other->Count(), 0u);
+}
+
+TEST(ScopedTimerTest, StopDisarmsAndReturnsElapsed) {
+  Registry registry;
+  Histogram* target = registry.GetHistogram("cloudsurv_test_us", "help");
+  ScopedTimer timer(target);
+  const double elapsed = timer.Stop();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_EQ(timer.Stop(), 0.0);  // second Stop is a no-op
+  EXPECT_EQ(target->Count(), 1u);  // destructor must not double-record
+}
+
+TEST(TraceSpanTest, CreatesAndFillsNamedHistogram) {
+  Registry registry;
+  { TraceSpan span("cloudsurv_test_span", &registry); }
+  Histogram* histogram =
+      registry.GetHistogram("cloudsurv_test_span_us", "any");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Count(), 1u);
+}
+
+TEST(ExportTest, PrometheusGoldenOutput) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("cloudsurv_test_events_total",
+                                         "Events seen", "events",
+                                         {{"shard", "0"}});
+  counter->Increment(5);
+  Gauge* gauge = registry.GetGauge("cloudsurv_test_depth", "Queue depth");
+  gauge->Set(2.5);
+  const std::string text = ExportPrometheusText(registry);
+  EXPECT_EQ(text,
+            "# HELP cloudsurv_test_depth Queue depth\n"
+            "# TYPE cloudsurv_test_depth gauge\n"
+            "cloudsurv_test_depth 2.5\n"
+            "# HELP cloudsurv_test_events_total Events seen [events]\n"
+            "# TYPE cloudsurv_test_events_total counter\n"
+            "cloudsurv_test_events_total{shard=\"0\"} 5\n");
+}
+
+TEST(ExportTest, PrometheusHistogramExpansion) {
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("cloudsurv_test_latency_us", "Latency");
+  histogram->Observe(1.0);
+  histogram->Observe(3.0);
+  const std::string text = ExportPrometheusText(registry);
+  // Cumulative buckets: le="1" holds 1 sample, le="4" and later hold 2.
+  EXPECT_NE(text.find("cloudsurv_test_latency_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloudsurv_test_latency_us_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloudsurv_test_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloudsurv_test_latency_us_sum 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloudsurv_test_latency_us_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloudsurv_test_latency_us histogram\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonGoldenOutput) {
+  Registry registry;
+  registry.GetCounter("cloudsurv_test_total", "help", "events",
+                      {{"engine", "0"}})
+      ->Increment(7);
+  registry.GetHistogram("cloudsurv_test_us", "help")->Observe(2.0);
+  const std::string json = ExportJson(registry);
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"metrics\": [\n"
+            "    {\"name\": \"cloudsurv_test_total\", \"type\": "
+            "\"counter\", \"labels\": {\"engine\": \"0\"}, "
+            "\"value\": 7},\n"
+            "    {\"name\": \"cloudsurv_test_us\", \"type\": "
+            "\"histogram\", \"labels\": {}, \"count\": 1, \"sum\": 2, "
+            "\"p50\": 1.5, \"p99\": 1.99}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(ExportTest, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("cloudsurv_test_total", "help", "",
+                      {{"path", "a\"b\\c"}});
+  const std::string text = ExportPrometheusText(registry);
+  EXPECT_NE(text.find("{path=\"a\\\"b\\\\c\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudsurv::obs

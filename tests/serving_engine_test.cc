@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serving/event_ingest.h"
 #include "serving/maturity_tracker.h"
 #include "serving/model_registry.h"
@@ -157,6 +159,37 @@ TEST(ScoringEngineTest, PollWithoutModelFails) {
   auto result = engine.Drain();
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScoringEngineTest, MetricsWellDefinedBeforeAnyScoring) {
+  ScoringEngine::Options options;
+  options.num_threads = 2;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  // No samples recorded yet: quantiles must read as 0, not garbage.
+  const EngineMetrics metrics = engine.Metrics();
+  EXPECT_EQ(metrics.databases_scored, 0u);
+  EXPECT_EQ(metrics.scoring_p50_us, 0.0);
+  EXPECT_EQ(metrics.scoring_p99_us, 0.0);
+  EXPECT_EQ(metrics.confident_fraction(), 0.0);
+}
+
+TEST(ScoringEngineTest, ExportsEngineSeriesToPrometheusText) {
+  ScoringEngine::Options options;
+  options.num_threads = 2;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  const std::string text =
+      obs::ExportPrometheusText(obs::Registry::Default());
+  EXPECT_NE(text.find("# TYPE cloudsurv_engine_polls_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE cloudsurv_engine_scoring_latency_us histogram"),
+      std::string::npos);
+  EXPECT_NE(text.find("cloudsurv_engine_databases_scored_total{engine="),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloudsurv_ingest_pending_events gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloudsurv_pool_tasks_total counter"),
+            std::string::npos);
 }
 
 TEST(ScoringEngineTest, MultiThreadedIngestMatchesBatchAssess) {

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Docs <-> code consistency check for the metrics reference.
+#
+# Every metric name registered anywhere under src/ (any string literal
+# of the form "cloudsurv_<...>") must have a row in the reference table
+# of docs/observability.md, and every table row must correspond to a
+# registration in src/ — so the table cannot silently rot in either
+# direction. CI runs this; run it locally from the repo root:
+#
+#   sh tools/check_docs.sh
+set -eu
+
+REPO_ROOT=$(dirname "$0")/..
+DOC="$REPO_ROOT/docs/observability.md"
+SRC="$REPO_ROOT/src"
+
+if [ ! -f "$DOC" ]; then
+  echo "check_docs: $DOC not found" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Names registered in code: string literals "cloudsurv_..." in src/.
+# Metric names are the only such literals by convention (library
+# targets are cloudsurv_* but never appear quoted in sources).
+grep -rhoE '"cloudsurv_[a-z0-9_]+"' "$SRC" | tr -d '"' | sort -u \
+  > "$WORK/code_names"
+
+# Names documented in the reference table: rows beginning `| \`cloudsurv_`.
+grep -hoE '^\| `cloudsurv_[a-z0-9_]+`' "$DOC" | tr -d '|` ' | sort -u \
+  > "$WORK/doc_names"
+
+STATUS=0
+UNDOCUMENTED=$(comm -23 "$WORK/code_names" "$WORK/doc_names")
+if [ -n "$UNDOCUMENTED" ]; then
+  echo "check_docs: metrics registered in src/ but missing from the" >&2
+  echo "docs/observability.md reference table:" >&2
+  echo "$UNDOCUMENTED" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+
+STALE=$(comm -13 "$WORK/code_names" "$WORK/doc_names")
+if [ -n "$STALE" ]; then
+  echo "check_docs: table rows in docs/observability.md with no" >&2
+  echo "matching registration in src/:" >&2
+  echo "$STALE" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $(wc -l < "$WORK/code_names" | tr -d ' ') metric" \
+       "names consistent between src/ and docs/observability.md"
+fi
+exit $STATUS

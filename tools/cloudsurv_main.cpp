@@ -27,6 +27,8 @@
 #include "core/cohort.h"
 #include "core/report.h"
 #include "core/service.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serving/scoring_engine.h"
 #include "simulator/region.h"
 #include "simulator/simulator.h"
@@ -48,6 +50,9 @@ struct Args {
   int threads = 8;
   int shards = 16;
   double flush_interval_days = 1.0;
+  /// Simulated days between metrics-registry dumps (0 = off).
+  double metrics_interval_days = 0.0;
+  std::string metrics_out_path;
   std::string split = "histogram";
 };
 
@@ -62,7 +67,8 @@ int Usage() {
       "            [--split exact|histogram]\n"
       "  assess    --telemetry FILE --model FILE [--top N]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
-      "            [--shards N] [--flush-interval DAYS]\n");
+      "            [--shards N] [--flush-interval DAYS]\n"
+      "            [--metrics-interval DAYS] [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -115,6 +121,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = need_value("--flush-interval");
       if (v == nullptr) return false;
       args->flush_interval_days = std::atof(v);
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0) {
+      const char* v = need_value("--metrics-interval");
+      if (v == nullptr) return false;
+      args->metrics_interval_days = std::atof(v);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      const char* v = need_value("--metrics-out");
+      if (v == nullptr) return false;
+      args->metrics_out_path = v;
     } else if (std::strcmp(argv[i], "--split") == 0) {
       const char* v = need_value("--split");
       if (v == nullptr) return false;
@@ -389,6 +403,24 @@ int CmdServeSim(const Args& args) {
       std::max(0.01, args.flush_interval_days) *
       static_cast<double>(telemetry::kSecondsPerDay));
   telemetry::Timestamp next_poll = store->window_start() + flush_interval;
+
+  // Periodic observability dumps: every --metrics-interval simulated
+  // days, the process-wide registry is written to stdout in Prometheus
+  // text exposition format, delimited so a scraper (or a test) can cut
+  // the stream into snapshots.
+  const bool dump_metrics = args.metrics_interval_days > 0.0;
+  const auto metrics_interval = static_cast<telemetry::Timestamp>(
+      std::max(0.01, args.metrics_interval_days) *
+      static_cast<double>(telemetry::kSecondsPerDay));
+  telemetry::Timestamp next_metrics =
+      store->window_start() + metrics_interval;
+  auto dump_registry = [](telemetry::Timestamp at) {
+    std::printf("# --- metrics dump t=%lld ---\n%s# --- end dump ---\n",
+                static_cast<long long>(at),
+                obs::ExportPrometheusText(obs::Registry::Default())
+                    .c_str());
+  };
+
   std::vector<serving::ScoredDatabase> streamed;
   for (const telemetry::Event& event : store->events()) {
     // Strict '>' so events stamped exactly at the boundary are ingested
@@ -402,6 +434,10 @@ int CmdServeSim(const Args& args) {
       }
       streamed.insert(streamed.end(), batch->begin(), batch->end());
       next_poll += flush_interval;
+    }
+    while (dump_metrics && event.timestamp > next_metrics) {
+      dump_registry(next_metrics);
+      next_metrics += metrics_interval;
     }
     Status ingested = engine.Ingest(event);
     if (!ingested.ok()) {
@@ -417,6 +453,19 @@ int CmdServeSim(const Args& args) {
     return 1;
   }
   streamed.insert(streamed.end(), rest->begin(), rest->end());
+
+  // Final registry state: one Prometheus dump at end-of-stream, and a
+  // JSON snapshot to --metrics-out (the bench-artifact format).
+  if (dump_metrics) dump_registry(store->window_end());
+  if (!args.metrics_out_path.empty()) {
+    Status written =
+        WriteFile(args.metrics_out_path,
+                  obs::ExportJson(obs::Registry::Default()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Sequential ground truth over the complete store.
   std::unordered_map<telemetry::DatabaseId,
