@@ -1,0 +1,254 @@
+// Serving-path robustness under deterministic fault plans: replays one
+// simulated region's event stream through the ScoringEngine under a
+// ladder of fault scenarios — no faults, output-neutral delays, the
+// shard-stall + model-swap acceptance plan, and a deadline + load-shed
+// configuration — and reports per-scenario throughput, latency
+// quantiles, fallback/shed/retry rates and fault counts as JSON.
+//
+// Every scenario is seeded and count-scheduled, so two runs of this
+// binary fire the identical fault sequence (timings vary; counts do
+// not). Scale with CLOUDSURV_SUBS / CLOUDSURV_THREADS /
+// CLOUDSURV_FLUSH_DAYS as with serving_throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/service.h"
+#include "fault/fault.h"
+#include "serving/scoring_engine.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/store.h"
+
+namespace {
+
+using namespace cloudsurv;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+/// One fault scenario: a plan (possibly empty) plus the degradation
+/// knobs that ride along with it.
+struct Scenario {
+  const char* key;
+  const char* plan_text;          // "" -> no injector
+  double deadline_us = 0.0;       // 0 -> no deadline
+  size_t shed_high = 0;           // 0 -> no shedding
+  size_t shed_low = 0;
+};
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  uint64_t attempts = 0;
+  uint64_t scored = 0;
+  uint64_t faults_fired = 0;
+  serving::EngineMetrics metrics;
+};
+
+RunResult Replay(const telemetry::TelemetryStore& store,
+                 const std::shared_ptr<const core::LongevityService>& model,
+                 size_t threads, double flush_days,
+                 const Scenario& scenario) {
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (scenario.plan_text[0] != '\0') {
+    fault::FaultPlan plan;
+    std::string error;
+    if (!fault::FaultPlan::Parse(scenario.plan_text, &plan, &error)) {
+      std::fprintf(stderr, "bad plan for %s: %s\n", scenario.key,
+                   error.c_str());
+      std::exit(1);
+    }
+    injector = std::make_unique<fault::FaultInjector>(std::move(plan));
+  }
+
+  serving::ScoringEngine::Options options;
+  options.num_threads = threads;
+  options.num_shards = 16;
+  options.observe_days = model->options().observe_days;
+  options.fault_injector = injector.get();
+  options.batch_deadline_us = scenario.deadline_us;
+  if (scenario.deadline_us > 0.0) options.assess_virtual_cost_us = 100.0;
+  options.shed_high_watermark = scenario.shed_high;
+  options.shed_low_watermark = scenario.shed_low;
+  const bool degraded_modes = injector != nullptr ||
+                              scenario.deadline_us > 0.0 ||
+                              scenario.shed_high > 0;
+  if (degraded_modes) {
+    options.fallback_positive_rate = 0.5;
+    options.fallback_seed =
+        injector != nullptr ? injector->seed() : 2017;
+  }
+  serving::ScoringEngine engine(serving::RegionContext::FromStore(store),
+                                options);
+  auto version = engine.registry().Publish("bench", model);
+  if (!version.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 version.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const auto flush_interval = static_cast<telemetry::Timestamp>(
+      flush_days * static_cast<double>(telemetry::kSecondsPerDay));
+  telemetry::Timestamp next_poll = store.window_start() + flush_interval;
+
+  RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const telemetry::Event& event : store.events()) {
+    while (event.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     batch.status().ToString().c_str());
+        std::exit(1);
+      }
+      result.scored += batch->size();
+      next_poll += flush_interval;
+    }
+    ++result.attempts;
+    // Under a fault plan, rejections (shed, injected failures past the
+    // retry budget) are part of the experiment — counted, not fatal.
+    Status ingested = engine.Ingest(event);
+    if (!ingested.ok() && !degraded_modes) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto rest = engine.Drain();
+  if (!rest.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n",
+                 rest.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.scored += rest->size();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  result.metrics = engine.Metrics();
+  if (injector != nullptr) result.faults_fired = injector->total_fired();
+
+  // The no-silent-drop identity the fault layer guarantees; a bench
+  // that violates it is reporting nonsense, so fail loudly.
+  const serving::EngineMetrics& m = result.metrics;
+  if (result.attempts != m.events_ingested + m.rejected_shed +
+                             m.rejected_error + m.rejected_invalid) {
+    std::fprintf(stderr,
+                 "%s: ingest accounting violation (%llu attempts)\n",
+                 scenario.key,
+                 static_cast<unsigned long long>(result.attempts));
+    std::exit(1);
+  }
+  if (m.databases_tracked != m.databases_scored + m.databases_fallback +
+                                 m.databases_skipped +
+                                 m.databases_cancelled) {
+    std::fprintf(stderr, "%s: scoring accounting violation\n",
+                 scenario.key);
+    std::exit(1);
+  }
+  return result;
+}
+
+void PrintRun(const char* key, const RunResult& run, size_t num_events,
+              bool trailing_comma) {
+  const serving::EngineMetrics& m = run.metrics;
+  const double shed_rate =
+      run.attempts == 0
+          ? 0.0
+          : static_cast<double>(m.rejected_shed) /
+                static_cast<double>(run.attempts);
+  std::printf(
+      "  \"%s\": {\"elapsed_s\": %.3f, \"events_per_sec\": %.0f, "
+      "\"scored\": %llu, \"fallback\": %llu, \"skipped\": %llu, "
+      "\"deadline_batches\": %llu, \"retries\": %llu, "
+      "\"rejected_shed\": %llu, \"rejected_error\": %llu, "
+      "\"shed_rate\": %.4f, \"faults_fired\": %llu, "
+      "\"health_transitions\": %llu, \"p50_us\": %.0f, "
+      "\"p99_us\": %.0f}%s\n",
+      key, run.elapsed_s,
+      static_cast<double>(num_events) / run.elapsed_s,
+      static_cast<unsigned long long>(run.scored),
+      static_cast<unsigned long long>(m.databases_fallback),
+      static_cast<unsigned long long>(m.databases_skipped),
+      static_cast<unsigned long long>(m.deadline_exceeded),
+      static_cast<unsigned long long>(m.retries),
+      static_cast<unsigned long long>(m.rejected_shed),
+      static_cast<unsigned long long>(m.rejected_error), shed_rate,
+      static_cast<unsigned long long>(run.faults_fired),
+      static_cast<unsigned long long>(m.health_transitions),
+      m.scoring_p50_us, m.scoring_p99_us, trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  const size_t subs = EnvSize("CLOUDSURV_SUBS", 600);
+  const size_t threads = EnvSize("CLOUDSURV_THREADS", 8);
+  const double flush_days =
+      static_cast<double>(EnvSize("CLOUDSURV_FLUSH_DAYS", 7));
+
+  auto config = simulator::MakeRegionPreset(1, subs, 2017);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  auto store = simulator::SimulateRegion(*config);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  core::LongevityService::Options train_options;
+  train_options.seed = 2017;
+  auto trained = core::LongevityService::Train(*store, train_options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  auto model = std::make_shared<const core::LongevityService>(
+      std::move(trained).value());
+
+  const Scenario scenarios[] = {
+      {"baseline", ""},
+      {"neutral_delays",
+       "seed 42\n"
+       "fault pool.task delay every=50 delay_us=100\n"
+       "fault ingest.shard stall every=500 delay_us=200\n"},
+      {"shard_stall_model_swap",
+       "seed 7\n"
+       "fault ingest.shard stall shard=3 every=50 delay_us=300\n"
+       "fault registry.swap swap_race every=2\n"
+       "fault engine.snapshot io_fail every=5 count=6\n"},
+      {"deadline_and_shedding",
+       "seed 11\n"
+       "fault engine.score delay every=40 delay_us=150\n",
+       /*deadline_us=*/300.0, /*shed_high=*/800, /*shed_low=*/200},
+  };
+
+  std::printf("{\n");
+  std::printf("  \"num_events\": %zu,\n", store->num_events());
+  std::printf("  \"num_databases\": %zu,\n", store->num_databases());
+  std::printf("  \"threads\": %zu,\n", threads);
+  std::printf("  \"flush_interval_days\": %.1f,\n", flush_days);
+  constexpr size_t kNumScenarios =
+      sizeof(scenarios) / sizeof(scenarios[0]);
+  for (size_t i = 0; i < kNumScenarios; ++i) {
+    const RunResult run =
+        Replay(*store, model, threads, flush_days, scenarios[i]);
+    PrintRun(scenarios[i].key, run, store->num_events(),
+             i + 1 < kNumScenarios);
+  }
+  std::printf("}\n");
+  bench::EmitRegistrySnapshot();
+  return 0;
+}

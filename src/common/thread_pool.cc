@@ -4,8 +4,10 @@
 
 namespace cloudsurv {
 
-ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity,
+                       fault::FaultInjector* fault_injector)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)),
+      fault_injector_(fault_injector),
       queue_depth_gauge_(obs::Registry::Default().GetGauge(
           "cloudsurv_pool_queue_depth",
           "Queued-but-not-started tasks across all thread pools",
@@ -105,6 +107,12 @@ void ThreadPool::WorkerLoop() {
       ++active_tasks_;
       queue_depth_gauge_->Add(-1.0);
       queue_not_full_.notify_one();
+    }
+    if (fault_injector_ != nullptr) {
+      // Only delay faults are meaningful here; the task body owns its
+      // own failure semantics.
+      fault::SleepFor(
+          fault_injector_->Evaluate(fault::Site::kPoolTask).delay_us);
     }
     const auto started_at = std::chrono::steady_clock::now();
     task_wait_us_->Observe(

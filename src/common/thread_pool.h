@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace cloudsurv {
@@ -34,8 +35,11 @@ namespace cloudsurv {
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1) over a queue holding at
-  /// most `queue_capacity` pending tasks (at least 1).
-  ThreadPool(size_t num_threads, size_t queue_capacity);
+  /// most `queue_capacity` pending tasks (at least 1). An optional
+  /// fault injector is evaluated at `fault::Site::kPoolTask` before
+  /// each task runs (injected task delays); nullptr disables the hook.
+  ThreadPool(size_t num_threads, size_t queue_capacity,
+             fault::FaultInjector* fault_injector = nullptr);
 
   /// Shuts down (drains the queue, joins all workers).
   ~ThreadPool();
@@ -104,6 +108,8 @@ class ThreadPool {
   void PushLocked(std::function<void()> task);
 
   const size_t queue_capacity_;
+  /// Optional fault hook (see docs/operations.md); nullptr = no-op.
+  fault::FaultInjector* const fault_injector_;
   /// Process-wide pool metrics (shared by every pool in the process —
   /// see docs/observability.md). Resolved once at construction so the
   /// worker loop never touches the registry mutex.

@@ -1,0 +1,381 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace cloudsurv::fault {
+
+namespace {
+
+struct SiteName {
+  Site site;
+  const char* name;
+};
+constexpr SiteName kSiteNames[] = {
+    {Site::kPoolTask, "pool.task"},
+    {Site::kIngestShard, "ingest.shard"},
+    {Site::kSnapshotBuild, "engine.snapshot"},
+    {Site::kScoreAssess, "engine.score"},
+    {Site::kRegistrySwap, "registry.swap"},
+    {Site::kRegistryPublish, "registry.publish"},
+    {Site::kEngineClock, "engine.clock"},
+};
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {FaultKind::kDelay, "delay"},
+    {FaultKind::kStall, "stall"},
+    {FaultKind::kAllocFail, "alloc_fail"},
+    {FaultKind::kIoFail, "io_fail"},
+    {FaultKind::kSwapRace, "swap_race"},
+    {FaultKind::kClockSkew, "clock_skew"},
+};
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view text, int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint(text, &magnitude)) return false;
+  if (magnitude > static_cast<uint64_t>(INT64_MAX)) return false;
+  *out = negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool KindAllowedAtSite(FaultKind kind, Site site) {
+  switch (kind) {
+    case FaultKind::kDelay:
+    case FaultKind::kStall:
+      return true;  // sleeping is meaningful at every hook
+    case FaultKind::kAllocFail:
+    case FaultKind::kIoFail:
+      return site == Site::kIngestShard || site == Site::kSnapshotBuild;
+    case FaultKind::kSwapRace:
+      return site == Site::kRegistrySwap;
+    case FaultKind::kClockSkew:
+      return site == Site::kEngineClock;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SiteToString(Site site) {
+  for (const SiteName& entry : kSiteNames) {
+    if (entry.site == site) return entry.name;
+  }
+  return "unknown";
+}
+
+bool SiteFromString(std::string_view name, Site* site) {
+  for (const SiteName& entry : kSiteNames) {
+    if (name == entry.name) {
+      *site = entry.site;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+bool FaultKindFromString(std::string_view name, FaultKind* kind) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
+                      std::string* error) {
+  FaultPlan parsed;
+  std::istringstream in(text);
+  std::string raw_line;
+  size_t line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "fault plan line " + std::to_string(line_number) + ": " +
+               message;
+    }
+    return false;
+  };
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    std::string_view line = raw_line;
+    const size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    const std::vector<std::string_view> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "seed") {
+      if (tokens.size() != 2 || !ParseUint(tokens[1], &parsed.seed)) {
+        return fail("expected 'seed <uint64>'");
+      }
+      continue;
+    }
+    if (tokens[0] != "fault") {
+      return fail("expected 'seed' or 'fault', got '" +
+                  std::string(tokens[0]) + "'");
+    }
+    if (tokens.size() < 3) {
+      return fail("expected 'fault <site> <kind> [key=value...]'");
+    }
+    FaultRule rule;
+    if (!SiteFromString(tokens[1], &rule.site)) {
+      return fail("unknown site '" + std::string(tokens[1]) + "'");
+    }
+    if (!FaultKindFromString(tokens[2], &rule.kind)) {
+      return fail("unknown fault kind '" + std::string(tokens[2]) + "'");
+    }
+    if (!KindAllowedAtSite(rule.kind, rule.site)) {
+      return fail(std::string(FaultKindToString(rule.kind)) +
+                  " is not injectable at site " +
+                  SiteToString(rule.site));
+    }
+    bool saw_delay = false;
+    bool saw_skew = false;
+    for (size_t t = 3; t < tokens.size(); ++t) {
+      const std::string_view token = tokens[t];
+      const size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        return fail("expected key=value, got '" + std::string(token) + "'");
+      }
+      const std::string_view key = token.substr(0, eq);
+      const std::string_view value = token.substr(eq + 1);
+      bool ok = true;
+      if (key == "every") {
+        ok = ParseUint(value, &rule.every) && rule.every >= 1;
+      } else if (key == "from") {
+        ok = ParseUint(value, &rule.from);
+      } else if (key == "until") {
+        ok = ParseUint(value, &rule.until);
+      } else if (key == "count") {
+        ok = ParseUint(value, &rule.count) && rule.count >= 1;
+      } else if (key == "shard") {
+        ok = ParseInt(value, &rule.shard) && rule.shard >= 0;
+      } else if (key == "delay_us") {
+        ok = ParseDouble(value, &rule.delay_us) && rule.delay_us > 0.0;
+        saw_delay = ok;
+      } else if (key == "skew_s") {
+        ok = ParseInt(value, &rule.skew_s) && rule.skew_s != 0;
+        saw_skew = ok;
+      } else {
+        return fail("unknown key '" + std::string(key) + "'");
+      }
+      if (!ok) {
+        return fail("invalid value for '" + std::string(key) + "': '" +
+                    std::string(value) + "'");
+      }
+    }
+    if (rule.until <= rule.from) {
+      return fail("'until' must be greater than 'from'");
+    }
+    if ((rule.kind == FaultKind::kDelay || rule.kind == FaultKind::kStall) &&
+        !saw_delay) {
+      return fail("delay/stall rules require delay_us=<positive>");
+    }
+    if (rule.kind == FaultKind::kClockSkew && !saw_skew) {
+      return fail("clock_skew rules require skew_s=<nonzero>");
+    }
+    parsed.rules.push_back(rule);
+  }
+  *plan = std::move(parsed);
+  return true;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  out << "seed " << seed << "\n";
+  for (const FaultRule& rule : rules) {
+    out << "fault " << SiteToString(rule.site) << ' '
+        << FaultKindToString(rule.kind);
+    if (rule.every != 1) out << " every=" << rule.every;
+    if (rule.from != 0) out << " from=" << rule.from;
+    if (rule.until != UINT64_MAX) out << " until=" << rule.until;
+    if (rule.count != UINT64_MAX) out << " count=" << rule.count;
+    if (rule.shard >= 0) out << " shard=" << rule.shard;
+    if (rule.delay_us > 0.0) out << " delay_us=" << rule.delay_us;
+    if (rule.skew_s != 0) out << " skew_s=" << rule.skew_s;
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool FaultPlan::output_neutral() const {
+  for (const FaultRule& rule : rules) {
+    switch (rule.kind) {
+      case FaultKind::kDelay:
+      case FaultKind::kStall:
+        break;
+      case FaultKind::kClockSkew:
+        // A clock running behind only scores databases *later* (the
+        // snapshot-at-any-now>=Tp property keeps outputs identical);
+        // a clock running ahead can score before every pre-Tp event
+        // arrived, which does change outputs.
+        if (rule.skew_s > 0) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+void SleepFor(double us) {
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(us));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  obs::Registry& registry = obs::Registry::Default();
+  rules_.reserve(plan_.rules.size());
+  for (const FaultRule& rule : plan_.rules) {
+    RuleState state;
+    state.rule = rule;
+    state.injected = registry.GetCounter(
+        "cloudsurv_fault_injected_total", "Faults fired by the injector",
+        "faults",
+        {{"kind", FaultKindToString(rule.kind)},
+         {"site", SiteToString(rule.site)}});
+    rules_.push_back(state);
+    site_has_rules_[static_cast<size_t>(rule.site)] = true;
+  }
+}
+
+Outcome FaultInjector::Evaluate(Site site, int64_t shard) {
+  Outcome outcome;
+  if (!site_has_rules_[static_cast<size_t>(site)]) return outcome;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t hit = hits_[static_cast<size_t>(site)][shard]++;
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site) continue;
+    if (rule.shard >= 0 && rule.shard != shard) continue;
+    if (hit < rule.from || hit >= rule.until) continue;
+    if ((hit - rule.from) % rule.every != 0) continue;
+    if (state.fired >= rule.count) continue;
+    ++state.fired;
+    state.injected->Increment();
+
+    FaultEvent event;
+    event.site = site;
+    event.kind = rule.kind;
+    event.shard = shard;
+    event.hit = hit;
+    switch (rule.kind) {
+      case FaultKind::kDelay:
+        outcome.delay_us += rule.delay_us;
+        event.delay_us = rule.delay_us;
+        break;
+      case FaultKind::kStall:
+        outcome.stall_us += rule.delay_us;
+        event.delay_us = rule.delay_us;
+        break;
+      case FaultKind::kAllocFail:
+        outcome.fail = true;
+        break;
+      case FaultKind::kIoFail:
+        outcome.fail = true;
+        outcome.io = true;
+        break;
+      case FaultKind::kSwapRace:
+        outcome.swap_race = true;
+        break;
+      case FaultKind::kClockSkew:
+        outcome.skew_s += rule.skew_s;
+        event.skew_s = rule.skew_s;
+        break;
+    }
+    log_.push_back(event);
+  }
+  return outcome;
+}
+
+std::vector<FaultEvent> FaultInjector::Events() const {
+  std::vector<FaultEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = log_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.site != b.site) return a.site < b.site;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              if (a.hit != b.hit) return a.hit < b.hit;
+              return a.kind < b.kind;
+            });
+  return events;
+}
+
+std::string FaultInjector::LogToString() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : Events()) {
+    out << SiteToString(event.site);
+    if (event.shard >= 0) out << '[' << event.shard << ']';
+    out << '#' << event.hit << ' ' << FaultKindToString(event.kind);
+    if (event.delay_us > 0.0) out << ' ' << event.delay_us << "us";
+    if (event.skew_s != 0) out << ' ' << event.skew_s << "s";
+    out << '\n';
+  }
+  return out.str();
+}
+
+uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+}  // namespace cloudsurv::fault

@@ -14,6 +14,14 @@ Status WeightedRandomClassifier::Fit(const Dataset& data) {
   return Status::OK();
 }
 
+WeightedRandomClassifier WeightedRandomClassifier::FromPositiveRate(
+    double rate) {
+  WeightedRandomClassifier clf;
+  clf.positive_rate_ = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+  clf.fitted_ = true;
+  return clf;
+}
+
 int WeightedRandomClassifier::Predict(Rng& rng) const {
   return rng.Uniform() < positive_rate_ ? 1 : 0;
 }

@@ -21,6 +21,11 @@ class WeightedRandomClassifier {
   /// Estimates the positive-class rate from `data` (binary labels).
   Status Fit(const Dataset& data);
 
+  /// Builds a fitted classifier directly from a known positive-class
+  /// rate (clamped to [0, 1]) — lets the serving layer run the paper's
+  /// baseline as a degraded-mode fallback without a training dataset.
+  static WeightedRandomClassifier FromPositiveRate(double rate);
+
   bool fitted() const { return fitted_; }
 
   /// Estimated P[label = 1] from training.

@@ -18,7 +18,9 @@ uint64_t MixId(uint64_t x) {
 
 }  // namespace
 
-EventIngestBuffer::EventIngestBuffer(size_t num_shards) {
+EventIngestBuffer::EventIngestBuffer(size_t num_shards,
+                                     fault::FaultInjector* fault_injector)
+    : fault_injector_(fault_injector) {
   const size_t n = std::max<size_t>(1, num_shards);
   obs::Registry& registry = obs::Registry::Default();
   rejected_total_ = registry.GetCounter(
@@ -54,14 +56,32 @@ Status EventIngestBuffer::Ingest(telemetry::Event event) {
     rejected_total_->Increment();
     return Status::InvalidArgument("event has invalid subscription id");
   }
-  Shard& shard = *shards_[ShardOf(event.subscription_id)];
+  const size_t shard_index = ShardOf(event.subscription_id);
+  Shard& shard = *shards_[shard_index];
+  fault::Outcome fault_outcome;
+  if (fault_injector_ != nullptr) {
+    fault_outcome = fault_injector_->Evaluate(
+        fault::Site::kIngestShard, static_cast<int64_t>(shard_index));
+    // Delay before the lock: a slow producer, not a held-up shard.
+    fault::SleepFor(fault_outcome.delay_us);
+    if (fault_outcome.fail) {
+      return Status::Internal("injected allocation failure at ingest");
+    }
+    if (fault_outcome.io) {
+      return Status::IOError("injected io failure at ingest");
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Stall while holding the shard lock so concurrent producers on the
+    // same shard (and the engine's TakeShard) observe the contention.
+    fault::SleepFor(fault_outcome.stall_us);
     shard.events.push_back(std::move(event));
   }
   shard.events_total->Increment();
   shard.pending_events->Add(1.0);
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  pending_approx_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -72,7 +92,10 @@ std::vector<telemetry::Event> EventIngestBuffer::TakeShard(size_t shard) {
     std::lock_guard<std::mutex> lock(s.mu);
     out.swap(s.events);
   }
-  if (!out.empty()) s.pending_events->Add(-static_cast<double>(out.size()));
+  if (!out.empty()) {
+    s.pending_events->Add(-static_cast<double>(out.size()));
+    pending_approx_.fetch_sub(out.size(), std::memory_order_relaxed);
+  }
   return out;
 }
 

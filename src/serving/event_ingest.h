@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "telemetry/events.h"
 
@@ -29,7 +30,14 @@ namespace cloudsurv::serving {
 /// scoring exactly.
 class EventIngestBuffer {
  public:
-  explicit EventIngestBuffer(size_t num_shards);
+  /// An optional fault injector is evaluated at
+  /// `fault::Site::kIngestShard` (keyed by the target shard) on every
+  /// Ingest() call: delays sleep before taking the shard lock, stalls
+  /// sleep while holding it, and alloc/io failures make Ingest() return
+  /// kInternal / kIOError without staging the event. nullptr disables
+  /// the hook.
+  explicit EventIngestBuffer(size_t num_shards,
+                             fault::FaultInjector* fault_injector = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -52,8 +60,16 @@ class EventIngestBuffer {
     return events_ingested_.load(std::memory_order_relaxed);
   }
 
-  /// Events currently staged across all shards.
+  /// Events currently staged across all shards (exact; takes every
+  /// shard lock).
   size_t pending_events() const;
+
+  /// Lock-free approximation of pending_events() for hot-path watermark
+  /// checks. Monotonic per shard between Ingest and TakeShard, so it can
+  /// briefly over-count during a concurrent take but never drifts.
+  size_t approx_pending() const {
+    return pending_approx_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Shard {
@@ -67,8 +83,10 @@ class EventIngestBuffer {
 
   // unique_ptr keeps Shard addresses stable (mutexes are immovable).
   std::vector<std::unique_ptr<Shard>> shards_;
+  fault::FaultInjector* fault_injector_ = nullptr;
   obs::Counter* rejected_total_ = nullptr;
   std::atomic<uint64_t> events_ingested_{0};
+  std::atomic<size_t> pending_approx_{0};
 };
 
 }  // namespace cloudsurv::serving

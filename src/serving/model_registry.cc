@@ -9,6 +9,14 @@ Result<uint64_t> ModelRegistry::Publish(std::string name, ModelPtr model) {
     return Status::InvalidArgument("cannot publish a null model");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (fault_injector_ != nullptr) {
+    // Sleep inside the lock: the point is to widen the swap window so
+    // readers race against a slow publish. swap_race outcomes are
+    // evaluated by the scoring engine per shard, not here.
+    const fault::Outcome outcome =
+        fault_injector_->Evaluate(fault::Site::kRegistryPublish);
+    fault::SleepFor(outcome.delay_us + outcome.stall_us);
+  }
   Entry entry;
   entry.version = static_cast<uint64_t>(entries_.size()) + 1;
   entry.name = std::move(name);

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "core/service.h"
+#include "fault/fault.h"
 
 namespace cloudsurv::serving {
 
@@ -41,7 +42,12 @@ class ModelRegistry {
     ModelPtr model;        ///< nullptr when the registry is empty.
   };
 
-  ModelRegistry() = default;
+  /// An optional fault injector stretches the Publish() critical
+  /// section (delay/stall faults at `fault::Site::kRegistryPublish`),
+  /// widening the swap window that scoring threads race against.
+  /// nullptr disables the hook.
+  explicit ModelRegistry(fault::FaultInjector* fault_injector = nullptr)
+      : fault_injector_(fault_injector) {}
 
   /// Publishes a snapshot and makes it active. Returns the new version.
   /// Rejects null models.
@@ -68,6 +74,7 @@ class ModelRegistry {
   std::vector<Entry> ListVersions() const;
 
  private:
+  fault::FaultInjector* const fault_injector_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
   size_t active_index_ = 0;  ///< Into entries_; valid iff !entries_.empty().

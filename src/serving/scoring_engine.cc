@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <iterator>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -25,10 +26,25 @@ Timestamp MaturityOf(Timestamp created_at, double observe_days) {
 struct ShardBatchResult {
   std::vector<ScoredDatabase> scored;
   uint64_t skipped = 0;
-  Status status;  // Non-OK only for snapshot materialization failures.
+  uint64_t fallback = 0;
+  uint64_t retries = 0;
+  bool deadline_exceeded = false;
+  Status status;  // Non-OK only for snapshot/model-availability failures.
 };
 
 }  // namespace
+
+const char* HealthStateToString(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
 
 RegionContext RegionContext::FromStore(
     const telemetry::TelemetryStore& store) {
@@ -81,6 +97,35 @@ ScoringEngine::EngineSeries ScoringEngine::MakeEngineSeries() {
       "cloudsurv_engine_snapshots_total",
       "Per-shard TelemetryStore snapshots materialized", "snapshots",
       labels);
+  series.fallback_scored = registry.GetCounter(
+      "cloudsurv_engine_fallback_scored_total",
+      "Assessments served by the weighted-random fallback", "databases",
+      labels);
+  series.deadline_exceeded = registry.GetCounter(
+      "cloudsurv_engine_deadline_exceeded_total",
+      "Shard batches whose virtual scoring deadline expired", "batches",
+      labels);
+  series.retries = registry.GetCounter(
+      "cloudsurv_engine_retries_total",
+      "Ingest and snapshot retry attempts", "retries", labels);
+  auto rejected = [&](const char* reason) {
+    obs::LabelSet with_reason = labels;
+    with_reason.push_back({"reason", reason});
+    return registry.GetCounter(
+        "cloudsurv_engine_rejected_total",
+        "Ingest attempts the engine rejected, by reason", "events",
+        with_reason);
+  };
+  series.rejected_shed = rejected("shed");
+  series.rejected_error = rejected("error");
+  series.rejected_invalid = rejected("invalid");
+  series.health_state = registry.GetGauge(
+      "cloudsurv_engine_health_state",
+      "Serving health (0 healthy, 1 degraded, 2 shedding)", "state",
+      labels);
+  series.health_transitions = registry.GetCounter(
+      "cloudsurv_engine_health_transitions_total",
+      "Health-state machine transitions", "transitions", labels);
   series.scoring_latency_us = registry.GetHistogram(
       "cloudsurv_engine_scoring_latency_us",
       "Per-database Assess() latency inside worker threads", "us",
@@ -91,15 +136,147 @@ ScoringEngine::EngineSeries ScoringEngine::MakeEngineSeries() {
 ScoringEngine::ScoringEngine(RegionContext region, Options options)
     : region_(std::move(region)),
       options_(options),
-      ingest_(options.num_shards),
-      pool_(options.num_threads, options.queue_capacity),
+      ingest_(options.num_shards, options.fault_injector),
+      registry_(options.fault_injector),
+      pool_(options.num_threads, options.queue_capacity,
+            options.fault_injector),
       shard_logs_(ingest_.num_shards()),
-      series_(MakeEngineSeries()) {}
+      series_(MakeEngineSeries()) {
+  // Hysteresis requires low < high; a degenerate config collapses to a
+  // one-event band rather than disabling shedding silently.
+  if (options_.shed_high_watermark > 0 &&
+      options_.shed_low_watermark >= options_.shed_high_watermark) {
+    options_.shed_low_watermark = options_.shed_high_watermark - 1;
+  }
+  if (options_.fallback_positive_rate >= 0.0) {
+    fallback_model_ = ml::WeightedRandomClassifier::FromPositiveRate(
+        options_.fallback_positive_rate);
+  }
+  series_.health_state->Set(0.0);
+}
 
 ScoringEngine::~ScoringEngine() { pool_.Shutdown(); }
 
 Status ScoringEngine::Ingest(telemetry::Event event) {
-  return ingest_.Ingest(std::move(event));
+  // Fast path: no injector and no watermarks means no retry loop, no
+  // shedding check — identical to the pre-fault-layer engine except for
+  // the per-reason rejection counter.
+  if (options_.fault_injector == nullptr &&
+      options_.shed_high_watermark == 0) {
+    Status accepted = ingest_.Ingest(std::move(event));
+    if (!accepted.ok()) series_.rejected_invalid->Increment();
+    return accepted;
+  }
+
+  if (options_.shed_high_watermark > 0) {
+    if (health() == HealthState::kShedding) {
+      series_.rejected_shed->Increment();
+      return Status::FailedPrecondition(
+          "load shed: ingest backlog over watermark");
+    }
+    if (ingest_.approx_pending() >= options_.shed_high_watermark) {
+      SetHealth(HealthState::kShedding);
+      series_.rejected_shed->Increment();
+      return Status::FailedPrecondition(
+          "load shed: ingest backlog over watermark");
+    }
+  }
+
+  Status last;
+  for (size_t attempt = 0;; ++attempt) {
+    last = ingest_.Ingest(event);
+    if (last.ok()) return last;
+    if (last.code() == StatusCode::kInvalidArgument) {
+      // Malformed events are never retryable.
+      series_.rejected_invalid->Increment();
+      return last;
+    }
+    if (attempt >= options_.ingest_retries) break;
+    series_.retries->Increment();
+    fault::SleepFor(RetryBackoffUs(attempt));
+  }
+  series_.rejected_error->Increment();
+  // Retry exhaustion is a degradation signal; the next cycle picks the
+  // flag up.
+  cycle_dirty_.store(true, std::memory_order_relaxed);
+  return last;
+}
+
+double ScoringEngine::RetryBackoffUs(size_t attempt) {
+  const size_t capped = attempt < 20 ? attempt : 20;
+  double backoff = options_.retry_backoff_us *
+                   static_cast<double>(uint64_t{1} << capped);
+  if (options_.retry_jitter > 0.0) {
+    // Jitter is seeded (plan seed, else fallback seed) and salted per
+    // draw — varied sleeps, deterministic given the call sequence, and
+    // no shared Rng to lock.
+    const uint64_t seed = options_.fault_injector != nullptr
+                              ? options_.fault_injector->seed()
+                              : options_.fallback_seed;
+    Rng rng = Rng(seed).Fork(
+        jitter_salt_.fetch_add(1, std::memory_order_relaxed));
+    backoff *= rng.Uniform(1.0 - options_.retry_jitter,
+                           1.0 + options_.retry_jitter);
+  }
+  return backoff;
+}
+
+ScoredDatabase ScoringEngine::FallbackScore(
+    const PendingDatabase& pending) const {
+  // Forked per database id: the draw depends only on (seed, id), so
+  // fallback outputs are independent of scoring order and thread count
+  // and bit-match the §4 weighted-random baseline run standalone.
+  Rng rng = Rng(options_.fallback_seed).Fork(pending.database_id);
+  ScoredDatabase scored;
+  scored.database_id = pending.database_id;
+  scored.subscription_id = pending.subscription_id;
+  scored.matured_at = pending.matures_at;
+  scored.model_version = 0;
+  scored.fallback = true;
+  scored.assessment.predicted_label = fallback_model_.Predict(rng);
+  scored.assessment.positive_probability = fallback_model_.positive_rate();
+  scored.assessment.confident = false;
+  scored.assessment.recommended_pool = core::Pool::kGeneral;
+  scored.assessment.model_name = "weighted-random-fallback";
+  return scored;
+}
+
+void ScoringEngine::SetHealth(HealthState next) {
+  const int previous = health_.exchange(static_cast<int>(next),
+                                        std::memory_order_relaxed);
+  if (previous == static_cast<int>(next)) return;
+  series_.health_transitions->Increment();
+  series_.health_state->Set(static_cast<double>(static_cast<int>(next)));
+}
+
+void ScoringEngine::UpdateHealthAfterCycle(bool dirty) {
+  if (options_.shed_high_watermark > 0) {
+    const size_t pending = ingest_.approx_pending();
+    if (health() == HealthState::kShedding) {
+      if (pending <= options_.shed_low_watermark) {
+        // Shedding clears into kDegraded, never straight to healthy —
+        // the backlog was a degradation event and must age out through
+        // the recovery counter like any other.
+        SetHealth(HealthState::kDegraded);
+        clean_polls_ = 0;
+      }
+      return;
+    }
+    if (pending >= options_.shed_high_watermark) {
+      SetHealth(HealthState::kShedding);
+      return;
+    }
+  }
+  if (dirty) {
+    SetHealth(HealthState::kDegraded);
+    clean_polls_ = 0;
+    return;
+  }
+  if (health() == HealthState::kDegraded &&
+      ++clean_polls_ >= options_.recovery_polls) {
+    SetHealth(HealthState::kHealthy);
+    clean_polls_ = 0;
+  }
 }
 
 void ScoringEngine::AbsorbStagedEvents() {
@@ -164,45 +341,130 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
     RegionContext* region = &region_;
     ModelRegistry* registry = &registry_;
     std::vector<PendingDatabase> task_batch = std::move(batch);
+    const int64_t shard_key = static_cast<int64_t>(shard);
     futures.push_back(pool_.Submit(
-        [shard_events, region, registry, task_batch = std::move(task_batch),
-         this]() -> ShardBatchResult {
+        [shard_events, region, registry, shard_key,
+         task_batch = std::move(task_batch), this]() -> ShardBatchResult {
           ShardBatchResult result;
+          fault::FaultInjector* injector = options_.fault_injector;
+          const bool fallback_enabled =
+              options_.fallback_positive_rate >= 0.0;
 
           // Pin the model snapshot for the whole batch; a concurrent
-          // Publish() swaps later batches, never this one.
+          // Publish() swaps later batches, never this one. A swap-race
+          // fault is evaluated here, per shard, so replay does not
+          // depend on which worker thread runs the batch.
           ModelRegistry::ActiveModel active = registry->CurrentWithVersion();
-          if (active.model == nullptr) {
-            result.status =
-                Status::FailedPrecondition("no model published");
+          bool model_available = active.model != nullptr;
+          if (model_available && injector != nullptr &&
+              injector->Evaluate(fault::Site::kRegistrySwap, shard_key)
+                  .swap_race) {
+            model_available = false;
+          }
+          if (!model_available) {
+            if (!fallback_enabled) {
+              result.status =
+                  Status::FailedPrecondition("no model published");
+              return result;
+            }
+            result.scored.reserve(task_batch.size());
+            for (const PendingDatabase& pending : task_batch) {
+              result.scored.push_back(FallbackScore(pending));
+            }
+            result.fallback = task_batch.size();
             return result;
           }
 
-          telemetry::TelemetryStore snapshot(
-              region->region_name, region->utc_offset_minutes,
-              region->holidays, region->window_start, region->window_end);
-          std::vector<Event> copy(*shard_events);
-          snapshot.Reserve(copy.size());
-          Status appended = snapshot.AppendEvents(std::move(copy));
-          if (!appended.ok()) {
-            result.status = appended;
-            return result;
+          // Snapshot materialization, with bounded retries around
+          // injected allocation/io failures.
+          std::optional<telemetry::TelemetryStore> snapshot;
+          Status snap_status;
+          for (size_t attempt = 0; attempt <= options_.snapshot_retries;
+               ++attempt) {
+            if (attempt > 0) {
+              ++result.retries;
+              fault::SleepFor(RetryBackoffUs(attempt - 1));
+            }
+            if (injector != nullptr) {
+              const fault::Outcome outcome = injector->Evaluate(
+                  fault::Site::kSnapshotBuild, shard_key);
+              fault::SleepFor(outcome.delay_us + outcome.stall_us);
+              if (outcome.fail) {
+                snap_status =
+                    outcome.io
+                        ? Status::IOError(
+                              "injected io failure building snapshot")
+                        : Status::Internal(
+                              "injected allocation failure building "
+                              "snapshot");
+                continue;
+              }
+            }
+            telemetry::TelemetryStore candidate(
+                region->region_name, region->utc_offset_minutes,
+                region->holidays, region->window_start,
+                region->window_end);
+            std::vector<Event> copy(*shard_events);
+            candidate.Reserve(copy.size());
+            snap_status = candidate.AppendEvents(std::move(copy));
+            if (!snap_status.ok()) continue;
+            snap_status = candidate.Finalize();
+            if (!snap_status.ok()) continue;
+            snapshot.emplace(std::move(candidate));
+            break;
           }
-          Status finalized = snapshot.Finalize();
-          if (!finalized.ok()) {
-            result.status = finalized;
+          if (!snapshot.has_value()) {
+            if (fallback_enabled) {
+              result.scored.reserve(task_batch.size());
+              for (const PendingDatabase& pending : task_batch) {
+                result.scored.push_back(FallbackScore(pending));
+              }
+              result.fallback = task_batch.size();
+              return result;
+            }
+            // No fallback: the batch is reported skipped (counted, not
+            // silently dropped) and the poll surfaces the error.
+            result.skipped = task_batch.size();
+            result.status = snap_status;
             return result;
           }
           series_.snapshots->Increment();
 
+          // Per-database scoring against a virtual-time deadline. The
+          // virtual clock advances by injected delays plus a fixed cost
+          // per assessment — never by wall time — so deadline behaviour
+          // is bit-reproducible across machines and thread counts.
+          double virtual_us = 0.0;
+          bool past_deadline = false;
           result.scored.reserve(task_batch.size());
           for (const PendingDatabase& pending : task_batch) {
+            if (injector != nullptr) {
+              const fault::Outcome outcome = injector->Evaluate(
+                  fault::Site::kScoreAssess, shard_key);
+              fault::SleepFor(outcome.delay_us + outcome.stall_us);
+              virtual_us += outcome.delay_us + outcome.stall_us;
+            }
+            if (!past_deadline && options_.batch_deadline_us > 0.0 &&
+                virtual_us > options_.batch_deadline_us) {
+              past_deadline = true;
+              result.deadline_exceeded = true;
+            }
+            if (past_deadline) {
+              if (fallback_enabled) {
+                result.scored.push_back(FallbackScore(pending));
+                ++result.fallback;
+              } else {
+                ++result.skipped;
+              }
+              continue;
+            }
             // ScopedTimer records into the engine's latency histogram;
             // the histogram is thread-safe so tasks observe directly.
             obs::ScopedTimer timer(series_.scoring_latency_us);
             auto assessment =
-                active.model->Assess(snapshot, pending.database_id);
+                active.model->Assess(*snapshot, pending.database_id);
             timer.Stop();
+            virtual_us += options_.assess_virtual_cost_us;
             if (!assessment.ok()) {
               // E.g. dropped exactly inside the window with the drop
               // event racing the maturity cutoff — batch Assess() on
@@ -227,12 +489,24 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
   Status first_error = Status::OK();
   for (std::future<ShardBatchResult>& future : futures) {
     ShardBatchResult result = future.get();
+    series_.retries->Increment(result.retries);
+    if (result.deadline_exceeded) {
+      series_.deadline_exceeded->Increment();
+      cycle_dirty_.store(true, std::memory_order_relaxed);
+    }
     if (!result.status.ok()) {
+      series_.databases_skipped->Increment(result.skipped);
+      cycle_dirty_.store(true, std::memory_order_relaxed);
       if (first_error.ok()) first_error = result.status;
       continue;
     }
-    series_.databases_scored->Increment(result.scored.size());
+    series_.databases_scored->Increment(result.scored.size() -
+                                        result.fallback);
     series_.databases_skipped->Increment(result.skipped);
+    if (result.fallback > 0) {
+      series_.fallback_scored->Increment(result.fallback);
+      cycle_dirty_.store(true, std::memory_order_relaxed);
+    }
     uint64_t confident = 0;
     for (const ScoredDatabase& s : result.scored) {
       if (s.assessment.confident) ++confident;
@@ -250,16 +524,37 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
   return all;
 }
 
+Result<std::vector<ScoredDatabase>> ScoringEngine::RunCycle(
+    std::vector<PendingDatabase> due) {
+  Result<std::vector<ScoredDatabase>> scored = ScoreDue(std::move(due));
+  // Consume-and-reset: a dirty flag raised between cycles (e.g. ingest
+  // retry exhaustion on a producer thread) degrades this cycle.
+  const bool dirty =
+      cycle_dirty_.exchange(false, std::memory_order_relaxed) ||
+      !scored.ok();
+  UpdateHealthAfterCycle(dirty);
+  return scored;
+}
+
 Result<std::vector<ScoredDatabase>> ScoringEngine::Poll(Timestamp now) {
   series_.polls->Increment();
+  if (options_.fault_injector != nullptr) {
+    // A skewed poll clock. Negative skew (clock behind) is output-
+    // neutral — databases just score on a later poll; positive skew can
+    // score a window before all its events arrived, which is exactly
+    // the bug class the plan is trying to reproduce.
+    now += static_cast<Timestamp>(
+        options_.fault_injector->Evaluate(fault::Site::kEngineClock)
+            .skew_s);
+  }
   AbsorbStagedEvents();
-  return ScoreDue(tracker_.TakeDue(now));
+  return RunCycle(tracker_.TakeDue(now));
 }
 
 Result<std::vector<ScoredDatabase>> ScoringEngine::Drain() {
   series_.polls->Increment();
   AbsorbStagedEvents();
-  return ScoreDue(tracker_.TakeAll());
+  return RunCycle(tracker_.TakeAll());
 }
 
 EngineMetrics ScoringEngine::Metrics() const {
@@ -273,6 +568,14 @@ EngineMetrics ScoringEngine::Metrics() const {
   m.databases_skipped = series_.databases_skipped->Value();
   m.polls = series_.polls->Value();
   m.snapshots_built = series_.snapshots->Value();
+  m.databases_fallback = series_.fallback_scored->Value();
+  m.deadline_exceeded = series_.deadline_exceeded->Value();
+  m.retries = series_.retries->Value();
+  m.rejected_shed = series_.rejected_shed->Value();
+  m.rejected_error = series_.rejected_error->Value();
+  m.rejected_invalid = series_.rejected_invalid->Value();
+  m.health = health();
+  m.health_transitions = series_.health_transitions->Value();
   // Histogram quantiles: bucket-interpolated estimates, and exactly 0
   // when no assessment has run yet (an empty histogram has well-defined
   // quantiles — no empty-reservoir garbage).

@@ -7,8 +7,11 @@
 #include <mutex>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/service.h"
+#include "fault/fault.h"
+#include "ml/baseline.h"
 #include "obs/metrics.h"
 #include "serving/event_ingest.h"
 #include "serving/maturity_tracker.h"
@@ -37,10 +40,30 @@ struct ScoredDatabase {
   telemetry::SubscriptionId subscription_id = telemetry::kInvalidId;
   /// Prediction time Tp = created_at + observe window.
   telemetry::Timestamp matured_at = 0;
-  /// Registry version of the model that produced the assessment.
+  /// Registry version of the model that produced the assessment
+  /// (0 for fallback assessments).
   uint64_t model_version = 0;
+  /// True iff the forest model was unavailable (or the batch deadline
+  /// expired) and the §4 weighted-random baseline scored this database
+  /// instead. Fallback assessments are never confident.
+  bool fallback = false;
   core::LongevityService::Assessment assessment;
 };
+
+/// Serving health, coarsest first. See docs/operations.md for the full
+/// state machine and the triage playbook attached to each state.
+enum class HealthState {
+  kHealthy = 0,   ///< Forest-model scoring, no recent degradation.
+  kDegraded = 1,  ///< Recent fallback scoring, deadline miss or retry
+                  ///< exhaustion; recovers after `recovery_polls` clean
+                  ///< polls.
+  kShedding = 2,  ///< Ingest backlog crossed the high watermark; new
+                  ///< events are rejected until it drains below the low
+                  ///< watermark.
+};
+
+/// Stable name of a health state ("healthy", "degraded", "shedding").
+const char* HealthStateToString(HealthState state);
 
 /// Point-in-time engine counters. Latency quantiles cover the per-
 /// database Assess() call (feature extraction + forest inference)
@@ -62,6 +85,14 @@ struct EngineMetrics {
   uint64_t databases_skipped = 0;   ///< Matured but Assess() failed.
   uint64_t polls = 0;
   uint64_t snapshots_built = 0;
+  uint64_t databases_fallback = 0;  ///< Scored by the baseline fallback.
+  uint64_t deadline_exceeded = 0;   ///< Shard batches past the deadline.
+  uint64_t retries = 0;             ///< Ingest/snapshot retry attempts.
+  uint64_t rejected_shed = 0;       ///< Ingests rejected while shedding.
+  uint64_t rejected_error = 0;      ///< Ingests rejected, retries spent.
+  uint64_t rejected_invalid = 0;    ///< Ingests rejected (bad ids).
+  HealthState health = HealthState::kHealthy;
+  uint64_t health_transitions = 0;
   double scoring_p50_us = 0.0;
   double scoring_p99_us = 0.0;
 
@@ -109,6 +140,49 @@ class ScoringEngine {
     /// Observation span x in days; must match the published models'
     /// observe_days for assessments to be meaningful.
     double observe_days = 2.0;
+
+    // --- Fault injection & graceful degradation -------------------
+    // Every knob below defaults to "off": with the defaults the engine
+    // behaves exactly like the pre-fault-layer engine. The knob table
+    // in docs/operations.md documents each one and is kept in sync by
+    // tools/check_docs.sh.
+
+    /// Hook evaluated at ingest/snapshot/score/model-pin sites; nullptr
+    /// disables injection entirely. Not owned; must outlive the engine.
+    fault::FaultInjector* fault_injector = nullptr;
+    /// Retries after a retryable (Internal/IOError) ingest failure.
+    size_t ingest_retries = 3;
+    /// Retries after a snapshot materialization failure per shard batch.
+    size_t snapshot_retries = 2;
+    /// First-retry backoff; doubles per attempt (exponential).
+    double retry_backoff_us = 100.0;
+    /// Backoff is scaled by a deterministic jitter factor drawn from
+    /// [1 - retry_jitter, 1 + retry_jitter) (seeded, never wall clock).
+    double retry_jitter = 0.2;
+    /// Per-shard-batch scoring deadline in *virtual* microseconds
+    /// (injected delays + assess_virtual_cost_us per assessment);
+    /// databases past it fall back or are skipped. 0 disables.
+    double batch_deadline_us = 0.0;
+    /// Virtual cost charged against the deadline per assessment. Using
+    /// virtual rather than wall time keeps deadline behaviour
+    /// bit-reproducible across machines and thread counts.
+    double assess_virtual_cost_us = 0.0;
+    /// Ingest backlog (staged events) that trips load shedding; new
+    /// events are rejected until the backlog drains. 0 disables.
+    size_t shed_high_watermark = 0;
+    /// Backlog at which shedding clears (hysteresis; clamped below the
+    /// high watermark).
+    size_t shed_low_watermark = 0;
+    /// Clean polls (no fallback/deadline/retry-exhaustion) required to
+    /// return from kDegraded to kHealthy.
+    size_t recovery_polls = 3;
+    /// P[long-lived] for the weighted-random fallback scorer; negative
+    /// disables fallback (model-unavailable polls fail instead).
+    double fallback_positive_rate = -1.0;
+    /// Seed for fallback draws and retry jitter. Draws are forked per
+    /// database id, so fallback outputs are independent of scoring
+    /// order and thread count.
+    uint64_t fallback_seed = 2018;
   };
 
   ScoringEngine(RegionContext region, Options options);
@@ -136,6 +210,14 @@ class ScoringEngine {
   const Options& options() const { return options_; }
   const RegionContext& region() const { return region_; }
 
+  /// Current serving health (thread-safe snapshot; authoritative
+  /// transitions happen on the Poll()/Drain() driver thread, except
+  /// shedding engagement which Ingest() performs inline).
+  HealthState health() const {
+    return static_cast<HealthState>(
+        health_.load(std::memory_order_relaxed));
+  }
+
   EngineMetrics Metrics() const;
 
  private:
@@ -152,6 +234,25 @@ class ScoringEngine {
   Result<std::vector<ScoredDatabase>> ScoreDue(
       std::vector<PendingDatabase> due);
 
+  /// Runs one poll cycle (shared by Poll and Drain) and applies the
+  /// health-state transitions it observed.
+  Result<std::vector<ScoredDatabase>> RunCycle(
+      std::vector<PendingDatabase> due);
+
+  /// Scores one pending database with the weighted-random fallback.
+  ScoredDatabase FallbackScore(const PendingDatabase& pending) const;
+
+  /// Exponential backoff with deterministic jitter for retry `attempt`
+  /// (0-based). Thread-safe.
+  double RetryBackoffUs(size_t attempt);
+
+  /// Moves `health_` to `next`, counting the transition. Thread-safe.
+  void SetHealth(HealthState next);
+
+  /// Post-cycle health bookkeeping: shedding watermarks and the
+  /// degraded/healthy recovery counter. Driver thread only.
+  void UpdateHealthAfterCycle(bool dirty);
+
   /// Registry-owned series backing EngineMetrics, labelled
   /// engine="<instance id>". Raw pointers resolved at construction;
   /// the registry outlives every engine.
@@ -164,6 +265,14 @@ class ScoringEngine {
     obs::Counter* databases_skipped = nullptr;
     obs::Counter* polls = nullptr;
     obs::Counter* snapshots = nullptr;
+    obs::Counter* fallback_scored = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* rejected_shed = nullptr;
+    obs::Counter* rejected_error = nullptr;
+    obs::Counter* rejected_invalid = nullptr;
+    obs::Gauge* health_state = nullptr;
+    obs::Counter* health_transitions = nullptr;
     obs::Histogram* scoring_latency_us = nullptr;
   };
 
@@ -183,6 +292,22 @@ class ScoringEngine {
   std::vector<ShardLog> shard_logs_;
 
   EngineSeries series_;
+
+  /// Fitted iff options_.fallback_positive_rate >= 0.
+  ml::WeightedRandomClassifier fallback_model_;
+
+  /// Health state machine (values of HealthState). Atomic because
+  /// Ingest() engages shedding from producer threads while the driver
+  /// thread owns every other transition.
+  std::atomic<int> health_{0};
+  /// Salt for retry-jitter draws; advancing it per retry keeps sleeps
+  /// varied without sharing an Rng across producer threads.
+  std::atomic<uint64_t> jitter_salt_{0};
+  /// Consecutive clean polls while degraded. Driver thread only.
+  size_t clean_polls_ = 0;
+  /// True while the current cycle observed degradation. Set by scoring
+  /// tasks (under the futures barrier), read by the driver.
+  std::atomic<bool> cycle_dirty_{false};
 };
 
 }  // namespace cloudsurv::serving

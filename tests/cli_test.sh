@@ -37,6 +37,59 @@ grep -q "\"metrics\": \[" "$WORK/metrics.json"
 grep -q "\"name\": \"cloudsurv_engine_databases_scored_total\"" \
   "$WORK/metrics.json"
 
+# serve-sim under an output-neutral fault plan: faults fire, the replay
+# stays bit-identical to batch Assess, and the ingest/scoring accounting
+# identities hold.
+cat > "$WORK/plan_neutral.txt" <<'EOF'
+seed 42
+fault ingest.shard stall every=500 delay_us=200
+fault pool.task delay every=250 delay_us=100
+EOF
+"$CLI" serve-sim --region 2 --subs 300 --seed 5 \
+  --fault-plan "$WORK/plan_neutral.txt" | tee "$WORK/serve_faults.txt"
+grep -q "fault plan" "$WORK/serve_faults.txt"
+grep -q "faults fired" "$WORK/serve_faults.txt"
+grep -q "IDENTICAL" "$WORK/serve_faults.txt"
+grep -q "accounting.*OK" "$WORK/serve_faults.txt"
+
+# serve-sim under an output-affecting plan (model-swap races + io
+# failures): the run must still exit 0 with clean accounting — every
+# rejected or degraded event is counted, nothing is dropped silently.
+cat > "$WORK/plan_swap.txt" <<'EOF'
+seed 7
+fault registry.swap swap_race every=2 count=6
+fault engine.snapshot io_fail every=5 count=3
+EOF
+"$CLI" serve-sim --region 2 --subs 300 --seed 5 \
+  --fault-plan "$WORK/plan_swap.txt" | tee "$WORK/serve_swap.txt"
+grep -q "advisory" "$WORK/serve_swap.txt"
+grep -q "accounting.*OK" "$WORK/serve_swap.txt"
+
+# Flag validation: zero/negative/garbage values are rejected up front
+# with an InvalidArgument diagnostic, never a crash or a silent default.
+for bad in "--threads 0" "--threads -3" "--shards banana" \
+           "--flush-interval 0" "--flush-interval -2" \
+           "--metrics-interval abc" "--deadline-us -1" "--shed-high -5"; do
+  if "$CLI" serve-sim --region 2 --subs 50 --seed 5 $bad \
+      > "$WORK/bad.txt" 2>&1; then
+    echo "expected rejection of '$bad'" >&2
+    exit 1
+  fi
+  grep -q "InvalidArgument" "$WORK/bad.txt" || {
+    echo "expected InvalidArgument diagnostic for '$bad'" >&2
+    exit 1
+  }
+done
+
+# A malformed fault plan names the offending line and exits non-zero.
+printf 'fault nowhere delay delay_us=1\n' > "$WORK/plan_bad.txt"
+if "$CLI" serve-sim --region 2 --subs 50 --seed 5 \
+    --fault-plan "$WORK/plan_bad.txt" > "$WORK/badplan.txt" 2>&1; then
+  echo "expected rejection of malformed fault plan" >&2
+  exit 1
+fi
+grep -q "fault plan line 1" "$WORK/badplan.txt"
+
 # Error paths exit non-zero.
 if "$CLI" analyze --telemetry /nonexistent.csv 2>/dev/null; then
   echo "expected failure on missing telemetry" >&2

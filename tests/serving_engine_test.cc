@@ -1,11 +1,17 @@
 #include "serving/scoring_engine.h"
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "fault/fault.h"
 #include "gtest/gtest.h"
+#include "ml/baseline.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serving/event_ingest.h"
@@ -333,6 +339,297 @@ TEST(ScoringEngineTest, HotSwapMidScoringNeverServesTornModel) {
         s.assessment.predicted_label == b_it->second.predicted_label;
     EXPECT_TRUE(matches_a || matches_b)
         << "db " << s.database_id << " matches neither published model";
+  }
+}
+
+fault::FaultPlan ParsePlan(const std::string& text) {
+  fault::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(fault::FaultPlan::Parse(text, &plan, &error)) << error;
+  return plan;
+}
+
+/// The §4 weighted-random baseline, drawn exactly the way the engine's
+/// FallbackScore draws it: forked per database id from the fallback
+/// seed.
+int FallbackBaselineLabel(uint64_t seed, double rate, DatabaseId id) {
+  Rng rng = Rng(seed).Fork(id);
+  return ml::WeightedRandomClassifier::FromPositiveRate(rate).Predict(rng);
+}
+
+TEST(ScoringEngineFaultTest, FallbackBitMatchesWeightedRandomBaseline) {
+  ScoringEngine::Options options;
+  options.num_shards = 8;
+  options.num_threads = 4;
+  options.fallback_positive_rate = 0.4;
+  options.fallback_seed = 77;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  // No model is ever published: with fallback enabled the drain still
+  // serves every tracked database instead of failing the poll.
+  for (const Event& e : Store().events()) {
+    ASSERT_TRUE(engine.Ingest(e).ok());
+  }
+  auto scored = engine.Drain();
+  ASSERT_TRUE(scored.ok()) << scored.status();
+  ASSERT_FALSE(scored->empty());
+
+  for (const ScoredDatabase& s : *scored) {
+    EXPECT_TRUE(s.fallback);
+    EXPECT_EQ(s.model_version, 0u);
+    EXPECT_FALSE(s.assessment.confident);
+    EXPECT_EQ(s.assessment.positive_probability, 0.4);
+    EXPECT_EQ(s.assessment.model_name, "weighted-random-fallback");
+    // Bit-exact against the standalone baseline: the draw depends only
+    // on (seed, database id), not on shard, order or thread count.
+    EXPECT_EQ(s.assessment.predicted_label,
+              FallbackBaselineLabel(77, 0.4, s.database_id))
+        << "db " << s.database_id;
+  }
+
+  const EngineMetrics m = engine.Metrics();
+  EXPECT_EQ(m.databases_fallback, scored->size());
+  EXPECT_EQ(m.databases_scored, 0u);
+  EXPECT_EQ(m.databases_tracked, m.databases_scored + m.databases_fallback +
+                                     m.databases_skipped +
+                                     m.databases_cancelled);
+  // Fallback scoring dirties the cycle; clean polls recover.
+  EXPECT_EQ(engine.health(), HealthState::kDegraded);
+  for (size_t i = 0; i < options.recovery_polls; ++i) {
+    ASSERT_TRUE(engine.Poll(Store().window_end()).ok());
+  }
+  EXPECT_EQ(engine.health(), HealthState::kHealthy);
+  EXPECT_EQ(engine.Metrics().health_transitions, 2u);
+}
+
+TEST(ScoringEngineFaultTest, SheddingEngagesAndClearsAtWatermarks) {
+  ScoringEngine::Options options;
+  options.num_shards = 4;
+  options.num_threads = 2;
+  options.shed_high_watermark = 8;
+  options.shed_low_watermark = 2;
+  options.recovery_polls = 3;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+
+  // Fill the backlog to the high watermark without polling.
+  for (uint64_t i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(
+        engine.Ingest(telemetry::MakeSizeSampleEvent(i, i, 100, 1.0)).ok());
+  }
+  EXPECT_EQ(engine.health(), HealthState::kHealthy);
+
+  // The next ingest observes backlog >= high watermark: shedding
+  // engages inline and the event is rejected with a reason.
+  auto shed = engine.Ingest(telemetry::MakeSizeSampleEvent(9, 9, 101, 1.0));
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.health(), HealthState::kShedding);
+  // While shedding, rejection is immediate (no watermark re-check).
+  EXPECT_FALSE(
+      engine.Ingest(telemetry::MakeSizeSampleEvent(10, 10, 102, 1.0)).ok());
+  EXPECT_EQ(engine.Metrics().rejected_shed, 2u);
+
+  // A poll drains the backlog below the low watermark: shedding clears
+  // into degraded (never straight to healthy), ingest works again.
+  ASSERT_TRUE(engine.Poll(200).ok());
+  EXPECT_EQ(engine.health(), HealthState::kDegraded);
+  EXPECT_TRUE(
+      engine.Ingest(telemetry::MakeSizeSampleEvent(11, 11, 103, 1.0)).ok());
+
+  // Clean polls age the degradation out.
+  for (size_t i = 0; i < options.recovery_polls; ++i) {
+    EXPECT_EQ(engine.health(), HealthState::kDegraded);
+    ASSERT_TRUE(engine.Poll(300 + static_cast<Timestamp>(i)).ok());
+  }
+  EXPECT_EQ(engine.health(), HealthState::kHealthy);
+
+  const EngineMetrics m = engine.Metrics();
+  // healthy -> shedding -> degraded -> healthy.
+  EXPECT_EQ(m.health_transitions, 3u);
+  // Every rejected ingest carries a reason; nothing vanished silently.
+  EXPECT_EQ(m.events_ingested, 9u);
+  EXPECT_EQ(m.rejected_shed, 2u);
+  EXPECT_EQ(m.rejected_error, 0u);
+  EXPECT_EQ(m.rejected_invalid, 0u);
+}
+
+TEST(ScoringEngineFaultTest, DeadlinedBatchesFallBackWithFullAccounting) {
+  auto service = Service();
+  ScoringEngine::Options options;
+  options.num_shards = 2;
+  options.num_threads = 2;
+  // Virtual-time deadline: each assessment costs 100 virtual us against
+  // a 250us budget, so every shard batch scores at most three databases
+  // with the forest and falls back for the rest.
+  options.batch_deadline_us = 250.0;
+  options.assess_virtual_cost_us = 100.0;
+  options.fallback_positive_rate = 0.5;
+  options.fallback_seed = 7;
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  ASSERT_TRUE(engine.registry().Publish("v1", service).ok());
+
+  for (const Event& e : Store().events()) {
+    ASSERT_TRUE(engine.Ingest(e).ok());
+  }
+  auto scored = engine.Drain();
+  ASSERT_TRUE(scored.ok()) << scored.status();
+
+  const EngineMetrics m = engine.Metrics();
+  EXPECT_GE(m.deadline_exceeded, 1u);
+  EXPECT_LE(m.deadline_exceeded, 2u);  // at most one per shard batch
+  EXPECT_GT(m.databases_fallback, 0u);
+  EXPECT_GT(m.databases_scored, 0u);
+  EXPECT_LE(m.databases_scored, 6u);  // <= 3 forest scores per shard
+  EXPECT_EQ(scored->size(), m.databases_scored + m.databases_fallback);
+  EXPECT_EQ(m.databases_tracked, m.databases_scored + m.databases_fallback +
+                                     m.databases_skipped +
+                                     m.databases_cancelled);
+  EXPECT_EQ(engine.health(), HealthState::kDegraded);
+
+  for (const ScoredDatabase& s : *scored) {
+    if (!s.fallback) continue;
+    EXPECT_EQ(s.assessment.predicted_label,
+              FallbackBaselineLabel(7, 0.5, s.database_id));
+    EXPECT_FALSE(s.assessment.confident);
+  }
+}
+
+TEST(ScoringEngineFaultTest, NoDeadlockUnderSwapRacePlanWithHotPublisher) {
+  auto service = Service();
+  const auto baseline = BatchBaseline(*service);
+
+  // The acceptance plan: shard stalls plus model-swap races, with a
+  // publisher hammering the registry (whose critical section is itself
+  // stalled) while the driver polls.
+  fault::FaultInjector injector(ParsePlan(
+      "seed 11\n"
+      "fault ingest.shard stall shard=1 every=200 delay_us=100\n"
+      "fault registry.swap swap_race every=2\n"
+      "fault registry.publish stall delay_us=200\n"
+      "fault engine.snapshot io_fail every=7 count=4\n"));
+
+  ScoringEngine::Options options;
+  options.num_shards = 8;
+  options.num_threads = 4;
+  options.fault_injector = &injector;
+  options.fallback_positive_rate = 0.3;
+  options.fallback_seed = injector.seed();
+  ScoringEngine engine(RegionContext::FromStore(Store()), options);
+  ASSERT_TRUE(engine.registry().Publish("v1", service).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&engine, &service, &stop]() {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      ASSERT_TRUE(
+          engine.registry().Publish("swap-" + std::to_string(i), service)
+              .ok());
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const Timestamp week = 7 * telemetry::kSecondsPerDay;
+  Timestamp next_poll = Store().window_start() + week;
+  std::vector<ScoredDatabase> scored;
+  for (const Event& e : Store().events()) {
+    while (e.timestamp > next_poll) {
+      auto batch = engine.Poll(next_poll);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (auto& s : *batch) scored.push_back(std::move(s));
+      next_poll += week;
+    }
+    ASSERT_TRUE(engine.Ingest(e).ok());
+  }
+  auto rest = engine.Drain();
+  ASSERT_TRUE(rest.ok()) << rest.status();
+  for (auto& s : *rest) scored.push_back(std::move(s));
+  stop = true;
+  publisher.join();
+
+  // swap_race every=2 fires constantly: some batches must have fallen
+  // back, and the rest must bit-match the batch baseline (every
+  // published version is the same model here).
+  EXPECT_GT(injector.total_fired(), 0u);
+  uint64_t fallback_count = 0;
+  for (const ScoredDatabase& s : scored) {
+    if (s.fallback) {
+      ++fallback_count;
+      EXPECT_EQ(s.assessment.predicted_label,
+                FallbackBaselineLabel(injector.seed(), 0.3, s.database_id));
+      EXPECT_EQ(s.model_version, 0u);
+    } else {
+      const auto& want = baseline.at(s.database_id);
+      EXPECT_EQ(s.assessment.positive_probability,
+                want.positive_probability);
+      EXPECT_EQ(s.assessment.predicted_label, want.predicted_label);
+    }
+  }
+  EXPECT_GT(fallback_count, 0u);
+
+  // Zero dropped-without-reason: the returned assessments plus the
+  // skip/cancel counters account for every tracked database.
+  const EngineMetrics m = engine.Metrics();
+  EXPECT_EQ(scored.size(), m.databases_scored + m.databases_fallback);
+  EXPECT_EQ(m.databases_tracked, m.databases_scored + m.databases_fallback +
+                                     m.databases_skipped +
+                                     m.databases_cancelled);
+}
+
+TEST(ScoringEngineFaultTest, SameSeedPlanReplaysBitIdentically) {
+  auto service = Service();
+  const std::string spec =
+      "seed 5\n"
+      "fault registry.swap swap_race every=3\n"
+      "fault engine.snapshot io_fail every=4 count=6\n";
+
+  // One full replay: weekly polls over the event stream, then a drain.
+  auto run = [&](fault::FaultInjector* injector) {
+    ScoringEngine::Options options;
+    options.num_shards = 8;
+    options.num_threads = 4;
+    options.fault_injector = injector;
+    options.fallback_positive_rate = 0.35;
+    options.fallback_seed = injector->seed();
+    ScoringEngine engine(RegionContext::FromStore(Store()), options);
+    EXPECT_TRUE(engine.registry().Publish("v1", service).ok());
+    const Timestamp week = 7 * telemetry::kSecondsPerDay;
+    Timestamp next_poll = Store().window_start() + week;
+    std::vector<ScoredDatabase> scored;
+    for (const Event& e : Store().events()) {
+      while (e.timestamp > next_poll) {
+        auto batch = engine.Poll(next_poll);
+        EXPECT_TRUE(batch.ok()) << batch.status();
+        for (auto& s : *batch) scored.push_back(std::move(s));
+        next_poll += week;
+      }
+      EXPECT_TRUE(engine.Ingest(e).ok());
+    }
+    auto rest = engine.Drain();
+    EXPECT_TRUE(rest.ok()) << rest.status();
+    for (auto& s : *rest) scored.push_back(std::move(s));
+    return scored;
+  };
+
+  fault::FaultInjector first(ParsePlan(spec));
+  fault::FaultInjector second(ParsePlan(spec));
+  const std::vector<ScoredDatabase> a = run(&first);
+  const std::vector<ScoredDatabase> b = run(&second);
+
+  // The plan is output-affecting (swap races force fallbacks, io_fail
+  // burns snapshot retries), yet the two runs are bit-identical: same
+  // fault log, same assessments, same fallback set.
+  EXPECT_GT(first.total_fired(), 0u);
+  EXPECT_EQ(first.LogToString(), second.LogToString());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].database_id, b[i].database_id);
+    EXPECT_EQ(a[i].fallback, b[i].fallback);
+    EXPECT_EQ(a[i].model_version, b[i].model_version);
+    EXPECT_EQ(a[i].assessment.predicted_label,
+              b[i].assessment.predicted_label);
+    EXPECT_EQ(a[i].assessment.positive_probability,
+              b[i].assessment.positive_probability)
+        << "db " << a[i].database_id;
   }
 }
 

@@ -1,23 +1,32 @@
 #!/bin/sh
-# Docs <-> code consistency check for the metrics reference.
+# Docs <-> code consistency checks, bidirectional so neither side can
+# silently rot:
 #
-# Every metric name registered anywhere under src/ (any string literal
-# of the form "cloudsurv_<...>") must have a row in the reference table
-# of docs/observability.md, and every table row must correspond to a
-# registration in src/ — so the table cannot silently rot in either
-# direction. CI runs this; run it locally from the repo root:
+#   1. Every metric name registered anywhere under src/ (any string
+#      literal of the form "cloudsurv_<...>") must have a row in the
+#      reference table of docs/observability.md, and vice versa.
+#   2. Every field of ScoringEngine::Options must have a knob row
+#      (`| \`name\` |`) in docs/operations.md, and vice versa.
+#   3. Every relative markdown link in docs/*.md and README.md must
+#      point at a file or directory that exists.
+#
+# CI runs this; run it locally from the repo root:
 #
 #   sh tools/check_docs.sh
 set -eu
 
 REPO_ROOT=$(dirname "$0")/..
 DOC="$REPO_ROOT/docs/observability.md"
+OPS_DOC="$REPO_ROOT/docs/operations.md"
+OPTIONS_HDR="$REPO_ROOT/src/serving/scoring_engine.h"
 SRC="$REPO_ROOT/src"
 
-if [ ! -f "$DOC" ]; then
-  echo "check_docs: $DOC not found" >&2
-  exit 1
-fi
+for f in "$DOC" "$OPS_DOC" "$OPTIONS_HDR"; do
+  if [ ! -f "$f" ]; then
+    echo "check_docs: $f not found" >&2
+    exit 1
+  fi
+done
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -52,5 +61,61 @@ fi
 if [ "$STATUS" -eq 0 ]; then
   echo "check_docs: $(wc -l < "$WORK/code_names" | tr -d ' ') metric" \
        "names consistent between src/ and docs/observability.md"
+fi
+
+# --- ScoringEngine::Options knobs <-> docs/operations.md ------------
+# Field names declared inside `struct Options { ... };`.
+sed -n '/struct Options {/,/^  };/p' "$OPTIONS_HDR" \
+  | grep -oE '[a-z_][a-z0-9_]* =' | sed 's/ =$//' | sort -u \
+  > "$WORK/knob_code"
+
+# Knob rows in the runbook table: `| \`name\` |` with a plain
+# identifier (metric rows in the triage table carry cloudsurv_ names
+# and are checked against src/ above, not against Options).
+grep -hoE '^\| `[a-z_][a-z0-9_]*`' "$OPS_DOC" | tr -d '|` ' \
+  | grep -v '^cloudsurv_' | sort -u > "$WORK/knob_doc"
+
+UNDOCUMENTED_KNOBS=$(comm -23 "$WORK/knob_code" "$WORK/knob_doc")
+if [ -n "$UNDOCUMENTED_KNOBS" ]; then
+  echo "check_docs: ScoringEngine::Options fields missing from the" >&2
+  echo "docs/operations.md knob table:" >&2
+  echo "$UNDOCUMENTED_KNOBS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+
+STALE_KNOBS=$(comm -13 "$WORK/knob_code" "$WORK/knob_doc")
+if [ -n "$STALE_KNOBS" ]; then
+  echo "check_docs: knob rows in docs/operations.md with no matching" >&2
+  echo "field in ScoringEngine::Options:" >&2
+  echo "$STALE_KNOBS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $(wc -l < "$WORK/knob_code" | tr -d ' ') Options" \
+       "knobs consistent between scoring_engine.h and docs/operations.md"
+fi
+
+# --- Markdown link targets exist ------------------------------------
+LINKS_CHECKED=0
+for md in "$REPO_ROOT"/docs/*.md "$REPO_ROOT/README.md"; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Inline links: ](target). Skip absolute URLs, anchors and mailto;
+  # strip any trailing #anchor before testing existence.
+  for target in $(grep -oE '\]\([^)]+\)' "$md" \
+                    | sed 's/^](//; s/)$//' \
+                    | grep -vE '^(https?:|mailto:|#)' \
+                    | sed 's/#.*$//' | grep -v '^$' | sort -u); do
+    LINKS_CHECKED=$((LINKS_CHECKED + 1))
+    if [ ! -e "$dir/$target" ]; then
+      echo "check_docs: broken link in $(basename "$md"): $target" >&2
+      STATUS=1
+    fi
+  done
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $LINKS_CHECKED relative doc links resolve"
 fi
 exit $STATUS

@@ -4,8 +4,8 @@
 //   cloudsurv analyze   --telemetry region.csv [--region 1]
 //   cloudsurv train     --telemetry region.csv --out service.model
 //   cloudsurv assess    --telemetry region.csv --model service.model [--top 20]
-//   cloudsurv serve-sim --region 1 --subs 800 --seed 7 --threads 8 \
-//                       --shards 16 --flush-interval 1
+//   cloudsurv serve-sim --region 1 --subs 800 --seed 7 --threads 8
+//                       --shards 16 --flush-interval 1 [--fault-plan plan.txt]
 //
 // The CSV format is TelemetryStore::ExportCsv()'s; `analyze` prints the
 // survival study (Figure 1 / Observations 3.1-3.3 style), `train`
@@ -15,7 +15,10 @@
 // assessments against the sequential batch path.
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,6 +30,7 @@
 #include "core/cohort.h"
 #include "core/report.h"
 #include "core/service.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serving/scoring_engine.h"
@@ -54,6 +58,11 @@ struct Args {
   double metrics_interval_days = 0.0;
   std::string metrics_out_path;
   std::string split = "histogram";
+  /// serve-sim fault-injection & degradation knobs.
+  std::string fault_plan_path;
+  double deadline_us = 0.0;
+  int64_t shed_high = 0;
+  int64_t shed_low = 0;
 };
 
 int Usage() {
@@ -68,8 +77,75 @@ int Usage() {
       "  assess    --telemetry FILE --model FILE [--top N]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
       "            [--shards N] [--flush-interval DAYS]\n"
-      "            [--metrics-interval DAYS] [--metrics-out FILE]\n");
+      "            [--metrics-interval DAYS] [--metrics-out FILE]\n"
+      "            [--fault-plan FILE] [--deadline-us US]\n"
+      "            [--shed-high N] [--shed-low N]\n");
   return 2;
+}
+
+// Strict numeric flag parsing: the whole token must parse and satisfy
+// the bound, otherwise a Status-style diagnostic is printed and the
+// process exits with usage. No more atoi() silently turning garbage
+// into 0.
+bool ParseInt64Flag(const char* flag, const char* text, int64_t min_value,
+                    int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "InvalidArgument: %s expects an integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  if (value < min_value) {
+    std::fprintf(stderr,
+                 "InvalidArgument: %s must be >= %lld, got '%s'\n", flag,
+                 static_cast<long long>(min_value), text);
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseUint64Flag(const char* flag, const char* text, uint64_t* out) {
+  if (text[0] == '-') {
+    std::fprintf(stderr,
+                 "InvalidArgument: %s must be non-negative, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "InvalidArgument: %s expects an integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* text, double min_value,
+                     bool exclusive, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(value)) {
+    std::fprintf(stderr,
+                 "InvalidArgument: %s expects a number, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  if (exclusive ? value <= min_value : value < min_value) {
+    std::fprintf(stderr, "InvalidArgument: %s must be %s %g, got '%s'\n",
+                 flag, exclusive ? ">" : ">=", min_value, text);
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -84,15 +160,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     if (std::strcmp(argv[i], "--region") == 0) {
       const char* v = need_value("--region");
       if (v == nullptr) return false;
-      args->region = std::atoi(v);
+      int64_t region = 0;
+      if (!ParseInt64Flag("--region", v, 1, &region)) return false;
+      args->region = static_cast<int>(region);
     } else if (std::strcmp(argv[i], "--subs") == 0) {
       const char* v = need_value("--subs");
       if (v == nullptr) return false;
-      args->subs = static_cast<size_t>(std::atol(v));
+      int64_t subs = 0;
+      if (!ParseInt64Flag("--subs", v, 1, &subs)) return false;
+      args->subs = static_cast<size_t>(subs);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need_value("--seed");
       if (v == nullptr) return false;
-      args->seed = static_cast<uint64_t>(std::atoll(v));
+      if (!ParseUint64Flag("--seed", v, &args->seed)) return false;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       const char* v = need_value("--telemetry");
       if (v == nullptr) return false;
@@ -108,23 +188,58 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (std::strcmp(argv[i], "--top") == 0) {
       const char* v = need_value("--top");
       if (v == nullptr) return false;
-      args->top = std::atoi(v);
+      int64_t top = 0;
+      if (!ParseInt64Flag("--top", v, 0, &top)) return false;
+      args->top = static_cast<int>(top);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
       if (v == nullptr) return false;
-      args->threads = std::atoi(v);
+      int64_t threads = 0;
+      if (!ParseInt64Flag("--threads", v, 1, &threads)) return false;
+      args->threads = static_cast<int>(threads);
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = need_value("--shards");
       if (v == nullptr) return false;
-      args->shards = std::atoi(v);
+      int64_t shards = 0;
+      if (!ParseInt64Flag("--shards", v, 1, &shards)) return false;
+      args->shards = static_cast<int>(shards);
     } else if (std::strcmp(argv[i], "--flush-interval") == 0) {
       const char* v = need_value("--flush-interval");
       if (v == nullptr) return false;
-      args->flush_interval_days = std::atof(v);
+      if (!ParseDoubleFlag("--flush-interval", v, 0.0, true,
+                           &args->flush_interval_days)) {
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--metrics-interval") == 0) {
       const char* v = need_value("--metrics-interval");
       if (v == nullptr) return false;
-      args->metrics_interval_days = std::atof(v);
+      if (!ParseDoubleFlag("--metrics-interval", v, 0.0, false,
+                           &args->metrics_interval_days)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      const char* v = need_value("--fault-plan");
+      if (v == nullptr) return false;
+      args->fault_plan_path = v;
+    } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+      const char* v = need_value("--deadline-us");
+      if (v == nullptr) return false;
+      if (!ParseDoubleFlag("--deadline-us", v, 0.0, false,
+                           &args->deadline_us)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--shed-high") == 0) {
+      const char* v = need_value("--shed-high");
+      if (v == nullptr) return false;
+      if (!ParseInt64Flag("--shed-high", v, 0, &args->shed_high)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--shed-low") == 0) {
+      const char* v = need_value("--shed-low");
+      if (v == nullptr) return false;
+      if (!ParseInt64Flag("--shed-low", v, 0, &args->shed_low)) {
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       const char* v = need_value("--metrics-out");
       if (v == nullptr) return false;
@@ -361,6 +476,29 @@ int CmdAssess(const Args& args) {
 // the sequential batch path (LongevityService::Assess on the final
 // store). Exit code 1 on any divergence.
 int CmdServeSim(const Args& args) {
+  // Optional deterministic fault plan: parse it first so a bad spec
+  // fails fast, before any simulation or training work happens.
+  std::unique_ptr<fault::FaultInjector> injector;
+  fault::FaultPlan plan;
+  if (!args.fault_plan_path.empty()) {
+    auto text = ReadFile(args.fault_plan_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::string parse_error;
+    if (!fault::FaultPlan::Parse(*text, &plan, &parse_error)) {
+      std::fprintf(stderr, "InvalidArgument: %s\n", parse_error.c_str());
+      return 2;
+    }
+    injector = std::make_unique<fault::FaultInjector>(plan);
+    std::printf("fault plan %s: %zu rules, seed %llu, %s\n",
+                args.fault_plan_path.c_str(), plan.rules.size(),
+                static_cast<unsigned long long>(plan.seed),
+                plan.output_neutral() ? "output-neutral"
+                                      : "output-affecting");
+  }
+
   auto config =
       simulator::MakeRegionPreset(args.region, args.subs, args.seed);
   if (!config.ok()) {
@@ -387,10 +525,37 @@ int CmdServeSim(const Args& args) {
   auto model = std::make_shared<const core::LongevityService>(
       std::move(trained).value());
 
+  const bool faults_active = injector != nullptr || args.shed_high > 0 ||
+                             args.deadline_us > 0.0;
+
   serving::ScoringEngine::Options options;
   options.num_threads = static_cast<size_t>(std::max(1, args.threads));
   options.num_shards = static_cast<size_t>(std::max(1, args.shards));
   options.observe_days = model->options().observe_days;
+  if (faults_active) {
+    options.fault_injector = injector.get();
+    options.batch_deadline_us = args.deadline_us;
+    // Charge a nominal virtual cost per assessment so a deadline binds
+    // even without injected scoring delays (see docs/operations.md).
+    if (args.deadline_us > 0.0) options.assess_virtual_cost_us = 100.0;
+    options.shed_high_watermark = static_cast<size_t>(args.shed_high);
+    options.shed_low_watermark = static_cast<size_t>(args.shed_low);
+    // Degraded mode serves the paper's §4 weighted-random baseline at
+    // the training cohort's positive rate (0.5 if the cohort is
+    // unavailable) instead of failing the poll.
+    double positive_rate = 0.5;
+    auto cohort = core::BuildPredictionCohort(
+        *store, model->options().observe_days,
+        model->options().long_threshold_days);
+    if (cohort.ok() && !cohort->labels.empty()) {
+      size_t positives = 0;
+      for (int label : cohort->labels) positives += label == 1 ? 1 : 0;
+      positive_rate = static_cast<double>(positives) /
+                      static_cast<double>(cohort->labels.size());
+    }
+    options.fallback_positive_rate = positive_rate;
+    options.fallback_seed = plan.seed;
+  }
   serving::ScoringEngine engine(
       serving::RegionContext::FromStore(*store), options);
   auto version = engine.registry().Publish("serve-sim-initial", model);
@@ -422,6 +587,8 @@ int CmdServeSim(const Args& args) {
   };
 
   std::vector<serving::ScoredDatabase> streamed;
+  uint64_t ingest_attempts = 0;
+  uint64_t ingest_rejected = 0;
   for (const telemetry::Event& event : store->events()) {
     // Strict '>' so events stamped exactly at the boundary are ingested
     // before the poll that may score databases maturing at it.
@@ -439,11 +606,17 @@ int CmdServeSim(const Args& args) {
       dump_registry(next_metrics);
       next_metrics += metrics_interval;
     }
+    ++ingest_attempts;
     Status ingested = engine.Ingest(event);
     if (!ingested.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n",
-                   ingested.ToString().c_str());
-      return 1;
+      if (!faults_active) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     ingested.ToString().c_str());
+        return 1;
+      }
+      // Under a fault plan, rejections are part of the experiment: the
+      // engine already counted the reason; keep replaying.
+      ++ingest_rejected;
     }
   }
   auto rest = engine.Drain();
@@ -476,8 +649,22 @@ int CmdServeSim(const Args& args) {
     if (assessment.ok()) batch.emplace(record.id, *assessment);
   }
 
+  // Strict bit-identity vs the batch path is only claimable when
+  // nothing in the run can change outputs: no faults at all, or a plan
+  // whose every rule is output-neutral with shedding and deadlines off.
+  const bool strict =
+      !faults_active ||
+      (injector != nullptr && plan.output_neutral() &&
+       args.shed_high == 0 && args.deadline_us == 0.0);
   size_t mismatches = 0;
+  size_t fallback_served = 0;
   for (const serving::ScoredDatabase& s : streamed) {
+    if (s.fallback) {
+      // Fallback assessments intentionally diverge from the forest;
+      // they are accounted, not compared.
+      ++fallback_served;
+      continue;
+    }
     auto it = batch.find(s.database_id);
     if (it == batch.end() ||
         it->second.predicted_label != s.assessment.predicted_label ||
@@ -487,7 +674,7 @@ int CmdServeSim(const Args& args) {
       ++mismatches;
     }
   }
-  if (streamed.size() != batch.size()) {
+  if (strict && streamed.size() != batch.size()) {
     std::fprintf(stderr,
                  "coverage mismatch: streamed %zu vs batch %zu\n",
                  streamed.size(), batch.size());
@@ -514,11 +701,78 @@ int CmdServeSim(const Args& args) {
       static_cast<unsigned long long>(metrics.databases_cancelled),
       metrics.confident_fraction() * 100.0, metrics.scoring_p50_us,
       metrics.scoring_p99_us);
-  std::printf("verification vs sequential Assess: %zu streamed, "
-              "%zu mismatches -> %s\n",
-              streamed.size(), mismatches,
-              mismatches == 0 ? "IDENTICAL" : "DIVERGED");
-  return mismatches == 0 ? 0 : 1;
+
+  bool accounting_ok = true;
+  if (faults_active) {
+    std::printf(
+        "fault report:\n"
+        "  faults fired      %llu\n"
+        "  fallback scored   %llu\n"
+        "  deadline batches  %llu\n"
+        "  retries           %llu\n"
+        "  rejected          shed=%llu error=%llu invalid=%llu\n"
+        "  health            %s (%llu transitions)\n",
+        static_cast<unsigned long long>(
+            injector != nullptr ? injector->total_fired() : 0),
+        static_cast<unsigned long long>(metrics.databases_fallback),
+        static_cast<unsigned long long>(metrics.deadline_exceeded),
+        static_cast<unsigned long long>(metrics.retries),
+        static_cast<unsigned long long>(metrics.rejected_shed),
+        static_cast<unsigned long long>(metrics.rejected_error),
+        static_cast<unsigned long long>(metrics.rejected_invalid),
+        serving::HealthStateToString(engine.health()),
+        static_cast<unsigned long long>(metrics.health_transitions));
+    if (injector != nullptr && injector->total_fired() > 0 &&
+        injector->total_fired() <= 40) {
+      std::printf("%s", injector->LogToString().c_str());
+    }
+
+    // "Zero dropped-without-reason": every ingest attempt is either
+    // ingested or rejected with a counted reason, and every tracked
+    // database is scored, fallback-scored, skipped or cancelled (the
+    // drain leaves nothing pending).
+    const uint64_t rejected_total = metrics.rejected_shed +
+                                    metrics.rejected_error +
+                                    metrics.rejected_invalid;
+    if (metrics.events_ingested + rejected_total != ingest_attempts) {
+      std::fprintf(stderr,
+                   "accounting violation: %llu attempts != %llu ingested "
+                   "+ %llu rejected\n",
+                   static_cast<unsigned long long>(ingest_attempts),
+                   static_cast<unsigned long long>(metrics.events_ingested),
+                   static_cast<unsigned long long>(rejected_total));
+      accounting_ok = false;
+    }
+    const uint64_t accounted =
+        metrics.databases_scored + metrics.databases_fallback +
+        metrics.databases_skipped + metrics.databases_cancelled;
+    if (accounted != metrics.databases_tracked) {
+      std::fprintf(stderr,
+                   "accounting violation: %llu tracked != %llu scored + "
+                   "fallback + skipped + cancelled\n",
+                   static_cast<unsigned long long>(
+                       metrics.databases_tracked),
+                   static_cast<unsigned long long>(accounted));
+      accounting_ok = false;
+    }
+    std::printf("accounting (%llu attempts, %llu tracked): %s\n",
+                static_cast<unsigned long long>(ingest_attempts),
+                static_cast<unsigned long long>(metrics.databases_tracked),
+                accounting_ok ? "OK" : "VIOLATION");
+    if (ingest_rejected > 0) {
+      std::printf("  (%llu ingest attempts rejected during replay)\n",
+                  static_cast<unsigned long long>(ingest_rejected));
+    }
+  }
+
+  std::printf("verification vs sequential Assess: %zu streamed "
+              "(%zu fallback), %zu mismatches -> %s%s\n",
+              streamed.size(), fallback_served, mismatches,
+              mismatches == 0 ? "IDENTICAL" : "DIVERGED",
+              strict ? "" : " (advisory: configuration may affect outputs)");
+  if (!accounting_ok) return 1;
+  if (strict && mismatches != 0) return 1;
+  return 0;
 }
 
 }  // namespace
