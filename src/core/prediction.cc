@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "ml/flat_forest.h"
+
 namespace cloudsurv::core {
 
 namespace {
@@ -111,8 +113,12 @@ Result<SubgroupExperimentResult> RunPredictionExperiment(
 
     ml::RandomForestClassifier forest;
     CLOUDSURV_RETURN_NOT_OK(forest.Fit(train, params, rep_seed));
+    // Scoring the held-out fold goes through the compiled flat layout —
+    // bit-identical to forest.PredictPositiveProba(test), just blocked.
+    CLOUDSURV_ASSIGN_OR_RETURN(ml::FlatForest flat,
+                               ml::FlatForest::Compile(forest));
     CLOUDSURV_ASSIGN_OR_RETURN(std::vector<double> probs,
-                               forest.PredictPositiveProba(test));
+                               flat.PredictPositiveProbaBatch(test));
 
     // Confidence threshold from the training class distribution
     // (section 5.3): t = max(q, 1 - q).

@@ -100,7 +100,11 @@ Result<LongevityService::Assessment> LongevityService::Assess(
   assessment.model_name =
       &slot == &pooled_model_ ? "pooled"
                               : telemetry::EditionToString(edition);
-  assessment.positive_probability = slot.forest.PredictProba(row)[1];
+  // The flat path accumulates the same doubles in the same order as
+  // PredictProba(row)[1] — routing through it changes nothing but speed.
+  assessment.positive_probability =
+      slot.flat.compiled() ? slot.flat.PredictPositive(row)
+                           : slot.forest.PredictProba(row)[1];
   assessment.predicted_label =
       assessment.positive_probability > 0.5 ? 1 : 0;
   assessment.confidence_threshold = slot.threshold;
@@ -116,17 +120,116 @@ Result<LongevityService::Assessment> LongevityService::Assess(
   return assessment;
 }
 
+Status LongevityService::CompileForInference() {
+  if (!pooled_model_.present) {
+    return Status::FailedPrecondition("service is not trained");
+  }
+  CLOUDSURV_ASSIGN_OR_RETURN(pooled_model_.flat,
+                             ml::FlatForest::Compile(pooled_model_.forest));
+  for (auto& slot : edition_models_) {
+    if (!slot.present) continue;
+    CLOUDSURV_ASSIGN_OR_RETURN(slot.flat,
+                               ml::FlatForest::Compile(slot.forest));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::optional<LongevityService::Assessment>>>
+LongevityService::AssessMany(const TelemetryStore& store,
+                             const std::vector<telemetry::DatabaseId>& ids,
+                             size_t block_rows) const {
+  if (!pooled_model_.present) {
+    return Status::FailedPrecondition("service is not trained");
+  }
+  std::vector<std::optional<Assessment>> out(ids.size());
+  features::FeatureConfig feature_config = options_.feature_config;
+  feature_config.observation_days = options_.observe_days;
+
+  // Group the extractable rows by resolved model slot so every group is
+  // scored in one blocked batch (at most kNumEditions + 1 groups).
+  struct Group {
+    const ModelSlot* slot = nullptr;
+    std::string model_name;
+    std::vector<std::vector<double>> rows;
+    std::vector<size_t> positions;  ///< Index into ids/out.
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto record = store.FindDatabase(ids[i]);
+    if (!record.ok()) continue;  // nullopt, as per-id Assess would fail
+    auto row = features::ExtractFeatures(store, **record, feature_config);
+    if (!row.ok()) continue;
+    const Edition edition = (*record)->initial_edition();
+    const ModelSlot& slot = SlotFor(edition);
+    Group* group = nullptr;
+    for (auto& g : groups) {
+      if (g.slot == &slot) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->slot = &slot;
+      group->model_name = &slot == &pooled_model_
+                              ? "pooled"
+                              : telemetry::EditionToString(edition);
+    }
+    group->rows.push_back(std::move(*row));
+    group->positions.push_back(i);
+  }
+
+  ml::FlatForest::BatchOptions batch;
+  batch.block_rows = block_rows;
+  for (auto& group : groups) {
+    std::vector<double> probs;
+    if (group.slot->flat.compiled()) {
+      CLOUDSURV_ASSIGN_OR_RETURN(
+          probs, group.slot->flat.PredictPositiveProbaRows(group.rows, batch));
+    } else {
+      probs.reserve(group.rows.size());
+      for (const auto& row : group.rows) {
+        probs.push_back(group.slot->forest.PredictProba(row)[1]);
+      }
+    }
+    for (size_t k = 0; k < group.positions.size(); ++k) {
+      Assessment assessment;
+      assessment.model_name = group.model_name;
+      assessment.positive_probability = probs[k];
+      assessment.predicted_label =
+          assessment.positive_probability > 0.5 ? 1 : 0;
+      assessment.confidence_threshold = group.slot->threshold;
+      assessment.confident =
+          assessment.positive_probability >= group.slot->threshold ||
+          assessment.positive_probability <= 1.0 - group.slot->threshold;
+      if (assessment.confident) {
+        assessment.recommended_pool =
+            assessment.predicted_label == 1 ? Pool::kStable : Pool::kChurn;
+      } else {
+        assessment.recommended_pool = Pool::kGeneral;
+      }
+      out[group.positions[k]] = std::move(assessment);
+    }
+  }
+  return out;
+}
+
 Result<PoolAssignmentPlan> LongevityService::PlanPlacements(
     const TelemetryStore& store) const {
-  PoolAssignmentPlan plan;
+  std::vector<telemetry::DatabaseId> eligible;
   for (const telemetry::DatabaseRecord& record : store.databases()) {
     const double observed =
         record.ObservedLifespanDays(store.window_end());
     if (observed < options_.observe_days) continue;
-    auto assessment = Assess(store, record.id);
-    if (!assessment.ok()) continue;
-    if (assessment->recommended_pool != Pool::kGeneral) {
-      plan.pools[record.id] = assessment->recommended_pool;
+    eligible.push_back(record.id);
+  }
+  CLOUDSURV_ASSIGN_OR_RETURN(auto assessments, AssessMany(store, eligible));
+  PoolAssignmentPlan plan;
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    if (!assessments[i].has_value()) continue;
+    if (assessments[i]->recommended_pool != Pool::kGeneral) {
+      plan.pools[eligible[i]] = assessments[i]->recommended_pool;
     }
   }
   return plan;

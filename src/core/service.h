@@ -4,9 +4,11 @@
 #include <array>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/provisioning.h"
 #include "features/features.h"
+#include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 #include "telemetry/store.h"
 
@@ -59,6 +61,29 @@ class LongevityService {
   Result<Assessment> Assess(const telemetry::TelemetryStore& store,
                             telemetry::DatabaseId id) const;
 
+  /// Scores many databases of `store` in one pass: feature rows are
+  /// grouped per resolved model slot and pushed through the compiled
+  /// `ml::FlatForest` in blocks of `block_rows` (legacy per-row scoring
+  /// when CompileForInference has not run). `out[i]` is nullopt exactly
+  /// when per-id Assess(ids[i]) would fail (unknown id, too little
+  /// telemetry); every produced Assessment is bit-identical to the
+  /// per-id call.
+  Result<std::vector<std::optional<Assessment>>> AssessMany(
+      const telemetry::TelemetryStore& store,
+      const std::vector<telemetry::DatabaseId>& ids,
+      size_t block_rows = 512) const;
+
+  /// Compiles every trained forest into its flat inference form
+  /// (ml::FlatForest). Call once after Train()/Load(); Assess and
+  /// AssessMany then route through the flat representation.
+  /// `ModelRegistry::Publish` does this at publish time.
+  Status CompileForInference();
+
+  /// True iff CompileForInference has run.
+  bool inference_compiled() const {
+    return pooled_model_.present && pooled_model_.flat.compiled();
+  }
+
   /// Scores every eligible database of `store` and returns a placement
   /// plan over the confident ones.
   Result<PoolAssignmentPlan> PlanPlacements(
@@ -83,6 +108,8 @@ class LongevityService {
   struct ModelSlot {
     bool present = false;
     ml::RandomForestClassifier forest;
+    /// Compiled inference form; empty until CompileForInference().
+    ml::FlatForest flat;
     double threshold = 0.5;  ///< max(q, 1-q) from the training cohort.
   };
 

@@ -529,7 +529,7 @@ int DecisionTreeClassifier::BuildNodeBinned(BinnedBuildContext& ctx,
   return node_index;
 }
 
-std::vector<double> DecisionTreeClassifier::PredictProba(
+const std::vector<double>& DecisionTreeClassifier::LeafDistribution(
     const std::vector<double>& row) const {
   const Node* node = &nodes_[0];
   while (node->feature >= 0) {
@@ -539,6 +539,11 @@ std::vector<double> DecisionTreeClassifier::PredictProba(
                : &nodes_[static_cast<size_t>(node->right)];
   }
   return node->probabilities;
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  return LeafDistribution(row);
 }
 
 int DecisionTreeClassifier::Predict(const std::vector<double>& row) const {

@@ -84,6 +84,27 @@ class DecisionTreeClassifier {
   int num_classes() const { return num_classes_; }
   size_t num_features() const { return num_features_; }
 
+  /// Read-only view of one stored node, for compilers of alternative
+  /// inference layouts (`ml::FlatForest`). Index space matches
+  /// num_nodes(); node 0 is the root; `feature < 0` marks a leaf whose
+  /// class distribution is `*probabilities`.
+  struct NodeView {
+    int feature;
+    double threshold;
+    int left;
+    int right;
+    const std::vector<double>* probabilities;
+  };
+  NodeView node_view(size_t i) const {
+    const Node& n = nodes_[i];
+    return {n.feature, n.threshold, n.left, n.right, &n.probabilities};
+  }
+
+  /// Leaf class distribution for one feature row, by reference — the
+  /// allocation-free core of PredictProba (valid as long as the tree).
+  const std::vector<double>& LeafDistribution(
+      const std::vector<double>& row) const;
+
   /// Serializes the fitted tree to a compact line-oriented text form
   /// that round-trips exactly (doubles printed with full precision).
   std::string Serialize() const;

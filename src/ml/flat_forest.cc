@@ -1,0 +1,584 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cloudsurv::ml {
+
+namespace {
+
+// Must match the expression in gbdt.cc exactly — bit-identity of the
+// regressor path depends on computing the same double.
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+obs::Histogram* CompileHistogram() {
+  static obs::Histogram* h = obs::Registry::Default().GetHistogram(
+      "cloudsurv_inference_compile_ms",
+      "FlatForest compilation time (SoA layout + quantized tables)", "ms");
+  return h;
+}
+
+obs::Counter* RowsTotal() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "cloudsurv_inference_rows_total",
+      "Rows scored through the flat inference engine", "rows");
+  return c;
+}
+
+obs::Histogram* BatchLatency() {
+  static obs::Histogram* h = obs::Registry::Default().GetHistogram(
+      "cloudsurv_inference_batch_latency_us",
+      "Wall time of one FlatForest batch-predict call", "us");
+  return h;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
+  const auto start = std::chrono::steady_clock::now();
+  if (!forest.fitted()) {
+    return Status::FailedPrecondition("cannot compile an unfitted forest");
+  }
+  FlatForest flat;
+  flat.num_classes_ = forest.num_classes();
+  if (flat.num_classes_ <= 0) {
+    return Status::Internal("fitted forest reports no classes");
+  }
+  flat.leaf_dim_ = static_cast<size_t>(flat.num_classes_);
+  flat.out_dim_ = flat.leaf_dim_;
+
+  const auto& trees = forest.trees();
+  size_t total_nodes = 0;
+  for (const auto& tree : trees) total_nodes += tree.num_nodes();
+  if (total_nodes >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::OutOfRange("forest too large for int32 node ids");
+  }
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.left_.reserve(total_nodes);
+  flat.right_.reserve(total_nodes);
+  flat.leaf_index_.reserve(total_nodes);
+  flat.tree_offsets_.reserve(trees.size() + 1);
+  flat.tree_offsets_.push_back(0);
+
+  flat.num_features_ = trees.empty() ? 0 : trees.front().num_features();
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const auto& tree = trees[t];
+    if (tree.num_nodes() == 0) {
+      return Status::Internal("fitted forest contains an empty tree");
+    }
+    if (tree.num_features() != flat.num_features_) {
+      return Status::Internal("trees disagree on feature count");
+    }
+    const int32_t offset = static_cast<int32_t>(flat.feature_.size());
+    for (size_t i = 0; i < tree.num_nodes(); ++i) {
+      const auto node = tree.node_view(i);
+      flat.feature_.push_back(node.feature < 0 ? -1 : node.feature);
+      flat.threshold_.push_back(node.threshold);
+      if (node.feature < 0) {
+        // Leaf: stash the class distribution densely.
+        if (node.probabilities->size() != flat.leaf_dim_) {
+          return Status::Internal("leaf distribution size mismatch");
+        }
+        flat.left_.push_back(-1);
+        flat.right_.push_back(-1);
+        flat.leaf_index_.push_back(
+            static_cast<int32_t>(flat.leaf_values_.size() / flat.leaf_dim_));
+        flat.leaf_values_.insert(flat.leaf_values_.end(),
+                                 node.probabilities->begin(),
+                                 node.probabilities->end());
+      } else {
+        if (node.left < 0 || node.right < 0 ||
+            static_cast<size_t>(node.left) >= tree.num_nodes() ||
+            static_cast<size_t>(node.right) >= tree.num_nodes()) {
+          return Status::Internal("split node with invalid children");
+        }
+        flat.left_.push_back(offset + node.left);
+        flat.right_.push_back(offset + node.right);
+        flat.leaf_index_.push_back(-1);
+      }
+    }
+    flat.tree_offsets_.push_back(static_cast<int32_t>(flat.feature_.size()));
+  }
+  flat.BuildQuantizedTables();
+  CompileHistogram()->Observe(ElapsedMs(start));
+  return flat;
+}
+
+Result<FlatForest> FlatForest::Compile(
+    const GradientBoostedTreesClassifier& gbdt) {
+  const auto start = std::chrono::steady_clock::now();
+  if (!gbdt.fitted()) {
+    return Status::FailedPrecondition("cannot compile an unfitted ensemble");
+  }
+  FlatForest flat;
+  flat.num_classes_ = 0;  // Regressor: scalar logit leaves.
+  flat.leaf_dim_ = 1;
+  flat.out_dim_ = 1;
+  flat.base_score_ = gbdt.base_score();
+  flat.num_features_ = gbdt.num_features();
+
+  size_t total_nodes = 0;
+  for (size_t t = 0; t < gbdt.num_trees(); ++t) {
+    total_nodes += gbdt.tree_nodes(t);
+  }
+  if (total_nodes >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::OutOfRange("ensemble too large for int32 node ids");
+  }
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.left_.reserve(total_nodes);
+  flat.right_.reserve(total_nodes);
+  flat.leaf_index_.reserve(total_nodes);
+  flat.tree_offsets_.reserve(gbdt.num_trees() + 1);
+  flat.tree_offsets_.push_back(0);
+
+  for (size_t t = 0; t < gbdt.num_trees(); ++t) {
+    const size_t nodes = gbdt.tree_nodes(t);
+    if (nodes == 0) {
+      return Status::Internal("fitted ensemble contains an empty tree");
+    }
+    const int32_t offset = static_cast<int32_t>(flat.feature_.size());
+    for (size_t i = 0; i < nodes; ++i) {
+      const auto node = gbdt.node_view(t, i);
+      flat.feature_.push_back(node.feature < 0 ? -1 : node.feature);
+      flat.threshold_.push_back(node.threshold);
+      if (node.feature < 0) {
+        flat.left_.push_back(-1);
+        flat.right_.push_back(-1);
+        flat.leaf_index_.push_back(
+            static_cast<int32_t>(flat.leaf_values_.size()));
+        flat.leaf_values_.push_back(node.value);
+      } else {
+        if (node.left < 0 || node.right < 0 ||
+            static_cast<size_t>(node.left) >= nodes ||
+            static_cast<size_t>(node.right) >= nodes) {
+          return Status::Internal("split node with invalid children");
+        }
+        flat.left_.push_back(offset + node.left);
+        flat.right_.push_back(offset + node.right);
+        flat.leaf_index_.push_back(-1);
+      }
+    }
+    flat.tree_offsets_.push_back(static_cast<int32_t>(flat.feature_.size()));
+  }
+  flat.BuildQuantizedTables();
+  CompileHistogram()->Observe(ElapsedMs(start));
+  return flat;
+}
+
+void FlatForest::BuildQuantizedTables() {
+  quantized_ = false;
+  narrow_codes_ = false;
+  qthreshold_.clear();
+  cut_offsets_.clear();
+  cut_values_.clear();
+  if (num_features_ == 0) return;
+
+  // Per feature: the sorted distinct thresholds the forest splits on.
+  // With cuts c_0 < ... < c_{m-1} and code(v) = #{cuts < v}, routing is
+  // exact for EVERY input value: v <= c_k  <=>  code(v) <= k. Codes run
+  // 0..m, so uint8 works iff every feature has m <= 255 cuts; deep
+  // histogram forests can exceed that (node-local gap-midpoint
+  // refinement mints fresh thresholds), so a uint16 tier covers up to
+  // 65535 cuts before falling back to the double comparison.
+  std::vector<std::vector<double>> cuts(num_features_);
+  for (size_t i = 0; i < feature_.size(); ++i) {
+    if (feature_[i] >= 0) {
+      cuts[static_cast<size_t>(feature_[i])].push_back(threshold_[i]);
+    }
+  }
+  size_t max_cuts = 0;
+  for (auto& c : cuts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    max_cuts = std::max(max_cuts, c.size());
+  }
+  if (max_cuts > 65535) return;  // Codes would not fit in uint16.
+  narrow_codes_ = max_cuts <= 255;
+
+  cut_offsets_.reserve(num_features_ + 1);
+  cut_offsets_.push_back(0);
+  for (const auto& c : cuts) {
+    cut_values_.insert(cut_values_.end(), c.begin(), c.end());
+    cut_offsets_.push_back(static_cast<int32_t>(cut_values_.size()));
+  }
+  qthreshold_.resize(feature_.size(), 0);
+  for (size_t i = 0; i < feature_.size(); ++i) {
+    if (feature_[i] < 0) continue;
+    const auto& c = cuts[static_cast<size_t>(feature_[i])];
+    const auto it = std::lower_bound(c.begin(), c.end(), threshold_[i]);
+    qthreshold_[i] = static_cast<uint16_t>(it - c.begin());
+  }
+  quantized_ = true;
+}
+
+size_t FlatForest::memory_bytes() const {
+  return feature_.size() * sizeof(int32_t) +
+         threshold_.size() * sizeof(double) +
+         left_.size() * sizeof(int32_t) + right_.size() * sizeof(int32_t) +
+         leaf_index_.size() * sizeof(int32_t) +
+         leaf_values_.size() * sizeof(double) +
+         tree_offsets_.size() * sizeof(int32_t) +
+         qthreshold_.size() * sizeof(uint16_t) +
+         cut_offsets_.size() * sizeof(int32_t) +
+         cut_values_.size() * sizeof(double);
+}
+
+Status FlatForest::SelfCheck() const {
+  if (!compiled()) {
+    return Status::FailedPrecondition("forest is not compiled");
+  }
+  const size_t nodes = feature_.size();
+  if (threshold_.size() != nodes || left_.size() != nodes ||
+      right_.size() != nodes || leaf_index_.size() != nodes) {
+    return Status::Internal("SoA arrays disagree on node count");
+  }
+  if (tree_offsets_.front() != 0 ||
+      static_cast<size_t>(tree_offsets_.back()) != nodes) {
+    return Status::Internal("tree offsets do not span the node arrays");
+  }
+  if (leaf_dim_ == 0 || leaf_values_.size() % leaf_dim_ != 0) {
+    return Status::Internal("leaf matrix not a multiple of leaf_dim");
+  }
+  const int32_t leaves = static_cast<int32_t>(num_leaves());
+  for (size_t t = 0; t + 1 < tree_offsets_.size(); ++t) {
+    const int32_t lo = tree_offsets_[t];
+    const int32_t hi = tree_offsets_[t + 1];
+    if (lo >= hi) return Status::Internal("empty or non-monotone tree range");
+    for (int32_t i = lo; i < hi; ++i) {
+      const size_t u = static_cast<size_t>(i);
+      if (feature_[u] < 0) {
+        if (leaf_index_[u] < 0 || leaf_index_[u] >= leaves) {
+          return Status::Internal("leaf references an out-of-range row");
+        }
+        if (left_[u] != -1 || right_[u] != -1) {
+          return Status::Internal("leaf with children");
+        }
+      } else {
+        if (static_cast<size_t>(feature_[u]) >= num_features_) {
+          return Status::Internal("split feature out of range");
+        }
+        if (left_[u] <= i || left_[u] >= hi || right_[u] <= i ||
+            right_[u] >= hi) {
+          return Status::Internal("child id escapes its tree range");
+        }
+        if (leaf_index_[u] != -1) {
+          return Status::Internal("split node with a leaf row");
+        }
+        if (quantized_) {
+          const int32_t f = feature_[u];
+          const int32_t cut =
+              cut_offsets_[static_cast<size_t>(f)] + qthreshold_[u];
+          if (cut >= cut_offsets_[static_cast<size_t>(f) + 1] ||
+              cut_values_[static_cast<size_t>(cut)] != threshold_[u]) {
+            return Status::Internal(
+                "quantized threshold does not map back to its cut");
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Code>
+void FlatForest::TraverseQuantized(const double* const* rows, size_t n,
+                                   double* out,
+                                   std::vector<uint8_t>& scratch) const {
+  const size_t trees = num_trees();
+  const size_t od = out_dim_;
+  // Quantize the block once: one integer code per (row, feature) — a
+  // much smaller working set than the double rows while all trees
+  // stream through. The byte buffer is reused across a task's blocks;
+  // vector storage is max-aligned, so the uint16 view is safe.
+  scratch.resize(n * num_features_ * sizeof(Code));
+  Code* block_codes = reinterpret_cast<Code*>(scratch.data());
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = rows[i];
+    Code* codes = block_codes + i * num_features_;
+    for (size_t f = 0; f < num_features_; ++f) {
+      const double* cb = cut_values_.data() + cut_offsets_[f];
+      const double* ce = cut_values_.data() + cut_offsets_[f + 1];
+      codes[f] = static_cast<Code>(std::lower_bound(cb, ce, row[f]) - cb);
+    }
+  }
+  for (size_t t = 0; t < trees; ++t) {
+    const int32_t root = tree_offsets_[t];
+    for (size_t i = 0; i < n; ++i) {
+      const Code* codes = block_codes + i * num_features_;
+      int32_t node = root;
+      int32_t f = feature_[static_cast<size_t>(node)];
+      while (f >= 0) {
+        node = codes[static_cast<size_t>(f)] <=
+                       qthreshold_[static_cast<size_t>(node)]
+                   ? left_[static_cast<size_t>(node)]
+                   : right_[static_cast<size_t>(node)];
+        f = feature_[static_cast<size_t>(node)];
+      }
+      const double* leaf =
+          leaf_values_.data() +
+          static_cast<size_t>(leaf_index_[static_cast<size_t>(node)]) *
+              leaf_dim_;
+      double* acc = out + i * od;
+      for (size_t c = 0; c < leaf_dim_; ++c) acc[c] += leaf[c];
+    }
+  }
+}
+
+void FlatForest::ScoreBlock(const double* const* rows, size_t n, double* out,
+                            bool use_quantized,
+                            std::vector<uint8_t>& scratch) const {
+  const size_t trees = num_trees();
+  const size_t od = out_dim_;
+  if (num_classes_ > 0) {
+    std::fill(out, out + n * od, 0.0);
+  } else {
+    std::fill(out, out + n, base_score_);
+  }
+
+  if (use_quantized && quantized_) {
+    if (narrow_codes_) {
+      TraverseQuantized<uint8_t>(rows, n, out, scratch);
+    } else {
+      TraverseQuantized<uint16_t>(rows, n, out, scratch);
+    }
+  } else {
+    for (size_t t = 0; t < trees; ++t) {
+      const int32_t root = tree_offsets_[t];
+      for (size_t i = 0; i < n; ++i) {
+        const double* row = rows[i];
+        int32_t node = root;
+        int32_t f = feature_[static_cast<size_t>(node)];
+        while (f >= 0) {
+          node = row[static_cast<size_t>(f)] <=
+                         threshold_[static_cast<size_t>(node)]
+                     ? left_[static_cast<size_t>(node)]
+                     : right_[static_cast<size_t>(node)];
+          f = feature_[static_cast<size_t>(node)];
+        }
+        const double* leaf =
+            leaf_values_.data() +
+            static_cast<size_t>(leaf_index_[static_cast<size_t>(node)]) *
+                leaf_dim_;
+        double* acc = out + i * od;
+        for (size_t c = 0; c < leaf_dim_; ++c) acc[c] += leaf[c];
+      }
+    }
+  }
+
+  // Finalization mirrors the legacy per-row arithmetic exactly: divide
+  // the class sums by the tree count, or squash the logit. Per row the
+  // accumulation above ran in tree order 0..T-1 — the same double
+  // summation sequence the per-row path performs — so results are
+  // bit-identical at any block size or thread count.
+  if (num_classes_ > 0) {
+    const double t = static_cast<double>(trees);
+    for (size_t i = 0; i < n * od; ++i) out[i] /= t;
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Sigmoid(out[i]);
+  }
+}
+
+Status FlatForest::ScorePtrs(const double* const* row_ptrs, size_t n,
+                             double* out, const BatchOptions& options) const {
+  if (!compiled()) {
+    return Status::FailedPrecondition("forest is not compiled");
+  }
+  if (n == 0) return Status::OK();
+  obs::ScopedTimer timer(BatchLatency());
+  const size_t block = options.block_rows == 0 ? 1 : options.block_rows;
+  const size_t num_blocks = (n + block - 1) / block;
+
+  if (options.pool == nullptr || num_blocks <= 1) {
+    std::vector<uint8_t> scratch;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t lo = b * block;
+      const size_t hi = std::min(n, lo + block);
+      ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_,
+                 options.use_quantized, scratch);
+    }
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_blocks);
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t lo = b * block;
+      const size_t hi = std::min(n, lo + block);
+      futures.push_back(options.pool->Submit(
+          [this, row_ptrs, lo, hi, out, &options]() {
+            std::vector<uint8_t> scratch;
+            ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_,
+                       options.use_quantized, scratch);
+          }));
+    }
+    try {
+      for (auto& f : futures) f.get();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("batch scoring task failed: ") +
+                              e.what());
+    }
+  }
+  RowsTotal()->Increment(n);
+  return Status::OK();
+}
+
+void FlatForest::PredictProbaInto(const std::vector<double>& row,
+                                  std::vector<double>& out) const {
+  out.assign(out_dim_, num_classes_ > 0 ? 0.0 : base_score_);
+  const size_t trees = num_trees();
+  for (size_t t = 0; t < trees; ++t) {
+    int32_t node = tree_offsets_[t];
+    int32_t f = feature_[static_cast<size_t>(node)];
+    while (f >= 0) {
+      node = row[static_cast<size_t>(f)] <=
+                     threshold_[static_cast<size_t>(node)]
+                 ? left_[static_cast<size_t>(node)]
+                 : right_[static_cast<size_t>(node)];
+      f = feature_[static_cast<size_t>(node)];
+    }
+    const double* leaf =
+        leaf_values_.data() +
+        static_cast<size_t>(leaf_index_[static_cast<size_t>(node)]) *
+            leaf_dim_;
+    for (size_t c = 0; c < leaf_dim_; ++c) out[c] += leaf[c];
+  }
+  if (num_classes_ > 0) {
+    const double t = static_cast<double>(trees);
+    for (double& v : out) v /= t;
+  } else {
+    out[0] = Sigmoid(out[0]);
+  }
+  RowsTotal()->Increment(1);
+}
+
+std::vector<double> FlatForest::PredictProba(
+    const std::vector<double>& row) const {
+  std::vector<double> out;
+  PredictProbaInto(row, out);
+  return out;
+}
+
+double FlatForest::PredictPositive(const std::vector<double>& row) const {
+  // Accumulating only the positive component reproduces the legacy
+  // doubles: acc[1]'s summation sequence is independent of acc[0].
+  const size_t trees = num_trees();
+  const size_t component = num_classes_ > 0 ? 1 : 0;
+  double acc = num_classes_ > 0 ? 0.0 : base_score_;
+  for (size_t t = 0; t < trees; ++t) {
+    int32_t node = tree_offsets_[t];
+    int32_t f = feature_[static_cast<size_t>(node)];
+    while (f >= 0) {
+      node = row[static_cast<size_t>(f)] <=
+                     threshold_[static_cast<size_t>(node)]
+                 ? left_[static_cast<size_t>(node)]
+                 : right_[static_cast<size_t>(node)];
+      f = feature_[static_cast<size_t>(node)];
+    }
+    acc += leaf_values_[static_cast<size_t>(
+                            leaf_index_[static_cast<size_t>(node)]) *
+                            leaf_dim_ +
+                        component];
+  }
+  RowsTotal()->Increment(1);
+  if (num_classes_ > 0) return acc / static_cast<double>(trees);
+  return Sigmoid(acc);
+}
+
+Status FlatForest::PredictProbaBatch(const double* rows, size_t n,
+                                     double* out,
+                                     const BatchOptions& options) const {
+  std::vector<const double*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = rows + i * num_features_;
+  return ScorePtrs(ptrs.data(), n, out, options);
+}
+
+Result<std::vector<double>> FlatForest::PredictPositiveProbaBatch(
+    const Dataset& data, const BatchOptions& options) const {
+  if (!compiled()) {
+    return Status::FailedPrecondition("forest is not compiled");
+  }
+  if (num_classes_ != 0 && num_classes_ != 2) {
+    return Status::FailedPrecondition(
+        "positive-class probabilities require a binary problem");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const size_t n = data.num_rows();
+  std::vector<const double*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = data.row(i).data();
+  std::vector<double> dense(n * out_dim_);
+  CLOUDSURV_RETURN_NOT_OK(ScorePtrs(ptrs.data(), n, dense.data(), options));
+  if (out_dim_ == 1) return dense;
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = dense[i * out_dim_ + 1];
+  return out;
+}
+
+Result<std::vector<double>> FlatForest::PredictPositiveProbaRows(
+    const std::vector<std::vector<double>>& rows,
+    const BatchOptions& options) const {
+  if (!compiled()) {
+    return Status::FailedPrecondition("forest is not compiled");
+  }
+  if (num_classes_ != 0 && num_classes_ != 2) {
+    return Status::FailedPrecondition(
+        "positive-class probabilities require a binary problem");
+  }
+  const size_t n = rows.size();
+  std::vector<const double*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rows[i].size() != num_features_) {
+      return Status::InvalidArgument("feature count mismatch");
+    }
+    ptrs[i] = rows[i].data();
+  }
+  std::vector<double> dense(n * out_dim_);
+  CLOUDSURV_RETURN_NOT_OK(ScorePtrs(ptrs.data(), n, dense.data(), options));
+  if (out_dim_ == 1) return dense;
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = dense[i * out_dim_ + 1];
+  return out;
+}
+
+Result<std::vector<int>> FlatForest::PredictBatch(
+    const Dataset& data, const BatchOptions& options) const {
+  if (!compiled()) {
+    return Status::FailedPrecondition("forest is not compiled");
+  }
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const size_t n = data.num_rows();
+  std::vector<const double*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = data.row(i).data();
+  std::vector<double> dense(n * out_dim_);
+  CLOUDSURV_RETURN_NOT_OK(ScorePtrs(ptrs.data(), n, dense.data(), options));
+  std::vector<int> out(n);
+  if (num_classes_ > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* p = dense.data() + i * out_dim_;
+      out[i] = static_cast<int>(std::max_element(p, p + out_dim_) - p);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = dense[i] > 0.5 ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace cloudsurv::ml

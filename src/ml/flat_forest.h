@@ -1,0 +1,223 @@
+#ifndef CLOUDSURV_ML_FLAT_FOREST_H_
+#define CLOUDSURV_ML_FLAT_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+
+namespace cloudsurv::ml {
+
+/// Compiled, immutable inference representation of a trained tree
+/// ensemble — the serving-path counterpart of the training-oriented
+/// `DecisionTreeClassifier`/`GradientBoostedTreesClassifier` node
+/// structs (which keep a heap-allocated probability vector per node and
+/// therefore pay a cache miss per node hop).
+///
+/// Layout: struct-of-arrays node storage. All trees are packed
+/// back-to-back into contiguous `feature`/`threshold`/`left`/`right`
+/// arrays (children are absolute node ids, `feature == -1` marks a
+/// leaf) with `tree_offsets` giving each tree's root; leaf payloads
+/// (class distributions, or scalar leaf weights for boosted trees)
+/// live in one dense `leaf_values` matrix indexed by a per-leaf id.
+///
+/// Quantized traversal: at compile time the per-feature set of distinct
+/// split thresholds is collected; each node threshold is replaced by
+/// its index into the sorted per-feature cut table and incoming rows
+/// are quantized once per batch to one small integer code per feature
+/// (`code(v) = #{cuts < v}`). Because `v <= cut[k]  <=>  code(v) <= k`
+/// for every cut, the quantized traversal routes every row exactly as
+/// the double comparison would — the smaller row working set costs no
+/// accuracy at all, and the bit-identity tests pin that. Codes are
+/// `uint8_t` (~8x smaller rows) when every feature has <= 255 cuts and
+/// `uint16_t` (~4x) up to 65535; histogram training draws thresholds
+/// from <= 256 bins per feature, but its node-local gap-midpoint
+/// refinement (BinnedDataset::refined_threshold) can push the distinct
+/// count of a deep forest past the uint8 budget, hence the wide tier.
+/// Quantized traversal is opt-in (BatchOptions::use_quantized): rows
+/// are scored exactly once here, so the per-batch quantization cost is
+/// never amortized, and bench/inference_throughput shows the plain SoA
+/// double traversal ahead whenever a block of double rows is
+/// cache-resident.
+///
+/// Batch scoring iterates rows x trees in cache-sized row blocks (all
+/// trees stay hot while a block's rows stream through) and can fan
+/// independent blocks out over a `common::ThreadPool`. Per-row
+/// accumulation order is tree 0..T-1 with the same summation the legacy
+/// path uses, so results are bit-identical at any block size and thread
+/// count.
+///
+/// A FlatForest is immutable after Compile() returns; concurrent reads
+/// from any number of threads are safe.
+class FlatForest {
+ public:
+  /// Batch traversal knobs. Defaults favour an L1/L2-resident block of
+  /// row codes; see docs/inference.md for the trade-offs.
+  struct BatchOptions {
+    /// Rows per traversal block (>= 1; 0 is treated as 1).
+    size_t block_rows = 512;
+    /// When set, independent blocks are scored as pool tasks. The
+    /// caller must not be running *inside* a task of the same bounded
+    /// pool (nested submission can deadlock on the queue bound).
+    ThreadPool* pool = nullptr;
+    /// Use the integer code traversal when the forest is quantizable.
+    /// Both paths are bit-identical. Off by default: each batch pays
+    /// one binary search per (row, feature) to quantize, and
+    /// bench/inference_throughput measures that as a net loss when the
+    /// double rows already fit in cache — enable it for very wide rows
+    /// or feature-heavy models where the 4-8x row shrink matters.
+    bool use_quantized = false;
+  };
+
+  FlatForest() = default;
+
+  /// Compiles a fitted random forest. Fails on an unfitted forest.
+  static Result<FlatForest> Compile(const RandomForestClassifier& forest);
+
+  /// Compiles a fitted gradient-boosted ensemble (scalar leaves,
+  /// logit accumulation seeded with the base score).
+  static Result<FlatForest> Compile(
+      const GradientBoostedTreesClassifier& gbdt);
+
+  bool compiled() const { return !tree_offsets_.empty(); }
+  /// True for a classifier ensemble (leaf class distributions); false
+  /// for a boosted regressor (scalar logit leaves).
+  bool is_classifier() const { return num_classes_ > 0; }
+  /// True when the integer code traversal is available.
+  bool quantized() const { return quantized_; }
+  /// Bits per stored row code: 8 (every feature <= 255 cuts), 16
+  /// (<= 65535 cuts), or 0 when the forest is not quantizable.
+  int code_bits() const {
+    return quantized_ ? (narrow_codes_ ? 8 : 16) : 0;
+  }
+
+  size_t num_trees() const {
+    return tree_offsets_.empty() ? 0 : tree_offsets_.size() - 1;
+  }
+  size_t num_nodes() const { return feature_.size(); }
+  size_t num_leaves() const {
+    return leaf_dim_ == 0 ? 0 : leaf_values_.size() / leaf_dim_;
+  }
+  int num_classes() const { return num_classes_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Total bytes of the compiled arrays (layout cost accounting).
+  size_t memory_bytes() const;
+
+  /// Verifies structural invariants (offset monotonicity, child and
+  /// leaf references in range, quantized cuts consistent with the
+  /// double thresholds). Cheap; tests and Compile() debug paths use it.
+  Status SelfCheck() const;
+
+  // --- Single-row scoring (bit-identical to the legacy per-row path) -
+
+  /// Classifier: averaged class distribution into `out` (resized to
+  /// num_classes). Regressor: out = {sigmoid(logit)}.
+  void PredictProbaInto(const std::vector<double>& row,
+                        std::vector<double>& out) const;
+
+  /// Convenience copy of PredictProbaInto.
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// Positive-class probability: classifier -> averaged P[class 1]
+  /// (requires a binary ensemble), regressor -> sigmoid(logit). This is
+  /// the quantity `LongevityService::Assess` serves.
+  double PredictPositive(const std::vector<double>& row) const;
+
+  // --- Blocked batch scoring -----------------------------------------
+
+  /// Scores `n` rows given as a contiguous row-major matrix
+  /// (`rows[i * num_features + f]`, finite values). `out` must hold
+  /// `n * out_dim()` doubles: per row the averaged class distribution
+  /// (classifier) or the single sigmoid probability (regressor).
+  Status PredictProbaBatch(const double* rows, size_t n, double* out,
+                           const BatchOptions& options) const;
+  Status PredictProbaBatch(const double* rows, size_t n, double* out) const {
+    return PredictProbaBatch(rows, n, out, BatchOptions());
+  }
+
+  /// Positive-class probability per dataset row; bit-identical to
+  /// `RandomForestClassifier::PredictPositiveProba` /
+  /// `GradientBoostedTreesClassifier::PredictPositiveProba`.
+  Result<std::vector<double>> PredictPositiveProbaBatch(
+      const Dataset& data, const BatchOptions& options) const;
+  Result<std::vector<double>> PredictPositiveProbaBatch(
+      const Dataset& data) const {
+    return PredictPositiveProbaBatch(data, BatchOptions());
+  }
+
+  /// Positive-class probability for externally assembled rows (the
+  /// serving path groups feature rows per model slot and scores them
+  /// here). Every row must have num_features values.
+  Result<std::vector<double>> PredictPositiveProbaRows(
+      const std::vector<std::vector<double>>& rows,
+      const BatchOptions& options) const;
+  Result<std::vector<double>> PredictPositiveProbaRows(
+      const std::vector<std::vector<double>>& rows) const {
+    return PredictPositiveProbaRows(rows, BatchOptions());
+  }
+
+  /// argmax class per dataset row (classifier; probability > 0.5 for a
+  /// regressor); bit-identical to the legacy PredictBatch.
+  Result<std::vector<int>> PredictBatch(const Dataset& data,
+                                        const BatchOptions& options) const;
+  Result<std::vector<int>> PredictBatch(const Dataset& data) const {
+    return PredictBatch(data, BatchOptions());
+  }
+
+  /// Doubles per row that PredictProbaBatch writes (num_classes for a
+  /// classifier, 1 for a regressor).
+  size_t out_dim() const { return leaf_dim_ == 0 ? 0 : out_dim_; }
+
+ private:
+  /// Scores one block of rows addressed through per-row pointers.
+  /// `scratch` holds the block's quantized codes when the quantized
+  /// path runs (resized as needed, reusable across blocks of one task).
+  void ScoreBlock(const double* const* rows, size_t n, double* out,
+                  bool use_quantized, std::vector<uint8_t>& scratch) const;
+
+  /// Shared driver: blocks `row_ptrs` and fans the blocks out.
+  Status ScorePtrs(const double* const* row_ptrs, size_t n, double* out,
+                   const BatchOptions& options) const;
+
+  /// Quantized-code kernel of ScoreBlock, instantiated for uint8_t and
+  /// uint16_t codes; `scratch` is a reusable raw byte buffer.
+  template <typename Code>
+  void TraverseQuantized(const double* const* rows, size_t n, double* out,
+                         std::vector<uint8_t>& scratch) const;
+
+  /// Collects per-feature distinct thresholds and fills the quantized
+  /// tables when every feature fits in uint8 codes.
+  void BuildQuantizedTables();
+
+  int num_classes_ = 0;     ///< 0 for a boosted regressor.
+  size_t num_features_ = 0;
+  size_t leaf_dim_ = 0;     ///< num_classes, or 1 for a regressor.
+  size_t out_dim_ = 0;      ///< num_classes, or 1 for a regressor.
+  double base_score_ = 0.0; ///< Regressor accumulator seed.
+
+  // SoA node storage; index = absolute node id.
+  std::vector<int32_t> feature_;    ///< -1 marks a leaf.
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<int32_t> leaf_index_; ///< Leaves: row into leaf_values_.
+  std::vector<double> leaf_values_; ///< num_leaves x leaf_dim_, dense.
+  std::vector<int32_t> tree_offsets_; ///< Tree t = [offsets[t], offsets[t+1]).
+
+  // Quantized traversal tables (valid iff quantized_).
+  bool quantized_ = false;
+  bool narrow_codes_ = false;        ///< Row codes fit in uint8_t.
+  std::vector<uint16_t> qthreshold_; ///< Per node: cut index (0 for leaves).
+  std::vector<int32_t> cut_offsets_; ///< Per feature f: cuts in
+                                     ///< cut_values_[off[f], off[f+1]).
+  std::vector<double> cut_values_;   ///< Ascending distinct thresholds.
+};
+
+}  // namespace cloudsurv::ml
+
+#endif  // CLOUDSURV_ML_FLAT_FOREST_H_

@@ -189,7 +189,7 @@ Status RandomForestClassifier::FitOnRows(const Dataset& data,
       size_t votes = 0;
       for (size_t ti = 0; ti < t; ++ti) {
         if (in_bag[ti][i]) continue;
-        const auto probs = trees_[ti].PredictProba(data.row(rows[i]));
+        const auto& probs = trees_[ti].LeafDistribution(data.row(rows[i]));
         for (size_t c = 0; c < acc.size(); ++c) acc[c] += probs[c];
         ++votes;
       }
@@ -208,22 +208,29 @@ Status RandomForestClassifier::FitOnRows(const Dataset& data,
   return Status::OK();
 }
 
-std::vector<double> RandomForestClassifier::PredictProba(
-    const std::vector<double>& row) const {
-  std::vector<double> acc(static_cast<size_t>(num_classes_), 0.0);
+void RandomForestClassifier::AccumulateProbaInto(
+    const std::vector<double>& row, std::vector<double>& acc) const {
+  acc.assign(static_cast<size_t>(num_classes_), 0.0);
   for (const auto& tree : trees_) {
-    const auto probs = tree.PredictProba(row);
+    const auto& probs = tree.LeafDistribution(row);
     for (size_t c = 0; c < acc.size(); ++c) acc[c] += probs[c];
   }
   const double t = static_cast<double>(trees_.size());
   for (double& v : acc) v /= t;
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  std::vector<double> acc;
+  AccumulateProbaInto(row, acc);
   return acc;
 }
 
 int RandomForestClassifier::Predict(const std::vector<double>& row) const {
-  const auto probs = PredictProba(row);
-  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
-                          probs.begin());
+  std::vector<double> acc;
+  AccumulateProbaInto(row, acc);
+  return static_cast<int>(std::max_element(acc.begin(), acc.end()) -
+                          acc.begin());
 }
 
 Result<std::vector<int>> RandomForestClassifier::PredictBatch(
@@ -236,8 +243,11 @@ Result<std::vector<int>> RandomForestClassifier::PredictBatch(
   }
   std::vector<int> out;
   out.reserve(data.num_rows());
+  std::vector<double> scratch;
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    out.push_back(Predict(data.row(i)));
+    AccumulateProbaInto(data.row(i), scratch);
+    out.push_back(static_cast<int>(
+        std::max_element(scratch.begin(), scratch.end()) - scratch.begin()));
   }
   return out;
 }
@@ -252,11 +262,14 @@ Result<std::vector<int>> RandomForestClassifier::PredictRows(
   }
   std::vector<int> out;
   out.reserve(rows.size());
+  std::vector<double> scratch;
   for (size_t r : rows) {
     if (r >= data.num_rows()) {
       return Status::OutOfRange("prediction row index out of range");
     }
-    out.push_back(Predict(data.row(r)));
+    AccumulateProbaInto(data.row(r), scratch);
+    out.push_back(static_cast<int>(
+        std::max_element(scratch.begin(), scratch.end()) - scratch.begin()));
   }
   return out;
 }
@@ -275,8 +288,10 @@ Result<std::vector<double>> RandomForestClassifier::PredictPositiveProba(
   }
   std::vector<double> out;
   out.reserve(data.num_rows());
+  std::vector<double> scratch;
   for (size_t i = 0; i < data.num_rows(); ++i) {
-    out.push_back(PredictProba(data.row(i))[1]);
+    AccumulateProbaInto(data.row(i), scratch);
+    out.push_back(scratch[1]);
   }
   return out;
 }

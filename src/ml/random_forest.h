@@ -99,6 +99,14 @@ class RandomForestClassifier {
   static Result<RandomForestClassifier> Deserialize(const std::string& text);
 
  private:
+  /// Sums the per-tree leaf distributions for `row` into `acc`
+  /// (assigned/zeroed here) and divides by the tree count — the
+  /// allocation-free core of PredictProba. Batch predictors reuse one
+  /// scratch buffer across rows instead of constructing a fresh vector
+  /// per row and per tree.
+  void AccumulateProbaInto(const std::vector<double>& row,
+                           std::vector<double>& acc) const;
+
   std::vector<DecisionTreeClassifier> trees_;
   std::vector<double> importances_;
   double oob_accuracy_ = 0.0;

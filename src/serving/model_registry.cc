@@ -26,6 +26,21 @@ Result<uint64_t> ModelRegistry::Publish(std::string name, ModelPtr model) {
   return entries_.back().version;
 }
 
+Result<uint64_t> ModelRegistry::Publish(
+    std::string name, std::shared_ptr<core::LongevityService> model,
+    bool compile_inference) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot publish a null model");
+  }
+  if (compile_inference) {
+    // Compile outside the registry lock, before the snapshot becomes
+    // visible: readers pin either the previous version or this one
+    // fully compiled — never a half-built layout.
+    CLOUDSURV_RETURN_NOT_OK(model->CompileForInference());
+  }
+  return Publish(std::move(name), ModelPtr(std::move(model)));
+}
+
 ModelRegistry::ModelPtr ModelRegistry::Current() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.empty()) return nullptr;

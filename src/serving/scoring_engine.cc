@@ -430,6 +430,53 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
           }
           series_.snapshots->Increment();
 
+          if (injector == nullptr && options_.batch_deadline_us <= 0.0) {
+            // Batched fast path: with no per-database injection points
+            // or virtual-time deadline to honour, the whole shard batch
+            // goes through AssessMany — rows grouped per model slot and
+            // scored by the compiled FlatForest in blocks. Assessments
+            // are bit-identical to the per-id loop below; nullopt marks
+            // exactly the ids whose per-id Assess would fail.
+            std::vector<telemetry::DatabaseId> ids;
+            ids.reserve(task_batch.size());
+            for (const PendingDatabase& pending : task_batch) {
+              ids.push_back(pending.database_id);
+            }
+            const auto batch_start = std::chrono::steady_clock::now();
+            auto assessments = active.model->AssessMany(
+                *snapshot, ids, options_.inference_block_rows);
+            const double batch_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - batch_start)
+                    .count();
+            if (!assessments.ok()) {
+              result.skipped = task_batch.size();
+              result.status = assessments.status();
+              return result;
+            }
+            // Record the amortized per-database latency so the
+            // histogram keeps its per-assessment semantics (one sample
+            // per scored database, as on the per-row path).
+            const double per_db_us =
+                batch_us / static_cast<double>(task_batch.size());
+            result.scored.reserve(task_batch.size());
+            for (size_t i = 0; i < task_batch.size(); ++i) {
+              series_.scoring_latency_us->Observe(per_db_us);
+              if (!(*assessments)[i].has_value()) {
+                ++result.skipped;
+                continue;
+              }
+              ScoredDatabase scored;
+              scored.database_id = task_batch[i].database_id;
+              scored.subscription_id = task_batch[i].subscription_id;
+              scored.matured_at = task_batch[i].matures_at;
+              scored.model_version = active.version;
+              scored.assessment = *std::move((*assessments)[i]);
+              result.scored.push_back(std::move(scored));
+            }
+            return result;
+          }
+
           // Per-database scoring against a virtual-time deadline. The
           // virtual clock advances by injected delays plus a fixed cost
           // per assessment — never by wall time — so deadline behaviour

@@ -140,6 +140,12 @@ class ScoringEngine {
     /// Observation span x in days; must match the published models'
     /// observe_days for assessments to be meaningful.
     double observe_days = 2.0;
+    /// Rows per FlatForest traversal block when a shard batch takes the
+    /// batched inference path (`LongevityService::AssessMany`). The
+    /// batched path engages only when no fault injector and no batch
+    /// deadline are configured — per-database injection points and
+    /// virtual-time accounting require the per-row loop.
+    size_t inference_block_rows = 512;
 
     // --- Fault injection & graceful degradation -------------------
     // Every knob below defaults to "off": with the defaults the engine

@@ -1,0 +1,424 @@
+#include "ml/flat_forest.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/service.h"
+#include "gtest/gtest.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "serving/model_registry.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::ml {
+namespace {
+
+// Continuous data with far more than 256 distinct values per feature:
+// an exact-split forest trained on it can exceed the uint8 cut budget.
+Dataset ContinuousData(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    rows.push_back({rng.Normal(label * 1.5, 1.0), rng.Normal(0.0, 1.0),
+                    rng.Normal(label * -0.7, 2.0)});
+    labels.push_back(label);
+  }
+  auto d = Dataset::Make({"x", "noise", "y"}, std::move(rows),
+                         std::move(labels));
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+RandomForestClassifier FitForest(const Dataset& data, SplitAlgorithm algo,
+                                 std::vector<double> class_weights = {}) {
+  ForestParams params;
+  params.num_trees = 20;
+  params.max_depth = 8;
+  params.num_threads = 1;
+  params.split_algorithm = algo;
+  params.class_weights = std::move(class_weights);
+  RandomForestClassifier forest;
+  EXPECT_OK(forest.Fit(data, params, /*seed=*/17));
+  return forest;
+}
+
+// Row-major copy of a dataset's feature matrix for the pointer API.
+std::vector<double> DenseRows(const Dataset& data) {
+  std::vector<double> dense;
+  dense.reserve(data.num_rows() * data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto& row = data.row(i);
+    dense.insert(dense.end(), row.begin(), row.end());
+  }
+  return dense;
+}
+
+// Asserts that every batch entry point reproduces the legacy per-row
+// predictions bit-for-bit under the given options.
+void ExpectBitIdentical(const RandomForestClassifier& forest,
+                        const FlatForest& flat, const Dataset& data,
+                        const FlatForest::BatchOptions& options) {
+  // Per-row distributions.
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto legacy = forest.PredictProba(data.row(i));
+    const auto got = flat.PredictProba(data.row(i));
+    ASSERT_EQ(got.size(), legacy.size());
+    for (size_t c = 0; c < legacy.size(); ++c) {
+      EXPECT_EQ(got[c], legacy[c]) << "row " << i << " class " << c;
+    }
+    EXPECT_EQ(flat.PredictPositive(data.row(i)), legacy[1]) << "row " << i;
+  }
+
+  // Blocked batch over the dense matrix.
+  const std::vector<double> dense = DenseRows(data);
+  std::vector<double> out(data.num_rows() * flat.out_dim(), -1.0);
+  ASSERT_OK(flat.PredictProbaBatch(dense.data(), data.num_rows(), out.data(),
+                                   options));
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto legacy = forest.PredictProba(data.row(i));
+    for (size_t c = 0; c < legacy.size(); ++c) {
+      EXPECT_EQ(out[i * flat.out_dim() + c], legacy[c])
+          << "row " << i << " class " << c;
+    }
+  }
+
+  // Dataset-level positive-probability and label batches.
+  ASSERT_OK_AND_ASSIGN(const std::vector<double> positives,
+                       flat.PredictPositiveProbaBatch(data, options));
+  ASSERT_OK_AND_ASSIGN(const std::vector<double> legacy_positives,
+                       forest.PredictPositiveProba(data));
+  ASSERT_EQ(positives.size(), legacy_positives.size());
+  for (size_t i = 0; i < positives.size(); ++i) {
+    EXPECT_EQ(positives[i], legacy_positives[i]) << "row " << i;
+  }
+
+  ASSERT_OK_AND_ASSIGN(const std::vector<int> labels,
+                       flat.PredictBatch(data, options));
+  ASSERT_OK_AND_ASSIGN(const std::vector<int> legacy_labels,
+                       forest.PredictBatch(data));
+  EXPECT_EQ(labels, legacy_labels);
+}
+
+TEST(FlatForestTest, CompileInvariantsAndSelfCheck) {
+  const Dataset data = ContinuousData(300, 3);
+  const auto forest = FitForest(data, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+
+  EXPECT_TRUE(flat.compiled());
+  EXPECT_TRUE(flat.is_classifier());
+  EXPECT_EQ(flat.num_trees(), forest.num_trees());
+  EXPECT_EQ(flat.num_classes(), forest.num_classes());
+  EXPECT_EQ(flat.num_features(), 3u);
+  EXPECT_EQ(flat.out_dim(), 2u);
+  EXPECT_GT(flat.num_nodes(), flat.num_trees());
+  EXPECT_GT(flat.num_leaves(), 0u);
+  EXPECT_GT(flat.memory_bytes(), 0u);
+  EXPECT_OK(flat.SelfCheck());
+  // Histogram training draws thresholds from <= 256 bins per feature;
+  // node-local refinement can widen the codes to uint16, but the
+  // quantized traversal must stay available.
+  EXPECT_TRUE(flat.quantized());
+  EXPECT_TRUE(flat.code_bits() == 8 || flat.code_bits() == 16);
+}
+
+TEST(FlatForestTest, CompileRejectsUnfittedForest) {
+  RandomForestClassifier unfitted;
+  EXPECT_FALSE(FlatForest::Compile(unfitted).ok());
+
+  GradientBoostedTreesClassifier unfitted_gbdt;
+  EXPECT_FALSE(FlatForest::Compile(unfitted_gbdt).ok());
+}
+
+TEST(FlatForestTest, UncompiledBatchFails) {
+  const FlatForest flat;
+  const Dataset data = ContinuousData(10, 5);
+  EXPECT_FALSE(flat.PredictPositiveProbaBatch(data).ok());
+}
+
+TEST(FlatForestTest, FeatureCountMismatchFails) {
+  const Dataset train = ContinuousData(200, 7);
+  const auto forest = FitForest(train, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+
+  auto narrow = Dataset::Make({"x"}, {{1.0}, {2.0}}, {0, 1});
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_FALSE(flat.PredictPositiveProbaBatch(*narrow).ok());
+}
+
+TEST(FlatForestTest, BitIdenticalToExactTrainedForest) {
+  const Dataset data = ContinuousData(400, 11);
+  const auto forest = FitForest(data, SplitAlgorithm::kExact);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  EXPECT_OK(flat.SelfCheck());
+
+  ThreadPool pool(4, /*max_queued=*/64);
+  for (const size_t block_rows : {7u, 64u, 4096u}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      FlatForest::BatchOptions options;
+      options.block_rows = block_rows;
+      options.pool = p;
+      ExpectBitIdentical(forest, flat, data, options);
+    }
+  }
+}
+
+TEST(FlatForestTest, BitIdenticalToHistogramTrainedForest) {
+  const Dataset data = ContinuousData(400, 13);
+  const auto forest = FitForest(data, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  ASSERT_TRUE(flat.quantized());
+  EXPECT_OK(flat.SelfCheck());
+
+  ThreadPool pool(4, /*max_queued=*/64);
+  for (const bool use_quantized : {true, false}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      FlatForest::BatchOptions options;
+      options.block_rows = 32;
+      options.pool = p;
+      options.use_quantized = use_quantized;
+      ExpectBitIdentical(forest, flat, data, options);
+    }
+  }
+}
+
+TEST(FlatForestTest, WideCodesStayQuantizedAndBitIdentical) {
+  // A deep histogram forest mints node-local refined thresholds far
+  // beyond the 255-cut uint8 budget; the uint16 tier must pick it up.
+  const Dataset data = ContinuousData(2000, 43);
+  ForestParams params;
+  params.num_trees = 30;
+  params.max_depth = 12;
+  params.num_threads = 1;
+  params.split_algorithm = SplitAlgorithm::kHistogram;
+  RandomForestClassifier forest;
+  ASSERT_OK(forest.Fit(data, params, /*seed=*/47));
+
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  EXPECT_OK(flat.SelfCheck());
+  ASSERT_TRUE(flat.quantized());
+  EXPECT_EQ(flat.code_bits(), 16);
+  FlatForest::BatchOptions options;
+  options.use_quantized = true;
+  ExpectBitIdentical(forest, flat, data, options);
+}
+
+TEST(FlatForestTest, SingleLeafTrees) {
+  // max_depth = 0 forces every tree to a single root leaf holding the
+  // (bootstrap-sample) class prior.
+  const Dataset data = ContinuousData(100, 19);
+  ForestParams params;
+  params.num_trees = 5;
+  params.max_depth = 0;
+  params.num_threads = 1;
+  RandomForestClassifier forest;
+  ASSERT_OK(forest.Fit(data, params, /*seed=*/23));
+
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  EXPECT_OK(flat.SelfCheck());
+  EXPECT_EQ(flat.num_nodes(), 5u);
+  EXPECT_EQ(flat.num_leaves(), 5u);
+  ExpectBitIdentical(forest, flat, data, FlatForest::BatchOptions());
+}
+
+TEST(FlatForestTest, ClassWeightedLeaves) {
+  const Dataset data = ContinuousData(300, 29);
+  const auto forest =
+      FitForest(data, SplitAlgorithm::kHistogram, /*class_weights=*/{1.0, 2.5});
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  EXPECT_OK(flat.SelfCheck());
+  ExpectBitIdentical(forest, flat, data, FlatForest::BatchOptions());
+}
+
+TEST(FlatForestTest, SerializeRoundTripCompilesIdentically) {
+  const Dataset data = ContinuousData(300, 31);
+  const auto forest = FitForest(data, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const auto restored,
+                       RandomForestClassifier::Deserialize(forest.Serialize()));
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(restored));
+  EXPECT_OK(flat.SelfCheck());
+  // The restored forest's compiled form must still match the *original*
+  // forest's predictions exactly — serialization is an exact round trip.
+  ExpectBitIdentical(forest, flat, data, FlatForest::BatchOptions());
+}
+
+TEST(FlatForestTest, GbdtBitIdentity) {
+  const Dataset data = ContinuousData(400, 37);
+  GbdtParams params;
+  params.num_rounds = 30;
+  params.max_depth = 4;
+  GradientBoostedTreesClassifier gbdt;
+  ASSERT_OK(gbdt.Fit(data, params, /*seed=*/41));
+
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(gbdt));
+  EXPECT_OK(flat.SelfCheck());
+  EXPECT_FALSE(flat.is_classifier());
+  EXPECT_EQ(flat.out_dim(), 1u);
+  EXPECT_TRUE(flat.quantized());  // Histogram-trained by default.
+
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(flat.PredictPositive(data.row(i)),
+              gbdt.PredictProbability(data.row(i)))
+        << "row " << i;
+  }
+
+  ThreadPool pool(4, /*max_queued=*/64);
+  for (const bool use_quantized : {false, true}) {
+    FlatForest::BatchOptions options;
+    options.block_rows = 50;
+    options.pool = &pool;
+    options.use_quantized = use_quantized;
+    ASSERT_OK_AND_ASSIGN(const std::vector<double> positives,
+                         flat.PredictPositiveProbaBatch(data, options));
+    ASSERT_OK_AND_ASSIGN(const std::vector<double> legacy,
+                         gbdt.PredictPositiveProba(data));
+    ASSERT_EQ(positives.size(), legacy.size());
+    for (size_t i = 0; i < positives.size(); ++i) {
+      EXPECT_EQ(positives[i], legacy[i]) << "row " << i;
+    }
+
+    ASSERT_OK_AND_ASSIGN(const std::vector<int> labels,
+                         flat.PredictBatch(data, options));
+    ASSERT_OK_AND_ASSIGN(const std::vector<int> legacy_labels,
+                         gbdt.PredictBatch(data));
+    EXPECT_EQ(labels, legacy_labels);
+  }
+}
+
+// --- Service / registry integration ----------------------------------
+
+// One small simulated region shared across the service tests (training
+// is the slow part; the store itself is cheap to keep alive).
+const telemetry::TelemetryStore& SimStore() {
+  static const telemetry::TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, /*num_subscriptions=*/120,
+                                              /*seed=*/99);
+    EXPECT_TRUE(config.ok());
+    auto simulated = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(simulated.ok());
+    return new telemetry::TelemetryStore(std::move(*simulated));
+  }();
+  return *store;
+}
+
+core::LongevityService TrainSmallService() {
+  core::LongevityService::Options options;
+  options.forest_params.num_trees = 10;
+  options.forest_params.max_depth = 6;
+  options.forest_params.num_threads = 1;
+  options.min_cohort_size = 50;
+  auto service = core::LongevityService::Train(SimStore(), options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return *service;
+}
+
+std::vector<telemetry::DatabaseId> SomeIds(size_t limit) {
+  std::vector<telemetry::DatabaseId> ids;
+  for (const auto& record : SimStore().databases()) {
+    if (ids.size() >= limit) break;
+    ids.push_back(record.id);
+  }
+  return ids;
+}
+
+TEST(FlatForestServiceTest, CompiledAssessMatchesLegacyAssess) {
+  const core::LongevityService legacy = TrainSmallService();
+  core::LongevityService compiled = legacy;
+  ASSERT_OK(compiled.CompileForInference());
+  ASSERT_TRUE(compiled.inference_compiled());
+
+  size_t assessed = 0;
+  for (const auto& record : SimStore().databases()) {
+    auto want = legacy.Assess(SimStore(), record.id);
+    auto got = compiled.Assess(SimStore(), record.id);
+    ASSERT_EQ(want.ok(), got.ok()) << "db " << record.id;
+    if (!want.ok()) continue;
+    ++assessed;
+    EXPECT_EQ(got->positive_probability, want->positive_probability)
+        << "db " << record.id;
+    EXPECT_EQ(got->predicted_label, want->predicted_label);
+    EXPECT_EQ(got->confident, want->confident);
+    EXPECT_EQ(got->model_name, want->model_name);
+  }
+  EXPECT_GT(assessed, 0u);
+}
+
+TEST(FlatForestServiceTest, AssessManyMatchesPerIdAssess) {
+  core::LongevityService service = TrainSmallService();
+  ASSERT_OK(service.CompileForInference());
+
+  std::vector<telemetry::DatabaseId> ids = SomeIds(200);
+  ids.push_back(telemetry::DatabaseId{9999999});  // Unknown -> nullopt.
+  ASSERT_OK_AND_ASSIGN(const auto batch,
+                       service.AssessMany(SimStore(), ids, /*block_rows=*/16));
+  ASSERT_EQ(batch.size(), ids.size());
+  EXPECT_FALSE(batch.back().has_value());
+
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    auto single = service.Assess(SimStore(), ids[i]);
+    ASSERT_EQ(single.ok(), batch[i].has_value()) << "db " << ids[i];
+    if (!single.ok()) continue;
+    EXPECT_EQ(batch[i]->positive_probability, single->positive_probability)
+        << "db " << ids[i];
+    EXPECT_EQ(batch[i]->predicted_label, single->predicted_label);
+    EXPECT_EQ(batch[i]->confident, single->confident);
+    EXPECT_EQ(batch[i]->recommended_pool, single->recommended_pool);
+    EXPECT_EQ(batch[i]->model_name, single->model_name);
+  }
+}
+
+// TSan-covered: readers batch-score through compiled snapshots while a
+// publisher hot-swaps freshly compiled versions into the registry.
+TEST(FlatForestConcurrencyTest, BatchScoringDuringRegistryHotSwap) {
+  const core::LongevityService trained = TrainSmallService();
+  serving::ModelRegistry registry;
+  {
+    auto initial = std::make_shared<core::LongevityService>(trained);
+    ASSERT_TRUE(registry.Publish("v-initial", std::move(initial)).ok());
+  }
+  const std::vector<telemetry::DatabaseId> ids = SomeIds(48);
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 10; ++i) {
+      auto copy = std::make_shared<core::LongevityService>(trained);
+      auto version =
+          registry.Publish("v" + std::to_string(i), std::move(copy));
+      EXPECT_TRUE(version.ok());
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      int iterations = 0;
+      while (!stop.load() && iterations < 200) {
+        ++iterations;
+        const auto model = registry.Current();
+        ASSERT_NE(model, nullptr);
+        EXPECT_TRUE(model->inference_compiled());
+        auto batch = model->AssessMany(SimStore(), ids, /*block_rows=*/16);
+        EXPECT_TRUE(batch.ok());
+        if (batch.ok()) {
+          EXPECT_EQ(batch->size(), ids.size());
+        }
+      }
+    });
+  }
+  publisher.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(registry.num_versions(), 11u);
+}
+
+}  // namespace
+}  // namespace cloudsurv::ml

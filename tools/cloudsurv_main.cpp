@@ -63,6 +63,10 @@ struct Args {
   double deadline_us = 0.0;
   int64_t shed_high = 0;
   int64_t shed_low = 0;
+  /// serve-sim inference path: "flat" (compiled SoA forest) or
+  /// "legacy" (per-row tree walks).
+  std::string inference = "flat";
+  int64_t block_rows = 512;
 };
 
 int Usage() {
@@ -79,7 +83,8 @@ int Usage() {
       "            [--shards N] [--flush-interval DAYS]\n"
       "            [--metrics-interval DAYS] [--metrics-out FILE]\n"
       "            [--fault-plan FILE] [--deadline-us US]\n"
-      "            [--shed-high N] [--shed-low N]\n");
+      "            [--shed-high N] [--shed-low N]\n"
+      "            [--inference flat|legacy] [--block-rows N]\n");
   return 2;
 }
 
@@ -238,6 +243,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = need_value("--shed-low");
       if (v == nullptr) return false;
       if (!ParseInt64Flag("--shed-low", v, 0, &args->shed_low)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--inference") == 0) {
+      const char* v = need_value("--inference");
+      if (v == nullptr) return false;
+      args->inference = v;
+      if (args->inference != "flat" && args->inference != "legacy") {
+        std::fprintf(stderr,
+                     "InvalidArgument: --inference must be flat or "
+                     "legacy, got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--block-rows") == 0) {
+      const char* v = need_value("--block-rows");
+      if (v == nullptr) return false;
+      if (!ParseInt64Flag("--block-rows", v, 1, &args->block_rows)) {
         return false;
       }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
@@ -522,16 +544,24 @@ int CmdServeSim(const Args& args) {
                  trained.status().ToString().c_str());
     return 1;
   }
-  auto model = std::make_shared<const core::LongevityService>(
+  auto model = std::make_shared<core::LongevityService>(
       std::move(trained).value());
+  // Ground truth stays on the legacy per-row path: a copy taken BEFORE
+  // the flat layout is compiled at publish time, so the strict
+  // comparison below genuinely crosses flat-streamed assessments
+  // against legacy-batch ones.
+  const auto ground_truth =
+      std::make_shared<const core::LongevityService>(*model);
 
   const bool faults_active = injector != nullptr || args.shed_high > 0 ||
                              args.deadline_us > 0.0;
+  const bool use_flat = args.inference == "flat";
 
   serving::ScoringEngine::Options options;
   options.num_threads = static_cast<size_t>(std::max(1, args.threads));
   options.num_shards = static_cast<size_t>(std::max(1, args.shards));
   options.observe_days = model->options().observe_days;
+  options.inference_block_rows = static_cast<size_t>(args.block_rows);
   if (faults_active) {
     options.fault_injector = injector.get();
     options.batch_deadline_us = args.deadline_us;
@@ -558,7 +588,8 @@ int CmdServeSim(const Args& args) {
   }
   serving::ScoringEngine engine(
       serving::RegionContext::FromStore(*store), options);
-  auto version = engine.registry().Publish("serve-sim-initial", model);
+  auto version =
+      engine.registry().Publish("serve-sim-initial", model, use_flat);
   if (!version.ok()) {
     std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
     return 1;
@@ -645,7 +676,7 @@ int CmdServeSim(const Args& args) {
                      core::LongevityService::Assessment>
       batch;
   for (const auto& record : store->databases()) {
-    auto assessment = model->Assess(*store, record.id);
+    auto assessment = ground_truth->Assess(*store, record.id);
     if (assessment.ok()) batch.emplace(record.id, *assessment);
   }
 
@@ -683,9 +714,11 @@ int CmdServeSim(const Args& args) {
 
   const serving::EngineMetrics metrics = engine.Metrics();
   std::printf(
-      "serve-sim: threads=%zu shards=%zu flush_interval_days=%.2f\n",
+      "serve-sim: threads=%zu shards=%zu flush_interval_days=%.2f "
+      "inference=%s block_rows=%lld\n",
       options.num_threads, options.num_shards,
-      std::max(0.01, args.flush_interval_days));
+      std::max(0.01, args.flush_interval_days), args.inference.c_str(),
+      static_cast<long long>(args.block_rows));
   std::printf(
       "  events ingested   %llu\n"
       "  polls             %llu\n"
