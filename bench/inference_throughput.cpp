@@ -8,6 +8,13 @@
 // on a single-core container the parallel sweep cannot demonstrate the
 // multi-core acceptance number, so only bit-identity is load-bearing.
 //
+// A startup-to-first-score axis persists the same forest both ways and
+// measures the cold-start path each deployment shape pays: text load +
+// Deserialize + Compile, versus opening the CSRV binary artifact
+// (artifact/reader.h) with an mmap'ed cold page cache (best-effort
+// eviction via posix_fadvise), a warm cache, and the buffered-read
+// fallback — each timed through the first scored row.
+//
 // Scale knobs (environment): CLOUDSURV_BENCH_ROWS (default 32768),
 // CLOUDSURV_BENCH_FEATURES (30), CLOUDSURV_BENCH_TREES (80),
 // CLOUDSURV_BENCH_DEPTH (12), CLOUDSURV_BENCH_ITERS (5),
@@ -17,10 +24,20 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "artifact/reader.h"
+#include "artifact/writer.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -57,7 +74,9 @@ ml::Dataset SyntheticMatrix(size_t rows, size_t features, size_t grid,
   std::vector<std::string> names;
   names.reserve(features);
   for (size_t f = 0; f < features; ++f) {
-    names.push_back("f" + std::to_string(f));
+    std::string name = "f";
+    name += std::to_string(f);
+    names.push_back(std::move(name));
   }
   std::vector<std::vector<double>> matrix;
   std::vector<int> labels;
@@ -101,6 +120,25 @@ struct BatchStats {
   double p50_us = 0.0;
   double p99_us = 0.0;
 };
+
+double MedianMs(std::vector<double> ms) { return PercentileUs(std::move(ms), 50.0); }
+
+// Best-effort page-cache eviction so the next read of `path` faults in
+// from disk. Returns false when the platform (or filesystem) cannot
+// honour the advice; the "cold" number then degrades to warm and the
+// JSON says so.
+bool DropFileCache(const std::string& path) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
 
 BatchStats Summarize(const std::vector<double>& batch_seconds,
                      size_t total_rows) {
@@ -166,6 +204,116 @@ int main() {
     return 1;
   }
 
+  // --- Startup-to-first-score axis -------------------------------------
+  // Persist the trained forest as (a) the text serialization a train box
+  // writes and (b) a CSRV binary artifact, then measure load-to-first-
+  // score for each deployment shape. The probe row's score must be
+  // bit-identical to the legacy reference in every mode.
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / "cloudsurv_infer_bench")
+          .string();
+  const std::string text_path = scratch + ".txt";
+  const std::string csrv_path = scratch + ".csrv";
+  {
+    std::ofstream out(text_path, std::ios::binary | std::ios::trunc);
+    out << forest.Serialize();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", text_path.c_str());
+      return 1;
+    }
+  }
+  {
+    artifact::ArtifactWriter writer(artifact::PayloadKind::kFlatForest);
+    if (Status s = flat.WriteTo(writer); !s.ok()) {
+      std::fprintf(stderr, "artifact pack failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = writer.WriteFile(csrv_path); !s.ok()) {
+      std::fprintf(stderr, "artifact write failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  const size_t text_bytes = std::filesystem::file_size(text_path);
+  const size_t artifact_bytes = std::filesystem::file_size(csrv_path);
+
+  std::vector<std::vector<double>> probe_rows = {data.row(0)};
+  auto probe_made = ml::Dataset::Make(data.feature_names(),
+                                      std::move(probe_rows), {data.label(0)});
+  if (!probe_made.ok()) return 1;
+  const ml::Dataset probe = std::move(probe_made).value();
+  const double first_ref = (*reference)[0];
+
+  const auto score_probe = [&probe](const ml::FlatForest& f) -> double {
+    auto out = f.PredictPositiveProbaBatch(probe);
+    if (!out.ok()) {
+      std::fprintf(stderr, "startup probe score failed: %s\n",
+                   out.status().ToString().c_str());
+      std::exit(1);
+    }
+    return (*out)[0];
+  };
+
+  std::vector<double> text_ms, cold_ms, warm_ms, buffered_ms;
+  bool startup_identical = true;
+  bool mmap_zero_copy = true;
+  bool cold_cache_dropped = true;
+  for (size_t it = 0; it < iters; ++it) {
+    {  // Text model: read + Deserialize + Compile + first score.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::ifstream in(text_path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto loaded = ml::RandomForestClassifier::Deserialize(buf.str());
+      if (!loaded.ok()) return 1;
+      auto recompiled = ml::FlatForest::Compile(*loaded);
+      if (!recompiled.ok()) return 1;
+      const double score = score_probe(*recompiled);
+      const auto t1 = std::chrono::steady_clock::now();
+      text_ms.push_back(Seconds(t0, t1) * 1e3);
+      if (score != first_ref) startup_identical = false;
+    }
+    const auto artifact_run = [&](const artifact::ArtifactReader::Options&
+                                      options,
+                                  std::vector<double>& samples,
+                                  bool expect_mapped) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto reader = artifact::ArtifactReader::Open(csrv_path, options);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "artifact open failed: %s\n",
+                     reader.status().ToString().c_str());
+        std::exit(1);
+      }
+      auto view = ml::FlatForest::FromView(*reader);
+      if (!view.ok()) {
+        std::fprintf(stderr, "artifact view failed: %s\n",
+                     view.status().ToString().c_str());
+        std::exit(1);
+      }
+      const double score = score_probe(*view);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(Seconds(t0, t1) * 1e3);
+      if (score != first_ref) startup_identical = false;
+      if (expect_mapped && reader->mapped() && !view->zero_copy()) {
+        mmap_zero_copy = false;
+      }
+    };
+    artifact::ArtifactReader::Options mmap_options;  // prefer_mmap = true
+    if (!DropFileCache(csrv_path)) cold_cache_dropped = false;
+    artifact_run(mmap_options, cold_ms, /*expect_mapped=*/true);
+    artifact_run(mmap_options, warm_ms, /*expect_mapped=*/true);
+    artifact::ArtifactReader::Options buffered_options;
+    buffered_options.prefer_mmap = false;
+    artifact_run(buffered_options, buffered_ms, /*expect_mapped=*/false);
+  }
+  std::remove(text_path.c_str());
+  std::remove(csrv_path.c_str());
+  const double startup_text_ms = MedianMs(text_ms);
+  const double startup_warm_ms = MedianMs(warm_ms);
+  const double warm_speedup =
+      startup_warm_ms > 0.0 ? startup_text_ms / startup_warm_ms : 0.0;
+
   // Pre-split the matrix into per-batch datasets (untimed copies).
   const std::vector<size_t> batch_sizes = {512, 4096,
                                            std::min<size_t>(rows, 16384)};
@@ -183,6 +331,18 @@ int main() {
       Seconds(c0, c1) * 1e3, flat.num_nodes(), flat.num_leaves(),
       flat.memory_bytes(), flat.quantized() ? "true" : "false",
       flat.code_bits());
+  std::printf(
+      "  \"startup\": {\"iterations\": %zu, \"text_bytes\": %zu, "
+      "\"artifact_bytes\": %zu,\n"
+      "    \"text_load_compile_ms\": %.3f, \"artifact_mmap_cold_ms\": %.3f, "
+      "\"artifact_mmap_warm_ms\": %.3f, \"artifact_buffered_ms\": %.3f,\n"
+      "    \"mmap_zero_copy\": %s, \"cold_cache_dropped\": %s, "
+      "\"warm_speedup_vs_text\": %.2f, \"first_score_identical\": %s},\n",
+      iters, text_bytes, artifact_bytes, startup_text_ms, MedianMs(cold_ms),
+      startup_warm_ms, MedianMs(buffered_ms),
+      mmap_zero_copy ? "true" : "false",
+      cold_cache_dropped ? "true" : "false", warm_speedup,
+      startup_identical ? "true" : "false");
 
   std::printf("  \"runs\": [\n");
   bool first_run = true;
@@ -290,5 +450,5 @@ int main() {
                  "bit-identity is the pass/fail signal\n");
   }
   cloudsurv::bench::EmitRegistrySnapshot();
-  return bit_identical ? 0 : 1;
+  return bit_identical && startup_identical ? 0 : 1;
 }

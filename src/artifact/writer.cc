@@ -1,0 +1,115 @@
+#include "artifact/writer.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace cloudsurv::artifact {
+
+namespace {
+
+uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+void ArtifactWriter::AddSection(SectionId id, uint32_t index,
+                                const void* data, uint64_t count,
+                                uint32_t elem_size) {
+  Pending pending;
+  pending.id = id;
+  pending.index = index;
+  pending.count = count;
+  pending.elem_size = elem_size;
+  pending.payload.assign(static_cast<const char*>(data),
+                         static_cast<size_t>(count * elem_size));
+  sections_.push_back(std::move(pending));
+}
+
+Result<std::string> ArtifactWriter::Finish() const {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotImplemented(
+        "CSRV artifacts are little-endian; this host is big-endian and "
+        "the writer does not byte-swap");
+  }
+  if (sections_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot finish an artifact with no sections");
+  }
+
+  // Lay out: header | aligned payloads | section table.
+  std::vector<SectionEntry> table(sections_.size());
+  uint64_t offset = sizeof(FileHeader);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const Pending& p = sections_[i];
+    offset = AlignUp(offset, kSectionAlignment);
+    SectionEntry& entry = table[i];
+    entry.id = static_cast<uint32_t>(p.id);
+    entry.index = p.index;
+    entry.offset = offset;
+    entry.size = p.payload.size();
+    entry.count = p.count;
+    entry.elem_size = p.elem_size;
+    entry.alignment = kSectionAlignment;
+    entry.crc = Crc32c(p.payload.data(), p.payload.size());
+    entry.reserved = 0;
+    offset += p.payload.size();
+  }
+  const uint64_t table_offset = AlignUp(offset, kSectionAlignment);
+  const uint64_t table_bytes = table.size() * sizeof(SectionEntry);
+  const uint64_t file_size = table_offset + table_bytes;
+
+  FileHeader header;
+  std::memset(&header, 0, sizeof(header));
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.format_version = kFormatVersion;
+  header.payload = static_cast<uint32_t>(payload_);
+  header.section_count = static_cast<uint32_t>(table.size());
+  header.file_size = file_size;
+  header.table_offset = table_offset;
+  header.table_crc = Crc32c(table.data(), static_cast<size_t>(table_bytes));
+  header.header_crc = Crc32c(&header, offsetof(FileHeader, header_crc));
+
+  std::string out(static_cast<size_t>(file_size), '\0');
+  std::memcpy(out.data(), &header, sizeof(header));
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    std::memcpy(out.data() + table[i].offset, sections_[i].payload.data(),
+                sections_[i].payload.size());
+  }
+  std::memcpy(out.data() + table_offset, table.data(),
+              static_cast<size_t>(table_bytes));
+  return out;
+}
+
+Status ArtifactWriter::WriteFile(const std::string& path) const {
+  CLOUDSURV_ASSIGN_OR_RETURN(std::string image, Finish());
+
+  // Write the complete image beside the target, then rename into
+  // place: readers either see the old file or the new one, never a
+  // prefix. (rename(2) is atomic within a filesystem.)
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::IOError("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp_path.c_str());
+    return Status::IOError("rename " + tmp_path + " -> " + path +
+                           " failed: " + std::strerror(err));
+  }
+  return Status::OK();
+}
+
+}  // namespace cloudsurv::artifact

@@ -1,8 +1,12 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <sstream>
 
+#include "artifact/format.h"
+#include "artifact/writer.h"
 #include "common/string_util.h"
 #include "core/cohort.h"
 
@@ -271,29 +275,70 @@ Result<LongevityService> LongevityService::Load(const std::string& text) {
   if (!header || *header != "longevity_service v1") {
     return Status::InvalidArgument("unrecognized service format");
   }
+  // A key's value must parse cleanly AND consume the whole line;
+  // "observe_days 2.0 surprise" is rejected, not silently truncated.
+  auto parse_double_line = [](std::istringstream& is, const std::string& line,
+                              double* out) -> Status {
+    std::string extra;
+    if (!(is >> *out) || (is >> extra)) {
+      return Status::InvalidArgument("malformed service line: '" + line +
+                                     "'");
+    }
+    return Status::OK();
+  };
   while (auto line = next_line()) {
     std::istringstream is(*line);
     std::string key;
     is >> key;
     if (key == "observe_days") {
-      is >> service.options_.observe_days;
+      CLOUDSURV_RETURN_NOT_OK(
+          parse_double_line(is, *line, &service.options_.observe_days));
     } else if (key == "long_threshold_days") {
-      is >> service.options_.long_threshold_days;
+      CLOUDSURV_RETURN_NOT_OK(parse_double_line(
+          is, *line, &service.options_.long_threshold_days));
     } else if (key == "model") {
       std::string name;
       double threshold = 0.5;
-      if (!(is >> name >> threshold)) {
-        return Status::InvalidArgument("malformed model line");
+      std::string extra;
+      if (!(is >> name >> threshold) || (is >> extra)) {
+        return Status::InvalidArgument("malformed model line: '" + *line +
+                                       "'");
+      }
+      if (!(threshold >= 0.0 && threshold <= 1.0)) {
+        return Status::InvalidArgument(
+            "model " + name + " has confidence threshold " +
+            FormatDouble(threshold, 6) + " outside [0, 1]");
       }
       auto size_line = next_line();
-      size_t blob_size = 0;
-      if (!size_line ||
-          std::sscanf(size_line->c_str(), "blob_bytes %zu", &blob_size) !=
-              1) {
-        return Status::InvalidArgument("missing blob size");
+      if (!size_line) {
+        return Status::InvalidArgument("missing blob size for model " +
+                                       name);
       }
-      if (pos + blob_size > text.size()) {
-        return Status::InvalidArgument("truncated model blob");
+      // Strict "blob_bytes <decimal>" — std::from_chars on an unsigned
+      // target rejects a leading '-', reports overflow, and lets us
+      // require that the digits span the rest of the line.
+      constexpr const char kSizePrefix[] = "blob_bytes ";
+      constexpr size_t kSizePrefixLen = sizeof(kSizePrefix) - 1;
+      if (size_line->rfind(kSizePrefix, 0) != 0) {
+        return Status::InvalidArgument("malformed blob size line: '" +
+                                       *size_line + "'");
+      }
+      const char* digits = size_line->data() + kSizePrefixLen;
+      const char* digits_end = size_line->data() + size_line->size();
+      size_t blob_size = 0;
+      const auto parsed = std::from_chars(digits, digits_end, blob_size);
+      if (digits == digits_end || parsed.ec != std::errc() ||
+          parsed.ptr != digits_end) {
+        return Status::InvalidArgument(
+            "bad blob size '" + size_line->substr(kSizePrefixLen) +
+            "' for model " + name +
+            " (expected a non-negative byte count)");
+      }
+      if (blob_size > text.size() - pos) {
+        return Status::InvalidArgument(
+            "truncated model blob: " + name + " declares " +
+            std::to_string(blob_size) + " bytes, only " +
+            std::to_string(text.size() - pos) + " remain");
       }
       const std::string blob = text.substr(pos, blob_size);
       pos += blob_size;
@@ -310,6 +355,10 @@ Result<LongevityService> LongevityService::Load(const std::string& text) {
         }
         slot = &service.edition_models_[static_cast<size_t>(edition)];
       }
+      if (slot->present) {
+        return Status::InvalidArgument("duplicate model '" + name +
+                                       "' in saved service");
+      }
       slot->present = true;
       slot->forest = std::move(forest);
       slot->threshold = threshold;
@@ -321,6 +370,157 @@ Result<LongevityService> LongevityService::Load(const std::string& text) {
   }
   if (!service.pooled_model_.present) {
     return Status::InvalidArgument("saved service lacks a pooled model");
+  }
+  return service;
+}
+
+namespace {
+
+/// Slot layout inside a service artifact: 0 is the pooled fallback,
+/// 1 + e the dedicated model for edition e.
+std::string SlotName(uint32_t slot) {
+  return slot == 0 ? "pooled"
+                   : telemetry::EditionToString(
+                         static_cast<Edition>(slot - 1));
+}
+
+}  // namespace
+
+Status LongevityService::SaveArtifact(const std::string& path) const {
+  if (!pooled_model_.present) {
+    return Status::FailedPrecondition("service is not trained");
+  }
+  artifact::ArtifactWriter writer(artifact::PayloadKind::kService);
+
+  artifact::ServiceMeta meta{};
+  meta.observe_days = options_.observe_days;
+  meta.long_threshold_days = options_.long_threshold_days;
+  meta.num_models = 1;
+  for (const auto& slot : edition_models_) {
+    if (slot.present) ++meta.num_models;
+  }
+  writer.AddStruct(artifact::SectionId::kServiceMeta, 0, meta);
+
+  auto add_slot = [&writer](uint32_t slot_index,
+                            const ModelSlot& slot) -> Status {
+    const std::string name = SlotName(slot_index);
+    if (name.size() > artifact::kMaxModelNameLen) {
+      return Status::InvalidArgument("model name too long: " + name);
+    }
+    artifact::ModelEntry entry{};
+    entry.slot = slot_index;
+    entry.name_len = static_cast<uint32_t>(name.size());
+    entry.threshold = slot.threshold;
+    std::memcpy(entry.name, name.data(), name.size());
+    writer.AddStruct(artifact::SectionId::kModelEntry, slot_index, entry);
+    // Trainable form (exact %.17g text blob) so a loaded artifact can
+    // still be re-saved as text or re-compiled by a future build.
+    writer.AddBytes(artifact::SectionId::kForestBlob, slot_index,
+                    slot.forest.Serialize());
+    // Compiled form: the SoA arrays a reader binds zero-copy.
+    if (slot.flat.compiled()) {
+      return slot.flat.WriteTo(writer, slot_index);
+    }
+    CLOUDSURV_ASSIGN_OR_RETURN(ml::FlatForest flat,
+                               ml::FlatForest::Compile(slot.forest));
+    return flat.WriteTo(writer, slot_index);
+  };
+  CLOUDSURV_RETURN_NOT_OK(add_slot(0, pooled_model_));
+  for (int e = 0; e < telemetry::kNumEditions; ++e) {
+    const auto& slot = edition_models_[static_cast<size_t>(e)];
+    if (!slot.present) continue;
+    CLOUDSURV_RETURN_NOT_OK(
+        add_slot(static_cast<uint32_t>(e) + 1, slot));
+  }
+  return writer.WriteFile(path);
+}
+
+Result<LongevityService> LongevityService::LoadArtifact(
+    const std::string& path,
+    const artifact::ArtifactReader::Options& reader_options) {
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      artifact::ArtifactReader reader,
+      artifact::ArtifactReader::Open(path, reader_options));
+  if (reader.payload() != artifact::PayloadKind::kService) {
+    return Status::InvalidArgument(
+        path + ": artifact holds payload kind " +
+        std::to_string(static_cast<uint32_t>(reader.payload())) +
+        ", not a service snapshot (pack one with 'cloudsurv pack')");
+  }
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      artifact::ServiceMeta meta,
+      reader.Struct<artifact::ServiceMeta>(
+          artifact::SectionId::kServiceMeta, 0));
+
+  LongevityService service;
+  service.options_.observe_days = meta.observe_days;
+  service.options_.long_threshold_days = meta.long_threshold_days;
+
+  uint32_t loaded = 0;
+  for (const artifact::SectionEntry& section : reader.sections()) {
+    if (section.id !=
+        static_cast<uint32_t>(artifact::SectionId::kModelEntry)) {
+      continue;
+    }
+    CLOUDSURV_ASSIGN_OR_RETURN(
+        artifact::ModelEntry entry,
+        reader.Struct<artifact::ModelEntry>(
+            artifact::SectionId::kModelEntry, section.index));
+    if (entry.slot != section.index ||
+        entry.slot > static_cast<uint32_t>(telemetry::kNumEditions)) {
+      return Status::InvalidArgument(
+          path + ": model entry has out-of-range slot " +
+          std::to_string(entry.slot));
+    }
+    if (entry.name_len > artifact::kMaxModelNameLen) {
+      return Status::InvalidArgument(
+          path + ": model entry has oversized name length " +
+          std::to_string(entry.name_len));
+    }
+    const std::string name(entry.name, entry.name_len);
+    if (name != SlotName(entry.slot)) {
+      return Status::InvalidArgument(
+          path + ": slot " + std::to_string(entry.slot) +
+          " is named '" + name + "', expected '" +
+          SlotName(entry.slot) + "'");
+    }
+    ModelSlot* slot =
+        entry.slot == 0
+            ? &service.pooled_model_
+            : &service.edition_models_[entry.slot - 1];
+    if (slot->present) {
+      return Status::InvalidArgument(path + ": duplicate model slot " +
+                                     std::to_string(entry.slot));
+    }
+
+    const artifact::SectionEntry* blob =
+        reader.Find(artifact::SectionId::kForestBlob, entry.slot);
+    if (blob == nullptr) {
+      return Status::InvalidArgument(path + ": model '" + name +
+                                     "' lacks a forest blob section");
+    }
+    const std::string blob_text(
+        reinterpret_cast<const char*>(reader.SectionBytes(*blob)),
+        static_cast<size_t>(blob->size));
+    CLOUDSURV_ASSIGN_OR_RETURN(
+        slot->forest, ml::RandomForestClassifier::Deserialize(blob_text));
+    // Bind the compiled form straight to the artifact bytes; the slot's
+    // FlatForest pins the mapping via its backing reference.
+    CLOUDSURV_ASSIGN_OR_RETURN(slot->flat,
+                               ml::FlatForest::FromView(reader, entry.slot));
+    slot->threshold = entry.threshold;
+    slot->present = true;
+    ++loaded;
+  }
+  if (loaded != meta.num_models) {
+    return Status::InvalidArgument(
+        path + ": service meta declares " +
+        std::to_string(meta.num_models) + " models, found " +
+        std::to_string(loaded));
+  }
+  if (!service.pooled_model_.present) {
+    return Status::InvalidArgument(path +
+                                   ": artifact lacks a pooled model");
   }
   return service;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "core/provisioning.h"
 #include "features/features.h"
 #include "ml/flat_forest.h"
@@ -101,6 +102,25 @@ class LongevityService {
 
   /// Restores a service from Save() output.
   static Result<LongevityService> Load(const std::string& text);
+
+  /// Persists the full service — options, per-slot thresholds, the
+  /// trainable forests, and their compiled `ml::FlatForest` form — as
+  /// one CSRV binary artifact at `path` (atomic tmp-file + rename).
+  /// Slots that are not yet compiled are compiled on the fly; the
+  /// service itself is not mutated.
+  Status SaveArtifact(const std::string& path) const;
+
+  /// Restores a service from a SaveArtifact() file. The compiled
+  /// forests are bound directly to the (typically mmap'ed) file bytes —
+  /// zero per-array copies — so the returned service is immediately
+  /// inference_compiled(). Corrupt, truncated, or version-mismatched
+  /// files are rejected with a precise error.
+  static Result<LongevityService> LoadArtifact(
+      const std::string& path,
+      const artifact::ArtifactReader::Options& reader_options);
+  static Result<LongevityService> LoadArtifact(const std::string& path) {
+    return LoadArtifact(path, artifact::ArtifactReader::Options());
+  }
 
  private:
   LongevityService() = default;

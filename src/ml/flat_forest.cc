@@ -3,16 +3,41 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <limits>
 #include <string>
 #include <utility>
 
+#include "artifact/reader.h"
+#include "artifact/writer.h"
 #include "obs/metrics.h"
 
 namespace cloudsurv::ml {
 
 namespace {
+
+/// Vector staging area for the SoA node arrays while a forest is being
+/// compiled; adopted into the FlatForest columns once complete.
+struct NodeArrays {
+  std::vector<int32_t> feature;
+  std::vector<double> threshold;
+  std::vector<int32_t> left;
+  std::vector<int32_t> right;
+  std::vector<int32_t> leaf_index;
+  std::vector<double> leaf_values;
+  std::vector<int32_t> tree_offsets;
+
+  void Reserve(size_t total_nodes, size_t trees) {
+    feature.reserve(total_nodes);
+    threshold.reserve(total_nodes);
+    left.reserve(total_nodes);
+    right.reserve(total_nodes);
+    leaf_index.reserve(total_nodes);
+    tree_offsets.reserve(trees + 1);
+    tree_offsets.push_back(0);
+  }
+};
 
 // Must match the expression in gbdt.cc exactly — bit-identity of the
 // regressor path depends on computing the same double.
@@ -67,13 +92,8 @@ Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
       static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
     return Status::OutOfRange("forest too large for int32 node ids");
   }
-  flat.feature_.reserve(total_nodes);
-  flat.threshold_.reserve(total_nodes);
-  flat.left_.reserve(total_nodes);
-  flat.right_.reserve(total_nodes);
-  flat.leaf_index_.reserve(total_nodes);
-  flat.tree_offsets_.reserve(trees.size() + 1);
-  flat.tree_offsets_.push_back(0);
+  NodeArrays arrays;
+  arrays.Reserve(total_nodes, trees.size());
 
   flat.num_features_ = trees.empty() ? 0 : trees.front().num_features();
   for (size_t t = 0; t < trees.size(); ++t) {
@@ -84,36 +104,43 @@ Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
     if (tree.num_features() != flat.num_features_) {
       return Status::Internal("trees disagree on feature count");
     }
-    const int32_t offset = static_cast<int32_t>(flat.feature_.size());
+    const int32_t offset = static_cast<int32_t>(arrays.feature.size());
     for (size_t i = 0; i < tree.num_nodes(); ++i) {
       const auto node = tree.node_view(i);
-      flat.feature_.push_back(node.feature < 0 ? -1 : node.feature);
-      flat.threshold_.push_back(node.threshold);
+      arrays.feature.push_back(node.feature < 0 ? -1 : node.feature);
+      arrays.threshold.push_back(node.threshold);
       if (node.feature < 0) {
         // Leaf: stash the class distribution densely.
         if (node.probabilities->size() != flat.leaf_dim_) {
           return Status::Internal("leaf distribution size mismatch");
         }
-        flat.left_.push_back(-1);
-        flat.right_.push_back(-1);
-        flat.leaf_index_.push_back(
-            static_cast<int32_t>(flat.leaf_values_.size() / flat.leaf_dim_));
-        flat.leaf_values_.insert(flat.leaf_values_.end(),
-                                 node.probabilities->begin(),
-                                 node.probabilities->end());
+        arrays.left.push_back(-1);
+        arrays.right.push_back(-1);
+        arrays.leaf_index.push_back(
+            static_cast<int32_t>(arrays.leaf_values.size() / flat.leaf_dim_));
+        arrays.leaf_values.insert(arrays.leaf_values.end(),
+                                  node.probabilities->begin(),
+                                  node.probabilities->end());
       } else {
         if (node.left < 0 || node.right < 0 ||
             static_cast<size_t>(node.left) >= tree.num_nodes() ||
             static_cast<size_t>(node.right) >= tree.num_nodes()) {
           return Status::Internal("split node with invalid children");
         }
-        flat.left_.push_back(offset + node.left);
-        flat.right_.push_back(offset + node.right);
-        flat.leaf_index_.push_back(-1);
+        arrays.left.push_back(offset + node.left);
+        arrays.right.push_back(offset + node.right);
+        arrays.leaf_index.push_back(-1);
       }
     }
-    flat.tree_offsets_.push_back(static_cast<int32_t>(flat.feature_.size()));
+    arrays.tree_offsets.push_back(static_cast<int32_t>(arrays.feature.size()));
   }
+  flat.feature_.Adopt(std::move(arrays.feature));
+  flat.threshold_.Adopt(std::move(arrays.threshold));
+  flat.left_.Adopt(std::move(arrays.left));
+  flat.right_.Adopt(std::move(arrays.right));
+  flat.leaf_index_.Adopt(std::move(arrays.leaf_index));
+  flat.leaf_values_.Adopt(std::move(arrays.leaf_values));
+  flat.tree_offsets_.Adopt(std::move(arrays.tree_offsets));
   flat.BuildQuantizedTables();
   CompileHistogram()->Observe(ElapsedMs(start));
   return flat;
@@ -140,43 +167,45 @@ Result<FlatForest> FlatForest::Compile(
       static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
     return Status::OutOfRange("ensemble too large for int32 node ids");
   }
-  flat.feature_.reserve(total_nodes);
-  flat.threshold_.reserve(total_nodes);
-  flat.left_.reserve(total_nodes);
-  flat.right_.reserve(total_nodes);
-  flat.leaf_index_.reserve(total_nodes);
-  flat.tree_offsets_.reserve(gbdt.num_trees() + 1);
-  flat.tree_offsets_.push_back(0);
+  NodeArrays arrays;
+  arrays.Reserve(total_nodes, gbdt.num_trees());
 
   for (size_t t = 0; t < gbdt.num_trees(); ++t) {
     const size_t nodes = gbdt.tree_nodes(t);
     if (nodes == 0) {
       return Status::Internal("fitted ensemble contains an empty tree");
     }
-    const int32_t offset = static_cast<int32_t>(flat.feature_.size());
+    const int32_t offset = static_cast<int32_t>(arrays.feature.size());
     for (size_t i = 0; i < nodes; ++i) {
       const auto node = gbdt.node_view(t, i);
-      flat.feature_.push_back(node.feature < 0 ? -1 : node.feature);
-      flat.threshold_.push_back(node.threshold);
+      arrays.feature.push_back(node.feature < 0 ? -1 : node.feature);
+      arrays.threshold.push_back(node.threshold);
       if (node.feature < 0) {
-        flat.left_.push_back(-1);
-        flat.right_.push_back(-1);
-        flat.leaf_index_.push_back(
-            static_cast<int32_t>(flat.leaf_values_.size()));
-        flat.leaf_values_.push_back(node.value);
+        arrays.left.push_back(-1);
+        arrays.right.push_back(-1);
+        arrays.leaf_index.push_back(
+            static_cast<int32_t>(arrays.leaf_values.size()));
+        arrays.leaf_values.push_back(node.value);
       } else {
         if (node.left < 0 || node.right < 0 ||
             static_cast<size_t>(node.left) >= nodes ||
             static_cast<size_t>(node.right) >= nodes) {
           return Status::Internal("split node with invalid children");
         }
-        flat.left_.push_back(offset + node.left);
-        flat.right_.push_back(offset + node.right);
-        flat.leaf_index_.push_back(-1);
+        arrays.left.push_back(offset + node.left);
+        arrays.right.push_back(offset + node.right);
+        arrays.leaf_index.push_back(-1);
       }
     }
-    flat.tree_offsets_.push_back(static_cast<int32_t>(flat.feature_.size()));
+    arrays.tree_offsets.push_back(static_cast<int32_t>(arrays.feature.size()));
   }
+  flat.feature_.Adopt(std::move(arrays.feature));
+  flat.threshold_.Adopt(std::move(arrays.threshold));
+  flat.left_.Adopt(std::move(arrays.left));
+  flat.right_.Adopt(std::move(arrays.right));
+  flat.leaf_index_.Adopt(std::move(arrays.leaf_index));
+  flat.leaf_values_.Adopt(std::move(arrays.leaf_values));
+  flat.tree_offsets_.Adopt(std::move(arrays.tree_offsets));
   flat.BuildQuantizedTables();
   CompileHistogram()->Observe(ElapsedMs(start));
   return flat;
@@ -185,9 +214,9 @@ Result<FlatForest> FlatForest::Compile(
 void FlatForest::BuildQuantizedTables() {
   quantized_ = false;
   narrow_codes_ = false;
-  qthreshold_.clear();
-  cut_offsets_.clear();
-  cut_values_.clear();
+  qthreshold_.Adopt({});
+  cut_offsets_.Adopt({});
+  cut_values_.Adopt({});
   if (num_features_ == 0) return;
 
   // Per feature: the sorted distinct thresholds the forest splits on.
@@ -212,19 +241,24 @@ void FlatForest::BuildQuantizedTables() {
   if (max_cuts > 65535) return;  // Codes would not fit in uint16.
   narrow_codes_ = max_cuts <= 255;
 
-  cut_offsets_.reserve(num_features_ + 1);
-  cut_offsets_.push_back(0);
+  std::vector<int32_t> cut_offsets;
+  std::vector<double> cut_values;
+  cut_offsets.reserve(num_features_ + 1);
+  cut_offsets.push_back(0);
   for (const auto& c : cuts) {
-    cut_values_.insert(cut_values_.end(), c.begin(), c.end());
-    cut_offsets_.push_back(static_cast<int32_t>(cut_values_.size()));
+    cut_values.insert(cut_values.end(), c.begin(), c.end());
+    cut_offsets.push_back(static_cast<int32_t>(cut_values.size()));
   }
-  qthreshold_.resize(feature_.size(), 0);
+  std::vector<uint16_t> qthreshold(feature_.size(), 0);
   for (size_t i = 0; i < feature_.size(); ++i) {
     if (feature_[i] < 0) continue;
     const auto& c = cuts[static_cast<size_t>(feature_[i])];
     const auto it = std::lower_bound(c.begin(), c.end(), threshold_[i]);
-    qthreshold_[i] = static_cast<uint16_t>(it - c.begin());
+    qthreshold[i] = static_cast<uint16_t>(it - c.begin());
   }
+  cut_offsets_.Adopt(std::move(cut_offsets));
+  cut_values_.Adopt(std::move(cut_values));
+  qthreshold_.Adopt(std::move(qthreshold));
   quantized_ = true;
 }
 
@@ -295,6 +329,121 @@ Status FlatForest::SelfCheck() const {
     }
   }
   return Status::OK();
+}
+
+Status FlatForest::WriteTo(artifact::ArtifactWriter& writer,
+                           uint32_t slot) const {
+  if (!compiled()) {
+    return Status::FailedPrecondition(
+        "cannot persist an uncompiled forest");
+  }
+  using artifact::SectionId;
+  artifact::ForestMeta meta;
+  std::memset(&meta, 0, sizeof(meta));
+  meta.num_classes = num_classes_;
+  meta.flags = (quantized_ ? artifact::kForestQuantized : 0u) |
+               (narrow_codes_ ? artifact::kForestNarrowCodes : 0u);
+  meta.num_features = num_features_;
+  meta.leaf_dim = leaf_dim_;
+  meta.out_dim = out_dim_;
+  meta.base_score = base_score_;
+  writer.AddStruct(SectionId::kForestMeta, slot, meta);
+  writer.AddArray(SectionId::kNodeFeature, slot, feature_.data(),
+                  feature_.size());
+  writer.AddArray(SectionId::kNodeThreshold, slot, threshold_.data(),
+                  threshold_.size());
+  writer.AddArray(SectionId::kNodeLeft, slot, left_.data(), left_.size());
+  writer.AddArray(SectionId::kNodeRight, slot, right_.data(), right_.size());
+  writer.AddArray(SectionId::kNodeLeafIndex, slot, leaf_index_.data(),
+                  leaf_index_.size());
+  writer.AddArray(SectionId::kLeafValues, slot, leaf_values_.data(),
+                  leaf_values_.size());
+  writer.AddArray(SectionId::kTreeOffsets, slot, tree_offsets_.data(),
+                  tree_offsets_.size());
+  if (quantized_) {
+    writer.AddArray(SectionId::kQuantThreshold, slot, qthreshold_.data(),
+                    qthreshold_.size());
+    writer.AddArray(SectionId::kCutOffsets, slot, cut_offsets_.data(),
+                    cut_offsets_.size());
+    writer.AddArray(SectionId::kCutValues, slot, cut_values_.data(),
+                    cut_values_.size());
+  }
+  return Status::OK();
+}
+
+Result<FlatForest> FlatForest::FromView(
+    const artifact::ArtifactReader& reader, uint32_t slot) {
+  using artifact::SectionId;
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      const artifact::ForestMeta meta,
+      reader.Struct<artifact::ForestMeta>(SectionId::kForestMeta, slot));
+
+  FlatForest flat;
+  flat.num_classes_ = meta.num_classes;
+  flat.num_features_ = static_cast<size_t>(meta.num_features);
+  flat.leaf_dim_ = static_cast<size_t>(meta.leaf_dim);
+  flat.out_dim_ = static_cast<size_t>(meta.out_dim);
+  flat.base_score_ = meta.base_score;
+  const size_t expect_dim =
+      flat.num_classes_ > 0 ? static_cast<size_t>(flat.num_classes_) : 1;
+  if (meta.num_classes < 0 || flat.leaf_dim_ != expect_dim ||
+      flat.out_dim_ != expect_dim) {
+    return Status::InvalidArgument(
+        "artifact forest metadata is inconsistent (classes/leaf_dim/"
+        "out_dim)");
+  }
+
+  // Bind every column as an in-place view of the artifact bytes — the
+  // zero-copy path. The reader validated bounds, alignment, and
+  // checksums; structural validation below covers the rest.
+  auto bind = [&](SectionId id, auto& column) -> Status {
+    using T = std::decay_t<decltype(column[0])>;
+    auto span = reader.Array<T>(id, slot);
+    if (!span.ok()) return span.status();
+    column.BindView(span->data, span->size);
+    return Status::OK();
+  };
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kNodeFeature, flat.feature_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kNodeThreshold, flat.threshold_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kNodeLeft, flat.left_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kNodeRight, flat.right_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kNodeLeafIndex, flat.leaf_index_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kLeafValues, flat.leaf_values_));
+  CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kTreeOffsets, flat.tree_offsets_));
+
+  flat.quantized_ = (meta.flags & artifact::kForestQuantized) != 0;
+  flat.narrow_codes_ = (meta.flags & artifact::kForestNarrowCodes) != 0;
+  if (flat.quantized_) {
+    CLOUDSURV_RETURN_NOT_OK(
+        bind(SectionId::kQuantThreshold, flat.qthreshold_));
+    CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kCutOffsets, flat.cut_offsets_));
+    CLOUDSURV_RETURN_NOT_OK(bind(SectionId::kCutValues, flat.cut_values_));
+    // SelfCheck indexes these tables by feature id, so their shape must
+    // be validated first.
+    if (flat.qthreshold_.size() != flat.feature_.size()) {
+      return Status::InvalidArgument(
+          "quantized threshold table does not match the node count");
+    }
+    if (flat.cut_offsets_.size() != flat.num_features_ + 1 ||
+        flat.cut_offsets_.front() != 0 ||
+        static_cast<size_t>(flat.cut_offsets_.back()) !=
+            flat.cut_values_.size()) {
+      return Status::InvalidArgument(
+          "cut offset table does not span the cut values");
+    }
+    for (size_t f = 0; f < flat.num_features_; ++f) {
+      if (flat.cut_offsets_[f] > flat.cut_offsets_[f + 1]) {
+        return Status::InvalidArgument("cut offset table is non-monotone");
+      }
+    }
+  }
+
+  if (flat.tree_offsets_.empty()) {
+    return Status::InvalidArgument("artifact forest has no trees");
+  }
+  flat.backing_ = reader.backing();
+  CLOUDSURV_RETURN_NOT_OK(flat.SelfCheck());
+  return flat;
 }
 
 template <typename Code>

@@ -2,6 +2,7 @@
 #define CLOUDSURV_ML_FLAT_FOREST_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -10,7 +11,105 @@
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
 
+namespace cloudsurv::artifact {
+class ArtifactBuffer;
+class ArtifactReader;
+class ArtifactWriter;
+}  // namespace cloudsurv::artifact
+
 namespace cloudsurv::ml {
+
+namespace flat_internal {
+
+/// Contiguous, read-mostly storage that either owns its elements
+/// (vector-backed — the Compile() path) or aliases external memory
+/// without copying (the artifact mmap path — FlatForest::FromView).
+/// Copying an owning column deep-copies; copying a view copies the
+/// alias, which is safe because FlatForest carries a shared handle to
+/// the backing bytes alongside its view columns.
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+  Column(const Column& other) { CopyFrom(other); }
+  Column& operator=(const Column& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Column(Column&& other) noexcept { MoveFrom(std::move(other)); }
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  /// Takes ownership of `values`.
+  void Adopt(std::vector<T> values) {
+    owned_ = std::move(values);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    owns_ = true;
+  }
+
+  /// Aliases `[data, data + size)`; the caller guarantees the bytes
+  /// outlive every copy of this column.
+  void BindView(const T* data, size_t size) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    size_ = size;
+    owns_ = false;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// False when this column aliases artifact-backed memory.
+  bool owns() const { return owns_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  void CopyFrom(const Column& other) {
+    owns_ = other.owns_;
+    if (other.owns_) {
+      owned_ = other.owned_;
+      data_ = owned_.data();
+      size_ = owned_.size();
+    } else {
+      owned_.clear();
+      owned_.shrink_to_fit();
+      data_ = other.data_;
+      size_ = other.size_;
+    }
+  }
+  void MoveFrom(Column&& other) {
+    owns_ = other.owns_;
+    if (other.owns_) {
+      // A vector move transfers the heap buffer, so the element
+      // address is stable across the move.
+      owned_ = std::move(other.owned_);
+      data_ = owned_.data();
+      size_ = owned_.size();
+    } else {
+      owned_.clear();
+      owned_.shrink_to_fit();
+      data_ = other.data_;
+      size_ = other.size_;
+    }
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.owns_ = true;
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool owns_ = true;  ///< True (vacuously) in the default empty state.
+};
+
+}  // namespace flat_internal
 
 /// Compiled, immutable inference representation of a trained tree
 /// ensemble — the serving-path counterpart of the training-oriented
@@ -82,6 +181,29 @@ class FlatForest {
   /// logit accumulation seeded with the base score).
   static Result<FlatForest> Compile(
       const GradientBoostedTreesClassifier& gbdt);
+
+  // --- Binary model artifacts (src/artifact/, CSRV container) --------
+
+  /// Serializes the compiled arrays into `writer` as one CSRV section
+  /// per SoA array, tagged with `slot` as the section index (0 for a
+  /// standalone forest; a LongevityService snapshot writes one forest
+  /// per model slot). Byte-exact: FromView on the written artifact
+  /// reproduces this forest's predictions bit for bit.
+  Status WriteTo(artifact::ArtifactWriter& writer, uint32_t slot = 0) const;
+
+  /// Binds a FlatForest directly onto the arrays inside a validated
+  /// artifact — the zero-copy startup path. No array is copied: every
+  /// column aliases the reader's (typically mmap'ed) backing bytes,
+  /// and the forest retains shared ownership of that backing, so the
+  /// mapping stays alive for as long as any copy of the forest does.
+  /// Runs SelfCheck() before returning, so a structurally corrupt
+  /// artifact that slipped past the checksums is still rejected.
+  static Result<FlatForest> FromView(const artifact::ArtifactReader& reader,
+                                     uint32_t slot = 0);
+
+  /// True when the node arrays alias artifact backing bytes rather
+  /// than owned vectors (i.e. this forest came from FromView).
+  bool zero_copy() const { return backing_ != nullptr; }
 
   bool compiled() const { return !tree_offsets_.empty(); }
   /// True for a classifier ensemble (leaf class distributions); false
@@ -194,28 +316,36 @@ class FlatForest {
   /// tables when every feature fits in uint8 codes.
   void BuildQuantizedTables();
 
+  template <typename T>
+  using Column = flat_internal::Column<T>;
+
   int num_classes_ = 0;     ///< 0 for a boosted regressor.
   size_t num_features_ = 0;
   size_t leaf_dim_ = 0;     ///< num_classes, or 1 for a regressor.
   size_t out_dim_ = 0;      ///< num_classes, or 1 for a regressor.
   double base_score_ = 0.0; ///< Regressor accumulator seed.
 
-  // SoA node storage; index = absolute node id.
-  std::vector<int32_t> feature_;    ///< -1 marks a leaf.
-  std::vector<double> threshold_;
-  std::vector<int32_t> left_;
-  std::vector<int32_t> right_;
-  std::vector<int32_t> leaf_index_; ///< Leaves: row into leaf_values_.
-  std::vector<double> leaf_values_; ///< num_leaves x leaf_dim_, dense.
-  std::vector<int32_t> tree_offsets_; ///< Tree t = [offsets[t], offsets[t+1]).
+  // SoA node storage; index = absolute node id. Owned after Compile(),
+  // views into an artifact's bytes after FromView().
+  Column<int32_t> feature_;    ///< -1 marks a leaf.
+  Column<double> threshold_;
+  Column<int32_t> left_;
+  Column<int32_t> right_;
+  Column<int32_t> leaf_index_; ///< Leaves: row into leaf_values_.
+  Column<double> leaf_values_; ///< num_leaves x leaf_dim_, dense.
+  Column<int32_t> tree_offsets_; ///< Tree t = [offsets[t], offsets[t+1]).
 
   // Quantized traversal tables (valid iff quantized_).
   bool quantized_ = false;
   bool narrow_codes_ = false;        ///< Row codes fit in uint8_t.
-  std::vector<uint16_t> qthreshold_; ///< Per node: cut index (0 for leaves).
-  std::vector<int32_t> cut_offsets_; ///< Per feature f: cuts in
-                                     ///< cut_values_[off[f], off[f+1]).
-  std::vector<double> cut_values_;   ///< Ascending distinct thresholds.
+  Column<uint16_t> qthreshold_; ///< Per node: cut index (0 for leaves).
+  Column<int32_t> cut_offsets_; ///< Per feature f: cuts in
+                                ///< cut_values_[off[f], off[f+1]).
+  Column<double> cut_values_;   ///< Ascending distinct thresholds.
+
+  /// Pins the mapped/loaded artifact bytes the view columns alias;
+  /// nullptr for a Compile()d forest.
+  std::shared_ptr<const artifact::ArtifactBuffer> backing_;
 };
 
 }  // namespace cloudsurv::ml

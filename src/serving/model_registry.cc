@@ -41,6 +41,29 @@ Result<uint64_t> ModelRegistry::Publish(
   return Publish(std::move(name), ModelPtr(std::move(model)));
 }
 
+Result<uint64_t> ModelRegistry::PublishFromFile(
+    std::string name, const std::string& path,
+    const artifact::ArtifactReader::Options& reader_options) {
+  // Load and validate entirely outside the lock; a bad file never
+  // perturbs the registry. The loaded service arrives already compiled
+  // (views into the artifact), so publish without recompiling.
+  CLOUDSURV_ASSIGN_OR_RETURN(
+      core::LongevityService service,
+      core::LongevityService::LoadArtifact(path, reader_options));
+  return Publish(std::move(name),
+                 ModelPtr(std::make_shared<const core::LongevityService>(
+                     std::move(service))));
+}
+
+Status ModelRegistry::PersistActive(const std::string& path) const {
+  const ModelPtr model = Current();
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "registry has no active model to persist");
+  }
+  return model->SaveArtifact(path);
+}
+
 ModelRegistry::ModelPtr ModelRegistry::Current() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.empty()) return nullptr;

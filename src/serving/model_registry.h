@@ -69,6 +69,27 @@ class ModelRegistry {
     return Publish(std::move(name), ModelPtr());
   }
 
+  /// Loads a CSRV artifact from `path` and publishes it as `name`.
+  /// The artifact is fully checksum-verified before the snapshot
+  /// becomes visible, and its compiled forests bind straight to the
+  /// (typically mmap'ed) file bytes — no recompilation, so
+  /// publish-from-file is the fast rollback path. Corrupt, truncated,
+  /// or version-mismatched files are rejected and the active model is
+  /// left untouched.
+  Result<uint64_t> PublishFromFile(
+      std::string name, const std::string& path,
+      const artifact::ArtifactReader::Options& reader_options);
+  Result<uint64_t> PublishFromFile(std::string name,
+                                   const std::string& path) {
+    return PublishFromFile(std::move(name), path,
+                           artifact::ArtifactReader::Options());
+  }
+
+  /// Persists the active snapshot as a CSRV artifact at `path`
+  /// (atomic tmp-file + rename). FailedPrecondition when the registry
+  /// is empty. Pair with PublishFromFile for on-disk rollback.
+  Status PersistActive(const std::string& path) const;
+
   /// The active snapshot (nullptr if nothing was published yet).
   ModelPtr Current() const;
 

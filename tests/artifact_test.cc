@@ -1,0 +1,557 @@
+// CSRV artifact container tests: round-trip bit-identity for compiled
+// forests and full service snapshots, mmap vs buffered agreement, and
+// the corruption matrix (every section flipped, truncated tails, wrong
+// magic/version, bad CRCs) — all rejected before any model is built.
+
+#include "artifact/reader.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact/format.h"
+#include "artifact/writer.h"
+#include "common/rng.h"
+#include "core/service.h"
+#include "gtest/gtest.h"
+#include "ml/dataset.h"
+#include "ml/flat_forest.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "serving/model_registry.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv {
+namespace {
+
+using artifact::ArtifactReader;
+using artifact::ArtifactWriter;
+using artifact::PayloadKind;
+using artifact::SectionEntry;
+using artifact::SectionId;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+ml::Dataset ContinuousData(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    rows.push_back({rng.Normal(label * 1.5, 1.0), rng.Normal(0.0, 1.0),
+                    rng.Normal(label * -0.7, 2.0)});
+    labels.push_back(label);
+  }
+  auto d = ml::Dataset::Make({"x", "noise", "y"}, std::move(rows),
+                             std::move(labels));
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+ml::RandomForestClassifier FitForest(const ml::Dataset& data,
+                                     ml::SplitAlgorithm algo) {
+  ml::ForestParams params;
+  params.num_trees = 15;
+  params.max_depth = 7;
+  params.num_threads = 1;
+  params.split_algorithm = algo;
+  ml::RandomForestClassifier forest;
+  EXPECT_OK(forest.Fit(data, params, /*seed=*/17));
+  return forest;
+}
+
+// Serializes `flat` into a standalone flat-forest artifact image.
+std::string ForestImage(const ml::FlatForest& flat) {
+  ArtifactWriter writer(PayloadKind::kFlatForest);
+  EXPECT_OK(flat.WriteTo(writer));
+  auto image = writer.Finish();
+  EXPECT_OK(image.status());
+  return *image;
+}
+
+// Every row's full distribution and positive probability must match
+// the original forest exactly — EXPECT_EQ on doubles, no tolerance.
+void ExpectForestBitIdentical(const ml::RandomForestClassifier& forest,
+                              const ml::FlatForest& flat,
+                              const ml::Dataset& data) {
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const auto legacy = forest.PredictProba(data.row(i));
+    const auto got = flat.PredictProba(data.row(i));
+    ASSERT_EQ(got.size(), legacy.size());
+    for (size_t c = 0; c < legacy.size(); ++c) {
+      EXPECT_EQ(got[c], legacy[c]) << "row " << i << " class " << c;
+    }
+    EXPECT_EQ(flat.PredictPositive(data.row(i)), legacy[1]) << "row " << i;
+  }
+}
+
+TEST(ArtifactFormatTest, Crc32cKnownAnswer) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes.
+  const unsigned char zeros[32] = {};
+  EXPECT_EQ(artifact::Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+  // Seed chaining must equal one-shot computation.
+  const unsigned char bytes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const uint32_t once = artifact::Crc32c(bytes, sizeof(bytes));
+  const uint32_t chained =
+      artifact::Crc32c(bytes + 4, 5, artifact::Crc32c(bytes, 4));
+  EXPECT_EQ(chained, once);
+}
+
+TEST(ArtifactWriterTest, EmptyWriterFails) {
+  ArtifactWriter writer(PayloadKind::kFlatForest);
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(ArtifactRoundTripTest, ExactTrainedForestBitIdentical) {
+  const ml::Dataset data = ContinuousData(300, 11);
+  const auto forest = FitForest(data, ml::SplitAlgorithm::kExact);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(forest));
+  ASSERT_FALSE(flat.zero_copy());
+
+  ASSERT_OK_AND_ASSIGN(ArtifactReader reader,
+                       ArtifactReader::FromBuffer(ForestImage(flat)));
+  EXPECT_EQ(reader.payload(), PayloadKind::kFlatForest);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest restored,
+                       ml::FlatForest::FromView(reader));
+  EXPECT_TRUE(restored.zero_copy());
+  EXPECT_OK(restored.SelfCheck());
+  EXPECT_EQ(restored.num_trees(), flat.num_trees());
+  EXPECT_EQ(restored.num_nodes(), flat.num_nodes());
+  EXPECT_EQ(restored.quantized(), flat.quantized());
+  ExpectForestBitIdentical(forest, restored, data);
+}
+
+TEST(ArtifactRoundTripTest, HistogramTrainedForestBitIdentical) {
+  const ml::Dataset data = ContinuousData(300, 13);
+  const auto forest = FitForest(data, ml::SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(forest));
+  ASSERT_TRUE(flat.quantized());
+
+  ASSERT_OK_AND_ASSIGN(ArtifactReader reader,
+                       ArtifactReader::FromBuffer(ForestImage(flat)));
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest restored,
+                       ml::FlatForest::FromView(reader));
+  ASSERT_TRUE(restored.quantized());
+  EXPECT_EQ(restored.code_bits(), flat.code_bits());
+  ExpectForestBitIdentical(forest, restored, data);
+
+  // The quantized traversal must agree too (it binds the cut tables
+  // straight from the artifact).
+  ml::FlatForest::BatchOptions options;
+  options.use_quantized = true;
+  ASSERT_OK_AND_ASSIGN(const std::vector<double> quantized,
+                       restored.PredictPositiveProbaBatch(data, options));
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(quantized[i], forest.PredictProba(data.row(i))[1])
+        << "row " << i;
+  }
+}
+
+TEST(ArtifactRoundTripTest, GbdtBitIdentical) {
+  const ml::Dataset data = ContinuousData(300, 37);
+  ml::GbdtParams params;
+  params.num_rounds = 20;
+  params.max_depth = 4;
+  ml::GradientBoostedTreesClassifier gbdt;
+  ASSERT_OK(gbdt.Fit(data, params, /*seed=*/41));
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(gbdt));
+
+  ASSERT_OK_AND_ASSIGN(ArtifactReader reader,
+                       ArtifactReader::FromBuffer(ForestImage(flat)));
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest restored,
+                       ml::FlatForest::FromView(reader));
+  EXPECT_FALSE(restored.is_classifier());
+  EXPECT_OK(restored.SelfCheck());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(restored.PredictPositive(data.row(i)),
+              gbdt.PredictProbability(data.row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(ArtifactRoundTripTest, MmapAndBufferedAgree) {
+  const ml::Dataset data = ContinuousData(250, 19);
+  const auto forest = FitForest(data, ml::SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(forest));
+
+  const std::string path = TempPath("agree.csrv");
+  ArtifactWriter writer(PayloadKind::kFlatForest);
+  ASSERT_OK(flat.WriteTo(writer));
+  ASSERT_OK(writer.WriteFile(path));
+  // The atomic publish must not leave its temp file behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  ArtifactReader::Options mapped_options;
+  mapped_options.prefer_mmap = true;
+  ASSERT_OK_AND_ASSIGN(ArtifactReader mapped,
+                       ArtifactReader::Open(path, mapped_options));
+  ArtifactReader::Options buffered_options;
+  buffered_options.prefer_mmap = false;
+  ASSERT_OK_AND_ASSIGN(ArtifactReader buffered,
+                       ArtifactReader::Open(path, buffered_options));
+#if !defined(_WIN32)
+  EXPECT_TRUE(mapped.mapped());
+#endif
+  EXPECT_FALSE(buffered.mapped());
+
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest from_map,
+                       ml::FlatForest::FromView(mapped));
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest from_buf,
+                       ml::FlatForest::FromView(buffered));
+  EXPECT_TRUE(from_map.zero_copy());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const double want = forest.PredictProba(data.row(i))[1];
+    EXPECT_EQ(from_map.PredictPositive(data.row(i)), want) << "row " << i;
+    EXPECT_EQ(from_buf.PredictPositive(data.row(i)), want) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactRoundTripTest, ViewOutlivesReaderViaBacking) {
+  const ml::Dataset data = ContinuousData(150, 23);
+  const auto forest = FitForest(data, ml::SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(forest));
+  const std::string path = TempPath("outlive.csrv");
+  {
+    ArtifactWriter writer(PayloadKind::kFlatForest);
+    ASSERT_OK(flat.WriteTo(writer));
+    ASSERT_OK(writer.WriteFile(path));
+  }
+  std::unique_ptr<ml::FlatForest> restored;
+  {
+    ASSERT_OK_AND_ASSIGN(ArtifactReader reader, ArtifactReader::Open(path));
+    ASSERT_OK_AND_ASSIGN(ml::FlatForest from_view,
+                         ml::FlatForest::FromView(reader));
+    restored =
+        std::make_unique<ml::FlatForest>(std::move(from_view));
+  }  // Reader destroyed; the forest's backing reference pins the bytes.
+  std::remove(path.c_str());  // POSIX keeps the mapping alive unlinked.
+  ExpectForestBitIdentical(forest, *restored, data);
+
+  // A copy of a view-backed forest must share the pin, not dangle.
+  const ml::FlatForest copy = *restored;
+  restored.reset();
+  ExpectForestBitIdentical(forest, copy, data);
+}
+
+// --- Corruption matrix ------------------------------------------------
+
+class ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ml::Dataset data = ContinuousData(120, 29);
+    const auto forest = FitForest(data, ml::SplitAlgorithm::kHistogram);
+    ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                         ml::FlatForest::Compile(forest));
+    image_ = ForestImage(flat);
+    ASSERT_OK_AND_ASSIGN(ArtifactReader reader,
+                         ArtifactReader::FromBuffer(image_));
+    sections_ = reader.sections();
+  }
+
+  std::string image_;
+  std::vector<SectionEntry> sections_;
+};
+
+TEST_F(ArtifactCorruptionTest, FlippedByteInEverySectionRejected) {
+  for (const SectionEntry& entry : sections_) {
+    ASSERT_GT(entry.size, 0u);
+    std::string corrupt = image_;
+    corrupt[entry.offset] ^= 0x40;
+    auto reader = ArtifactReader::FromBuffer(std::move(corrupt));
+    EXPECT_FALSE(reader.ok())
+        << "flipping a byte of "
+        << artifact::SectionIdName(static_cast<SectionId>(entry.id))
+        << " was not detected";
+    if (!reader.ok()) {
+      EXPECT_NE(reader.status().message().find("CRC"), std::string::npos)
+          << reader.status().ToString();
+    }
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, TruncatedTailRejected) {
+  for (const size_t keep :
+       {image_.size() - 1, image_.size() / 2, sizeof(artifact::FileHeader),
+        size_t{10}, size_t{0}}) {
+    auto reader = ArtifactReader::FromBuffer(image_.substr(0, keep));
+    EXPECT_FALSE(reader.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, WrongMagicRejected) {
+  std::string corrupt = image_;
+  corrupt[0] = 'X';
+  auto reader = ArtifactReader::FromBuffer(std::move(corrupt));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+
+  // A text model must sniff as non-artifact, not crash the reader.
+  EXPECT_FALSE(
+      artifact::HasArtifactMagic("longevity_service v1\n", 21));
+}
+
+TEST_F(ArtifactCorruptionTest, UnsupportedVersionRejected) {
+  std::string corrupt = image_;
+  // Patch format_version (bytes 4..7) and re-seal the header CRC so the
+  // version check itself — not the checksum — does the rejecting.
+  corrupt[4] = 99;
+  const uint32_t crc = artifact::Crc32c(
+      corrupt.data(), offsetof(artifact::FileHeader, header_crc));
+  std::memcpy(corrupt.data() + offsetof(artifact::FileHeader, header_crc),
+              &crc, sizeof(crc));
+  auto reader = ArtifactReader::FromBuffer(std::move(corrupt));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("version"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST_F(ArtifactCorruptionTest, CorruptHeaderCrcRejected) {
+  std::string corrupt = image_;
+  corrupt[8] ^= 0x01;  // payload kind field; header CRC no longer matches
+  auto reader = ArtifactReader::FromBuffer(std::move(corrupt));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("CRC"), std::string::npos);
+}
+
+TEST_F(ArtifactCorruptionTest, CorruptSectionTableRejected) {
+  ASSERT_OK_AND_ASSIGN(ArtifactReader reader,
+                       ArtifactReader::FromBuffer(image_));
+  artifact::FileHeader header;
+  std::memcpy(&header, image_.data(), sizeof(header));
+  std::string corrupt = image_;
+  corrupt[header.table_offset + 4] ^= 0x10;
+  auto bad = ArtifactReader::FromBuffer(std::move(corrupt));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("table"), std::string::npos);
+}
+
+TEST_F(ArtifactCorruptionTest, MissingFileAndEmptyFileRejected) {
+  EXPECT_FALSE(ArtifactReader::Open(TempPath("no_such.csrv")).ok());
+  const std::string path = TempPath("empty.csrv");
+  std::ofstream(path, std::ios::binary).close();
+  EXPECT_FALSE(ArtifactReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Service snapshots ------------------------------------------------
+
+const telemetry::TelemetryStore& SimStore() {
+  static const telemetry::TelemetryStore* store = [] {
+    auto config = simulator::MakeRegionPreset(1, /*num_subscriptions=*/120,
+                                              /*seed=*/99);
+    EXPECT_TRUE(config.ok());
+    auto simulated = simulator::SimulateRegion(*config);
+    EXPECT_TRUE(simulated.ok());
+    return new telemetry::TelemetryStore(std::move(*simulated));
+  }();
+  return *store;
+}
+
+core::LongevityService TrainSmallService() {
+  core::LongevityService::Options options;
+  options.forest_params.num_trees = 10;
+  options.forest_params.max_depth = 6;
+  options.forest_params.num_threads = 1;
+  options.min_cohort_size = 50;
+  auto service = core::LongevityService::Train(SimStore(), options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return *service;
+}
+
+void ExpectServicesAssessIdentically(const core::LongevityService& want,
+                                     const core::LongevityService& got) {
+  size_t assessed = 0;
+  for (const auto& record : SimStore().databases()) {
+    auto w = want.Assess(SimStore(), record.id);
+    auto g = got.Assess(SimStore(), record.id);
+    ASSERT_EQ(w.ok(), g.ok()) << "db " << record.id;
+    if (!w.ok()) continue;
+    ++assessed;
+    EXPECT_EQ(g->positive_probability, w->positive_probability)
+        << "db " << record.id;
+    EXPECT_EQ(g->predicted_label, w->predicted_label);
+    EXPECT_EQ(g->confident, w->confident);
+    EXPECT_EQ(g->confidence_threshold, w->confidence_threshold);
+    EXPECT_EQ(g->recommended_pool, w->recommended_pool);
+    EXPECT_EQ(g->model_name, w->model_name);
+  }
+  EXPECT_GT(assessed, 0u);
+}
+
+TEST(ServiceArtifactTest, SaveLoadBitIdenticalToOriginalAndText) {
+  const core::LongevityService trained = TrainSmallService();
+  const std::string path = TempPath("service.csrv");
+  ASSERT_OK(trained.SaveArtifact(path));
+
+  ASSERT_OK_AND_ASSIGN(const core::LongevityService from_artifact,
+                       core::LongevityService::LoadArtifact(path));
+  EXPECT_TRUE(from_artifact.inference_compiled());
+  EXPECT_EQ(from_artifact.options().observe_days,
+            trained.options().observe_days);
+  EXPECT_EQ(from_artifact.options().long_threshold_days,
+            trained.options().long_threshold_days);
+  ExpectServicesAssessIdentically(trained, from_artifact);
+
+  // Text and binary round trips must land on the same assessments.
+  ASSERT_OK_AND_ASSIGN(const core::LongevityService from_text,
+                       core::LongevityService::Load(trained.Save()));
+  ExpectServicesAssessIdentically(from_text, from_artifact);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceArtifactTest, BufferedLoadMatchesMmapLoad) {
+  const core::LongevityService trained = TrainSmallService();
+  const std::string path = TempPath("service_buffered.csrv");
+  ASSERT_OK(trained.SaveArtifact(path));
+  ArtifactReader::Options buffered;
+  buffered.prefer_mmap = false;
+  ASSERT_OK_AND_ASSIGN(
+      const core::LongevityService from_buffered,
+      core::LongevityService::LoadArtifact(path, buffered));
+  ASSERT_OK_AND_ASSIGN(const core::LongevityService from_mapped,
+                       core::LongevityService::LoadArtifact(path));
+  ExpectServicesAssessIdentically(from_mapped, from_buffered);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceArtifactTest, WrongPayloadKindRejected) {
+  const ml::Dataset data = ContinuousData(120, 31);
+  const auto forest = FitForest(data, ml::SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const ml::FlatForest flat,
+                       ml::FlatForest::Compile(forest));
+  const std::string path = TempPath("forest_only.csrv");
+  ArtifactWriter writer(PayloadKind::kFlatForest);
+  ASSERT_OK(flat.WriteTo(writer));
+  ASSERT_OK(writer.WriteFile(path));
+  auto service = core::LongevityService::LoadArtifact(path);
+  ASSERT_FALSE(service.ok());
+  EXPECT_NE(service.status().message().find("payload"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceArtifactTest, CorruptServiceArtifactRejected) {
+  const core::LongevityService trained = TrainSmallService();
+  const std::string path = TempPath("service_corrupt.csrv");
+  ASSERT_OK(trained.SaveArtifact(path));
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size) / 2);
+    f.read(&byte, 1);
+    byte ^= 0x20;
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(core::LongevityService::LoadArtifact(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Registry integration (TSan-covered) ------------------------------
+
+TEST(RegistryArtifactTest, PersistActiveAndPublishFromFile) {
+  const core::LongevityService trained = TrainSmallService();
+  serving::ModelRegistry registry;
+  EXPECT_FALSE(registry.PersistActive(TempPath("none.csrv")).ok());
+
+  auto initial = std::make_shared<core::LongevityService>(trained);
+  ASSERT_TRUE(registry.Publish("v-initial", std::move(initial)).ok());
+  const std::string path = TempPath("registry_active.csrv");
+  ASSERT_OK(registry.PersistActive(path));
+
+  ASSERT_OK_AND_ASSIGN(const uint64_t version,
+                       registry.PublishFromFile("v-from-file", path));
+  EXPECT_EQ(version, 2u);
+  const auto model = registry.Current();
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->inference_compiled());
+  ExpectServicesAssessIdentically(trained, *model);
+
+  // A bad file must leave the active version untouched.
+  EXPECT_FALSE(
+      registry.PublishFromFile("v-bad", TempPath("missing.csrv")).ok());
+  EXPECT_EQ(registry.current_version(), 2u);
+  std::remove(path.c_str());
+}
+
+// Readers batch-score through snapshots bound to mmap'ed artifacts
+// while a publisher hot-swaps fresh file-loaded versions in.
+TEST(RegistryArtifactTest, HotSwapFromFileWhileScoring) {
+  const core::LongevityService trained = TrainSmallService();
+  const std::string path = TempPath("hotswap.csrv");
+  ASSERT_OK(trained.SaveArtifact(path));
+
+  serving::ModelRegistry registry;
+  ASSERT_TRUE(registry.PublishFromFile("v0", path).ok());
+  std::vector<telemetry::DatabaseId> ids;
+  for (const auto& record : SimStore().databases()) {
+    if (ids.size() >= 32) break;
+    ids.push_back(record.id);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 8; ++i) {
+      std::string name = "v";
+      name += std::to_string(i + 1);
+      auto version = registry.PublishFromFile(std::move(name), path);
+      EXPECT_TRUE(version.ok()) << version.status().ToString();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      int iterations = 0;
+      while (!stop.load() && iterations < 100) {
+        ++iterations;
+        const auto model = registry.Current();
+        ASSERT_NE(model, nullptr);
+        auto batch = model->AssessMany(SimStore(), ids, /*block_rows=*/16);
+        EXPECT_TRUE(batch.ok());
+      }
+    });
+  }
+  publisher.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(registry.num_versions(), 9u);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactSniffTest, ClassifiesTextAndBinaryModels) {
+  const std::string text_path = TempPath("model.txt");
+  std::ofstream(text_path) << "longevity_service v1\n";
+  ASSERT_OK_AND_ASSIGN(bool is_artifact,
+                       artifact::FileHasArtifactMagic(text_path));
+  EXPECT_FALSE(is_artifact);
+
+  const core::LongevityService trained = TrainSmallService();
+  const std::string bin_path = TempPath("model.csrv");
+  ASSERT_OK(trained.SaveArtifact(bin_path));
+  ASSERT_OK_AND_ASSIGN(is_artifact,
+                       artifact::FileHasArtifactMagic(bin_path));
+  EXPECT_TRUE(is_artifact);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudsurv

@@ -20,6 +20,39 @@ test -s "$WORK/svc.model"
   --model "$WORK/svc.model" --top 3 | tee "$WORK/assess.txt"
 grep -q "assessed" "$WORK/assess.txt"
 
+# Binary artifact round trip: train -> pack -> inspect -> assess from
+# the .csrv must produce byte-identical output to the text-model assess.
+"$CLI" pack --model "$WORK/svc.model" --out "$WORK/svc.csrv" \
+  | tee "$WORK/pack.txt"
+grep -q "packed" "$WORK/pack.txt"
+test -s "$WORK/svc.csrv"
+"$CLI" inspect --model "$WORK/svc.csrv" | tee "$WORK/inspect.txt"
+grep -q "CSRV format v1" "$WORK/inspect.txt"
+grep -q "service_meta" "$WORK/inspect.txt"
+grep -q "node_threshold" "$WORK/inspect.txt"
+grep -q "slot 0: pooled" "$WORK/inspect.txt"
+"$CLI" assess --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.csrv" --top 3 > "$WORK/assess_csrv.txt"
+cmp "$WORK/assess.txt" "$WORK/assess_csrv.txt" || {
+  echo "assess output differs between text model and .csrv artifact" >&2
+  exit 1
+}
+
+# serve-sim accepts a packed model and still verifies bit-identical.
+"$CLI" serve-sim --region 2 --subs 200 --seed 5 \
+  --model "$WORK/svc.csrv" | tee "$WORK/serve_packed.txt"
+grep -q "serving model from" "$WORK/serve_packed.txt"
+grep -q "IDENTICAL" "$WORK/serve_packed.txt"
+
+# Corruption is rejected with a checksum diagnostic, not served.
+cp "$WORK/svc.csrv" "$WORK/corrupt.csrv"
+printf 'X' | dd of="$WORK/corrupt.csrv" bs=1 seek=2048 conv=notrunc 2>/dev/null
+if "$CLI" inspect --model "$WORK/corrupt.csrv" > "$WORK/corrupt.txt" 2>&1; then
+  echo "expected rejection of corrupt artifact" >&2
+  exit 1
+fi
+grep -q "CRC" "$WORK/corrupt.txt"
+
 # serve-sim with periodic metrics dumps: the output must contain valid
 # Prometheus text exposition (HELP/TYPE + engine counters) and the
 # --metrics-out JSON snapshot must be written and well-formed.

@@ -9,6 +9,9 @@
 #      (`| \`name\` |`) in docs/operations.md, and vice versa.
 #   3. Every relative markdown link in docs/*.md and README.md must
 #      point at a file or directory that exists.
+#   4. Every CLI verb dispatched in tools/cloudsurv_main.cpp must be
+#      listed in the Usage() text and shown as `cloudsurv <verb>` in
+#      README.md or docs/, and vice versa (no phantom verbs in docs).
 #
 # CI runs this; run it locally from the repo root:
 #
@@ -117,5 +120,49 @@ done
 
 if [ "$STATUS" -eq 0 ]; then
   echo "check_docs: $LINKS_CHECKED relative doc links resolve"
+fi
+
+# --- CLI verbs <-> Usage() and docs ---------------------------------
+CLI_MAIN="$REPO_ROOT/tools/cloudsurv_main.cpp"
+if [ ! -f "$CLI_MAIN" ]; then
+  echo "check_docs: $CLI_MAIN not found" >&2
+  exit 1
+fi
+# Verbs the binary actually dispatches.
+grep -oE 'command == "[a-z-]+"' "$CLI_MAIN" \
+  | sed 's/.*"\(.*\)"/\1/' | sort -u > "$WORK/verbs"
+sed -n '/^int Usage/,/^}/p' "$CLI_MAIN" > "$WORK/usage"
+VERB_COUNT=0
+while read -r verb; do
+  VERB_COUNT=$((VERB_COUNT + 1))
+  if ! grep -q "$verb" "$WORK/usage"; then
+    echo "check_docs: CLI verb '$verb' is dispatched but missing from" >&2
+    echo "the Usage() text in tools/cloudsurv_main.cpp" >&2
+    STATUS=1
+  fi
+  if ! grep -qE "cloudsurv +$verb\b" "$REPO_ROOT/README.md" \
+       "$REPO_ROOT"/docs/*.md; then
+    echo "check_docs: CLI verb '$verb' has no 'cloudsurv $verb' usage" >&2
+    echo "example in README.md or docs/" >&2
+    STATUS=1
+  fi
+done < "$WORK/verbs"
+
+# The reverse direction: every `cloudsurv <verb>` shown in docs must be
+# a real dispatched verb (catches docs referencing removed commands).
+grep -hoE 'cloudsurv +[a-z][a-z-]+\b' "$REPO_ROOT/README.md" \
+    "$REPO_ROOT"/docs/*.md \
+  | sed 's/cloudsurv *//' | sort -u > "$WORK/doc_verbs"
+PHANTOM=$(comm -13 "$WORK/verbs" "$WORK/doc_verbs")
+if [ -n "$PHANTOM" ]; then
+  echo "check_docs: docs show 'cloudsurv <verb>' invocations the binary" >&2
+  echo "does not dispatch:" >&2
+  echo "$PHANTOM" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $VERB_COUNT CLI verbs consistent between" \
+       "cloudsurv_main.cpp, Usage(), and docs"
 fi
 exit $STATUS

@@ -3,16 +3,22 @@
 //   cloudsurv simulate  --region 1 --subs 1500 --seed 7 --out region.csv
 //   cloudsurv analyze   --telemetry region.csv [--region 1]
 //   cloudsurv train     --telemetry region.csv --out service.model
+//   cloudsurv pack      --model service.model --out service.csrv
+//   cloudsurv inspect   --model service.csrv
 //   cloudsurv assess    --telemetry region.csv --model service.model [--top 20]
 //   cloudsurv serve-sim --region 1 --subs 800 --seed 7 --threads 8
 //                       --shards 16 --flush-interval 1 [--fault-plan plan.txt]
 //
 // The CSV format is TelemetryStore::ExportCsv()'s; `analyze` prints the
 // survival study (Figure 1 / Observations 3.1-3.3 style), `train`
-// builds a LongevityService, `assess` scores databases and recommends
-// pool placements, and `serve-sim` replays a simulated region's event
-// stream through the online ScoringEngine and verifies the streamed
-// assessments against the sequential batch path.
+// builds a LongevityService, `pack` compiles a model into the CSRV
+// binary artifact (mmap-able, checksummed — see docs/artifacts.md),
+// `inspect` prints an artifact's section table, `assess` scores
+// databases and recommends pool placements, and `serve-sim` replays a
+// simulated region's event stream through the online ScoringEngine and
+// verifies the streamed assessments against the sequential batch path.
+// Every command taking --model sniffs the file format: both the text
+// form (train's output) and a packed .csrv are accepted.
 
 #include <algorithm>
 #include <cerrno>
@@ -27,6 +33,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "artifact/format.h"
+#include "artifact/reader.h"
 #include "core/cohort.h"
 #include "core/report.h"
 #include "core/service.h"
@@ -72,19 +80,23 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cloudsurv <simulate|analyze|train|assess|serve-sim> "
-      "[options]\n"
+      "usage: cloudsurv <simulate|analyze|train|pack|inspect|assess|"
+      "serve-sim> [options]\n"
       "  simulate  --region N --subs N --seed S --out FILE\n"
       "  analyze   --telemetry FILE [--region N]\n"
       "  train     --telemetry FILE --out FILE [--seed S] [--threads N]\n"
       "            [--split exact|histogram]\n"
+      "  pack      --model FILE --out FILE.csrv\n"
+      "  inspect   --model FILE.csrv\n"
       "  assess    --telemetry FILE --model FILE [--top N]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
-      "            [--shards N] [--flush-interval DAYS]\n"
+      "            [--model FILE] [--shards N] [--flush-interval DAYS]\n"
       "            [--metrics-interval DAYS] [--metrics-out FILE]\n"
       "            [--fault-plan FILE] [--deadline-us US]\n"
       "            [--shed-high N] [--shed-low N]\n"
-      "            [--inference flat|legacy] [--block-rows N]\n");
+      "            [--inference flat|legacy] [--block-rows N]\n"
+      "--model accepts both the text format written by train and the\n"
+      "CSRV binary artifact written by pack (detected by file magic).\n");
   return 2;
 }
 
@@ -301,6 +313,21 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return out ? Status::OK() : Status::IOError("write failed: " + path);
 }
 
+// One --model flag, two formats: sniff the file magic and route to the
+// CSRV artifact loader (zero-copy mmap) or the text loader. An
+// artifact-loaded service arrives already compiled for inference; a
+// text-loaded one is compiled by the caller (registry publish) or
+// served through the legacy path.
+Result<core::LongevityService> LoadServiceModel(const std::string& path) {
+  CLOUDSURV_ASSIGN_OR_RETURN(const bool is_artifact,
+                             artifact::FileHasArtifactMagic(path));
+  if (is_artifact) {
+    return core::LongevityService::LoadArtifact(path);
+  }
+  CLOUDSURV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return core::LongevityService::Load(text);
+}
+
 // Loads telemetry from CSV, using the region preset's calendar metadata.
 Result<telemetry::TelemetryStore> LoadTelemetry(const Args& args) {
   CLOUDSURV_ASSIGN_OR_RETURN(std::string csv,
@@ -434,6 +461,104 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
+// Compiles a model file (text or an existing artifact) into the CSRV
+// binary artifact and verifies the written file by re-opening it.
+int CmdPack(const Args& args) {
+  if (args.model_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr,
+                 "pack requires --model FILE and --out FILE.csrv\n");
+    return 2;
+  }
+  auto service = LoadServiceModel(args.model_path);
+  if (!service.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  Status written = service->SaveArtifact(args.out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  // Read the artifact back through the full validation chain so a pack
+  // that "succeeded" but produced an unreadable file fails loudly here,
+  // not at serve time.
+  auto reader = artifact::ArtifactReader::Open(args.out_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "packed file failed verification: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %s -> %s (%zu bytes, %zu sections, format v%u)\n",
+              args.model_path.c_str(), args.out_path.c_str(),
+              reader->file_size(), reader->sections().size(),
+              reader->format_version());
+  return 0;
+}
+
+// Prints an artifact's header and section table — the on-disk truth an
+// operator checks before rolling back to a persisted model version.
+int CmdInspect(const Args& args) {
+  if (args.model_path.empty()) {
+    std::fprintf(stderr, "inspect requires --model FILE.csrv\n");
+    return 2;
+  }
+  auto reader = artifact::ArtifactReader::Open(args.model_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  const char* payload_name =
+      reader->payload() == artifact::PayloadKind::kService
+          ? "service"
+          : reader->payload() == artifact::PayloadKind::kFlatForest
+                ? "flat_forest"
+                : "unknown";
+  std::printf("%s: CSRV format v%u, payload %s, %zu bytes, %zu sections, "
+              "%s\n",
+              args.model_path.c_str(), reader->format_version(),
+              payload_name, reader->file_size(),
+              reader->sections().size(),
+              reader->mapped() ? "mmap" : "buffered");
+  std::printf("%-16s %5s %10s %10s %10s %5s %10s\n", "section", "slot",
+              "offset", "bytes", "count", "elem", "crc32c");
+  for (const artifact::SectionEntry& entry : reader->sections()) {
+    std::printf("%-16s %5u %10llu %10llu %10llu %5u 0x%08x\n",
+                artifact::SectionIdName(
+                    static_cast<artifact::SectionId>(entry.id)),
+                entry.index,
+                static_cast<unsigned long long>(entry.offset),
+                static_cast<unsigned long long>(entry.size),
+                static_cast<unsigned long long>(entry.count),
+                entry.elem_size, entry.crc);
+  }
+  if (reader->payload() == artifact::PayloadKind::kService) {
+    auto meta = reader->Struct<artifact::ServiceMeta>(
+        artifact::SectionId::kServiceMeta, 0);
+    if (meta.ok()) {
+      std::printf("service: observe_days=%g long_threshold_days=%g "
+                  "models=%u\n",
+                  meta->observe_days, meta->long_threshold_days,
+                  meta->num_models);
+    }
+    for (const artifact::SectionEntry& entry : reader->sections()) {
+      if (entry.id !=
+          static_cast<uint32_t>(artifact::SectionId::kModelEntry)) {
+        continue;
+      }
+      auto model = reader->Struct<artifact::ModelEntry>(
+          artifact::SectionId::kModelEntry, entry.index);
+      if (!model.ok()) continue;
+      const uint32_t name_len =
+          std::min<uint32_t>(model->name_len, artifact::kMaxModelNameLen);
+      std::printf("  slot %u: %-10.*s threshold=%.17g\n", model->slot,
+                  static_cast<int>(name_len), model->name,
+                  model->threshold);
+    }
+  }
+  return 0;
+}
+
 int CmdAssess(const Args& args) {
   if (args.telemetry_path.empty() || args.model_path.empty()) {
     std::fprintf(stderr, "assess requires --telemetry and --model\n");
@@ -444,12 +569,7 @@ int CmdAssess(const Args& args) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
   }
-  auto blob = ReadFile(args.model_path);
-  if (!blob.ok()) {
-    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
-    return 1;
-  }
-  auto service = core::LongevityService::Load(*blob);
+  auto service = LoadServiceModel(args.model_path);
   if (!service.ok()) {
     std::fprintf(stderr, "model load failed: %s\n",
                  service.status().ToString().c_str());
@@ -536,16 +656,32 @@ int CmdServeSim(const Args& args) {
               store->region_name().c_str(), store->num_databases(),
               store->num_events());
 
-  core::LongevityService::Options train_options;
-  train_options.seed = args.seed;
-  auto trained = core::LongevityService::Train(*store, train_options);
-  if (!trained.ok()) {
-    std::fprintf(stderr, "training failed: %s\n",
-                 trained.status().ToString().c_str());
-    return 1;
+  std::shared_ptr<core::LongevityService> model;
+  if (!args.model_path.empty()) {
+    // Serve a pre-trained model (text or .csrv) instead of training
+    // in-process — the pack half of the train -> pack -> serve split.
+    auto loaded = LoadServiceModel(args.model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "model load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::make_shared<core::LongevityService>(
+        std::move(loaded).value());
+    std::printf("serving model from %s%s\n", args.model_path.c_str(),
+                model->inference_compiled() ? " (compiled artifact)" : "");
+  } else {
+    core::LongevityService::Options train_options;
+    train_options.seed = args.seed;
+    auto trained = core::LongevityService::Train(*store, train_options);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    model = std::make_shared<core::LongevityService>(
+        std::move(trained).value());
   }
-  auto model = std::make_shared<core::LongevityService>(
-      std::move(trained).value());
   // Ground truth stays on the legacy per-row path: a copy taken BEFORE
   // the flat layout is compiled at publish time, so the strict
   // comparison below genuinely crosses flat-streamed assessments
@@ -818,7 +954,10 @@ int main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(args);
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "train") return CmdTrain(args);
+  if (command == "pack") return CmdPack(args);
+  if (command == "inspect") return CmdInspect(args);
   if (command == "assess") return CmdAssess(args);
   if (command == "serve-sim") return CmdServeSim(args);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
 }
