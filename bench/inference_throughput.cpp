@@ -2,11 +2,15 @@
 // SoA representation (ml/flat_forest.h), scores a synthetic matrix in
 // batches through the legacy per-row path and the blocked flat path,
 // and reports rows/sec plus p50/p99 per-batch latency for each batch
-// size x thread count, with the flat-vs-legacy speedup. Every flat
-// prediction is checked bit-for-bit against the legacy output — any
-// mismatch fails the bench (non-zero exit). Speedups are informational:
-// on a single-core container the parallel sweep cannot demonstrate the
-// multi-core acceptance number, so only bit-identity is load-bearing.
+// size x thread count x traversal kernel (scalar, AVX2 when the
+// build/CPU has it, and the quantized code path when the forest is
+// quantizable), with the flat-vs-legacy speedup. Every flat prediction
+// is checked bit-for-bit against the legacy output — any mismatch
+// fails the bench (non-zero exit). Speedups are informational: on a
+// single-core container the parallel sweep cannot demonstrate the
+// multi-core acceptance number, so only bit-identity is load-bearing;
+// tools/bench_check.py gates the speedup ratios against a committed
+// baseline in CI.
 //
 // A startup-to-first-score axis persists the same forest both ways and
 // measures the cold-start path each deployment shape pays: text load +
@@ -44,6 +48,7 @@
 #include "ml/dataset.h"
 #include "ml/flat_forest.h"
 #include "ml/random_forest.h"
+#include "ml/simd/traversal.h"
 
 namespace {
 
@@ -327,10 +332,18 @@ int main() {
       rows, features, trees, depth, iters, cores);
   std::printf(
       "  \"compile\": {\"ms\": %.3f, \"nodes\": %zu, \"leaves\": %zu, "
-      "\"memory_bytes\": %zu, \"quantized\": %s, \"code_bits\": %d},\n",
+      "\"memory_bytes\": %zu, \"quantized\": %s, \"code_bits\": %d, "
+      "\"tuned_block_rows\": %zu, \"breadth_first\": %s},\n",
       Seconds(c0, c1) * 1e3, flat.num_nodes(), flat.num_leaves(),
       flat.memory_bytes(), flat.quantized() ? "true" : "false",
-      flat.code_bits());
+      flat.code_bits(), flat.tuned_block_rows(),
+      flat.nodes_breadth_first() ? "true" : "false");
+  std::printf(
+      "  \"simd\": {\"avx2_compiled_in\": %s, \"avx2_available\": %s, "
+      "\"force_scalar\": %s},\n",
+      ml::simd::Avx2CompiledIn() ? "true" : "false",
+      ml::simd::Avx2Supported() ? "true" : "false",
+      ml::simd::ForceScalar() ? "true" : "false");
   std::printf(
       "  \"startup\": {\"iterations\": %zu, \"text_bytes\": %zu, "
       "\"artifact_bytes\": %zu,\n"
@@ -343,6 +356,27 @@ int main() {
       mmap_zero_copy ? "true" : "false",
       cold_cache_dropped ? "true" : "false", warm_speedup,
       startup_identical ? "true" : "false");
+
+  // Flat-path configurations: the portable scalar kernel always runs;
+  // the AVX2 kernel runs when the build and CPU both have it; the
+  // quantized (integer-code) path runs when the forest is quantizable.
+  // The quantized path ignores the traversal kind, so it is swept once
+  // and labelled as its own kernel rather than crossed with the kinds.
+  struct FlatConfig {
+    ml::simd::TraversalKind kind;
+    bool use_quantized;
+    const char* label;
+  };
+  std::vector<FlatConfig> flat_configs;
+  flat_configs.push_back(
+      {ml::simd::TraversalKind::kScalar, false, "scalar"});
+  if (ml::simd::Avx2Supported()) {
+    flat_configs.push_back({ml::simd::TraversalKind::kAvx2, false, "avx2"});
+  }
+  if (flat.quantized()) {
+    flat_configs.push_back(
+        {ml::simd::TraversalKind::kScalar, true, "quantized"});
+  }
 
   std::printf("  \"runs\": [\n");
   bool first_run = true;
@@ -384,17 +418,16 @@ int main() {
     first_run = false;
 
     // Flat path: thread sweep (1 = sequential, no pool) x traversal
-    // (integer codes vs double thresholds, when codes are available).
+    // kernel (scalar / AVX2 / quantized integer codes).
     std::vector<size_t> thread_sweep = {1};
     for (size_t t = 2; t <= max_threads; t *= 2) thread_sweep.push_back(t);
-    std::vector<bool> quantized_sweep = {false};
-    if (flat.quantized()) quantized_sweep.push_back(true);
-    for (bool use_quantized : quantized_sweep)
+    for (const FlatConfig& cfg : flat_configs)
     for (size_t num_threads : thread_sweep) {
       ThreadPool pool(num_threads, /*max_queued=*/1024);
       ml::FlatForest::BatchOptions options;
       options.pool = num_threads > 1 ? &pool : nullptr;
-      options.use_quantized = use_quantized;
+      options.use_quantized = cfg.use_quantized;
+      options.traversal = cfg.kind;
 
       std::vector<double> flat_seconds;
       for (size_t it = 0; it < iters; ++it) {
@@ -429,12 +462,12 @@ int main() {
       }
       std::printf(
           ",\n    {\"mode\": \"flat\", \"batch_rows\": %zu, "
-          "\"threads\": %zu, \"quantized\": %s, \"rows_per_sec\": %.0f, "
-          "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+          "\"threads\": %zu, \"traversal\": \"%s\", \"quantized\": %s, "
+          "\"rows_per_sec\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
           "\"speedup_vs_legacy\": %.2f}",
-          batch_rows, num_threads,
-          use_quantized && flat.quantized() ? "true" : "false",
-          stats.rows_per_sec, stats.p50_us, stats.p99_us, speedup);
+          batch_rows, num_threads, cfg.label,
+          cfg.use_quantized ? "true" : "false", stats.rows_per_sec,
+          stats.p50_us, stats.p99_us, speedup);
     }
   }
   std::printf("\n  ],\n");

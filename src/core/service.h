@@ -64,15 +64,23 @@ class LongevityService {
 
   /// Scores many databases of `store` in one pass: feature rows are
   /// grouped per resolved model slot and pushed through the compiled
-  /// `ml::FlatForest` in blocks of `block_rows` (legacy per-row scoring
-  /// when CompileForInference has not run). `out[i]` is nullopt exactly
+  /// `ml::FlatForest` with `batch` (block size, traversal kernel;
+  /// legacy per-row scoring when CompileForInference has not run).
+  /// `out[i]` is nullopt exactly
   /// when per-id Assess(ids[i]) would fail (unknown id, too little
   /// telemetry); every produced Assessment is bit-identical to the
   /// per-id call.
   Result<std::vector<std::optional<Assessment>>> AssessMany(
       const telemetry::TelemetryStore& store,
       const std::vector<telemetry::DatabaseId>& ids,
-      size_t block_rows = 512) const;
+      const ml::FlatForest::BatchOptions& batch = {}) const;
+
+  /// Convenience overload pinning only the block size (0 = the
+  /// compiled forest's autotuned size); traversal kind stays kAuto.
+  Result<std::vector<std::optional<Assessment>>> AssessMany(
+      const telemetry::TelemetryStore& store,
+      const std::vector<telemetry::DatabaseId>& ids,
+      size_t block_rows) const;
 
   /// Compiles every trained forest into its flat inference form
   /// (ml::FlatForest). Call once after Train()/Load(); Assess and

@@ -9,6 +9,10 @@
 #include <string>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "artifact/reader.h"
 #include "artifact/writer.h"
 #include "obs/metrics.h"
@@ -43,6 +47,36 @@ struct NodeArrays {
 // regressor path depends on computing the same double.
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
+/// Breadth-first visit order of one tree's local node ids: root first,
+/// then each level left to right, so the hot top levels land on
+/// adjacent cache lines after packing. `children(i)` returns the local
+/// {left, right} ids of a split node, {-1, -1} for a leaf. Falls back
+/// to the identity order if the links do not reach every node exactly
+/// once (a malformed tree — Compile()'s per-node validation rejects it
+/// anyway, but the reorder must never drop nodes).
+template <typename Children>
+std::vector<int32_t> BreadthFirstOrder(size_t nodes, Children&& children) {
+  std::vector<int32_t> order;
+  order.reserve(nodes);
+  std::vector<char> seen(nodes, 0);
+  order.push_back(0);
+  seen[0] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    const auto [left, right] = children(static_cast<size_t>(order[head]));
+    for (const int32_t c : {left, right}) {
+      if (c >= 0 && static_cast<size_t>(c) < nodes && !seen[c]) {
+        seen[static_cast<size_t>(c)] = 1;
+        order.push_back(c);
+      }
+    }
+  }
+  if (order.size() != nodes) {
+    order.resize(nodes);
+    for (size_t i = 0; i < nodes; ++i) order[i] = static_cast<int32_t>(i);
+  }
+  return order;
+}
+
 obs::Histogram* CompileHistogram() {
   static obs::Histogram* h = obs::Registry::Default().GetHistogram(
       "cloudsurv_inference_compile_ms",
@@ -62,6 +96,24 @@ obs::Histogram* BatchLatency() {
       "cloudsurv_inference_batch_latency_us",
       "Wall time of one FlatForest batch-predict call", "us");
   return h;
+}
+
+/// One `cloudsurv_inference_kernel_rows_total` series per traversal
+/// kernel, so dashboards can see which kernel actually served the
+/// rows (dispatch is per-batch, not per-process).
+obs::Counter* MakeKernelRows(const char* kernel) {
+  return obs::Registry::Default().GetCounter(
+      "cloudsurv_inference_kernel_rows_total",
+      "Rows scored, labelled by the traversal kernel that ran them",
+      "rows", {{"kernel", kernel}});
+}
+
+obs::Counter* KernelRows(simd::TraversalKind resolved, bool quantized) {
+  static obs::Counter* scalar = MakeKernelRows("scalar");
+  static obs::Counter* avx2 = MakeKernelRows("avx2");
+  static obs::Counter* quant = MakeKernelRows("quantized");
+  if (quantized) return quant;
+  return resolved == simd::TraversalKind::kAvx2 ? avx2 : scalar;
 }
 
 double ElapsedMs(std::chrono::steady_clock::time_point start) {
@@ -105,8 +157,23 @@ Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
       return Status::Internal("trees disagree on feature count");
     }
     const int32_t offset = static_cast<int32_t>(arrays.feature.size());
-    for (size_t i = 0; i < tree.num_nodes(); ++i) {
-      const auto node = tree.node_view(i);
+    // Emit the tree's nodes in breadth-first order (root first, levels
+    // left to right): the first few levels — the ones every row
+    // touches — pack onto adjacent cache lines. `pos` maps a training
+    // node id to its packed local slot for child rewriting.
+    const auto order =
+        BreadthFirstOrder(tree.num_nodes(), [&tree](size_t i) {
+          const auto node = tree.node_view(i);
+          return node.feature < 0 ? std::pair<int32_t, int32_t>(-1, -1)
+                                  : std::pair<int32_t, int32_t>(node.left,
+                                                                node.right);
+        });
+    std::vector<int32_t> pos(tree.num_nodes());
+    for (size_t k = 0; k < order.size(); ++k) {
+      pos[static_cast<size_t>(order[k])] = static_cast<int32_t>(k);
+    }
+    for (size_t k = 0; k < tree.num_nodes(); ++k) {
+      const auto node = tree.node_view(static_cast<size_t>(order[k]));
       arrays.feature.push_back(node.feature < 0 ? -1 : node.feature);
       arrays.threshold.push_back(node.threshold);
       if (node.feature < 0) {
@@ -127,8 +194,8 @@ Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
             static_cast<size_t>(node.right) >= tree.num_nodes()) {
           return Status::Internal("split node with invalid children");
         }
-        arrays.left.push_back(offset + node.left);
-        arrays.right.push_back(offset + node.right);
+        arrays.left.push_back(offset + pos[static_cast<size_t>(node.left)]);
+        arrays.right.push_back(offset + pos[static_cast<size_t>(node.right)]);
         arrays.leaf_index.push_back(-1);
       }
     }
@@ -142,6 +209,7 @@ Result<FlatForest> FlatForest::Compile(const RandomForestClassifier& forest) {
   flat.leaf_values_.Adopt(std::move(arrays.leaf_values));
   flat.tree_offsets_.Adopt(std::move(arrays.tree_offsets));
   flat.BuildQuantizedTables();
+  flat.AutotuneBlockRows();
   CompileHistogram()->Observe(ElapsedMs(start));
   return flat;
 }
@@ -176,8 +244,19 @@ Result<FlatForest> FlatForest::Compile(
       return Status::Internal("fitted ensemble contains an empty tree");
     }
     const int32_t offset = static_cast<int32_t>(arrays.feature.size());
-    for (size_t i = 0; i < nodes; ++i) {
+    // Breadth-first packing, as in the forest overload above.
+    const auto order = BreadthFirstOrder(nodes, [&gbdt, t](size_t i) {
       const auto node = gbdt.node_view(t, i);
+      return node.feature < 0
+                 ? std::pair<int32_t, int32_t>(-1, -1)
+                 : std::pair<int32_t, int32_t>(node.left, node.right);
+    });
+    std::vector<int32_t> pos(nodes);
+    for (size_t k = 0; k < order.size(); ++k) {
+      pos[static_cast<size_t>(order[k])] = static_cast<int32_t>(k);
+    }
+    for (size_t k = 0; k < nodes; ++k) {
+      const auto node = gbdt.node_view(t, static_cast<size_t>(order[k]));
       arrays.feature.push_back(node.feature < 0 ? -1 : node.feature);
       arrays.threshold.push_back(node.threshold);
       if (node.feature < 0) {
@@ -192,8 +271,8 @@ Result<FlatForest> FlatForest::Compile(
             static_cast<size_t>(node.right) >= nodes) {
           return Status::Internal("split node with invalid children");
         }
-        arrays.left.push_back(offset + node.left);
-        arrays.right.push_back(offset + node.right);
+        arrays.left.push_back(offset + pos[static_cast<size_t>(node.left)]);
+        arrays.right.push_back(offset + pos[static_cast<size_t>(node.right)]);
         arrays.leaf_index.push_back(-1);
       }
     }
@@ -207,6 +286,7 @@ Result<FlatForest> FlatForest::Compile(
   flat.leaf_values_.Adopt(std::move(arrays.leaf_values));
   flat.tree_offsets_.Adopt(std::move(arrays.tree_offsets));
   flat.BuildQuantizedTables();
+  flat.AutotuneBlockRows();
   CompileHistogram()->Observe(ElapsedMs(start));
   return flat;
 }
@@ -260,6 +340,90 @@ void FlatForest::BuildQuantizedTables() {
   cut_values_.Adopt(std::move(cut_values));
   qthreshold_.Adopt(std::move(qthreshold));
   quantized_ = true;
+  BuildUsedFeatures();
+}
+
+void FlatForest::BuildUsedFeatures() {
+  // Quantizing a batch costs one binary search per (row, feature); a
+  // feature with zero cuts is never tested by any split node, so its
+  // code can never be read — skip it. This is the per-compile table
+  // that keeps per-batch quantization proportional to the features the
+  // forest actually uses, not the dataset width.
+  used_features_.clear();
+  if (!quantized_) return;
+  used_features_.reserve(num_features_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (cut_offsets_[f + 1] > cut_offsets_[f]) {
+      used_features_.push_back(static_cast<int32_t>(f));
+    }
+  }
+}
+
+void FlatForest::AutotuneBlockRows() {
+  // One traversal block wants (a) the hot top levels of every tree and
+  // (b) the block's double rows + accumulators co-resident in L2; the
+  // node arrays below the top levels stream regardless. Budget the
+  // rows at L2 minus the hot-node footprint (first 6 levels = 63 nodes
+  // per tree across the five SoA arrays), clamped to [64, 8192] and
+  // rounded to a multiple of 8 so SIMD groups tile evenly. Callers
+  // override via BatchOptions::block_rows != 0.
+  long l2 = -1;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+  const size_t l2_bytes = l2 > 0 ? static_cast<size_t>(l2) : (1u << 20);
+  constexpr size_t kNodeStride =
+      4 * sizeof(int32_t) + sizeof(double);  // feature/left/right/leafidx/thr
+  constexpr size_t kHotNodesPerTree = 63;
+  size_t hot_bytes = 0;
+  for (size_t t = 0; t + 1 < tree_offsets_.size(); ++t) {
+    const size_t tree_nodes =
+        static_cast<size_t>(tree_offsets_[t + 1] - tree_offsets_[t]);
+    hot_bytes += std::min(tree_nodes, kHotNodesPerTree) * kNodeStride;
+  }
+  const size_t row_bytes = (num_features_ + out_dim_) * sizeof(double);
+  const size_t budget =
+      l2_bytes > hot_bytes ? l2_bytes - hot_bytes : l2_bytes / 2;
+  size_t rows = row_bytes == 0 ? 8192 : budget / row_bytes;
+  rows = std::clamp<size_t>(rows, 64, 8192);
+  rows -= rows % 8;
+  tuned_block_rows_ = rows;
+}
+
+simd::ForestView FlatForest::View() const {
+  simd::ForestView v;
+  v.feature = feature_.data();
+  v.threshold = threshold_.data();
+  v.left = left_.data();
+  v.right = right_.data();
+  v.leaf_index = leaf_index_.data();
+  v.leaf_values = leaf_values_.data();
+  v.tree_offsets = tree_offsets_.data();
+  v.num_trees = num_trees();
+  v.num_features = num_features_;
+  v.leaf_dim = leaf_dim_;
+  v.out_dim = out_dim_;
+  return v;
+}
+
+bool FlatForest::nodes_breadth_first() const {
+  // A tree is in BFS order iff replaying a breadth-first walk from its
+  // root visits exactly the sequential ids lo, lo+1, ..., hi-1.
+  if (!compiled()) return false;
+  for (size_t t = 0; t + 1 < tree_offsets_.size(); ++t) {
+    const int32_t lo = tree_offsets_[t];
+    const size_t nodes = static_cast<size_t>(tree_offsets_[t + 1] - lo);
+    const auto order = BreadthFirstOrder(nodes, [this, lo](size_t i) {
+      const size_t u = static_cast<size_t>(lo) + i;
+      return feature_[u] < 0
+                 ? std::pair<int32_t, int32_t>(-1, -1)
+                 : std::pair<int32_t, int32_t>(left_[u] - lo, right_[u] - lo);
+    });
+    for (size_t k = 0; k < nodes; ++k) {
+      if (order[k] != static_cast<int32_t>(k)) return false;
+    }
+  }
+  return true;
 }
 
 size_t FlatForest::memory_bytes() const {
@@ -443,6 +607,10 @@ Result<FlatForest> FlatForest::FromView(
   }
   flat.backing_ = reader.backing();
   CLOUDSURV_RETURN_NOT_OK(flat.SelfCheck());
+  // Derived (non-serialized) state: the used-feature skip list for
+  // quantization and the autotuned block size for this machine.
+  flat.BuildUsedFeatures();
+  flat.AutotuneBlockRows();
   return flat;
 }
 
@@ -452,19 +620,23 @@ void FlatForest::TraverseQuantized(const double* const* rows, size_t n,
                                    std::vector<uint8_t>& scratch) const {
   const size_t trees = num_trees();
   const size_t od = out_dim_;
-  // Quantize the block once: one integer code per (row, feature) — a
-  // much smaller working set than the double rows while all trees
-  // stream through. The byte buffer is reused across a task's blocks;
-  // vector storage is max-aligned, so the uint16 view is safe.
+  // Quantize the block once: one integer code per (row, used feature)
+  // — a much smaller working set than the double rows while all trees
+  // stream through. Only features with at least one cut are coded
+  // (`used_features_`, built at compile time): a cut-less feature is
+  // never tested by any split node, so its slot is never read. The
+  // byte buffer is reused across a task's blocks; vector storage is
+  // max-aligned, so the uint16 view is safe.
   scratch.resize(n * num_features_ * sizeof(Code));
   Code* block_codes = reinterpret_cast<Code*>(scratch.data());
   for (size_t i = 0; i < n; ++i) {
     const double* row = rows[i];
     Code* codes = block_codes + i * num_features_;
-    for (size_t f = 0; f < num_features_; ++f) {
-      const double* cb = cut_values_.data() + cut_offsets_[f];
-      const double* ce = cut_values_.data() + cut_offsets_[f + 1];
-      codes[f] = static_cast<Code>(std::lower_bound(cb, ce, row[f]) - cb);
+    for (const int32_t f : used_features_) {
+      const size_t uf = static_cast<size_t>(f);
+      const double* cb = cut_values_.data() + cut_offsets_[uf];
+      const double* ce = cut_values_.data() + cut_offsets_[uf + 1];
+      codes[uf] = static_cast<Code>(std::lower_bound(cb, ce, row[uf]) - cb);
     }
   }
   for (size_t t = 0; t < trees; ++t) {
@@ -491,8 +663,8 @@ void FlatForest::TraverseQuantized(const double* const* rows, size_t n,
 }
 
 void FlatForest::ScoreBlock(const double* const* rows, size_t n, double* out,
-                            bool use_quantized,
-                            std::vector<uint8_t>& scratch) const {
+                            bool use_quantized, simd::TraversalFn kernel,
+                            BlockScratch& scratch) const {
   const size_t trees = num_trees();
   const size_t od = out_dim_;
   if (num_classes_ > 0) {
@@ -503,32 +675,33 @@ void FlatForest::ScoreBlock(const double* const* rows, size_t n, double* out,
 
   if (use_quantized && quantized_) {
     if (narrow_codes_) {
-      TraverseQuantized<uint8_t>(rows, n, out, scratch);
+      TraverseQuantized<uint8_t>(rows, n, out, scratch.qcodes);
     } else {
-      TraverseQuantized<uint16_t>(rows, n, out, scratch);
+      TraverseQuantized<uint16_t>(rows, n, out, scratch.qcodes);
     }
   } else {
-    for (size_t t = 0; t < trees; ++t) {
-      const int32_t root = tree_offsets_[t];
-      for (size_t i = 0; i < n; ++i) {
-        const double* row = rows[i];
-        int32_t node = root;
-        int32_t f = feature_[static_cast<size_t>(node)];
-        while (f >= 0) {
-          node = row[static_cast<size_t>(f)] <=
-                         threshold_[static_cast<size_t>(node)]
-                     ? left_[static_cast<size_t>(node)]
-                     : right_[static_cast<size_t>(node)];
-          f = feature_[static_cast<size_t>(node)];
-        }
-        const double* leaf =
-            leaf_values_.data() +
-            static_cast<size_t>(leaf_index_[static_cast<size_t>(node)]) *
-                leaf_dim_;
-        double* acc = out + i * od;
-        for (size_t c = 0; c < leaf_dim_; ++c) acc[c] += leaf[c];
+    // The traversal kernels consume a packed row-major block. The
+    // dense-matrix entry points hand over rows that are already
+    // contiguous — alias them; otherwise (Dataset rows, the serving
+    // path's per-slot row vectors) pack once into reusable scratch.
+    // Packing copies row bytes verbatim, so it cannot perturb results.
+    const double* packed = rows[0];
+    bool contiguous = true;
+    for (size_t i = 1; i < n; ++i) {
+      if (rows[i] != rows[0] + i * num_features_) {
+        contiguous = false;
+        break;
       }
     }
+    if (!contiguous) {
+      scratch.packed.resize(n * num_features_);
+      for (size_t i = 0; i < n; ++i) {
+        std::memcpy(scratch.packed.data() + i * num_features_, rows[i],
+                    num_features_ * sizeof(double));
+      }
+      packed = scratch.packed.data();
+    }
+    kernel(View(), packed, n, out);
   }
 
   // Finalization mirrors the legacy per-row arithmetic exactly: divide
@@ -549,18 +722,44 @@ Status FlatForest::ScorePtrs(const double* const* row_ptrs, size_t n,
   if (!compiled()) {
     return Status::FailedPrecondition("forest is not compiled");
   }
+  // Resolve the traversal kernel once per call. An explicit kind the
+  // build/CPU cannot serve is a caller error — surfaced as a Status,
+  // never silently downgraded (and checked even for n == 0, so a
+  // misconfigured pipeline fails on its first call).
+  const bool quant = options.use_quantized && quantized_;
+  const simd::TraversalKind resolved = simd::Resolve(options.traversal);
+  simd::TraversalFn kernel = nullptr;
+  if (!quant) {
+    kernel = simd::Kernel(resolved);
+    if (kernel == nullptr) {
+      return Status::InvalidArgument(
+          std::string("traversal kernel '") + simd::KindName(resolved) +
+          "' is not available on this build/CPU");
+    }
+  }
   if (n == 0) return Status::OK();
   obs::ScopedTimer timer(BatchLatency());
-  const size_t block = options.block_rows == 0 ? 1 : options.block_rows;
+  size_t block =
+      options.block_rows == 0 ? tuned_block_rows_ : options.block_rows;
+  if (block == 0) block = 1;
+  // The AVX2 kernel addresses the packed block with int32 gather
+  // indices (row offset in doubles); cap the block so they cannot
+  // overflow. Blocking never changes results, so the cap is safe.
+  if (!quant && num_features_ > 0) {
+    const size_t cap =
+        static_cast<size_t>(std::numeric_limits<int32_t>::max()) /
+        num_features_;
+    if (cap > 0 && block > cap) block = cap;
+  }
   const size_t num_blocks = (n + block - 1) / block;
 
   if (options.pool == nullptr || num_blocks <= 1) {
-    std::vector<uint8_t> scratch;
+    BlockScratch scratch;
     for (size_t b = 0; b < num_blocks; ++b) {
       const size_t lo = b * block;
       const size_t hi = std::min(n, lo + block);
-      ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_,
-                 options.use_quantized, scratch);
+      ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_, quant, kernel,
+                 scratch);
     }
   } else {
     std::vector<std::future<void>> futures;
@@ -569,10 +768,10 @@ Status FlatForest::ScorePtrs(const double* const* row_ptrs, size_t n,
       const size_t lo = b * block;
       const size_t hi = std::min(n, lo + block);
       futures.push_back(options.pool->Submit(
-          [this, row_ptrs, lo, hi, out, &options]() {
-            std::vector<uint8_t> scratch;
-            ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_,
-                       options.use_quantized, scratch);
+          [this, row_ptrs, lo, hi, out, quant, kernel]() {
+            BlockScratch scratch;
+            ScoreBlock(row_ptrs + lo, hi - lo, out + lo * out_dim_, quant,
+                       kernel, scratch);
           }));
     }
     try {
@@ -583,6 +782,7 @@ Status FlatForest::ScorePtrs(const double* const* row_ptrs, size_t n,
     }
   }
   RowsTotal()->Increment(n);
+  KernelRows(resolved, quant)->Increment(n);
   return Status::OK();
 }
 

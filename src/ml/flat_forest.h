@@ -10,6 +10,7 @@
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
+#include "ml/simd/traversal.h"
 
 namespace cloudsurv::artifact {
 class ArtifactBuffer;
@@ -145,30 +146,49 @@ class Column {
 ///
 /// Batch scoring iterates rows x trees in cache-sized row blocks (all
 /// trees stay hot while a block's rows stream through) and can fan
-/// independent blocks out over a `common::ThreadPool`. Per-row
-/// accumulation order is tree 0..T-1 with the same summation the legacy
-/// path uses, so results are bit-identical at any block size and thread
-/// count.
+/// independent blocks out over a `common::ThreadPool`. The per-block
+/// double traversal dispatches to the kernels in `ml/simd/` — an
+/// always-built scalar walk and, when the build and CPU allow it, an
+/// AVX2 kernel advancing four rows per node step (gathered loads,
+/// vector compares, blended child-index advance); kAuto picks the best
+/// available. Compile() additionally stores each tree's nodes in
+/// breadth-first order so a tree's hot first levels occupy adjacent
+/// cache lines, and autotunes the default block size from the forest
+/// shape and the L2 size. Per-row accumulation order is tree 0..T-1
+/// with the same summation the legacy path uses, so results are
+/// bit-identical at any block size, thread count, and traversal kind.
 ///
 /// A FlatForest is immutable after Compile() returns; concurrent reads
 /// from any number of threads are safe.
 class FlatForest {
  public:
   /// Batch traversal knobs. Defaults favour an L1/L2-resident block of
-  /// row codes; see docs/inference.md for the trade-offs.
+  /// rows sized per compiled forest; see docs/inference.md.
   struct BatchOptions {
-    /// Rows per traversal block (>= 1; 0 is treated as 1).
-    size_t block_rows = 512;
+    /// Rows per traversal block. 0 (default) picks the per-forest
+    /// autotuned size (`tuned_block_rows()`, derived from the forest's
+    /// hot-node footprint vs. the L2 cache); any explicit value >= 1
+    /// overrides it.
+    size_t block_rows = 0;
     /// When set, independent blocks are scored as pool tasks. The
     /// caller must not be running *inside* a task of the same bounded
     /// pool (nested submission can deadlock on the queue bound).
     ThreadPool* pool = nullptr;
+    /// Which traversal kernel walks the double rows. kAuto resolves to
+    /// the AVX2 multi-row kernel when the build and CPU support it
+    /// (honouring CLOUDSURV_FORCE_SCALAR), else the portable scalar
+    /// kernel. An *explicit* kAvx2 on a build/CPU without it fails the
+    /// batch call with InvalidArgument — never a silent downgrade. All
+    /// kernels are bit-identical. Ignored when the quantized traversal
+    /// runs (that path is scalar integer-code routing).
+    simd::TraversalKind traversal = simd::TraversalKind::kAuto;
     /// Use the integer code traversal when the forest is quantizable.
     /// Both paths are bit-identical. Off by default: each batch pays
-    /// one binary search per (row, feature) to quantize, and
-    /// bench/inference_throughput measures that as a net loss when the
-    /// double rows already fit in cache — enable it for very wide rows
-    /// or feature-heavy models where the 4-8x row shrink matters.
+    /// one binary search per (row, used feature) to quantize, and
+    /// bench/inference_throughput measures that as a net loss against
+    /// the SIMD double traversal when the double rows already fit in
+    /// cache — enable it for very wide rows or feature-heavy models
+    /// where the 4-8x row shrink matters.
     bool use_quantized = false;
   };
 
@@ -216,6 +236,19 @@ class FlatForest {
   int code_bits() const {
     return quantized_ ? (narrow_codes_ ? 8 : 16) : 0;
   }
+
+  /// Rows-per-block the compiler picked for this forest (used whenever
+  /// BatchOptions::block_rows is 0): sized so one block of double rows
+  /// plus accumulators shares the L2 cache with the forest's hot top
+  /// levels. Always in [64, 8192] and a multiple of 8.
+  size_t tuned_block_rows() const { return tuned_block_rows_; }
+
+  /// True when every tree's nodes are stored root-first in
+  /// breadth-first order (Compile() emits this layout so the hot first
+  /// levels of a tree occupy adjacent cache lines). Artifacts written
+  /// before the BFS layout load fine — node order is plain data — so
+  /// FromView forests may legitimately return false here.
+  bool nodes_breadth_first() const;
 
   size_t num_trees() const {
     return tree_offsets_.empty() ? 0 : tree_offsets_.size() - 1;
@@ -296,13 +329,27 @@ class FlatForest {
   size_t out_dim() const { return leaf_dim_ == 0 ? 0 : out_dim_; }
 
  private:
-  /// Scores one block of rows addressed through per-row pointers.
-  /// `scratch` holds the block's quantized codes when the quantized
-  /// path runs (resized as needed, reusable across blocks of one task).
-  void ScoreBlock(const double* const* rows, size_t n, double* out,
-                  bool use_quantized, std::vector<uint8_t>& scratch) const;
+  /// Reusable per-task buffers: the packed double row block handed to
+  /// the traversal kernels, and the quantized code block.
+  struct BlockScratch {
+    std::vector<double> packed;
+    std::vector<uint8_t> qcodes;
+  };
 
-  /// Shared driver: blocks `row_ptrs` and fans the blocks out.
+  /// Raw-pointer view of the SoA arrays for the traversal kernels.
+  simd::ForestView View() const;
+
+  /// Scores one block of rows addressed through per-row pointers.
+  /// `kernel` walks the double rows (already resolved and validated by
+  /// ScorePtrs; ignored when `use_quantized` selects the code
+  /// traversal). Scratch buffers are resized as needed and reusable
+  /// across the blocks of one task.
+  void ScoreBlock(const double* const* rows, size_t n, double* out,
+                  bool use_quantized, simd::TraversalFn kernel,
+                  BlockScratch& scratch) const;
+
+  /// Shared driver: resolves the traversal kernel, blocks `row_ptrs`
+  /// and fans the blocks out.
   Status ScorePtrs(const double* const* row_ptrs, size_t n, double* out,
                    const BatchOptions& options) const;
 
@@ -315,6 +362,15 @@ class FlatForest {
   /// Collects per-feature distinct thresholds and fills the quantized
   /// tables when every feature fits in uint8 codes.
   void BuildQuantizedTables();
+
+  /// Rebuilds `used_features_` (features with >= 1 cut) from the cut
+  /// offset table; quantization skips the rest, since a feature no
+  /// split node tests can never route a row.
+  void BuildUsedFeatures();
+
+  /// Derives `tuned_block_rows_` from the forest shape and the machine
+  /// L2 size. Runs at the end of Compile() and FromView().
+  void AutotuneBlockRows();
 
   template <typename T>
   using Column = flat_internal::Column<T>;
@@ -335,9 +391,15 @@ class FlatForest {
   Column<double> leaf_values_; ///< num_leaves x leaf_dim_, dense.
   Column<int32_t> tree_offsets_; ///< Tree t = [offsets[t], offsets[t+1]).
 
+  /// Rows per block when BatchOptions::block_rows is 0 (autotuned).
+  size_t tuned_block_rows_ = 512;
+
   // Quantized traversal tables (valid iff quantized_).
   bool quantized_ = false;
   bool narrow_codes_ = false;        ///< Row codes fit in uint8_t.
+  /// Features with at least one cut — the only ones quantization needs
+  /// to code. Derived (never serialized); rebuilt by FromView.
+  std::vector<int32_t> used_features_;
   Column<uint16_t> qthreshold_; ///< Per node: cut index (0 for leaves).
   Column<int32_t> cut_offsets_; ///< Per feature f: cuts in
                                 ///< cut_values_[off[f], off[f+1]).

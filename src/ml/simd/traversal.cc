@@ -1,0 +1,105 @@
+#include "ml/simd/traversal.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cloudsurv::ml::simd {
+
+void ScalarTraverse(const ForestView& f, const double* rows, size_t n,
+                    double* out) {
+  // Trees outer, rows inner: the node arrays stream once per block
+  // while the block's rows and accumulators stay cache-resident. Per
+  // row the leaf sums accumulate in tree order 0..T-1 with plain double
+  // adds — the exact summation sequence of the legacy per-row path.
+  for (size_t t = 0; t < f.num_trees; ++t) {
+    const int32_t root = f.tree_offsets[t];
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = rows + i * f.num_features;
+      int32_t node = root;
+      int32_t feat = f.feature[static_cast<size_t>(node)];
+      while (feat >= 0) {
+        node = row[static_cast<size_t>(feat)] <=
+                       f.threshold[static_cast<size_t>(node)]
+                   ? f.left[static_cast<size_t>(node)]
+                   : f.right[static_cast<size_t>(node)];
+        feat = f.feature[static_cast<size_t>(node)];
+      }
+      const double* leaf =
+          f.leaf_values +
+          static_cast<size_t>(f.leaf_index[static_cast<size_t>(node)]) *
+              f.leaf_dim;
+      double* acc = out + i * f.out_dim;
+      for (size_t c = 0; c < f.leaf_dim; ++c) acc[c] += leaf[c];
+    }
+  }
+}
+
+bool Avx2CompiledIn() {
+#if defined(CLOUDSURV_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Supported() {
+#if defined(CLOUDSURV_HAVE_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalar() {
+  const char* env = std::getenv("CLOUDSURV_FORCE_SCALAR");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+TraversalKind Resolve(TraversalKind requested) {
+  if (requested != TraversalKind::kAuto) return requested;
+  if (!ForceScalar() && Avx2Supported()) return TraversalKind::kAvx2;
+  return TraversalKind::kScalar;
+}
+
+TraversalFn Kernel(TraversalKind resolved) {
+  switch (resolved) {
+    case TraversalKind::kScalar:
+      return &ScalarTraverse;
+    case TraversalKind::kAvx2:
+#if defined(CLOUDSURV_HAVE_AVX2)
+      if (Avx2Supported()) return &Avx2Traverse;
+#endif
+      return nullptr;
+    case TraversalKind::kAuto:
+      return Kernel(Resolve(resolved));
+  }
+  return nullptr;
+}
+
+const char* KindName(TraversalKind kind) {
+  switch (kind) {
+    case TraversalKind::kAuto:
+      return "auto";
+    case TraversalKind::kScalar:
+      return "scalar";
+    case TraversalKind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseKind(std::string_view text, TraversalKind* out) {
+  if (text == "auto") {
+    *out = TraversalKind::kAuto;
+  } else if (text == "scalar") {
+    *out = TraversalKind::kScalar;
+  } else if (text == "avx2") {
+    *out = TraversalKind::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cloudsurv::ml::simd

@@ -1,0 +1,114 @@
+// AVX2 multi-row traversal: four rows advance through a tree per node
+// step. This translation unit is compiled with -mavx2 (see
+// src/ml/CMakeLists.txt) and linked only when the toolchain targets
+// x86-64 with AVX2 support; callers reach it through the runtime
+// dispatch in traversal.cc, never directly.
+//
+// Bit-identity argument: lanes are rows. Every lane routes on the same
+// `row[f] <= threshold[node]` comparison as the scalar walk
+// (_CMP_LE_OQ matches `<=` exactly, including the NaN-goes-right
+// behaviour), and each row's leaf payload is accumulated in tree order
+// 0..T-1 with plain double adds — lane-wise vertical adds carry no
+// cross-lane arithmetic, so the summation sequence per row is the
+// scalar one and the results are the same doubles.
+
+#include "ml/simd/traversal.h"
+
+#if defined(CLOUDSURV_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace cloudsurv::ml::simd {
+
+namespace {
+
+/// Narrows a 4x64-bit compare mask to a 4x32-bit lane mask (each lane
+/// all-ones or all-zero) so it can steer 32-bit node-id blends.
+inline __m128i MaskPdToEpi32(__m256d mask) {
+  const __m256i lanes = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(mask), lanes));
+}
+
+}  // namespace
+
+void Avx2Traverse(const ForestView& f, const double* rows, size_t n,
+                  double* out) {
+  const size_t lanes = 4;
+  const size_t n_vec = n - n % lanes;
+  const int features = static_cast<int>(f.num_features);
+  const __m128i minus_one = _mm_set1_epi32(-1);
+
+  // Trees outer, 4-row groups inner: the node arrays stream once per
+  // block while the packed rows and the n x out_dim accumulators stay
+  // cache-resident (mirrors the scalar kernel's blocking).
+  for (size_t t = 0; t < f.num_trees; ++t) {
+    const __m128i root = _mm_set1_epi32(f.tree_offsets[t]);
+    for (size_t i = 0; i < n_vec; i += lanes) {
+      const int base = static_cast<int>(i) * features;
+      // Row start offsets (in doubles) of the four lanes inside the
+      // packed block; adding a lane's feature id yields its gather
+      // index.
+      const __m128i row_base = _mm_setr_epi32(
+          base, base + features, base + 2 * features, base + 3 * features);
+
+      __m128i node = root;
+      __m128i feat = _mm_i32gather_epi32(f.feature, node, 4);
+      // A lane stays active until it lands on a leaf (feature == -1);
+      // finished lanes keep their node id via the blend below, and the
+      // gathers they still issue read valid leaf entries.
+      __m128i active = _mm_cmpgt_epi32(feat, minus_one);
+      while (_mm_movemask_epi8(active) != 0) {
+        // Finished lanes have feat == -1; masking with `active` clamps
+        // them to feature 0 so their (discarded) row gather stays in
+        // bounds.
+        const __m128i feat_safe = _mm_and_si128(feat, active);
+        const __m128i value_idx = _mm_add_epi32(row_base, feat_safe);
+        const __m256d values = _mm256_i32gather_pd(rows, value_idx, 8);
+        const __m256d thresholds = _mm256_i32gather_pd(f.threshold, node, 8);
+        const __m256d go_left =
+            _mm256_cmp_pd(values, thresholds, _CMP_LE_OQ);
+        const __m128i lefts = _mm_i32gather_epi32(f.left, node, 4);
+        const __m128i rights = _mm_i32gather_epi32(f.right, node, 4);
+        const __m128i next =
+            _mm_blendv_epi8(rights, lefts, MaskPdToEpi32(go_left));
+        node = _mm_blendv_epi8(node, next, active);
+        feat = _mm_i32gather_epi32(f.feature, node, 4);
+        active = _mm_cmpgt_epi32(feat, minus_one);
+      }
+
+      const __m128i leaf = _mm_i32gather_epi32(f.leaf_index, node, 4);
+      if (f.out_dim == 1 && f.leaf_dim == 1) {
+        // Regressor: scalar leaves, contiguous accumulators — one
+        // vertical (per-lane, bit-exact) add.
+        const __m256d leaf_vals = _mm256_i32gather_pd(f.leaf_values, leaf, 8);
+        double* acc = out + i;
+        _mm256_storeu_pd(acc, _mm256_add_pd(_mm256_loadu_pd(acc), leaf_vals));
+      } else {
+        // Classifier: out_dim-strided accumulators; AVX2 has no
+        // scatter, and leaf_dim is tiny (the class count), so finish
+        // the group with per-lane scalar adds.
+        alignas(16) int32_t leaf_ids[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(leaf_ids), leaf);
+        for (size_t k = 0; k < lanes; ++k) {
+          const double* payload =
+              f.leaf_values + static_cast<size_t>(leaf_ids[k]) * f.leaf_dim;
+          double* acc = out + (i + k) * f.out_dim;
+          for (size_t c = 0; c < f.leaf_dim; ++c) acc[c] += payload[c];
+        }
+      }
+    }
+  }
+
+  // Ragged tail (n % 4 rows): the scalar kernel finishes them with the
+  // same per-row arithmetic; cross-row ordering is irrelevant because
+  // rows accumulate independently.
+  if (n_vec < n) {
+    ScalarTraverse(f, rows + n_vec * f.num_features, n - n_vec,
+                   out + n_vec * f.out_dim);
+  }
+}
+
+}  // namespace cloudsurv::ml::simd
+
+#endif  // CLOUDSURV_HAVE_AVX2

@@ -443,8 +443,11 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
               ids.push_back(pending.database_id);
             }
             const auto batch_start = std::chrono::steady_clock::now();
-            auto assessments = active.model->AssessMany(
-                *snapshot, ids, options_.inference_block_rows);
+            ml::FlatForest::BatchOptions batch_opts;
+            batch_opts.block_rows = options_.inference_block_rows;
+            batch_opts.traversal = options_.inference_traversal;
+            auto assessments =
+                active.model->AssessMany(*snapshot, ids, batch_opts);
             const double batch_us =
                 std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - batch_start)

@@ -141,11 +141,18 @@ class ScoringEngine {
     /// observe_days for assessments to be meaningful.
     double observe_days = 2.0;
     /// Rows per FlatForest traversal block when a shard batch takes the
-    /// batched inference path (`LongevityService::AssessMany`). The
-    /// batched path engages only when no fault injector and no batch
-    /// deadline are configured — per-database injection points and
-    /// virtual-time accounting require the per-row loop.
-    size_t inference_block_rows = 512;
+    /// batched inference path (`LongevityService::AssessMany`); 0 uses
+    /// the compiled forest's autotuned block size. The batched path
+    /// engages only when no fault injector and no batch deadline are
+    /// configured — per-database injection points and virtual-time
+    /// accounting require the per-row loop.
+    size_t inference_block_rows = 0;
+    /// Traversal kernel for the batched inference path: kAuto picks
+    /// the AVX2 multi-row kernel when available (else scalar); an
+    /// explicit kAvx2 on a build/CPU without it fails the batch, which
+    /// surfaces as skipped databases. All kernels are bit-identical.
+    ml::simd::TraversalKind inference_traversal =
+        ml::simd::TraversalKind::kAuto;
 
     // --- Fault injection & graceful degradation -------------------
     // Every knob below defaults to "off": with the defaults the engine

@@ -38,6 +38,16 @@ cmp "$WORK/assess.txt" "$WORK/assess_csrv.txt" || {
   exit 1
 }
 
+# Kernel cross-check: assess through the forced-scalar traversal must
+# be byte-identical to the auto-dispatched (possibly AVX2) run above.
+"$CLI" assess --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.csrv" --top 3 --traversal scalar \
+  > "$WORK/assess_scalar.txt"
+cmp "$WORK/assess_csrv.txt" "$WORK/assess_scalar.txt" || {
+  echo "assess output differs between traversal kernels" >&2
+  exit 1
+}
+
 # serve-sim accepts a packed model and still verifies bit-identical.
 "$CLI" serve-sim --region 2 --subs 200 --seed 5 \
   --model "$WORK/svc.csrv" | tee "$WORK/serve_packed.txt"
@@ -81,6 +91,14 @@ grep -q "IDENTICAL" "$WORK/serve_flat.txt"
   --inference legacy | tee "$WORK/serve_legacy.txt"
 grep -q "inference=legacy" "$WORK/serve_legacy.txt"
 grep -q "IDENTICAL" "$WORK/serve_legacy.txt"
+
+# Forced-scalar traversal: the portable kernel must also verify
+# IDENTICAL against the sequential ground truth, and the summary line
+# must name the kernel that ran.
+"$CLI" serve-sim --region 2 --subs 300 --seed 5 \
+  --traversal scalar | tee "$WORK/serve_scalar.txt"
+grep -q "traversal=scalar" "$WORK/serve_scalar.txt"
+grep -q "IDENTICAL" "$WORK/serve_scalar.txt"
 for line in "databases scored" "confident"; do
   flat_count=$(grep "$line" "$WORK/serve_flat.txt" | head -1)
   legacy_count=$(grep "$line" "$WORK/serve_legacy.txt" | head -1)
@@ -125,7 +143,7 @@ grep -q "accounting.*OK" "$WORK/serve_swap.txt"
 for bad in "--threads 0" "--threads -3" "--shards banana" \
            "--flush-interval 0" "--flush-interval -2" \
            "--metrics-interval abc" "--deadline-us -1" "--shed-high -5" \
-           "--inference banana" "--block-rows 0"; do
+           "--inference banana" "--block-rows 0" "--traversal banana"; do
   if "$CLI" serve-sim --region 2 --subs 50 --seed 5 $bad \
       > "$WORK/bad.txt" 2>&1; then
     echo "expected rejection of '$bad'" >&2

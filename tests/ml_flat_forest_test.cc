@@ -1,9 +1,11 @@
 #include "ml/flat_forest.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -292,6 +294,190 @@ TEST(FlatForestTest, GbdtBitIdentity) {
                          gbdt.PredictBatch(data));
     EXPECT_EQ(labels, legacy_labels);
   }
+}
+
+// --- Traversal kernels (ml/simd/) ------------------------------------
+
+// Kinds the current build/CPU can execute; kAvx2 is included only when
+// the AVX2 translation unit is linked and the CPU reports support.
+std::vector<simd::TraversalKind> AvailableKinds() {
+  std::vector<simd::TraversalKind> kinds = {simd::TraversalKind::kAuto,
+                                            simd::TraversalKind::kScalar};
+  if (simd::Avx2Supported()) kinds.push_back(simd::TraversalKind::kAvx2);
+  return kinds;
+}
+
+TEST(FlatForestTest, BreadthFirstLayoutAndTunedBlockRows) {
+  const Dataset data = ContinuousData(300, 59);
+  const auto forest = FitForest(data, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+
+  // Compile() must emit every tree in breadth-first node order and
+  // autotune a sane default block size.
+  EXPECT_TRUE(flat.nodes_breadth_first());
+  EXPECT_GE(flat.tuned_block_rows(), 64u);
+  EXPECT_LE(flat.tuned_block_rows(), 8192u);
+  EXPECT_EQ(flat.tuned_block_rows() % 8, 0u);
+}
+
+// Every (kernel, block size) combination must reproduce the legacy
+// predictions bit for bit, sequentially and across a thread pool.
+class TraversalKernelTest
+    : public ::testing::TestWithParam<
+          std::tuple<simd::TraversalKind, size_t>> {};
+
+TEST_P(TraversalKernelTest, BitIdenticalAtEveryBlockSizeAndThreadCount) {
+  const auto [kind, block_rows] = GetParam();
+  if (kind == simd::TraversalKind::kAvx2 && !simd::Avx2Supported()) {
+    GTEST_SKIP() << "no AVX2 kernel on this build/CPU";
+  }
+  const Dataset data = ContinuousData(400, 61);
+  const auto forest = FitForest(data, SplitAlgorithm::kHistogram);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+
+  ThreadPool pool(4, /*max_queued=*/64);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    FlatForest::BatchOptions options;
+    options.block_rows = block_rows;  // 0 = the autotuned size.
+    options.traversal = kind;
+    options.pool = p;
+    ExpectBitIdentical(forest, flat, data, options);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, TraversalKernelTest,
+    ::testing::Combine(::testing::Values(simd::TraversalKind::kAuto,
+                                         simd::TraversalKind::kScalar,
+                                         simd::TraversalKind::kAvx2),
+                       ::testing::Values<size_t>(0, 7, 64, 512, 4096)),
+    [](const auto& info) {
+      return std::string(simd::KindName(std::get<0>(info.param))) + "_block" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FlatForestTest, EmptySingleRowAndRaggedTailBatches) {
+  // The AVX2 kernel walks four rows per step; every n % 4 residue (and
+  // the empty batch) must come out bit-identical to the legacy path.
+  const Dataset data = ContinuousData(64, 67);
+  const auto forest = FitForest(data, SplitAlgorithm::kExact);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  const std::vector<double> dense = DenseRows(data);
+  const size_t od = flat.out_dim();
+
+  for (const simd::TraversalKind kind : AvailableKinds()) {
+    FlatForest::BatchOptions options;
+    options.traversal = kind;
+
+    std::vector<double> empty_out(od, -1.0);
+    ASSERT_OK(flat.PredictProbaBatch(dense.data(), 0, empty_out.data(),
+                                     options));
+    EXPECT_EQ(empty_out[0], -1.0);  // n == 0 must not touch the output.
+
+    for (const size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 9u, 31u}) {
+      std::vector<double> out(n * od, -1.0);
+      ASSERT_OK(flat.PredictProbaBatch(dense.data(), n, out.data(), options));
+      for (size_t i = 0; i < n; ++i) {
+        const auto legacy = forest.PredictProba(data.row(i));
+        for (size_t c = 0; c < od; ++c) {
+          EXPECT_EQ(out[i * od + c], legacy[c])
+              << "kind " << simd::KindName(kind) << " n " << n << " row "
+              << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatForestTest, WideCodesAcrossTraversalKinds) {
+  // uint16 quantized codes must stay bit-identical whether the batch
+  // runs the code traversal or any of the double kernels.
+  const Dataset data = ContinuousData(2000, 43);
+  ForestParams params;
+  params.num_trees = 30;
+  params.max_depth = 12;
+  params.num_threads = 1;
+  params.split_algorithm = SplitAlgorithm::kHistogram;
+  RandomForestClassifier forest;
+  ASSERT_OK(forest.Fit(data, params, /*seed=*/47));
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  ASSERT_EQ(flat.code_bits(), 16);
+
+  for (const simd::TraversalKind kind : AvailableKinds()) {
+    for (const bool use_quantized : {false, true}) {
+      FlatForest::BatchOptions options;
+      options.traversal = kind;
+      options.use_quantized = use_quantized;
+      options.block_rows = 256;
+      ExpectBitIdentical(forest, flat, data, options);
+    }
+  }
+}
+
+TEST(FlatForestTest, GbdtKernelBitIdentity) {
+  // The regressor path exercises the kernels' scalar-leaf vector
+  // accumulation (out_dim == 1) plus the base-score seeding.
+  const Dataset data = ContinuousData(401, 71);  // Odd n: ragged tail.
+  GbdtParams params;
+  params.num_rounds = 25;
+  params.max_depth = 4;
+  GradientBoostedTreesClassifier gbdt;
+  ASSERT_OK(gbdt.Fit(data, params, /*seed=*/73));
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(gbdt));
+  EXPECT_TRUE(flat.nodes_breadth_first());
+
+  ASSERT_OK_AND_ASSIGN(const std::vector<double> legacy,
+                       gbdt.PredictPositiveProba(data));
+  for (const simd::TraversalKind kind : AvailableKinds()) {
+    FlatForest::BatchOptions options;
+    options.traversal = kind;
+    options.block_rows = 37;
+    ASSERT_OK_AND_ASSIGN(const std::vector<double> positives,
+                         flat.PredictPositiveProbaBatch(data, options));
+    ASSERT_EQ(positives.size(), legacy.size());
+    for (size_t i = 0; i < positives.size(); ++i) {
+      EXPECT_EQ(positives[i], legacy[i])
+          << "kind " << simd::KindName(kind) << " row " << i;
+    }
+  }
+}
+
+TEST(FlatForestTest, ExplicitAvx2RequestMatchesAvailability) {
+  const Dataset data = ContinuousData(50, 79);
+  const auto forest = FitForest(data, SplitAlgorithm::kExact);
+  ASSERT_OK_AND_ASSIGN(const FlatForest flat, FlatForest::Compile(forest));
+  const std::vector<double> dense = DenseRows(data);
+  std::vector<double> out(data.num_rows() * flat.out_dim());
+
+  FlatForest::BatchOptions options;
+  options.traversal = simd::TraversalKind::kAvx2;
+  const Status status = flat.PredictProbaBatch(dense.data(), data.num_rows(),
+                                               out.data(), options);
+  if (simd::Avx2Supported()) {
+    EXPECT_OK(status);
+  } else {
+    // An explicit kAvx2 request must fail loudly, not silently
+    // downgrade to the scalar kernel — even for an empty batch.
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(flat.PredictProbaBatch(dense.data(), 0, out.data(), options)
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FlatForestTest, ForceScalarEnvRoutesAutoToScalar) {
+  ASSERT_EQ(::setenv("CLOUDSURV_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(simd::Resolve(simd::TraversalKind::kAuto),
+            simd::TraversalKind::kScalar);
+  // Explicit kinds are unaffected by the env override.
+  EXPECT_EQ(simd::Resolve(simd::TraversalKind::kAvx2),
+            simd::TraversalKind::kAvx2);
+  ASSERT_EQ(::setenv("CLOUDSURV_FORCE_SCALAR", "0", /*overwrite=*/1), 0);
+  if (simd::Avx2Supported()) {
+    EXPECT_EQ(simd::Resolve(simd::TraversalKind::kAuto),
+              simd::TraversalKind::kAvx2);
+  }
+  ::unsetenv("CLOUDSURV_FORCE_SCALAR");
 }
 
 // --- Service / registry integration ----------------------------------

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Gate the inference benchmark against a committed baseline.
+
+Usage:
+    python3 tools/bench_check.py --current out.json \
+        [--baseline bench/baselines/inference_throughput.json] \
+        [--max-regression 0.20]
+
+The benchmark (bench/inference_throughput) emits one JSON document per
+run. Absolute rows/sec numbers do not transfer between machines, so the
+check compares *ratios*: each flat configuration's speedup_vs_legacy is
+measured against the same configuration in the committed baseline, and
+the build fails if any configuration lost more than --max-regression
+(default 20%) of its baseline speedup. Correctness gates are absolute:
+bit_identical and startup.first_score_identical must both hold.
+
+Coverage rules:
+  - scalar rows must be present in the current output;
+  - avx2 rows must be present iff the current host reports
+    simd.avx2_available (a silent fallback to scalar would otherwise
+    pass the regression check while benching the wrong kernel);
+  - baseline rows with no matching current row fail the check unless
+    the kernel is legitimately unavailable on the current host
+    (avx2 without AVX2, quantized when the forest did not quantize).
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"bench_check: cannot load {path}: {exc}")
+
+
+def flat_runs(doc):
+    """Index flat runs by (batch_rows, threads, traversal)."""
+    out = {}
+    for run in doc.get("runs", []):
+        if run.get("mode") != "flat":
+            continue
+        key = (run["batch_rows"], run["threads"],
+               run.get("traversal", "scalar"))
+        out[key] = run
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="bench JSON produced by this run")
+    ap.add_argument("--baseline",
+                    default="bench/baselines/inference_throughput.json",
+                    help="committed baseline JSON")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="maximum allowed fractional speedup loss vs "
+                         "baseline (default 0.20)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+    notes = []
+
+    # Correctness gates: absolute, never waived.
+    if not current.get("bit_identical", False):
+        failures.append(
+            f"bit_identical is false ({current.get('mismatches', '?')} "
+            "mismatching predictions vs the legacy path)")
+    startup = current.get("startup", {})
+    if not startup.get("first_score_identical", False):
+        failures.append("startup.first_score_identical is false "
+                        "(artifact round-trip changed a score)")
+
+    simd = current.get("simd", {})
+    avx2_available = bool(simd.get("avx2_available", False))
+    forced_scalar = bool(simd.get("force_scalar", False))
+    quantized = bool(current.get("compile", {}).get("quantized", False))
+
+    cur_flat = flat_runs(current)
+    base_flat = flat_runs(baseline)
+
+    # Coverage: the sweep must have exercised every kernel this host has.
+    kinds_seen = {k[2] for k in cur_flat}
+    if "scalar" not in kinds_seen:
+        failures.append("no scalar flat runs in current output")
+    if avx2_available and not forced_scalar and "avx2" not in kinds_seen:
+        failures.append("host reports AVX2 but no avx2 runs were benched")
+    if not avx2_available and "avx2" in kinds_seen:
+        failures.append("avx2 runs present but simd.avx2_available is "
+                        "false — output is inconsistent")
+
+    # Ratio regression per configuration.
+    for key, base_run in sorted(base_flat.items()):
+        batch_rows, threads, traversal = key
+        cur_run = cur_flat.get(key)
+        if cur_run is None:
+            if traversal == "avx2" and not avx2_available:
+                notes.append(f"skip {key}: AVX2 unavailable on this host")
+                continue
+            if traversal == "quantized" and not quantized:
+                notes.append(f"skip {key}: forest did not quantize")
+                continue
+            failures.append(f"baseline config {key} missing from current "
+                            "run")
+            continue
+        base_speedup = base_run.get("speedup_vs_legacy", 0.0)
+        cur_speedup = cur_run.get("speedup_vs_legacy", 0.0)
+        if base_speedup <= 0.0:
+            notes.append(f"skip {key}: baseline speedup is {base_speedup}")
+            continue
+        floor = base_speedup * (1.0 - args.max_regression)
+        if cur_speedup < floor:
+            failures.append(
+                f"speedup regression at batch_rows={batch_rows} "
+                f"threads={threads} traversal={traversal}: "
+                f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x)")
+
+    for note in notes:
+        print(f"bench_check: {note}")
+    if failures:
+        for failure in failures:
+            print(f"bench_check: FAIL: {failure}", file=sys.stderr)
+        sys.exit(1)
+    best = current.get("best_speedup_at_batch_4096", 0.0)
+    print(f"bench_check: OK ({len(base_flat)} baseline configs checked, "
+          f"best speedup at batch>=4096: {best:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@
 #include "core/report.h"
 #include "core/service.h"
 #include "fault/fault.h"
+#include "ml/simd/traversal.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serving/scoring_engine.h"
@@ -74,7 +75,11 @@ struct Args {
   /// serve-sim inference path: "flat" (compiled SoA forest) or
   /// "legacy" (per-row tree walks).
   std::string inference = "flat";
-  int64_t block_rows = 512;
+  /// Rows per traversal block; 0 (the default, not settable via flag)
+  /// uses the compiled forest's autotuned size.
+  int64_t block_rows = 0;
+  /// Traversal kernel for batch scoring: auto, scalar, or avx2.
+  std::string traversal = "auto";
 };
 
 int Usage() {
@@ -89,12 +94,14 @@ int Usage() {
       "  pack      --model FILE --out FILE.csrv\n"
       "  inspect   --model FILE.csrv\n"
       "  assess    --telemetry FILE --model FILE [--top N]\n"
+      "            [--traversal auto|scalar|avx2]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
       "            [--model FILE] [--shards N] [--flush-interval DAYS]\n"
       "            [--metrics-interval DAYS] [--metrics-out FILE]\n"
       "            [--fault-plan FILE] [--deadline-us US]\n"
       "            [--shed-high N] [--shed-low N]\n"
       "            [--inference flat|legacy] [--block-rows N]\n"
+      "            [--traversal auto|scalar|avx2]\n"
       "--model accepts both the text format written by train and the\n"
       "CSRV binary artifact written by pack (detected by file magic).\n");
   return 2;
@@ -274,6 +281,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!ParseInt64Flag("--block-rows", v, 1, &args->block_rows)) {
         return false;
       }
+    } else if (std::strcmp(argv[i], "--traversal") == 0) {
+      const char* v = need_value("--traversal");
+      if (v == nullptr) return false;
+      args->traversal = v;
+      ml::simd::TraversalKind kind;
+      if (!ml::simd::ParseKind(args->traversal, &kind)) {
+        std::fprintf(stderr,
+                     "InvalidArgument: --traversal must be auto, scalar "
+                     "or avx2, got '%s'\n",
+                     v);
+        return false;
+      }
+      // Fail the explicit request up front — scoring would reject it
+      // batch by batch anyway, and a flag typo on a non-AVX2 host
+      // should not masquerade as a slow run.
+      if (kind == ml::simd::TraversalKind::kAvx2 &&
+          !ml::simd::Avx2Supported()) {
+        std::fprintf(stderr,
+                     "InvalidArgument: --traversal avx2 requested but "
+                     "this build/CPU has no AVX2 kernel\n");
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       const char* v = need_value("--metrics-out");
       if (v == nullptr) return false;
@@ -311,6 +340,13 @@ Status WriteFile(const std::string& path, const std::string& content) {
   }
   out << content;
   return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+// Args::traversal is validated at parse time, so this cannot fail.
+ml::simd::TraversalKind TraversalKindFromArgs(const Args& args) {
+  ml::simd::TraversalKind kind = ml::simd::TraversalKind::kAuto;
+  ml::simd::ParseKind(args.traversal, &kind);
+  return kind;
 }
 
 // One --model flag, two formats: sniff the file magic and route to the
@@ -576,13 +612,32 @@ int CmdAssess(const Args& args) {
     return 1;
   }
 
+  // One blocked batch over the whole store instead of a per-record
+  // Assess loop: the compiled forest streams every extractable row
+  // through the selected traversal kernel (bit-identical to per-record
+  // scoring; a text-format model without a compiled forest takes the
+  // legacy per-row path inside AssessMany).
+  std::vector<telemetry::DatabaseId> ids;
+  ids.reserve(store->databases().size());
+  for (const auto& record : store->databases()) ids.push_back(record.id);
+  ml::FlatForest::BatchOptions batch;
+  batch.block_rows = static_cast<size_t>(args.block_rows);
+  batch.traversal = TraversalKindFromArgs(args);
+  auto assessments = service->AssessMany(*store, ids, batch);
+  if (!assessments.ok()) {
+    std::fprintf(stderr, "assessment failed: %s\n",
+                 assessments.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf("%-10s %-26s %-8s %7s %-9s %-8s\n", "database", "name",
               "edition", "p(long)", "decision", "pool");
   int shown = 0;
   size_t churn = 0, stable = 0, general = 0;
-  for (const auto& record : store->databases()) {
-    auto assessment = service->Assess(*store, record.id);
-    if (!assessment.ok()) continue;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto& record = store->databases()[i];
+    const auto& assessment = (*assessments)[i];
+    if (!assessment.has_value()) continue;
     switch (assessment->recommended_pool) {
       case core::Pool::kChurn:
         ++churn;
@@ -698,6 +753,7 @@ int CmdServeSim(const Args& args) {
   options.num_shards = static_cast<size_t>(std::max(1, args.shards));
   options.observe_days = model->options().observe_days;
   options.inference_block_rows = static_cast<size_t>(args.block_rows);
+  options.inference_traversal = TraversalKindFromArgs(args);
   if (faults_active) {
     options.fault_injector = injector.get();
     options.batch_deadline_us = args.deadline_us;
@@ -849,12 +905,20 @@ int CmdServeSim(const Args& args) {
   }
 
   const serving::EngineMetrics metrics = engine.Metrics();
+  char block_desc[32];
+  if (args.block_rows == 0) {
+    std::snprintf(block_desc, sizeof(block_desc), "auto");
+  } else {
+    std::snprintf(block_desc, sizeof(block_desc), "%lld",
+                  static_cast<long long>(args.block_rows));
+  }
   std::printf(
       "serve-sim: threads=%zu shards=%zu flush_interval_days=%.2f "
-      "inference=%s block_rows=%lld\n",
+      "inference=%s block_rows=%s traversal=%s\n",
       options.num_threads, options.num_shards,
       std::max(0.01, args.flush_interval_days), args.inference.c_str(),
-      static_cast<long long>(args.block_rows));
+      block_desc,
+      ml::simd::KindName(ml::simd::Resolve(TraversalKindFromArgs(args))));
   std::printf(
       "  events ingested   %llu\n"
       "  polls             %llu\n"
