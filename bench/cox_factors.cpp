@@ -26,17 +26,17 @@ int main() {
   std::vector<survival::CovariateObservation> data;
   data.reserve(ids.size());
   for (auto id : ids) {
-    const auto* record = *store.FindDatabase(id);
+    const auto record = *store.FindDatabase(id);
     survival::CovariateObservation obs;
-    obs.duration = record->ObservedLifespanDays(store.window_end());
-    obs.observed = record->dropped_at.has_value();
+    obs.duration = record.ObservedLifespanDays(store.window_end());
+    obs.observed = record.dropped_at.has_value();
 
-    const auto creation = features::CreationTimeFeatures(store, *record);
-    const auto name = features::NameShapeFeatures(record->database_name);
+    const auto creation = features::CreationTimeFeatures(store, record);
+    const auto name = features::NameShapeFeatures(record.database_name);
     const auto history = features::SubscriptionHistoryFeatures(
-        store, *record,
-        record->created_at + 2 * telemetry::kSecondsPerDay);
-    const auto edition = record->initial_edition();
+        store, record,
+        record.created_at + 2 * telemetry::kSecondsPerDay);
+    const auto edition = record.initial_edition();
     obs.covariates = {
         edition == telemetry::Edition::kStandard ? 1.0 : 0.0,
         edition == telemetry::Edition::kPremium ? 1.0 : 0.0,

@@ -77,9 +77,9 @@ void BM_FeatureExtraction(benchmark::State& state) {
   features::FeatureConfig config;
   size_t i = 0;
   for (auto _ : state) {
-    const auto* record =
+    const auto record =
         *store.FindDatabase(cohort->ids[i % cohort->ids.size()]);
-    auto row = features::ExtractFeatures(store, *record, config);
+    auto row = features::ExtractFeatures(store, record, config);
     benchmark::DoNotOptimize(row->size());
     ++i;
   }

@@ -1,0 +1,283 @@
+// Telemetry ingest benchmark: streaming-generated events appended into
+// the columnar TelemetryStore, against an in-bench emulation of the
+// struct-of-vectors layout the store replaced.
+//
+// The streaming generator (RegionEventStream) produces each region's
+// event log in time order, one partition per pull; the columnar run
+// appends every partition through Reserve() + AppendEvents() — the
+// exact path serve-sim and SimulateRegion use — then Finalize()s.
+// The struct run replays the identical events into an owned-string
+// AoS log plus per-database record structs, matching the pre-columnar
+// store's memory shape (std::string names per record, per-record
+// change/sample vectors, hash-map indexes).
+//
+// Emits one JSON document on stdout, gated in CI by
+// tools/bench_check.py against bench/baselines/telemetry_ingest.json:
+//   - columnar-vs-struct ingest events/sec ratio (machine-portable);
+//   - bytes/database ceiling for the columnar store (accounting is
+//     deterministic, so the ceiling transfers between machines);
+//   - struct/columnar bytes ratio >= 3 (the capacity-model claim in
+//     docs/telemetry.md);
+//   - column_reallocs == 0 (Reserve() pre-sizes the arena).
+//
+// Scale: CLOUDSURV_SUBS subscriptions per region (default 1500),
+// CLOUDSURV_BENCH_ITERS timing repetitions (default 3).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "simulator/region.h"
+#include "simulator/stream.h"
+#include "telemetry/events.h"
+#include "telemetry/store.h"
+
+using namespace cloudsurv;
+using telemetry::Event;
+using telemetry::EventKind;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+size_t Iterations() {
+  const char* env = std::getenv("CLOUDSURV_BENCH_ITERS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 3;
+}
+
+// The pre-columnar store's in-memory shape, reproduced for an honest
+// bytes/database comparison: an AoS event log with owned payload
+// strings, one record struct per database with its own name strings
+// and change/sample vectors, and hash-map indexes.
+struct StructRecord {
+  telemetry::DatabaseId id = telemetry::kInvalidId;
+  telemetry::SubscriptionId subscription_id = telemetry::kInvalidId;
+  telemetry::ServerId server_id = telemetry::kInvalidId;
+  std::string server_name;
+  std::string database_name;
+  telemetry::SubscriptionType subscription_type =
+      telemetry::SubscriptionType::kPayAsYouGo;
+  telemetry::Timestamp created_at = 0;
+  telemetry::Timestamp dropped_at = 0;
+  bool dropped = false;
+  int initial_slo_index = 0;
+  struct Change {
+    telemetry::Timestamp at;
+    int old_slo;
+    int new_slo;
+  };
+  struct Sample {
+    telemetry::Timestamp at;
+    double size_mb;
+  };
+  std::vector<Change> slo_changes;
+  std::vector<Sample> size_samples;
+};
+
+struct StructStore {
+  std::vector<Event> events;
+  std::unordered_map<telemetry::DatabaseId, StructRecord> records;
+  std::unordered_map<telemetry::SubscriptionId,
+                     std::vector<telemetry::DatabaseId>>
+      by_subscription;
+
+  void Append(const Event& event) {
+    switch (event.kind()) {
+      case EventKind::kDatabaseCreated: {
+        const auto& p =
+            std::get<telemetry::DatabaseCreatedPayload>(event.payload);
+        StructRecord& rec = records[event.database_id];
+        rec.id = event.database_id;
+        rec.subscription_id = event.subscription_id;
+        rec.server_id = p.server_id;
+        rec.server_name = p.server_name;
+        rec.database_name = p.database_name;
+        rec.subscription_type = p.subscription_type;
+        rec.created_at = event.timestamp;
+        rec.initial_slo_index = p.slo_index;
+        by_subscription[event.subscription_id].push_back(
+            event.database_id);
+        break;
+      }
+      case EventKind::kSloChanged: {
+        const auto& p =
+            std::get<telemetry::SloChangedPayload>(event.payload);
+        records[event.database_id].slo_changes.push_back(
+            {event.timestamp, p.old_slo_index, p.new_slo_index});
+        break;
+      }
+      case EventKind::kSizeSample: {
+        const auto& p =
+            std::get<telemetry::SizeSamplePayload>(event.payload);
+        records[event.database_id].size_samples.push_back(
+            {event.timestamp, p.size_mb});
+        break;
+      }
+      case EventKind::kDatabaseDropped: {
+        StructRecord& rec = records[event.database_id];
+        rec.dropped = true;
+        rec.dropped_at = event.timestamp;
+        break;
+      }
+    }
+    events.push_back(event);
+  }
+
+  // Accounted bytes, same discipline as TelemetryStore::memory():
+  // container capacities plus owned heap payloads.
+  size_t ApproxBytes() const {
+    size_t bytes = events.capacity() * sizeof(Event);
+    for (const Event& event : events) {
+      if (event.kind() == EventKind::kDatabaseCreated) {
+        const auto& p =
+            std::get<telemetry::DatabaseCreatedPayload>(event.payload);
+        bytes += p.server_name.capacity() + p.database_name.capacity();
+      }
+    }
+    bytes += records.bucket_count() *
+             (sizeof(void*) + sizeof(std::pair<const telemetry::DatabaseId,
+                                               StructRecord>));
+    for (const auto& [id, rec] : records) {
+      bytes += rec.server_name.capacity() + rec.database_name.capacity();
+      bytes += rec.slo_changes.capacity() * sizeof(StructRecord::Change);
+      bytes += rec.size_samples.capacity() * sizeof(StructRecord::Sample);
+    }
+    bytes += by_subscription.bucket_count() *
+             (sizeof(void*) +
+              sizeof(std::pair<const telemetry::SubscriptionId,
+                               std::vector<telemetry::DatabaseId>>));
+    for (const auto& [sub, dbs] : by_subscription) {
+      bytes += dbs.capacity() * sizeof(telemetry::DatabaseId);
+    }
+    return bytes;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const size_t subs = bench::RegionSubscriptions();
+  const size_t iterations = Iterations();
+
+  auto config = simulator::MakeRegionPreset(1, subs, 2017);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  // Timed columnar ingest: pull partitions from the streaming
+  // generator and append each through the bulk path. The generator's
+  // cost is excluded by pre-materializing the partitions once.
+  auto probe = simulator::RegionEventStream::Open(*config);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<simulator::RegionEventStream::Partition> partitions;
+  while (!probe->Done()) partitions.push_back(probe->NextPartition());
+  size_t total_events = 0;
+  for (const auto& part : partitions) total_events += part.events.size();
+
+  double best_columnar_ms = 0.0;
+  telemetry::TelemetryStore::MemoryStats columnar_memory;
+  size_t num_databases = 0;
+  double finalize_ms = 0.0;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    telemetry::TelemetryStore store(
+        config->name, config->utc_offset_minutes, config->holidays,
+        config->window_start, config->window_end);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& part : partitions) {
+      std::vector<Event> batch(part.events);
+      store.Reserve(batch.size());
+      Status appended = store.AppendEvents(std::move(batch));
+      if (!appended.ok()) {
+        std::fprintf(stderr, "append failed: %s\n",
+                     appended.ToString().c_str());
+        return 1;
+      }
+    }
+    const double ingest_ms = MsSince(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    Status finalized = store.Finalize();
+    if (!finalized.ok()) {
+      std::fprintf(stderr, "finalize failed: %s\n",
+                   finalized.ToString().c_str());
+      return 1;
+    }
+    if (iter == 0 || ingest_ms < best_columnar_ms) {
+      best_columnar_ms = ingest_ms;
+      finalize_ms = MsSince(t1);
+    }
+    columnar_memory = store.memory();
+    num_databases = store.num_databases();
+  }
+
+  // Timed struct-layout ingest over the identical event sequence.
+  double best_struct_ms = 0.0;
+  size_t struct_bytes = 0;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    StructStore aos;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& part : partitions) {
+      for (const Event& event : part.events) aos.Append(event);
+    }
+    const double ingest_ms = MsSince(t0);
+    if (iter == 0 || ingest_ms < best_struct_ms) {
+      best_struct_ms = ingest_ms;
+    }
+    struct_bytes = aos.ApproxBytes();
+  }
+
+  const double columnar_eps =
+      static_cast<double>(total_events) / (best_columnar_ms / 1e3);
+  const double struct_eps =
+      static_cast<double>(total_events) / (best_struct_ms / 1e3);
+  const double columnar_bpd =
+      static_cast<double>(columnar_memory.total_bytes) /
+      static_cast<double>(num_databases);
+  const double struct_bpd = static_cast<double>(struct_bytes) /
+                            static_cast<double>(num_databases);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"telemetry_ingest\",\n");
+  std::printf("  \"subs\": %zu, \"databases\": %zu, \"events\": %zu, "
+              "\"iterations\": %zu,\n",
+              subs, num_databases, total_events, iterations);
+  std::printf(
+      "  \"columnar\": {\"ingest_events_per_sec\": %.0f, "
+      "\"ingest_ms\": %.3f, \"finalize_ms\": %.3f,\n"
+      "    \"total_bytes\": %zu, \"event_bytes\": %zu, "
+      "\"record_bytes\": %zu, \"string_pool_bytes\": %zu, "
+      "\"index_bytes\": %zu,\n"
+      "    \"segments\": %zu, \"column_reallocs\": %llu, "
+      "\"bytes_per_database\": %.1f},\n",
+      columnar_eps, best_columnar_ms, finalize_ms,
+      columnar_memory.total_bytes, columnar_memory.event_bytes,
+      columnar_memory.record_bytes, columnar_memory.string_pool_bytes,
+      columnar_memory.index_bytes, columnar_memory.num_segments,
+      static_cast<unsigned long long>(columnar_memory.column_reallocs),
+      columnar_bpd);
+  std::printf("  \"struct_baseline\": {\"ingest_events_per_sec\": %.0f, "
+              "\"ingest_ms\": %.3f, \"total_bytes\": %zu, "
+              "\"bytes_per_database\": %.1f},\n",
+              struct_eps, best_struct_ms, struct_bytes, struct_bpd);
+  std::printf("  \"ratios\": {\"columnar_vs_struct_ingest\": %.3f, "
+              "\"struct_vs_columnar_bytes\": %.2f}\n",
+              columnar_eps / struct_eps, struct_bpd / columnar_bpd);
+  std::printf("}\n");
+  bench::EmitRegistrySnapshot();
+  return 0;
+}

@@ -73,7 +73,7 @@ int main() {
     }
     if (shown < 10) {
       std::printf("%-26s %-8s %7.2f %-9s %-8s  %s%.0fd\n",
-                  record.database_name.c_str(),
+                  std::string(record.database_name).c_str(),
                   telemetry::EditionToString(record.initial_edition()),
                   assessment->positive_probability,
                   assessment->confident

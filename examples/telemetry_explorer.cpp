@@ -93,11 +93,12 @@ int main(int argc, char** argv) {
   size_t shown = 0;
   for (auto id : store->DatabasesOfSubscription(busiest)) {
     if (shown++ >= 5) break;
-    const auto* record = *store->FindDatabase(id);
+    const auto record = *store->FindDatabase(id);
     std::printf("  %-28s on %-18s %s, lived %.1f days\n",
-                record->database_name.c_str(), record->server_name.c_str(),
-                telemetry::EditionToString(record->initial_edition()),
-                record->ObservedLifespanDays(store->window_end()));
+                std::string(record.database_name).c_str(),
+                std::string(record.server_name).c_str(),
+                telemetry::EditionToString(record.initial_edition()),
+                record.ObservedLifespanDays(store->window_end()));
   }
   return 0;
 }

@@ -67,12 +67,12 @@ Result<survival::SurvivalData> SurvivalDataForIds(
   std::vector<survival::Observation> obs;
   obs.reserve(ids.size());
   for (DatabaseId id : ids) {
-    CLOUDSURV_ASSIGN_OR_RETURN(const DatabaseRecord* record,
+    CLOUDSURV_ASSIGN_OR_RETURN(const DatabaseRecord record,
                                store.FindDatabase(id));
     survival::Observation o;
-    o.duration = record->ObservedLifespanDays(store.window_end());
-    o.observed = record->dropped_at.has_value() &&
-                 *record->dropped_at <= store.window_end();
+    o.duration = record.ObservedLifespanDays(store.window_end());
+    o.observed = record.dropped_at.has_value() &&
+                 *record.dropped_at <= store.window_end();
     obs.push_back(o);
   }
   return survival::SurvivalData::Make(std::move(obs));
@@ -125,10 +125,10 @@ std::vector<telemetry::SubscriptionId> IdentifyEphemeralCyclers(
     for (DatabaseId id : store.DatabasesOfSubscription(sub)) {
       auto record = store.FindDatabase(id);
       if (!record.ok()) continue;
-      const DatabaseRecord* r = *record;
-      if (r->created_at > as_of) continue;  // not visible yet
-      const double observed = r->ObservedLifespanDays(as_of);
-      const bool dropped = r->IsDroppedBy(as_of);
+      const DatabaseRecord& r = *record;
+      if (r.created_at > as_of) continue;  // not visible yet
+      const double observed = r.ObservedLifespanDays(as_of);
+      const bool dropped = r.IsDroppedBy(as_of);
       if (observed > ephemeral_threshold_days) {
         disqualified = true;  // outlived the ephemeral window
         break;
@@ -155,7 +155,7 @@ SubscriptionUsageStats ComputeSubscriptionUsageStats(
       if (!record.ok()) continue;
       ++stats.num_databases;
       const double observed =
-          (*record)->ObservedLifespanDays(store.window_end());
+          (*record).ObservedLifespanDays(store.window_end());
       if (observed <= kEphemeralMaxDays) {
         ++ephemeral;
         ++stats.num_ephemeral_databases;

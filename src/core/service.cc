@@ -47,8 +47,8 @@ Result<std::pair<ml::RandomForestClassifier, double>> TrainOne(
 
 Result<LongevityService> LongevityService::Train(
     const TelemetryStore& history, const Options& options) {
-  if (!history.finalized()) {
-    return Status::FailedPrecondition("history store is not finalized");
+  if (!history.readable()) {
+    return Status::FailedPrecondition("history store is not readable");
   }
   LongevityService service;
   service.options_ = options;
@@ -90,15 +90,15 @@ Result<LongevityService::Assessment> LongevityService::Assess(
   if (!pooled_model_.present) {
     return Status::FailedPrecondition("service is not trained");
   }
-  CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord* record,
+  CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord record,
                              store.FindDatabase(id));
   features::FeatureConfig feature_config = options_.feature_config;
   feature_config.observation_days = options_.observe_days;
   CLOUDSURV_ASSIGN_OR_RETURN(
       std::vector<double> row,
-      features::ExtractFeatures(store, *record, feature_config));
+      features::ExtractFeatures(store, record, feature_config));
 
-  const Edition edition = record->initial_edition();
+  const Edition edition = record.initial_edition();
   const ModelSlot& slot = SlotFor(edition);
   Assessment assessment;
   assessment.model_name =
@@ -170,9 +170,9 @@ LongevityService::AssessMany(const TelemetryStore& store,
   for (size_t i = 0; i < ids.size(); ++i) {
     auto record = store.FindDatabase(ids[i]);
     if (!record.ok()) continue;  // nullopt, as per-id Assess would fail
-    auto row = features::ExtractFeatures(store, **record, feature_config);
+    auto row = features::ExtractFeatures(store, *record, feature_config);
     if (!row.ok()) continue;
-    const Edition edition = (*record)->initial_edition();
+    const Edition edition = (*record).initial_edition();
     const ModelSlot& slot = SlotFor(edition);
     Group* group = nullptr;
     for (auto& g : groups) {

@@ -306,8 +306,10 @@ Outcome FaultInjector::Evaluate(Site site, int64_t shard) {
     if (rule.shard >= 0 && rule.shard != shard) continue;
     if (hit < rule.from || hit >= rule.until) continue;
     if ((hit - rule.from) % rule.every != 0) continue;
-    if (state.fired >= rule.count) continue;
-    ++state.fired;
+    // `count` caps matching hits per (site, shard) counter, never via
+    // shared mutable state: a global budget would let racing shards
+    // steal fires from each other and break byte-identical replay.
+    if ((hit - rule.from) / rule.every >= rule.count) continue;
     state.injected->Increment();
 
     FaultEvent event;

@@ -32,11 +32,13 @@ namespace cloudsurv::fault {
 /// and the sorted FaultLog is comparable across runs byte for byte.
 ///
 /// Determinism fine print: per-(site, shard) hit counters are exact
-/// under concurrency (atomic advance under the injector mutex), so the
-/// *set* of fired (site, shard, hit) triples is always reproducible.
-/// Which caller observes a given hit can vary with thread scheduling;
-/// rules on shard-keyed sites (`ingest.shard`, `engine.snapshot`,
-/// `engine.score`, `registry.swap`) are scheduling-independent because
+/// under concurrency (atomic advance under the injector mutex), and
+/// every schedule knob — `count` included — is accounted per counter,
+/// so the *set* of fired (site, shard, hit) triples is always
+/// reproducible. Which caller observes a given hit can vary with
+/// thread scheduling; rules on shard-keyed sites (`ingest.shard`,
+/// `engine.snapshot`, `engine.score`, `registry.swap`) are
+/// scheduling-independent because
 /// each shard's hits occur in a fixed order, while `pool.task` hits
 /// interleave across workers — restrict output-affecting rules to
 /// shard-keyed sites when exact replay matters (delays are always
@@ -75,7 +77,10 @@ bool FaultKindFromString(std::string_view name, FaultKind* kind);
 /// One scheduled fault. A rule fires at hit index i (0-based, per
 /// (site, shard) counter) iff
 ///   i >= from && i < until && (i - from) % every == 0
-/// and fewer than `count` fires have happened so far.
+/// and i is among the first `count` matching hits of that counter
+/// ((i - from) / every < count). Accounting `count` per counter — not
+/// globally across shards — keeps firing a pure function of the hit
+/// index, so racing shards cannot steal each other's budget.
 struct FaultRule {
   Site site = Site::kPoolTask;
   FaultKind kind = FaultKind::kDelay;
@@ -187,7 +192,6 @@ class FaultInjector {
  private:
   struct RuleState {
     FaultRule rule;
-    uint64_t fired = 0;
     obs::Counter* injected = nullptr;  ///< cloudsurv_fault_injected_total.
   };
 

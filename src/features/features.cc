@@ -77,7 +77,7 @@ std::vector<double> CreationTimeFeatures(const TelemetryStore& store,
   };
 }
 
-std::vector<double> NameShapeFeatures(const std::string& name) {
+std::vector<double> NameShapeFeatures(std::string_view name) {
   std::unordered_set<char> distinct(name.begin(), name.end());
   bool has_letter = false, has_digit = false, has_upper = false,
        has_lower = false, has_symbol = false;
@@ -176,36 +176,36 @@ std::vector<double> SubscriptionHistoryFeatures(
   const Timestamp tp = prediction_time;
 
   // Sibling groups; group 2 is a superset of group 1 (paper wording).
-  std::vector<const DatabaseRecord*> group1, group2, group3;
+  std::vector<DatabaseRecord> group1, group2, group3;
   for (telemetry::DatabaseId sibling_id :
        store.DatabasesOfSubscription(record.subscription_id)) {
     if (sibling_id == record.id) continue;
     auto sibling = store.FindDatabase(sibling_id);
     if (!sibling.ok()) continue;
-    const DatabaseRecord* s = *sibling;
-    if (s->created_at > tp) continue;  // invisible at prediction time
-    if (s->created_at < tc) {
+    const DatabaseRecord& s = *sibling;
+    if (s.created_at > tp) continue;  // invisible at prediction time
+    if (s.created_at < tc) {
       group2.push_back(s);
-      if (!s->IsDroppedBy(tc)) group1.push_back(s);
-    } else if (s->created_at > tc) {
+      if (!s.IsDroppedBy(tc)) group1.push_back(s);
+    } else if (s.created_at > tc) {
       group3.push_back(s);
     }
   }
 
-  auto peak_size_before = [tp](const DatabaseRecord* r) {
+  auto peak_size_before = [tp](const DatabaseRecord& r) {
     double peak = 0.0;
-    for (const telemetry::SizeObservation& s : r->size_samples) {
+    for (const telemetry::SizeObservation& s : r.size_samples) {
       if (s.timestamp > tp) break;
       peak = std::max(peak, s.size_mb);
     }
     return peak;
   };
-  auto observed_lifespan = [tp](const DatabaseRecord* r) {
+  auto observed_lifespan = [tp](const DatabaseRecord& r) {
     Timestamp end = tp;
-    if (r->dropped_at.has_value() && *r->dropped_at < end) {
-      end = *r->dropped_at;
+    if (r.dropped_at.has_value() && *r.dropped_at < end) {
+      end = *r.dropped_at;
     }
-    return static_cast<double>(end - r->created_at) /
+    return static_cast<double>(end - r.created_at) /
            static_cast<double>(kSecondsPerDay);
   };
 
@@ -217,7 +217,7 @@ std::vector<double> SubscriptionHistoryFeatures(
     std::vector<double> sizes, lifespans;
     sizes.reserve(group->size());
     lifespans.reserve(group->size());
-    for (const DatabaseRecord* r : *group) {
+    for (const DatabaseRecord& r : *group) {
       sizes.push_back(peak_size_before(r));
       lifespans.push_back(observed_lifespan(r));
     }
@@ -227,7 +227,7 @@ std::vector<double> SubscriptionHistoryFeatures(
   return out;
 }
 
-std::vector<double> NameNgramFeatures(const std::string& name, int buckets) {
+std::vector<double> NameNgramFeatures(std::string_view name, int buckets) {
   std::vector<double> out(static_cast<size_t>(std::max(1, buckets)), 0.0);
   if (name.size() < 2) return out;
   for (size_t i = 0; i + 1 < name.size(); ++i) {
@@ -303,8 +303,8 @@ void AppendAll(std::vector<double>* dst, const std::vector<double>& src) {
 Result<std::vector<double>> ExtractFeatures(const TelemetryStore& store,
                                             const DatabaseRecord& record,
                                             const FeatureConfig& config) {
-  if (!store.finalized()) {
-    return Status::FailedPrecondition("telemetry store is not finalized");
+  if (!store.readable()) {
+    return Status::FailedPrecondition("telemetry store is not readable");
   }
   if (config.observation_days <= 0.0) {
     return Status::InvalidArgument("observation_days must be positive");
@@ -353,10 +353,10 @@ Result<ml::Dataset> BuildDataset(const TelemetryStore& store,
   std::vector<std::vector<double>> rows;
   rows.reserve(ids.size());
   for (telemetry::DatabaseId id : ids) {
-    CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord* record,
+    CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord record,
                                store.FindDatabase(id));
     CLOUDSURV_ASSIGN_OR_RETURN(std::vector<double> row,
-                               ExtractFeatures(store, *record, config));
+                               ExtractFeatures(store, record, config));
     rows.push_back(std::move(row));
   }
   return ml::Dataset::Make(FeatureNames(config), std::move(rows), labels,

@@ -2,6 +2,7 @@
 #define CLOUDSURV_FEATURES_FEATURES_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -51,7 +52,7 @@ std::vector<double> CreationTimeFeatures(
 /// Name-shape features (6): length, distinct characters, distinct-char
 /// rate, contains letters+digits, contains upper+lower case, contains
 /// non-alphanumeric symbols. Applied to both server and database names.
-std::vector<double> NameShapeFeatures(const std::string& name);
+std::vector<double> NameShapeFeatures(std::string_view name);
 
 /// Size features (5): max/min/avg/stddev of observed size (MB) within
 /// the observation window, and relative change from first to last
@@ -84,7 +85,7 @@ std::vector<double> SubscriptionHistoryFeatures(
     telemetry::Timestamp prediction_time);
 
 /// Hashed character-bigram counts of the database name.
-std::vector<double> NameNgramFeatures(const std::string& name, int buckets);
+std::vector<double> NameNgramFeatures(std::string_view name, int buckets);
 
 /// Builds an ml::Dataset for the given databases and labels. The
 /// default is the paper's binary task (1 = long-lived); pass a larger

@@ -97,6 +97,10 @@ ScoringEngine::EngineSeries ScoringEngine::MakeEngineSeries() {
       "cloudsurv_engine_snapshots_total",
       "Per-shard TelemetryStore snapshots materialized", "snapshots",
       labels);
+  series.direct_reads = registry.GetCounter(
+      "cloudsurv_engine_direct_reads_total",
+      "Shard batches scored directly off a readable live store",
+      "batches", labels);
   series.fallback_scored = registry.GetCounter(
       "cloudsurv_engine_fallback_scored_total",
       "Assessments served by the weighted-random fallback", "databases",
@@ -151,6 +155,11 @@ ScoringEngine::ScoringEngine(RegionContext region, Options options)
   if (options_.fallback_positive_rate >= 0.0) {
     fallback_model_ = ml::WeightedRandomClassifier::FromPositiveRate(
         options_.fallback_positive_rate);
+  }
+  for (ShardLog& log : shard_logs_) {
+    log.store.emplace(region_.region_name, region_.utc_offset_minutes,
+                      region_.holidays, region_.window_start,
+                      region_.window_end);
   }
   series_.health_state->Set(0.0);
 }
@@ -311,8 +320,15 @@ void ScoringEngine::AbsorbStagedEvents() {
       }
     }
     ShardLog& log = shard_logs_[shard];
-    log.events.reserve(log.events.size() + batch.size());
-    std::move(batch.begin(), batch.end(), std::back_inserter(log.events));
+    log.store->Reserve(batch.size());
+    // Ids were validated at ingest, so the only way a live append can
+    // fail is a lifecycle violation — which poisons the store out of
+    // readable() and routes the shard to the snapshot path, where
+    // Finalize() reports the same violation batch scoring would.
+    Status appended = log.store->AppendEvents(std::move(batch));
+    if (!appended.ok()) {
+      cycle_dirty_.store(true, std::memory_order_relaxed);
+    }
   }
   series_.databases_tracked->Increment(tracker_.total_added() -
                                        added_before);
@@ -337,13 +353,13 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
     // The task reads the shard log concurrently with nothing: the
     // driver thread blocks on all futures below before the next
     // AbsorbStagedEvents() can touch it.
-    const std::vector<Event>* shard_events = &shard_logs_[shard].events;
+    const ShardLog* log = &shard_logs_[shard];
     RegionContext* region = &region_;
     ModelRegistry* registry = &registry_;
     std::vector<PendingDatabase> task_batch = std::move(batch);
     const int64_t shard_key = static_cast<int64_t>(shard);
     futures.push_back(pool_.Submit(
-        [shard_events, region, registry, shard_key,
+        [log, region, registry, shard_key,
          task_batch = std::move(task_batch), this]() -> ShardBatchResult {
           ShardBatchResult result;
           fault::FaultInjector* injector = options_.fault_injector;
@@ -375,60 +391,80 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
             return result;
           }
 
-          // Snapshot materialization, with bounded retries around
-          // injected allocation/io failures.
+          // Pick the store this batch reads. Direct-read fast path:
+          // ordered streaming ingest keeps the live shard store
+          // readable(), so the batch scores straight off its columnar
+          // state — no event copy, no Finalize() barrier. A configured
+          // injector always takes the snapshot path below, preserving
+          // the fault::Site::kSnapshotBuild injection point fault
+          // plans target.
+          const telemetry::TelemetryStore* read_store = nullptr;
           std::optional<telemetry::TelemetryStore> snapshot;
-          Status snap_status;
-          for (size_t attempt = 0; attempt <= options_.snapshot_retries;
-               ++attempt) {
-            if (attempt > 0) {
-              ++result.retries;
-              fault::SleepFor(RetryBackoffUs(attempt - 1));
+          if (injector == nullptr && log->store->readable()) {
+            read_store = &*log->store;
+            series_.direct_reads->Increment();
+          } else {
+            // Snapshot materialization from the shard's event log,
+            // with bounded retries around injected allocation/io
+            // failures.
+            std::vector<Event> base;
+            base.reserve(log->store->num_events());
+            for (const Event& event : log->store->events()) {
+              base.push_back(event);
             }
-            if (injector != nullptr) {
-              const fault::Outcome outcome = injector->Evaluate(
-                  fault::Site::kSnapshotBuild, shard_key);
-              fault::SleepFor(outcome.delay_us + outcome.stall_us);
-              if (outcome.fail) {
-                snap_status =
-                    outcome.io
-                        ? Status::IOError(
-                              "injected io failure building snapshot")
-                        : Status::Internal(
-                              "injected allocation failure building "
-                              "snapshot");
-                continue;
+            Status snap_status;
+            for (size_t attempt = 0;
+                 attempt <= options_.snapshot_retries; ++attempt) {
+              if (attempt > 0) {
+                ++result.retries;
+                fault::SleepFor(RetryBackoffUs(attempt - 1));
               }
+              if (injector != nullptr) {
+                const fault::Outcome outcome = injector->Evaluate(
+                    fault::Site::kSnapshotBuild, shard_key);
+                fault::SleepFor(outcome.delay_us + outcome.stall_us);
+                if (outcome.fail) {
+                  snap_status =
+                      outcome.io
+                          ? Status::IOError(
+                                "injected io failure building snapshot")
+                          : Status::Internal(
+                                "injected allocation failure building "
+                                "snapshot");
+                  continue;
+                }
+              }
+              telemetry::TelemetryStore candidate(
+                  region->region_name, region->utc_offset_minutes,
+                  region->holidays, region->window_start,
+                  region->window_end);
+              std::vector<Event> copy(base);
+              candidate.Reserve(copy.size());
+              snap_status = candidate.AppendEvents(std::move(copy));
+              if (!snap_status.ok()) continue;
+              snap_status = candidate.Finalize();
+              if (!snap_status.ok()) continue;
+              snapshot.emplace(std::move(candidate));
+              break;
             }
-            telemetry::TelemetryStore candidate(
-                region->region_name, region->utc_offset_minutes,
-                region->holidays, region->window_start,
-                region->window_end);
-            std::vector<Event> copy(*shard_events);
-            candidate.Reserve(copy.size());
-            snap_status = candidate.AppendEvents(std::move(copy));
-            if (!snap_status.ok()) continue;
-            snap_status = candidate.Finalize();
-            if (!snap_status.ok()) continue;
-            snapshot.emplace(std::move(candidate));
-            break;
-          }
-          if (!snapshot.has_value()) {
-            if (fallback_enabled) {
-              result.scored.reserve(task_batch.size());
-              for (const PendingDatabase& pending : task_batch) {
-                result.scored.push_back(FallbackScore(pending));
+            if (!snapshot.has_value()) {
+              if (fallback_enabled) {
+                result.scored.reserve(task_batch.size());
+                for (const PendingDatabase& pending : task_batch) {
+                  result.scored.push_back(FallbackScore(pending));
+                }
+                result.fallback = task_batch.size();
+                return result;
               }
-              result.fallback = task_batch.size();
+              // No fallback: the batch is reported skipped (counted,
+              // not silently dropped) and the poll surfaces the error.
+              result.skipped = task_batch.size();
+              result.status = snap_status;
               return result;
             }
-            // No fallback: the batch is reported skipped (counted, not
-            // silently dropped) and the poll surfaces the error.
-            result.skipped = task_batch.size();
-            result.status = snap_status;
-            return result;
+            series_.snapshots->Increment();
+            read_store = &*snapshot;
           }
-          series_.snapshots->Increment();
 
           if (injector == nullptr && options_.batch_deadline_us <= 0.0) {
             // Batched fast path: with no per-database injection points
@@ -447,7 +483,7 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
             batch_opts.block_rows = options_.inference_block_rows;
             batch_opts.traversal = options_.inference_traversal;
             auto assessments =
-                active.model->AssessMany(*snapshot, ids, batch_opts);
+                active.model->AssessMany(*read_store, ids, batch_opts);
             const double batch_us =
                 std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - batch_start)
@@ -512,7 +548,7 @@ Result<std::vector<ScoredDatabase>> ScoringEngine::ScoreDue(
             // the histogram is thread-safe so tasks observe directly.
             obs::ScopedTimer timer(series_.scoring_latency_us);
             auto assessment =
-                active.model->Assess(*snapshot, pending.database_id);
+                active.model->Assess(*read_store, pending.database_id);
             timer.Stop();
             virtual_us += options_.assess_virtual_cost_us;
             if (!assessment.ok()) {
@@ -618,6 +654,7 @@ EngineMetrics ScoringEngine::Metrics() const {
   m.databases_skipped = series_.databases_skipped->Value();
   m.polls = series_.polls->Value();
   m.snapshots_built = series_.snapshots->Value();
+  m.direct_read_batches = series_.direct_reads->Value();
   m.databases_fallback = series_.fallback_scored->Value();
   m.deadline_exceeded = series_.deadline_exceeded->Value();
   m.retries = series_.retries->Value();

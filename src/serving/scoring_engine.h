@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,7 +85,8 @@ struct EngineMetrics {
   uint64_t databases_confident = 0;
   uint64_t databases_skipped = 0;   ///< Matured but Assess() failed.
   uint64_t polls = 0;
-  uint64_t snapshots_built = 0;
+  uint64_t snapshots_built = 0;   ///< Copy+Finalize snapshot fallbacks.
+  uint64_t direct_read_batches = 0; ///< Batches scored off live stores.
   uint64_t databases_fallback = 0;  ///< Scored by the baseline fallback.
   uint64_t deadline_exceeded = 0;   ///< Shard batches past the deadline.
   uint64_t retries = 0;             ///< Ingest/snapshot retry attempts.
@@ -110,13 +112,18 @@ struct EngineMetrics {
 /// Data flow per poll cycle:
 ///   producers --Ingest()--> EventIngestBuffer (mutex-striped shards,
 ///                           keyed by subscription)
-///   Poll(now) drains the buffer into per-shard event logs, registers
-///   creations with the MaturityTracker (min-heap on created_at +
-///   observe_days) and cancels databases dropped before maturing; then
-///   every shard holding newly matured databases gets one ThreadPool
-///   task that (a) materializes a finalized TelemetryStore snapshot of
-///   the shard's events via the bulk move path and (b) scores its due
-///   databases against the registry's current model snapshot.
+///   Poll(now) drains the buffer into per-shard live TelemetryStores,
+///   registers creations with the MaturityTracker (min-heap on
+///   created_at + observe_days) and cancels databases dropped before
+///   maturing; then every shard holding newly matured databases gets
+///   one ThreadPool task that scores its due databases against the
+///   registry's current model snapshot. When no fault injector is
+///   configured and the shard's live store is still readable()
+///   (ordered streaming ingest), the task reads the live columnar
+///   store directly — no event copy, no Finalize() barrier. Otherwise
+///   it falls back to materializing a finalized snapshot store from
+///   the shard's event log (the path fault plans target via
+///   fault::Site::kSnapshotBuild).
 ///
 /// Correctness: features only read telemetry at or before Tp and only
 /// from the scored database's own subscription, and a shard owns every
@@ -235,9 +242,12 @@ class ScoringEngine {
 
  private:
   struct ShardLog {
-    /// Every event routed to this shard so far, arrival order. Snapshot
-    /// stores are materialized from this (Finalize re-sorts).
-    std::vector<telemetry::Event> events;
+    /// Live columnar store holding every event routed to this shard so
+    /// far (arrival order). While ordered streaming keeps it
+    /// readable(), scoring tasks read it directly; out-of-order
+    /// arrivals or a configured fault injector divert scoring to a
+    /// copy+Finalize snapshot materialized from its event log.
+    std::optional<telemetry::TelemetryStore> store;
   };
 
   /// Moves staged batches into shard logs and updates the tracker.
@@ -278,6 +288,7 @@ class ScoringEngine {
     obs::Counter* databases_skipped = nullptr;
     obs::Counter* polls = nullptr;
     obs::Counter* snapshots = nullptr;
+    obs::Counter* direct_reads = nullptr;
     obs::Counter* fallback_scored = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* retries = nullptr;

@@ -97,7 +97,7 @@ ArchetypeProfile MakeProduction() {
   p.name_style = NameStyle::kHumanWords;
   p.creation = {0.90, 0.10, 0.05, 0.0};
   p.size = {200.0, 3000.0, 0.03, 0.01, 0.02};
-  p.slo = {0.45, 0.06, 0.05};
+  p.slo = {0.60, 0.06, 0.05};
   return p;
 }
 

@@ -1,401 +1,49 @@
 #include "simulator/simulator.h"
 
-#include <algorithm>
-#include <cmath>
+#include <iterator>
+#include <utility>
 #include <vector>
 
-#include "telemetry/civil_time.h"
+#include "simulator/stream.h"
 
 namespace cloudsurv::simulator {
 
-namespace core_thresholds {
-// The 30-day short/long boundary of the study (section 4.1). Only used
-// to key the destiny-correlated observable signals.
-inline constexpr double kLongDays = 30.0;
-}  // namespace core_thresholds
-
-namespace {
-
-using telemetry::CivilDateTime;
-using telemetry::Edition;
-using telemetry::kSecondsPerDay;
-using telemetry::kSecondsPerHour;
-using telemetry::SloLadder;
-using telemetry::Timestamp;
-using telemetry::ToCivil;
-
-int SampleIndexByWeights(const double* weights, int n, Rng& rng) {
-  double total = 0.0;
-  for (int i = 0; i < n; ++i) total += weights[i];
-  double u = rng.Uniform() * total;
-  for (int i = 0; i < n; ++i) {
-    u -= weights[i];
-    if (u <= 0.0) return i;
-  }
-  return n - 1;
-}
-
-// Cheapest-biased initial SLO within an edition: weight halves per step
-// up the ladder (most users start small).
-int SampleInitialSlo(Edition edition, Rng& rng) {
-  const std::vector<int> slos = telemetry::SlosOfEdition(edition);
-  std::vector<double> weights(slos.size());
-  double w = 1.0;
-  for (size_t i = 0; i < slos.size(); ++i) {
-    weights[i] = w;
-    w *= 0.5;
-  }
-  const int idx =
-      SampleIndexByWeights(weights.data(), static_cast<int>(slos.size()), rng);
-  return slos[static_cast<size_t>(idx)];
-}
-
-// Samples a creation timestamp honoring the archetype's calendar
-// pattern, in region-local civil time.
-Timestamp SampleCreationTime(const CreationPattern& pattern,
-                             const RegionConfig& config, Rng& rng) {
-  const double window_days = config.window_days();
-  const int64_t offset_seconds =
-      static_cast<int64_t>(config.utc_offset_minutes) * 60;
-  for (int attempt = 0; attempt < 300; ++attempt) {
-    double day_offset;
-    if (pattern.front_load_days > 0.0) {
-      day_offset = rng.Exponential(1.0 / pattern.front_load_days);
-      if (day_offset >= window_days) continue;
-    } else {
-      day_offset = rng.Uniform(0.0, window_days);
-    }
-    // Representative local noon of the candidate day.
-    const Timestamp day_utc =
-        config.window_start +
-        static_cast<int64_t>(day_offset) * kSecondsPerDay;
-    const CivilDateTime local =
-        ToCivil(day_utc + 12 * kSecondsPerHour, config.utc_offset_minutes);
-    const bool weekend = local.day_of_week >= 6;
-    const bool holiday =
-        config.holidays.IsHolidayDate(local.year, local.month, local.day);
-    if (weekend && !rng.Bernoulli(pattern.weekend_probability)) continue;
-    if (holiday && !rng.Bernoulli(pattern.holiday_probability)) continue;
-    int hour;
-    if (!weekend && !holiday &&
-        rng.Bernoulli(pattern.business_hours_probability)) {
-      hour = static_cast<int>(rng.UniformInt(8, 17));
-    } else {
-      hour = static_cast<int>(rng.UniformInt(0, 23));
-    }
-    const Timestamp local_ts = telemetry::MakeTimestamp(
-        local.year, local.month, local.day, hour,
-        static_cast<int>(rng.UniformInt(0, 59)),
-        static_cast<int>(rng.UniformInt(0, 59)));
-    const Timestamp utc = local_ts - offset_seconds;
-    if (utc >= config.window_start && utc < config.window_end) return utc;
-  }
-  // Pathological pattern; fall back to a uniform draw.
-  return config.window_start +
-         static_cast<int64_t>(rng.Uniform() *
-                              static_cast<double>(config.window_end -
-                                                  config.window_start));
-}
-
-// A pending SLO-change intent; resolved against the running SLO when
-// the schedule is applied in time order.
-struct SloIntent {
-  Timestamp ts;
-  enum class Kind { kSetExact, kStepWithinEdition, kEditionUpgrade } kind;
-  int exact_slo = 0;  ///< For kSetExact.
-  int step = 0;       ///< For kStepWithinEdition: +1 / -1.
-};
-
-// Finds the next local civil time with the given day-of-week and hour,
-// strictly after `after`.
-Timestamp NextLocalWeekdayHour(Timestamp after, int target_dow,
-                               int target_hour, int utc_offset_minutes) {
-  const int64_t offset = static_cast<int64_t>(utc_offset_minutes) * 60;
-  const CivilDateTime local = ToCivil(after, utc_offset_minutes);
-  Timestamp candidate_local_day =
-      telemetry::MakeTimestamp(local.year, local.month, local.day);
-  for (int add = 0; add <= 14; ++add) {
-    const Timestamp day = candidate_local_day + add * kSecondsPerDay;
-    const CivilDateTime c = ToCivil(day + 12 * kSecondsPerHour, 0);
-    if (c.day_of_week != target_dow) continue;
-    const Timestamp local_ts = day + target_hour * kSecondsPerHour;
-    const Timestamp utc = local_ts - offset;
-    if (utc > after) return utc;
-  }
-  return after + 7 * kSecondsPerDay;  // unreachable fallback
-}
-
-// Builds the SLO-change schedule for one database. `end_cap` is
-// exclusive: all change events land strictly before it.
-std::vector<telemetry::SloChange> BuildSloSchedule(
-    const ArchetypeProfile& profile, int initial_slo, Timestamp created,
-    Timestamp end_cap, const RegionConfig& config, Rng& rng) {
-  std::vector<telemetry::SloChange> out;
-  if (end_cap <= created + kSecondsPerHour) return out;
-  const Edition edition0 = SloLadder()[initial_slo].edition;
-  const double life_days = static_cast<double>(end_cap - created) /
-                           static_cast<double>(kSecondsPerDay);
-
-  int current = initial_slo;
-  // Weekend scaling: Premium databases of this archetype downgrade to
-  // S3 on Friday evenings and restore Monday mornings.
-  if (edition0 == Edition::kPremium && life_days > 10.0 &&
-      rng.Bernoulli(profile.slo.weekend_scaler_probability)) {
-    const int s3 = telemetry::SloIndexByName("S3");
-    const int premium_slo = initial_slo;
-    Timestamp t = NextLocalWeekdayHour(created + kSecondsPerHour, 5, 17,
-                                       config.utc_offset_minutes);
-    while (true) {
-      const Timestamp down =
-          t + static_cast<int64_t>(rng.Uniform(-2.0, 2.0) * kSecondsPerHour);
-      if (down >= end_cap || down <= created) break;
-      out.push_back({down, current, s3});
-      current = s3;
-      const Timestamp monday =
-          NextLocalWeekdayHour(down, 1, 8, config.utc_offset_minutes) +
-          static_cast<int64_t>(rng.Uniform(0.0, 2.0) * kSecondsPerHour);
-      if (monday >= end_cap) break;
-      out.push_back({monday, current, premium_slo});
-      current = premium_slo;
-      t = NextLocalWeekdayHour(monday, 5, 17, config.utc_offset_minutes);
-    }
-    return out;
-  }
-
-  // Weekly within-edition level moves and a rare permanent edition
-  // upgrade, merged in time order.
-  std::vector<SloIntent> intents;
-  const int weeks = static_cast<int>(life_days / 7.0);
-  for (int wk = 0; wk < weeks; ++wk) {
-    if (!rng.Bernoulli(profile.slo.weekly_level_change_probability)) continue;
-    const Timestamp ts =
-        created + static_cast<int64_t>((static_cast<double>(wk) +
-                                        rng.Uniform()) *
-                                       7.0 * kSecondsPerDay);
-    SloIntent intent;
-    intent.ts = ts;
-    intent.kind = SloIntent::Kind::kStepWithinEdition;
-    intent.step = rng.Bernoulli(0.5) ? 1 : -1;
-    intents.push_back(intent);
-  }
-  if (life_days > 3.0 &&
-      rng.Bernoulli(profile.slo.lifetime_edition_upgrade_probability)) {
-    SloIntent intent;
-    intent.ts = created + kSecondsPerDay +
-                static_cast<int64_t>(
-                    rng.Uniform() *
-                    static_cast<double>(end_cap - created - kSecondsPerDay));
-    intent.kind = SloIntent::Kind::kEditionUpgrade;
-    intents.push_back(intent);
-  }
-  std::sort(intents.begin(), intents.end(),
-            [](const SloIntent& a, const SloIntent& b) { return a.ts < b.ts; });
-  Timestamp last_ts = created;
-  for (const SloIntent& intent : intents) {
-    Timestamp ts = std::max(intent.ts, last_ts + 60);
-    if (ts >= end_cap) continue;
-    int next = current;
-    const Edition cur_edition = SloLadder()[current].edition;
-    switch (intent.kind) {
-      case SloIntent::Kind::kStepWithinEdition: {
-        const std::vector<int> slos = telemetry::SlosOfEdition(cur_edition);
-        const auto it = std::find(slos.begin(), slos.end(), current);
-        int pos = static_cast<int>(it - slos.begin()) + intent.step;
-        pos = std::clamp(pos, 0, static_cast<int>(slos.size()) - 1);
-        next = slos[static_cast<size_t>(pos)];
-        break;
-      }
-      case SloIntent::Kind::kEditionUpgrade: {
-        if (cur_edition == Edition::kBasic) {
-          next = telemetry::CheapestSloOfEdition(Edition::kStandard);
-        } else if (cur_edition == Edition::kStandard) {
-          next = telemetry::CheapestSloOfEdition(Edition::kPremium);
-        }
-        break;
-      }
-      case SloIntent::Kind::kSetExact:
-        next = intent.exact_slo;
-        break;
-    }
-    if (next == current) continue;
-    out.push_back({ts, current, next});
-    current = next;
-    last_ts = ts;
-  }
-  return out;
-}
-
-// Emits size samples: dense (6-hourly) over the first three days of
-// life — the window the x=2-day features observe — then weekly.
-void EmitSizeSamples(const ArchetypeProfile& profile, Timestamp created,
-                     Timestamp end_cap, double lifetime_days,
-                     telemetry::DatabaseId db, telemetry::SubscriptionId sub,
-                     telemetry::TelemetryStore& store, Rng& rng) {
-  const SizeModel& m = profile.size;
-  const double size0 = rng.Uniform(m.initial_min_mb, m.initial_max_mb);
-  // Databases destined to be dropped soon are loaded less aggressively
-  // (abandoned experiments stop growing); long-lived workloads keep
-  // ingesting. This is the learnable size signal the paper's
-  // "rate of change in size" feature targets (section 4.2).
-  const double destiny_growth =
-      0.3 + 0.7 * std::min(1.0, lifetime_days / 45.0);
-  const double g_early =
-      std::log1p(m.early_daily_growth * destiny_growth);
-  const double g_late = std::log1p(m.late_daily_growth * destiny_growth);
-
-  std::vector<Timestamp> times;
-  const Timestamp first = created + kSecondsPerHour;
-  for (Timestamp t = first; t < created + 3 * kSecondsPerDay;
-       t += 6 * kSecondsPerHour) {
-    times.push_back(t);
-  }
-  for (Timestamp t = created + 7 * kSecondsPerDay;; t += 7 * kSecondsPerDay) {
-    if (t >= end_cap) break;
-    times.push_back(t);
-  }
-  if (times.empty() && end_cap > created + 120) {
-    times.push_back(created + 60);
-  }
-  for (Timestamp t : times) {
-    if (t >= end_cap) continue;
-    const double days = static_cast<double>(t - created) /
-                        static_cast<double>(kSecondsPerDay);
-    const double log_size = std::log(size0) +
-                            g_early * std::min(days, 7.0) +
-                            g_late * std::max(0.0, days - 7.0) +
-                            rng.Normal(0.0, m.noise_sigma);
-    // The store tolerates any positive size; cap at 4 TB for sanity.
-    const double size_mb = std::min(std::exp(log_size), 4.0 * 1024 * 1024);
-    Status s = store.Append(telemetry::MakeSizeSampleEvent(t, db, sub, size_mb));
-    (void)s;  // Append only fails on invalid ids, which we control.
-  }
-}
-
-}  // namespace
+// Both entry points are thin drivers over RegionEventStream, so batch
+// and streaming generation are bit-identical by construction: the
+// partitions pulled here are exactly what a streaming consumer sees.
 
 Result<telemetry::TelemetryStore> SimulateRegion(const RegionConfig& config,
                                                  SimulationSummary* summary) {
-  if (config.window_end <= config.window_start) {
-    return Status::InvalidArgument("window_end must exceed window_start");
-  }
-  if (config.num_subscriptions == 0) {
-    return Status::InvalidArgument("num_subscriptions must be positive");
-  }
+  const StreamOptions stream_options;
+  CLOUDSURV_ASSIGN_OR_RETURN(RegionEventStream stream,
+                             RegionEventStream::Open(config, stream_options));
+  telemetry::TelemetryStore::Options store_options;
+  store_options.partition_seconds = stream_options.partition_seconds;
   telemetry::TelemetryStore store(config.name, config.utc_offset_minutes,
                                   config.holidays, config.window_start,
-                                  config.window_end);
-  SimulationSummary local_summary;
-  local_summary.num_subscriptions = config.num_subscriptions;
-
-  const Rng root(config.seed);
-  const double window_days = config.window_days();
-  telemetry::DatabaseId next_db = 0;
-  telemetry::ServerId next_server = 0;
-
-  for (size_t sub = 0; sub < config.num_subscriptions; ++sub) {
-    Rng rng = root.Fork(sub + 1);
-    const Archetype archetype = config.mix.Sample(rng);
-    const ArchetypeProfile& profile = GetArchetypeProfile(archetype);
-    ++local_summary
-          .subscriptions_per_archetype[static_cast<size_t>(archetype)];
-
-    const int sub_type = SampleIndexByWeights(
-        profile.subscription_weights.data(),
-        telemetry::kNumSubscriptionTypes, rng);
-
-    // One or two logical servers per subscription.
-    const int num_servers = rng.Bernoulli(0.2) ? 2 : 1;
-    std::vector<telemetry::ServerId> server_ids;
-    std::vector<std::string> server_names;
-    for (int s = 0; s < num_servers; ++s) {
-      server_ids.push_back(next_server++);
-      server_names.push_back(GenerateServerName(profile.name_style, rng));
-    }
-
-    // Database volume scales with the window length (profiles are
-    // calibrated for a 150-day window).
-    const double scale = window_days / 150.0;
-    const int64_t extra = rng.Poisson(profile.mean_databases * scale);
-    const int64_t count = profile.min_databases + extra;
-
-    for (int64_t d = 0; d < count; ++d) {
-      const int edition_idx = SampleIndexByWeights(
-          profile.edition_weights.data(), telemetry::kNumEditions, rng);
-      const Edition edition = static_cast<Edition>(edition_idx);
-      const int slo = SampleInitialSlo(edition, rng);
-
-      const double lifetime_days =
-          profile.lifetime[static_cast<size_t>(edition_idx)]->Sample(rng);
-      const bool destined_long =
-          lifetime_days > core_thresholds::kLongDays;
-
-      // Throwaway databases skew toward scripted off-hours creation;
-      // keepers toward deliberate business-hours creation. A mild
-      // modulation: most of the calendar signal still comes from the
-      // archetype itself.
-      CreationPattern pattern = profile.creation;
-      pattern.business_hours_probability = std::clamp(
-          pattern.business_hours_probability * (destined_long ? 1.15 : 0.7),
-          0.0, 0.95);
-      const Timestamp created = SampleCreationTime(pattern, config, rng);
-      const Timestamp drop_ts =
-          created + static_cast<int64_t>(lifetime_days *
-                                         static_cast<double>(kSecondsPerDay));
-      const bool dropped_in_window = drop_ts < config.window_end;
-      const Timestamp end_cap =
-          std::min(drop_ts, config.window_end);
-
-      const telemetry::DatabaseId db = next_db++;
-      const int srv = static_cast<int>(
-          rng.UniformInt(0, static_cast<int64_t>(server_ids.size()) - 1));
-
-      telemetry::DatabaseCreatedPayload payload;
-      payload.server_id = server_ids[static_cast<size_t>(srv)];
-      payload.server_name = server_names[static_cast<size_t>(srv)];
-      NamePurpose purpose = NamePurpose::kNeutral;
-      if (rng.Uniform() < 0.55) {
-        purpose =
-            destined_long ? NamePurpose::kKeeper : NamePurpose::kScratch;
-      }
-      payload.database_name =
-          GenerateDatabaseName(profile.name_style, rng, purpose);
-      payload.slo_index = slo;
-      payload.subscription_type =
-          static_cast<telemetry::SubscriptionType>(sub_type);
-      CLOUDSURV_RETURN_NOT_OK(store.Append(telemetry::MakeCreatedEvent(
-          created, db, sub, std::move(payload))));
-
-      for (const telemetry::SloChange& change :
-           BuildSloSchedule(profile, slo, created, end_cap, config, rng)) {
-        CLOUDSURV_RETURN_NOT_OK(store.Append(telemetry::MakeSloChangedEvent(
-            change.timestamp, db, sub, change.old_slo_index,
-            change.new_slo_index)));
-      }
-      EmitSizeSamples(profile, created, end_cap, lifetime_days, db, sub,
-                      store, rng);
-      if (dropped_in_window) {
-        CLOUDSURV_RETURN_NOT_OK(
-            store.Append(telemetry::MakeDroppedEvent(drop_ts, db, sub)));
-      }
-      ++local_summary
-            .databases_per_archetype[static_cast<size_t>(archetype)];
-    }
+                                  config.window_end, store_options);
+  while (!stream.Done()) {
+    RegionEventStream::Partition part = stream.NextPartition();
+    CLOUDSURV_RETURN_NOT_OK(store.AppendEvents(std::move(part.events)));
   }
-
   CLOUDSURV_RETURN_NOT_OK(store.Finalize());
-  local_summary.num_databases = store.num_databases();
-  local_summary.num_events = store.num_events();
-  if (summary != nullptr) *summary = local_summary;
+  if (summary != nullptr) *summary = stream.summary();
   return store;
 }
 
 Result<std::vector<telemetry::Event>> GenerateEventStream(
     const RegionConfig& config, SimulationSummary* summary) {
-  CLOUDSURV_ASSIGN_OR_RETURN(telemetry::TelemetryStore store,
-                             SimulateRegion(config, summary));
-  // Finalize() has already sorted the log by (timestamp, database,
-  // lifecycle rank), which is exactly the replay order.
-  return store.events();
+  CLOUDSURV_ASSIGN_OR_RETURN(RegionEventStream stream,
+                             RegionEventStream::Open(config));
+  std::vector<telemetry::Event> events;
+  while (!stream.Done()) {
+    RegionEventStream::Partition part = stream.NextPartition();
+    events.insert(events.end(),
+                  std::make_move_iterator(part.events.begin()),
+                  std::make_move_iterator(part.events.end()));
+  }
+  if (summary != nullptr) *summary = stream.summary();
+  return events;
 }
 
 }  // namespace cloudsurv::simulator

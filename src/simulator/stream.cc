@@ -1,0 +1,632 @@
+#include "simulator/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "telemetry/civil_time.h"
+
+namespace cloudsurv::simulator {
+
+namespace core_thresholds {
+// The 30-day short/long boundary of the study (section 4.1). Only used
+// to key the destiny-correlated observable signals.
+inline constexpr double kLongDays = 30.0;
+}  // namespace core_thresholds
+
+namespace {
+
+using telemetry::CivilDateTime;
+using telemetry::Edition;
+using telemetry::kSecondsPerDay;
+using telemetry::kSecondsPerHour;
+using telemetry::SloLadder;
+using telemetry::Timestamp;
+using telemetry::ToCivil;
+
+int SampleIndexByWeights(const double* weights, int n, Rng& rng) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += weights[i];
+  double u = rng.Uniform() * total;
+  for (int i = 0; i < n; ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+// Cheapest-biased initial SLO within an edition: weight halves per step
+// up the ladder (most users start small).
+int SampleInitialSlo(Edition edition, Rng& rng) {
+  const std::vector<int> slos = telemetry::SlosOfEdition(edition);
+  std::vector<double> weights(slos.size());
+  double w = 1.0;
+  for (size_t i = 0; i < slos.size(); ++i) {
+    weights[i] = w;
+    w *= 0.5;
+  }
+  const int idx =
+      SampleIndexByWeights(weights.data(), static_cast<int>(slos.size()), rng);
+  return slos[static_cast<size_t>(idx)];
+}
+
+// Samples a creation timestamp honoring the archetype's calendar
+// pattern, in region-local civil time.
+Timestamp SampleCreationTime(const CreationPattern& pattern,
+                             const RegionConfig& config, Rng& rng) {
+  const double window_days = config.window_days();
+  const int64_t offset_seconds =
+      static_cast<int64_t>(config.utc_offset_minutes) * 60;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    double day_offset;
+    if (pattern.front_load_days > 0.0) {
+      day_offset = rng.Exponential(1.0 / pattern.front_load_days);
+      if (day_offset >= window_days) continue;
+    } else {
+      day_offset = rng.Uniform(0.0, window_days);
+    }
+    // Representative local noon of the candidate day.
+    const Timestamp day_utc =
+        config.window_start +
+        static_cast<int64_t>(day_offset) * kSecondsPerDay;
+    const CivilDateTime local =
+        ToCivil(day_utc + 12 * kSecondsPerHour, config.utc_offset_minutes);
+    const bool weekend = local.day_of_week >= 6;
+    const bool holiday =
+        config.holidays.IsHolidayDate(local.year, local.month, local.day);
+    if (weekend && !rng.Bernoulli(pattern.weekend_probability)) continue;
+    if (holiday && !rng.Bernoulli(pattern.holiday_probability)) continue;
+    int hour;
+    if (!weekend && !holiday &&
+        rng.Bernoulli(pattern.business_hours_probability)) {
+      hour = static_cast<int>(rng.UniformInt(8, 17));
+    } else {
+      hour = static_cast<int>(rng.UniformInt(0, 23));
+    }
+    const Timestamp local_ts = telemetry::MakeTimestamp(
+        local.year, local.month, local.day, hour,
+        static_cast<int>(rng.UniformInt(0, 59)),
+        static_cast<int>(rng.UniformInt(0, 59)));
+    const Timestamp utc = local_ts - offset_seconds;
+    if (utc >= config.window_start && utc < config.window_end) return utc;
+  }
+  // Pathological pattern; fall back to a uniform draw.
+  return config.window_start +
+         static_cast<int64_t>(rng.Uniform() *
+                              static_cast<double>(config.window_end -
+                                                  config.window_start));
+}
+
+// A pending SLO-change intent; resolved against the running SLO when
+// the schedule is applied in time order.
+struct SloIntent {
+  Timestamp ts;
+  enum class Kind { kSetExact, kStepWithinEdition, kEditionUpgrade } kind;
+  int exact_slo = 0;  ///< For kSetExact.
+  int step = 0;       ///< For kStepWithinEdition: +1 / -1.
+};
+
+// Finds the next local civil time with the given day-of-week and hour,
+// strictly after `after`.
+Timestamp NextLocalWeekdayHour(Timestamp after, int target_dow,
+                               int target_hour, int utc_offset_minutes) {
+  const int64_t offset = static_cast<int64_t>(utc_offset_minutes) * 60;
+  const CivilDateTime local = ToCivil(after, utc_offset_minutes);
+  Timestamp candidate_local_day =
+      telemetry::MakeTimestamp(local.year, local.month, local.day);
+  for (int add = 0; add <= 14; ++add) {
+    const Timestamp day = candidate_local_day + add * kSecondsPerDay;
+    const CivilDateTime c = ToCivil(day + 12 * kSecondsPerHour, 0);
+    if (c.day_of_week != target_dow) continue;
+    const Timestamp local_ts = day + target_hour * kSecondsPerHour;
+    const Timestamp utc = local_ts - offset;
+    if (utc > after) return utc;
+  }
+  return after + 7 * kSecondsPerDay;  // unreachable fallback
+}
+
+// Builds the SLO-change schedule for one database. `end_cap` is
+// exclusive: all change events land strictly before it. Consumes only
+// the database's dedicated schedule RNG.
+std::vector<telemetry::SloChange> BuildSloSchedule(
+    const ArchetypeProfile& profile, int initial_slo, Timestamp created,
+    Timestamp end_cap, const RegionConfig& config, Rng& rng) {
+  std::vector<telemetry::SloChange> out;
+  if (end_cap <= created + kSecondsPerHour) return out;
+  const Edition edition0 = SloLadder()[initial_slo].edition;
+  const double life_days = static_cast<double>(end_cap - created) /
+                           static_cast<double>(kSecondsPerDay);
+
+  int current = initial_slo;
+  // Weekend scaling: Premium databases of this archetype downgrade to
+  // S3 on Friday evenings and restore Monday mornings.
+  if (edition0 == Edition::kPremium && life_days > 10.0 &&
+      rng.Bernoulli(profile.slo.weekend_scaler_probability)) {
+    const int s3 = telemetry::SloIndexByName("S3");
+    const int premium_slo = initial_slo;
+    Timestamp t = NextLocalWeekdayHour(created + kSecondsPerHour, 5, 17,
+                                       config.utc_offset_minutes);
+    while (true) {
+      const Timestamp down =
+          t + static_cast<int64_t>(rng.Uniform(-2.0, 2.0) * kSecondsPerHour);
+      if (down >= end_cap || down <= created) break;
+      out.push_back({down, current, s3});
+      current = s3;
+      const Timestamp monday =
+          NextLocalWeekdayHour(down, 1, 8, config.utc_offset_minutes) +
+          static_cast<int64_t>(rng.Uniform(0.0, 2.0) * kSecondsPerHour);
+      if (monday >= end_cap) break;
+      out.push_back({monday, current, premium_slo});
+      current = premium_slo;
+      t = NextLocalWeekdayHour(monday, 5, 17, config.utc_offset_minutes);
+    }
+    return out;
+  }
+
+  // Weekly within-edition level moves and a rare permanent edition
+  // upgrade, merged in time order.
+  std::vector<SloIntent> intents;
+  const int weeks = static_cast<int>(life_days / 7.0);
+  for (int wk = 0; wk < weeks; ++wk) {
+    if (!rng.Bernoulli(profile.slo.weekly_level_change_probability)) continue;
+    const Timestamp ts =
+        created + static_cast<int64_t>((static_cast<double>(wk) +
+                                        rng.Uniform()) *
+                                       7.0 * kSecondsPerDay);
+    SloIntent intent;
+    intent.ts = ts;
+    intent.kind = SloIntent::Kind::kStepWithinEdition;
+    intent.step = rng.Bernoulli(0.5) ? 1 : -1;
+    intents.push_back(intent);
+  }
+  if (life_days > 3.0 &&
+      rng.Bernoulli(profile.slo.lifetime_edition_upgrade_probability)) {
+    SloIntent intent;
+    intent.ts = created + kSecondsPerDay +
+                static_cast<int64_t>(
+                    rng.Uniform() *
+                    static_cast<double>(end_cap - created - kSecondsPerDay));
+    intent.kind = SloIntent::Kind::kEditionUpgrade;
+    intents.push_back(intent);
+  }
+  std::sort(intents.begin(), intents.end(),
+            [](const SloIntent& a, const SloIntent& b) { return a.ts < b.ts; });
+  Timestamp last_ts = created;
+  for (const SloIntent& intent : intents) {
+    Timestamp ts = std::max(intent.ts, last_ts + 60);
+    if (ts >= end_cap) continue;
+    int next = current;
+    const Edition cur_edition = SloLadder()[current].edition;
+    switch (intent.kind) {
+      case SloIntent::Kind::kStepWithinEdition: {
+        const std::vector<int> slos = telemetry::SlosOfEdition(cur_edition);
+        const auto it = std::find(slos.begin(), slos.end(), current);
+        int pos = static_cast<int>(it - slos.begin()) + intent.step;
+        pos = std::clamp(pos, 0, static_cast<int>(slos.size()) - 1);
+        next = slos[static_cast<size_t>(pos)];
+        break;
+      }
+      case SloIntent::Kind::kEditionUpgrade: {
+        if (cur_edition == Edition::kBasic) {
+          next = telemetry::CheapestSloOfEdition(Edition::kStandard);
+        } else if (cur_edition == Edition::kStandard) {
+          next = telemetry::CheapestSloOfEdition(Edition::kPremium);
+        }
+        break;
+      }
+      case SloIntent::Kind::kSetExact:
+        next = intent.exact_slo;
+        break;
+    }
+    if (next == current) continue;
+    out.push_back({ts, current, next});
+    current = next;
+    last_ts = ts;
+  }
+  return out;
+}
+
+// Computes the size-sample trajectory: dense (6-hourly) over the first
+// three days of life — the window the x=2-day features observe — then
+// weekly. Consumes only the database's dedicated size RNG.
+void BuildSizeSamples(const ArchetypeProfile& profile, Timestamp created,
+                      Timestamp end_cap, double lifetime_days, Rng& rng,
+                      std::vector<std::pair<Timestamp, double>>* out) {
+  const SizeModel& m = profile.size;
+  const double size0 = rng.Uniform(m.initial_min_mb, m.initial_max_mb);
+  // Databases destined to be dropped soon are loaded less aggressively
+  // (abandoned experiments stop growing); long-lived workloads keep
+  // ingesting. This is the learnable size signal the paper's
+  // "rate of change in size" feature targets (section 4.2).
+  const double destiny_growth =
+      0.3 + 0.7 * std::min(1.0, lifetime_days / 45.0);
+  const double g_early =
+      std::log1p(m.early_daily_growth * destiny_growth);
+  const double g_late = std::log1p(m.late_daily_growth * destiny_growth);
+
+  std::vector<Timestamp> times;
+  const Timestamp first = created + kSecondsPerHour;
+  for (Timestamp t = first; t < created + 3 * kSecondsPerDay;
+       t += 6 * kSecondsPerHour) {
+    times.push_back(t);
+  }
+  for (Timestamp t = created + 7 * kSecondsPerDay;; t += 7 * kSecondsPerDay) {
+    if (t >= end_cap) break;
+    times.push_back(t);
+  }
+  if (times.empty() && end_cap > created + 120) {
+    times.push_back(created + 60);
+  }
+  for (Timestamp t : times) {
+    if (t >= end_cap) continue;
+    const double days = static_cast<double>(t - created) /
+                        static_cast<double>(kSecondsPerDay);
+    const double log_size = std::log(size0) +
+                            g_early * std::min(days, 7.0) +
+                            g_late * std::max(0.0, days - 7.0) +
+                            rng.Normal(0.0, m.noise_sigma);
+    // The store tolerates any positive size; cap at 4 TB for sanity.
+    const double size_mb = std::min(std::exp(log_size), 4.0 * 1024 * 1024);
+    out->emplace_back(t, size_mb);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Compact index entry from the creation pass: when database `db`
+/// (d-th database of subscription `sub`) comes into existence.
+struct CreationRow {
+  Timestamp created = 0;
+  telemetry::DatabaseId db = 0;
+  uint32_t sub = 0;
+  uint32_t d = 0;
+};
+
+/// Compact future event awaiting its partition. Creation payloads never
+/// take this form (a creation is always emitted in the partition being
+/// filled), so no strings are buffered.
+struct PendingRow {
+  Timestamp ts = 0;
+  telemetry::DatabaseId db = 0;
+  telemetry::SubscriptionId sub = 0;
+  double size_mb = 0.0;
+  uint16_t old_slo = 0;
+  uint16_t new_slo = 0;
+  uint8_t kind = 0;  ///< telemetry::EventKind.
+};
+
+/// Replayed per-subscription context (everything drawn from the
+/// subscription's own RNG before database forks).
+struct SubContext {
+  static constexpr uint64_t kNoSub = static_cast<uint64_t>(-1);
+  uint64_t sub = kNoSub;
+  Rng sub_rng{0};
+  const ArchetypeProfile* profile = nullptr;
+  int sub_type = 0;
+  std::vector<telemetry::ServerId> server_ids;
+  std::vector<std::string> server_names;
+};
+
+struct StreamRep {
+  static constexpr size_t kSubCacheSize = 4096;  // power of two
+
+  RegionConfig config;
+  StreamOptions options;
+  SimulationSummary summary;
+  RegionEventStream::Stats stats;
+
+  Rng root{0};
+  std::vector<CreationRow> creations;
+  std::vector<telemetry::ServerId> first_server;  ///< Per subscription.
+  size_t cursor = 0;
+  int64_t next_partition = 0;
+  int64_t num_partitions = 0;
+  std::vector<std::vector<PendingRow>> pending;  ///< Per partition.
+  size_t pending_rows = 0;
+  std::vector<SubContext> sub_cache{kSubCacheSize};
+
+  SubContext& GetSubContext(uint64_t sub) {
+    SubContext& slot = sub_cache[sub & (kSubCacheSize - 1)];
+    if (slot.sub == sub) return slot;
+    slot.sub = sub;
+    slot.sub_rng = root.Fork(sub + 1);
+    Rng& rng = slot.sub_rng;
+    const Archetype archetype = config.mix.Sample(rng);
+    slot.profile = &GetArchetypeProfile(archetype);
+    slot.sub_type = SampleIndexByWeights(
+        slot.profile->subscription_weights.data(),
+        telemetry::kNumSubscriptionTypes, rng);
+    const int num_servers = rng.Bernoulli(0.2) ? 2 : 1;
+    (void)rng.Poisson(slot.profile->mean_databases * config.window_days() /
+                      150.0);  // burn the database-count draw
+    slot.server_ids.clear();
+    slot.server_names.clear();
+    for (int s = 0; s < num_servers; ++s) {
+      slot.server_ids.push_back(first_server[sub] +
+                                static_cast<telemetry::ServerId>(s));
+      slot.server_names.push_back(
+          GenerateServerName(slot.profile->name_style, rng));
+    }
+    return slot;
+  }
+
+  void AddPending(PendingRow row) {
+    const int64_t k = (row.ts - config.window_start) / options.partition_seconds;
+    const int64_t clamped =
+        std::clamp<int64_t>(k, next_partition - 1, num_partitions - 1);
+    pending[static_cast<size_t>(clamped)].push_back(row);
+    ++pending_rows;
+    stats.peak_pending_events = std::max(stats.peak_pending_events,
+                                         pending_rows);
+  }
+
+  // Generates the full payload of one database (creation event appended
+  // to `creations_out`; later events bucketed into their partitions).
+  void GenerateDatabase(const CreationRow& row,
+                        std::vector<telemetry::Event>* creations_out) {
+    SubContext& ctx = GetSubContext(row.sub);
+    const ArchetypeProfile& profile = *ctx.profile;
+    Rng db_rng = ctx.sub_rng.Fork(static_cast<uint64_t>(row.d) + 1);
+
+    const int edition_idx = SampleIndexByWeights(
+        profile.edition_weights.data(), telemetry::kNumEditions, db_rng);
+    const Edition edition = static_cast<Edition>(edition_idx);
+    const int slo = SampleInitialSlo(edition, db_rng);
+    const double lifetime_days =
+        profile.lifetime[static_cast<size_t>(edition_idx)]->Sample(db_rng);
+    const bool destined_long = lifetime_days > core_thresholds::kLongDays;
+
+    // Throwaway databases skew toward scripted off-hours creation;
+    // keepers toward deliberate business-hours creation. A mild
+    // modulation: most of the calendar signal still comes from the
+    // archetype itself.
+    CreationPattern pattern = profile.creation;
+    pattern.business_hours_probability = std::clamp(
+        pattern.business_hours_probability * (destined_long ? 1.15 : 0.7),
+        0.0, 0.95);
+    const Timestamp created = SampleCreationTime(pattern, config, db_rng);
+    // `created == row.created`: the index pass replayed the same fork.
+
+    const Timestamp drop_ts =
+        created + static_cast<int64_t>(lifetime_days *
+                                       static_cast<double>(kSecondsPerDay));
+    const bool dropped_in_window = drop_ts < config.window_end;
+    const Timestamp end_cap = std::min(drop_ts, config.window_end);
+
+    const int srv = static_cast<int>(db_rng.UniformInt(
+        0, static_cast<int64_t>(ctx.server_ids.size()) - 1));
+    NamePurpose purpose = NamePurpose::kNeutral;
+    if (db_rng.Uniform() < 0.55) {
+      purpose = destined_long ? NamePurpose::kKeeper : NamePurpose::kScratch;
+    }
+
+    telemetry::DatabaseCreatedPayload payload;
+    payload.server_id = ctx.server_ids[static_cast<size_t>(srv)];
+    payload.server_name = ctx.server_names[static_cast<size_t>(srv)];
+    payload.database_name =
+        GenerateDatabaseName(profile.name_style, db_rng, purpose);
+    payload.slo_index = slo;
+    payload.subscription_type =
+        static_cast<telemetry::SubscriptionType>(ctx.sub_type);
+    creations_out->push_back(telemetry::MakeCreatedEvent(
+        created, row.db, row.sub, std::move(payload)));
+
+    Rng slo_rng = db_rng.Fork(1);
+    for (const telemetry::SloChange& change :
+         BuildSloSchedule(profile, slo, created, end_cap, config, slo_rng)) {
+      PendingRow p;
+      p.ts = change.timestamp;
+      p.db = row.db;
+      p.sub = row.sub;
+      p.old_slo = static_cast<uint16_t>(change.old_slo_index);
+      p.new_slo = static_cast<uint16_t>(change.new_slo_index);
+      p.kind = static_cast<uint8_t>(telemetry::EventKind::kSloChanged);
+      AddPending(p);
+    }
+
+    Rng size_rng = db_rng.Fork(2);
+    std::vector<std::pair<Timestamp, double>> samples;
+    BuildSizeSamples(profile, created, end_cap, lifetime_days, size_rng,
+                     &samples);
+    for (const auto& [ts, mb] : samples) {
+      PendingRow p;
+      p.ts = ts;
+      p.db = row.db;
+      p.sub = row.sub;
+      p.size_mb = mb;
+      p.kind = static_cast<uint8_t>(telemetry::EventKind::kSizeSample);
+      AddPending(p);
+    }
+
+    if (dropped_in_window) {
+      PendingRow p;
+      p.ts = drop_ts;
+      p.db = row.db;
+      p.sub = row.sub;
+      p.kind = static_cast<uint8_t>(telemetry::EventKind::kDatabaseDropped);
+      AddPending(p);
+    }
+  }
+};
+
+}  // namespace internal
+
+RegionEventStream::RegionEventStream() = default;
+RegionEventStream::~RegionEventStream() = default;
+RegionEventStream::RegionEventStream(RegionEventStream&&) noexcept = default;
+RegionEventStream& RegionEventStream::operator=(RegionEventStream&&) noexcept =
+    default;
+
+Result<RegionEventStream> RegionEventStream::Open(const RegionConfig& config,
+                                                  StreamOptions options) {
+  if (config.window_end <= config.window_start) {
+    return Status::InvalidArgument("window_end must exceed window_start");
+  }
+  if (config.num_subscriptions == 0) {
+    return Status::InvalidArgument("num_subscriptions must be positive");
+  }
+  if (options.partition_seconds <= 0) {
+    return Status::InvalidArgument("partition_seconds must be positive");
+  }
+
+  RegionEventStream stream;
+  stream.rep_ = std::make_unique<internal::StreamRep>();
+  internal::StreamRep& rep = *stream.rep_;
+  rep.config = config;
+  rep.options = options;
+  rep.root = Rng(config.seed);
+
+  const int64_t window = config.window_end - config.window_start;
+  rep.num_partitions =
+      (window + options.partition_seconds - 1) / options.partition_seconds;
+  rep.pending.resize(static_cast<size_t>(rep.num_partitions));
+
+  rep.summary.num_subscriptions = config.num_subscriptions;
+  const double scale = config.window_days() / 150.0;
+  telemetry::DatabaseId next_db = 0;
+  telemetry::ServerId next_server = 0;
+
+  // Creation-index pass: per database, replay its fork just far enough
+  // (edition, SLO, lifetime, creation time) to learn when it appears.
+  for (size_t sub = 0; sub < config.num_subscriptions; ++sub) {
+    Rng sub_rng = rep.root.Fork(sub + 1);
+    const Archetype archetype = config.mix.Sample(sub_rng);
+    const ArchetypeProfile& profile = GetArchetypeProfile(archetype);
+    ++rep.summary.subscriptions_per_archetype[static_cast<size_t>(archetype)];
+    (void)SampleIndexByWeights(profile.subscription_weights.data(),
+                               telemetry::kNumSubscriptionTypes, sub_rng);
+    const int num_servers = sub_rng.Bernoulli(0.2) ? 2 : 1;
+    const int64_t extra = sub_rng.Poisson(profile.mean_databases * scale);
+    const int64_t count = profile.min_databases + extra;
+    rep.first_server.push_back(next_server);
+    next_server += static_cast<telemetry::ServerId>(num_servers);
+    rep.summary.databases_per_archetype[static_cast<size_t>(archetype)] +=
+        static_cast<size_t>(count);
+
+    for (int64_t d = 0; d < count; ++d) {
+      Rng db_rng = sub_rng.Fork(static_cast<uint64_t>(d) + 1);
+      const int edition_idx = SampleIndexByWeights(
+          profile.edition_weights.data(), telemetry::kNumEditions, db_rng);
+      const Edition edition = static_cast<Edition>(edition_idx);
+      (void)SampleInitialSlo(edition, db_rng);
+      const double lifetime_days =
+          profile.lifetime[static_cast<size_t>(edition_idx)]->Sample(db_rng);
+      CreationPattern pattern = profile.creation;
+      pattern.business_hours_probability = std::clamp(
+          pattern.business_hours_probability *
+              (lifetime_days > core_thresholds::kLongDays ? 1.15 : 0.7),
+          0.0, 0.95);
+      const Timestamp created = SampleCreationTime(pattern, config, db_rng);
+      internal::CreationRow row;
+      row.created = created;
+      row.db = next_db++;
+      row.sub = static_cast<uint32_t>(sub);
+      row.d = static_cast<uint32_t>(d);
+      rep.creations.push_back(row);
+    }
+  }
+  rep.summary.num_databases = next_db;
+
+  std::sort(rep.creations.begin(), rep.creations.end(),
+            [](const internal::CreationRow& a, const internal::CreationRow& b) {
+              return std::tie(a.created, a.db) < std::tie(b.created, b.db);
+            });
+  rep.stats.creation_index_bytes =
+      rep.creations.capacity() * sizeof(internal::CreationRow) +
+      rep.first_server.capacity() * sizeof(telemetry::ServerId);
+  return stream;
+}
+
+size_t RegionEventStream::num_partitions() const {
+  return static_cast<size_t>(rep_->num_partitions);
+}
+
+bool RegionEventStream::Done() const {
+  return rep_->next_partition >= rep_->num_partitions;
+}
+
+RegionEventStream::Partition RegionEventStream::NextPartition() {
+  internal::StreamRep& rep = *rep_;
+  const int64_t k = rep.next_partition++;
+  Partition part;
+  part.index = k;
+  part.begin = rep.config.window_start + k * rep.options.partition_seconds;
+  part.end = std::min<Timestamp>(part.begin + rep.options.partition_seconds,
+                                 rep.config.window_end);
+
+  // Walk creations falling inside this partition; each expands into its
+  // database's full event set (later events land in pending buckets).
+  std::vector<telemetry::Event> creations_out;
+  while (rep.cursor < rep.creations.size() &&
+         rep.creations[rep.cursor].created < part.end) {
+    rep.GenerateDatabase(rep.creations[rep.cursor], &creations_out);
+    ++rep.cursor;
+  }
+
+  std::vector<internal::PendingRow> bucket =
+      std::move(rep.pending[static_cast<size_t>(k)]);
+  std::vector<internal::PendingRow>().swap(
+      rep.pending[static_cast<size_t>(k)]);
+  rep.pending_rows -= bucket.size();
+  std::sort(bucket.begin(), bucket.end(),
+            [](const internal::PendingRow& a, const internal::PendingRow& b) {
+              return std::tie(a.ts, a.db, a.kind) <
+                     std::tie(b.ts, b.db, b.kind);
+            });
+
+  // Merge the creation events (already in (timestamp, database) order;
+  // creation is the smallest kind) with the sorted pending rows.
+  part.events.reserve(creations_out.size() + bucket.size());
+  size_t i = 0;
+  size_t j = 0;
+  auto emit_pending = [&part](const internal::PendingRow& p) {
+    switch (static_cast<telemetry::EventKind>(p.kind)) {
+      case telemetry::EventKind::kSloChanged:
+        part.events.push_back(telemetry::MakeSloChangedEvent(
+            p.ts, p.db, p.sub, p.old_slo, p.new_slo));
+        break;
+      case telemetry::EventKind::kSizeSample:
+        part.events.push_back(
+            telemetry::MakeSizeSampleEvent(p.ts, p.db, p.sub, p.size_mb));
+        break;
+      default:
+        part.events.push_back(telemetry::MakeDroppedEvent(p.ts, p.db, p.sub));
+        break;
+    }
+  };
+  while (i < creations_out.size() || j < bucket.size()) {
+    if (j == bucket.size()) {
+      part.events.push_back(std::move(creations_out[i++]));
+    } else if (i == creations_out.size()) {
+      emit_pending(bucket[j++]);
+    } else {
+      const telemetry::Event& c = creations_out[i];
+      const internal::PendingRow& p = bucket[j];
+      if (std::tuple<Timestamp, telemetry::DatabaseId, uint8_t>(
+              c.timestamp, c.database_id, 0) <
+          std::tie(p.ts, p.db, p.kind)) {
+        part.events.push_back(std::move(creations_out[i++]));
+      } else {
+        emit_pending(bucket[j++]);
+      }
+    }
+  }
+
+  ++rep.stats.partitions_emitted;
+  rep.summary.num_events += part.events.size();
+  return part;
+}
+
+const SimulationSummary& RegionEventStream::summary() const {
+  return rep_->summary;
+}
+
+const RegionEventStream::Stats& RegionEventStream::stats() const {
+  return rep_->stats;
+}
+
+}  // namespace cloudsurv::simulator

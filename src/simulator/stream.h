@@ -1,0 +1,100 @@
+#ifndef CLOUDSURV_SIMULATOR_STREAM_H_
+#define CLOUDSURV_SIMULATOR_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "simulator/region.h"
+#include "simulator/simulator.h"
+#include "telemetry/civil_time.h"
+#include "telemetry/events.h"
+
+namespace cloudsurv::simulator {
+
+namespace internal {
+struct StreamRep;
+}  // namespace internal
+
+/// Knobs for streaming generation.
+struct StreamOptions {
+  /// Width of one emitted partition. Defaults to the telemetry store's
+  /// segment width so AppendEvents(partition) seals exactly one segment
+  /// per pull.
+  int64_t partition_seconds = 7 * telemetry::kSecondsPerDay;
+};
+
+/// Pull-based generator of a region's event log in time order, without
+/// materializing the whole history.
+///
+/// Generation is two-phase. Open() runs a cheap pass that draws only
+/// enough per database to know *when* it is created (each database has
+/// its own forked RNG, so the partial replay is exact) and sorts a
+/// compact creation index by (timestamp, database). NextPartition()
+/// then walks that index in time order: when a creation falls inside
+/// the partition being emitted, the database's full payload — name,
+/// server, SLO-change schedule, size-sample trajectory, drop — is
+/// generated from the same forked RNG and its future events are
+/// bucketed into their partitions. Peak memory is the creation index
+/// plus the compact pending buckets, not the materialized event log.
+///
+/// The emitted concatenation of partitions is sorted by (timestamp,
+/// database, kind) — byte-identical to SimulateRegion(...)->events(),
+/// which is itself implemented on top of this stream.
+class RegionEventStream {
+ public:
+  /// One emitted time slice: `[begin, end)`, events sorted by
+  /// (timestamp, database id, event kind).
+  struct Partition {
+    int64_t index = 0;
+    telemetry::Timestamp begin = 0;
+    telemetry::Timestamp end = 0;
+    std::vector<telemetry::Event> events;
+  };
+
+  /// Streaming-side resource counters.
+  struct Stats {
+    size_t partitions_emitted = 0;
+    /// High-water mark of compact future-event rows buffered across all
+    /// pending partitions (40 bytes each).
+    size_t peak_pending_events = 0;
+    /// Bytes in the sorted creation index (fixed after Open()).
+    size_t creation_index_bytes = 0;
+  };
+
+  /// Validates the config and runs the creation-index pass.
+  static Result<RegionEventStream> Open(const RegionConfig& config,
+                                        StreamOptions options = StreamOptions());
+
+  ~RegionEventStream();
+  RegionEventStream(RegionEventStream&&) noexcept;
+  RegionEventStream& operator=(RegionEventStream&&) noexcept;
+  RegionEventStream(const RegionEventStream&) = delete;
+  RegionEventStream& operator=(const RegionEventStream&) = delete;
+
+  /// Total number of partitions this stream will emit (fixed: the
+  /// observation window divided into partition_seconds slices).
+  size_t num_partitions() const;
+
+  bool Done() const;
+
+  /// Emits the next partition in time order. Must not be called once
+  /// Done().
+  Partition NextPartition();
+
+  /// Population counts. Subscription/archetype tallies and
+  /// num_databases are final after Open(); num_events grows as
+  /// partitions are pulled and is final once Done().
+  const SimulationSummary& summary() const;
+
+  const Stats& stats() const;
+
+ private:
+  RegionEventStream();
+  std::unique_ptr<internal::StreamRep> rep_;
+};
+
+}  // namespace cloudsurv::simulator
+
+#endif  // CLOUDSURV_SIMULATOR_STREAM_H_

@@ -1,0 +1,148 @@
+#include "telemetry/columnar.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace cloudsurv::telemetry::columnar {
+
+const Metrics& GlobalMetrics() {
+  static const Metrics* kMetrics = [] {
+    auto* m = new Metrics();
+    obs::Registry& registry = obs::Registry::Default();
+    m->segments_total = registry.GetCounter(
+        "cloudsurv_telemetry_segments_total",
+        "Event segments sealed across all telemetry stores", "segments");
+    m->interned_strings_total = registry.GetCounter(
+        "cloudsurv_telemetry_interned_strings_total",
+        "Distinct strings interned across all telemetry store pools",
+        "strings");
+    m->resident_bytes = registry.GetGauge(
+        "cloudsurv_telemetry_resident_bytes",
+        "Accounted bytes currently held by live telemetry stores",
+        "bytes");
+    return m;
+  }();
+  return *kMetrics;
+}
+
+namespace {
+
+uint64_t HashBytes(std::string_view s) {
+  // FNV-1a, folded once; good enough for name-shaped keys.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 32;
+  return h;
+}
+
+uint64_t HashId(uint64_t key) {
+  // SplitMix64 finalizer.
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ULL;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBULL;
+  key ^= key >> 31;
+  return key;
+}
+
+}  // namespace
+
+uint32_t StringPool::Intern(std::string_view s) {
+  if (buckets_.empty()) Rehash(256);
+  const uint64_t hash = HashBytes(s);
+  size_t mask = buckets_.size() - 1;
+  size_t b = hash & mask;
+  while (buckets_[b] != UINT32_MAX) {
+    if (View(buckets_[b]) == s) return buckets_[b];
+    b = (b + 1) & mask;
+  }
+  if (chunks_.empty() || chunk_used_ + s.size() > kChunkBytes) {
+    const size_t chunk_size = std::max(kChunkBytes, s.size());
+    chunks_.push_back(std::make_unique<char[]>(chunk_size));
+    chunk_used_ = 0;
+  }
+  char* dest = chunks_.back().get() + chunk_used_;
+  std::memcpy(dest, s.data(), s.size());
+  Span span;
+  span.chunk = static_cast<uint32_t>(chunks_.size() - 1);
+  span.offset = static_cast<uint32_t>(chunk_used_);
+  span.length = static_cast<uint32_t>(s.size());
+  chunk_used_ += s.size();
+  const uint32_t id = static_cast<uint32_t>(spans_.size());
+  spans_.push_back(span);
+  buckets_[b] = id;
+  GlobalMetrics().interned_strings_total->Increment();
+  if (spans_.size() * 10 >= buckets_.size() * 7) Rehash(buckets_.size() * 2);
+  return id;
+}
+
+void StringPool::Rehash(size_t new_buckets) {
+  buckets_.assign(new_buckets, UINT32_MAX);
+  const size_t mask = new_buckets - 1;
+  for (uint32_t id = 0; id < spans_.size(); ++id) {
+    size_t b = HashBytes(View(id)) & mask;
+    while (buckets_[b] != UINT32_MAX) b = (b + 1) & mask;
+    buckets_[b] = id;
+  }
+}
+
+size_t StringPool::ApproxBytes() const {
+  return chunks_.size() * kChunkBytes + spans_.capacity() * sizeof(Span) +
+         buckets_.capacity() * sizeof(uint32_t);
+}
+
+void IdMap::Insert(uint64_t key, uint32_t value) {
+  if (slots_.empty() || (size_ + 1) * 10 >= slots_.size() * 7) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t b = HashId(key) & mask;
+  while (slots_[b].key != kInvalidId) {
+    if (slots_[b].key == key) {
+      slots_[b].value = value;
+      return;
+    }
+    b = (b + 1) & mask;
+  }
+  slots_[b].key = key;
+  slots_[b].value = value;
+  ++size_;
+}
+
+uint32_t IdMap::Find(uint64_t key) const {
+  if (slots_.empty()) return kNotFound;
+  const size_t mask = slots_.size() - 1;
+  size_t b = HashId(key) & mask;
+  while (slots_[b].key != kInvalidId) {
+    if (slots_[b].key == key) return slots_[b].value;
+    b = (b + 1) & mask;
+  }
+  return kNotFound;
+}
+
+void IdMap::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  const size_t new_size = old.empty() ? 1024 : old.size() * 2;
+  slots_.assign(new_size, Slot{});
+  const size_t mask = new_size - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == kInvalidId) continue;
+    size_t b = HashId(slot.key) & mask;
+    while (slots_[b].key != kInvalidId) b = (b + 1) & mask;
+    slots_[b] = slot;
+  }
+}
+
+size_t Segment::ApproxBytes() const {
+  size_t bytes = sizeof(Segment);
+  bytes += n * (sizeof(uint32_t) /*row*/ + sizeof(uint8_t) /*kind*/ +
+                sizeof(uint32_t) /*pix*/);
+  bytes += n * (wide_ts ? sizeof(int64_t) : sizeof(uint32_t));
+  bytes += n_slo * 2 * sizeof(uint16_t);
+  bytes += n_size * sizeof(double);
+  return bytes;
+}
+
+}  // namespace cloudsurv::telemetry::columnar

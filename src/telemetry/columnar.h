@@ -1,0 +1,414 @@
+#ifndef CLOUDSURV_TELEMETRY_COLUMNAR_H_
+#define CLOUDSURV_TELEMETRY_COLUMNAR_H_
+
+// Columnar building blocks for TelemetryStore: an interning string
+// pool, open-addressing id maps, paged chain pools for live per-record
+// lists, and sealed immutable event segments. See docs/telemetry.md for
+// the layout and the memory model derived from it.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/civil_time.h"
+#include "telemetry/types.h"
+
+namespace cloudsurv::obs {
+class Counter;
+class Gauge;
+}  // namespace cloudsurv::obs
+
+namespace cloudsurv::telemetry {
+
+/// One recorded SLO transition of a database.
+struct SloChange {
+  Timestamp timestamp = 0;
+  int old_slo_index = 0;
+  int new_slo_index = 0;
+};
+
+/// One recorded data-size sample of a database.
+struct SizeObservation {
+  Timestamp timestamp = 0;
+  double size_mb = 0.0;
+};
+
+namespace columnar {
+
+/// Process-wide telemetry metrics, resolved once (see
+/// docs/observability.md).
+struct Metrics {
+  obs::Counter* segments_total = nullptr;
+  obs::Counter* interned_strings_total = nullptr;
+  obs::Gauge* resident_bytes = nullptr;
+};
+const Metrics& GlobalMetrics();
+
+/// Append-only interning pool. Ids are dense u32s in first-intern
+/// order; character data lives in chunked storage so views stay valid
+/// for the lifetime of the pool (and across moves of its owner).
+class StringPool {
+ public:
+  StringPool() = default;
+
+  /// Returns the id of `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  std::string_view View(uint32_t id) const {
+    const Span& sp = spans_[id];
+    return std::string_view(chunks_[sp.chunk].get() + sp.offset, sp.length);
+  }
+
+  size_t size() const { return spans_.size(); }
+  size_t ApproxBytes() const;
+
+ private:
+  static constexpr size_t kChunkBytes = 1 << 18;
+
+  struct Span {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  void Rehash(size_t new_buckets);
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = kChunkBytes;  ///< forces first-chunk allocation
+  std::vector<Span> spans_;
+  /// Open-addressing table of interned ids; UINT32_MAX = empty.
+  std::vector<uint32_t> buckets_;
+};
+
+/// Open-addressing map from a 64-bit id to a dense u32 row. `empty_key`
+/// must never be inserted (kInvalidId — rejected by Append upstream).
+class IdMap {
+ public:
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  void Insert(uint64_t key, uint32_t value);
+  uint32_t Find(uint64_t key) const;
+  size_t size() const { return size_; }
+  size_t ApproxBytes() const { return slots_.capacity() * sizeof(Slot); }
+  void Clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = kInvalidId;
+    uint32_t value = 0;
+  };
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+/// Paged chain pools backing the live (pre-Finalize) per-record SLO
+/// change and size sample lists and the per-subscription database
+/// lists. Pages are addressed by index so the backing vectors may grow;
+/// UINT32_MAX terminates a chain.
+inline constexpr uint32_t kNilPage = UINT32_MAX;
+
+struct SloPage {
+  static constexpr int kN = 8;
+  uint32_t next = kNilPage;
+  uint16_t count = 0;
+  uint32_t dt[kN];  ///< seconds since the record's created_at
+  uint16_t old_slo[kN];
+  uint16_t new_slo[kN];
+};
+
+struct SizePage {
+  static constexpr int kN = 8;
+  uint32_t next = kNilPage;
+  uint16_t count = 0;
+  uint32_t dt[kN];
+  double mb[kN];
+};
+
+struct DbIdPage {
+  static constexpr int kN = 8;
+  uint32_t next = kNilPage;
+  uint16_t count = 0;
+  uint64_t ids[kN];
+};
+
+/// Chronological SLO changes of one database: a contiguous slice of the
+/// finalized CSR columns, or a page chain while the store is live.
+/// Elements are materialized on access (absolute timestamps are
+/// reconstructed from the record's creation time).
+class SloChangeSpan {
+ public:
+  SloChangeSpan() = default;
+  /// Contiguous (finalized) mode.
+  SloChangeSpan(Timestamp base, const uint32_t* dt, const uint16_t* old_slo,
+                const uint16_t* new_slo, size_t n)
+      : base_(base), dt_(dt), old_(old_slo), new_(new_slo), count_(n) {}
+  /// Chain (live) mode.
+  SloChangeSpan(Timestamp base, const std::vector<SloPage>* pool,
+                uint32_t head, size_t n)
+      : base_(base), pool_(pool), head_(head), count_(n) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  SloChange operator[](size_t i) const {
+    if (pool_ == nullptr) {
+      return SloChange{base_ + dt_[i], old_[i], new_[i]};
+    }
+    uint32_t page = head_;
+    while (i >= (*pool_)[page].count) {
+      i -= (*pool_)[page].count;
+      page = (*pool_)[page].next;
+    }
+    const SloPage& p = (*pool_)[page];
+    return SloChange{base_ + p.dt[i], p.old_slo[i], p.new_slo[i]};
+  }
+
+  SloChange front() const { return (*this)[0]; }
+  SloChange back() const { return (*this)[count_ - 1]; }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SloChange;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const SloChange*;
+    using reference = SloChange;
+
+    Iterator(const SloChangeSpan* span, size_t i, uint32_t page,
+             uint16_t in_page)
+        : span_(span), i_(i), page_(page), in_page_(in_page) {}
+
+    SloChange operator*() const {
+      if (span_->pool_ == nullptr) {
+        return SloChange{span_->base_ + span_->dt_[i_], span_->old_[i_],
+                         span_->new_[i_]};
+      }
+      const SloPage& p = (*span_->pool_)[page_];
+      return SloChange{span_->base_ + p.dt[in_page_], p.old_slo[in_page_],
+                       p.new_slo[in_page_]};
+    }
+    Iterator& operator++() {
+      ++i_;
+      if (span_->pool_ != nullptr &&
+          ++in_page_ == (*span_->pool_)[page_].count) {
+        page_ = (*span_->pool_)[page_].next;
+        in_page_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const SloChangeSpan* span_;
+    size_t i_;
+    uint32_t page_;
+    uint16_t in_page_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0, head_, 0); }
+  Iterator end() const { return Iterator(this, count_, kNilPage, 0); }
+
+ private:
+  friend class Iterator;
+  Timestamp base_ = 0;
+  const uint32_t* dt_ = nullptr;
+  const uint16_t* old_ = nullptr;
+  const uint16_t* new_ = nullptr;
+  const std::vector<SloPage>* pool_ = nullptr;
+  uint32_t head_ = kNilPage;
+  size_t count_ = 0;
+};
+
+/// Chronological size samples of one database (same two modes as
+/// SloChangeSpan).
+class SizeSampleSpan {
+ public:
+  SizeSampleSpan() = default;
+  SizeSampleSpan(Timestamp base, const uint32_t* dt, const double* mb,
+                 size_t n)
+      : base_(base), dt_(dt), mb_(mb), count_(n) {}
+  SizeSampleSpan(Timestamp base, const std::vector<SizePage>* pool,
+                 uint32_t head, size_t n)
+      : base_(base), pool_(pool), head_(head), count_(n) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  SizeObservation operator[](size_t i) const {
+    if (pool_ == nullptr) {
+      return SizeObservation{base_ + dt_[i], mb_[i]};
+    }
+    uint32_t page = head_;
+    while (i >= (*pool_)[page].count) {
+      i -= (*pool_)[page].count;
+      page = (*pool_)[page].next;
+    }
+    const SizePage& p = (*pool_)[page];
+    return SizeObservation{base_ + p.dt[i], p.mb[i]};
+  }
+
+  SizeObservation front() const { return (*this)[0]; }
+  SizeObservation back() const { return (*this)[count_ - 1]; }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SizeObservation;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const SizeObservation*;
+    using reference = SizeObservation;
+
+    Iterator(const SizeSampleSpan* span, size_t i, uint32_t page,
+             uint16_t in_page)
+        : span_(span), i_(i), page_(page), in_page_(in_page) {}
+
+    SizeObservation operator*() const {
+      if (span_->pool_ == nullptr) {
+        return SizeObservation{span_->base_ + span_->dt_[i_], span_->mb_[i_]};
+      }
+      const SizePage& p = (*span_->pool_)[page_];
+      return SizeObservation{span_->base_ + p.dt[in_page_], p.mb[in_page_]};
+    }
+    Iterator& operator++() {
+      ++i_;
+      if (span_->pool_ != nullptr &&
+          ++in_page_ == (*span_->pool_)[page_].count) {
+        page_ = (*span_->pool_)[page_].next;
+        in_page_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const SizeSampleSpan* span_;
+    size_t i_;
+    uint32_t page_;
+    uint16_t in_page_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0, head_, 0); }
+  Iterator end() const { return Iterator(this, count_, kNilPage, 0); }
+
+ private:
+  friend class Iterator;
+  Timestamp base_ = 0;
+  const uint32_t* dt_ = nullptr;
+  const double* mb_ = nullptr;
+  const std::vector<SizePage>* pool_ = nullptr;
+  uint32_t head_ = kNilPage;
+  size_t count_ = 0;
+};
+
+/// Database ids of one subscription in creation order: a contiguous
+/// slice of the finalized CSR, or a page chain while live.
+class SubscriptionDatabases {
+ public:
+  SubscriptionDatabases() = default;
+  SubscriptionDatabases(const uint64_t* ids, size_t n)
+      : ids_(ids), count_(n) {}
+  SubscriptionDatabases(const std::vector<DbIdPage>* pool, uint32_t head,
+                        size_t n)
+      : pool_(pool), head_(head), count_(n) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  DatabaseId operator[](size_t i) const {
+    if (pool_ == nullptr) return ids_[i];
+    uint32_t page = head_;
+    while (i >= (*pool_)[page].count) {
+      i -= (*pool_)[page].count;
+      page = (*pool_)[page].next;
+    }
+    return (*pool_)[page].ids[i];
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = DatabaseId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const DatabaseId*;
+    using reference = DatabaseId;
+
+    Iterator(const SubscriptionDatabases* span, size_t i, uint32_t page,
+             uint16_t in_page)
+        : span_(span), i_(i), page_(page), in_page_(in_page) {}
+
+    DatabaseId operator*() const {
+      if (span_->pool_ == nullptr) return span_->ids_[i_];
+      return (*span_->pool_)[page_].ids[in_page_];
+    }
+    Iterator& operator++() {
+      ++i_;
+      if (span_->pool_ != nullptr &&
+          ++in_page_ == (*span_->pool_)[page_].count) {
+        page_ = (*span_->pool_)[page_].next;
+        in_page_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const SubscriptionDatabases* span_;
+    size_t i_;
+    uint32_t page_;
+    uint16_t in_page_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0, head_, 0); }
+  Iterator end() const { return Iterator(this, count_, kNilPage, 0); }
+
+ private:
+  friend class Iterator;
+  const uint64_t* ids_ = nullptr;
+  const std::vector<DbIdPage>* pool_ = nullptr;
+  uint32_t head_ = kNilPage;
+  size_t count_ = 0;
+};
+
+/// One sealed, immutable time partition of the event log. Event rows
+/// carry a record row reference instead of raw database/subscription
+/// ids (both are recovered from the record columns), a u32 offset from
+/// `base_ts` when the partition's span allows it, and a per-kind
+/// payload index. Creation events carry no payload here — the record
+/// row *is* the creation payload.
+struct Segment {
+  int64_t base_ts = 0;
+  int64_t min_ts = 0;
+  int64_t max_ts = 0;
+  uint32_t n = 0;
+  std::unique_ptr<uint32_t[]> dt;       ///< null iff wide_ts is set
+  std::unique_ptr<int64_t[]> wide_ts;   ///< fallback for >u32 spans
+  std::unique_ptr<uint32_t[]> row;
+  std::unique_ptr<uint8_t[]> kind;
+  std::unique_ptr<uint32_t[]> pix;
+  uint32_t n_slo = 0;
+  std::unique_ptr<uint16_t[]> slo_old;
+  std::unique_ptr<uint16_t[]> slo_new;
+  uint32_t n_size = 0;
+  std::unique_ptr<double[]> size_mb;
+
+  int64_t TsAt(uint32_t i) const {
+    return wide_ts ? wide_ts[i] : base_ts + static_cast<int64_t>(dt[i]);
+  }
+  size_t ApproxBytes() const;
+};
+
+}  // namespace columnar
+}  // namespace cloudsurv::telemetry
+
+#endif  // CLOUDSURV_TELEMETRY_COLUMNAR_H_

@@ -1,48 +1,46 @@
 #ifndef CLOUDSURV_TELEMETRY_STORE_H_
 #define CLOUDSURV_TELEMETRY_STORE_H_
 
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "telemetry/civil_time.h"
+#include "telemetry/columnar.h"
 #include "telemetry/events.h"
 #include "telemetry/types.h"
 
 namespace cloudsurv::telemetry {
 
-/// One recorded SLO transition of a database.
-struct SloChange {
-  Timestamp timestamp = 0;
-  int old_slo_index = 0;
-  int new_slo_index = 0;
-};
+namespace internal {
+struct StoreRep;
+}  // namespace internal
 
-/// One recorded data-size sample of a database.
-struct SizeObservation {
-  Timestamp timestamp = 0;
-  double size_mb = 0.0;
-};
-
-/// Materialized per-database view assembled from the event log. This is
-/// the unit the cohort builder, survival study and feature extractor all
-/// operate on.
+/// Lightweight per-database view assembled on demand from the store's
+/// record columns. This is the unit the cohort builder, survival study
+/// and feature extractor all operate on. Copies are cheap (a few
+/// pointers); name fields view the store's string pool and the change /
+/// sample spans view its columns, so a record must not outlive the
+/// store it came from.
 struct DatabaseRecord {
   DatabaseId id = kInvalidId;
   SubscriptionId subscription_id = kInvalidId;
   ServerId server_id = kInvalidId;
-  std::string server_name;
-  std::string database_name;
+  std::string_view server_name;
+  std::string_view database_name;
   SubscriptionType subscription_type = SubscriptionType::kPayAsYouGo;
   Timestamp created_at = 0;
   /// Empty while the database is still alive at the end of the
   /// observation window (right-censored).
   std::optional<Timestamp> dropped_at;
   int initial_slo_index = 0;
-  std::vector<SloChange> slo_changes;      ///< Chronological.
-  std::vector<SizeObservation> size_samples;  ///< Chronological.
+  columnar::SloChangeSpan slo_changes;       ///< Chronological.
+  columnar::SizeSampleSpan size_samples;     ///< Chronological.
 
   /// Edition the database was created under. Subgroup assignment in the
   /// paper's experiments uses this (creation edition), so groups stay
@@ -68,44 +66,170 @@ struct DatabaseRecord {
   bool IsDroppedBy(Timestamp ts) const;
 };
 
-/// Append-only event log with per-database and per-subscription indexes.
+/// Lazy sequence of the store's events. Elements are materialized
+/// Event values (creation payload strings are copied out of the pool on
+/// access). Order is append order before Finalize() and sorted
+/// (timestamp, database, kind) order after it — the same contract the
+/// struct store's event vector had.
+class EventSequence {
+ public:
+  explicit EventSequence(const internal::StoreRep* rep) : rep_(rep) {}
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  Event At(size_t i) const;
+  Event operator[](size_t i) const { return At(i); }
+  Event front() const { return At(0); }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Event*;
+    using reference = Event;
+
+    Iterator(const internal::StoreRep* rep, size_t i);
+    Event operator*() const;
+    Iterator& operator++();
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const internal::StoreRep* rep_;
+    size_t i_ = 0;
+    size_t seg_ = 0;      ///< current segment (segments.size() = active)
+    size_t in_seg_ = 0;   ///< offset within the current segment
+  };
+
+  Iterator begin() const { return Iterator(rep_, 0); }
+  Iterator end() const { return Iterator(rep_, size()); }
+
+ private:
+  const internal::StoreRep* rep_;
+};
+
+/// Lazy sequence of the store's database records, ordered by
+/// DatabaseId once finalized (creation order while live).
+class DatabaseRecordRange {
+ public:
+  explicit DatabaseRecordRange(const internal::StoreRep* rep) : rep_(rep) {}
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  DatabaseRecord At(size_t i) const;
+  DatabaseRecord operator[](size_t i) const { return At(i); }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = DatabaseRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const DatabaseRecord*;
+    using reference = DatabaseRecord;
+
+    Iterator(const DatabaseRecordRange* range, size_t i)
+        : range_(range), i_(i) {}
+    DatabaseRecord operator*() const { return range_->At(i_); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const DatabaseRecordRange* range_;
+    size_t i_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  const internal::StoreRep* rep_;
+};
+
+/// Append-only event log over columnar storage.
 ///
-/// Usage: Append() events in any order, then Finalize() once; Finalize
-/// sorts the log, validates lifecycle invariants (exactly one creation
-/// per database, no events outside the create..drop span, drop at most
-/// once) and materializes DatabaseRecords. All read accessors require a
-/// finalized store.
+/// Events append into an active, arena-backed segment whose columns are
+/// pre-sized by Reserve(); when an append crosses a time-partition
+/// boundary (Options::partition_seconds, aligned to window_start) the
+/// active segment seals into an immutable packed Segment. Names are
+/// interned in a per-store string pool; per-database state is built
+/// incrementally into record columns while appends arrive in
+/// (timestamp, database, kind) order, so an ordered store is readable
+/// *before* Finalize() (readable()). Out-of-order appends fall back to
+/// the classic contract: Finalize() gathers, stable-sorts and replays
+/// the log, producing byte-identical state to ordered ingestion.
+///
+/// Finalize() validates lifecycle invariants (exactly one creation per
+/// database, no events outside the create..drop span, drop at most
+/// once, consistent subscription id per database), freezes the record
+/// columns (CSR change/sample lists, id-sorted iteration order) and
+/// drops the live-ingest indexes.
 class TelemetryStore {
  public:
+  struct Options {
+    /// Width of one event segment; boundaries are aligned to
+    /// window_start. Must be positive.
+    int64_t partition_seconds = 7 * kSecondsPerDay;
+  };
+
+  /// Accounted memory footprint, by component. `column_reallocs` counts
+  /// active-segment column growths during appends — zero when Reserve()
+  /// pre-sized the arena (see docs/telemetry.md).
+  struct MemoryStats {
+    size_t total_bytes = 0;
+    size_t event_bytes = 0;
+    size_t record_bytes = 0;
+    size_t string_pool_bytes = 0;
+    size_t index_bytes = 0;
+    size_t num_segments = 0;
+    uint64_t column_reallocs = 0;
+  };
+
   /// `region_name` labels outputs; `utc_offset_minutes` converts event
   /// timestamps to region-local civil time for calendar features.
   TelemetryStore(std::string region_name, int utc_offset_minutes,
                  HolidayCalendar holidays, Timestamp window_start,
                  Timestamp window_end);
+  TelemetryStore(std::string region_name, int utc_offset_minutes,
+                 HolidayCalendar holidays, Timestamp window_start,
+                 Timestamp window_end, Options options);
 
-  TelemetryStore(TelemetryStore&&) = default;
-  TelemetryStore& operator=(TelemetryStore&&) = default;
+  ~TelemetryStore();
+  TelemetryStore(TelemetryStore&&) noexcept;
+  TelemetryStore& operator=(TelemetryStore&&) noexcept;
   TelemetryStore(const TelemetryStore&) = delete;
   TelemetryStore& operator=(const TelemetryStore&) = delete;
 
   /// Appends one event. Only valid before Finalize().
   Status Append(Event event);
 
-  /// Pre-sizes the event log for `n` further events (capacity hint for
-  /// bulk loads; never shrinks).
+  /// Pre-sizes the active segment's columns for `n` further events so a
+  /// bulk AppendEvents() does no mid-segment reallocation (capacity is
+  /// kept across seals; never shrinks).
   void Reserve(size_t n);
 
-  /// Moves a whole batch of events into the log without per-event
-  /// copies. All-or-nothing: the batch is validated first, and on any
-  /// invalid event nothing is appended (`batch` is left untouched).
-  /// Only valid before Finalize().
+  /// Appends a whole batch. All-or-nothing on *malformed* events (an
+  /// invalid id rejects the batch before anything is appended); the
+  /// batch vector is consumed. Only valid before Finalize().
   Status AppendEvents(std::vector<Event>&& batch);
 
-  /// Sorts, validates and indexes the log. Idempotent errors: a second
-  /// call returns FailedPrecondition.
+  /// Validates and freezes the store. Idempotent errors: a second call
+  /// returns FailedPrecondition.
   Status Finalize();
 
-  bool finalized() const { return finalized_; }
+  bool finalized() const;
+
+  /// True when the record accessors (databases(), FindDatabase(),
+  /// DatabasesOfSubscription()) reflect every appended event: either
+  /// the store is finalized, or every append so far arrived in sorted
+  /// order and passed lifecycle validation. Streaming ingestion keeps a
+  /// store readable its whole life, so consumers can score against it
+  /// without a Finalize() barrier.
+  bool readable() const;
 
   const std::string& region_name() const { return region_name_; }
   int utc_offset_minutes() const { return utc_offset_minutes_; }
@@ -115,26 +239,30 @@ class TelemetryStore {
   Timestamp window_start() const { return window_start_; }
   Timestamp window_end() const { return window_end_; }
 
-  /// All events in timestamp order. Requires finalized().
-  const std::vector<Event>& events() const { return events_; }
+  /// All events: append order before Finalize(), sorted order after.
+  EventSequence events() const;
 
-  /// All materialized database records, ordered by DatabaseId.
-  /// Requires finalized().
-  const std::vector<DatabaseRecord>& databases() const { return records_; }
+  /// All database records, ordered by DatabaseId once finalized
+  /// (creation order while live).
+  DatabaseRecordRange databases() const;
 
   /// Record lookup by id; NotFound if the id never appeared.
-  Result<const DatabaseRecord*> FindDatabase(DatabaseId id) const;
+  Result<DatabaseRecord> FindDatabase(DatabaseId id) const;
 
   /// Ids of all databases ever created by `sub` within the window,
   /// ordered by creation time. Empty for unknown subscriptions.
-  const std::vector<DatabaseId>& DatabasesOfSubscription(
+  columnar::SubscriptionDatabases DatabasesOfSubscription(
       SubscriptionId sub) const;
 
   /// All subscription ids seen, sorted.
   std::vector<SubscriptionId> AllSubscriptions() const;
 
-  size_t num_events() const { return events_.size(); }
-  size_t num_databases() const { return records_.size(); }
+  size_t num_events() const;
+  size_t num_databases() const;
+
+  /// Accounted bytes currently held, by component.
+  MemoryStats memory() const;
+  size_t ApproxMemoryBytes() const { return memory().total_bytes; }
 
   /// Serializes the event log as CSV (one event per line, ISO
   /// timestamps). Inverse of ImportCsv.
@@ -150,17 +278,14 @@ class TelemetryStore {
                                           Timestamp window_end);
 
  private:
+  Status AppendInternal(const Event& event);
+
   std::string region_name_;
   int utc_offset_minutes_;
   HolidayCalendar holidays_;
   Timestamp window_start_;
   Timestamp window_end_;
-
-  bool finalized_ = false;
-  std::vector<Event> events_;
-  std::vector<DatabaseRecord> records_;
-  std::unordered_map<DatabaseId, size_t> record_index_;
-  std::unordered_map<SubscriptionId, std::vector<DatabaseId>> by_subscription_;
+  std::unique_ptr<internal::StoreRep> rep_;
 };
 
 }  // namespace cloudsurv::telemetry

@@ -148,8 +148,8 @@ TEST(SubscriptionHistoryTest, GroupsAndStats) {
   const auto target = b.AddDatabase(5, 50.0, -1.0);
   auto store = b.Finish();
 
-  const auto* record = *store.FindDatabase(target);
-  const auto f = SubscriptionHistoryFeatures(store, *record, b.DayTs(52.0));
+  const auto record = *store.FindDatabase(target);
+  const auto f = SubscriptionHistoryFeatures(store, record, b.DayTs(52.0));
   ASSERT_EQ(f.size(), 19u);
   EXPECT_DOUBLE_EQ(f[0], 1.0);  // group 1: sibling B
   EXPECT_DOUBLE_EQ(f[1], 2.0);  // group 2: A and B
@@ -174,7 +174,7 @@ TEST(SubscriptionHistoryTest, LonelyDatabaseIsAllZero) {
   const auto id = b.AddDatabase(9, 5.0, -1.0);
   auto store = b.Finish();
   const auto f =
-      SubscriptionHistoryFeatures(store, **store.FindDatabase(id),
+      SubscriptionHistoryFeatures(store, *store.FindDatabase(id),
                                   b.DayTs(7.0));
   for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
 }

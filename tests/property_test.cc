@@ -58,9 +58,9 @@ TEST_P(SimulatorSweepTest, InvariantsHold) {
     for (auto id : store->DatabasesOfSubscription(sub)) {
       auto record = store->FindDatabase(id);
       ASSERT_TRUE(record.ok());
-      EXPECT_EQ((*record)->subscription_id, sub);
-      EXPECT_GE((*record)->created_at, prev);
-      prev = (*record)->created_at;
+      EXPECT_EQ((*record).subscription_id, sub);
+      EXPECT_GE((*record).created_at, prev);
+      prev = (*record).created_at;
       ++indexed;
     }
   }

@@ -1,0 +1,395 @@
+// Unit tests for the columnar telemetry storage layer: string
+// interning, segment sealing, bit-identity of the columnar accessors
+// against an independent struct-of-vectors materialization of the same
+// event log, CSV round-trips, streaming-vs-batch store identity and
+// the Reserve() no-reallocation guarantee. See docs/telemetry.md.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simulator/simulator.h"
+#include "simulator/stream.h"
+#include "telemetry/columnar.h"
+#include "telemetry/store.h"
+#include "telemetry/types.h"
+#include "tests/test_util.h"
+
+namespace cloudsurv::telemetry {
+namespace {
+
+#define ASSERT_RESULT_OK(r) ASSERT_TRUE((r).ok()) << (r).status()
+
+TEST(StringPoolTest, InterningRoundTrip) {
+  columnar::StringPool pool;
+  const uint32_t a = pool.Intern("server-001");
+  const uint32_t b = pool.Intern("orders");
+  const uint32_t a2 = pool.Intern("server-001");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.View(a), "server-001");
+  EXPECT_EQ(pool.View(b), "orders");
+  EXPECT_EQ(pool.Intern(""), pool.Intern(""));
+  EXPECT_EQ(pool.View(pool.Intern("")), "");
+}
+
+TEST(StringPoolTest, ViewsStableAcrossChunkGrowthAndRehash) {
+  columnar::StringPool pool;
+  // Interned early; must stay valid after the pool grows past several
+  // 256KB chunks and rehashes its bucket table many times.
+  const uint32_t first = pool.Intern("pinned-name");
+  const std::string_view pinned = pool.View(first);
+
+  std::vector<uint32_t> ids;
+  const std::string filler(1000, 'x');
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(pool.Intern(filler + std::to_string(i)));
+  }
+  EXPECT_EQ(pool.size(), 2001u);
+  EXPECT_EQ(pinned, "pinned-name");
+  EXPECT_EQ(pool.View(first).data(), pinned.data());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(pool.View(ids[i]), filler + std::to_string(i));
+  }
+  // Duplicate interns after growth still dedupe.
+  EXPECT_EQ(pool.Intern("pinned-name"), first);
+}
+
+TEST(IdMapTest, InsertFindAndMissing) {
+  columnar::IdMap map;
+  for (uint64_t k = 0; k < 5000; ++k) {
+    map.Insert(k * 2654435761u + 17, static_cast<uint32_t>(k));
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(map.Find(k * 2654435761u + 17), static_cast<uint32_t>(k));
+  }
+  EXPECT_EQ(map.Find(999999999999ull), columnar::IdMap::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// Segment sealing.
+
+TelemetryStore MakeDayPartitionedStore() {
+  HolidayCalendar holidays;
+  TelemetryStore::Options options;
+  options.partition_seconds = kSecondsPerDay;
+  return TelemetryStore("SegTest", 0, holidays, MakeTimestamp(2017, 1, 1),
+                        MakeTimestamp(2017, 3, 1), options);
+}
+
+TEST(SegmentTest, AppendsSealOnPartitionBoundaries) {
+  TelemetryStore store = MakeDayPartitionedStore();
+  const Timestamp t0 = store.window_start();
+  // Ten days of events, a few per day -> nine sealed segments plus the
+  // active one.
+  for (int day = 0; day < 10; ++day) {
+    const Timestamp ts = t0 + day * kSecondsPerDay + 3600;
+    DatabaseCreatedPayload payload;
+    payload.server_id = 7;
+    payload.server_name = "srv";
+    payload.database_name = "db" + std::to_string(day);
+    payload.slo_index = 0;
+    ASSERT_OK(store.Append(
+        MakeCreatedEvent(ts, /*db=*/100 + day, /*sub=*/1, payload)));
+    ASSERT_OK(store.Append(
+        MakeSizeSampleEvent(ts + 60, 100 + day, 1, 10.0 + day)));
+  }
+  EXPECT_EQ(store.memory().num_segments, 9u);
+  EXPECT_EQ(store.num_events(), 20u);
+  EXPECT_TRUE(store.readable());
+
+  // Sealed events replay in append order pre-Finalize.
+  size_t i = 0;
+  for (const Event& event : store.events()) {
+    EXPECT_EQ(event.database_id, 100u + i / 2);
+    ++i;
+  }
+  ASSERT_OK(store.Finalize());
+  EXPECT_EQ(store.num_databases(), 10u);
+}
+
+TEST(SegmentTest, WideTimestampFallbackBeyondU32Span) {
+  // A sealed segment stores timestamps as u32 deltas from its earliest
+  // event; two databases more than u32 seconds apart inside one giant
+  // partition force the wide_ts fallback. Per-record deltas stay tiny,
+  // so only the event columns go wide. Values must round-trip exactly.
+  HolidayCalendar holidays;
+  TelemetryStore::Options options;
+  options.partition_seconds = 1ll << 40;
+  const Timestamp start = MakeTimestamp(2017, 1, 1);
+  const Timestamp far = start + 5'000'000'000ll;  // > u32 seconds later
+  TelemetryStore store("WideTest", 0, holidays, start, far + kSecondsPerDay,
+                       options);
+  DatabaseCreatedPayload payload;
+  payload.server_id = 1;
+  payload.server_name = "s";
+  payload.database_name = "d";
+  ASSERT_OK(store.Append(MakeCreatedEvent(start, 1, 1, payload)));
+  ASSERT_OK(store.Append(MakeSizeSampleEvent(start + 60, 1, 1, 1.0)));
+  ASSERT_OK(store.Append(MakeCreatedEvent(far, 2, 1, payload)));
+  ASSERT_OK(store.Append(MakeSizeSampleEvent(far + 60, 2, 1, 2.0)));
+  ASSERT_OK(store.Finalize());
+  EXPECT_EQ(store.memory().num_segments, 1u);
+  EXPECT_EQ(store.events()[2].timestamp, far);
+  EXPECT_EQ(store.events()[3].timestamp, far + 60);
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity against an independent materialization.
+
+/// Reference record assembled with plain structs from the raw event
+/// log — the shape the pre-columnar store used. Everything the
+/// columnar accessors return must match this bit for bit.
+struct RefRecord {
+  SubscriptionId sub = kInvalidId;
+  ServerId server_id = kInvalidId;
+  std::string server_name;
+  std::string database_name;
+  SubscriptionType type = SubscriptionType::kPayAsYouGo;
+  Timestamp created_at = 0;
+  std::optional<Timestamp> dropped_at;
+  int initial_slo_index = 0;
+  std::vector<SloChange> slo_changes;
+  std::vector<SizeObservation> size_samples;
+};
+
+std::unordered_map<DatabaseId, RefRecord> Materialize(
+    const std::vector<Event>& events) {
+  std::unordered_map<DatabaseId, RefRecord> out;
+  for (const Event& event : events) {
+    switch (event.kind()) {
+      case EventKind::kDatabaseCreated: {
+        const auto& p = std::get<DatabaseCreatedPayload>(event.payload);
+        RefRecord& rec = out[event.database_id];
+        rec.sub = event.subscription_id;
+        rec.server_id = p.server_id;
+        rec.server_name = p.server_name;
+        rec.database_name = p.database_name;
+        rec.type = p.subscription_type;
+        rec.created_at = event.timestamp;
+        rec.initial_slo_index = p.slo_index;
+        break;
+      }
+      case EventKind::kSloChanged: {
+        const auto& p = std::get<SloChangedPayload>(event.payload);
+        out[event.database_id].slo_changes.push_back(
+            {event.timestamp, p.old_slo_index, p.new_slo_index});
+        break;
+      }
+      case EventKind::kSizeSample: {
+        const auto& p = std::get<SizeSamplePayload>(event.payload);
+        out[event.database_id].size_samples.push_back(
+            {event.timestamp, p.size_mb});
+        break;
+      }
+      case EventKind::kDatabaseDropped:
+        out[event.database_id].dropped_at = event.timestamp;
+        break;
+    }
+  }
+  return out;
+}
+
+void ExpectStoreMatchesReference(
+    const TelemetryStore& store,
+    const std::unordered_map<DatabaseId, RefRecord>& ref) {
+  ASSERT_EQ(store.num_databases(), ref.size());
+  for (const DatabaseRecord& rec : store.databases()) {
+    auto it = ref.find(rec.id);
+    ASSERT_NE(it, ref.end()) << "unknown database " << rec.id;
+    const RefRecord& want = it->second;
+    EXPECT_EQ(rec.subscription_id, want.sub);
+    EXPECT_EQ(rec.server_id, want.server_id);
+    EXPECT_EQ(rec.server_name, want.server_name);
+    EXPECT_EQ(rec.database_name, want.database_name);
+    EXPECT_EQ(rec.subscription_type, want.type);
+    EXPECT_EQ(rec.created_at, want.created_at);
+    EXPECT_EQ(rec.dropped_at, want.dropped_at);
+    EXPECT_EQ(rec.initial_slo_index, want.initial_slo_index);
+    ASSERT_EQ(rec.slo_changes.size(), want.slo_changes.size());
+    for (size_t i = 0; i < want.slo_changes.size(); ++i) {
+      EXPECT_EQ(rec.slo_changes[i].timestamp, want.slo_changes[i].timestamp);
+      EXPECT_EQ(rec.slo_changes[i].old_slo_index,
+                want.slo_changes[i].old_slo_index);
+      EXPECT_EQ(rec.slo_changes[i].new_slo_index,
+                want.slo_changes[i].new_slo_index);
+    }
+    ASSERT_EQ(rec.size_samples.size(), want.size_samples.size());
+    for (size_t i = 0; i < want.size_samples.size(); ++i) {
+      EXPECT_EQ(rec.size_samples[i].timestamp, want.size_samples[i].timestamp);
+      // Bit-identity, not approximate equality.
+      EXPECT_EQ(rec.size_samples[i].size_mb, want.size_samples[i].size_mb);
+    }
+  }
+}
+
+TEST(ColumnarIdentityTest, SimulatedRegionMatchesStructMaterialization) {
+  auto config = simulator::MakeRegionPreset(2, /*num_subscriptions=*/80, 42);
+  ASSERT_RESULT_OK(config);
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_RESULT_OK(store);
+
+  std::vector<Event> raw;
+  raw.reserve(store->num_events());
+  for (const Event& event : store->events()) raw.push_back(event);
+  ExpectStoreMatchesReference(*store, Materialize(raw));
+}
+
+TEST(ColumnarIdentityTest, OutOfOrderIngestMatchesOrderedIngest) {
+  // The same events appended in sorted order (readable live path) and
+  // in scrambled order (Finalize sort-and-replay path) must produce
+  // identical stores.
+  auto config = simulator::MakeRegionPreset(1, 40, 7);
+  ASSERT_RESULT_OK(config);
+  auto events = simulator::GenerateEventStream(*config);
+  ASSERT_RESULT_OK(events);
+
+  HolidayCalendar holidays = config->holidays;
+  TelemetryStore ordered(config->name, config->utc_offset_minutes, holidays,
+                         config->window_start, config->window_end);
+  for (const Event& event : *events) ASSERT_OK(ordered.Append(event));
+  EXPECT_TRUE(ordered.readable());
+  ASSERT_OK(ordered.Finalize());
+
+  // Deterministic scramble: stride the log.
+  TelemetryStore scrambled(config->name, config->utc_offset_minutes, holidays,
+                           config->window_start, config->window_end);
+  const size_t n = events->size();
+  for (size_t stride = 0; stride < 7; ++stride) {
+    for (size_t i = stride; i < n; i += 7) {
+      ASSERT_OK(scrambled.Append((*events)[i]));
+    }
+  }
+  EXPECT_FALSE(scrambled.readable());
+  ASSERT_OK(scrambled.Finalize());
+
+  ASSERT_EQ(ordered.num_events(), scrambled.num_events());
+  auto it = scrambled.events().begin();
+  for (const Event& a : ordered.events()) {
+    const Event b = *it;
+    EXPECT_EQ(a.timestamp, b.timestamp);
+    EXPECT_EQ(a.database_id, b.database_id);
+    EXPECT_EQ(a.kind(), b.kind());
+    ++it;
+  }
+  std::vector<Event> raw(events->begin(), events->end());
+  ExpectStoreMatchesReference(scrambled, Materialize(raw));
+}
+
+// ---------------------------------------------------------------------
+// CSV round-trip.
+
+TEST(ColumnarCsvTest, ImportEquivalentToDirectIngest) {
+  auto config = simulator::MakeRegionPreset(3, 50, 11);
+  ASSERT_RESULT_OK(config);
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_RESULT_OK(store);
+
+  const std::string csv = store->ExportCsv();
+  auto imported = TelemetryStore::ImportCsv(
+      csv, store->region_name(), store->utc_offset_minutes(),
+      store->holidays(), store->window_start(), store->window_end());
+  ASSERT_RESULT_OK(imported);
+  EXPECT_TRUE(imported->finalized());
+  ASSERT_EQ(imported->num_events(), store->num_events());
+  ASSERT_EQ(imported->num_databases(), store->num_databases());
+
+  // The CSV interchange format carries size samples at three decimal
+  // places; quantize the reference the same way. Everything else must
+  // survive the round trip bit for bit.
+  std::vector<Event> raw;
+  for (const Event& event : store->events()) raw.push_back(event);
+  for (Event& event : raw) {
+    if (event.kind() == EventKind::kSizeSample) {
+      auto& p = std::get<SizeSamplePayload>(event.payload);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", p.size_mb);
+      p.size_mb = std::stod(buf);
+    }
+  }
+  ExpectStoreMatchesReference(*imported, Materialize(raw));
+
+  // A second export is a fixed point: byte-identical to the first.
+  EXPECT_EQ(imported->ExportCsv(), csv);
+}
+
+// ---------------------------------------------------------------------
+// Streaming generation vs batch simulation.
+
+TEST(StreamingTest, PartitionedStreamRebuildsBatchStore) {
+  auto config = simulator::MakeRegionPreset(1, 60, 2017);
+  ASSERT_RESULT_OK(config);
+  auto batch = simulator::SimulateRegion(*config);
+  ASSERT_RESULT_OK(batch);
+
+  auto stream = simulator::RegionEventStream::Open(*config);
+  ASSERT_RESULT_OK(stream);
+  TelemetryStore rebuilt(config->name, config->utc_offset_minutes,
+                         config->holidays, config->window_start,
+                         config->window_end);
+  Timestamp last_end = config->window_start;
+  while (!stream->Done()) {
+    simulator::RegionEventStream::Partition part = stream->NextPartition();
+    EXPECT_GE(part.begin, last_end - 1);  // partitions advance
+    last_end = part.end;
+    rebuilt.Reserve(part.events.size());
+    ASSERT_OK(rebuilt.AppendEvents(std::move(part.events)));
+    EXPECT_TRUE(rebuilt.readable());
+  }
+  ASSERT_OK(rebuilt.Finalize());
+
+  ASSERT_EQ(rebuilt.num_events(), batch->num_events());
+  ASSERT_EQ(rebuilt.num_databases(), batch->num_databases());
+  auto it = rebuilt.events().begin();
+  for (const Event& a : batch->events()) {
+    const Event b = *it;
+    EXPECT_EQ(a.timestamp, b.timestamp);
+    EXPECT_EQ(a.database_id, b.database_id);
+    EXPECT_EQ(a.subscription_id, b.subscription_id);
+    EXPECT_EQ(a.kind(), b.kind());
+    ++it;
+  }
+  std::vector<Event> raw;
+  for (const Event& event : batch->events()) raw.push_back(event);
+  ExpectStoreMatchesReference(rebuilt, Materialize(raw));
+}
+
+// ---------------------------------------------------------------------
+// Reserve() and the no-reallocation guarantee.
+
+TEST(ReserveTest, BulkAppendAfterReserveNeverReallocates) {
+  auto config = simulator::MakeRegionPreset(2, 60, 5);
+  ASSERT_RESULT_OK(config);
+  auto events = simulator::GenerateEventStream(*config);
+  ASSERT_RESULT_OK(events);
+
+  TelemetryStore store(config->name, config->utc_offset_minutes,
+                       config->holidays, config->window_start,
+                       config->window_end);
+  store.Reserve(events->size());
+  ASSERT_OK(store.AppendEvents(std::move(*events)));
+  EXPECT_EQ(store.memory().column_reallocs, 0u);
+  ASSERT_OK(store.Finalize());
+  EXPECT_EQ(store.memory().column_reallocs, 0u);
+}
+
+TEST(ReserveTest, MemoryStatsComponentsSumToTotal) {
+  auto config = simulator::MakeRegionPreset(1, 40, 3);
+  ASSERT_RESULT_OK(config);
+  auto store = simulator::SimulateRegion(*config);
+  ASSERT_RESULT_OK(store);
+  const TelemetryStore::MemoryStats m = store->memory();
+  EXPECT_EQ(m.total_bytes, m.event_bytes + m.record_bytes +
+                               m.string_pool_bytes + m.index_bytes);
+  EXPECT_GT(m.event_bytes, 0u);
+  EXPECT_GT(m.record_bytes, 0u);
+  EXPECT_GT(m.string_pool_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cloudsurv::telemetry

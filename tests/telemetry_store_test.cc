@@ -54,12 +54,12 @@ TEST(StoreTest, BasicLifecycleAssembly) {
   ASSERT_EQ(store.num_databases(), 1u);
   auto rec = store.FindDatabase(id);
   ASSERT_TRUE(rec.ok());
-  EXPECT_EQ((*rec)->database_name, "orders");
-  EXPECT_EQ((*rec)->initial_edition(), Edition::kStandard);
-  EXPECT_TRUE((*rec)->dropped_at.has_value());
-  EXPECT_NEAR((*rec)->ObservedLifespanDays(store.window_end()), 37.0, 1e-9);
-  ASSERT_EQ((*rec)->size_samples.size(), 2u);
-  ASSERT_EQ((*rec)->slo_changes.size(), 1u);
+  EXPECT_EQ((*rec).database_name, "orders");
+  EXPECT_EQ((*rec).initial_edition(), Edition::kStandard);
+  EXPECT_TRUE((*rec).dropped_at.has_value());
+  EXPECT_NEAR((*rec).ObservedLifespanDays(store.window_end()), 37.0, 1e-9);
+  ASSERT_EQ((*rec).size_samples.size(), 2u);
+  ASSERT_EQ((*rec).slo_changes.size(), 1u);
 }
 
 TEST(StoreTest, SloAtTimeAndEditionChange) {
@@ -69,14 +69,14 @@ TEST(StoreTest, SloAtTimeAndEditionChange) {
   b.AddSloChange(id, 1, 5.0, SloIndexByName("P1"), SloIndexByName("S3"));
   b.AddSloChange(id, 1, 8.0, SloIndexByName("S3"), SloIndexByName("P2"));
   TelemetryStore store = b.Finish();
-  const DatabaseRecord* rec = *store.FindDatabase(id);
+  const DatabaseRecord rec = *store.FindDatabase(id);
 
-  EXPECT_EQ(rec->SloIndexAt(b.DayTs(1.0)), SloIndexByName("P1"));
-  EXPECT_EQ(rec->SloIndexAt(b.DayTs(6.0)), SloIndexByName("S3"));
-  EXPECT_EQ(rec->SloIndexAt(b.DayTs(9.0)), SloIndexByName("P2"));
-  EXPECT_EQ(rec->EditionAt(b.DayTs(6.0)), Edition::kStandard);
-  EXPECT_TRUE(rec->ChangedEditionDuringLifetime());
-  EXPECT_FALSE(rec->dropped_at.has_value());  // censored
+  EXPECT_EQ(rec.SloIndexAt(b.DayTs(1.0)), SloIndexByName("P1"));
+  EXPECT_EQ(rec.SloIndexAt(b.DayTs(6.0)), SloIndexByName("S3"));
+  EXPECT_EQ(rec.SloIndexAt(b.DayTs(9.0)), SloIndexByName("P2"));
+  EXPECT_EQ(rec.EditionAt(b.DayTs(6.0)), Edition::kStandard);
+  EXPECT_TRUE(rec.ChangedEditionDuringLifetime());
+  EXPECT_FALSE(rec.dropped_at.has_value());  // censored
 }
 
 TEST(StoreTest, WithinEditionChangeIsNotEditionChange) {
@@ -85,16 +85,16 @@ TEST(StoreTest, WithinEditionChangeIsNotEditionChange) {
       b.AddDatabase(1, 0.0, 20.0, "db", "s", SloIndexByName("S0"));
   b.AddSloChange(id, 1, 5.0, SloIndexByName("S0"), SloIndexByName("S3"));
   TelemetryStore store = b.Finish();
-  EXPECT_FALSE((*store.FindDatabase(id))->ChangedEditionDuringLifetime());
+  EXPECT_FALSE((*store.FindDatabase(id)).ChangedEditionDuringLifetime());
 }
 
 TEST(StoreTest, CensoredLifespanCapsAtWindowEnd) {
   StoreBuilder b;
   const DatabaseId id = b.AddDatabase(1, 100.0, -1.0);
   TelemetryStore store = b.Finish();
-  EXPECT_NEAR((*store.FindDatabase(id))
-                  ->ObservedLifespanDays(store.window_end()),
-              50.0, 1e-9);
+  EXPECT_NEAR(
+      (*store.FindDatabase(id)).ObservedLifespanDays(store.window_end()),
+      50.0, 1e-9);
 }
 
 TEST(StoreTest, RejectsDuplicateCreation) {
@@ -201,17 +201,17 @@ TEST(StoreCsvTest, ExportImportRoundTrip) {
   ASSERT_TRUE(imported.ok()) << imported.status();
   ASSERT_EQ(imported->num_databases(), store.num_databases());
   ASSERT_EQ(imported->num_events(), store.num_events());
-  const DatabaseRecord* a = *store.FindDatabase(id);
-  const DatabaseRecord* c = *imported->FindDatabase(id);
-  EXPECT_EQ(a->database_name, c->database_name);
-  EXPECT_EQ(a->server_name, c->server_name);
-  EXPECT_EQ(a->created_at, c->created_at);
-  EXPECT_EQ(a->dropped_at, c->dropped_at);
-  EXPECT_EQ(a->initial_slo_index, c->initial_slo_index);
-  EXPECT_EQ(a->subscription_type, c->subscription_type);
-  ASSERT_EQ(c->slo_changes.size(), 1u);
-  ASSERT_EQ(c->size_samples.size(), 1u);
-  EXPECT_NEAR(c->size_samples[0].size_mb, 123.456, 1e-3);
+  const DatabaseRecord a = *store.FindDatabase(id);
+  const DatabaseRecord c = *imported->FindDatabase(id);
+  EXPECT_EQ(a.database_name, c.database_name);
+  EXPECT_EQ(a.server_name, c.server_name);
+  EXPECT_EQ(a.created_at, c.created_at);
+  EXPECT_EQ(a.dropped_at, c.dropped_at);
+  EXPECT_EQ(a.initial_slo_index, c.initial_slo_index);
+  EXPECT_EQ(a.subscription_type, c.subscription_type);
+  ASSERT_EQ(c.slo_changes.size(), 1u);
+  ASSERT_EQ(c.size_samples.size(), 1u);
+  EXPECT_NEAR(c.size_samples[0].size_mb, 123.456, 1e-3);
 }
 
 TEST(StoreCsvTest, ImportRejectsMalformedLines) {

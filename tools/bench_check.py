@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Gate the inference benchmark against a committed baseline.
+"""Gate a benchmark JSON document against a committed baseline.
 
 Usage:
     python3 tools/bench_check.py --current out.json \
         [--baseline bench/baselines/inference_throughput.json] \
         [--max-regression 0.20]
 
-The benchmark (bench/inference_throughput) emits one JSON document per
-run. Absolute rows/sec numbers do not transfer between machines, so the
-check compares *ratios*: each flat configuration's speedup_vs_legacy is
-measured against the same configuration in the committed baseline, and
-the build fails if any configuration lost more than --max-regression
-(default 20%) of its baseline speedup. Correctness gates are absolute:
-bit_identical and startup.first_score_identical must both hold.
+The benchmark format is auto-detected from the document's "bench"
+field; documents without one are the original inference format.
+
+inference_throughput: absolute rows/sec numbers do not transfer
+between machines, so the check compares *ratios*: each flat
+configuration's speedup_vs_legacy is measured against the same
+configuration in the committed baseline, and the build fails if any
+configuration lost more than --max-regression (default 20%) of its
+baseline speedup. Correctness gates are absolute: bit_identical and
+startup.first_score_identical must both hold.
+
+telemetry_ingest: the columnar-vs-struct ingest ratio must not lose
+more than --max-regression vs the baseline ratio; the columnar
+bytes/database (deterministic accounting, machine-portable) must stay
+under the baseline value plus the same tolerance; and two absolute
+gates from the capacity model in docs/telemetry.md: the struct layout
+must cost >= 3x the columnar bytes/database, and column_reallocs must
+be zero (Reserve() pre-sizes segment arenas).
 
 Coverage rules:
   - scalar rows must be present in the current output;
@@ -51,6 +62,55 @@ def flat_runs(doc):
     return out
 
 
+def check_telemetry(current, baseline, max_regression):
+    """Gates for the telemetry_ingest format. Returns (failures, summary)."""
+    failures = []
+    cur_col = current.get("columnar", {})
+    base_col = baseline.get("columnar", {})
+    cur_ratios = current.get("ratios", {})
+    base_ratios = baseline.get("ratios", {})
+
+    # Absolute gates from the capacity model: never waived.
+    bytes_ratio = cur_ratios.get("struct_vs_columnar_bytes", 0.0)
+    if bytes_ratio < 3.0:
+        failures.append(
+            f"struct_vs_columnar_bytes is {bytes_ratio:.2f}, below the "
+            "3x capacity-model floor (docs/telemetry.md)")
+    reallocs = cur_col.get("column_reallocs", -1)
+    if reallocs != 0:
+        failures.append(
+            f"column_reallocs is {reallocs} (Reserve() should pre-size "
+            "segment arenas so bulk ingest never reallocates mid-segment)")
+
+    # Ingest speed: ratio-of-ratios, machine-portable.
+    base_ingest = base_ratios.get("columnar_vs_struct_ingest", 0.0)
+    cur_ingest = cur_ratios.get("columnar_vs_struct_ingest", 0.0)
+    if base_ingest > 0.0:
+        floor = base_ingest * (1.0 - max_regression)
+        if cur_ingest < floor:
+            failures.append(
+                f"ingest ratio regression: columnar_vs_struct_ingest "
+                f"{cur_ingest:.3f} vs baseline {base_ingest:.3f} "
+                f"(floor {floor:.3f})")
+
+    # Memory footprint ceiling: accounting is deterministic, so the
+    # baseline value transfers between machines; the tolerance only
+    # absorbs allocator-driven capacity jitter.
+    base_bpd = base_col.get("bytes_per_database", 0.0)
+    cur_bpd = cur_col.get("bytes_per_database", 0.0)
+    if base_bpd > 0.0:
+        ceiling = base_bpd * (1.0 + max_regression)
+        if cur_bpd > ceiling:
+            failures.append(
+                f"bytes_per_database grew to {cur_bpd:.1f} vs baseline "
+                f"{base_bpd:.1f} (ceiling {ceiling:.1f})")
+
+    summary = (f"telemetry_ingest: {cur_bpd:.1f} bytes/database "
+               f"({bytes_ratio:.2f}x under struct layout), ingest ratio "
+               f"{cur_ingest:.3f}")
+    return failures, summary
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--current", required=True,
@@ -67,6 +127,22 @@ def main():
     baseline = load(args.baseline)
     failures = []
     notes = []
+
+    kind = current.get("bench", "inference_throughput")
+    base_kind = baseline.get("bench", "inference_throughput")
+    if kind != base_kind:
+        sys.exit(f"bench_check: current is '{kind}' but baseline is "
+                 f"'{base_kind}' — wrong --baseline?")
+
+    if kind == "telemetry_ingest":
+        failures, summary = check_telemetry(current, baseline,
+                                            args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"bench_check: FAIL: {failure}", file=sys.stderr)
+            sys.exit(1)
+        print(f"bench_check: OK ({summary})")
+        return
 
     # Correctness gates: absolute, never waived.
     if not current.get("bit_identical", False):

@@ -8,6 +8,9 @@
 //   cloudsurv assess    --telemetry region.csv --model service.model [--top 20]
 //   cloudsurv serve-sim --region 1 --subs 800 --seed 7 --threads 8
 //                       --shards 16 --flush-interval 1 [--fault-plan plan.txt]
+//   cloudsurv serve-sim --stream --regions 3 --subs 100000 --seed 7
+//                       [--partition-days 7] [--verify full|sample|off]
+//                       [--verify-sample K]
 //
 // The CSV format is TelemetryStore::ExportCsv()'s; `analyze` prints the
 // survival study (Figure 1 / Observations 3.1-3.3 style), `train`
@@ -22,6 +25,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -45,6 +50,8 @@
 #include "serving/scoring_engine.h"
 #include "simulator/region.h"
 #include "simulator/simulator.h"
+#include "simulator/stream.h"
+#include "telemetry/columnar.h"
 #include "survival/kaplan_meier.h"
 #include "survival/parametric.h"
 
@@ -80,6 +87,17 @@ struct Args {
   int64_t block_rows = 0;
   /// Traversal kernel for batch scoring: auto, scalar, or avx2.
   std::string traversal = "auto";
+  /// serve-sim streaming mode: generate each region's event log with
+  /// RegionEventStream instead of materializing it, interleaving
+  /// partition pulls across --regions engines.
+  bool stream = false;
+  int regions = 1;
+  double partition_days = 7.0;
+  /// Post-replay verification against batch Assess: "full" re-checks
+  /// every streamed assessment, "sample" checks --verify-sample of
+  /// them per region, "off" skips (the 10M-database setting).
+  std::string verify = "full";
+  int64_t verify_sample = 2000;
 };
 
 int Usage() {
@@ -102,6 +120,11 @@ int Usage() {
       "            [--shed-high N] [--shed-low N]\n"
       "            [--inference flat|legacy] [--block-rows N]\n"
       "            [--traversal auto|scalar|avx2]\n"
+      "            [--stream] [--regions N] [--partition-days D]\n"
+      "            [--verify full|sample|off] [--verify-sample K]\n"
+      "--stream generates events with the streaming simulator (no\n"
+      "materialized history) and drives one scoring engine per region,\n"
+      "interleaving weekly partitions; incompatible with fault flags.\n"
       "--model accepts both the text format written by train and the\n"
       "CSRV binary artifact written by pack (detected by file magic).\n");
   return 2;
@@ -301,6 +324,40 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr,
                      "InvalidArgument: --traversal avx2 requested but "
                      "this build/CPU has no AVX2 kernel\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      args->stream = true;
+    } else if (std::strcmp(argv[i], "--regions") == 0) {
+      const char* v = need_value("--regions");
+      if (v == nullptr) return false;
+      int64_t regions = 0;
+      if (!ParseInt64Flag("--regions", v, 1, &regions)) return false;
+      args->regions = static_cast<int>(regions);
+    } else if (std::strcmp(argv[i], "--partition-days") == 0) {
+      const char* v = need_value("--partition-days");
+      if (v == nullptr) return false;
+      if (!ParseDoubleFlag("--partition-days", v, 0.0, true,
+                           &args->partition_days)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      const char* v = need_value("--verify");
+      if (v == nullptr) return false;
+      args->verify = v;
+      if (args->verify != "full" && args->verify != "sample" &&
+          args->verify != "off") {
+        std::fprintf(stderr,
+                     "InvalidArgument: --verify must be full, sample or "
+                     "off, got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--verify-sample") == 0) {
+      const char* v = need_value("--verify-sample");
+      if (v == nullptr) return false;
+      if (!ParseInt64Flag("--verify-sample", v, 1,
+                          &args->verify_sample)) {
         return false;
       }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
@@ -652,7 +709,7 @@ int CmdAssess(const Args& args) {
     if (shown < args.top) {
       std::printf("%-10llu %-26s %-8s %7.2f %-9s %-8s\n",
                   static_cast<unsigned long long>(record.id),
-                  record.database_name.c_str(),
+                  std::string(record.database_name).c_str(),
                   telemetry::EditionToString(record.initial_edition()),
                   assessment->positive_probability,
                   assessment->confident
@@ -668,11 +725,305 @@ int CmdAssess(const Args& args) {
   return 0;
 }
 
+// Streaming serve-sim: one RegionEventStream + ScoringEngine per
+// region, partitions interleaved round-robin so every region is live
+// at once — the multi-region "serve the planet from one box" setting.
+// Events are generated in time order and never materialized as a full
+// history; each engine's per-shard columnar stores are the only copy
+// of the telemetry. Verification (optional) batch-simulates each
+// region afterwards and cross-checks streamed assessments.
+int CmdServeSimStream(const Args& args) {
+  if (!args.fault_plan_path.empty() || args.deadline_us > 0.0 ||
+      args.shed_high > 0) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --stream does not compose with "
+                 "--fault-plan/--deadline-us/--shed-high\n");
+    return 2;
+  }
+
+  // Model: load from --model, else auto-train on a compact batch
+  // simulation — the streaming replay itself never materializes a
+  // trainable history.
+  std::shared_ptr<core::LongevityService> model;
+  if (!args.model_path.empty()) {
+    auto loaded = LoadServiceModel(args.model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "model load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::make_shared<core::LongevityService>(
+        std::move(loaded).value());
+    std::printf("serving model from %s%s\n", args.model_path.c_str(),
+                model->inference_compiled() ? " (compiled artifact)" : "");
+  } else {
+    const size_t train_subs = std::min<size_t>(args.subs, 600);
+    auto train_config =
+        simulator::MakeRegionPreset(1, train_subs, args.seed);
+    if (!train_config.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   train_config.status().ToString().c_str());
+      return 1;
+    }
+    auto train_store = simulator::SimulateRegion(*train_config);
+    if (!train_store.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   train_store.status().ToString().c_str());
+      return 1;
+    }
+    core::LongevityService::Options train_options;
+    train_options.seed = args.seed;
+    auto trained =
+        core::LongevityService::Train(*train_store, train_options);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    model = std::make_shared<core::LongevityService>(
+        std::move(trained).value());
+    std::printf("auto-trained on %zu databases "
+                "(batch sim, %zu subscriptions)\n",
+                train_store->num_databases(), train_subs);
+  }
+  // Verification ground truth stays on the legacy per-row path (copy
+  // taken before publish compiles the flat layout).
+  const auto ground_truth =
+      std::make_shared<const core::LongevityService>(*model);
+  const bool use_flat = args.inference == "flat";
+
+  simulator::StreamOptions stream_options;
+  stream_options.partition_seconds = static_cast<int64_t>(
+      args.partition_days *
+      static_cast<double>(telemetry::kSecondsPerDay));
+
+  struct RegionRun {
+    simulator::RegionConfig config;
+    std::optional<simulator::RegionEventStream> stream;
+    std::unique_ptr<serving::ScoringEngine> engine;
+    std::vector<serving::ScoredDatabase> streamed;
+    uint64_t events = 0;
+  };
+  std::vector<RegionRun> runs;
+  runs.reserve(static_cast<size_t>(args.regions));
+  for (int r = 1; r <= args.regions; ++r) {
+    // Presets cycle 1-2-3; past three regions each copy still gets a
+    // distinct seed (and a distinct name) so populations differ.
+    auto config = simulator::MakeRegionPreset(
+        ((r - 1) % 3) + 1, args.subs,
+        args.seed + static_cast<uint64_t>(r - 1));
+    if (!config.ok()) {
+      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+      return 1;
+    }
+    if (args.regions > 3) config->name += "-" + std::to_string(r);
+    RegionRun run;
+    run.config = *config;
+    auto stream =
+        simulator::RegionEventStream::Open(run.config, stream_options);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+      return 1;
+    }
+    run.stream.emplace(std::move(*stream));
+
+    serving::RegionContext ctx;
+    ctx.region_name = run.config.name;
+    ctx.utc_offset_minutes = run.config.utc_offset_minutes;
+    ctx.holidays = run.config.holidays;
+    ctx.window_start = run.config.window_start;
+    ctx.window_end = run.config.window_end;
+    serving::ScoringEngine::Options options;
+    options.num_threads = static_cast<size_t>(std::max(1, args.threads));
+    options.num_shards = static_cast<size_t>(std::max(1, args.shards));
+    options.observe_days = model->options().observe_days;
+    options.inference_block_rows = static_cast<size_t>(args.block_rows);
+    options.inference_traversal = TraversalKindFromArgs(args);
+    run.engine = std::make_unique<serving::ScoringEngine>(ctx, options);
+    auto version =
+        run.engine->registry().Publish("serve-sim-stream", model,
+                                       use_flat);
+    if (!version.ok()) {
+      std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(std::move(run));
+  }
+
+  std::printf("stream serve-sim: regions=%d subs/region=%zu "
+              "partition_days=%.1f threads=%d shards=%d inference=%s\n",
+              args.regions, args.subs, args.partition_days, args.threads,
+              args.shards, args.inference.c_str());
+
+  // Round-robin partition pulls: every engine ingests its next time
+  // slice, then polls at the slice boundary. Ordered ingest keeps each
+  // shard's live store readable, so scoring runs directly off the
+  // columnar state (no snapshot copies).
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t total_events = 0;
+  bool active = true;
+  while (active) {
+    active = false;
+    for (RegionRun& run : runs) {
+      if (run.stream->Done()) continue;
+      active = true;
+      simulator::RegionEventStream::Partition part =
+          run.stream->NextPartition();
+      run.events += part.events.size();
+      total_events += part.events.size();
+      for (telemetry::Event& event : part.events) {
+        Status ingested = run.engine->Ingest(std::move(event));
+        if (!ingested.ok()) {
+          std::fprintf(stderr, "ingest failed (%s): %s\n",
+                       run.config.name.c_str(),
+                       ingested.ToString().c_str());
+          return 1;
+        }
+      }
+      auto batch = run.engine->Poll(part.end);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "poll failed (%s): %s\n",
+                     run.config.name.c_str(),
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      run.streamed.insert(run.streamed.end(),
+                          std::make_move_iterator(batch->begin()),
+                          std::make_move_iterator(batch->end()));
+    }
+  }
+  for (RegionRun& run : runs) {
+    auto rest = run.engine->Drain();
+    if (!rest.ok()) {
+      std::fprintf(stderr, "drain failed (%s): %s\n",
+                   run.config.name.c_str(),
+                   rest.status().ToString().c_str());
+      return 1;
+    }
+    run.streamed.insert(run.streamed.end(),
+                        std::make_move_iterator(rest->begin()),
+                        std::make_move_iterator(rest->end()));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  uint64_t total_dbs = 0;
+  for (const RegionRun& run : runs) {
+    const serving::EngineMetrics m = run.engine->Metrics();
+    const simulator::RegionEventStream::Stats stats =
+        run.stream->stats();
+    total_dbs += m.databases_tracked;
+    std::printf(
+        "  %-12s %9llu events %8llu scored  direct_reads=%llu "
+        "snapshots=%llu  peak_pending=%zu creation_index=%.1fMB\n",
+        run.config.name.c_str(),
+        static_cast<unsigned long long>(run.events),
+        static_cast<unsigned long long>(m.databases_scored),
+        static_cast<unsigned long long>(m.direct_read_batches),
+        static_cast<unsigned long long>(m.snapshots_built),
+        stats.peak_pending_events,
+        static_cast<double>(stats.creation_index_bytes) / 1e6);
+  }
+  const double resident_bytes =
+      telemetry::columnar::GlobalMetrics().resident_bytes->Value();
+  std::printf("totals: %llu events, %llu databases in %.1fs "
+              "(%.0f events/sec); telemetry resident %.1f MB "
+              "(%.1f bytes/database)\n",
+              static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_dbs), wall_s,
+              static_cast<double>(total_events) / std::max(1e-9, wall_s),
+              resident_bytes / 1e6,
+              total_dbs == 0
+                  ? 0.0
+                  : resident_bytes / static_cast<double>(total_dbs));
+
+  if (!args.metrics_out_path.empty()) {
+    Status written = WriteFile(args.metrics_out_path,
+                               obs::ExportJson(obs::Registry::Default()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.verify == "off") return 0;
+
+  // Verification: batch-simulate each region (bit-identical stream by
+  // construction) and cross-check streamed assessments against the
+  // sequential legacy path. One region's batch store is alive at a
+  // time.
+  size_t total_mismatches = 0;
+  for (RegionRun& run : runs) {
+    auto batch_store = simulator::SimulateRegion(run.config);
+    if (!batch_store.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   batch_store.status().ToString().c_str());
+      return 1;
+    }
+    size_t mismatches = 0;
+    size_t checked = 0;
+    if (args.verify == "full") {
+      std::unordered_map<telemetry::DatabaseId,
+                         core::LongevityService::Assessment>
+          batch;
+      for (const auto& record : batch_store->databases()) {
+        auto assessment = ground_truth->Assess(*batch_store, record.id);
+        if (assessment.ok()) batch.emplace(record.id, *assessment);
+      }
+      if (run.streamed.size() != batch.size()) {
+        std::fprintf(stderr,
+                     "coverage mismatch (%s): streamed %zu vs batch "
+                     "%zu\n",
+                     run.config.name.c_str(), run.streamed.size(),
+                     batch.size());
+        ++mismatches;
+      }
+      for (const serving::ScoredDatabase& s : run.streamed) {
+        ++checked;
+        auto it = batch.find(s.database_id);
+        if (it == batch.end() ||
+            it->second.predicted_label !=
+                s.assessment.predicted_label ||
+            it->second.positive_probability !=
+                s.assessment.positive_probability ||
+            it->second.confident != s.assessment.confident) {
+          ++mismatches;
+        }
+      }
+    } else {
+      // Deterministic stride sample of the streamed assessments.
+      const size_t want = static_cast<size_t>(args.verify_sample);
+      const size_t stride =
+          std::max<size_t>(1, run.streamed.size() / want);
+      for (size_t i = 0; i < run.streamed.size(); i += stride) {
+        const serving::ScoredDatabase& s = run.streamed[i];
+        ++checked;
+        auto assessment =
+            ground_truth->Assess(*batch_store, s.database_id);
+        if (!assessment.ok() ||
+            assessment->predicted_label !=
+                s.assessment.predicted_label ||
+            assessment->positive_probability !=
+                s.assessment.positive_probability ||
+            assessment->confident != s.assessment.confident) {
+          ++mismatches;
+        }
+      }
+    }
+    std::printf("verify %-12s checked %zu of %zu streamed -> %s\n",
+                run.config.name.c_str(), checked, run.streamed.size(),
+                mismatches == 0 ? "IDENTICAL" : "DIVERGED");
+    total_mismatches += mismatches;
+  }
+  return total_mismatches == 0 ? 0 : 1;
+}
+
 // Replays a simulated region's event stream through the online
 // ScoringEngine, then cross-checks every streamed assessment against
 // the sequential batch path (LongevityService::Assess on the final
 // store). Exit code 1 on any divergence.
 int CmdServeSim(const Args& args) {
+  if (args.stream) return CmdServeSimStream(args);
   // Optional deterministic fault plan: parse it first so a bad spec
   // fails fast, before any simulation or training work happens.
   std::unique_ptr<fault::FaultInjector> injector;
