@@ -7,9 +7,11 @@
 // servers, packing overhead and capacity fragmentation.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/placement.h"
+#include "core/provisioning.h"
 #include "core/service.h"
 
 using namespace cloudsurv;
@@ -69,6 +71,58 @@ int main() {
     }
     std::printf("\n");
   }
+  // Architecture-catalog deployment: the same region priced against
+  // the built-in four-tier catalog (docs/provisioning.md), comparing
+  // per-tier fragmentation under the naive and longevity policies.
+  // Splitting the fleet costs packing (see the finding below) but the
+  // dollar table in bench/provisioning_policy shows the interference
+  // savings outweigh it.
+  if (service.ok()) {
+    std::vector<telemetry::DatabaseId> ids;
+    for (const auto& record : store.databases()) ids.push_back(record.id);
+    auto assessments = service->AssessMany(store, ids, {});
+    if (assessments.ok()) {
+      std::vector<core::PredictionOutcome> outcomes;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const auto& assessment = (*assessments)[i];
+        if (!assessment.has_value()) continue;
+        const auto record = store.databases()[i];
+        core::PredictionOutcome outcome;
+        outcome.id = record.id;
+        outcome.predicted_label = assessment->predicted_label;
+        outcome.confident = assessment->confident;
+        outcome.duration_days =
+            record.ObservedLifespanDays(store.window_end());
+        outcome.observed = record.dropped_at.has_value() &&
+                           *record.dropped_at <= store.window_end();
+        outcomes.push_back(outcome);
+      }
+      const auto catalog = core::ArchitectureCatalog::Default();
+      std::printf("---- architecture catalog deployment (14-day "
+                  "rollouts) ----\n");
+      std::printf("  %-12s %10s %10s %10s %10s\n", "policy", "node-days",
+                  "frag", "sla-viol", "total-$");
+      for (const char* name : {"naive", "longevity"}) {
+        auto policy = core::MakePlacementPolicy(name);
+        auto plan = policy->Assign(store, outcomes, catalog);
+        if (!plan.ok()) continue;
+        auto report = core::SimulateDeployment(store, *plan, catalog, {});
+        if (!report.ok()) continue;
+        std::printf("  %-12s %10.1f %10.3f %10zu %10.2f\n", name,
+                    report->node_days, report->mean_fragmentation,
+                    report->sla_violations, report->total_cost);
+        for (const auto& usage : report->per_architecture) {
+          if (usage.placements == 0) continue;
+          std::printf("    %-12s placements=%-6zu node_days=%-8.1f "
+                      "frag=%.3f\n",
+                      usage.name.c_str(), usage.placements,
+                      usage.node_days, usage.mean_fragmentation);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
   std::printf("(overhead = servers open at the peak-fleet instant / the "
               "bin-packing lower bound for that occupancy; frag = mean "
               "wasted capacity share on active servers.)\n");

@@ -1,61 +1,105 @@
 // What-if replay of Section 3.1's longevity-guided resource
-// provisioning: place confidently-classified databases into churn /
-// stable pools and replay the window, comparing operational costs
-// against (a) no partitioning and (b) an oracle that knows true
-// lifespans — the upper bound on what classification can buy.
+// provisioning, in two parts:
+//
+//  1. the pool-level interference replay (disruptions, wasted moves,
+//     lifecycle/SLO contention) comparing no partitioning, the
+//     classified plan, and a true-lifespan oracle — human-readable,
+//     printed to stderr;
+//  2. the architecture-catalog deployment replay: the naive /
+//     longevity / oracle placement policies priced against the
+//     built-in four-tier catalog (docs/provisioning.md), emitted as
+//     JSON on stdout and gated in CI by tools/bench_check.py against
+//     bench/baselines/provisioning_policy.json.
+//
+// The replay is deterministic in CLOUDSURV_SUBS, so the JSON document
+// (costs included) is reproducible run to run.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/placement.h"
 #include "core/provisioning.h"
+#include "core/service.h"
 
 using namespace cloudsurv;
 
 int main() {
-  bench::PrintHeader(
-      "Section 3.1: longevity-guided provisioning, what-if replay");
+  std::fprintf(stderr,
+               "Section 3.1: longevity-guided provisioning, what-if "
+               "replay (policy x architecture)\n");
   auto stores = bench::SimulateStudyRegions();
   const auto& store = stores[0];
 
-  // Classifier-derived plan: pool assignments from confident test-set
-  // predictions across all three edition subgroups.
-  core::PoolAssignmentPlan classified_plan;
-  for (telemetry::Edition edition : bench::StudyEditions()) {
-    auto result = core::RunPredictionExperiment(
-        store, edition, bench::PaperExperimentConfig(false));
-    if (!result.ok()) continue;
-    const auto plan = core::PlanFromPredictions(result->runs.front().outcomes);
-    classified_plan.pools.insert(plan.pools.begin(), plan.pools.end());
+  // Deployable service trained on Region-2 so the planned region is
+  // out-of-sample, then one batch assessment over every database —
+  // the same path the `cloudsurv plan` verb takes.
+  core::LongevityService::Options options;
+  options.forest_params.num_trees = 60;
+  options.forest_params.max_depth = 12;
+  auto service = core::LongevityService::Train(stores[1], options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service training failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<telemetry::DatabaseId> ids;
+  ids.reserve(store.databases().size());
+  for (const auto& record : store.databases()) ids.push_back(record.id);
+  auto assessments = service->AssessMany(store, ids, {});
+  if (!assessments.ok()) {
+    std::fprintf(stderr, "assessment failed: %s\n",
+                 assessments.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<core::PredictionOutcome> outcomes;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto& assessment = (*assessments)[i];
+    if (!assessment.has_value()) continue;
+    const auto record = store.databases()[i];
+    const double life = record.ObservedLifespanDays(store.window_end());
+    core::PredictionOutcome outcome;
+    outcome.id = record.id;
+    outcome.predicted_label = assessment->predicted_label;
+    outcome.positive_probability = assessment->positive_probability;
+    outcome.confident = assessment->confident;
+    outcome.duration_days = life;
+    outcome.observed = record.dropped_at.has_value() &&
+                       *record.dropped_at <= store.window_end();
+    outcome.true_label = life > 30.0 ? 1 : 0;
+    outcomes.push_back(outcome);
   }
 
-  // Oracle plan from true outcomes.
-  core::PoolAssignmentPlan oracle_plan;
+  // Part 1: the pool-level interference replay (stderr).
+  const core::PoolAssignmentPlan classified_plan =
+      core::PlanFromPredictions(outcomes);
+  core::PoolAssignmentPlan oracle_pool_plan;
   for (const auto& record : store.databases()) {
     const double life = record.ObservedLifespanDays(store.window_end());
     if (record.dropped_at.has_value() && life <= 30.0) {
-      oracle_plan.pools[record.id] = core::Pool::kChurn;
+      oracle_pool_plan.pools[record.id] = core::Pool::kChurn;
     } else if (life > 30.0) {
-      oracle_plan.pools[record.id] = core::Pool::kStable;
+      oracle_pool_plan.pools[record.id] = core::Pool::kStable;
     }
   }
-
-  core::ProvisioningPolicyConfig policy;
-  auto baseline = core::SimulateProvisioning(store, {}, policy);
-  auto classified = core::SimulateProvisioning(store, classified_plan,
-                                               policy);
-  auto oracle = core::SimulateProvisioning(store, oracle_plan, policy);
+  core::ProvisioningPolicyConfig pool_policy;
+  auto baseline = core::SimulateProvisioning(store, {}, pool_policy);
+  auto classified =
+      core::SimulateProvisioning(store, classified_plan, pool_policy);
+  auto oracle = core::SimulateProvisioning(store, oracle_pool_plan,
+                                           pool_policy);
   if (!baseline.ok() || !classified.ok() || !oracle.ok()) {
-    std::fprintf(stderr, "replay failed\n");
+    std::fprintf(stderr, "pool replay failed\n");
     return 1;
   }
-
-  std::printf("%-22s %12s %12s %12s\n", "metric", "baseline",
-              "classified", "oracle");
+  std::fprintf(stderr, "%-22s %12s %12s %12s\n", "metric", "baseline",
+               "classified", "oracle");
   auto row = [&](const char* name, auto get) {
-    std::printf("%-22s %12.0f %12.0f %12.0f\n", name,
-                static_cast<double>(get(*baseline)),
-                static_cast<double>(get(*classified)),
-                static_cast<double>(get(*oracle)));
+    std::fprintf(stderr, "%-22s %12.0f %12.0f %12.0f\n", name,
+                 static_cast<double>(get(*baseline)),
+                 static_cast<double>(get(*classified)),
+                 static_cast<double>(get(*oracle)));
   };
   row("disruptions", [](const auto& r) { return r.disruptions; });
   row("avoided disruptions",
@@ -65,13 +109,73 @@ int main() {
   row("wasted lb moves", [](const auto& r) { return r.wasted_moves; });
   row("contention score", [](const auto& r) { return r.contention_score; });
 
-  std::printf("\nplan sizes: classified=%zu databases placed, oracle=%zu "
-              "(of %zu total)\n",
-              classified_plan.pools.size(), oracle_plan.pools.size(),
-              store.num_databases());
-  std::printf("(the classified plan only places the ~20%% of databases "
-              "that appear in a test split AND are confidently "
-              "classified; production use would classify every database "
-              "at day 2.)\n");
+  // Part 2: the architecture-catalog deployment replay (JSON, stdout).
+  const core::ArchitectureCatalog catalog =
+      core::ArchitectureCatalog::Default();
+  const core::DeploymentConfig deploy;  // 14-day rollouts, 45-day grace.
+  struct PolicyRun {
+    std::string policy;
+    core::DeploymentReport report;
+  };
+  std::vector<PolicyRun> runs;
+  for (const char* name : {"naive", "longevity", "oracle"}) {
+    auto policy = core::MakePlacementPolicy(name);
+    auto plan = policy->Assign(store, outcomes, catalog);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "policy %s failed: %s\n", name,
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    auto report = core::SimulateDeployment(store, *plan, catalog, deploy);
+    if (!report.ok()) {
+      std::fprintf(stderr, "deployment replay (%s) failed: %s\n", name,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "%-10s total=$%-11.2f infra=$%-11.2f ops=$%-9.2f "
+                 "sla=%-5zu frag=%.3f\n",
+                 name, report->total_cost, report->infra_cost,
+                 report->ops_cost, report->sla_violations,
+                 report->mean_fragmentation);
+    runs.push_back({name, std::move(*report)});
+  }
+
+  const core::DeploymentReport& naive = runs[0].report;
+  const core::DeploymentReport& longevity = runs[1].report;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"provisioning_policy\",\n");
+  std::printf("  \"subs\": %zu, \"databases\": %zu,\n",
+              bench::RegionSubscriptions(), store.num_databases());
+  std::printf("  \"maintenance_interval_days\": %.1f, \"grace_days\": "
+              "%.1f,\n",
+              deploy.maintenance_interval_days, deploy.stale_grace_days);
+  std::printf("  \"catalog\": [");
+  for (size_t a = 0; a < catalog.size(); ++a) {
+    std::printf("%s\"%s\"", a > 0 ? ", " : "", catalog.at(a).name().c_str());
+  }
+  std::printf("],\n");
+  std::printf("  \"policies\": [\n");
+  for (size_t r = 0; r < runs.size(); ++r) {
+    std::printf("    {\"policy\": \"%s\", \"report\": %s}%s\n",
+                runs[r].policy.c_str(), runs[r].report.ToJson().c_str(),
+                r + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"ratios\": {\"naive_vs_longevity_cost\": %.4f, "
+              "\"naive_vs_longevity_ops\": %.4f, "
+              "\"naive_vs_longevity_sla\": %.4f}\n",
+              longevity.total_cost > 0.0
+                  ? naive.total_cost / longevity.total_cost
+                  : 0.0,
+              longevity.ops_cost > 0.0
+                  ? naive.ops_cost / longevity.ops_cost
+                  : 0.0,
+              longevity.sla_violations > 0
+                  ? static_cast<double>(naive.sla_violations) /
+                        static_cast<double>(longevity.sla_violations)
+                  : 0.0);
+  std::printf("}\n");
+  bench::EmitRegistrySnapshot();
   return 0;
 }

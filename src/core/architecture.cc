@@ -1,0 +1,411 @@
+#include "core/architecture.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace cloudsurv::core {
+
+namespace {
+
+// The single registry of keys an `architecture` line accepts; the
+// parser rejects anything else, and tools/check_docs.sh scrapes this
+// block to keep docs/provisioning.md's key table in lockstep.
+// catalog-key-registry-begin
+constexpr const char* kCatalogKeys[] = {
+    "kind",
+    "vcpus",
+    "memory_gb",
+    "storage_gb",
+    "capacity_dtus",
+    "replicas",
+    "attach_cost",
+    "detach_cost",
+    "disruption_cost",
+    "defer_maintenance",
+    "transparent_maintenance",
+};
+// catalog-key-registry-end
+
+bool IsKnownKey(std::string_view key) {
+  for (const char* known : kCatalogKeys) {
+    if (key == known) return true;
+  }
+  return false;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view text, int* out) {
+  const std::string buf(text);
+  char* end = nullptr;
+  const long value = std::strtol(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseBool(std::string_view text, bool* out) {
+  if (text == "true" || text == "1") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+Status LineError(size_t line, const std::string& message) {
+  return Status::InvalidArgument("catalog line " + std::to_string(line) +
+                                 ": " + message);
+}
+
+class DenseArchitecture : public Architecture {
+ public:
+  DenseArchitecture(ArchitectureSpec spec, double price)
+      : Architecture(std::move(spec), price) {}
+
+ protected:
+  // The churn contract: non-critical rollouts wait for the tenant to
+  // die; attach/detach are cheap because nothing is seeded or drained.
+  bool DefaultDefersMaintenance() const override { return true; }
+  double DefaultAttachCost() const override { return 0.02; }
+  double DefaultDetachCost() const override { return 0.01; }
+};
+
+class StandardArchitecture : public Architecture {
+ public:
+  StandardArchitecture(ArchitectureSpec spec, double price)
+      : Architecture(std::move(spec), price) {}
+};
+
+class ReplicatedArchitecture : public Architecture {
+ public:
+  ReplicatedArchitecture(ArchitectureSpec spec, double price)
+      : Architecture(std::move(spec), price) {}
+
+ protected:
+  // Rolling upgrades hide behind the replica failover; attach pays for
+  // seeding the replica, and the residual disruption cost models the
+  // brief failover blip rather than an outage.
+  bool DefaultTransparentMaintenance() const override { return true; }
+  double DefaultAttachCost() const override { return 0.30; }
+  double DefaultDetachCost() const override { return 0.05; }
+  double DefaultDisruptionCost() const override { return 0.50; }
+};
+
+class PremiumArchitecture : public Architecture {
+ public:
+  PremiumArchitecture(ArchitectureSpec spec, double price)
+      : Architecture(std::move(spec), price) {}
+
+ protected:
+  bool DefaultTransparentMaintenance() const override { return true; }
+  double DefaultAttachCost() const override { return 0.50; }
+  double DefaultDetachCost() const override { return 0.10; }
+  double DefaultDisruptionCost() const override { return 0.20; }
+};
+
+}  // namespace
+
+const char* ArchitectureKindToString(ArchitectureKind kind) {
+  switch (kind) {
+    case ArchitectureKind::kDense:
+      return "dense";
+    case ArchitectureKind::kStandard:
+      return "standard";
+    case ArchitectureKind::kReplicated:
+      return "replicated";
+    case ArchitectureKind::kPremium:
+      return "premium";
+  }
+  return "unknown";
+}
+
+bool ArchitectureKindFromString(std::string_view name,
+                                ArchitectureKind* out) {
+  if (name == "dense") {
+    *out = ArchitectureKind::kDense;
+  } else if (name == "standard") {
+    *out = ArchitectureKind::kStandard;
+  } else if (name == "replicated") {
+    *out = ArchitectureKind::kReplicated;
+  } else if (name == "premium") {
+    *out = ArchitectureKind::kPremium;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<Architecture>> ArchitectureBuilder::Build(
+    const ArchitectureSpec& spec) const {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("architecture name must be non-empty");
+  }
+  if (spec.capacity_dtus <= 0) {
+    return Status::InvalidArgument("architecture '" + spec.name +
+                                   "': capacity_dtus must be positive");
+  }
+  if (spec.replicas < 1) {
+    return Status::InvalidArgument("architecture '" + spec.name +
+                                   "': replicas must be >= 1");
+  }
+  if (spec.vcpus < 0.0 || spec.memory_gb < 0.0 || spec.storage_gb < 0.0) {
+    return Status::InvalidArgument("architecture '" + spec.name +
+                                   "': resource quantities must be >= 0");
+  }
+  for (const auto& cost :
+       {spec.attach_cost, spec.detach_cost, spec.disruption_cost}) {
+    if (cost.has_value() && *cost < 0.0) {
+      return Status::InvalidArgument("architecture '" + spec.name +
+                                     "': costs must be >= 0");
+    }
+  }
+  const double per_replica = spec.vcpus * resources_.vcpu_price_per_day +
+                             spec.memory_gb * resources_.memory_gb_price_per_day +
+                             spec.storage_gb * resources_.storage_gb_price_per_day;
+  const double node_price = static_cast<double>(spec.replicas) * per_replica;
+  if (node_price <= 0.0) {
+    return Status::InvalidArgument(
+        "architecture '" + spec.name +
+        "': node price is zero; give it vcpus/memory_gb/storage_gb");
+  }
+  std::unique_ptr<Architecture> built;
+  switch (spec.kind) {
+    case ArchitectureKind::kDense:
+      built = std::make_unique<DenseArchitecture>(spec, node_price);
+      break;
+    case ArchitectureKind::kStandard:
+      built = std::make_unique<StandardArchitecture>(spec, node_price);
+      break;
+    case ArchitectureKind::kReplicated:
+      built = std::make_unique<ReplicatedArchitecture>(spec, node_price);
+      break;
+    case ArchitectureKind::kPremium:
+      built = std::make_unique<PremiumArchitecture>(spec, node_price);
+      break;
+  }
+  return built;
+}
+
+Result<ArchitectureCatalog> ArchitectureCatalog::Parse(
+    const std::string& spec_text) {
+  ResourceCatalog resources;
+  bool priced_vcpu = false;
+  bool priced_memory = false;
+  bool priced_storage = false;
+  std::vector<ArchitectureSpec> specs;
+  std::vector<size_t> spec_lines;
+
+  const std::vector<std::string> lines = SplitString(spec_text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t line_no = i + 1;
+    const std::string_view line = TrimWhitespace(lines[i]);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string> tokens;
+    for (const std::string& raw : SplitString(std::string(line), ' ')) {
+      const std::string_view token = TrimWhitespace(raw);
+      if (!token.empty()) tokens.emplace_back(token);
+    }
+
+    if (tokens[0] == "resource") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, "expected 'resource <name> <price>'");
+      }
+      double price = 0.0;
+      if (!ParseDouble(tokens[2], &price) || price <= 0.0) {
+        return LineError(line_no,
+                         "resource price must be a positive number, got '" +
+                             tokens[2] + "'");
+      }
+      if (tokens[1] == "vcpu") {
+        resources.vcpu_price_per_day = price;
+        priced_vcpu = true;
+      } else if (tokens[1] == "memory_gb") {
+        resources.memory_gb_price_per_day = price;
+        priced_memory = true;
+      } else if (tokens[1] == "storage_gb") {
+        resources.storage_gb_price_per_day = price;
+        priced_storage = true;
+      } else {
+        return LineError(line_no, "unknown resource '" + tokens[1] +
+                                      "' (expected vcpu, memory_gb, or "
+                                      "storage_gb)");
+      }
+    } else if (tokens[0] == "architecture") {
+      if (tokens.size() < 3) {
+        return LineError(line_no,
+                         "expected 'architecture <name> key=value ...'");
+      }
+      ArchitectureSpec spec;
+      spec.name = tokens[1];
+      for (const ArchitectureSpec& existing : specs) {
+        if (existing.name == spec.name) {
+          return LineError(line_no,
+                           "duplicate architecture '" + spec.name + "'");
+        }
+      }
+      bool saw_kind = false;
+      for (size_t t = 2; t < tokens.size(); ++t) {
+        const size_t eq = tokens[t].find('=');
+        if (eq == std::string::npos) {
+          return LineError(line_no, "expected key=value, got '" + tokens[t] +
+                                        "'");
+        }
+        const std::string key = tokens[t].substr(0, eq);
+        const std::string value = tokens[t].substr(eq + 1);
+        if (!IsKnownKey(key)) {
+          return LineError(line_no, "unknown key '" + key + "'");
+        }
+        bool ok = true;
+        if (key == "kind") {
+          ok = ArchitectureKindFromString(value, &spec.kind);
+          saw_kind = ok;
+        } else if (key == "vcpus") {
+          ok = ParseDouble(value, &spec.vcpus);
+        } else if (key == "memory_gb") {
+          ok = ParseDouble(value, &spec.memory_gb);
+        } else if (key == "storage_gb") {
+          ok = ParseDouble(value, &spec.storage_gb);
+        } else if (key == "capacity_dtus") {
+          ok = ParseInt(value, &spec.capacity_dtus);
+        } else if (key == "replicas") {
+          ok = ParseInt(value, &spec.replicas);
+        } else if (key == "attach_cost") {
+          double v = 0.0;
+          ok = ParseDouble(value, &v);
+          if (ok) spec.attach_cost = v;
+        } else if (key == "detach_cost") {
+          double v = 0.0;
+          ok = ParseDouble(value, &v);
+          if (ok) spec.detach_cost = v;
+        } else if (key == "disruption_cost") {
+          double v = 0.0;
+          ok = ParseDouble(value, &v);
+          if (ok) spec.disruption_cost = v;
+        } else if (key == "defer_maintenance") {
+          bool v = false;
+          ok = ParseBool(value, &v);
+          if (ok) spec.defer_maintenance = v;
+        } else if (key == "transparent_maintenance") {
+          bool v = false;
+          ok = ParseBool(value, &v);
+          if (ok) spec.transparent_maintenance = v;
+        }
+        if (!ok) {
+          return LineError(line_no, "bad value '" + value + "' for key '" +
+                                        key + "'");
+        }
+      }
+      if (!saw_kind) {
+        return LineError(line_no, "architecture '" + spec.name +
+                                      "' is missing kind=...");
+      }
+      specs.push_back(std::move(spec));
+      spec_lines.push_back(line_no);
+    } else {
+      return LineError(line_no, "unknown directive '" + tokens[0] +
+                                    "' (expected resource or architecture)");
+    }
+  }
+
+  if (!priced_vcpu || !priced_memory || !priced_storage) {
+    return Status::InvalidArgument(
+        "catalog: all three resource prices (vcpu, memory_gb, storage_gb) "
+        "are required");
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument(
+        "catalog: at least one architecture is required");
+  }
+
+  ArchitectureCatalog catalog;
+  catalog.resources_ = resources;
+  ArchitectureBuilder builder(resources);
+  std::optional<size_t> default_index;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<std::unique_ptr<Architecture>> built = builder.Build(specs[i]);
+    if (!built.ok()) {
+      return LineError(spec_lines[i], built.status().message());
+    }
+    if (!default_index.has_value() &&
+        specs[i].kind == ArchitectureKind::kStandard) {
+      default_index = i;
+    }
+    catalog.architectures_.push_back(std::move(*built));
+  }
+  if (!default_index.has_value()) {
+    return Status::InvalidArgument(
+        "catalog: at least one kind=standard architecture is required (the "
+        "default placement target)");
+  }
+  catalog.default_index_ = *default_index;
+  return catalog;
+}
+
+const char* ArchitectureCatalog::DefaultSpec() {
+  return R"(# CloudSurv built-in architecture catalog.
+# Resource prices are dollars per unit-day; see docs/provisioning.md.
+resource vcpu 1.60
+resource memory_gb 0.20
+resource storage_gb 0.004
+
+# Dense churn tier: half-size commodity boxes with DTUs overcommitted
+# 1.5x, so the per-DTU-day price is 2/3 of general. Small node quantum
+# (churn demand is bursty) and deferred maintenance.
+architecture churn-dense kind=dense vcpus=4 memory_gb=32 storage_gb=1000 capacity_dtus=3000
+
+# General-purpose default tier. Capacity covers the biggest SLO on the
+# ladder (P15, 4000 DTUs) so the default tier never rejects.
+architecture general kind=standard vcpus=8 memory_gb=64 storage_gb=2000 capacity_dtus=4000
+
+# Replicated durable tier: two lean compute replicas per logical node
+# over a shared storage fabric (each replica carries half the local
+# storage of a general node), so per-DTU-day lands ~12% below general
+# while maintenance disruptions become transparent. The catch is the
+# attach cost (replica seeding) and the small node quantum — churning
+# tenants through this tier wastes money.
+architecture durable kind=replicated vcpus=4 memory_gb=32 storage_gb=500 capacity_dtus=4000 replicas=2
+
+# Premium low-disruption tier: small replicated nodes, ~3.5x the
+# per-DTU price of general, for tenants whose SLA credits dwarf it.
+architecture premium kind=premium vcpus=4 memory_gb=32 storage_gb=500 capacity_dtus=1000 replicas=2
+)";
+}
+
+ArchitectureCatalog ArchitectureCatalog::Default() {
+  Result<ArchitectureCatalog> parsed = Parse(DefaultSpec());
+  // The built-in spec is a compile-time constant covered by tests; a
+  // parse failure here is a programming error, not an input error.
+  if (!parsed.ok()) std::abort();
+  return std::move(*parsed);
+}
+
+std::optional<size_t> ArchitectureCatalog::IndexOfKind(
+    ArchitectureKind kind) const {
+  for (size_t i = 0; i < architectures_.size(); ++i) {
+    if (architectures_[i]->kind() == kind) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> ArchitectureCatalog::IndexOfName(
+    std::string_view name) const {
+  for (size_t i = 0; i < architectures_.size(); ++i) {
+    if (architectures_[i]->name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudsurv::core

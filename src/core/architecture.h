@@ -1,0 +1,198 @@
+#ifndef CLOUDSURV_CORE_ARCHITECTURE_H_
+#define CLOUDSURV_CORE_ARCHITECTURE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudsurv::core {
+
+/// Backend node architectures for longevity-guided provisioning
+/// (paper section 3.1; the design-space idiom follows the OLTP
+/// cloud-architecture line of work, where deployments are pluggable
+/// architecture classes built over a resource/price catalog).
+///
+/// Each kind encodes an operational contract, not just a price point:
+///
+/// - `kDense`   — dense-cheap churn nodes: DTUs are overcommitted so the
+///   per-DTU price is the lowest in the catalog, and non-critical
+///   maintenance is *deferred* (a short-lived tenant simply dies before
+///   the rollout reaches it; its successor is created on updated
+///   software). The natural home for predicted-short databases.
+/// - `kStandard` — general-purpose nodes: the default placement. Every
+///   maintenance rollout disrupts every alive tenant.
+/// - `kReplicated` — replicated durable nodes: each logical node is
+///   `replicas` commodity nodes, so the node price multiplies but
+///   maintenance is *transparent* (rolling upgrade behind a failover,
+///   no tenant-visible disruption). The home for confident-long
+///   placements whose disruption cost justifies the premium.
+/// - `kPremium` — a premium low-disruption tier: expensive smaller
+///   nodes with transparent maintenance, for tenants whose SLA credits
+///   dwarf the hardware bill.
+enum class ArchitectureKind {
+  kDense = 0,
+  kStandard = 1,
+  kReplicated = 2,
+  kPremium = 3,
+};
+
+const char* ArchitectureKindToString(ArchitectureKind kind);
+bool ArchitectureKindFromString(std::string_view name,
+                                ArchitectureKind* out);
+
+/// Per-unit-day resource prices parsed from `resource` lines of a
+/// catalog spec. All three resources must be priced before any
+/// architecture can be built.
+struct ResourceCatalog {
+  double vcpu_price_per_day = 0.0;
+  double memory_gb_price_per_day = 0.0;
+  double storage_gb_price_per_day = 0.0;
+};
+
+/// One parsed `architecture` line: the node shape, capacity, and the
+/// optional per-architecture cost/behaviour overrides. Keys absent from
+/// the spec fall back to the kind's defaults (see docs/provisioning.md
+/// for the key table).
+struct ArchitectureSpec {
+  std::string name;
+  ArchitectureKind kind = ArchitectureKind::kStandard;
+  double vcpus = 0.0;
+  double memory_gb = 0.0;
+  double storage_gb = 0.0;
+  int capacity_dtus = 0;
+  int replicas = 1;
+  /// Dollar cost of binding a tenant to a node (spec key `attach_cost`).
+  std::optional<double> attach_cost;
+  /// Dollar cost of unbinding a tenant (spec key `detach_cost`).
+  std::optional<double> detach_cost;
+  /// Dollars per maintenance hit per 100 tenant DTUs (`disruption_cost`).
+  std::optional<double> disruption_cost;
+  /// Behaviour overrides (`defer_maintenance`, `transparent_maintenance`).
+  std::optional<bool> defer_maintenance;
+  std::optional<bool> transparent_maintenance;
+};
+
+/// A backend architecture: capacity, per-node price derived from the
+/// resource catalog, attach/detach costs, and the maintenance contract.
+/// Immutable once built; concrete subclasses supply the kind defaults.
+class Architecture {
+ public:
+  virtual ~Architecture() = default;
+
+  const std::string& name() const { return spec_.name; }
+  ArchitectureKind kind() const { return spec_.kind; }
+  /// DTUs one node can host.
+  int node_capacity_dtus() const { return spec_.capacity_dtus; }
+  int replicas() const { return spec_.replicas; }
+  /// Dollars per node per day, `replicas` included:
+  /// replicas * (vcpus*P_vcpu + memory_gb*P_mem + storage_gb*P_disk).
+  double node_price_per_day() const { return node_price_per_day_; }
+  /// Dollars to place a tenant on a node of this architecture.
+  double attach_cost() const {
+    return spec_.attach_cost.value_or(DefaultAttachCost());
+  }
+  /// Dollars to release a tenant from a node of this architecture.
+  double detach_cost() const {
+    return spec_.detach_cost.value_or(DefaultDetachCost());
+  }
+  /// Dollar cost of one maintenance hit on a tenant holding `dtus`
+  /// (models SLA credits proportional to the tenant's bill):
+  /// disruption_cost * dtus / 100.
+  double DisruptionCost(int dtus) const {
+    return spec_.disruption_cost.value_or(DefaultDisruptionCost()) *
+           static_cast<double>(dtus) / 100.0;
+  }
+  /// True when non-critical rollouts are deferred on this tier (the
+  /// churn contract, section 3.1): a tenant is only force-updated once
+  /// it outlives the grace period.
+  bool defers_maintenance() const {
+    return spec_.defer_maintenance.value_or(DefaultDefersMaintenance());
+  }
+  /// True when maintenance is tenant-invisible (rolling upgrade behind
+  /// replicas): the hit costs money but is not an SLA violation.
+  bool transparent_maintenance() const {
+    return spec_.transparent_maintenance.value_or(
+        DefaultTransparentMaintenance());
+  }
+
+  /// Dollars per DTU-day at full occupancy — the figure of merit the
+  /// catalog is tuned around (dense < standard < replicated < premium).
+  double PricePerDtuDay() const {
+    return node_price_per_day_ / static_cast<double>(spec_.capacity_dtus);
+  }
+
+ protected:
+  Architecture(ArchitectureSpec spec, double node_price_per_day)
+      : spec_(std::move(spec)), node_price_per_day_(node_price_per_day) {}
+
+  virtual bool DefaultDefersMaintenance() const { return false; }
+  virtual bool DefaultTransparentMaintenance() const { return false; }
+  virtual double DefaultAttachCost() const { return 0.05; }
+  virtual double DefaultDetachCost() const { return 0.02; }
+  /// ~Three days of bill credit per hit: a 100-DTU general-tier tenant
+  /// bills ~$0.84/day, so $2.50 approximates a 10%-of-monthly-bill
+  /// SLA credit.
+  virtual double DefaultDisruptionCost() const { return 2.5; }
+
+ private:
+  ArchitectureSpec spec_;
+  double node_price_per_day_;
+};
+
+/// Builds concrete `Architecture` instances from parsed specs, pricing
+/// nodes against a resource catalog. One builder per catalog.
+class ArchitectureBuilder {
+ public:
+  explicit ArchitectureBuilder(const ResourceCatalog& resources)
+      : resources_(resources) {}
+
+  /// Validates `spec` and returns the concrete backend for its kind.
+  Result<std::unique_ptr<Architecture>> Build(
+      const ArchitectureSpec& spec) const;
+
+ private:
+  ResourceCatalog resources_;
+};
+
+/// An ordered set of architectures parsed from a text spec — the
+/// design space a placement policy maps databases onto. See
+/// docs/provisioning.md for the spec grammar; `DefaultCatalogSpec()`
+/// is the built-in four-tier catalog used when no spec is given.
+class ArchitectureCatalog {
+ public:
+  /// Parses a catalog spec. Errors name the offending line:
+  /// "catalog line 3: unknown key 'vcpuz'". Requires all three
+  /// resource prices and at least one `kind=standard` architecture
+  /// (the default placement target).
+  static Result<ArchitectureCatalog> Parse(const std::string& spec_text);
+
+  /// The built-in spec: churn-dense / general / durable / premium
+  /// (mirrored by examples/catalog.txt and docs/provisioning.md).
+  static const char* DefaultSpec();
+  static ArchitectureCatalog Default();
+
+  size_t size() const { return architectures_.size(); }
+  const Architecture& at(size_t index) const { return *architectures_[index]; }
+  /// Index of the first architecture of `kind`, if any.
+  std::optional<size_t> IndexOfKind(ArchitectureKind kind) const;
+  std::optional<size_t> IndexOfName(std::string_view name) const;
+  /// The default placement target: the first `kind=standard` entry.
+  size_t default_index() const { return default_index_; }
+  const ResourceCatalog& resources() const { return resources_; }
+
+ private:
+  ArchitectureCatalog() = default;
+
+  ResourceCatalog resources_;
+  std::vector<std::unique_ptr<Architecture>> architectures_;
+  size_t default_index_ = 0;
+};
+
+}  // namespace cloudsurv::core
+
+#endif  // CLOUDSURV_CORE_ARCHITECTURE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -34,6 +35,109 @@ PoolAssignmentPlan PlanFromPredictions(
     plan.pools[o.id] = o.predicted_label == 1 ? Pool::kStable : Pool::kChurn;
   }
   return plan;
+}
+
+namespace {
+
+// Shared tier mapping for the prediction-driven and oracle policies:
+// short-lived tenants go to the dense churn tier; long-lived tenants
+// pay the durable premium only when they are Premium edition (where
+// the SLA-credit exposure justifies it). Missing tiers degrade
+// gracefully to the catalog default.
+class TieredPolicy : public PlacementPolicy {
+ public:
+  Result<ArchitectureAssignmentPlan> Assign(
+      const telemetry::TelemetryStore& store,
+      const std::vector<PredictionOutcome>& outcomes,
+      const ArchitectureCatalog& catalog) const final {
+    if (!store.finalized()) {
+      return Status::FailedPrecondition("store is not finalized");
+    }
+    ArchitectureAssignmentPlan plan;
+    plan.default_index = catalog.default_index();
+    const std::optional<size_t> dense =
+        catalog.IndexOfKind(ArchitectureKind::kDense);
+    const std::optional<size_t> durable =
+        catalog.IndexOfKind(ArchitectureKind::kReplicated);
+    for (const PredictionOutcome& outcome : outcomes) {
+      if (IsShort(outcome)) {
+        if (dense.has_value()) plan.assignments[outcome.id] = *dense;
+      } else if (IsLong(outcome) && durable.has_value()) {
+        CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord record,
+                                   store.FindDatabase(outcome.id));
+        if (record.initial_edition() == telemetry::Edition::kPremium) {
+          plan.assignments[outcome.id] = *durable;
+        }
+      }
+    }
+    return plan;
+  }
+
+ protected:
+  virtual bool IsShort(const PredictionOutcome& outcome) const = 0;
+  virtual bool IsLong(const PredictionOutcome& outcome) const = 0;
+};
+
+class NaivePlacementPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "naive"; }
+
+  Result<ArchitectureAssignmentPlan> Assign(
+      const telemetry::TelemetryStore& store,
+      const std::vector<PredictionOutcome>& /*outcomes*/,
+      const ArchitectureCatalog& catalog) const override {
+    if (!store.finalized()) {
+      return Status::FailedPrecondition("store is not finalized");
+    }
+    ArchitectureAssignmentPlan plan;
+    plan.default_index = catalog.default_index();
+    return plan;
+  }
+};
+
+class LongevityPlacementPolicy : public TieredPolicy {
+ public:
+  const char* name() const override { return "longevity"; }
+
+ protected:
+  // Act only on confident predictions (section 5.3 partition).
+  bool IsShort(const PredictionOutcome& o) const override {
+    return o.confident && o.predicted_label == 0;
+  }
+  bool IsLong(const PredictionOutcome& o) const override {
+    return o.confident && o.predicted_label == 1;
+  }
+};
+
+class OraclePlacementPolicy : public TieredPolicy {
+ public:
+  explicit OraclePlacementPolicy(double threshold_days)
+      : threshold_days_(threshold_days) {}
+
+  const char* name() const override { return "oracle"; }
+
+ protected:
+  bool IsShort(const PredictionOutcome& o) const override {
+    return o.observed && o.duration_days <= threshold_days_;
+  }
+  bool IsLong(const PredictionOutcome& o) const override {
+    return o.duration_days > threshold_days_;
+  }
+
+ private:
+  double threshold_days_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(
+    std::string_view name, double oracle_threshold_days) {
+  if (name == "naive") return std::make_unique<NaivePlacementPolicy>();
+  if (name == "longevity") return std::make_unique<LongevityPlacementPolicy>();
+  if (name == "oracle") {
+    return std::make_unique<OraclePlacementPolicy>(oracle_threshold_days);
+  }
+  return nullptr;
 }
 
 std::string ProvisioningReport::ToString() const {

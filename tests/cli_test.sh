@@ -20,6 +20,70 @@ test -s "$WORK/svc.model"
   --model "$WORK/svc.model" --top 3 | tee "$WORK/assess.txt"
 grep -q "assessed" "$WORK/assess.txt"
 
+# plan: the cost/architecture what-if sweep. Text output must show the
+# catalog and the policy tradeoff table; JSON output must be valid and
+# carry one report per requested policy.
+"$CLI" plan --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.model" | tee "$WORK/plan.txt"
+grep -q "catalog:" "$WORK/plan.txt"
+grep -q "churn-dense" "$WORK/plan.txt"
+grep -q "total_cost" "$WORK/plan.txt"
+grep -q "^naive " "$WORK/plan.txt"
+grep -q "^longevity " "$WORK/plan.txt"
+grep -q "^oracle " "$WORK/plan.txt"
+grep -q "per-architecture (policy=longevity)" "$WORK/plan.txt"
+"$CLI" plan --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.model" --policies naive,longevity --format json \
+  --out "$WORK/plan.json"
+python3 - "$WORK/plan.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert [p["policy"] for p in doc["policies"]] == ["naive", "longevity"]
+assert all("total_cost" in p["report"] for p in doc["policies"])
+assert len(doc["catalog"]) == 4, doc["catalog"]
+EOF
+
+# A custom catalog is honored; a malformed one is rejected with the
+# offending line named, before any replay work happens.
+cat > "$WORK/catalog.txt" <<'EOF'
+resource vcpu 1.0
+resource memory_gb 0.1
+resource storage_gb 0.01
+architecture lone kind=standard vcpus=8 memory_gb=64 storage_gb=2000 capacity_dtus=4000
+EOF
+"$CLI" plan --telemetry "$WORK/region.csv" --region 2 \
+  --model "$WORK/svc.model" --catalog "$WORK/catalog.txt" \
+  --policies naive | tee "$WORK/plan_custom.txt"
+grep -q "lone" "$WORK/plan_custom.txt"
+cat > "$WORK/catalog_bad.txt" <<'EOF'
+resource vcpu 1.0
+resource memory_gb 0.1
+resource storage_gb 0.01
+architecture broken kind=standard vcpuz=8 capacity_dtus=100
+EOF
+if "$CLI" plan --telemetry "$WORK/region.csv" --region 2 \
+    --model "$WORK/svc.model" --catalog "$WORK/catalog_bad.txt" \
+    > "$WORK/plan_bad.txt" 2>&1; then
+  echo "expected rejection of malformed catalog" >&2
+  exit 1
+fi
+grep -q "catalog line 4: unknown key 'vcpuz'" "$WORK/plan_bad.txt"
+
+# plan flag validation mirrors serve-sim's strictness.
+for bad in "--policies banana" "--policies naive,banana" \
+           "--format banana" "--maintenance-interval 0" \
+           "--grace-days bad"; do
+  if "$CLI" plan --telemetry "$WORK/region.csv" --region 2 \
+      --model "$WORK/svc.model" $bad > "$WORK/plan_flag.txt" 2>&1; then
+    echo "expected rejection of '$bad'" >&2
+    exit 1
+  fi
+  grep -q "InvalidArgument" "$WORK/plan_flag.txt" || {
+    echo "expected InvalidArgument diagnostic for '$bad'" >&2
+    exit 1
+  }
+done
+
 # Binary artifact round trip: train -> pack -> inspect -> assess from
 # the .csrv must produce byte-identical output to the text-model assess.
 "$CLI" pack --model "$WORK/svc.model" --out "$WORK/svc.csrv" \

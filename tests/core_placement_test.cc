@@ -161,6 +161,68 @@ TEST(PlacementTest, ZeroLifetimeDatabaseDoesNotLeak) {
   EXPECT_EQ(report->peak_active_servers, 1u);
 }
 
+// Golden-text checks: ToString()/ToJson() are scraped by scripts and
+// quoted in docs/provisioning.md, so the exact format is contract.
+TEST(PlacementTest, PlacementReportGoldenToString) {
+  PlacementReport r;
+  r.placements = 10;
+  r.rejected = 1;
+  r.servers_used = 4;
+  r.peak_active_servers = 3;
+  r.peak_occupied_dtus = 250;
+  r.packing_overhead = 1.25;
+  r.mean_fragmentation = 0.125;
+  EXPECT_EQ(r.ToString(),
+            "placements=10 rejected=1 servers_used=4 peak_active=3 "
+            "peak_dtus=250 packing_overhead=1.250 "
+            "mean_fragmentation=0.125");
+}
+
+TEST(PlacementTest, DeploymentReportGoldenToStringAndJson) {
+  DeploymentReport r;
+  r.num_databases = 5;
+  r.placements = 4;
+  r.rejected = 1;
+  r.moves = 2;
+  r.spillovers = 1;
+  r.disruptions = 3;
+  r.avoided_disruptions = 2;
+  r.transparent_disruptions = 1;
+  r.sla_violations = 6;
+  r.node_days = 12.5;
+  r.infra_cost = 100.0;
+  r.ops_cost = 2.25;
+  r.total_cost = 102.25;
+  r.mean_fragmentation = 0.25;
+  ArchitectureUsage u;
+  u.name = "general";
+  u.placements = 4;
+  u.nodes_used = 2;
+  u.peak_active_nodes = 1;
+  u.node_days = 12.5;
+  u.infra_cost = 100.0;
+  u.ops_cost = 2.25;
+  u.mean_fragmentation = 0.25;
+  r.per_architecture.push_back(u);
+  EXPECT_EQ(r.ToString(),
+            "databases=5 placements=4 rejected=1 moves=2 spillovers=1 "
+            "disruptions=3 avoided=2 transparent=1 sla_violations=6 "
+            "node_days=12.5 infra_cost=100.00 ops_cost=2.25 "
+            "total_cost=102.25 mean_fragmentation=0.250");
+  EXPECT_EQ(r.ToJson(),
+            "{\"num_databases\": 5, \"placements\": 4, \"rejected\": 1, "
+            "\"moves\": 2, \"spillovers\": 1, \"disruptions\": 3, "
+            "\"avoided_disruptions\": 2, \"transparent_disruptions\": 1, "
+            "\"sla_violations\": 6, \"node_days\": 12.500, "
+            "\"infra_cost\": 100.00, \"ops_cost\": 2.25, "
+            "\"total_cost\": 102.25, \"mean_fragmentation\": 0.2500, "
+            "\"per_architecture\": [{\"name\": \"general\", "
+            "\"placements\": 4, \"nodes_used\": 2, "
+            "\"peak_active_nodes\": 1, \"node_days\": 12.500, "
+            "\"infra_cost\": 100.00, \"ops_cost\": 2.25, "
+            "\"mean_fragmentation\": 0.2500}]}");
+}
+
 TEST(PlacementTest, RejectsInvalidConfig) {
   StoreBuilder b;
   b.AddDatabase(1, 0.0, 10.0);

@@ -115,6 +115,22 @@ TEST(ProvisioningTest, ContentionDropsWhenChurnersSeparated) {
   EXPECT_GT(baseline->contention_score, 0.0);
 }
 
+// Golden-text check: the exact report format is contract (quoted in
+// docs and consumed by log scrapers).
+TEST(ProvisioningTest, ReportGoldenToString) {
+  ProvisioningReport r;
+  r.num_databases = 3;
+  r.disruptions = 5;
+  r.avoided_disruptions = 1;
+  r.forced_updates = 1;
+  r.moves = 2;
+  r.wasted_moves = 0;
+  r.contention_score = 42.0;
+  EXPECT_EQ(r.ToString(),
+            "databases=3 disruptions=5 avoided=1 forced_updates=1 "
+            "moves=2 wasted_moves=0 contention=42");
+}
+
 TEST(ProvisioningTest, RejectsInvalidConfig) {
   StoreBuilder b;
   b.AddDatabase(1, 0.0, 10.0);

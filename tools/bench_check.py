@@ -25,6 +25,14 @@ gates from the capacity model in docs/telemetry.md: the struct layout
 must cost >= 3x the columnar bytes/database, and column_reallocs must
 be zero (Reserve() pre-sizes segment arenas).
 
+provisioning_policy: the deployment replay is fully deterministic (no
+timing numbers), so the gates are dominance gates, not tolerance
+bands. Absolute: the longevity policy must beat naive on total dollar
+cost while holding SLA violations no worse (the paper's section 3.1
+claim, priced); every policy must place every database (rejected ==
+0). Relative: the naive/longevity cost and ops advantages must not
+lose more than --max-regression vs the committed baseline ratios.
+
 Coverage rules:
   - scalar rows must be present in the current output;
   - avx2 rows must be present iff the current host reports
@@ -111,6 +119,71 @@ def check_telemetry(current, baseline, max_regression):
     return failures, summary
 
 
+def policy_reports(doc):
+    """Index deployment reports by policy name."""
+    out = {}
+    for entry in doc.get("policies", []):
+        name = entry.get("policy")
+        if name:
+            out[name] = entry.get("report", {})
+    return out
+
+
+def check_provisioning(current, baseline, max_regression):
+    """Gates for the provisioning_policy format. Returns (failures, summary)."""
+    failures = []
+    reports = policy_reports(current)
+    for required in ("naive", "longevity", "oracle"):
+        if required not in reports:
+            failures.append(f"policy '{required}' missing from current run")
+    if failures:
+        return failures, "provisioning_policy: incomplete run"
+
+    naive = reports["naive"]
+    longevity = reports["longevity"]
+
+    # Absolute dominance gates: never waived. The longevity policy must
+    # be cheaper than naive at no-worse SLA, and nothing may be
+    # unplaceable under any policy (the default tier hosts every SLO).
+    if longevity.get("total_cost", 0.0) >= naive.get("total_cost", 0.0):
+        failures.append(
+            f"longevity total_cost {longevity.get('total_cost')} does not "
+            f"beat naive {naive.get('total_cost')}")
+    if longevity.get("sla_violations", 0) > naive.get("sla_violations", 0):
+        failures.append(
+            f"longevity sla_violations {longevity.get('sla_violations')} "
+            f"exceed naive {naive.get('sla_violations')}")
+    for name, report in sorted(reports.items()):
+        if report.get("rejected", 0) != 0:
+            failures.append(
+                f"policy '{name}' rejected {report.get('rejected')} "
+                "databases (default tier must host every SLO)")
+
+    # Relative gates: the measured advantage must not shrink by more
+    # than the tolerance vs the committed baseline.
+    cur_ratios = current.get("ratios", {})
+    base_ratios = baseline.get("ratios", {})
+    for key in ("naive_vs_longevity_cost", "naive_vs_longevity_ops"):
+        base_value = base_ratios.get(key, 0.0)
+        cur_value = cur_ratios.get(key, 0.0)
+        if base_value <= 0.0:
+            continue
+        floor = base_value * (1.0 - max_regression)
+        if cur_value < floor:
+            failures.append(
+                f"advantage regression: {key} {cur_value:.4f} vs baseline "
+                f"{base_value:.4f} (floor {floor:.4f})")
+
+    cost_ratio = cur_ratios.get("naive_vs_longevity_cost", 0.0)
+    summary = (f"provisioning_policy: longevity "
+               f"${longevity.get('total_cost', 0.0):.0f} vs naive "
+               f"${naive.get('total_cost', 0.0):.0f} "
+               f"({cost_ratio:.3f}x advantage), sla "
+               f"{longevity.get('sla_violations', 0)} vs "
+               f"{naive.get('sla_violations', 0)}")
+    return failures, summary
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--current", required=True,
@@ -134,9 +207,10 @@ def main():
         sys.exit(f"bench_check: current is '{kind}' but baseline is "
                  f"'{base_kind}' — wrong --baseline?")
 
-    if kind == "telemetry_ingest":
-        failures, summary = check_telemetry(current, baseline,
-                                            args.max_regression)
+    if kind in ("telemetry_ingest", "provisioning_policy"):
+        check = (check_telemetry if kind == "telemetry_ingest"
+                 else check_provisioning)
+        failures, summary = check(current, baseline, args.max_regression)
         if failures:
             for failure in failures:
                 print(f"bench_check: FAIL: {failure}", file=sys.stderr)

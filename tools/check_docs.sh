@@ -12,6 +12,12 @@
 #   4. Every CLI verb dispatched in tools/cloudsurv_main.cpp must be
 #      listed in the Usage() text and shown as `cloudsurv <verb>` in
 #      README.md or docs/, and vice versa (no phantom verbs in docs).
+#   5. Every flag in the Usage() `plan` block must have a row in the
+#      docs/provisioning.md flag table (between the plan-flag-table
+#      markers), and vice versa.
+#   6. Every catalog spec key accepted by src/core/architecture.cc
+#      (the catalog-key-registry block) must have a row in the
+#      docs/provisioning.md key table, and vice versa.
 #
 # CI runs this; run it locally from the repo root:
 #
@@ -164,5 +170,77 @@ fi
 if [ "$STATUS" -eq 0 ]; then
   echo "check_docs: $VERB_COUNT CLI verbs consistent between" \
        "cloudsurv_main.cpp, Usage(), and docs"
+fi
+
+# --- `plan` flags <-> docs/provisioning.md flag table ---------------
+# The Usage() plan block is the source of truth for the verb's flags;
+# docs/provisioning.md documents each one in a marker-delimited table.
+PROV_DOC="$REPO_ROOT/docs/provisioning.md"
+if [ ! -f "$PROV_DOC" ]; then
+  echo "check_docs: $PROV_DOC not found" >&2
+  exit 1
+fi
+sed -n '/"  plan      /,/"  serve-sim /p' "$WORK/usage" \
+  | grep -v '"  serve-sim ' \
+  | grep -oE '\-\-[a-z-]+' | sort -u > "$WORK/plan_flags_code"
+sed -n '/<!-- plan-flag-table-begin -->/,/<!-- plan-flag-table-end -->/p' \
+    "$PROV_DOC" \
+  | grep -oE '^\| `--[a-z-]+`' | tr -d '|` ' | sort -u \
+  > "$WORK/plan_flags_doc"
+
+UNDOCUMENTED_FLAGS=$(comm -23 "$WORK/plan_flags_code" "$WORK/plan_flags_doc")
+if [ -n "$UNDOCUMENTED_FLAGS" ]; then
+  echo "check_docs: plan flags in Usage() missing from the" >&2
+  echo "docs/provisioning.md flag table:" >&2
+  echo "$UNDOCUMENTED_FLAGS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+STALE_FLAGS=$(comm -13 "$WORK/plan_flags_code" "$WORK/plan_flags_doc")
+if [ -n "$STALE_FLAGS" ]; then
+  echo "check_docs: flag rows in docs/provisioning.md with no matching" >&2
+  echo "flag in the Usage() plan block:" >&2
+  echo "$STALE_FLAGS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $(wc -l < "$WORK/plan_flags_code" | tr -d ' ') plan" \
+       "flags consistent between Usage() and docs/provisioning.md"
+fi
+
+# --- Catalog spec keys <-> docs/provisioning.md key table -----------
+# The parser's key registry in src/core/architecture.cc (between the
+# catalog-key-registry markers) must match the documented key table.
+ARCH_CC="$REPO_ROOT/src/core/architecture.cc"
+if [ ! -f "$ARCH_CC" ]; then
+  echo "check_docs: $ARCH_CC not found" >&2
+  exit 1
+fi
+sed -n '/catalog-key-registry-begin/,/catalog-key-registry-end/p' \
+    "$ARCH_CC" \
+  | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u > "$WORK/catalog_keys_code"
+sed -n '/<!-- catalog-key-table-begin -->/,/<!-- catalog-key-table-end -->/p' \
+    "$PROV_DOC" \
+  | grep -oE '^\| `[a-z_]+`' | tr -d '|` ' | sort -u \
+  > "$WORK/catalog_keys_doc"
+
+UNDOCUMENTED_KEYS=$(comm -23 "$WORK/catalog_keys_code" \
+                             "$WORK/catalog_keys_doc")
+if [ -n "$UNDOCUMENTED_KEYS" ]; then
+  echo "check_docs: catalog keys accepted by architecture.cc missing" >&2
+  echo "from the docs/provisioning.md key table:" >&2
+  echo "$UNDOCUMENTED_KEYS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+STALE_KEYS=$(comm -13 "$WORK/catalog_keys_code" "$WORK/catalog_keys_doc")
+if [ -n "$STALE_KEYS" ]; then
+  echo "check_docs: key rows in docs/provisioning.md with no matching" >&2
+  echo "entry in the architecture.cc key registry:" >&2
+  echo "$STALE_KEYS" | sed 's/^/  /' >&2
+  STATUS=1
+fi
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_docs: $(wc -l < "$WORK/catalog_keys_code" | tr -d ' ')" \
+       "catalog keys consistent between architecture.cc and" \
+       "docs/provisioning.md"
 fi
 exit $STATUS

@@ -40,7 +40,10 @@
 
 #include "artifact/format.h"
 #include "artifact/reader.h"
+#include "common/string_util.h"
+#include "core/architecture.h"
 #include "core/cohort.h"
+#include "core/placement.h"
 #include "core/report.h"
 #include "core/service.h"
 #include "fault/fault.h"
@@ -98,13 +101,19 @@ struct Args {
   /// them per region, "off" skips (the 10M-database setting).
   std::string verify = "full";
   int64_t verify_sample = 2000;
+  /// plan: architecture-catalog what-if knobs (docs/provisioning.md).
+  std::string catalog_path;
+  std::string policies = "naive,longevity,oracle";
+  std::string format = "text";
+  double maintenance_interval_days = 14.0;
+  double grace_days = 45.0;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: cloudsurv <simulate|analyze|train|pack|inspect|assess|"
-      "serve-sim> [options]\n"
+      "plan|serve-sim> [options]\n"
       "  simulate  --region N --subs N --seed S --out FILE\n"
       "  analyze   --telemetry FILE [--region N]\n"
       "  train     --telemetry FILE --out FILE [--seed S] [--threads N]\n"
@@ -113,6 +122,10 @@ int Usage() {
       "  inspect   --model FILE.csrv\n"
       "  assess    --telemetry FILE --model FILE [--top N]\n"
       "            [--traversal auto|scalar|avx2]\n"
+      "  plan      --telemetry FILE --model FILE [--region N]\n"
+      "            [--catalog FILE] [--policies LIST] [--format text|json]\n"
+      "            [--maintenance-interval DAYS] [--grace-days DAYS]\n"
+      "            [--out FILE]\n"
       "  serve-sim --region N --subs N --seed S [--threads N]\n"
       "            [--model FILE] [--shards N] [--flush-interval DAYS]\n"
       "            [--metrics-interval DAYS] [--metrics-out FILE]\n"
@@ -122,6 +135,11 @@ int Usage() {
       "            [--traversal auto|scalar|avx2]\n"
       "            [--stream] [--regions N] [--partition-days D]\n"
       "            [--verify full|sample|off] [--verify-sample K]\n"
+      "plan replays the region against an architecture catalog under\n"
+      "each requested policy (--policies, comma-separated subset of\n"
+      "naive,longevity,oracle) and reports dollar-cost / fragmentation /\n"
+      "SLA tradeoffs; --catalog loads a text catalog spec (built-in\n"
+      "four-tier catalog otherwise) — see docs/provisioning.md.\n"
       "--stream generates events with the streaming simulator (no\n"
       "materialized history) and drives one scoring engine per region,\n"
       "interleaving weekly partitions; incompatible with fault flags.\n"
@@ -364,6 +382,49 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = need_value("--metrics-out");
       if (v == nullptr) return false;
       args->metrics_out_path = v;
+    } else if (std::strcmp(argv[i], "--catalog") == 0) {
+      const char* v = need_value("--catalog");
+      if (v == nullptr) return false;
+      args->catalog_path = v;
+    } else if (std::strcmp(argv[i], "--policies") == 0) {
+      const char* v = need_value("--policies");
+      if (v == nullptr) return false;
+      args->policies = v;
+      for (const std::string& name : SplitString(args->policies, ',')) {
+        if (name != "naive" && name != "longevity" && name != "oracle") {
+          std::fprintf(stderr,
+                       "InvalidArgument: --policies must be a "
+                       "comma-separated subset of naive,longevity,oracle, "
+                       "got '%s'\n",
+                       name.c_str());
+          return false;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--format") == 0) {
+      const char* v = need_value("--format");
+      if (v == nullptr) return false;
+      args->format = v;
+      if (args->format != "text" && args->format != "json") {
+        std::fprintf(stderr,
+                     "InvalidArgument: --format must be text or json, "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--maintenance-interval") == 0) {
+      const char* v = need_value("--maintenance-interval");
+      if (v == nullptr) return false;
+      if (!ParseDoubleFlag("--maintenance-interval", v, 0.0, true,
+                           &args->maintenance_interval_days)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--grace-days") == 0) {
+      const char* v = need_value("--grace-days");
+      if (v == nullptr) return false;
+      if (!ParseDoubleFlag("--grace-days", v, 0.0, true,
+                           &args->grace_days)) {
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--split") == 0) {
       const char* v = need_value("--split");
       if (v == nullptr) return false;
@@ -722,6 +783,200 @@ int CmdAssess(const Args& args) {
   std::printf("\nassessed %zu databases: %zu -> churn, %zu -> stable, "
               "%zu stay general\n",
               churn + stable + general, churn, stable, general);
+  return 0;
+}
+
+// plan: the cost- and architecture-aware what-if sweep. Scores the
+// region with the model, maps predictions onto catalog architectures
+// under each requested policy, and prices each plan with the
+// deployment replay (docs/provisioning.md has the cost model and a
+// worked example).
+int CmdPlan(const Args& args) {
+  if (args.telemetry_path.empty() || args.model_path.empty()) {
+    std::fprintf(stderr, "plan requires --telemetry and --model\n");
+    return 2;
+  }
+  auto store = LoadTelemetry(args);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto service = LoadServiceModel(args.model_path);
+  if (!service.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  core::ArchitectureCatalog catalog = core::ArchitectureCatalog::Default();
+  if (!args.catalog_path.empty()) {
+    auto spec_text = ReadFile(args.catalog_path);
+    if (!spec_text.ok()) {
+      std::fprintf(stderr, "%s\n", spec_text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = core::ArchitectureCatalog::Parse(*spec_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.catalog_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    catalog = std::move(*parsed);
+  }
+
+  // Score every database once; the per-policy sweeps reuse the same
+  // prediction outcomes (with true lifespans attached for the oracle).
+  std::vector<telemetry::DatabaseId> ids;
+  ids.reserve(store->databases().size());
+  for (const auto& record : store->databases()) ids.push_back(record.id);
+  ml::FlatForest::BatchOptions batch;
+  batch.block_rows = static_cast<size_t>(args.block_rows);
+  batch.traversal = TraversalKindFromArgs(args);
+  auto assessments = service->AssessMany(*store, ids, batch);
+  if (!assessments.ok()) {
+    std::fprintf(stderr, "assessment failed: %s\n",
+                 assessments.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<core::PredictionOutcome> outcomes;
+  outcomes.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto& assessment = (*assessments)[i];
+    if (!assessment.has_value()) continue;
+    const auto record = store->databases()[i];
+    const telemetry::Timestamp end =
+        record.dropped_at.has_value()
+            ? std::min(*record.dropped_at, store->window_end())
+            : store->window_end();
+    core::PredictionOutcome outcome;
+    outcome.id = record.id;
+    outcome.predicted_label = assessment->predicted_label;
+    outcome.positive_probability = assessment->positive_probability;
+    outcome.confident = assessment->confident;
+    outcome.duration_days = static_cast<double>(end - record.created_at) /
+                            static_cast<double>(telemetry::kSecondsPerDay);
+    outcome.observed = record.dropped_at.has_value() &&
+                       *record.dropped_at <= store->window_end();
+    outcome.true_label = outcome.duration_days > 30.0 ? 1 : 0;
+    outcomes.push_back(outcome);
+  }
+
+  core::DeploymentConfig deploy;
+  deploy.maintenance_interval_days = args.maintenance_interval_days;
+  deploy.stale_grace_days = args.grace_days;
+
+  struct PolicyRun {
+    std::string policy;
+    core::DeploymentReport report;
+  };
+  std::vector<PolicyRun> runs;
+  for (const std::string& name : SplitString(args.policies, ',')) {
+    std::unique_ptr<core::PlacementPolicy> policy =
+        core::MakePlacementPolicy(name);
+    // Names were validated at flag-parse time.
+    auto plan = policy->Assign(*store, outcomes, catalog);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "policy %s failed: %s\n", name.c_str(),
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    auto report = core::SimulateDeployment(*store, *plan, catalog, deploy);
+    if (!report.ok()) {
+      std::fprintf(stderr, "deployment replay (%s) failed: %s\n",
+                   name.c_str(), report.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back({name, std::move(*report)});
+  }
+
+  std::string out;
+  if (args.format == "json") {
+    out = "{\"region\": \"" + store->region_name() + "\"";
+    out += ", \"num_databases\": " + std::to_string(store->num_databases());
+    out += ", \"maintenance_interval_days\": " +
+           FormatDouble(deploy.maintenance_interval_days, 2);
+    out += ", \"grace_days\": " + FormatDouble(deploy.stale_grace_days, 2);
+    out += ", \"catalog\": [";
+    for (size_t a = 0; a < catalog.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += "\"" + catalog.at(a).name() + "\"";
+    }
+    out += "], \"policies\": [";
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += "{\"policy\": \"" + runs[r].policy + "\", \"report\": " +
+             runs[r].report.ToJson() + "}";
+    }
+    out += "]}\n";
+  } else {
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "plan: region %s, %zu databases, maintenance every %s "
+                  "days, churn grace %s days\ncatalog:\n",
+                  store->region_name().c_str(), store->num_databases(),
+                  FormatDouble(deploy.maintenance_interval_days, 1).c_str(),
+                  FormatDouble(deploy.stale_grace_days, 1).c_str());
+    out += line;
+    for (size_t a = 0; a < catalog.size(); ++a) {
+      const core::Architecture& arch = catalog.at(a);
+      std::snprintf(line, sizeof(line),
+                    "  %-12s kind=%-10s %5d DTUs/node x%d  $%s/node-day  "
+                    "($%s/DTU-day)\n",
+                    arch.name().c_str(),
+                    core::ArchitectureKindToString(arch.kind()),
+                    arch.node_capacity_dtus(), arch.replicas(),
+                    FormatDouble(arch.node_price_per_day(), 2).c_str(),
+                    FormatDouble(arch.PricePerDtuDay(), 4).c_str());
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "\n%-10s %12s %12s %10s %9s %9s %9s %6s %5s %6s\n",
+                  "policy", "total_cost", "infra_cost", "ops_cost",
+                  "sla_viol", "disrupt", "avoided", "moves", "rej",
+                  "frag");
+    out += line;
+    for (const PolicyRun& run : runs) {
+      const core::DeploymentReport& r = run.report;
+      std::snprintf(line, sizeof(line),
+                    "%-10s %12s %12s %10s %9zu %9zu %9zu %6zu %5zu %6s\n",
+                    run.policy.c_str(),
+                    FormatDouble(r.total_cost, 2).c_str(),
+                    FormatDouble(r.infra_cost, 2).c_str(),
+                    FormatDouble(r.ops_cost, 2).c_str(), r.sla_violations,
+                    r.disruptions, r.avoided_disruptions, r.moves,
+                    r.rejected,
+                    FormatDouble(r.mean_fragmentation, 3).c_str());
+      out += line;
+    }
+    for (const PolicyRun& run : runs) {
+      std::snprintf(line, sizeof(line), "\nper-architecture (policy=%s):\n",
+                    run.policy.c_str());
+      out += line;
+      for (const core::ArchitectureUsage& u : run.report.per_architecture) {
+        std::snprintf(line, sizeof(line),
+                      "  %-12s placements=%-6zu peak_nodes=%-4zu "
+                      "node_days=%-8s infra=$%-10s ops=$%-8s frag=%s\n",
+                      u.name.c_str(), u.placements, u.peak_active_nodes,
+                      FormatDouble(u.node_days, 1).c_str(),
+                      FormatDouble(u.infra_cost, 2).c_str(),
+                      FormatDouble(u.ops_cost, 2).c_str(),
+                      FormatDouble(u.mean_fragmentation, 3).c_str());
+        out += line;
+      }
+    }
+  }
+
+  if (!args.out_path.empty()) {
+    Status written = WriteFile(args.out_path, out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s report for %zu policies to %s\n",
+                args.format.c_str(), runs.size(), args.out_path.c_str());
+  } else {
+    std::fputs(out.c_str(), stdout);
+  }
   return 0;
 }
 
@@ -1372,6 +1627,7 @@ int main(int argc, char** argv) {
   if (command == "pack") return CmdPack(args);
   if (command == "inspect") return CmdInspect(args);
   if (command == "assess") return CmdAssess(args);
+  if (command == "plan") return CmdPlan(args);
   if (command == "serve-sim") return CmdServeSim(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
