@@ -2,58 +2,193 @@
 // cost on Region-1, per edition. Complements Section 5.4 — the family
 // whose removal hurts most should match the gini-importance ranking
 // (subscription history first).
+//
+// The cohort is extracted ONCE per edition through a compiled
+// FeaturePlan; each family-drop then reuses that matrix via
+// ml::Dataset::DropFeatures instead of re-extracting the whole cohort.
+// Dropping a family's columns from the full matrix is exactly the
+// matrix a config with that family disabled extracts (families write
+// disjoint column ranges and never read each other), so the accuracies
+// are identical to the old re-extract-per-toggle loop at a fraction of
+// the cost. Each family's standalone extraction cost over the cohort
+// is also timed (a single-family FeaturePlan sweep) and reported.
+//
+// Human-readable table -> stderr; one JSON document -> stdout with
+// per-(edition, toggle) accuracies and per-family extraction cost.
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/cohort.h"
 #include "core/prediction.h"
+#include "features/feature_plan.h"
 
 using namespace cloudsurv;
 
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+features::FeatureConfig SingleFamilyConfig(const std::string& family) {
+  features::FeatureConfig config;
+  config.include_creation_time = family == "creation_time";
+  config.include_names = family == "names";
+  config.include_size = family == "size";
+  config.include_slo = family == "slo";
+  config.include_subscription_type = family == "subscription_type";
+  config.include_subscription_history = family == "subscription_history";
+  return config;
+}
+
+}  // namespace
+
 int main() {
-  bench::PrintHeader("Ablation: feature families (Region-1)");
+  std::fprintf(stderr,
+               "Ablation: feature families (Region-1); accuracies from one "
+               "shared extraction pass per edition\n");
   auto stores = bench::SimulateStudyRegions();
   const auto& store = stores[0];
 
-  struct Toggle {
-    const char* name;
-    void (*apply)(features::FeatureConfig*);
-  };
-  const Toggle kToggles[] = {
-      {"(full feature set)", [](features::FeatureConfig*) {}},
-      {"- subscription_history",
-       [](features::FeatureConfig* c) {
-         c->include_subscription_history = false;
-       }},
-      {"- names",
-       [](features::FeatureConfig* c) { c->include_names = false; }},
-      {"- creation_time",
-       [](features::FeatureConfig* c) { c->include_creation_time = false; }},
-      {"- size", [](features::FeatureConfig* c) { c->include_size = false; }},
-      {"- slo", [](features::FeatureConfig* c) { c->include_slo = false; }},
-      {"- subscription_type",
-       [](features::FeatureConfig* c) {
-         c->include_subscription_type = false;
-       }},
-  };
+  const char* kFamilies[] = {"subscription_history", "names",
+                             "creation_time",        "size",
+                             "slo",                  "subscription_type"};
 
-  for (telemetry::Edition edition : bench::StudyEditions()) {
-    std::printf("---- %s ----\n", telemetry::EditionToString(edition));
+  std::printf("{\n");
+  std::printf("  \"bench\": \"ablation_features\",\n");
+  std::printf("  \"region\": \"%s\",\n", store.region_name().c_str());
+
+  // Per-family standalone extraction cost over the whole-population
+  // cohort: what each family alone costs per row, batch path.
+  {
+    auto cohort = core::BuildPredictionCohort(store, 2.0, 30.0,
+                                              std::nullopt);
+    if (!cohort.ok()) {
+      std::fprintf(stderr, "cohort failed: %s\n",
+                   cohort.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  \"extraction_cost\": {\"cohort_rows\": %zu,\n",
+                cohort->ids.size());
+    std::printf("    \"per_family_ms\": {");
+    bool first = true;
+    for (const char* family : kFamilies) {
+      auto plan = features::FeaturePlan::Compile(SingleFamilyConfig(family));
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<double> matrix(cohort->ids.size() * plan->num_features());
+      const auto t0 = std::chrono::steady_clock::now();
+      Status status =
+          plan->ExtractBatch(store, cohort->ids, matrix.data());
+      const double ms = MsSince(t0);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\"%s\": %.3f", first ? "" : ", ", family, ms);
+      std::fprintf(stderr, "  extract %-22s %8.3f ms\n", family, ms);
+      first = false;
+    }
+    std::printf("}},\n");
+  }
+
+  std::printf("  \"editions\": [\n");
+  const auto& editions = bench::StudyEditions();
+  for (size_t e = 0; e < editions.size(); ++e) {
+    const telemetry::Edition edition = editions[e];
+    std::fprintf(stderr, "---- %s ----\n",
+                 telemetry::EditionToString(edition));
+
+    core::ExperimentConfig config = bench::PaperExperimentConfig(false);
+    features::FeatureConfig feature_config = config.feature_config;
+    feature_config.observation_days = config.observe_days;
+
+    // One cohort + one full extraction pass for this edition; every
+    // family-drop below reuses the matrix.
+    auto cohort = core::BuildPredictionCohort(
+        store, config.observe_days, config.long_threshold_days, edition);
+    if (!cohort.ok()) {
+      std::fprintf(stderr, "cohort failed: %s\n",
+                   cohort.status().ToString().c_str());
+      return 1;
+    }
+    auto plan = features::FeaturePlan::Compile(feature_config);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto dataset = features::BuildDataset(store, cohort->ids, cohort->labels,
+                                          *plan);
+    const double extract_ms = MsSince(t0);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "extraction failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("    {\"edition\": \"%s\", \"cohort_rows\": %zu, "
+                "\"full_extract_ms\": %.3f, \"toggles\": [\n",
+                telemetry::EditionToString(edition), cohort->ids.size(),
+                extract_ms);
+
     double full_accuracy = 0.0;
-    for (const Toggle& toggle : kToggles) {
-      core::ExperimentConfig config = bench::PaperExperimentConfig(false);
-      toggle.apply(&config.feature_config);
-      auto result = core::RunPredictionExperiment(store, edition, config);
+    std::vector<std::pair<std::string, double>> entries;
+    // Full feature set first, then each family dropped.
+    {
+      auto result = core::RunPredictionExperimentOnDataset(
+          *dataset, *cohort, store.region_name(), edition, config);
       if (!result.ok()) {
-        std::printf("  %-26s failed: %s\n", toggle.name,
-                    result.status().ToString().c_str());
+        std::fprintf(stderr, "  (full feature set) failed: %s\n",
+                     result.status().ToString().c_str());
+      } else {
+        full_accuracy = result->forest_avg.accuracy;
+        entries.emplace_back("(full feature set)", full_accuracy);
+      }
+    }
+    for (const char* family : kFamilies) {
+      auto names = features::FeatureFamilyNames(feature_config, family);
+      if (!names.ok()) {
+        std::fprintf(stderr, "%s\n", names.status().ToString().c_str());
+        return 1;
+      }
+      auto reduced = dataset->DropFeatures(*names);
+      if (!reduced.ok()) {
+        std::fprintf(stderr, "%s\n", reduced.status().ToString().c_str());
+        return 1;
+      }
+      auto result = core::RunPredictionExperimentOnDataset(
+          *reduced, *cohort, store.region_name(), edition, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "  - %-24s failed: %s\n", family,
+                     result.status().ToString().c_str());
         continue;
       }
-      if (full_accuracy == 0.0) full_accuracy = result->forest_avg.accuracy;
-      std::printf("  %-26s acc=%.3f (%+.3f)\n", toggle.name,
-                  result->forest_avg.accuracy,
-                  result->forest_avg.accuracy - full_accuracy);
+      entries.emplace_back(std::string("- ") + family,
+                           result->forest_avg.accuracy);
     }
+    for (size_t t = 0; t < entries.size(); ++t) {
+      std::fprintf(stderr, "  %-26s acc=%.3f (%+.3f)\n",
+                   entries[t].first.c_str(), entries[t].second,
+                   entries[t].second - full_accuracy);
+      std::printf("      {\"toggle\": \"%s\", \"accuracy\": %.4f, "
+                  "\"delta_vs_full\": %.4f}%s\n",
+                  entries[t].first.c_str(), entries[t].second,
+                  entries[t].second - full_accuracy,
+                  t + 1 < entries.size() ? "," : "");
+    }
+    std::printf("    ]}%s\n", e + 1 < editions.size() ? "," : "");
   }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  bench::EmitRegistrySnapshot();
   return 0;
 }

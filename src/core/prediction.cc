@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <thread>
 
+#include "common/thread_pool.h"
+#include "features/feature_plan.h"
 #include "ml/flat_forest.h"
 
 namespace cloudsurv::core {
@@ -48,10 +51,41 @@ Result<SubgroupExperimentResult> RunPredictionExperiment(
         "prediction cohort too small (" + std::to_string(cohort.ids.size()) +
         " databases); simulate a larger region");
   }
+  CLOUDSURV_ASSIGN_OR_RETURN(features::FeaturePlan plan,
+                             features::FeaturePlan::Compile(feature_config));
+  // Fan the extraction sweep out for cohorts large enough to amortize
+  // the pool; small cohorts extract serially on this thread.
+  const int pool_threads =
+      config.num_threads > 0
+          ? config.num_threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  std::optional<ThreadPool> pool;
+  if (cohort.ids.size() >= 2048 && pool_threads > 1) {
+    pool.emplace(static_cast<size_t>(pool_threads),
+                 /*queue_capacity=*/static_cast<size_t>(pool_threads) * 8);
+  }
   CLOUDSURV_ASSIGN_OR_RETURN(
       ml::Dataset dataset,
-      features::BuildDataset(store, cohort.ids, cohort.labels,
-                             feature_config));
+      features::BuildDataset(store, cohort.ids, cohort.labels, plan,
+                             /*num_classes=*/2,
+                             pool.has_value() ? &*pool : nullptr));
+  return RunPredictionExperimentOnDataset(dataset, cohort,
+                                          store.region_name(), edition,
+                                          config);
+}
+
+Result<SubgroupExperimentResult> RunPredictionExperimentOnDataset(
+    const ml::Dataset& dataset, const PredictionCohort& cohort,
+    const std::string& region_name,
+    std::optional<telemetry::Edition> edition,
+    const ExperimentConfig& config) {
+  if (config.num_repetitions <= 0) {
+    return Status::InvalidArgument("num_repetitions must be positive");
+  }
+  if (dataset.num_rows() != cohort.ids.size()) {
+    return Status::InvalidArgument("dataset and cohort must be parallel");
+  }
   const double positive_rate = dataset.ClassFraction(1);
   if (positive_rate == 0.0 || positive_rate == 1.0) {
     return Status::FailedPrecondition(
@@ -59,7 +93,7 @@ Result<SubgroupExperimentResult> RunPredictionExperiment(
   }
 
   SubgroupExperimentResult result;
-  result.region_name = store.region_name();
+  result.region_name = region_name;
   result.subgroup_name =
       edition.has_value() ? telemetry::EditionToString(*edition) : "All";
   result.cohort_size = cohort.ids.size();

@@ -103,8 +103,23 @@ struct SubgroupExperimentResult {
 
 /// Runs the full protocol for one subgroup (optionally restricted to a
 /// creation edition). Requires a cohort with both classes present.
+/// Feature extraction goes through a compiled FeaturePlan (fanned over
+/// a thread pool for large cohorts) — bit-identical to per-row
+/// extraction.
 Result<SubgroupExperimentResult> RunPredictionExperiment(
     const telemetry::TelemetryStore& store,
+    std::optional<telemetry::Edition> edition,
+    const ExperimentConfig& config);
+
+/// The protocol from the dataset boundary down: split / tune / repeat
+/// on an already-extracted dataset whose rows parallel `cohort`.
+/// Callers that evaluate many configurations of the same cohort (e.g.
+/// the feature-ablation bench via ml::Dataset::DropFeatures) extract
+/// once and reuse the matrix across calls. `region_name` and `edition`
+/// only label the result.
+Result<SubgroupExperimentResult> RunPredictionExperimentOnDataset(
+    const ml::Dataset& dataset, const PredictionCohort& cohort,
+    const std::string& region_name,
     std::optional<telemetry::Edition> edition,
     const ExperimentConfig& config);
 

@@ -9,6 +9,7 @@
 #include "artifact/writer.h"
 #include "common/string_util.h"
 #include "core/cohort.h"
+#include "features/feature_plan.h"
 
 namespace cloudsurv::core {
 
@@ -157,21 +158,29 @@ LongevityService::AssessMany(const TelemetryStore& store,
   std::vector<std::optional<Assessment>> out(ids.size());
   features::FeatureConfig feature_config = options_.feature_config;
   feature_config.observation_days = options_.observe_days;
+  auto plan_or = features::FeaturePlan::Compile(feature_config);
+  if (!plan_or.ok()) {
+    // A config the plan rejects is one every per-id extraction would
+    // reject too, and per-id Assess maps that to nullopt.
+    return out;
+  }
+  const features::FeaturePlan& plan = *plan_or;
+  const size_t width = plan.num_features();
 
-  // Group the extractable rows by resolved model slot so every group is
-  // scored in one blocked batch (at most kNumEditions + 1 groups).
+  // Group ids by resolved model slot so every group is extracted and
+  // scored in one fused batch (at most kNumEditions + 1 groups): one
+  // pass fills a reused row-major matrix, which feeds the compiled
+  // forest directly — no per-row vectors, no intermediate Dataset.
   struct Group {
     const ModelSlot* slot = nullptr;
     std::string model_name;
-    std::vector<std::vector<double>> rows;
+    std::vector<telemetry::DatabaseId> group_ids;
     std::vector<size_t> positions;  ///< Index into ids/out.
   };
   std::vector<Group> groups;
   for (size_t i = 0; i < ids.size(); ++i) {
     auto record = store.FindDatabase(ids[i]);
     if (!record.ok()) continue;  // nullopt, as per-id Assess would fail
-    auto row = features::ExtractFeatures(store, *record, feature_config);
-    if (!row.ok()) continue;
     const Edition edition = (*record).initial_edition();
     const ModelSlot& slot = SlotFor(edition);
     Group* group = nullptr;
@@ -189,22 +198,68 @@ LongevityService::AssessMany(const TelemetryStore& store,
                               ? "pooled"
                               : telemetry::EditionToString(edition);
     }
-    group->rows.push_back(std::move(*row));
+    group->group_ids.push_back(ids[i]);
     group->positions.push_back(i);
   }
 
+  std::vector<double> matrix;
+  std::vector<uint8_t> row_ok;
+  std::vector<double> dense;
+  std::vector<double> probs;
+  std::vector<double> row_copy;
+  std::vector<size_t> scored_positions;
   for (auto& group : groups) {
-    std::vector<double> probs;
+    const size_t group_size = group.group_ids.size();
+    matrix.assign(group_size * width, 0.0);
+    // No pool here: AssessMany runs inside the serving engine's own
+    // pool workers, and nested submission into a bounded queue could
+    // deadlock. The caller parallelizes across shard batches instead.
+    CLOUDSURV_RETURN_NOT_OK(plan.ExtractBatchPartial(
+        store, group.group_ids, matrix.data(), &row_ok, /*pool=*/nullptr));
+    scored_positions.clear();
+    size_t num_rows = 0;
+    for (size_t k = 0; k < group_size; ++k) {
+      if (!row_ok[k]) continue;  // nullopt, as per-id Assess would fail
+      if (num_rows != k) {
+        std::memcpy(matrix.data() + num_rows * width,
+                    matrix.data() + k * width, width * sizeof(double));
+      }
+      scored_positions.push_back(group.positions[k]);
+      ++num_rows;
+    }
+    if (num_rows == 0) continue;
+    probs.clear();
     if (group.slot->flat.compiled()) {
-      CLOUDSURV_ASSIGN_OR_RETURN(
-          probs, group.slot->flat.PredictPositiveProbaRows(group.rows, batch));
+      const ml::FlatForest& flat = group.slot->flat;
+      if (flat.num_classes() != 0 && flat.num_classes() != 2) {
+        return Status::FailedPrecondition(
+            "positive-class probabilities require a binary problem");
+      }
+      if (width != flat.num_features()) {
+        return Status::InvalidArgument("feature count mismatch");
+      }
+      dense.assign(num_rows * flat.out_dim(), 0.0);
+      CLOUDSURV_RETURN_NOT_OK(
+          flat.PredictProbaBatch(matrix.data(), num_rows, dense.data(),
+                                 batch));
+      probs.resize(num_rows);
+      if (flat.out_dim() == 1) {
+        std::copy(dense.begin(), dense.end(), probs.begin());
+      } else {
+        for (size_t k = 0; k < num_rows; ++k) {
+          probs[k] = dense[k * flat.out_dim() + 1];
+        }
+      }
     } else {
-      probs.reserve(group.rows.size());
-      for (const auto& row : group.rows) {
-        probs.push_back(group.slot->forest.PredictProba(row)[1]);
+      probs.reserve(num_rows);
+      for (size_t k = 0; k < num_rows; ++k) {
+        row_copy.assign(matrix.begin() + static_cast<ptrdiff_t>(k * width),
+                        matrix.begin() +
+                            static_cast<ptrdiff_t>((k + 1) * width));
+        probs.push_back(group.slot->forest.PredictProba(row_copy)[1]);
       }
     }
-    for (size_t k = 0; k < group.positions.size(); ++k) {
+    for (size_t k = 0; k < scored_positions.size(); ++k) {
       Assessment assessment;
       assessment.model_name = group.model_name;
       assessment.positive_probability = probs[k];
@@ -220,7 +275,7 @@ LongevityService::AssessMany(const TelemetryStore& store,
       } else {
         assessment.recommended_pool = Pool::kGeneral;
       }
-      out[group.positions[k]] = std::move(assessment);
+      out[scored_positions[k]] = std::move(assessment);
     }
   }
   return out;

@@ -1,0 +1,122 @@
+#ifndef CLOUDSURV_FEATURES_FEATURE_PLAN_H_
+#define CLOUDSURV_FEATURES_FEATURE_PLAN_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "features/features.h"
+#include "ml/dataset.h"
+#include "telemetry/store.h"
+
+namespace cloudsurv::features {
+
+/// Feature families in the exact column order ExtractFeatures emits
+/// them (the names family covers both the server and database name
+/// blocks).
+enum class FeatureFamily : uint8_t {
+  kCreationTime = 0,
+  kNames,
+  kSize,
+  kSlo,
+  kSubscriptionType,
+  kSubscriptionHistory,
+  kNameNgrams,
+};
+inline constexpr size_t kNumFeatureFamilies = 7;
+
+/// A FeatureConfig compiled once into a resolved column layout, plus a
+/// batch extraction engine over it.
+///
+/// The batch path is bit-identical to per-row ExtractFeatures — same
+/// arithmetic, same accumulation order — but amortizes the work the
+/// scalar path repeats per database: sibling subscriptions are scanned
+/// once per subscription (a sorted sibling table with per-sample peak
+/// prefix maxima, O(S log S) per subscription instead of the scalar
+/// path's O(S^2) re-scan), records are materialized once, and all
+/// output goes into one caller-provided row-major matrix with scratch
+/// reused across rows.
+class FeaturePlan {
+ public:
+  /// One family's slice of the output row.
+  struct FamilySlot {
+    bool enabled = false;
+    size_t offset = 0;  ///< First column of the family.
+    size_t width = 0;   ///< Columns; 0 when disabled.
+  };
+
+  FeaturePlan() = default;
+
+  /// Compiles `config` into a plan. Cheap (no allocation beyond the
+  /// fixed slot table) — callers may compile per batch. Fails on a
+  /// config every extraction would reject (non-positive
+  /// observation_days), with the same message the scalar path returns.
+  static Result<FeaturePlan> Compile(const FeatureConfig& config);
+
+  bool compiled() const { return compiled_; }
+  const FeatureConfig& config() const { return config_; }
+
+  /// Total row width; equals FeatureNames(config()).size().
+  size_t num_features() const { return width_; }
+
+  const FamilySlot& family(FeatureFamily f) const {
+    return slots_[static_cast<size_t>(f)];
+  }
+
+  /// Column names of the compiled layout (built on demand).
+  std::vector<std::string> feature_names() const {
+    return FeatureNames(config_);
+  }
+
+  /// Extracts features for every id into `out`, a caller-provided
+  /// row-major matrix of ids.size() x num_features() doubles; row i
+  /// holds ids[i]. Strict: returns the first per-id failure (unknown
+  /// id, store not readable, database dropped inside the observation
+  /// window) exactly as a scalar FindDatabase + ExtractFeatures loop
+  /// would, in ids order.
+  ///
+  /// `pool` optionally fans the sweep out over whole subscription
+  /// groups; rows land in disjoint slices, so results are identical at
+  /// any thread count. Do not pass a pool whose workers are executing
+  /// this call (nested submission into a bounded queue can deadlock).
+  Status ExtractBatch(const telemetry::TelemetryStore& store,
+                      std::span<const telemetry::DatabaseId> ids,
+                      double* out, ThreadPool* pool = nullptr) const;
+
+  /// Like ExtractBatch but per-row: row_ok[i] is 1 when row i was
+  /// extracted and 0 when the scalar path would have failed for ids[i]
+  /// (that row's output slice is left untouched). Only misuse (an
+  /// uncompiled plan) returns a non-OK status.
+  Status ExtractBatchPartial(const telemetry::TelemetryStore& store,
+                             std::span<const telemetry::DatabaseId> ids,
+                             double* out, std::vector<uint8_t>* row_ok,
+                             ThreadPool* pool = nullptr) const;
+
+ private:
+  FeatureConfig config_;
+  std::array<FamilySlot, kNumFeatureFamilies> slots_;
+  size_t width_ = 0;
+  bool compiled_ = false;
+
+  Status ExtractImpl(const telemetry::TelemetryStore& store,
+                     std::span<const telemetry::DatabaseId> ids, double* out,
+                     std::vector<uint8_t>* row_ok, ThreadPool* pool) const;
+};
+
+/// BuildDataset through a compiled plan: one batch extraction into a
+/// contiguous matrix (optionally fanned over `pool`), then the usual
+/// ml::Dataset assembly. Bit-identical to the config-taking overload.
+Result<ml::Dataset> BuildDataset(const telemetry::TelemetryStore& store,
+                                 const std::vector<telemetry::DatabaseId>& ids,
+                                 const std::vector<int>& labels,
+                                 const FeaturePlan& plan, int num_classes = 2,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace cloudsurv::features
+
+#endif  // CLOUDSURV_FEATURES_FEATURE_PLAN_H_

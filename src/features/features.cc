@@ -1,11 +1,11 @@
 #include "features/features.h"
 
 #include <algorithm>
+#include <bitset>
 #include <cctype>
 #include <cmath>
-#include <set>
-#include <unordered_set>
 
+#include "features/feature_plan.h"
 #include "stats/descriptive.h"
 #include "telemetry/civil_time.h"
 #include "telemetry/types.h"
@@ -43,6 +43,13 @@ constexpr const char* kSloNames[] = {
 
 constexpr const char* kHistoryGroupNames[] = {"g1", "g2", "g3"};
 
+static_assert(kCreationTimeWidth == std::size(kCreationTimeNames));
+static_assert(kNameShapeWidth == std::size(kNameShapeNames));
+static_assert(kSizeWidth == std::size(kSizeNames));
+static_assert(kSloWidth == std::size(kSloNames));
+static_assert(kSubscriptionTypeWidth ==
+              static_cast<size_t>(telemetry::kNumSubscriptionTypes));
+
 Timestamp PredictionTime(const DatabaseRecord& record,
                          const FeatureConfig& config) {
   return record.created_at +
@@ -50,39 +57,51 @@ Timestamp PredictionTime(const DatabaseRecord& record,
                                 static_cast<double>(kSecondsPerDay));
 }
 
-void AppendSummary(const std::vector<double>& values,
-                   std::vector<double>* out) {
-  const stats::Summary s = stats::Summarize(values);
-  out->push_back(s.max);
-  out->push_back(s.min);
-  out->push_back(s.mean);
-  out->push_back(s.stddev);
+// Writes a RunningStats accumulator in the paper's summary order
+// (max, min, avg, std), matching what AppendSummary produced from
+// stats::Summarize — same Welford accumulator, same rounding.
+void WriteSummary(const stats::RunningStats& acc, double* out) {
+  out[0] = acc.max();
+  out[1] = acc.min();
+  out[2] = acc.mean();
+  out[3] = acc.stddev();
 }
 
 }  // namespace
 
-std::vector<double> CreationTimeFeatures(const TelemetryStore& store,
-                                         const DatabaseRecord& record) {
+void CreationTimeFeaturesInto(const TelemetryStore& store,
+                              const DatabaseRecord& record,
+                              std::span<double> out) {
   const telemetry::CivilDateTime local =
       telemetry::ToCivil(record.created_at, store.utc_offset_minutes());
-  return {
-      static_cast<double>(local.day_of_week),
-      static_cast<double>(local.day),
-      static_cast<double>(local.week_of_year),
-      static_cast<double>(local.month),
-      static_cast<double>(local.hour),
-      store.holidays().IsHolidayDate(local.year, local.month, local.day)
-          ? 1.0
-          : 0.0,
-  };
+  out[0] = static_cast<double>(local.day_of_week);
+  out[1] = static_cast<double>(local.day);
+  out[2] = static_cast<double>(local.week_of_year);
+  out[3] = static_cast<double>(local.month);
+  out[4] = static_cast<double>(local.hour);
+  out[5] = store.holidays().IsHolidayDate(local.year, local.month, local.day)
+               ? 1.0
+               : 0.0;
 }
 
-std::vector<double> NameShapeFeatures(std::string_view name) {
-  std::unordered_set<char> distinct(name.begin(), name.end());
+std::vector<double> CreationTimeFeatures(const TelemetryStore& store,
+                                         const DatabaseRecord& record) {
+  std::vector<double> out(kCreationTimeWidth);
+  CreationTimeFeaturesInto(store, record, out);
+  return out;
+}
+
+void NameShapeFeaturesInto(std::string_view name, std::span<double> out) {
+  bool seen[256] = {};
+  size_t distinct = 0;
   bool has_letter = false, has_digit = false, has_upper = false,
        has_lower = false, has_symbol = false;
   for (char raw : name) {
     const unsigned char c = static_cast<unsigned char>(raw);
+    if (!seen[c]) {
+      seen[c] = true;
+      ++distinct;
+    }
     if (std::isalpha(c)) {
       has_letter = true;
       if (std::isupper(c)) has_upper = true;
@@ -94,89 +113,117 @@ std::vector<double> NameShapeFeatures(std::string_view name) {
     }
   }
   const double len = static_cast<double>(name.size());
-  return {
-      len,
-      static_cast<double>(distinct.size()),
-      len > 0.0 ? static_cast<double>(distinct.size()) / len : 0.0,
-      has_letter && has_digit ? 1.0 : 0.0,
-      has_upper && has_lower ? 1.0 : 0.0,
-      has_symbol ? 1.0 : 0.0,
-  };
+  out[0] = len;
+  out[1] = static_cast<double>(distinct);
+  out[2] = len > 0.0 ? static_cast<double>(distinct) / len : 0.0;
+  out[3] = has_letter && has_digit ? 1.0 : 0.0;
+  out[4] = has_upper && has_lower ? 1.0 : 0.0;
+  out[5] = has_symbol ? 1.0 : 0.0;
+}
+
+std::vector<double> NameShapeFeatures(std::string_view name) {
+  std::vector<double> out(kNameShapeWidth);
+  NameShapeFeaturesInto(name, out);
+  return out;
+}
+
+void SizeFeaturesInto(const DatabaseRecord& record,
+                      Timestamp prediction_time, std::span<double> out) {
+  stats::RunningStats acc;
+  double first = 0.0;
+  double last = 0.0;
+  for (const telemetry::SizeObservation& s : record.size_samples) {
+    if (s.timestamp > prediction_time) break;
+    if (acc.count() == 0) first = s.size_mb;
+    last = s.size_mb;
+    acc.Add(s.size_mb);
+  }
+  WriteSummary(acc, out.data());
+  double rel_change = 0.0;
+  if (acc.count() >= 2 && first > 0.0) {
+    rel_change = (last - first) / first;
+  }
+  out[4] = rel_change;
 }
 
 std::vector<double> SizeFeatures(const DatabaseRecord& record,
                                  Timestamp prediction_time) {
-  std::vector<double> sizes;
-  for (const telemetry::SizeObservation& s : record.size_samples) {
-    if (s.timestamp > prediction_time) break;
-    sizes.push_back(s.size_mb);
-  }
-  std::vector<double> out;
-  AppendSummary(sizes, &out);
-  // Reorder AppendSummary's (max, min, avg, std) is already the paper's
-  // order; add the relative first-to-last change.
-  double rel_change = 0.0;
-  if (sizes.size() >= 2 && sizes.front() > 0.0) {
-    rel_change = (sizes.back() - sizes.front()) / sizes.front();
-  }
-  out.push_back(rel_change);
+  std::vector<double> out(kSizeWidth);
+  SizeFeaturesInto(record, prediction_time, out);
   return out;
 }
 
-std::vector<double> SloFeatures(const DatabaseRecord& record,
-                                Timestamp prediction_time) {
+void SloFeaturesInto(const DatabaseRecord& record,
+                     Timestamp prediction_time, std::span<double> out) {
+  const auto& ladder = SloLadder();
   int num_changes = 0;
   int num_edition_changes = 0;
-  std::set<int> distinct_slos = {record.initial_slo_index};
-  std::set<int> distinct_editions = {
-      static_cast<int>(record.initial_edition())};
-  std::vector<double> dtus = {
-      static_cast<double>(SloLadder()[record.initial_slo_index].dtus)};
+  // Distinct sets as bitmasks; the ladder is a short fixed catalog.
+  std::bitset<256> distinct_slos;
+  std::bitset<16> distinct_editions;
+  distinct_slos.set(static_cast<size_t>(record.initial_slo_index));
+  distinct_editions.set(static_cast<size_t>(record.initial_edition()));
+  stats::RunningStats dtus;
+  dtus.Add(static_cast<double>(ladder[record.initial_slo_index].dtus));
   int current = record.initial_slo_index;
   for (const telemetry::SloChange& c : record.slo_changes) {
     if (c.timestamp > prediction_time) break;
     ++num_changes;
-    if (SloLadder()[c.old_slo_index].edition !=
-        SloLadder()[c.new_slo_index].edition) {
+    if (ladder[c.old_slo_index].edition != ladder[c.new_slo_index].edition) {
       ++num_edition_changes;
     }
     current = c.new_slo_index;
-    distinct_slos.insert(current);
-    distinct_editions.insert(static_cast<int>(SloLadder()[current].edition));
-    dtus.push_back(static_cast<double>(SloLadder()[current].dtus));
+    distinct_slos.set(static_cast<size_t>(current));
+    distinct_editions.set(static_cast<size_t>(ladder[current].edition));
+    dtus.Add(static_cast<double>(ladder[current].dtus));
   }
-  const stats::Summary dtu_summary = stats::Summarize(dtus);
-  const int edition_at_pred = static_cast<int>(SloLadder()[current].edition);
+  const int edition_at_pred = static_cast<int>(ladder[current].edition);
   const int edition_at_create = static_cast<int>(record.initial_edition());
-  return {
-      static_cast<double>(num_changes),
-      static_cast<double>(num_edition_changes),
-      static_cast<double>(distinct_slos.size()),
-      static_cast<double>(distinct_editions.size()),
-      static_cast<double>(edition_at_pred),
-      static_cast<double>(current),
-      static_cast<double>(edition_at_pred - edition_at_create),
-      static_cast<double>(current - record.initial_slo_index),
-      dtu_summary.max,
-      dtu_summary.min,
-      dtu_summary.mean,
-  };
+  out[0] = static_cast<double>(num_changes);
+  out[1] = static_cast<double>(num_edition_changes);
+  out[2] = static_cast<double>(distinct_slos.count());
+  out[3] = static_cast<double>(distinct_editions.count());
+  out[4] = static_cast<double>(edition_at_pred);
+  out[5] = static_cast<double>(current);
+  out[6] = static_cast<double>(edition_at_pred - edition_at_create);
+  out[7] = static_cast<double>(current - record.initial_slo_index);
+  out[8] = dtus.max();
+  out[9] = dtus.min();
+  out[10] = dtus.mean();
 }
 
-std::vector<double> SubscriptionTypeFeatures(const DatabaseRecord& record) {
-  std::vector<double> out(telemetry::kNumSubscriptionTypes, 0.0);
-  out[static_cast<size_t>(record.subscription_type)] = 1.0;
+std::vector<double> SloFeatures(const DatabaseRecord& record,
+                                Timestamp prediction_time) {
+  std::vector<double> out(kSloWidth);
+  SloFeaturesInto(record, prediction_time, out);
   return out;
 }
 
-std::vector<double> SubscriptionHistoryFeatures(
-    const TelemetryStore& store, const DatabaseRecord& record,
-    Timestamp prediction_time) {
+void SubscriptionTypeFeaturesInto(const DatabaseRecord& record,
+                                  std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  out[static_cast<size_t>(record.subscription_type)] = 1.0;
+}
+
+std::vector<double> SubscriptionTypeFeatures(const DatabaseRecord& record) {
+  std::vector<double> out(kSubscriptionTypeWidth);
+  SubscriptionTypeFeaturesInto(record, out);
+  return out;
+}
+
+void SubscriptionHistoryFeaturesInto(const TelemetryStore& store,
+                                     const DatabaseRecord& record,
+                                     Timestamp prediction_time,
+                                     std::span<double> out) {
   const Timestamp tc = record.created_at;
   const Timestamp tp = prediction_time;
 
   // Sibling groups; group 2 is a superset of group 1 (paper wording).
-  std::vector<DatabaseRecord> group1, group2, group3;
+  // One pass in creation order feeding per-group Welford accumulators —
+  // the same value sequences the materialized-group implementation fed
+  // AppendSummary, so every output double is identical.
+  size_t g1_count = 0, g2_count = 0, g3_count = 0;
+  stats::RunningStats g1_size, g1_life, g2_size, g2_life;
   for (telemetry::DatabaseId sibling_id :
        store.DatabasesOfSubscription(record.subscription_id)) {
     if (sibling_id == record.id) continue;
@@ -185,51 +232,51 @@ std::vector<double> SubscriptionHistoryFeatures(
     const DatabaseRecord& s = *sibling;
     if (s.created_at > tp) continue;  // invisible at prediction time
     if (s.created_at < tc) {
-      group2.push_back(s);
-      if (!s.IsDroppedBy(tc)) group1.push_back(s);
+      double peak = 0.0;
+      for (const telemetry::SizeObservation& o : s.size_samples) {
+        if (o.timestamp > tp) break;
+        peak = std::max(peak, o.size_mb);
+      }
+      Timestamp end = tp;
+      if (s.dropped_at.has_value() && *s.dropped_at < end) {
+        end = *s.dropped_at;
+      }
+      const double lifespan = static_cast<double>(end - s.created_at) /
+                              static_cast<double>(kSecondsPerDay);
+      ++g2_count;
+      g2_size.Add(peak);
+      g2_life.Add(lifespan);
+      if (!s.IsDroppedBy(tc)) {
+        ++g1_count;
+        g1_size.Add(peak);
+        g1_life.Add(lifespan);
+      }
     } else if (s.created_at > tc) {
-      group3.push_back(s);
+      ++g3_count;
     }
   }
 
-  auto peak_size_before = [tp](const DatabaseRecord& r) {
-    double peak = 0.0;
-    for (const telemetry::SizeObservation& s : r.size_samples) {
-      if (s.timestamp > tp) break;
-      peak = std::max(peak, s.size_mb);
-    }
-    return peak;
-  };
-  auto observed_lifespan = [tp](const DatabaseRecord& r) {
-    Timestamp end = tp;
-    if (r.dropped_at.has_value() && *r.dropped_at < end) {
-      end = *r.dropped_at;
-    }
-    return static_cast<double>(end - r.created_at) /
-           static_cast<double>(kSecondsPerDay);
-  };
+  out[0] = static_cast<double>(g1_count);
+  out[1] = static_cast<double>(g2_count);
+  out[2] = static_cast<double>(g3_count);
+  WriteSummary(g1_size, out.data() + 3);
+  WriteSummary(g1_life, out.data() + 7);
+  WriteSummary(g2_size, out.data() + 11);
+  WriteSummary(g2_life, out.data() + 15);
+}
 
-  std::vector<double> out;
-  out.push_back(static_cast<double>(group1.size()));
-  out.push_back(static_cast<double>(group2.size()));
-  out.push_back(static_cast<double>(group3.size()));
-  for (const auto* group : {&group1, &group2}) {
-    std::vector<double> sizes, lifespans;
-    sizes.reserve(group->size());
-    lifespans.reserve(group->size());
-    for (const DatabaseRecord& r : *group) {
-      sizes.push_back(peak_size_before(r));
-      lifespans.push_back(observed_lifespan(r));
-    }
-    AppendSummary(sizes, &out);
-    AppendSummary(lifespans, &out);
-  }
+std::vector<double> SubscriptionHistoryFeatures(
+    const TelemetryStore& store, const DatabaseRecord& record,
+    Timestamp prediction_time) {
+  std::vector<double> out(kSubscriptionHistoryWidth);
+  SubscriptionHistoryFeaturesInto(store, record, prediction_time, out);
   return out;
 }
 
-std::vector<double> NameNgramFeatures(std::string_view name, int buckets) {
-  std::vector<double> out(static_cast<size_t>(std::max(1, buckets)), 0.0);
-  if (name.size() < 2) return out;
+void NameNgramFeaturesInto(std::string_view name, int buckets,
+                           std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  if (name.size() < 2) return;
   for (size_t i = 0; i + 1 < name.size(); ++i) {
     const uint32_t h = static_cast<uint32_t>(
                            static_cast<unsigned char>(name[i])) *
@@ -238,11 +285,34 @@ std::vector<double> NameNgramFeatures(std::string_view name, int buckets) {
                            static_cast<unsigned char>(name[i + 1]));
     out[h % out.size()] += 1.0;
   }
+  (void)buckets;
+}
+
+std::vector<double> NameNgramFeatures(std::string_view name, int buckets) {
+  std::vector<double> out(static_cast<size_t>(std::max(1, buckets)), 0.0);
+  NameNgramFeaturesInto(name, buckets, out);
   return out;
+}
+
+size_t FeatureWidth(const FeatureConfig& config) {
+  size_t width = 0;
+  if (config.include_creation_time) width += kCreationTimeWidth;
+  if (config.include_names) width += 2 * kNameShapeWidth;
+  if (config.include_size) width += kSizeWidth;
+  if (config.include_slo) width += kSloWidth;
+  if (config.include_subscription_type) width += kSubscriptionTypeWidth;
+  if (config.include_subscription_history) {
+    width += kSubscriptionHistoryWidth;
+  }
+  if (config.include_name_ngrams) {
+    width += static_cast<size_t>(std::max(1, config.name_ngram_buckets));
+  }
+  return width;
 }
 
 std::vector<std::string> FeatureNames(const FeatureConfig& config) {
   std::vector<std::string> names;
+  names.reserve(FeatureWidth(config));
   if (config.include_creation_time) {
     for (const char* n : kCreationTimeNames) names.emplace_back(n);
   }
@@ -281,24 +351,12 @@ std::vector<std::string> FeatureNames(const FeatureConfig& config) {
     }
   }
   if (config.include_name_ngrams) {
-    for (int i = 0; i < config.name_ngram_buckets; ++i) {
+    for (int i = 0; i < std::max(1, config.name_ngram_buckets); ++i) {
       names.push_back("db_name_ngram_" + std::to_string(i));
     }
   }
   return names;
 }
-
-namespace {
-
-// Reorders the history-name emission above: counts come first, then the
-// per-group stat blocks (size then lifespan). Keep the emission order in
-// SubscriptionHistoryFeatures consistent: counts, then for g1: size
-// stats then lifespan stats, then g2 likewise.
-void AppendAll(std::vector<double>* dst, const std::vector<double>& src) {
-  dst->insert(dst->end(), src.begin(), src.end());
-}
-
-}  // namespace
 
 Result<std::vector<double>> ExtractFeatures(const TelemetryStore& store,
                                             const DatabaseRecord& record,
@@ -315,29 +373,41 @@ Result<std::vector<double>> ExtractFeatures(const TelemetryStore& store,
         "database did not survive the observation window; the prediction "
         "task is undefined for it");
   }
-  std::vector<double> out;
+  std::vector<double> out(FeatureWidth(config));
+  double* cursor = out.data();
   if (config.include_creation_time) {
-    AppendAll(&out, CreationTimeFeatures(store, record));
+    CreationTimeFeaturesInto(store, record, {cursor, kCreationTimeWidth});
+    cursor += kCreationTimeWidth;
   }
   if (config.include_names) {
-    AppendAll(&out, NameShapeFeatures(record.server_name));
-    AppendAll(&out, NameShapeFeatures(record.database_name));
+    NameShapeFeaturesInto(record.server_name, {cursor, kNameShapeWidth});
+    cursor += kNameShapeWidth;
+    NameShapeFeaturesInto(record.database_name, {cursor, kNameShapeWidth});
+    cursor += kNameShapeWidth;
   }
   if (config.include_size) {
-    AppendAll(&out, SizeFeatures(record, tp));
+    SizeFeaturesInto(record, tp, {cursor, kSizeWidth});
+    cursor += kSizeWidth;
   }
   if (config.include_slo) {
-    AppendAll(&out, SloFeatures(record, tp));
+    SloFeaturesInto(record, tp, {cursor, kSloWidth});
+    cursor += kSloWidth;
   }
   if (config.include_subscription_type) {
-    AppendAll(&out, SubscriptionTypeFeatures(record));
+    SubscriptionTypeFeaturesInto(record, {cursor, kSubscriptionTypeWidth});
+    cursor += kSubscriptionTypeWidth;
   }
   if (config.include_subscription_history) {
-    AppendAll(&out, SubscriptionHistoryFeatures(store, record, tp));
+    SubscriptionHistoryFeaturesInto(store, record, tp,
+                                    {cursor, kSubscriptionHistoryWidth});
+    cursor += kSubscriptionHistoryWidth;
   }
   if (config.include_name_ngrams) {
-    AppendAll(&out, NameNgramFeatures(record.database_name,
-                                      config.name_ngram_buckets));
+    const size_t ngram_width =
+        static_cast<size_t>(std::max(1, config.name_ngram_buckets));
+    NameNgramFeaturesInto(record.database_name, config.name_ngram_buckets,
+                          {cursor, ngram_width});
+    cursor += ngram_width;
   }
   return out;
 }
@@ -347,20 +417,9 @@ Result<ml::Dataset> BuildDataset(const TelemetryStore& store,
                                  const std::vector<int>& labels,
                                  const FeatureConfig& config,
                                  int num_classes) {
-  if (ids.size() != labels.size()) {
-    return Status::InvalidArgument("ids and labels must be parallel");
-  }
-  std::vector<std::vector<double>> rows;
-  rows.reserve(ids.size());
-  for (telemetry::DatabaseId id : ids) {
-    CLOUDSURV_ASSIGN_OR_RETURN(const telemetry::DatabaseRecord record,
-                               store.FindDatabase(id));
-    CLOUDSURV_ASSIGN_OR_RETURN(std::vector<double> row,
-                               ExtractFeatures(store, record, config));
-    rows.push_back(std::move(row));
-  }
-  return ml::Dataset::Make(FeatureNames(config), std::move(rows), labels,
-                           num_classes);
+  CLOUDSURV_ASSIGN_OR_RETURN(FeaturePlan plan, FeaturePlan::Compile(config));
+  return BuildDataset(store, ids, labels, plan, num_classes,
+                      /*pool=*/nullptr);
 }
 
 Result<std::vector<std::string>> FeatureFamilyNames(

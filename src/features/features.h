@@ -1,6 +1,8 @@
 #ifndef CLOUDSURV_FEATURES_FEATURES_H_
 #define CLOUDSURV_FEATURES_FEATURES_H_
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +31,19 @@ struct FeatureConfig {
   int name_ngram_buckets = 8;
 };
 
+/// Fixed per-family column widths (the names family is emitted twice,
+/// once per name; the n-gram family width is max(1, buckets)).
+inline constexpr size_t kCreationTimeWidth = 6;
+inline constexpr size_t kNameShapeWidth = 6;
+inline constexpr size_t kSizeWidth = 5;
+inline constexpr size_t kSloWidth = 11;
+inline constexpr size_t kSubscriptionTypeWidth = 6;
+inline constexpr size_t kSubscriptionHistoryWidth = 19;
+
+/// Total number of columns ExtractFeatures emits under `config`.
+/// Equals FeatureNames(config).size() without building the strings.
+size_t FeatureWidth(const FeatureConfig& config);
+
 /// Ordered names of the features produced under `config`; matches the
 /// layout of ExtractFeatures exactly.
 std::vector<std::string> FeatureNames(const FeatureConfig& config);
@@ -42,9 +57,16 @@ Result<std::vector<double>> ExtractFeatures(
     const telemetry::DatabaseRecord& record, const FeatureConfig& config);
 
 /// --- Per-family extractors (exposed for unit testing) ---
+///
+/// Each family has an allocation-free `*Into` form writing into a span
+/// of exactly the family's width; the vector-returning forms are thin
+/// wrappers kept for tests and call sites that want a fresh vector.
 
 /// Creation-time features (5 + holiday flag): local day of week (1-7),
 /// day of month, week of year, month, hour of day, is-regional-holiday.
+void CreationTimeFeaturesInto(const telemetry::TelemetryStore& store,
+                              const telemetry::DatabaseRecord& record,
+                              std::span<double> out);
 std::vector<double> CreationTimeFeatures(
     const telemetry::TelemetryStore& store,
     const telemetry::DatabaseRecord& record);
@@ -52,11 +74,15 @@ std::vector<double> CreationTimeFeatures(
 /// Name-shape features (6): length, distinct characters, distinct-char
 /// rate, contains letters+digits, contains upper+lower case, contains
 /// non-alphanumeric symbols. Applied to both server and database names.
+void NameShapeFeaturesInto(std::string_view name, std::span<double> out);
 std::vector<double> NameShapeFeatures(std::string_view name);
 
 /// Size features (5): max/min/avg/stddev of observed size (MB) within
 /// the observation window, and relative change from first to last
 /// sample.
+void SizeFeaturesInto(const telemetry::DatabaseRecord& record,
+                      telemetry::Timestamp prediction_time,
+                      std::span<double> out);
 std::vector<double> SizeFeatures(const telemetry::DatabaseRecord& record,
                                  telemetry::Timestamp prediction_time);
 
@@ -64,10 +90,15 @@ std::vector<double> SizeFeatures(const telemetry::DatabaseRecord& record,
 /// changes, #distinct SLOs, #distinct editions, edition at prediction,
 /// level at prediction, edition delta and level delta vs creation, and
 /// max/min/avg DTUs held during the window.
+void SloFeaturesInto(const telemetry::DatabaseRecord& record,
+                     telemetry::Timestamp prediction_time,
+                     std::span<double> out);
 std::vector<double> SloFeatures(const telemetry::DatabaseRecord& record,
                                 telemetry::Timestamp prediction_time);
 
 /// One-hot over the subscription type at creation (6 values).
+void SubscriptionTypeFeaturesInto(const telemetry::DatabaseRecord& record,
+                                  std::span<double> out);
 std::vector<double> SubscriptionTypeFeatures(
     const telemetry::DatabaseRecord& record);
 
@@ -79,12 +110,19 @@ std::vector<double> SubscriptionTypeFeatures(
 /// Per group: count; for groups 1-2 additionally max/min/avg/std of the
 /// siblings' peak observed size and of their observed lifespans (days,
 /// censored at Tp).
+void SubscriptionHistoryFeaturesInto(
+    const telemetry::TelemetryStore& store,
+    const telemetry::DatabaseRecord& record,
+    telemetry::Timestamp prediction_time, std::span<double> out);
 std::vector<double> SubscriptionHistoryFeatures(
     const telemetry::TelemetryStore& store,
     const telemetry::DatabaseRecord& record,
     telemetry::Timestamp prediction_time);
 
-/// Hashed character-bigram counts of the database name.
+/// Hashed character-bigram counts of the database name. The span form
+/// requires out.size() == max(1, buckets).
+void NameNgramFeaturesInto(std::string_view name, int buckets,
+                           std::span<double> out);
 std::vector<double> NameNgramFeatures(std::string_view name, int buckets);
 
 /// Builds an ml::Dataset for the given databases and labels. The

@@ -1,5 +1,9 @@
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "features/feature_plan.h"
 #include "features/features.h"
 #include "gtest/gtest.h"
 #include "telemetry/types.h"
@@ -291,6 +295,306 @@ TEST(FeatureFamilyNamesTest, PartitionCoversAllFeatures) {
   }
   EXPECT_EQ(total, all.size());
   EXPECT_FALSE(FeatureFamilyNames(config, "bogus").ok());
+}
+
+// ---------------------------------------------------------------------------
+// FeaturePlan batch extraction: bit-identity against the scalar path.
+// ---------------------------------------------------------------------------
+
+// A store that exercises every sibling-table edge the batch path
+// handles specially: a rich subscription with a creation tie, a sibling
+// created exactly at the prediction boundary, a sibling dropped exactly
+// at a target's creation time, plus a lonely database (empty sibling
+// context), a single-database subscription, and an all-censored
+// subscription. `eligible` collects ids that survive the default 2-day
+// window; `dropped_in_window` is one id the scalar path rejects.
+struct EdgeCaseStore {
+  telemetry::TelemetryStore store;
+  std::vector<telemetry::DatabaseId> eligible;
+  telemetry::DatabaseId dropped_in_window = 0;
+};
+
+EdgeCaseStore MakeEdgeCaseStore() {
+  StoreBuilder b;
+  // Subscription 1: the rich one.
+  const auto d0 = b.AddDatabase(1, 0.0, 40.0, "alpha-db", "srv1",
+                                SloIndexByName("S0"),
+                                telemetry::SubscriptionType::kPayAsYouGo);
+  b.AddSizeSample(d0, 1, 0.5, 10.0);
+  b.AddSizeSample(d0, 1, 1.0, 50.0);
+  b.AddSizeSample(d0, 1, 1.8, 30.0);
+  b.AddSloChange(d0, 1, 1.0, SloIndexByName("S0"), SloIndexByName("S2"));
+  // Creation tie: same timestamp as d0.
+  const auto d1 = b.AddDatabase(1, 0.0, -1.0, "MyDb9", "srv1",
+                                SloIndexByName("S1"),
+                                telemetry::SubscriptionType::kFreeTrial);
+  // Dropped inside its own 2-day window: ineligible as a target, but a
+  // visible group-3 sibling for d0.
+  const auto d2 = b.AddDatabase(1, 1.0, 1.5, "tmp", "srv2");
+  // Created exactly at d0's prediction time (Tp = day 2).
+  const auto d3 = b.AddDatabase(1, 2.0, -1.0, "boundary", "srv2");
+  // Dropped exactly at d4's creation time (Tc = day 5): excluded from
+  // d4's group 1 but present in its group 2.
+  const auto d5 = b.AddDatabase(1, 3.0, 5.0, "edge", "srv3");
+  b.AddSizeSample(d5, 1, 3.5, 77.0);
+  const auto d4 = b.AddDatabase(1, 5.0, 30.0, "late-db", "srv1",
+                                SloIndexByName("S2"),
+                                telemetry::SubscriptionType::kStudent);
+  b.AddSizeSample(d4, 1, 5.5, 200.0);
+  // Subscription 2: lonely database.
+  const auto l0 = b.AddDatabase(2, 1.0, -1.0, "lonely", "srv9");
+  // Subscription 3: all siblings censored.
+  const auto c0 = b.AddDatabase(3, 0.0, -1.0, "cens-a", "srvA");
+  b.AddSizeSample(c0, 3, 0.25, 5.0);
+  const auto c1 = b.AddDatabase(3, 1.0, -1.0, "cens-b", "srvA");
+  const auto c2 = b.AddDatabase(3, 4.0, -1.0, "cens-c", "srvB");
+  // Subscription 4: single database, dropped well after the window.
+  const auto s0 = b.AddDatabase(4, 2.0, 90.0, "solo", "srvS");
+  return EdgeCaseStore{b.Finish(),
+                       {d0, d1, d3, d4, d5, l0, c0, c1, c2, s0},
+                       d2};
+}
+
+FeatureConfig ConfigFromMask(unsigned mask) {
+  FeatureConfig config;
+  config.include_creation_time = (mask & 1u) != 0;
+  config.include_names = (mask & 2u) != 0;
+  config.include_size = (mask & 4u) != 0;
+  config.include_slo = (mask & 8u) != 0;
+  config.include_subscription_type = (mask & 16u) != 0;
+  config.include_subscription_history = (mask & 32u) != 0;
+  config.include_name_ngrams = (mask & 64u) != 0;
+  return config;
+}
+
+TEST(FeaturePlanTest, CompileLayoutMatchesFeatureNames) {
+  for (unsigned mask = 0; mask < 128; ++mask) {
+    const FeatureConfig config = ConfigFromMask(mask);
+    auto plan = FeaturePlan::Compile(config);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->num_features(), FeatureNames(config).size()) << mask;
+    size_t sum = 0;
+    for (size_t f = 0; f < kNumFeatureFamilies; ++f) {
+      const auto& slot = plan->family(static_cast<FeatureFamily>(f));
+      if (slot.enabled) {
+        EXPECT_EQ(slot.offset, sum) << mask << " family " << f;
+        sum += slot.width;
+      } else {
+        EXPECT_EQ(slot.width, 0u);
+      }
+    }
+    EXPECT_EQ(sum, plan->num_features()) << mask;
+  }
+}
+
+TEST(FeaturePlanTest, CompileRejectsInvalidObservationDays) {
+  FeatureConfig config;
+  config.observation_days = 0.0;
+  const auto plan = FeaturePlan::Compile(config);
+  ASSERT_FALSE(plan.ok());
+  StoreBuilder b;
+  b.AddDatabase(1, 0.0, -1.0);
+  auto store = b.Finish();
+  const auto scalar = ExtractFeatures(store, store.databases()[0], config);
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_EQ(plan.status().message(), scalar.status().message());
+}
+
+// The core acceptance test: every toggle combination, every edge-case
+// target, EXPECT_EQ on raw doubles between the batch matrix and the
+// scalar per-row extractor.
+TEST(FeaturePlanTest, BatchBitIdenticalToScalarForAllToggles) {
+  const EdgeCaseStore ecs = MakeEdgeCaseStore();
+  for (unsigned mask = 0; mask < 128; ++mask) {
+    const FeatureConfig config = ConfigFromMask(mask);
+    auto plan = FeaturePlan::Compile(config);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const size_t width = plan->num_features();
+    std::vector<double> matrix(ecs.eligible.size() * width, -42.0);
+    ASSERT_OK(plan->ExtractBatch(ecs.store, ecs.eligible, matrix.data()));
+    for (size_t i = 0; i < ecs.eligible.size(); ++i) {
+      auto record = ecs.store.FindDatabase(ecs.eligible[i]);
+      ASSERT_TRUE(record.ok());
+      auto scalar = ExtractFeatures(ecs.store, *record, config);
+      ASSERT_TRUE(scalar.ok()) << scalar.status();
+      ASSERT_EQ(scalar->size(), width);
+      for (size_t c = 0; c < width; ++c) {
+        EXPECT_EQ(matrix[i * width + c], (*scalar)[c])
+            << "mask " << mask << " id " << ecs.eligible[i] << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(FeaturePlanTest, StrictModeReturnsScalarErrorsInIdsOrder) {
+  const EdgeCaseStore ecs = MakeEdgeCaseStore();
+  FeatureConfig config;
+  auto plan = FeaturePlan::Compile(config);
+  ASSERT_OK(plan.status());
+  std::vector<double> matrix(3 * plan->num_features());
+
+  // Unknown id: same message as FindDatabase.
+  const std::vector<telemetry::DatabaseId> unknown = {ecs.eligible[0], 9999,
+                                                      ecs.dropped_in_window};
+  const Status unknown_status =
+      plan->ExtractBatch(ecs.store, unknown, matrix.data());
+  ASSERT_FALSE(unknown_status.ok());
+  EXPECT_EQ(unknown_status.message(),
+            ecs.store.FindDatabase(9999).status().message());
+
+  // Dropped inside the window: same message as scalar ExtractFeatures,
+  // and it is the FIRST failure in ids order that surfaces.
+  const std::vector<telemetry::DatabaseId> dropped = {
+      ecs.eligible[0], ecs.dropped_in_window, 9999};
+  const Status dropped_status =
+      plan->ExtractBatch(ecs.store, dropped, matrix.data());
+  ASSERT_FALSE(dropped_status.ok());
+  const auto scalar = ExtractFeatures(
+      ecs.store, *ecs.store.FindDatabase(ecs.dropped_in_window), config);
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_EQ(dropped_status.message(), scalar.status().message());
+}
+
+TEST(FeaturePlanTest, PartialMarksFailedRowsAndLeavesThemUntouched) {
+  const EdgeCaseStore ecs = MakeEdgeCaseStore();
+  FeatureConfig config;
+  auto plan = FeaturePlan::Compile(config);
+  ASSERT_OK(plan.status());
+  const size_t width = plan->num_features();
+  const std::vector<telemetry::DatabaseId> ids = {
+      ecs.eligible[0], 9999, ecs.dropped_in_window, ecs.eligible[1]};
+  std::vector<double> matrix(ids.size() * width, 7.5);
+  std::vector<uint8_t> row_ok;
+  ASSERT_OK(
+      plan->ExtractBatchPartial(ecs.store, ids, matrix.data(), &row_ok));
+  ASSERT_EQ(row_ok.size(), ids.size());
+  EXPECT_EQ(row_ok[0], 1);
+  EXPECT_EQ(row_ok[1], 0);
+  EXPECT_EQ(row_ok[2], 0);
+  EXPECT_EQ(row_ok[3], 1);
+  // Failed rows keep the caller's sentinel fill.
+  for (size_t c = 0; c < width; ++c) {
+    EXPECT_EQ(matrix[1 * width + c], 7.5);
+    EXPECT_EQ(matrix[2 * width + c], 7.5);
+  }
+  // Extracted rows are bit-identical to scalar.
+  for (const size_t row : {size_t{0}, size_t{3}}) {
+    auto scalar = ExtractFeatures(
+        ecs.store, *ecs.store.FindDatabase(ids[row]), config);
+    ASSERT_OK(scalar.status());
+    for (size_t c = 0; c < width; ++c) {
+      EXPECT_EQ(matrix[row * width + c], (*scalar)[c]) << row << "," << c;
+    }
+  }
+}
+
+TEST(FeaturePlanTest, ThreadPoolFanoutIsBitIdenticalToSerial) {
+  // Large enough cohort to cross the fan-out threshold, with skewed
+  // subscription sizes so chunk cuts land on real group boundaries.
+  StoreBuilder b;
+  std::vector<telemetry::DatabaseId> ids;
+  uint64_t rng = 0x5EEDu;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(rng >> 33);
+  };
+  for (int i = 0; i < 400; ++i) {
+    // Subscription sizes skew: a few big subscriptions, many small.
+    const int sub = 1 + static_cast<int>(next() % 12 == 0 ? next() % 3
+                                                          : 3 + next() % 20);
+    const double create_day = static_cast<double>(next() % 80) / 2.0;
+    const bool censored = next() % 3 == 0;
+    const double drop_day =
+        censored ? -1.0 : create_day + 2.0 + static_cast<double>(next() % 60);
+    const auto id = b.AddDatabase(
+        sub, create_day, drop_day, "db" + std::to_string(i),
+        "srv" + std::to_string(i % 7),
+        static_cast<int>(next() % 4),
+        static_cast<telemetry::SubscriptionType>(next() % 6));
+    if (next() % 2 == 0) {
+      b.AddSizeSample(id, sub, create_day + 0.5,
+                      static_cast<double>(1 + next() % 500));
+    }
+    ids.push_back(id);
+  }
+  auto store = b.Finish();
+
+  FeatureConfig config;
+  auto plan = FeaturePlan::Compile(config);
+  ASSERT_OK(plan.status());
+  const size_t width = plan->num_features();
+  std::vector<double> serial(ids.size() * width, 0.0);
+  std::vector<double> pooled(ids.size() * width, 0.0);
+  ASSERT_OK(plan->ExtractBatch(store, ids, serial.data()));
+  ThreadPool pool(4, 64);
+  ASSERT_OK(plan->ExtractBatch(store, ids, pooled.data(), &pool));
+  EXPECT_EQ(std::memcmp(serial.data(), pooled.data(),
+                        serial.size() * sizeof(double)),
+            0);
+  // And both match the scalar reference row-by-row.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto scalar = ExtractFeatures(store, *store.FindDatabase(ids[i]), config);
+    ASSERT_OK(scalar.status());
+    for (size_t c = 0; c < width; ++c) {
+      EXPECT_EQ(serial[i * width + c], (*scalar)[c]) << i << "," << c;
+    }
+  }
+}
+
+TEST(FeaturePlanTest, PlanBuildDatasetMatchesConfigOverload) {
+  const EdgeCaseStore ecs = MakeEdgeCaseStore();
+  FeatureConfig config;
+  std::vector<int> labels(ecs.eligible.size());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 2 == 0 ? 1 : 0;
+  auto via_config = BuildDataset(ecs.store, ecs.eligible, labels, config);
+  ASSERT_OK(via_config.status());
+  auto plan = FeaturePlan::Compile(config);
+  ASSERT_OK(plan.status());
+  auto via_plan = BuildDataset(ecs.store, ecs.eligible, labels, *plan);
+  ASSERT_OK(via_plan.status());
+  ASSERT_EQ(via_plan->num_rows(), via_config->num_rows());
+  ASSERT_EQ(via_plan->num_features(), via_config->num_features());
+  EXPECT_EQ(via_plan->feature_names(), via_config->feature_names());
+  for (size_t i = 0; i < via_plan->num_rows(); ++i) {
+    EXPECT_EQ(via_plan->label(i), via_config->label(i));
+    for (size_t c = 0; c < via_plan->num_features(); ++c) {
+      EXPECT_EQ(via_plan->row(i)[c], via_config->row(i)[c]) << i << "," << c;
+    }
+  }
+}
+
+TEST(FeaturePlanTest, SpanOverloadsMatchVectorOverloads) {
+  const EdgeCaseStore ecs = MakeEdgeCaseStore();
+  const auto record = *ecs.store.FindDatabase(ecs.eligible[0]);
+  const telemetry::Timestamp tp = record.created_at + 2 * 86400;
+
+  std::vector<double> buf(kNameShapeWidth);
+  NameShapeFeaturesInto(record.database_name, buf);
+  EXPECT_EQ(buf, NameShapeFeatures(record.database_name));
+
+  buf.assign(kSizeWidth, 0.0);
+  SizeFeaturesInto(record, tp, buf);
+  EXPECT_EQ(buf, SizeFeatures(record, tp));
+
+  buf.assign(kSloWidth, 0.0);
+  SloFeaturesInto(record, tp, buf);
+  EXPECT_EQ(buf, SloFeatures(record, tp));
+
+  buf.assign(kSubscriptionTypeWidth, 0.0);
+  SubscriptionTypeFeaturesInto(record, buf);
+  EXPECT_EQ(buf, SubscriptionTypeFeatures(record));
+
+  buf.assign(kCreationTimeWidth, 0.0);
+  CreationTimeFeaturesInto(ecs.store, record, buf);
+  EXPECT_EQ(buf, CreationTimeFeatures(ecs.store, record));
+
+  buf.assign(kSubscriptionHistoryWidth, 0.0);
+  SubscriptionHistoryFeaturesInto(ecs.store, record, tp, buf);
+  EXPECT_EQ(buf, SubscriptionHistoryFeatures(ecs.store, record, tp));
+
+  buf.assign(8, 0.0);
+  NameNgramFeaturesInto(record.database_name, 8, buf);
+  EXPECT_EQ(buf, NameNgramFeatures(record.database_name, 8));
 }
 
 }  // namespace

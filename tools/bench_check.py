@@ -25,6 +25,12 @@ gates from the capacity model in docs/telemetry.md: the struct layout
 must cost >= 3x the columnar bytes/database, and column_reallocs must
 be zero (Reserve() pre-sizes segment arenas).
 
+feature_extraction: bit-identity of the batch matrix against the
+scalar reference, a 100k-database scale floor, and an absolute 5x
+best-batch-speedup floor (the win is algorithmic, so it transfers
+between machines); per-(mode, threads) speedups are additionally held
+to the committed baseline within --max-regression.
+
 provisioning_policy: the deployment replay is fully deterministic (no
 timing numbers), so the gates are dominance gates, not tolerance
 bands. Absolute: the longevity policy must beat naive on total dollar
@@ -184,6 +190,66 @@ def check_provisioning(current, baseline, max_regression):
     return failures, summary
 
 
+def feature_runs(doc):
+    """Index feature-extraction runs by (mode, threads)."""
+    out = {}
+    for run in doc.get("runs", []):
+        out[(run.get("mode"), run.get("threads"))] = run
+    return out
+
+
+def check_features(current, baseline, max_regression):
+    """Gates for the feature_extraction format. Returns (failures, summary).
+
+    Absolute gates, never waived: the batch matrix must be bit-identical
+    to the scalar reference; the run must cover at least 100k databases
+    (the scale the docs/features.md claim is made at); and the best
+    batch speedup must stay >= 5x. The speedup floor is absolute rather
+    than host-relative because the win is algorithmic (sibling tables
+    built once per subscription instead of re-scanned per target), so it
+    holds at any core count. Relative: each (mode, threads) speedup is
+    held to the committed baseline within --max-regression.
+    """
+    failures = []
+    if not current.get("bit_identical", False):
+        failures.append("bit_identical is false (batch extraction diverged "
+                        "from the scalar reference)")
+    num_dbs = current.get("num_databases", 0)
+    if num_dbs < 100000:
+        failures.append(
+            f"num_databases is {num_dbs}, below the 100000-database floor "
+            "the speedup claim is made at (set CLOUDSURV_BENCH_DBS)")
+    best = current.get("best_batch_speedup", 0.0)
+    if best < 5.0:
+        failures.append(
+            f"best_batch_speedup is {best:.2f}x, below the absolute 5x "
+            "floor (docs/features.md)")
+
+    cur_runs = feature_runs(current)
+    for key, base_run in sorted(feature_runs(baseline).items()):
+        mode, threads = key
+        if mode == "scalar":
+            continue
+        cur_run = cur_runs.get(key)
+        if cur_run is None:
+            failures.append(f"baseline config {key} missing from current run")
+            continue
+        base_speedup = base_run.get("speedup_vs_scalar", 0.0)
+        if base_speedup <= 0.0:
+            continue
+        floor = base_speedup * (1.0 - max_regression)
+        cur_speedup = cur_run.get("speedup_vs_scalar", 0.0)
+        if cur_speedup < floor:
+            failures.append(
+                f"speedup regression at mode={mode} threads={threads}: "
+                f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x)")
+
+    summary = (f"feature_extraction: best batch speedup {best:.2f}x over "
+               f"scalar at {num_dbs} databases, bit-identical")
+    return failures, summary
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--current", required=True,
@@ -207,9 +273,11 @@ def main():
         sys.exit(f"bench_check: current is '{kind}' but baseline is "
                  f"'{base_kind}' — wrong --baseline?")
 
-    if kind in ("telemetry_ingest", "provisioning_policy"):
-        check = (check_telemetry if kind == "telemetry_ingest"
-                 else check_provisioning)
+    if kind in ("telemetry_ingest", "provisioning_policy",
+                "feature_extraction"):
+        check = {"telemetry_ingest": check_telemetry,
+                 "provisioning_policy": check_provisioning,
+                 "feature_extraction": check_features}[kind]
         failures, summary = check(current, baseline, args.max_regression)
         if failures:
             for failure in failures:
